@@ -1,0 +1,146 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * coalescing-window sweep — how Δt trades accuracy for work (and why
+//!   the study's counts depend on it);
+//! * attribution-window sweep — sensitivity of the Table II join;
+//! * storm on/off — what the 17-day episode costs the parsing stage;
+//! * pattern-matching — the filter engine vs a naive substring scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use faultsim::{Campaign, FaultConfig};
+use hpclog::extract::XidExtractor;
+use hpclog::pattern::FilterSet;
+use resilience::coalesce::coalesce;
+use resilience::impact::JobImpact;
+use simtime::Duration;
+use std::hint::black_box;
+
+fn corpus_events(storm: bool, seed: u64) -> (Vec<String>, Vec<hpclog::XidEvent>) {
+    let mut config = FaultConfig::delta_scaled(0.02);
+    config.seed = seed;
+    if !storm {
+        config.storm = None;
+    }
+    let campaign = Campaign::new(config).run();
+    let lines: Vec<String> = campaign.archive.iter().map(|l| l.to_string()).collect();
+    let mut extractor = XidExtractor::studied_only(2022);
+    let events: Vec<_> = campaign.archive.iter().filter_map(|l| extractor.extract(l)).collect();
+    (lines, events)
+}
+
+fn bench_coalesce_window_sweep(c: &mut Criterion) {
+    let (_, events) = corpus_events(true, 0xAB1);
+    let mut group = c.benchmark_group("ablation_coalesce_window");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    for window_secs in [1u64, 5, 20, 60, 300, 600] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(window_secs),
+            &window_secs,
+            |b, &secs| {
+                b.iter(|| {
+                    black_box(coalesce(events.clone(), Duration::from_secs(secs)).len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_attribution_window_sweep(c: &mut Criterion) {
+    use clustersim::Cluster;
+    use delta_gpu_resilience::bridge;
+    use slurmsim::{Simulation, WorkloadConfig};
+
+    let mut config = FaultConfig::delta_scaled(0.02);
+    config.seed = 0xAB2;
+    config.emit_logs = false;
+    let campaign = Campaign::new(config).run();
+    let cluster = Cluster::new(campaign.config.spec);
+    let outcome = Simulation::new(&cluster, WorkloadConfig::delta_scaled(0.02), 9)
+        .run(&campaign.ground_truth, &campaign.holds);
+    let jobs = bridge::jobs(&outcome.jobs);
+    let events: Vec<_> = campaign
+        .ground_truth
+        .iter()
+        .map(|e| {
+            hpclog::XidEvent::new(
+                e.time,
+                e.gpu.node.hostname(),
+                hpclog::PciAddr::for_gpu_index(e.gpu.index),
+                e.kind.primary_code(),
+                "",
+            )
+        })
+        .collect();
+    let errors = coalesce(events, Duration::from_secs(20));
+
+    let mut group = c.benchmark_group("ablation_attribution_window");
+    for window_secs in [5u64, 20, 60] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(window_secs),
+            &window_secs,
+            |b, &secs| {
+                b.iter(|| {
+                    black_box(JobImpact::compute(&jobs, &errors, Duration::from_secs(secs)))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_storm_parse_cost(c: &mut Criterion) {
+    let (with_storm, _) = corpus_events(true, 0xAB3);
+    let (without_storm, _) = corpus_events(false, 0xAB3);
+    let mut group = c.benchmark_group("ablation_storm_parse");
+    group.sample_size(10);
+    for (name, lines) in [("with_storm", &with_storm), ("without_storm", &without_storm)] {
+        group.throughput(Throughput::Elements(lines.len() as u64));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut extractor = XidExtractor::studied_only(2022);
+                black_box(lines.iter().filter_map(|l| extractor.extract_raw(l)).count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pattern_engine(c: &mut Criterion) {
+    let (lines, _) = corpus_events(false, 0xAB4);
+    let filter = FilterSet::compile(&[
+        "*NVRM: Xid (PCI:{w}): {d},*",
+        "*Row remapping*",
+        "*fallen off the bus*",
+    ])
+    .expect("static patterns compile");
+    let mut group = c.benchmark_group("ablation_pattern_matching");
+    group.throughput(Throughput::Elements(lines.len() as u64));
+    group.bench_function("filterset", |b| {
+        b.iter(|| black_box(lines.iter().filter(|l| filter.matches(l)).count()))
+    });
+    group.bench_function("naive_substring", |b| {
+        b.iter(|| {
+            black_box(
+                lines
+                    .iter()
+                    .filter(|l| {
+                        l.contains("NVRM: Xid")
+                            || l.contains("Row remapping")
+                            || l.contains("fallen off the bus")
+                    })
+                    .count(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_coalesce_window_sweep,
+    bench_attribution_window_sweep,
+    bench_storm_parse_cost,
+    bench_pattern_engine
+);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Throughput benchmarks for every pipeline stage: log parsing/extraction,
+//! coalescing, the impact join, and whole-campaign execution.
+
+use clustersim::Cluster;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use delta_gpu_resilience::bridge;
+use faultsim::{Campaign, FaultConfig};
+use hpclog::extract::XidExtractor;
+use resilience::coalesce::coalesce;
+use resilience::impact::JobImpact;
+use resilience::Pipeline;
+use simtime::Duration;
+use slurmsim::{Simulation, WorkloadConfig};
+use std::hint::black_box;
+
+/// A prepared corpus: rendered log lines plus matching structured data.
+struct Corpus {
+    raw_lines: Vec<String>,
+    events: Vec<hpclog::XidEvent>,
+    jobs: Vec<resilience::AccountedJob>,
+    errors: Vec<resilience::CoalescedError>,
+}
+
+fn build_corpus() -> Corpus {
+    let mut config = FaultConfig::delta_scaled(0.03);
+    config.seed = 0xBE7C;
+    let campaign = Campaign::new(config).run();
+    let raw_lines: Vec<String> = campaign.archive.iter().map(|l| l.to_string()).collect();
+    let mut extractor = XidExtractor::studied_only(2022);
+    let events: Vec<_> = campaign.archive.iter().filter_map(|l| extractor.extract(l)).collect();
+    let errors = coalesce(events.clone(), Duration::from_secs(20));
+
+    let cluster = Cluster::new(campaign.config.spec);
+    let outcome = Simulation::new(&cluster, WorkloadConfig::delta_scaled(0.03), 1)
+        .run(&campaign.ground_truth, &campaign.holds);
+    Corpus { raw_lines, events, jobs: bridge::jobs(&outcome.jobs), errors }
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let corpus = build_corpus();
+
+    // Stage I: raw-line parsing + XID extraction.
+    let mut group = c.benchmark_group("stage1_extract");
+    group.throughput(Throughput::Elements(corpus.raw_lines.len() as u64));
+    group.bench_function("parse_and_extract", |b| {
+        b.iter(|| {
+            let mut extractor = XidExtractor::studied_only(2022);
+            let n = corpus
+                .raw_lines
+                .iter()
+                .filter_map(|l| extractor.extract_raw(l))
+                .count();
+            black_box(n)
+        })
+    });
+    group.finish();
+
+    // Stage II: coalescing.
+    let mut group = c.benchmark_group("stage2_coalesce");
+    group.throughput(Throughput::Elements(corpus.events.len() as u64));
+    group.bench_function("coalesce_20s", |b| {
+        b.iter_batched(
+            || corpus.events.clone(),
+            |events| black_box(coalesce(events, Duration::from_secs(20))),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+
+    // Stage III: the impact join.
+    let mut group = c.benchmark_group("stage3_impact");
+    group.throughput(Throughput::Elements(corpus.errors.len() as u64));
+    group.bench_function("attribution_join", |b| {
+        b.iter(|| {
+            black_box(JobImpact::compute(
+                &corpus.jobs,
+                &corpus.errors,
+                Duration::from_secs(20),
+            ))
+        })
+    });
+    group.finish();
+
+    // Whole campaign (fault injection only, logs off) and whole pipeline.
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("campaign_1pct_no_logs", |b| {
+        b.iter(|| {
+            let mut config = FaultConfig::delta_scaled(0.01);
+            config.seed = 3;
+            config.emit_logs = false;
+            black_box(Campaign::new(config).run())
+        })
+    });
+    group.bench_function("scheduler_1pct", |b| {
+        let mut config = FaultConfig::delta_scaled(0.01);
+        config.seed = 4;
+        config.emit_logs = false;
+        let campaign = Campaign::new(config).run();
+        let cluster = Cluster::new(campaign.config.spec);
+        b.iter(|| {
+            black_box(
+                Simulation::new(&cluster, WorkloadConfig::delta_scaled(0.01), 5)
+                    .run(&campaign.ground_truth, &campaign.holds),
+            )
+        })
+    });
+    group.bench_function("pipeline_on_corpus", |b| {
+        let mut pipeline = Pipeline::delta();
+        pipeline.periods = simtime::StudyPeriods::delta_scaled(0.03);
+        b.iter_batched(
+            || corpus.events.clone(),
+            |events| black_box(pipeline.run_events(events, None, &corpus.jobs, &[], &[])),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! E7 ablation: infant mortality vs constant hazard.
+//!
+//! The paper observes that NVLink and row-remap-failure rates *improved*
+//! from the pre-operational to the operational period and credits early
+//! replacement of defective GPUs. This ablation contrasts two generative
+//! explanations over the same calendar:
+//!
+//! * a power-law (Weibull-intensity) process with shape < 1 — genuine
+//!   infant mortality: defective links fail early and leave the population;
+//! * the piecewise-constant two-rate process the main model uses.
+//!
+//! It prints weekly error counts for both, with trend slopes, so the
+//! distinguishing signature (a smooth decay vs a step at the boundary) is
+//! visible.
+//!
+//! ```text
+//! cargo run --release -p bench --bin burnin [SCALE] [SEED]
+//! ```
+
+use bench::{banner, RunOptions};
+use faultsim::hazard::{PiecewiseHazard, PowerLawProcess};
+use hpclog::PciAddr;
+use resilience::coalesce::CoalescedError;
+use resilience::timeseries::ErrorSeries;
+use simrng::Rng;
+use simtime::{StudyPeriods, Timestamp};
+use xid::ErrorKind;
+
+fn collect<F>(mut next: F, start: Timestamp) -> Vec<CoalescedError>
+where
+    F: FnMut(Timestamp) -> Option<Timestamp>,
+{
+    let mut out = Vec::new();
+    let mut t = start;
+    while let Some(fire) = next(t) {
+        out.push(CoalescedError {
+            time: fire,
+            host: "gpub001".to_owned(),
+            pci: PciAddr::for_gpu_index(0),
+            kind: ErrorKind::NvlinkError,
+            merged_lines: 1,
+        });
+        t = fire;
+    }
+    out
+}
+
+fn main() {
+    let options = RunOptions::from_args();
+    banner("Burn-in ablation (E7): infant mortality vs two-rate model", options);
+    let periods = StudyPeriods::delta_scaled(options.scale.min(0.3));
+    let whole = periods.whole();
+
+    // Calibrate both models to the same total: NVLink-scale counts.
+    let total_target = 400.0 * whole.days() / 273.0;
+    // Power law with shape 0.45: (T/s)^k = target  =>  s = T / target^(1/k).
+    let shape = 0.45;
+    let scale_hours = whole.hours() / total_target.powf(1.0 / shape);
+    let power = PowerLawProcess::new(whole.start, whole.end, shape, scale_hours);
+    // Two-rate: pre-op heavy, op light, same totals as the paper's ratio.
+    let pre_rate = 0.7 * total_target / periods.pre_op.hours();
+    let op_rate = 0.3 * total_target / periods.op.hours();
+    let step = PiecewiseHazard::new(periods, pre_rate, op_rate);
+
+    let mut rng = Rng::seed_from(options.seed);
+    let infant = collect(|t| power.next_fire(t, &mut rng), whole.start);
+    let mut rng = Rng::seed_from(options.seed ^ 1);
+    let two_rate = collect(|t| step.next_fire(t, &mut rng), whole.start);
+
+    for (name, errors) in [("infant-mortality", &infant), ("two-rate", &two_rate)] {
+        let series = ErrorSeries::weekly(errors, Some(ErrorKind::NvlinkError), whole);
+        println!(
+            "{name:<18} total {:>5}  trend {:+.2} errors/week²\n  {}",
+            series.total(),
+            series.trend().unwrap_or(0.0),
+            series.render()
+        );
+    }
+    println!(
+        "\nReading: both models produce 'pre-op worse than op', but the weekly\n\
+         profile separates them — the power-law decays smoothly through the\n\
+         boundary, while the operational-practice model steps at it. With real\n\
+         data, this comparison tells you whether early replacement (step) or\n\
+         intrinsic burn-in (decay) drives the improvement."
+    );
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 2: the unavailability-time distribution, plus the
+//! §V-C headline numbers (MTTR, node-hours lost, availability).
+//!
+//! ```text
+//! cargo run --release -p bench --bin figure2 [SCALE] [SEED]
+//! ```
+
+use bench::{banner, run_study, RunOptions};
+
+fn main() {
+    let options = RunOptions::from_args();
+    banner("Figure 2 — unavailability time distribution", options);
+    let study = run_study(options, false);
+    println!("{}", resilience::report::figure2(&study.report));
+    println!("--- CSV ---\n{}", resilience::report::figure2_csv(&study.report));
+}

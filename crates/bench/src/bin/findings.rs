@@ -1,0 +1,17 @@
+//! Evaluates the paper's headline findings (i)-(vii) against a seeded
+//! synthetic campaign (experiment E5 in DESIGN.md).
+//!
+//! ```text
+//! cargo run --release -p bench --bin findings [SCALE] [SEED]
+//! ```
+
+use bench::{banner, run_study, RunOptions};
+use resilience::findings::Findings;
+
+fn main() {
+    let options = RunOptions::from_args();
+    banner("Findings (i)-(vii)", options);
+    let study = run_study(options, true);
+    println!("{}", Findings::evaluate(&study.report));
+    std::process::exit(0);
+}

@@ -1,0 +1,21 @@
+//! Regenerates Table I: per-XID error counts and MTBE per study phase.
+//!
+//! ```text
+//! cargo run --release -p bench --bin table1 [SCALE] [SEED]
+//! ```
+
+use bench::{banner, run_study, RunOptions};
+
+fn main() {
+    let options = RunOptions::from_args();
+    banner("Table I — GPU resilience statistics", options);
+    let study = run_study(options, true);
+    println!(
+        "raw lines {} -> coalesced errors {} (ratio {:.1})",
+        study.report.coalesce_summary.raw_lines,
+        study.report.coalesce_summary.errors,
+        study.report.coalesce_summary.ratio()
+    );
+    println!("{}", resilience::report::table1(&study.report));
+    println!("--- CSV ---\n{}", resilience::report::table1_csv(&study.report));
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table II: job failure probability per GPU error kind.
+//!
+//! ```text
+//! cargo run --release -p bench --bin table2 [SCALE] [SEED]
+//! ```
+
+use bench::{banner, run_study, RunOptions};
+
+fn main() {
+    let options = RunOptions::from_args();
+    banner("Table II — GPU-error impact on jobs", options);
+    let study = run_study(options, false);
+    println!("{}", resilience::report::table2(&study.report));
+    println!("--- CSV ---\n{}", resilience::report::table2_csv(&study.report));
+}

@@ -1,0 +1,16 @@
+//! Regenerates Table III: the workload mix (GPU-count buckets, elapsed
+//! time statistics, ML vs non-ML GPU-hours) and the §V-A success rates.
+//!
+//! ```text
+//! cargo run --release -p bench --bin table3 [SCALE] [SEED]
+//! ```
+
+use bench::{banner, run_study, RunOptions};
+
+fn main() {
+    let options = RunOptions::from_args();
+    banner("Table III — job distribution and GPU hours", options);
+    let study = run_study(options, false);
+    println!("{}", resilience::report::table3(&study.report));
+    println!("--- CSV ---\n{}", resilience::report::table3_csv(&study.report));
+}

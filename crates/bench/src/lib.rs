@@ -1,0 +1,148 @@
+//! Shared harness code for the benchmark suite and the table/figure
+//! regeneration binaries.
+//!
+//! Every regeneration binary accepts the same two optional arguments:
+//!
+//! ```text
+//! <binary> [SCALE] [SEED]
+//! ```
+//!
+//! `SCALE` (default 1.0) multiplies the simulated calendar; `SEED`
+//! (default 0xDE17A) seeds every random stream. `EXPERIMENTS.md` records
+//! the full-scale (`SCALE = 1.0`) outputs.
+
+use clustersim::Cluster;
+use delta_gpu_resilience::bridge;
+use faultsim::{Campaign, CampaignOutput, FaultConfig};
+use resilience::{Pipeline, StudyReport};
+use slurmsim::{Simulation, SimulationOutcome, WorkloadConfig};
+
+/// The default campaign seed used across EXPERIMENTS.md.
+pub const DEFAULT_SEED: u64 = 0xDE17A;
+
+/// Parsed command-line options for a regeneration binary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOptions {
+    /// Calendar scale in `(0, 1]`.
+    pub scale: f64,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl RunOptions {
+    /// Parses `[SCALE] [SEED]` from `std::env::args`, with defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_args() -> Self {
+        let mut args = std::env::args().skip(1);
+        let scale = args
+            .next()
+            .map(|a| a.parse::<f64>().unwrap_or_else(|_| panic!("bad SCALE {a:?}")))
+            .unwrap_or(1.0);
+        assert!(scale > 0.0 && scale <= 1.0, "SCALE must be in (0, 1], got {scale}");
+        let seed = args
+            .next()
+            .map(|a| a.parse::<u64>().unwrap_or_else(|_| panic!("bad SEED {a:?}")))
+            .unwrap_or(DEFAULT_SEED);
+        RunOptions { scale, seed }
+    }
+}
+
+/// A fully executed study: campaign + schedule + analysis.
+pub struct Study {
+    /// The fault-injection output.
+    pub campaign: CampaignOutput,
+    /// The scheduler outcome.
+    pub outcome: SimulationOutcome,
+    /// The analysis report.
+    pub report: StudyReport,
+}
+
+/// Runs the complete study at the given options.
+///
+/// `emit_logs` controls whether the campaign renders raw log text (the
+/// Table I path needs it; job-only experiments can skip it for speed).
+pub fn run_study(options: RunOptions, emit_logs: bool) -> Study {
+    let mut config = if options.scale >= 1.0 {
+        FaultConfig::delta()
+    } else {
+        FaultConfig::delta_scaled(options.scale)
+    };
+    config.seed = options.seed;
+    config.emit_logs = emit_logs;
+    let campaign = Campaign::new(config).run();
+
+    let cluster = Cluster::new(campaign.config.spec);
+    let workload = if options.scale >= 1.0 {
+        WorkloadConfig::delta()
+    } else {
+        WorkloadConfig::delta_scaled(options.scale)
+    };
+    let outcome = Simulation::new(&cluster, workload, options.seed)
+        .run(&campaign.ground_truth, &campaign.holds);
+
+    let mut pipeline = Pipeline::delta();
+    pipeline.periods = campaign.config.periods;
+    let report = if emit_logs {
+        pipeline.run(
+            &campaign.archive,
+            &bridge::jobs(&outcome.jobs),
+            &bridge::jobs(&outcome.cpu_jobs),
+            &bridge::outages(campaign.ledger.outages()),
+        )
+    } else {
+        // Statistics-only path: feed ground truth straight into the
+        // coalescer without rendering/parsing log text.
+        let events = campaign
+            .ground_truth
+            .iter()
+            .map(|e| {
+                hpclog::XidEvent::new(
+                    e.time,
+                    e.gpu.node.hostname(),
+                    hpclog::PciAddr::for_gpu_index(e.gpu.index),
+                    e.kind.primary_code(),
+                    "",
+                )
+            })
+            .collect();
+        pipeline.run_events(
+            events,
+            None,
+            &bridge::jobs(&outcome.jobs),
+            &bridge::jobs(&outcome.cpu_jobs),
+            &bridge::outages(campaign.ledger.outages()),
+        )
+    };
+    Study { campaign, outcome, report }
+}
+
+/// Prints the standard experiment header.
+pub fn banner(name: &str, options: RunOptions) {
+    println!(
+        "=== {name} (scale {}, seed {:#x}) ===",
+        options.scale, options.seed
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_study_smoke() {
+        let study = run_study(RunOptions { scale: 0.01, seed: 1 }, true);
+        assert!(!study.campaign.ground_truth.is_empty());
+        assert!(!study.outcome.jobs.is_empty());
+        assert!(study.report.coalesce_summary.errors > 0);
+    }
+
+    #[test]
+    fn statistics_only_path_works() {
+        let study = run_study(RunOptions { scale: 0.01, seed: 2 }, false);
+        assert_eq!(study.campaign.archive.line_count(), 0);
+        assert!(study.report.coalesce_summary.errors > 0);
+    }
+}

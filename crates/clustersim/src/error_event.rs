@@ -1,0 +1,86 @@
+//! Ground-truth GPU error events, the shared vocabulary between the fault
+//! injector (producer), the scheduler simulator (job-impact consumer) and
+//! the analysis pipeline (validation consumer).
+
+use crate::ids::GpuId;
+use simtime::Timestamp;
+use std::fmt;
+use xid::ErrorKind;
+
+/// Identifies a root-cause incident.
+///
+/// One physical fault can surface as several logged errors — an NVLink
+/// fault logs XID 74 on every GPU sharing the link (the paper: 42% of
+/// NVLink errors propagate to two or more GPUs), and one uncorrectable
+/// memory fault produces an ECC error, a row-remap event and a containment
+/// event in quick succession. Events from the same root cause share an
+/// [`IncidentId`] so propagation statistics can be recovered exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct IncidentId(pub u64);
+
+impl fmt::Display for IncidentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "incident#{}", self.0)
+    }
+}
+
+/// One ground-truth error on one GPU.
+///
+/// This is what *actually happened* in a simulated campaign, as opposed to
+/// what the logs show (duplicated, interleaved, possibly truncated). The
+/// analysis pipeline never sees these directly — it works from rendered log
+/// text — but integration tests compare its output against them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GpuErrorEvent {
+    /// When the error occurred.
+    pub time: Timestamp,
+    /// The affected GPU.
+    pub gpu: GpuId,
+    /// The error kind.
+    pub kind: ErrorKind,
+    /// The root-cause incident this event belongs to.
+    pub incident: IncidentId,
+}
+
+impl GpuErrorEvent {
+    /// Creates an event.
+    pub fn new(time: Timestamp, gpu: GpuId, kind: ErrorKind, incident: IncidentId) -> Self {
+        GpuErrorEvent { time, gpu, kind, incident }
+    }
+}
+
+impl fmt::Display for GpuErrorEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} ({})", self.time, self.gpu, self.kind, self.incident)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    #[test]
+    fn display_is_informative() {
+        let ev = GpuErrorEvent::new(
+            Timestamp::from_unix(1_700_000_000),
+            GpuId::new(NodeId::new(41), 2),
+            ErrorKind::NvlinkError,
+            IncidentId(7),
+        );
+        let s = ev.to_string();
+        assert!(s.contains("gpub042"));
+        assert!(s.contains("NVLink"));
+        assert!(s.contains("incident#7"));
+    }
+
+    #[test]
+    fn incident_grouping_by_equality() {
+        let a = IncidentId(1);
+        let b = IncidentId(1);
+        let c = IncidentId(2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a < c);
+    }
+}

@@ -1,0 +1,151 @@
+//! The SRE health-check response model.
+//!
+//! Delta's SREs run automatic node health checks that watch for the
+//! critical XID errors of Table I and page/drain nodes when one fires
+//! (§II-B). [`HealthPolicy`] captures that operational loop as data: which
+//! error kinds trigger a response, how quickly the check notices, and what
+//! recovery action follows.
+
+use simtime::Duration;
+use xid::{ErrorKind, RecoveryAction};
+
+/// The planned response to a detected error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RepairPlan {
+    /// Delay between the error and the health check noticing it.
+    pub detect_delay: Duration,
+    /// How long the node drains before rebooting (running jobs finish).
+    pub drain_time: Duration,
+    /// The recovery action to execute.
+    pub action: RecoveryAction,
+}
+
+/// Which errors the site responds to, and how fast.
+///
+/// # Example
+///
+/// ```
+/// use clustersim::HealthPolicy;
+/// use xid::ErrorKind;
+///
+/// let policy = HealthPolicy::delta();
+/// let plan = policy.response(ErrorKind::GspError).expect("GSP is critical");
+/// assert!(plan.action.takes_node_down());
+/// assert!(policy.response(ErrorKind::ContainedMemoryError).is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthPolicy {
+    check_interval: Duration,
+    mean_drain: Duration,
+}
+
+impl HealthPolicy {
+    /// The Delta policy: health checks every 5 minutes, ~20 minutes of
+    /// drain before a reboot (jobs are given bounded time to checkpoint,
+    /// long-running ones are killed).
+    pub fn delta() -> Self {
+        HealthPolicy {
+            check_interval: Duration::from_mins(5),
+            mean_drain: Duration::from_mins(20),
+        }
+    }
+
+    /// A custom policy.
+    pub fn new(check_interval: Duration, mean_drain: Duration) -> Self {
+        HealthPolicy { check_interval, mean_drain }
+    }
+
+    /// How often health checks run; the mean detection delay is half this.
+    pub fn check_interval(&self) -> Duration {
+        self.check_interval
+    }
+
+    /// The planned response to `kind`, or `None` if the error needs no
+    /// administrative action (it clears on its own or with the offending
+    /// process).
+    ///
+    /// The mapping follows Table I's "Recovery Action" column via
+    /// [`ErrorKind::recovery`]; anything at
+    /// [`RecoveryAction::GpuReset`] or above triggers the drain-and-recover
+    /// loop.
+    pub fn response(&self, kind: ErrorKind) -> Option<RepairPlan> {
+        let action = kind.recovery();
+        if !action.requires_reset() {
+            return None;
+        }
+        Some(RepairPlan {
+            // Mean delay of a periodic check is half the interval.
+            detect_delay: Duration::from_secs(self.check_interval.as_secs() / 2),
+            drain_time: self.mean_drain,
+            action,
+        })
+    }
+
+    /// Whether `kind` triggers any automated response.
+    pub fn is_critical(&self, kind: ErrorKind) -> bool {
+        self.response(kind).is_some()
+    }
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy::delta()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gsp_triggers_node_reboot_plan() {
+        let policy = HealthPolicy::delta();
+        let plan = policy.response(ErrorKind::GspError).unwrap();
+        assert_eq!(plan.action, RecoveryAction::NodeReboot);
+        assert!(plan.detect_delay <= policy.check_interval());
+        assert!(plan.drain_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn benign_kinds_have_no_plan() {
+        let policy = HealthPolicy::delta();
+        for kind in [
+            ErrorKind::MmuError,
+            ErrorKind::PmuSpiError,
+            ErrorKind::ContainedMemoryError,
+            ErrorKind::GpuSoftware,
+        ] {
+            assert!(policy.response(kind).is_none(), "{kind}");
+            assert!(!policy.is_critical(kind), "{kind}");
+        }
+    }
+
+    #[test]
+    fn reset_class_kinds_are_critical() {
+        let policy = HealthPolicy::delta();
+        for kind in [
+            ErrorKind::DoubleBitError,
+            ErrorKind::RowRemapEvent,
+            ErrorKind::RowRemapFailure,
+            ErrorKind::NvlinkError,
+            ErrorKind::FallenOffBus,
+            ErrorKind::UncontainedMemoryError,
+            ErrorKind::GspError,
+        ] {
+            assert!(policy.is_critical(kind), "{kind}");
+        }
+    }
+
+    #[test]
+    fn custom_policy_changes_delays() {
+        let policy = HealthPolicy::new(Duration::from_mins(60), Duration::from_mins(5));
+        let plan = policy.response(ErrorKind::GspError).unwrap();
+        assert_eq!(plan.detect_delay, Duration::from_mins(30));
+        assert_eq!(plan.drain_time, Duration::from_mins(5));
+    }
+
+    #[test]
+    fn default_is_delta() {
+        assert_eq!(HealthPolicy::default(), HealthPolicy::delta());
+    }
+}

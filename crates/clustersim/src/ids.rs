@@ -1,0 +1,226 @@
+//! Identifiers for nodes, GPUs and NVLink links, with Delta's hostname
+//! conventions.
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// A compute node, identified by its cluster-wide index.
+///
+/// Delta's A100 nodes are named `gpub001`, `gpub002`, ... ; [`NodeId`]
+/// renders and parses that convention so log hostnames and structured
+/// records interconvert losslessly.
+///
+/// # Example
+///
+/// ```
+/// use clustersim::NodeId;
+///
+/// let node = NodeId::new(41);
+/// assert_eq!(node.hostname(), "gpub042"); // indices are 0-based, names 1-based
+/// assert_eq!("gpub042".parse::<NodeId>()?, node);
+/// # Ok::<(), clustersim::ParseNodeIdError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u16);
+
+impl NodeId {
+    /// Creates a node id from a 0-based index.
+    pub const fn new(index: u16) -> Self {
+        NodeId(index)
+    }
+
+    /// The 0-based index.
+    pub const fn index(self) -> u16 {
+        self.0
+    }
+
+    /// The Delta-style hostname (`gpub001` for index 0).
+    pub fn hostname(self) -> String {
+        format!("gpub{:03}", self.0 + 1)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gpub{:03}", self.0 + 1)
+    }
+}
+
+impl FromStr for NodeId {
+    type Err = ParseNodeIdError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s
+            .strip_prefix("gpub")
+            .ok_or_else(|| ParseNodeIdError::new(s, "missing 'gpub' prefix"))?;
+        let n: u16 = digits
+            .parse()
+            .map_err(|_| ParseNodeIdError::new(s, "non-numeric suffix"))?;
+        if n == 0 {
+            return Err(ParseNodeIdError::new(s, "hostnames are 1-based"));
+        }
+        Ok(NodeId(n - 1))
+    }
+}
+
+/// Error returned when a hostname cannot be parsed as a [`NodeId`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNodeIdError {
+    input: String,
+    why: &'static str,
+}
+
+impl ParseNodeIdError {
+    fn new(input: &str, why: &'static str) -> Self {
+        ParseNodeIdError { input: input.to_owned(), why }
+    }
+}
+
+impl fmt::Display for ParseNodeIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid node hostname {:?}: {}", self.input, self.why)
+    }
+}
+
+impl Error for ParseNodeIdError {}
+
+/// One physical GPU: a node plus a within-node index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GpuId {
+    /// The hosting node.
+    pub node: NodeId,
+    /// The 0-based GPU index within the node (0..4 or 0..8).
+    pub index: u8,
+}
+
+impl GpuId {
+    /// Creates a GPU id.
+    pub const fn new(node: NodeId, index: u8) -> Self {
+        GpuId { node, index }
+    }
+}
+
+impl fmt::Display for GpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/gpu{}", self.node, self.index)
+    }
+}
+
+/// One NVLink link: an unordered pair of GPUs on the same node.
+///
+/// Constructed in canonical order (`a < b`) so a link compares equal no
+/// matter which direction it was observed from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId {
+    /// The hosting node.
+    pub node: NodeId,
+    /// Lower GPU index of the pair.
+    pub a: u8,
+    /// Higher GPU index of the pair.
+    pub b: u8,
+}
+
+impl LinkId {
+    /// Creates a link id, normalising the endpoint order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`: a GPU has no link to itself.
+    pub fn new(node: NodeId, a: u8, b: u8) -> Self {
+        assert_ne!(a, b, "NVLink endpoints must differ");
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        LinkId { node, a, b }
+    }
+
+    /// The two endpoint GPUs.
+    pub fn endpoints(self) -> (GpuId, GpuId) {
+        (GpuId::new(self.node, self.a), GpuId::new(self.node, self.b))
+    }
+
+    /// Whether `gpu` is one of the endpoints.
+    pub fn touches(self, gpu: GpuId) -> bool {
+        gpu.node == self.node && (gpu.index == self.a || gpu.index == self.b)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/nvlink{}-{}", self.node, self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hostname_roundtrip() {
+        for idx in [0u16, 1, 41, 105, 999] {
+            let node = NodeId::new(idx);
+            assert_eq!(node.hostname().parse::<NodeId>().unwrap(), node);
+        }
+    }
+
+    #[test]
+    fn hostname_is_one_based() {
+        assert_eq!(NodeId::new(0).hostname(), "gpub001");
+        assert_eq!(NodeId::new(105).hostname(), "gpub106");
+    }
+
+    #[test]
+    fn parse_rejects_bad_hostnames() {
+        for bad in ["", "gpua001", "gpub", "gpubxyz", "gpub000", "cn001"] {
+            assert!(bad.parse::<NodeId>().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_error_mentions_input() {
+        let err = "cn001".parse::<NodeId>().unwrap_err();
+        assert!(err.to_string().contains("cn001"));
+    }
+
+    #[test]
+    fn display_matches_hostname() {
+        let n = NodeId::new(7);
+        assert_eq!(n.to_string(), n.hostname());
+    }
+
+    #[test]
+    fn gpu_display_is_informative() {
+        let gpu = GpuId::new(NodeId::new(41), 3);
+        assert_eq!(gpu.to_string(), "gpub042/gpu3");
+    }
+
+    #[test]
+    fn link_normalises_order() {
+        let n = NodeId::new(0);
+        assert_eq!(LinkId::new(n, 3, 1), LinkId::new(n, 1, 3));
+        let (a, b) = LinkId::new(n, 3, 1).endpoints();
+        assert_eq!(a.index, 1);
+        assert_eq!(b.index, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoints must differ")]
+    fn link_self_loop_panics() {
+        LinkId::new(NodeId::new(0), 2, 2);
+    }
+
+    #[test]
+    fn link_touches_its_endpoints_only() {
+        let n = NodeId::new(5);
+        let link = LinkId::new(n, 0, 2);
+        assert!(link.touches(GpuId::new(n, 0)));
+        assert!(link.touches(GpuId::new(n, 2)));
+        assert!(!link.touches(GpuId::new(n, 1)));
+        assert!(!link.touches(GpuId::new(NodeId::new(6), 0)));
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(GpuId::new(NodeId::new(1), 3) < GpuId::new(NodeId::new(2), 0));
+    }
+}

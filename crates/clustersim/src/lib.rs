@@ -1,0 +1,50 @@
+//! A Delta-like GPU cluster model: topology, node/GPU state machines,
+//! health-check policy, repair-time model and downtime accounting.
+//!
+//! The DSN'25 study measures a concrete machine — NCSA *Delta*: 106 A100
+//! nodes (100 four-way + 6 eight-way, 448 GPUs total), NVLink within each
+//! node, SRE-operated health checks that drain and reboot nodes on critical
+//! XID errors. This crate models exactly those parts of the machine that
+//! the study's availability and recovery findings depend on:
+//!
+//! * [`ClusterSpec`] / [`Cluster`] — the static topology (nodes, GPUs,
+//!   per-node NVLink links), with [`ClusterSpec::delta`] preconfigured to
+//!   the paper's machine.
+//! * [`NodeState`] / [`GpuHealth`] — the dynamic state machines with
+//!   validated transitions (`Up → Draining → Rebooting → Up`, GPU
+//!   error/reset/replacement).
+//! * [`HealthPolicy`] — the SRE response model: which error kinds trigger
+//!   automatic drain/reboot and with what detection latency.
+//! * [`RepairModel`] / [`DowntimeLedger`] — repair-duration sampling
+//!   (calibrated to the paper's 0.88 h mean, Fig. 2) and per-node downtime
+//!   intervals from which availability (the 99.5% headline) is computed.
+//!
+//! The crate is purely a model: the discrete-event loop that drives it
+//! lives in `faultsim`.
+//!
+//! # Example
+//!
+//! ```
+//! use clustersim::{Cluster, ClusterSpec};
+//!
+//! let cluster = Cluster::new(ClusterSpec::delta());
+//! assert_eq!(cluster.node_count(), 106);
+//! assert_eq!(cluster.gpu_count(), 448);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error_event;
+mod health;
+mod ids;
+mod repair;
+mod state;
+mod topology;
+
+pub use error_event::{GpuErrorEvent, IncidentId};
+pub use health::{HealthPolicy, RepairPlan};
+pub use ids::{GpuId, LinkId, NodeId, ParseNodeIdError};
+pub use repair::{DowntimeLedger, Outage, RepairModel};
+pub use state::{GpuHealth, InvalidTransition, NodeState};
+pub use topology::{Cluster, ClusterSpec, Node};

@@ -1,0 +1,270 @@
+//! Dynamic node and GPU state machines with validated transitions.
+
+use std::error::Error;
+use std::fmt;
+use xid::ErrorKind;
+
+/// The service state of a node.
+///
+/// ```text
+///        drain          reboot           recover
+///  Up ──────────► Draining ──────► Rebooting ──────► Up
+///                                      │ fail
+///                                      ▼
+///                                    Down ──────────► Up (after replacement)
+/// ```
+///
+/// Transitions outside this graph return [`InvalidTransition`], which makes
+/// simulator bugs (double-draining a node, rebooting an up node) loud
+/// instead of silently corrupting the downtime ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NodeState {
+    /// In service, schedulable.
+    #[default]
+    Up,
+    /// Unschedulable; running jobs are allowed to finish.
+    Draining,
+    /// Out of service, rebooting.
+    Rebooting,
+    /// Reboot failed; awaiting hardware replacement.
+    Down,
+}
+
+impl NodeState {
+    /// Whether new jobs may be scheduled onto the node.
+    pub fn schedulable(self) -> bool {
+        self == NodeState::Up
+    }
+
+    /// Whether the node counts as unavailable for the availability metric.
+    ///
+    /// Draining nodes still run their current jobs; the paper counts
+    /// unavailability from the reboot onward (drain time shows up as
+    /// capacity loss, not node downtime).
+    pub fn is_down(self) -> bool {
+        matches!(self, NodeState::Rebooting | NodeState::Down)
+    }
+
+    /// Begins draining.
+    ///
+    /// # Errors
+    ///
+    /// Only valid from [`NodeState::Up`].
+    pub fn drain(self) -> Result<NodeState, InvalidTransition> {
+        match self {
+            NodeState::Up => Ok(NodeState::Draining),
+            other => Err(InvalidTransition::node(other, "drain")),
+        }
+    }
+
+    /// Begins the reboot once draining completes.
+    ///
+    /// # Errors
+    ///
+    /// Only valid from [`NodeState::Draining`].
+    pub fn reboot(self) -> Result<NodeState, InvalidTransition> {
+        match self {
+            NodeState::Draining => Ok(NodeState::Rebooting),
+            other => Err(InvalidTransition::node(other, "reboot")),
+        }
+    }
+
+    /// Returns to service after a successful reboot or replacement.
+    ///
+    /// # Errors
+    ///
+    /// Only valid from [`NodeState::Rebooting`] or [`NodeState::Down`].
+    pub fn recover(self) -> Result<NodeState, InvalidTransition> {
+        match self {
+            NodeState::Rebooting | NodeState::Down => Ok(NodeState::Up),
+            other => Err(InvalidTransition::node(other, "recover")),
+        }
+    }
+
+    /// Marks the node failed (post-reboot health check did not pass).
+    ///
+    /// # Errors
+    ///
+    /// Only valid from [`NodeState::Rebooting`].
+    pub fn fail(self) -> Result<NodeState, InvalidTransition> {
+        match self {
+            NodeState::Rebooting => Ok(NodeState::Down),
+            other => Err(InvalidTransition::node(other, "fail")),
+        }
+    }
+}
+
+impl fmt::Display for NodeState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeState::Up => "up",
+            NodeState::Draining => "draining",
+            NodeState::Rebooting => "rebooting",
+            NodeState::Down => "down",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The health of one GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GpuHealth {
+    /// Operating normally.
+    #[default]
+    Healthy,
+    /// In an error state caused by `kind`; may or may not still run work.
+    ErrorState(ErrorKind),
+    /// Flagged for physical replacement (repeated RRFs, persistent
+    /// uncontained errors).
+    AwaitingReplacement,
+}
+
+impl GpuHealth {
+    /// Whether the GPU can host work.
+    pub fn usable(self) -> bool {
+        self == GpuHealth::Healthy
+    }
+
+    /// Records an error, escalating state but never de-escalating:
+    /// a GPU awaiting replacement stays that way regardless of further
+    /// errors.
+    pub fn record_error(self, kind: ErrorKind) -> GpuHealth {
+        match self {
+            GpuHealth::AwaitingReplacement => GpuHealth::AwaitingReplacement,
+            _ => GpuHealth::ErrorState(kind),
+        }
+    }
+
+    /// Clears the error state after a successful reset/reboot.
+    pub fn reset(self) -> GpuHealth {
+        match self {
+            GpuHealth::AwaitingReplacement => GpuHealth::AwaitingReplacement,
+            _ => GpuHealth::Healthy,
+        }
+    }
+
+    /// Escalates to replacement (SRE decision).
+    pub fn condemn(self) -> GpuHealth {
+        GpuHealth::AwaitingReplacement
+    }
+
+    /// Installs a fresh GPU.
+    pub fn replace(self) -> GpuHealth {
+        GpuHealth::Healthy
+    }
+}
+
+impl fmt::Display for GpuHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuHealth::Healthy => f.write_str("healthy"),
+            GpuHealth::ErrorState(kind) => write!(f, "error({kind})"),
+            GpuHealth::AwaitingReplacement => f.write_str("awaiting-replacement"),
+        }
+    }
+}
+
+/// Error returned when a state machine transition is not legal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidTransition {
+    from: String,
+    attempted: &'static str,
+}
+
+impl InvalidTransition {
+    fn node(from: NodeState, attempted: &'static str) -> Self {
+        InvalidTransition { from: from.to_string(), attempted }
+    }
+}
+
+impl fmt::Display for InvalidTransition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot {} a node in state {}", self.attempted, self.from)
+    }
+}
+
+impl Error for InvalidTransition {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn happy_path_cycle() {
+        let s = NodeState::Up;
+        let s = s.drain().unwrap();
+        assert_eq!(s, NodeState::Draining);
+        assert!(!s.schedulable());
+        assert!(!s.is_down()); // draining still runs jobs
+        let s = s.reboot().unwrap();
+        assert!(s.is_down());
+        let s = s.recover().unwrap();
+        assert_eq!(s, NodeState::Up);
+        assert!(s.schedulable());
+    }
+
+    #[test]
+    fn failed_reboot_goes_down_then_recovers() {
+        let s = NodeState::Up.drain().unwrap().reboot().unwrap();
+        let s = s.fail().unwrap();
+        assert_eq!(s, NodeState::Down);
+        assert!(s.is_down());
+        assert_eq!(s.recover().unwrap(), NodeState::Up);
+    }
+
+    #[test]
+    fn illegal_transitions_error() {
+        assert!(NodeState::Up.reboot().is_err());
+        assert!(NodeState::Up.recover().is_err());
+        assert!(NodeState::Up.fail().is_err());
+        assert!(NodeState::Draining.drain().is_err());
+        assert!(NodeState::Rebooting.drain().is_err());
+        assert!(NodeState::Down.fail().is_err());
+    }
+
+    #[test]
+    fn error_message_names_state_and_action() {
+        let err = NodeState::Down.drain().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("drain") && msg.contains("down"), "{msg}");
+    }
+
+    #[test]
+    fn gpu_error_and_reset() {
+        let g = GpuHealth::Healthy;
+        assert!(g.usable());
+        let g = g.record_error(ErrorKind::GspError);
+        assert_eq!(g, GpuHealth::ErrorState(ErrorKind::GspError));
+        assert!(!g.usable());
+        assert_eq!(g.reset(), GpuHealth::Healthy);
+    }
+
+    #[test]
+    fn condemned_gpu_is_sticky() {
+        let g = GpuHealth::Healthy.condemn();
+        assert_eq!(g.record_error(ErrorKind::MmuError), GpuHealth::AwaitingReplacement);
+        assert_eq!(g.reset(), GpuHealth::AwaitingReplacement);
+        assert_eq!(g.replace(), GpuHealth::Healthy);
+    }
+
+    #[test]
+    fn newer_error_overwrites_older() {
+        let g = GpuHealth::Healthy
+            .record_error(ErrorKind::NvlinkError)
+            .record_error(ErrorKind::GspError);
+        assert_eq!(g, GpuHealth::ErrorState(ErrorKind::GspError));
+    }
+
+    #[test]
+    fn defaults() {
+        assert_eq!(NodeState::default(), NodeState::Up);
+        assert_eq!(GpuHealth::default(), GpuHealth::Healthy);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(NodeState::Rebooting.to_string(), "rebooting");
+        assert_eq!(GpuHealth::Healthy.to_string(), "healthy");
+        assert!(GpuHealth::ErrorState(ErrorKind::GspError).to_string().contains("GSP"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Static cluster topology: nodes, GPUs and per-node NVLink links.
+
+use crate::ids::{GpuId, LinkId, NodeId};
+
+/// The shape of a GPU cluster: how many nodes of each flavour.
+///
+/// [`ClusterSpec::delta`] reproduces the paper's machine; custom shapes
+/// support the scaling ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClusterSpec {
+    /// Number of 4-way A100 nodes.
+    pub four_way_nodes: u16,
+    /// Number of 8-way A100 nodes.
+    pub eight_way_nodes: u16,
+    /// Number of CPU-only nodes (carry jobs but no GPUs).
+    pub cpu_nodes: u16,
+}
+
+impl ClusterSpec {
+    /// NCSA Delta as studied: 100 four-way + 6 eight-way A100 nodes
+    /// (448 GPUs) and 132 CPU-only nodes.
+    pub const fn delta() -> Self {
+        ClusterSpec { four_way_nodes: 100, eight_way_nodes: 6, cpu_nodes: 132 }
+    }
+
+    /// A small spec for fast tests: 3 four-way + 1 eight-way node.
+    pub const fn tiny() -> Self {
+        ClusterSpec { four_way_nodes: 3, eight_way_nodes: 1, cpu_nodes: 2 }
+    }
+
+    /// Total number of GPU nodes.
+    pub const fn gpu_node_count(self) -> u16 {
+        self.four_way_nodes + self.eight_way_nodes
+    }
+
+    /// Total number of GPUs.
+    pub const fn gpu_count(self) -> u32 {
+        self.four_way_nodes as u32 * 4 + self.eight_way_nodes as u32 * 8
+    }
+}
+
+impl Default for ClusterSpec {
+    /// Defaults to the paper's Delta configuration.
+    fn default() -> Self {
+        ClusterSpec::delta()
+    }
+}
+
+/// One GPU node: identity plus GPU count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Node {
+    id: NodeId,
+    gpu_count: u8,
+}
+
+impl Node {
+    /// The node's identity.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of GPUs on this node (4 or 8 on Delta).
+    pub fn gpu_count(&self) -> u8 {
+        self.gpu_count
+    }
+
+    /// The GPUs hosted by this node.
+    pub fn gpus(&self) -> impl Iterator<Item = GpuId> + '_ {
+        let id = self.id;
+        (0..self.gpu_count).map(move |i| GpuId::new(id, i))
+    }
+
+    /// The NVLink links on this node: every unordered GPU pair (A100 HGX
+    /// baseboards are fully connected through NVLink/NVSwitch).
+    pub fn links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        let id = self.id;
+        let n = self.gpu_count;
+        (0..n).flat_map(move |a| ((a + 1)..n).map(move |b| LinkId::new(id, a, b)))
+    }
+}
+
+/// The full static topology built from a [`ClusterSpec`].
+///
+/// Nodes are numbered with the 8-way nodes last (Delta convention: the
+/// larger nodes were added late in bring-up).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cluster {
+    spec: ClusterSpec,
+    nodes: Vec<Node>,
+}
+
+impl Cluster {
+    /// Builds the topology.
+    pub fn new(spec: ClusterSpec) -> Self {
+        let mut nodes = Vec::with_capacity(spec.gpu_node_count() as usize);
+        for i in 0..spec.four_way_nodes {
+            nodes.push(Node { id: NodeId::new(i), gpu_count: 4 });
+        }
+        for i in 0..spec.eight_way_nodes {
+            nodes.push(Node { id: NodeId::new(spec.four_way_nodes + i), gpu_count: 8 });
+        }
+        Cluster { spec, nodes }
+    }
+
+    /// The spec this cluster was built from.
+    pub fn spec(&self) -> ClusterSpec {
+        self.spec
+    }
+
+    /// Number of GPU nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total number of GPUs.
+    pub fn gpu_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.gpu_count as usize).sum()
+    }
+
+    /// The nodes, in id order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Looks up a node by id, or `None` if out of range.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.index() as usize)
+    }
+
+    /// Iterates over every GPU in the cluster, node-major.
+    pub fn gpus(&self) -> impl Iterator<Item = GpuId> + '_ {
+        self.nodes.iter().flat_map(|n| n.gpus())
+    }
+
+    /// Iterates over every NVLink link in the cluster.
+    pub fn links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.nodes.iter().flat_map(|n| n.links())
+    }
+
+    /// Whether `gpu` exists in this topology.
+    pub fn contains_gpu(&self, gpu: GpuId) -> bool {
+        self.node(gpu.node).is_some_and(|n| gpu.index < n.gpu_count())
+    }
+
+    /// GPU-hours of exposure over a window of `hours` wall-clock hours,
+    /// assuming all GPUs present the whole window (the denominator of
+    /// system-wide error-rate calculations).
+    pub fn gpu_hours(&self, hours: f64) -> f64 {
+        self.gpu_count() as f64 * hours
+    }
+}
+
+impl Default for Cluster {
+    fn default() -> Self {
+        Cluster::new(ClusterSpec::delta())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_spec_matches_paper() {
+        let spec = ClusterSpec::delta();
+        assert_eq!(spec.gpu_node_count(), 106);
+        assert_eq!(spec.gpu_count(), 448);
+        assert_eq!(spec.cpu_nodes, 132);
+    }
+
+    #[test]
+    fn cluster_builds_all_nodes() {
+        let c = Cluster::new(ClusterSpec::delta());
+        assert_eq!(c.node_count(), 106);
+        assert_eq!(c.gpu_count(), 448);
+        assert_eq!(c.gpus().count(), 448);
+        // First 100 nodes are 4-way, last 6 are 8-way.
+        assert_eq!(c.nodes()[0].gpu_count(), 4);
+        assert_eq!(c.nodes()[99].gpu_count(), 4);
+        assert_eq!(c.nodes()[100].gpu_count(), 8);
+        assert_eq!(c.nodes()[105].gpu_count(), 8);
+    }
+
+    #[test]
+    fn node_lookup() {
+        let c = Cluster::new(ClusterSpec::tiny());
+        assert_eq!(c.node(NodeId::new(0)).unwrap().id(), NodeId::new(0));
+        assert!(c.node(NodeId::new(99)).is_none());
+    }
+
+    #[test]
+    fn contains_gpu_respects_node_width() {
+        let c = Cluster::new(ClusterSpec::tiny());
+        // Node 0 is 4-way.
+        assert!(c.contains_gpu(GpuId::new(NodeId::new(0), 3)));
+        assert!(!c.contains_gpu(GpuId::new(NodeId::new(0), 4)));
+        // Node 3 is 8-way.
+        assert!(c.contains_gpu(GpuId::new(NodeId::new(3), 7)));
+        assert!(!c.contains_gpu(GpuId::new(NodeId::new(9), 0)));
+    }
+
+    #[test]
+    fn link_counts_are_complete_graphs() {
+        let c = Cluster::new(ClusterSpec::tiny());
+        // 4-way: C(4,2)=6 links; 8-way: C(8,2)=28.
+        assert_eq!(c.nodes()[0].links().count(), 6);
+        assert_eq!(c.nodes()[3].links().count(), 28);
+        assert_eq!(c.links().count(), 3 * 6 + 28);
+    }
+
+    #[test]
+    fn links_stay_within_their_node() {
+        let c = Cluster::new(ClusterSpec::tiny());
+        for link in c.links() {
+            let (a, b) = link.endpoints();
+            assert_eq!(a.node, b.node);
+            assert!(c.contains_gpu(a) && c.contains_gpu(b));
+        }
+    }
+
+    #[test]
+    fn gpu_hours_scale() {
+        let c = Cluster::new(ClusterSpec::delta());
+        // The paper's 12.5M GPU-hour figure: 448 GPUs over ~1170 days.
+        let hours = 1170.0 * 24.0;
+        let gpu_hours = c.gpu_hours(hours);
+        assert!((gpu_hours - 12_579_840.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn default_is_delta() {
+        assert_eq!(Cluster::default().spec(), ClusterSpec::delta());
+    }
+}

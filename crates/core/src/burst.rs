@@ -1,0 +1,255 @@
+//! Burstiness and episode analysis of error inter-arrival times.
+//!
+//! §IV of the paper repeatedly observes that errors cluster — the GSP
+//! flapping that reconciles its Tables I and II, the NVLink defective-link
+//! episodes, the 17-day storm. This module recovers that structure *from
+//! the coalesced error stream alone*: per-key inter-arrival statistics,
+//! the coefficient of variation (CoV > 1 ⇒ burstier than Poisson), and an
+//! episode detector that groups consecutive same-GPU same-kind errors
+//! whose gaps stay below a threshold.
+
+use crate::coalesce::CoalescedError;
+use hpclog::PciAddr;
+use simtime::{Duration, Timestamp};
+use std::collections::HashMap;
+use xid::ErrorKind;
+
+/// Inter-arrival statistics for one error kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterArrival {
+    /// Number of gaps measured (errors − distinct keys).
+    pub gaps: usize,
+    /// Mean gap in hours.
+    pub mean_hours: f64,
+    /// Standard deviation of gaps in hours.
+    pub std_hours: f64,
+}
+
+impl InterArrival {
+    /// Coefficient of variation: `std / mean`. A Poisson process has
+    /// CoV = 1; CoV ≫ 1 marks bursty, episodic error behaviour. `None`
+    /// when there are no gaps or the mean is zero.
+    pub fn cov(&self) -> Option<f64> {
+        if self.gaps == 0 || self.mean_hours == 0.0 {
+            None
+        } else {
+            Some(self.std_hours / self.mean_hours)
+        }
+    }
+}
+
+/// Computes per-GPU inter-arrival statistics for `kind` (gaps measured
+/// between consecutive errors of the kind on the *same* GPU — cross-GPU
+/// gaps say nothing about device burstiness).
+pub fn inter_arrivals(errors: &[CoalescedError], kind: ErrorKind) -> InterArrival {
+    let mut per_gpu: HashMap<(&str, PciAddr), Vec<Timestamp>> = HashMap::new();
+    for e in errors.iter().filter(|e| e.kind == kind) {
+        per_gpu.entry((e.host.as_str(), e.pci)).or_default().push(e.time);
+    }
+    let mut gaps_h: Vec<f64> = Vec::new();
+    for times in per_gpu.values_mut() {
+        times.sort();
+        for pair in times.windows(2) {
+            gaps_h.push((pair[1] - pair[0]).as_hours_f64());
+        }
+    }
+    let n = gaps_h.len();
+    if n == 0 {
+        return InterArrival { gaps: 0, mean_hours: 0.0, std_hours: 0.0 };
+    }
+    let mean = gaps_h.iter().sum::<f64>() / n as f64;
+    let var = gaps_h.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / n as f64;
+    InterArrival { gaps: n, mean_hours: mean, std_hours: var.sqrt() }
+}
+
+/// One detected episode: a run of same-GPU, same-kind errors with every
+/// consecutive gap below the detection threshold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Episode {
+    /// Hostname.
+    pub host: String,
+    /// GPU.
+    pub pci: PciAddr,
+    /// Error kind.
+    pub kind: ErrorKind,
+    /// First error time.
+    pub start: Timestamp,
+    /// Last error time.
+    pub end: Timestamp,
+    /// Errors in the episode.
+    pub errors: u64,
+}
+
+impl Episode {
+    /// Episode length.
+    pub fn length(&self) -> Duration {
+        self.end - self.start
+    }
+}
+
+/// Groups errors into episodes: consecutive same-key errors whose gaps are
+/// at most `max_gap`. Singleton episodes (one error) are included, so
+/// `episodes.iter().map(|e| e.errors).sum()` equals the error count.
+pub fn detect_episodes(errors: &[CoalescedError], max_gap: Duration) -> Vec<Episode> {
+    let mut per_key: HashMap<(&str, PciAddr, ErrorKind), Vec<Timestamp>> = HashMap::new();
+    for e in errors {
+        per_key.entry((e.host.as_str(), e.pci, e.kind)).or_default().push(e.time);
+    }
+    let mut episodes = Vec::new();
+    for ((host, pci, kind), mut times) in per_key {
+        times.sort();
+        let mut start = times[0];
+        let mut prev = times[0];
+        let mut count = 1u64;
+        for &t in &times[1..] {
+            if t - prev <= max_gap {
+                count += 1;
+            } else {
+                episodes.push(Episode {
+                    host: host.to_owned(),
+                    pci,
+                    kind,
+                    start,
+                    end: prev,
+                    errors: count,
+                });
+                start = t;
+                count = 1;
+            }
+            prev = t;
+        }
+        episodes.push(Episode { host: host.to_owned(), pci, kind, start, end: prev, errors: count });
+    }
+    episodes.sort_by(|a, b| (a.start, &a.host, a.pci).cmp(&(b.start, &b.host, b.pci)));
+    episodes
+}
+
+/// Summary of an episode detection pass for one kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpisodeSummary {
+    /// Episodes found.
+    pub episodes: usize,
+    /// Total errors covered.
+    pub errors: u64,
+    /// Mean errors per episode.
+    pub mean_size: f64,
+    /// Largest episode size.
+    pub max_size: u64,
+    /// Longest episode length in hours.
+    pub max_length_hours: f64,
+}
+
+/// Summarises the episodes of one kind.
+pub fn summarize_episodes(episodes: &[Episode], kind: ErrorKind) -> EpisodeSummary {
+    let of_kind: Vec<&Episode> = episodes.iter().filter(|e| e.kind == kind).collect();
+    let errors: u64 = of_kind.iter().map(|e| e.errors).sum();
+    EpisodeSummary {
+        episodes: of_kind.len(),
+        errors,
+        mean_size: if of_kind.is_empty() { 0.0 } else { errors as f64 / of_kind.len() as f64 },
+        max_size: of_kind.iter().map(|e| e.errors).max().unwrap_or(0),
+        max_length_hours: of_kind
+            .iter()
+            .map(|e| e.length().as_hours_f64())
+            .fold(0.0, f64::max),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn err(host: &str, gpu: u8, kind: ErrorKind, secs: u64) -> CoalescedError {
+        CoalescedError {
+            time: Timestamp::from_unix(1_700_000_000 + secs),
+            host: host.to_owned(),
+            pci: PciAddr::for_gpu_index(gpu),
+            kind,
+            merged_lines: 1,
+        }
+    }
+
+    #[test]
+    fn regular_process_has_low_cov() {
+        // Perfectly periodic gaps: CoV = 0.
+        let errors: Vec<_> =
+            (0..20).map(|i| err("n1", 0, ErrorKind::MmuError, i * 3600)).collect();
+        let ia = inter_arrivals(&errors, ErrorKind::MmuError);
+        assert_eq!(ia.gaps, 19);
+        assert!((ia.mean_hours - 1.0).abs() < 1e-9);
+        assert!(ia.cov().unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn bursty_process_has_high_cov() {
+        // Two tight bursts a week apart.
+        let mut errors: Vec<_> = (0..10).map(|i| err("n1", 0, ErrorKind::GspError, i * 60)).collect();
+        errors.extend((0..10).map(|i| err("n1", 0, ErrorKind::GspError, 604_800 + i * 60)));
+        let ia = inter_arrivals(&errors, ErrorKind::GspError);
+        assert!(ia.cov().unwrap() > 2.0, "cov {:?}", ia.cov());
+    }
+
+    #[test]
+    fn gaps_never_cross_gpus() {
+        // One error on each of 5 GPUs: no gaps at all.
+        let errors: Vec<_> = (0..5).map(|g| err("n1", g, ErrorKind::MmuError, g as u64)).collect();
+        let ia = inter_arrivals(&errors, ErrorKind::MmuError);
+        assert_eq!(ia.gaps, 0);
+        assert_eq!(ia.cov(), None);
+    }
+
+    #[test]
+    fn episode_detection_groups_and_conserves() {
+        // GPU 0: burst of 3 (gaps 60 s), lull, burst of 2. GPU 1: singleton.
+        let errors = vec![
+            err("n1", 0, ErrorKind::GspError, 0),
+            err("n1", 0, ErrorKind::GspError, 60),
+            err("n1", 0, ErrorKind::GspError, 120),
+            err("n1", 0, ErrorKind::GspError, 100_000),
+            err("n1", 0, ErrorKind::GspError, 100_060),
+            err("n1", 1, ErrorKind::GspError, 50),
+        ];
+        let episodes = detect_episodes(&errors, Duration::from_hours(1));
+        assert_eq!(episodes.len(), 3);
+        let total: u64 = episodes.iter().map(|e| e.errors).sum();
+        assert_eq!(total, 6);
+        let summary = summarize_episodes(&episodes, ErrorKind::GspError);
+        assert_eq!(summary.episodes, 3);
+        assert_eq!(summary.max_size, 3);
+        assert!((summary.mean_size - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn episode_boundaries_respect_gap_threshold() {
+        let errors = vec![
+            err("n1", 0, ErrorKind::NvlinkError, 0),
+            err("n1", 0, ErrorKind::NvlinkError, 3601), // just over 1 h
+        ];
+        let split = detect_episodes(&errors, Duration::from_hours(1));
+        assert_eq!(split.len(), 2);
+        let joined = detect_episodes(&errors, Duration::from_secs(3601));
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined[0].errors, 2);
+        assert_eq!(joined[0].length(), Duration::from_secs(3601));
+    }
+
+    #[test]
+    fn different_kinds_never_share_episodes() {
+        let errors = vec![
+            err("n1", 0, ErrorKind::GspError, 0),
+            err("n1", 0, ErrorKind::MmuError, 10),
+        ];
+        let episodes = detect_episodes(&errors, Duration::from_hours(1));
+        assert_eq!(episodes.len(), 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(detect_episodes(&[], Duration::from_hours(1)).is_empty());
+        let ia = inter_arrivals(&[], ErrorKind::GspError);
+        assert_eq!(ia.gaps, 0);
+        let summary = summarize_episodes(&[], ErrorKind::GspError);
+        assert_eq!(summary.episodes, 0);
+        assert_eq!(summary.mean_size, 0.0);
+    }
+}

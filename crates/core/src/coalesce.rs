@@ -1,0 +1,243 @@
+//! Error coalescing — Fig. 1 stage ii.
+//!
+//! The same GPU error condition produces many identical log lines in close
+//! succession (driver re-reporting, duplicated transports). Counting each
+//! line as an error grossly *understates* resilience, so the pipeline
+//! merges identical lines from the same GPU within a window Δt into one
+//! error, counting only the first occurrence — the standard treatment in
+//! the large-scale field-study literature the paper cites.
+//!
+//! Semantics: events are keyed by `(host, PCI address, error kind)`. A new
+//! event is merged into the previous *kept* event of the same key if it
+//! falls within `window` of that anchor; otherwise it starts a new error
+//! (anchor-based windows, so a continuous storm of lines spaced closer than
+//! Δt still yields one error per Δt, not one error total).
+
+use hpclog::{PciAddr, XidEvent};
+use simtime::{Duration, Timestamp};
+use std::collections::HashMap;
+use xid::ErrorKind;
+
+/// One coalesced error: the surviving representative of a run of identical
+/// log lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoalescedError {
+    /// Time of the first line in the run.
+    pub time: Timestamp,
+    /// Origin host.
+    pub host: String,
+    /// Origin GPU (PCI address).
+    pub pci: PciAddr,
+    /// Semantic kind.
+    pub kind: ErrorKind,
+    /// How many raw lines were merged into this error (≥ 1).
+    pub merged_lines: u64,
+}
+
+impl CoalescedError {
+    /// The GPU index conventionally associated with the PCI address.
+    pub fn gpu_index(&self) -> Option<u8> {
+        self.pci.gpu_index()
+    }
+}
+
+/// Coalesces a time-ordered stream of extracted XID events.
+///
+/// Input must be sorted by time (archives replay in time order); out-of-
+/// order events are still handled correctly for keys whose anchor is in the
+/// past, but windows only ever look backwards.
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+pub fn coalesce<I>(events: I, window: Duration) -> Vec<CoalescedError>
+where
+    I: IntoIterator<Item = XidEvent>,
+{
+    let mut out: Vec<CoalescedError> = Vec::new();
+    // host -> (pci, kind) -> index into `out` of the current anchor. The
+    // nested shape lets the hot path probe with `&str`, so the hostname is
+    // cloned only when a key is first seen — not once per raw line.
+    let mut anchors: HashMap<String, HashMap<(PciAddr, ErrorKind), usize>> = HashMap::new();
+    for ev in events {
+        let kind = ev.kind();
+        match anchors
+            .get_mut(ev.host.as_str())
+            .and_then(|inner| inner.get(&(ev.pci, kind)).copied())
+        {
+            Some(idx) if ev.time.abs_diff(out[idx].time) <= window => {
+                out[idx].merged_lines += 1;
+            }
+            _ => {
+                let idx = out.len();
+                let inner = match anchors.get_mut(ev.host.as_str()) {
+                    Some(inner) => inner,
+                    None => anchors.entry(ev.host.clone()).or_default(),
+                };
+                inner.insert((ev.pci, kind), idx);
+                out.push(CoalescedError {
+                    time: ev.time,
+                    host: ev.host,
+                    pci: ev.pci,
+                    kind,
+                    merged_lines: 1,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Summary of a coalescing pass: how much the log shrank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoalesceSummary {
+    /// Raw lines in.
+    pub raw_lines: u64,
+    /// Coalesced errors out.
+    pub errors: u64,
+}
+
+impl CoalesceSummary {
+    /// Computes the summary of a coalesced set.
+    pub fn of(errors: &[CoalescedError]) -> Self {
+        CoalesceSummary {
+            raw_lines: errors.iter().map(|e| e.merged_lines).sum(),
+            errors: errors.len() as u64,
+        }
+    }
+
+    /// The deduplication ratio (raw lines per error), 1.0 when empty.
+    pub fn ratio(&self) -> f64 {
+        if self.errors == 0 {
+            1.0
+        } else {
+            self.raw_lines as f64 / self.errors as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xid::XidCode;
+
+    fn t(secs: u64) -> Timestamp {
+        Timestamp::from_unix(1_700_000_000 + secs)
+    }
+
+    fn ev(secs: u64, host: &str, gpu: u8, code: u16) -> XidEvent {
+        XidEvent::new(t(secs), host, PciAddr::for_gpu_index(gpu), XidCode::new(code), "d")
+    }
+
+    const W: Duration = Duration::from_secs(60);
+
+    #[test]
+    fn merges_identical_within_window() {
+        let merged = coalesce([ev(0, "n1", 0, 79), ev(10, "n1", 0, 79), ev(59, "n1", 0, 79)], W);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].merged_lines, 3);
+        assert_eq!(merged[0].time, t(0));
+    }
+
+    #[test]
+    fn outside_window_starts_new_error() {
+        let merged = coalesce([ev(0, "n1", 0, 79), ev(61, "n1", 0, 79)], W);
+        assert_eq!(merged.len(), 2);
+        assert!(merged.iter().all(|e| e.merged_lines == 1));
+    }
+
+    #[test]
+    fn anchor_is_first_not_last() {
+        // Lines at 0, 40, 80: 80 is within 60 of 40 but not of the anchor
+        // (0), so it starts a new error — one error per Δt during storms.
+        let merged = coalesce([ev(0, "n1", 0, 79), ev(40, "n1", 0, 79), ev(80, "n1", 0, 79)], W);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].merged_lines, 2);
+        assert_eq!(merged[1].time, t(80));
+    }
+
+    #[test]
+    fn different_gpus_never_merge() {
+        let merged = coalesce([ev(0, "n1", 0, 79), ev(1, "n1", 1, 79)], W);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn different_hosts_never_merge() {
+        let merged = coalesce([ev(0, "n1", 0, 79), ev(1, "n2", 0, 79)], W);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn different_kinds_never_merge() {
+        let merged = coalesce([ev(0, "n1", 0, 79), ev(1, "n1", 0, 31)], W);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn same_kind_different_code_merges() {
+        // XID 119 and 120 are both GSP errors; identical condition.
+        let merged = coalesce([ev(0, "n1", 0, 119), ev(5, "n1", 0, 120)], W);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].kind, ErrorKind::GspError);
+    }
+
+    #[test]
+    fn interleaved_keys_keep_independent_windows() {
+        let merged = coalesce(
+            [
+                ev(0, "n1", 0, 79),
+                ev(1, "n2", 0, 31),
+                ev(2, "n1", 0, 79),
+                ev(3, "n2", 0, 31),
+            ],
+            W,
+        );
+        assert_eq!(merged.len(), 2);
+        assert!(merged.iter().all(|e| e.merged_lines == 2));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(coalesce(std::iter::empty(), W).is_empty());
+    }
+
+    #[test]
+    fn zero_window_merges_same_second_only() {
+        let merged = coalesce(
+            [ev(0, "n1", 0, 79), ev(0, "n1", 0, 79), ev(1, "n1", 0, 79)],
+            Duration::ZERO,
+        );
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].merged_lines, 2);
+    }
+
+    #[test]
+    fn storm_counts_one_error_per_window() {
+        // 1000 lines, one every 10 s: with Δt = 60 s, expect ~1000/7.
+        let events: Vec<XidEvent> = (0..1000).map(|i| ev(i * 10, "n1", 0, 95)).collect();
+        let merged = coalesce(events, W);
+        let expected = 1000 / 7;
+        assert!(
+            (merged.len() as i64 - expected as i64).abs() <= 1,
+            "{} errors",
+            merged.len()
+        );
+    }
+
+    #[test]
+    fn summary_ratio() {
+        let merged = coalesce([ev(0, "n1", 0, 79), ev(1, "n1", 0, 79), ev(2, "n1", 0, 79)], W);
+        let summary = CoalesceSummary::of(&merged);
+        assert_eq!(summary.raw_lines, 3);
+        assert_eq!(summary.errors, 1);
+        assert!((summary.ratio() - 3.0).abs() < 1e-12);
+        assert!((CoalesceSummary::default().ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gpu_index_passthrough() {
+        let merged = coalesce([ev(0, "n1", 3, 79)], W);
+        assert_eq!(merged[0].gpu_index(), Some(3));
+    }
+}

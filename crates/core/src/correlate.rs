@@ -1,0 +1,233 @@
+//! Cross-kind error correlation — the §IV(iv) analysis.
+//!
+//! The paper reports that PMU SPI communication errors "exhibited high
+//! correlations with MMU errors" and conjectures a propagation path
+//! (PMU → MMU → job failure). This module measures exactly that on a
+//! coalesced error stream: for an ordered pair of kinds (trigger,
+//! follower), how often a follower error appears on the *same GPU* within
+//! a window after a trigger error, and how that compares to the follower's
+//! base rate — the *lift*. Lift ≫ 1 is the signature of propagation;
+//! lift ≈ 1 means coincidence.
+
+use crate::coalesce::CoalescedError;
+use hpclog::PciAddr;
+use simtime::{Duration, Period};
+use std::collections::HashMap;
+use xid::ErrorKind;
+
+/// The result of one ordered-pair correlation measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Correlation {
+    /// Trigger errors examined.
+    pub triggers: u64,
+    /// Triggers followed by at least one follower error on the same GPU
+    /// within the window.
+    pub followed: u64,
+    /// Expected number of followed triggers under independence (follower
+    /// events scattered uniformly over the observation window).
+    pub expected_followed: f64,
+}
+
+impl Correlation {
+    /// P(follower within window | trigger).
+    pub fn conditional_probability(&self) -> Option<f64> {
+        if self.triggers == 0 {
+            None
+        } else {
+            Some(self.followed as f64 / self.triggers as f64)
+        }
+    }
+
+    /// Observed / expected follow rate; ≫ 1 indicates propagation.
+    pub fn lift(&self) -> Option<f64> {
+        if self.triggers == 0 || self.expected_followed <= 0.0 {
+            None
+        } else {
+            Some(self.followed as f64 / self.expected_followed)
+        }
+    }
+}
+
+/// Measures the (trigger → follower) correlation on the same GPU within
+/// `window` after each trigger, over the observation `period`.
+///
+/// Triggers too close to the period end to fit a full window are still
+/// counted (the truncation bias is negligible for windows ≪ period).
+pub fn correlate(
+    errors: &[CoalescedError],
+    trigger: ErrorKind,
+    follower: ErrorKind,
+    window: Duration,
+    period: Period,
+) -> Correlation {
+    // Index follower times per GPU (sorted: input is time-ordered).
+    let mut follower_times: HashMap<(&str, PciAddr), Vec<simtime::Timestamp>> = HashMap::new();
+    let mut follower_total = 0u64;
+    for e in errors {
+        if e.kind == follower && period.contains(e.time) {
+            follower_times.entry((e.host.as_str(), e.pci)).or_default().push(e.time);
+            follower_total += 1;
+        }
+    }
+    for times in follower_times.values_mut() {
+        times.sort();
+    }
+
+    let mut triggers = 0u64;
+    let mut followed = 0u64;
+    for e in errors {
+        if e.kind != trigger || !period.contains(e.time) {
+            continue;
+        }
+        triggers += 1;
+        if let Some(times) = follower_times.get(&(e.host.as_str(), e.pci)) {
+            let lo = times.partition_point(|&t| t <= e.time);
+            if times.get(lo).is_some_and(|&t| t - e.time <= window) {
+                followed += 1;
+            }
+        }
+    }
+
+    // Under independence, a window of length w catches a follower with
+    // probability ~ 1 - exp(-rate_gpu_avg * w); approximate with the
+    // fleet-average follower rate per GPU observed in the data. Using the
+    // *affected-GPU* population keeps the null model honest: propagation
+    // must beat co-location on generally error-prone devices.
+    let gpus = follower_times.len().max(1) as f64;
+    let rate_per_gpu_hour = follower_total as f64 / gpus / period.hours();
+    let p_by_chance = 1.0 - (-rate_per_gpu_hour * window.as_hours_f64()).exp();
+    Correlation {
+        triggers,
+        followed,
+        expected_followed: triggers as f64 * p_by_chance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtime::{StudyPeriods, Timestamp};
+
+    fn period() -> Period {
+        StudyPeriods::delta().op
+    }
+
+    fn err(host: &str, gpu: u8, kind: ErrorKind, secs: u64) -> CoalescedError {
+        CoalescedError {
+            time: period().start + Duration::from_secs(secs),
+            host: host.to_owned(),
+            pci: PciAddr::for_gpu_index(gpu),
+            kind,
+            merged_lines: 1,
+        }
+    }
+
+    #[test]
+    fn perfect_propagation_has_high_lift() {
+        // Every PMU error followed by an MMU error 60 s later on the same
+        // GPU; MMU errors are otherwise rare.
+        let mut errors = Vec::new();
+        for i in 0..50u64 {
+            errors.push(err("n1", 0, ErrorKind::PmuSpiError, i * 100_000));
+            errors.push(err("n1", 0, ErrorKind::MmuError, i * 100_000 + 60));
+        }
+        let c = correlate(
+            &errors,
+            ErrorKind::PmuSpiError,
+            ErrorKind::MmuError,
+            Duration::from_mins(10),
+            period(),
+        );
+        assert_eq!(c.triggers, 50);
+        assert_eq!(c.followed, 50);
+        assert_eq!(c.conditional_probability(), Some(1.0));
+        assert!(c.lift().unwrap() > 100.0, "lift {:?}", c.lift());
+    }
+
+    #[test]
+    fn independent_processes_have_unit_lift() {
+        // PMU and MMU on *different* GPUs: no same-GPU following at all.
+        let mut errors = Vec::new();
+        for i in 0..50u64 {
+            errors.push(err("n1", 0, ErrorKind::PmuSpiError, i * 50_000));
+            errors.push(err("n1", 1, ErrorKind::MmuError, i * 50_000 + 30));
+        }
+        let c = correlate(
+            &errors,
+            ErrorKind::PmuSpiError,
+            ErrorKind::MmuError,
+            Duration::from_mins(10),
+            period(),
+        );
+        assert_eq!(c.followed, 0);
+        assert_eq!(c.conditional_probability(), Some(0.0));
+    }
+
+    #[test]
+    fn window_bounds_matter() {
+        let errors = vec![
+            err("n1", 0, ErrorKind::PmuSpiError, 0),
+            err("n1", 0, ErrorKind::MmuError, 3601),
+        ];
+        let narrow = correlate(
+            &errors,
+            ErrorKind::PmuSpiError,
+            ErrorKind::MmuError,
+            Duration::from_hours(1),
+            period(),
+        );
+        assert_eq!(narrow.followed, 0);
+        let wide = correlate(
+            &errors,
+            ErrorKind::PmuSpiError,
+            ErrorKind::MmuError,
+            Duration::from_secs(3601),
+            period(),
+        );
+        assert_eq!(wide.followed, 1);
+    }
+
+    #[test]
+    fn followers_before_trigger_do_not_count() {
+        let errors = vec![
+            err("n1", 0, ErrorKind::MmuError, 0),
+            err("n1", 0, ErrorKind::PmuSpiError, 100),
+        ];
+        let c = correlate(
+            &errors,
+            ErrorKind::PmuSpiError,
+            ErrorKind::MmuError,
+            Duration::from_hours(1),
+            period(),
+        );
+        assert_eq!(c.triggers, 1);
+        assert_eq!(c.followed, 0);
+    }
+
+    #[test]
+    fn no_triggers_yields_none() {
+        let c = correlate(
+            &[],
+            ErrorKind::PmuSpiError,
+            ErrorKind::MmuError,
+            Duration::from_mins(10),
+            period(),
+        );
+        assert_eq!(c.conditional_probability(), None);
+        assert_eq!(c.lift(), None);
+    }
+
+    #[test]
+    fn out_of_period_errors_ignored() {
+        let mut e1 = err("n1", 0, ErrorKind::PmuSpiError, 0);
+        e1.time = Timestamp::from_ymd_hms(2022, 2, 1, 0, 0, 0).unwrap(); // pre-op
+        let c = correlate(
+            &[e1],
+            ErrorKind::PmuSpiError,
+            ErrorKind::MmuError,
+            Duration::from_mins(10),
+            period(),
+        );
+        assert_eq!(c.triggers, 0);
+    }
+}

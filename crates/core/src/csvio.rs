@@ -1,0 +1,327 @@
+//! CSV interchange for job and outage records.
+//!
+//! The analysis pipeline's real-world inputs arrive as exports — `sacct
+//! --parsable`-style job dumps and recovery-tooling outage logs. This
+//! module defines a small, documented CSV schema for each and parses it
+//! strictly (bad rows are reported with line numbers, not skipped
+//! silently — silent data loss is how reliability studies go wrong).
+//!
+//! ## Job schema
+//!
+//! ```text
+//! id,name,submit,start,end,gpus,gpu_slots,state
+//! 4242,train_resnet,2023-01-05T10:00:00Z,2023-01-05T10:03:00Z,2023-01-05T12:00:00Z,2,gpub042:0;gpub042:1,COMPLETED
+//! ```
+//!
+//! `gpu_slots` is `host:index` pairs joined with `;` (empty for CPU jobs);
+//! `state` is a Slurm state label — `COMPLETED` counts as success,
+//! anything else as failure.
+//!
+//! ## Outage schema
+//!
+//! ```text
+//! host,start,duration_secs
+//! gpub042,2023-01-05T13:00:00Z,3180
+//! ```
+
+use crate::job::{AccountedJob, OutageRecord};
+use simtime::{Duration, Timestamp};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a CSV export cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    line: usize,
+    what: String,
+}
+
+impl CsvError {
+    fn new(line: usize, what: impl Into<String>) -> Self {
+        CsvError { line, what: what.into() }
+    }
+
+    /// The 1-based line number the error was found on.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CSV line {}: {}", self.line, self.what)
+    }
+}
+
+impl Error for CsvError {}
+
+/// The job CSV header.
+pub const JOB_HEADER: &str = "id,name,submit,start,end,gpus,gpu_slots,state";
+
+/// The outage CSV header.
+pub const OUTAGE_HEADER: &str = "host,start,duration_secs";
+
+/// Parses a job export. The first line must be [`JOB_HEADER`].
+///
+/// # Errors
+///
+/// Returns [`CsvError`] naming the offending line on any malformed row.
+pub fn parse_jobs(text: &str) -> Result<Vec<AccountedJob>, CsvError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, header)) if header.trim() == JOB_HEADER => {}
+        Some((_, header)) => {
+            return Err(CsvError::new(1, format!("expected header {JOB_HEADER:?}, got {header:?}")))
+        }
+        None => return Err(CsvError::new(1, "empty input")),
+    }
+    let mut jobs = Vec::new();
+    for (i, raw) in lines {
+        let line_no = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = raw.split(',').collect();
+        if fields.len() != 8 {
+            return Err(CsvError::new(line_no, format!("expected 8 fields, got {}", fields.len())));
+        }
+        let id: u64 = fields[0]
+            .parse()
+            .map_err(|_| CsvError::new(line_no, format!("bad id {:?}", fields[0])))?;
+        let time = |s: &str, what: &str| {
+            s.parse::<Timestamp>()
+                .map_err(|e| CsvError::new(line_no, format!("bad {what}: {e}")))
+        };
+        let submit = time(fields[2], "submit")?;
+        let start = time(fields[3], "start")?;
+        let end = time(fields[4], "end")?;
+        if end < start || start < submit {
+            return Err(CsvError::new(line_no, "times must satisfy submit <= start <= end"));
+        }
+        let gpus: u32 = fields[5]
+            .parse()
+            .map_err(|_| CsvError::new(line_no, format!("bad gpus {:?}", fields[5])))?;
+        let gpu_slots = parse_slots(fields[6], line_no)?;
+        jobs.push(AccountedJob {
+            id,
+            name: fields[1].to_owned(),
+            submit,
+            start,
+            end,
+            gpus,
+            gpu_slots,
+            completed: fields[7].trim() == "COMPLETED",
+        });
+    }
+    Ok(jobs)
+}
+
+fn parse_slots(field: &str, line_no: usize) -> Result<Vec<(String, u8)>, CsvError> {
+    if field.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    field
+        .split(';')
+        .map(|pair| {
+            let (host, idx) = pair
+                .split_once(':')
+                .ok_or_else(|| CsvError::new(line_no, format!("bad gpu slot {pair:?}")))?;
+            let idx: u8 = idx
+                .parse()
+                .map_err(|_| CsvError::new(line_no, format!("bad gpu index in {pair:?}")))?;
+            Ok((host.to_owned(), idx))
+        })
+        .collect()
+}
+
+/// Renders jobs in the [`JOB_HEADER`] schema (the inverse of
+/// [`parse_jobs`]).
+pub fn render_jobs(jobs: &[AccountedJob]) -> String {
+    let mut out = String::from(JOB_HEADER);
+    out.push('\n');
+    for j in jobs {
+        let slots: Vec<String> =
+            j.gpu_slots.iter().map(|(h, i)| format!("{h}:{i}")).collect();
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{}\n",
+            j.id,
+            j.name,
+            j.submit,
+            j.start,
+            j.end,
+            j.gpus,
+            slots.join(";"),
+            if j.completed { "COMPLETED" } else { "FAILED" }
+        ));
+    }
+    out
+}
+
+/// Parses an outage export. The first line must be [`OUTAGE_HEADER`].
+///
+/// # Errors
+///
+/// Returns [`CsvError`] naming the offending line on any malformed row.
+pub fn parse_outages(text: &str) -> Result<Vec<OutageRecord>, CsvError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, header)) if header.trim() == OUTAGE_HEADER => {}
+        Some((_, header)) => {
+            return Err(CsvError::new(
+                1,
+                format!("expected header {OUTAGE_HEADER:?}, got {header:?}"),
+            ))
+        }
+        None => return Err(CsvError::new(1, "empty input")),
+    }
+    let mut outages = Vec::new();
+    for (i, raw) in lines {
+        let line_no = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = raw.split(',').collect();
+        if fields.len() != 3 {
+            return Err(CsvError::new(line_no, format!("expected 3 fields, got {}", fields.len())));
+        }
+        let start = fields[1]
+            .parse::<Timestamp>()
+            .map_err(|e| CsvError::new(line_no, format!("bad start: {e}")))?;
+        let secs: u64 = fields[2]
+            .trim()
+            .parse()
+            .map_err(|_| CsvError::new(line_no, format!("bad duration {:?}", fields[2])))?;
+        outages.push(OutageRecord {
+            host: fields[0].to_owned(),
+            start,
+            duration: Duration::from_secs(secs),
+        });
+    }
+    Ok(outages)
+}
+
+/// Renders outages in the [`OUTAGE_HEADER`] schema.
+pub fn render_outages(outages: &[OutageRecord]) -> String {
+    let mut out = String::from(OUTAGE_HEADER);
+    out.push('\n');
+    for o in outages {
+        out.push_str(&format!("{},{},{}\n", o.host, o.start, o.duration.as_secs()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_job() -> AccountedJob {
+        AccountedJob {
+            id: 42,
+            name: "train_resnet".to_owned(),
+            submit: Timestamp::from_ymd_hms(2023, 1, 5, 10, 0, 0).unwrap(),
+            start: Timestamp::from_ymd_hms(2023, 1, 5, 10, 3, 0).unwrap(),
+            end: Timestamp::from_ymd_hms(2023, 1, 5, 12, 0, 0).unwrap(),
+            gpus: 2,
+            gpu_slots: vec![("gpub042".to_owned(), 0), ("gpub042".to_owned(), 1)],
+            completed: true,
+        }
+    }
+
+    #[test]
+    fn job_roundtrip() {
+        let jobs = vec![
+            sample_job(),
+            AccountedJob {
+                id: 43,
+                gpus: 0,
+                gpu_slots: Vec::new(),
+                completed: false,
+                ..sample_job()
+            },
+        ];
+        let csv = render_jobs(&jobs);
+        let back = parse_jobs(&csv).unwrap();
+        assert_eq!(back, jobs);
+    }
+
+    #[test]
+    fn outage_roundtrip() {
+        let outages = vec![OutageRecord {
+            host: "gpub042".to_owned(),
+            start: Timestamp::from_ymd_hms(2023, 1, 5, 13, 0, 0).unwrap(),
+            duration: Duration::from_secs(3180),
+        }];
+        let csv = render_outages(&outages);
+        assert_eq!(parse_outages(&csv).unwrap(), outages);
+    }
+
+    #[test]
+    fn job_errors_carry_line_numbers() {
+        let bad_header = parse_jobs("wrong\n").unwrap_err();
+        assert_eq!(bad_header.line(), 1);
+
+        let csv = format!("{JOB_HEADER}\n1,a,notatime,2023-01-05T10:03:00Z,2023-01-05T12:00:00Z,1,,COMPLETED\n");
+        let err = parse_jobs(&csv).unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("submit"), "{err}");
+    }
+
+    #[test]
+    fn job_field_count_checked() {
+        let csv = format!("{JOB_HEADER}\n1,a,b\n");
+        let err = parse_jobs(&csv).unwrap_err();
+        assert!(err.to_string().contains("8 fields"), "{err}");
+    }
+
+    #[test]
+    fn job_time_ordering_checked() {
+        let csv = format!(
+            "{JOB_HEADER}\n1,a,2023-01-05T10:00:00Z,2023-01-05T09:00:00Z,2023-01-05T12:00:00Z,1,,FAILED\n"
+        );
+        let err = parse_jobs(&csv).unwrap_err();
+        assert!(err.to_string().contains("submit <= start"), "{err}");
+    }
+
+    #[test]
+    fn bad_slots_rejected() {
+        let csv = format!(
+            "{JOB_HEADER}\n1,a,2023-01-05T10:00:00Z,2023-01-05T10:00:00Z,2023-01-05T12:00:00Z,1,gpub042,FAILED\n"
+        );
+        assert!(parse_jobs(&csv).is_err());
+        let csv = format!(
+            "{JOB_HEADER}\n1,a,2023-01-05T10:00:00Z,2023-01-05T10:00:00Z,2023-01-05T12:00:00Z,1,gpub042:x,FAILED\n"
+        );
+        assert!(parse_jobs(&csv).is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let csv = format!("{JOB_HEADER}\n\n\n");
+        assert!(parse_jobs(&csv).unwrap().is_empty());
+        let csv = format!("{OUTAGE_HEADER}\n\n");
+        assert!(parse_outages(&csv).unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(parse_jobs("").is_err());
+        assert!(parse_outages("").is_err());
+    }
+
+    #[test]
+    fn outage_errors_carry_line_numbers() {
+        let csv = format!("{OUTAGE_HEADER}\ngpub001,2023-01-05T13:00:00Z,abc\n");
+        let err = parse_outages(&csv).unwrap_err();
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn non_completed_states_are_failures() {
+        for state in ["FAILED", "CANCELLED", "TIMEOUT", "NODE_FAIL"] {
+            let csv = format!(
+                "{JOB_HEADER}\n1,a,2023-01-05T10:00:00Z,2023-01-05T10:00:00Z,2023-01-05T12:00:00Z,1,,{state}\n"
+            );
+            assert!(!parse_jobs(&csv).unwrap()[0].completed, "{state}");
+        }
+    }
+}

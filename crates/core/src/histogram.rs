@@ -1,0 +1,257 @@
+//! Fixed-bin histograms and percentile utilities.
+
+use std::fmt;
+
+/// A histogram over `f64` values with uniform bins on `[lo, hi)` plus an
+/// overflow bin.
+///
+/// # Example
+///
+/// ```
+/// use resilience::histogram::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 5.0, 5);
+/// for x in [0.5, 1.5, 1.7, 9.0] {
+///     h.add(x);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.bin_counts()[1], 2);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    overflow: u64,
+    underflow: u64,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` uniform bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi && bins > 0, "invalid histogram shape [{lo}, {hi}) x {bins}");
+        Histogram { lo, hi, bins: vec![0; bins], overflow: 0, underflow: 0, count: 0, sum: 0.0 }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.bins.len();
+            let width = (self.hi - self.lo) / n as f64;
+            let idx = (((x - self.lo) / width) as usize).min(n - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all observations (including out-of-range), `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn bin_counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// The `[start, end)` edges of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
+    }
+
+    /// Bin fractions (of all observations), empty histogram gives zeros.
+    pub fn fractions(&self) -> Vec<f64> {
+        let n = self.count.max(1) as f64;
+        self.bins.iter().map(|&c| c as f64 / n).collect()
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        for (i, &c) in self.bins.iter().enumerate() {
+            let (a, b) = self.bin_edges(i);
+            let bar = "#".repeat((c * 50 / max) as usize);
+            writeln!(f, "[{a:8.2}, {b:8.2})  {c:>8}  {bar}")?;
+        }
+        if self.overflow > 0 {
+            writeln!(f, "[{:8.2},      inf)  {:>8}", self.hi, self.overflow)?;
+        }
+        Ok(())
+    }
+}
+
+/// The `p`-th percentile (0–100) of a sample, by linear interpolation on
+/// the sorted order statistics; `None` on an empty sample.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    Some(percentile_sorted(&sorted, p))
+}
+
+/// [`percentile`] over an already-sorted slice (ascending), with no
+/// allocation. Useful when many percentiles are taken from one sample.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or the slice is empty.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Mean of a sample, `None` if empty.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_fill_correctly() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.add(i as f64 + 0.5);
+        }
+        assert!(h.bin_counts().iter().all(|&c| c == 1));
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.mean(), Some(5.0));
+    }
+
+    #[test]
+    fn overflow_underflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-0.1);
+        h.add(1.0);
+        h.add(5.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn boundary_goes_to_upper_bin() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.add(1.0);
+        assert_eq!(h.bin_counts(), &[0, 1]);
+    }
+
+    #[test]
+    fn edges_and_fractions() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        assert_eq!(h.bin_edges(0), (0.0, 1.0));
+        assert_eq!(h.bin_edges(3), (3.0, 4.0));
+        h.add(0.5);
+        h.add(0.6);
+        h.add(2.5);
+        h.add(9.0);
+        let f = h.fractions();
+        assert!((f[0] - 0.5).abs() < 1e-12);
+        assert!((f[2] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram shape")]
+    fn bad_shape_panics() {
+        Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.add(0.5);
+        h.add(3.0);
+        let s = h.to_string();
+        assert!(s.contains('#'));
+        assert!(s.contains("inf"));
+    }
+
+    #[test]
+    fn percentile_basics() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 50.0), Some(3.0));
+        assert_eq!(percentile(&v, 100.0), Some(5.0));
+        assert_eq!(percentile(&v, 25.0), Some(2.0));
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[7.0], 99.0), Some(7.0));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [0.0, 10.0];
+        assert_eq!(percentile(&v, 75.0), Some(7.5));
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&v, 50.0), Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_out_of_range_panics() {
+        percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+    }
+}

@@ -1,0 +1,434 @@
+//! Job-impact analysis — §V: correlating GPU errors with job failures
+//! (Table II) and characterizing the workload mix (Table III).
+//!
+//! **Encounter**: a job encounters an error if the error fires on a GPU the
+//! job holds, while the job is running.
+//!
+//! **Attribution**: an encountered error is attributed as a potential
+//! failure cause if the job terminates unsuccessfully within the
+//! attribution window (20 seconds in the paper) after the error. Multiple
+//! error kinds near one termination are all attributed, exactly as §V-B
+//! describes.
+
+use crate::coalesce::CoalescedError;
+use crate::histogram::{mean, percentile_sorted};
+use crate::job::AccountedJob;
+use simtime::Duration;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use xid::ErrorKind;
+
+/// The paper's attribution window between an error and a job failure.
+pub const ATTRIBUTION_WINDOW: Duration = Duration::from_secs(20);
+
+/// Encounter/failure tallies for one error kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KindImpact {
+    /// Distinct jobs that encountered this kind.
+    pub encountered: u64,
+    /// Of those, jobs whose failure was attributed to it.
+    pub failed: u64,
+}
+
+impl KindImpact {
+    /// P(job failure | job encountered this kind), `None` if never
+    /// encountered — the Table II column.
+    pub fn failure_probability(&self) -> Option<f64> {
+        if self.encountered == 0 {
+            None
+        } else {
+            Some(self.failed as f64 / self.encountered as f64)
+        }
+    }
+}
+
+/// The Table II analysis result.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JobImpact {
+    per_kind: BTreeMap<ErrorKind, KindImpact>,
+    gpu_failed_jobs: u64,
+}
+
+impl JobImpact {
+    /// Joins jobs against coalesced errors with the given attribution
+    /// window.
+    ///
+    /// GPU allocations are exclusive on Delta, so at most one job holds a
+    /// GPU at any instant; the join indexes jobs by GPU slot and binary-
+    /// searches by time, making the whole pass `O((J + E) log J)`.
+    pub fn compute(
+        jobs: &[AccountedJob],
+        errors: &[CoalescedError],
+        window: Duration,
+    ) -> Self {
+        // (host, gpu index) -> jobs sorted by start time.
+        let mut slots: HashMap<(&str, u8), Vec<usize>> = HashMap::new();
+        for (idx, job) in jobs.iter().enumerate() {
+            for (host, gpu) in &job.gpu_slots {
+                slots.entry((host.as_str(), *gpu)).or_default().push(idx);
+            }
+        }
+        for list in slots.values_mut() {
+            list.sort_by_key(|&i| jobs[i].start);
+        }
+
+        let mut encountered: BTreeMap<ErrorKind, BTreeSet<u64>> = BTreeMap::new();
+        let mut failed: BTreeMap<ErrorKind, BTreeSet<u64>> = BTreeMap::new();
+        let mut gpu_failed: BTreeSet<u64> = BTreeSet::new();
+        for err in errors {
+            let Some(gpu_index) = err.gpu_index() else { continue };
+            let Some(list) = slots.get(&(err.host.as_str(), gpu_index)) else { continue };
+            // Candidates hold the GPU over (start, end] — *inclusive* of
+            // the end instant and *exclusive* of the start instant: a job
+            // killed by this very error terminates exactly at the error
+            // time (the paper's window is "error preceding the failure"),
+            // while a job that started in the same second as the error is
+            // a successor backfilled onto the freed GPU and never saw it.
+            // Allocations are exclusive, so walking back from the last
+            // start < t visits at most the incumbent plus a predecessor
+            // that ended exactly at t.
+            let pos = list.partition_point(|&i| jobs[i].start < err.time);
+            let mut idx = pos;
+            while idx > 0 {
+                idx -= 1;
+                let job = &jobs[list[idx]];
+                if job.end < err.time {
+                    break;
+                }
+                encountered.entry(err.kind).or_default().insert(job.id);
+                if !job.completed && job.end - err.time <= window {
+                    failed.entry(err.kind).or_default().insert(job.id);
+                    gpu_failed.insert(job.id);
+                }
+            }
+        }
+
+        let kinds: BTreeSet<ErrorKind> =
+            encountered.keys().chain(failed.keys()).copied().collect();
+        let per_kind = kinds
+            .into_iter()
+            .map(|k| {
+                (
+                    k,
+                    KindImpact {
+                        encountered: encountered.get(&k).map_or(0, BTreeSet::len) as u64,
+                        failed: failed.get(&k).map_or(0, BTreeSet::len) as u64,
+                    },
+                )
+            })
+            .collect();
+        JobImpact { per_kind, gpu_failed_jobs: gpu_failed.len() as u64 }
+    }
+
+    /// Tallies for one kind (zeroes if never observed).
+    pub fn kind(&self, kind: ErrorKind) -> KindImpact {
+        self.per_kind.get(&kind).copied().unwrap_or_default()
+    }
+
+    /// All kinds with at least one encounter, in taxonomy order.
+    pub fn kinds(&self) -> impl Iterator<Item = (ErrorKind, KindImpact)> + '_ {
+        self.per_kind.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Total distinct GPU-failed jobs (the paper reports 3,285).
+    pub fn gpu_failed_jobs(&self) -> u64 {
+        self.gpu_failed_jobs
+    }
+}
+
+/// One row of the Table III workload-mix summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobMixRow {
+    /// Bucket label (`"1"`, `"2-4"`, ...).
+    pub label: String,
+    /// Smallest GPU count in the bucket.
+    pub min_gpus: u32,
+    /// Largest GPU count in the bucket (`u32::MAX` = unbounded).
+    pub max_gpus: u32,
+    /// Jobs in the bucket.
+    pub count: u64,
+    /// Share of all GPU jobs (percent).
+    pub share_pct: f64,
+    /// Mean elapsed minutes.
+    pub mean_mins: f64,
+    /// Median elapsed minutes.
+    pub p50_mins: f64,
+    /// 99th-percentile elapsed minutes.
+    pub p99_mins: f64,
+    /// GPU-hours (thousands) from ML-classified jobs.
+    pub ml_gpu_hours_k: f64,
+    /// GPU-hours (thousands) from non-ML jobs.
+    pub non_ml_gpu_hours_k: f64,
+}
+
+/// The Table III bucket boundaries.
+pub const MIX_BUCKETS: [(u32, u32, &str); 8] = [
+    (1, 1, "1"),
+    (2, 4, "2-4"),
+    (5, 8, "4-8"),
+    (9, 32, "8-32"),
+    (33, 64, "32-64"),
+    (65, 128, "64-128"),
+    (129, 256, "128-256"),
+    (257, u32::MAX, "256+"),
+];
+
+/// Computes the Table III rows over the GPU jobs in `jobs` (CPU jobs are
+/// skipped). Empty buckets produce rows with zero counts and NaN-free
+/// zeroed statistics.
+pub fn job_mix(jobs: &[AccountedJob]) -> Vec<JobMixRow> {
+    let gpu_jobs: Vec<&AccountedJob> = jobs.iter().filter(|j| j.gpus > 0).collect();
+    let total = gpu_jobs.len().max(1) as f64;
+    MIX_BUCKETS
+        .iter()
+        .map(|&(lo, hi, label)| {
+            let bucket: Vec<&&AccountedJob> = gpu_jobs
+                .iter()
+                .filter(|j| j.gpus >= lo && j.gpus <= hi)
+                .collect();
+            let mut mins: Vec<f64> =
+                bucket.iter().map(|j| j.elapsed().as_mins_f64()).collect();
+            mins.sort_by(f64::total_cmp);
+            let (ml, non_ml) = bucket.iter().fold((0.0, 0.0), |(ml, non), j| {
+                if j.is_ml() {
+                    (ml + j.gpu_hours(), non)
+                } else {
+                    (ml, non + j.gpu_hours())
+                }
+            });
+            JobMixRow {
+                label: label.to_owned(),
+                min_gpus: lo,
+                max_gpus: hi,
+                count: bucket.len() as u64,
+                share_pct: bucket.len() as f64 / total * 100.0,
+                mean_mins: mean(&mins).unwrap_or(0.0),
+                p50_mins: if mins.is_empty() { 0.0 } else { percentile_sorted(&mins, 50.0) },
+                p99_mins: if mins.is_empty() { 0.0 } else { percentile_sorted(&mins, 99.0) },
+                ml_gpu_hours_k: ml / 1000.0,
+                non_ml_gpu_hours_k: non_ml / 1000.0,
+            }
+        })
+        .collect()
+}
+
+/// Success rate (completed fraction) of a job set, `None` if empty.
+pub fn success_rate(jobs: &[AccountedJob]) -> Option<f64> {
+    if jobs.is_empty() {
+        None
+    } else {
+        Some(jobs.iter().filter(|j| j.completed).count() as f64 / jobs.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpclog::PciAddr;
+    use simtime::Timestamp;
+
+    fn job(id: u64, host: &str, gpu: u8, start: u64, end: u64, completed: bool) -> AccountedJob {
+        AccountedJob {
+            id,
+            name: format!("job{id}"),
+            submit: Timestamp::from_unix(start.saturating_sub(60)),
+            start: Timestamp::from_unix(start),
+            end: Timestamp::from_unix(end),
+            gpus: 1,
+            gpu_slots: vec![(host.to_owned(), gpu)],
+            completed,
+        }
+    }
+
+    fn error(host: &str, gpu: u8, at: u64, kind: ErrorKind) -> CoalescedError {
+        CoalescedError {
+            time: Timestamp::from_unix(at),
+            host: host.to_owned(),
+            pci: PciAddr::for_gpu_index(gpu),
+            kind,
+            merged_lines: 1,
+        }
+    }
+
+    const W: Duration = ATTRIBUTION_WINDOW;
+
+    #[test]
+    fn encounter_requires_running_overlap() {
+        let jobs = [job(1, "n1", 0, 100, 200, true)];
+        // Error before start and after end: no encounter.
+        let impact = JobImpact::compute(
+            &jobs,
+            &[error("n1", 0, 50, ErrorKind::GspError), error("n1", 0, 250, ErrorKind::GspError)],
+            W,
+        );
+        assert_eq!(impact.kind(ErrorKind::GspError).encountered, 0);
+        // Error during run: encounter.
+        let impact =
+            JobImpact::compute(&jobs, &[error("n1", 0, 150, ErrorKind::GspError)], W);
+        assert_eq!(impact.kind(ErrorKind::GspError).encountered, 1);
+        assert_eq!(impact.kind(ErrorKind::GspError).failed, 0); // completed
+    }
+
+    #[test]
+    fn attribution_needs_failure_within_window() {
+        // Job fails 10 s after the error: attributed.
+        let jobs = [job(1, "n1", 0, 100, 210, false)];
+        let impact = JobImpact::compute(&jobs, &[error("n1", 0, 200, ErrorKind::GspError)], W);
+        let k = impact.kind(ErrorKind::GspError);
+        assert_eq!((k.encountered, k.failed), (1, 1));
+        assert_eq!(impact.gpu_failed_jobs(), 1);
+        assert_eq!(k.failure_probability(), Some(1.0));
+
+        // Job fails 30 s after: encountered but not attributed.
+        let jobs = [job(1, "n1", 0, 100, 230, false)];
+        let impact = JobImpact::compute(&jobs, &[error("n1", 0, 200, ErrorKind::GspError)], W);
+        let k = impact.kind(ErrorKind::GspError);
+        assert_eq!((k.encountered, k.failed), (1, 0));
+        assert_eq!(impact.gpu_failed_jobs(), 0);
+    }
+
+    #[test]
+    fn wrong_gpu_or_host_is_no_encounter() {
+        let jobs = [job(1, "n1", 0, 100, 200, false)];
+        let impact = JobImpact::compute(
+            &jobs,
+            &[
+                error("n1", 1, 150, ErrorKind::GspError),
+                error("n2", 0, 150, ErrorKind::GspError),
+            ],
+            W,
+        );
+        assert_eq!(impact.kind(ErrorKind::GspError).encountered, 0);
+    }
+
+    #[test]
+    fn multiple_kinds_all_attributed() {
+        // PMU then MMU both within 20 s of the failure: both attributed,
+        // mirroring §V-B's multiple-contributor rule.
+        let jobs = [job(1, "n1", 0, 100, 215, false)];
+        let impact = JobImpact::compute(
+            &jobs,
+            &[
+                error("n1", 0, 200, ErrorKind::PmuSpiError),
+                error("n1", 0, 205, ErrorKind::MmuError),
+            ],
+            W,
+        );
+        assert_eq!(impact.kind(ErrorKind::PmuSpiError).failed, 1);
+        assert_eq!(impact.kind(ErrorKind::MmuError).failed, 1);
+        // But the job counts once in the distinct GPU-failed total.
+        assert_eq!(impact.gpu_failed_jobs(), 1);
+    }
+
+    #[test]
+    fn repeated_errors_count_one_distinct_job() {
+        let jobs = [job(1, "n1", 0, 100, 500, true)];
+        let errors: Vec<_> =
+            (0..10).map(|i| error("n1", 0, 150 + i * 10, ErrorKind::NvlinkError)).collect();
+        let impact = JobImpact::compute(&jobs, &errors, W);
+        assert_eq!(impact.kind(ErrorKind::NvlinkError).encountered, 1);
+    }
+
+    #[test]
+    fn consecutive_jobs_on_one_gpu_resolve_correctly() {
+        let jobs = [
+            job(1, "n1", 0, 100, 200, true),
+            job(2, "n1", 0, 200, 300, false),
+        ];
+        // Error at 250 belongs to job 2 only.
+        let impact = JobImpact::compute(&jobs, &[error("n1", 0, 250, ErrorKind::MmuError)], W);
+        assert_eq!(impact.kind(ErrorKind::MmuError).encountered, 1);
+        let impact2 = JobImpact::compute(&jobs, &[error("n1", 0, 150, ErrorKind::MmuError)], W);
+        assert_eq!(impact2.kind(ErrorKind::MmuError).encountered, 1);
+        assert_eq!(impact2.kind(ErrorKind::MmuError).failed, 0);
+    }
+
+    #[test]
+    fn failure_probability_table_shape() {
+        // 4 jobs encounter NVLink, 2 die within window: p = 0.5.
+        let jobs: Vec<AccountedJob> = (0..4)
+            .map(|i| job(i, "n1", i as u8, 100, 200 + (i % 2) * 1000, i % 2 == 1))
+            .collect();
+        let errors: Vec<_> =
+            (0..4).map(|i| error("n1", i as u8, 190, ErrorKind::NvlinkError)).collect();
+        let impact = JobImpact::compute(&jobs, &errors, W);
+        let k = impact.kind(ErrorKind::NvlinkError);
+        assert_eq!(k.encountered, 4);
+        assert_eq!(k.failed, 2);
+        assert_eq!(k.failure_probability(), Some(0.5));
+    }
+
+    #[test]
+    fn kinds_iterator_and_default() {
+        let impact = JobImpact::default();
+        assert_eq!(impact.kinds().count(), 0);
+        assert_eq!(impact.kind(ErrorKind::GspError).failure_probability(), None);
+    }
+
+    fn mix_job(id: u64, gpus: u32, mins: u64, name: &str) -> AccountedJob {
+        AccountedJob {
+            id,
+            name: name.to_owned(),
+            submit: Timestamp::from_unix(0),
+            start: Timestamp::from_unix(0),
+            end: Timestamp::from_unix(mins * 60),
+            gpus,
+            gpu_slots: Vec::new(),
+            completed: true,
+        }
+    }
+
+    #[test]
+    fn job_mix_buckets_and_shares() {
+        let jobs = [
+            mix_job(1, 1, 10, "a"),
+            mix_job(2, 1, 20, "b"),
+            mix_job(3, 4, 30, "c"),
+            mix_job(4, 64, 40, "train_model"),
+            mix_job(5, 0, 99, "cpu_job"),
+        ];
+        let rows = job_mix(&jobs);
+        assert_eq!(rows.len(), 8);
+        assert_eq!(rows[0].count, 2); // 1-GPU
+        assert!((rows[0].share_pct - 50.0).abs() < 1e-9); // 2 of 4 GPU jobs
+        assert_eq!(rows[1].count, 1); // 2-4
+        assert_eq!(rows[4].count, 1); // 32-64
+        assert_eq!(rows[7].count, 0);
+    }
+
+    #[test]
+    fn job_mix_elapsed_statistics() {
+        let jobs: Vec<AccountedJob> =
+            (1..=100).map(|i| mix_job(i, 1, i, "job")).collect();
+        let rows = job_mix(&jobs);
+        assert!((rows[0].mean_mins - 50.5).abs() < 1e-9);
+        assert!((rows[0].p50_mins - 50.5).abs() < 1.0);
+        assert!((rows[0].p99_mins - 99.0).abs() < 1.1);
+    }
+
+    #[test]
+    fn job_mix_ml_split() {
+        let jobs = [
+            mix_job(1, 2, 60, "train_resnet"), // 2 GPU-hours ML
+            mix_job(2, 2, 60, "namd_apoa1"),   // 2 GPU-hours non-ML
+        ];
+        let rows = job_mix(&jobs);
+        assert!((rows[1].ml_gpu_hours_k - 0.002).abs() < 1e-9);
+        assert!((rows[1].non_ml_gpu_hours_k - 0.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn job_mix_empty_is_all_zero() {
+        let rows = job_mix(&[]);
+        assert!(rows.iter().all(|r| r.count == 0 && r.mean_mins == 0.0));
+    }
+
+    #[test]
+    fn success_rate_helper() {
+        assert_eq!(success_rate(&[]), None);
+        let jobs = [
+            mix_job(1, 1, 10, "a"),
+            AccountedJob { completed: false, ..mix_job(2, 1, 10, "b") },
+        ];
+        assert_eq!(success_rate(&jobs), Some(0.5));
+    }
+}

@@ -1,0 +1,168 @@
+//! GitHub-Markdown renderers for the tables — the format EXPERIMENTS.md
+//! and CI summaries consume directly.
+
+use crate::pipeline::StudyReport;
+use simtime::Phase;
+use std::fmt::Write as _;
+use xid::ErrorKind;
+
+fn md_opt(v: Option<f64>, decimals: usize) -> String {
+    v.map_or("—".to_owned(), |v| format!("{v:.*}", decimals))
+}
+
+/// Table I as a Markdown table.
+pub fn table1_md(report: &StudyReport) -> String {
+    let s = &report.stats;
+    let mut out = String::from(
+        "| Code | Event | Pre-op | Op | Op sys MTBE (h) | Op node MTBE (h) |\n|---|---|---|---|---|---|\n",
+    );
+    let mut row = |code: &str, name: &str, pre: u64, op: u64| {
+        let sys = (op > 0).then(|| s.phase_hours(Phase::Op) / op as f64);
+        let node = sys.map(|m| m * s.node_count() as f64);
+        let _ = writeln!(
+            out,
+            "| {code} | {name} | {pre} | {op} | {} | {} |",
+            md_opt(sys, 1),
+            md_opt(node, 0)
+        );
+    };
+    for kind in ErrorKind::STUDIED {
+        let codes: Vec<String> = kind.codes().iter().map(u16::to_string).collect();
+        row(
+            &codes.join("/"),
+            kind.abbreviation(),
+            s.count(kind, Phase::PreOp),
+            s.count(kind, Phase::Op),
+        );
+    }
+    row(
+        "—",
+        "Uncorrectable ECC Errors",
+        s.uncorrectable_count(Phase::PreOp),
+        s.uncorrectable_count(Phase::Op),
+    );
+    row("**Σ**", "**total**", s.total_count(Phase::PreOp), s.total_count(Phase::Op));
+    out
+}
+
+/// Table II as a Markdown table.
+pub fn table2_md(report: &StudyReport) -> String {
+    let mut out = String::from(
+        "| XID | GPU error | Failed jobs | Encounters | P(fail) |\n|---|---|---|---|---|\n",
+    );
+    for (kind, impact) in report.impact.kinds() {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} |",
+            kind.primary_code(),
+            kind.abbreviation(),
+            impact.failed,
+            impact.encountered,
+            impact
+                .failure_probability()
+                .map_or("—".to_owned(), |p| format!("{:.2}%", p * 100.0))
+        );
+    }
+    out
+}
+
+/// Table III as a Markdown table.
+pub fn table3_md(report: &StudyReport) -> String {
+    let mut out = String::from(
+        "| GPUs | Count | Share | Mean (min) | P50 | P99 | ML kGPUh | non-ML kGPUh |\n|---|---|---|---|---|---|---|---|\n",
+    );
+    for row in &report.mix {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.3}% | {:.2} | {:.2} | {:.2} | {:.1} | {:.1} |",
+            row.label,
+            row.count,
+            row.share_pct,
+            row.mean_mins,
+            row.p50_mins,
+            row.p99_mins,
+            row.ml_gpu_hours_k,
+            row.non_ml_gpu_hours_k
+        );
+    }
+    out
+}
+
+/// The findings checklist as Markdown task-list items.
+pub fn findings_md(report: &StudyReport) -> String {
+    let findings = crate::findings::Findings::evaluate(report);
+    let mut out = String::new();
+    for check in findings.checks() {
+        let _ = writeln!(
+            out,
+            "- [{}] {} — {}",
+            if check.pass { 'x' } else { ' ' },
+            check.id,
+            check.detail
+        );
+    }
+    let (pass, total) = findings.score();
+    let _ = writeln!(out, "\n**{pass}/{total} findings reproduced**");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+    use hpclog::{PciAddr, XidEvent};
+    use simtime::{Duration, StudyPeriods};
+    use xid::XidCode;
+
+    fn report() -> StudyReport {
+        let op = StudyPeriods::delta().op.start;
+        let events = vec![XidEvent::new(
+            op + Duration::from_secs(60),
+            "gpub001",
+            PciAddr::for_gpu_index(0),
+            XidCode::GSP_RPC_TIMEOUT,
+            "",
+        )];
+        Pipeline::delta().run_events(events, None, &[], &[], &[])
+    }
+
+    /// Each Markdown row must have the same column count as its header.
+    fn assert_rectangular(md: &str) {
+        let mut lines = md.lines().filter(|l| l.starts_with('|'));
+        let header_cols = lines.next().expect("header").matches('|').count();
+        for line in lines {
+            assert_eq!(line.matches('|').count(), header_cols, "{line}");
+        }
+    }
+
+    #[test]
+    fn tables_are_rectangular() {
+        let r = report();
+        for md in [table1_md(&r), table2_md(&r), table3_md(&r)] {
+            assert_rectangular(&md);
+        }
+    }
+
+    #[test]
+    fn table1_md_contains_counts_and_total() {
+        let md = table1_md(&report());
+        assert!(md.contains("| 119/120 | GSP Error | 0 | 1 |"), "{md}");
+        assert!(md.contains("**total**"));
+        assert!(md.contains("Uncorrectable ECC Errors"));
+    }
+
+    #[test]
+    fn findings_md_renders_tasklist() {
+        let md = findings_md(&report());
+        assert!(md.contains("- ["));
+        assert!(md.contains("findings reproduced"));
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let r = Pipeline::delta().run_events(Vec::new(), None, &[], &[], &[]);
+        for md in [table1_md(&r), table2_md(&r), table3_md(&r), findings_md(&r)] {
+            assert!(!md.is_empty());
+        }
+    }
+}

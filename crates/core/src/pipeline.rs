@@ -1,0 +1,307 @@
+//! The end-to-end Stage I–III pipeline driver.
+//!
+//! [`Pipeline::run`] wires the stages of Fig. 1 together: raw consolidated
+//! logs are filtered and extracted (`hpclog`), coalesced ([`mod@crate::coalesce`]),
+//! tallied into error statistics ([`crate::stats`], with the SRE outlier
+//! rule applied for the headline MTBE numbers), joined against the job
+//! records ([`crate::impact`]) and combined with outage records into the
+//! availability estimate ([`crate::availability`]). The result is a
+//! [`StudyReport`] from which every table and figure renders
+//! ([`crate::report`]) and every headline finding evaluates
+//! ([`crate::findings`]).
+
+use crate::availability::Availability;
+use crate::coalesce::{coalesce, CoalesceSummary, CoalescedError};
+use crate::impact::{job_mix, success_rate, JobImpact, JobMixRow, ATTRIBUTION_WINDOW};
+use crate::job::{AccountedJob, OutageRecord};
+use crate::stats::{exclude_dominant_gpu, ErrorStats, OutlierReport};
+use hpclog::archive::Archive;
+use hpclog::extract::{ExtractStats, XidExtractor};
+use hpclog::XidEvent;
+use simtime::{Duration, Phase, StudyPeriods};
+use xid::ErrorKind;
+
+/// Pipeline configuration: the analysis windows and the machine constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pipeline {
+    /// The study calendar (phase boundaries).
+    pub periods: StudyPeriods,
+    /// GPU-node count for per-node MTBE (106 on Delta).
+    pub node_count: usize,
+    /// Coalescing window Δt (Fig. 1 stage ii).
+    pub coalesce_window: Duration,
+    /// Error→failure attribution window (§V-B, 20 s).
+    pub attribution_window: Duration,
+    /// Share above which one GPU's errors of a kind are excluded as an
+    /// outlier (the SRE faulty-GPU rule).
+    pub outlier_threshold: f64,
+}
+
+impl Pipeline {
+    /// The paper's configuration: Delta calendar, 106 nodes, Δt = 20 s
+    /// (duplicates repeat within ~10 s; distinct storm errors arrive ≥30 s
+    /// apart, so Δt between them separates the two regimes), 20 s
+    /// attribution, 50% outlier threshold.
+    pub fn delta() -> Self {
+        Pipeline {
+            periods: StudyPeriods::delta(),
+            node_count: 106,
+            coalesce_window: Duration::from_secs(20),
+            attribution_window: ATTRIBUTION_WINDOW,
+            outlier_threshold: 0.5,
+        }
+    }
+
+    /// Runs the full pipeline from a raw log archive.
+    pub fn run(
+        &self,
+        archive: &Archive,
+        gpu_jobs: &[AccountedJob],
+        cpu_jobs: &[AccountedJob],
+        outages: &[OutageRecord],
+    ) -> StudyReport {
+        let mut extractor = XidExtractor::studied_only(2024);
+        let events: Vec<XidEvent> =
+            archive.iter().filter_map(|line| extractor.extract(line)).collect();
+        self.run_events(events, Some(extractor.stats()), gpu_jobs, cpu_jobs, outages)
+    }
+
+    /// Runs the pipeline from already-extracted events (Stage I done
+    /// elsewhere, e.g. when replaying a pre-parsed export).
+    pub fn run_events(
+        &self,
+        events: Vec<XidEvent>,
+        extract_stats: Option<ExtractStats>,
+        gpu_jobs: &[AccountedJob],
+        cpu_jobs: &[AccountedJob],
+        outages: &[OutageRecord],
+    ) -> StudyReport {
+        let errors = coalesce(events, self.coalesce_window);
+        let coalesce_summary = CoalesceSummary::of(&errors);
+        let stats_raw = ErrorStats::compute(&errors, self.periods, self.node_count);
+
+        // SRE outlier rule: the dominant-GPU storm distorts pre-op memory
+        // statistics; exclude it for the headline numbers.
+        let (errors_clean, outlier) = exclude_dominant_gpu(
+            &errors,
+            ErrorKind::UncontainedMemoryError,
+            Phase::PreOp,
+            self.periods,
+            self.outlier_threshold,
+        );
+        let stats = ErrorStats::compute(&errors_clean, self.periods, self.node_count);
+
+        let impact = JobImpact::compute(gpu_jobs, &errors_clean, self.attribution_window);
+        let mix = job_mix(gpu_jobs);
+
+        // Availability over the operational period only (§V-C).
+        let op = self.periods.op;
+        let op_outages: Vec<OutageRecord> = outages
+            .iter()
+            .filter(|o| op.contains(o.start))
+            .cloned()
+            .collect();
+        let availability = Availability::compute(&op_outages, self.node_count, op.hours());
+        let mttf_hours = stats.overall_mtbe_per_node(Phase::Op);
+
+        StudyReport {
+            config: *self,
+            extract_stats,
+            coalesce_summary,
+            errors: errors_clean,
+            stats_raw,
+            stats,
+            outlier,
+            impact,
+            mix,
+            gpu_success: success_rate(gpu_jobs),
+            cpu_success: success_rate(cpu_jobs),
+            availability,
+            mttf_hours,
+        }
+    }
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline::delta()
+    }
+}
+
+/// Everything the pipeline computes; the source of every table, figure and
+/// finding.
+#[derive(Debug, Clone)]
+pub struct StudyReport {
+    /// The configuration the report was computed with.
+    pub config: Pipeline,
+    /// Stage I extraction counters (absent when extraction was external).
+    pub extract_stats: Option<ExtractStats>,
+    /// Coalescing summary (raw lines vs errors).
+    pub coalesce_summary: CoalesceSummary,
+    /// The coalesced, outlier-filtered error set.
+    pub errors: Vec<CoalescedError>,
+    /// Statistics *before* outlier exclusion (storm included).
+    pub stats_raw: ErrorStats,
+    /// Statistics after the SRE outlier rule — the Table I / headline
+    /// numbers.
+    pub stats: ErrorStats,
+    /// The outlier exclusion performed, if any.
+    pub outlier: Option<crate::stats::OutlierReport>,
+    /// The Table II join.
+    pub impact: JobImpact,
+    /// The Table III rows.
+    pub mix: Vec<JobMixRow>,
+    /// GPU-job success rate (§V-A: 74.68%).
+    pub gpu_success: Option<f64>,
+    /// CPU-job success rate (§V-A: 74.90%).
+    pub cpu_success: Option<f64>,
+    /// §V-C availability analysis over the operational period.
+    pub availability: Availability,
+    /// MTTF estimate (overall operational per-node MTBE), the paper's
+    /// conservative every-error-interrupts assumption.
+    pub mttf_hours: Option<f64>,
+}
+
+impl StudyReport {
+    /// The availability estimate via the paper's formula, if computable.
+    pub fn availability_estimate(&self) -> Option<f64> {
+        self.availability.availability_from_mttf(self.mttf_hours?)
+    }
+
+    /// The outlier exclusion, by reference.
+    pub fn outlier(&self) -> Option<&OutlierReport> {
+        self.outlier.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpclog::{LogLine, PciAddr, Timestamp};
+    use xid::XidCode;
+
+    fn pipeline() -> Pipeline {
+        Pipeline::delta()
+    }
+
+    fn op_time(secs: u64) -> Timestamp {
+        StudyPeriods::delta().op.start + Duration::from_secs(secs)
+    }
+
+    fn xid_line(t: Timestamp, host: &str, gpu: u8, code: u16) -> LogLine {
+        XidEvent::new(t, host, PciAddr::for_gpu_index(gpu), XidCode::new(code), "detail")
+            .to_log_line()
+    }
+
+    fn gpu_job(id: u64, host: &str, gpu: u8, start: u64, end: u64, ok: bool) -> AccountedJob {
+        AccountedJob {
+            id,
+            name: format!("job{id}"),
+            submit: op_time(start.saturating_sub(10)),
+            start: op_time(start),
+            end: op_time(end),
+            gpus: 1,
+            gpu_slots: vec![(host.to_owned(), gpu)],
+            completed: ok,
+        }
+    }
+
+    #[test]
+    fn end_to_end_from_raw_lines() {
+        let mut archive = Archive::new();
+        // Three duplicate GSP lines -> one coalesced error that kills a job.
+        for d in [0, 5, 10] {
+            archive.push(xid_line(op_time(1000 + d), "gpub001", 0, 119));
+        }
+        // Noise and an excluded software XID.
+        archive.push(LogLine::new(op_time(500), "gpub001", "kernel", "usb 1-1 connected"));
+        archive.push(xid_line(op_time(2000), "gpub002", 1, 13));
+
+        let jobs = [gpu_job(1, "gpub001", 0, 900, 1005, false)];
+        let outages = [OutageRecord {
+            host: "gpub001".to_owned(),
+            start: op_time(1300),
+            duration: Duration::from_mins(53),
+        }];
+        let report = pipeline().run(&archive, &jobs, &[], &outages);
+
+        let es = report.extract_stats.unwrap();
+        assert_eq!(es.extracted, 3);
+        assert_eq!(es.excluded, 1);
+        assert_eq!(report.coalesce_summary.errors, 1);
+        assert_eq!(report.coalesce_summary.raw_lines, 3);
+        assert_eq!(report.stats.count(ErrorKind::GspError, Phase::Op), 1);
+        let k = report.impact.kind(ErrorKind::GspError);
+        assert_eq!((k.encountered, k.failed), (1, 1));
+        assert_eq!(report.impact.gpu_failed_jobs(), 1);
+        assert!((report.availability.mttr_hours().unwrap() - 53.0 / 60.0).abs() < 1e-9);
+        assert!(report.availability_estimate().is_some());
+    }
+
+    #[test]
+    fn storm_outlier_excluded_from_headline_stats() {
+        let pre = StudyPeriods::delta().pre_op.start;
+        let mut events = Vec::new();
+        // Faulty GPU: 500 uncontained errors, minutes apart (no coalescing).
+        for i in 0..500u64 {
+            events.push(XidEvent::new(
+                pre + Duration::from_secs(i * 300),
+                "gpub038",
+                PciAddr::for_gpu_index(2),
+                XidCode::UNCONTAINED_ECC,
+                "",
+            ));
+        }
+        // Healthy background: 5 uncontained errors elsewhere.
+        for i in 0..5u64 {
+            events.push(XidEvent::new(
+                pre + Duration::from_days(i + 10),
+                "gpub001",
+                PciAddr::for_gpu_index(0),
+                XidCode::UNCONTAINED_ECC,
+                "",
+            ));
+        }
+        let report = pipeline().run_events(events, None, &[], &[], &[]);
+        // Raw stats see everything; headline stats see only the background.
+        assert_eq!(report.stats_raw.count(ErrorKind::UncontainedMemoryError, Phase::PreOp), 505);
+        assert_eq!(report.stats.count(ErrorKind::UncontainedMemoryError, Phase::PreOp), 5);
+        let outlier = report.outlier().expect("storm detected");
+        assert_eq!(outlier.host, "gpub038");
+        assert_eq!(outlier.excluded_errors, 500);
+    }
+
+    #[test]
+    fn availability_counts_op_outages_only() {
+        let pre_outage = OutageRecord {
+            host: "gpub001".to_owned(),
+            start: StudyPeriods::delta().pre_op.start + Duration::from_days(3),
+            duration: Duration::from_hours(2),
+        };
+        let op_outage = OutageRecord {
+            host: "gpub002".to_owned(),
+            start: op_time(5000),
+            duration: Duration::from_mins(30),
+        };
+        let report = pipeline().run_events(Vec::new(), None, &[], &[], &[pre_outage, op_outage]);
+        assert_eq!(report.availability.outage_count(), 1);
+        assert!((report.availability.mttr_hours().unwrap() - 0.5).abs() < 1e-9);
+        // No errors -> no MTTF -> no formula-based estimate.
+        assert_eq!(report.mttf_hours, None);
+        assert_eq!(report.availability_estimate(), None);
+    }
+
+    #[test]
+    fn success_rates_flow_through() {
+        let jobs = [
+            gpu_job(1, "gpub001", 0, 100, 200, true),
+            gpu_job(2, "gpub001", 1, 100, 200, false),
+        ];
+        let cpu = [AccountedJob { gpus: 0, gpu_slots: Vec::new(), ..jobs[0].clone() }];
+        let report = pipeline().run_events(Vec::new(), None, &jobs, &cpu, &[]);
+        assert_eq!(report.gpu_success, Some(0.5));
+        assert_eq!(report.cpu_success, Some(1.0));
+        assert_eq!(report.mix.len(), 8);
+        assert_eq!(report.mix[0].count, 2);
+    }
+}

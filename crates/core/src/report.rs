@@ -1,0 +1,493 @@
+//! Renderers: every table and figure of the paper, as aligned ASCII (for
+//! terminals and EXPERIMENTS.md) and CSV (for downstream plotting).
+
+use crate::pipeline::StudyReport;
+use simtime::Phase;
+use std::fmt::Write as _;
+use xid::ErrorKind;
+
+/// The Table I row order (with the synthetic uncorrectable row in the
+/// paper's position, after DBE).
+fn table1_rows() -> Vec<Table1Row> {
+    use ErrorKind::*;
+    vec![
+        Table1Row::Kind(MmuError, "XID 31"),
+        Table1Row::Kind(DoubleBitError, "XID 48"),
+        Table1Row::Uncorrectable,
+        Table1Row::Kind(RowRemapEvent, "XID 63"),
+        Table1Row::Kind(RowRemapFailure, "XID 64"),
+        Table1Row::Kind(NvlinkError, "XID 74"),
+        Table1Row::Kind(FallenOffBus, "XID 79"),
+        Table1Row::Kind(ContainedMemoryError, "XID 94"),
+        Table1Row::Kind(UncontainedMemoryError, "XID 95"),
+        Table1Row::Kind(GspError, "XID 119/120"),
+        Table1Row::Kind(PmuSpiError, "XID 122/123"),
+    ]
+}
+
+enum Table1Row {
+    Kind(ErrorKind, &'static str),
+    Uncorrectable,
+}
+
+fn fmt_opt(v: Option<f64>, decimals: usize) -> String {
+    match v {
+        Some(v) if v >= 1000.0 => format!("{:.0}", v),
+        Some(v) => format!("{v:.*}", decimals),
+        None => "-".to_owned(),
+    }
+}
+
+/// Renders Table I: per-kind counts and MTBE per phase.
+pub fn table1(report: &StudyReport) -> String {
+    let s = &report.stats;
+    let hours = |p| s.phase_hours(p);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:<26} {:>8} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "Code", "Event", "Pre-op", "Op", "PreSysMTBE", "PreNodeMTBE", "OpSysMTBE", "OpNodeMTBE"
+    );
+    let mtbe = |count: u64, phase: Phase| {
+        if count == 0 {
+            (None, None)
+        } else {
+            let sys = hours(phase) / count as f64;
+            (Some(sys), Some(sys * s.node_count() as f64))
+        }
+    };
+    for row in table1_rows() {
+        let (code, name, pre, op) = match row {
+            Table1Row::Kind(kind, code) => (
+                code,
+                kind.abbreviation(),
+                s.count(kind, Phase::PreOp),
+                s.count(kind, Phase::Op),
+            ),
+            Table1Row::Uncorrectable => (
+                "-",
+                "Uncorrectable ECC Errors",
+                s.uncorrectable_count(Phase::PreOp),
+                s.uncorrectable_count(Phase::Op),
+            ),
+        };
+        let (pre_sys, pre_node) = mtbe(pre, Phase::PreOp);
+        let (op_sys, op_node) = mtbe(op, Phase::Op);
+        let _ = writeln!(
+            out,
+            "{:<12} {:<26} {:>8} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            code,
+            name,
+            pre,
+            op,
+            fmt_opt(pre_sys, 1),
+            fmt_opt(pre_node, 0),
+            fmt_opt(op_sys, 1),
+            fmt_opt(op_node, 0)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<12} {:<26} {:>8} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "TOTAL",
+        "(incl. uncorrectable row)",
+        s.total_count(Phase::PreOp),
+        s.total_count(Phase::Op),
+        fmt_opt(s.overall_mtbe_system(Phase::PreOp), 1),
+        fmt_opt(s.overall_mtbe_per_node(Phase::PreOp), 0),
+        fmt_opt(s.overall_mtbe_system(Phase::Op), 1),
+        fmt_opt(s.overall_mtbe_per_node(Phase::Op), 0)
+    );
+    if let Some(outlier) = report.outlier() {
+        let _ = writeln!(
+            out,
+            "* outlier rule: excluded {} {} errors from {} (pre-op storm)",
+            outlier.excluded_errors,
+            outlier.kind.abbreviation(),
+            outlier.host
+        );
+    }
+    out
+}
+
+/// Table I as CSV.
+pub fn table1_csv(report: &StudyReport) -> String {
+    let s = &report.stats;
+    let mut out = String::from(
+        "code,event,pre_count,op_count,pre_sys_mtbe_h,pre_node_mtbe_h,op_sys_mtbe_h,op_node_mtbe_h\n",
+    );
+    let cell = |v: Option<f64>| v.map_or(String::new(), |v| format!("{v:.3}"));
+    for row in table1_rows() {
+        let (code, name, pre, op) = match row {
+            Table1Row::Kind(kind, code) => (
+                code,
+                kind.abbreviation(),
+                s.count(kind, Phase::PreOp),
+                s.count(kind, Phase::Op),
+            ),
+            Table1Row::Uncorrectable => (
+                "-",
+                "Uncorrectable ECC Errors",
+                s.uncorrectable_count(Phase::PreOp),
+                s.uncorrectable_count(Phase::Op),
+            ),
+        };
+        let sys = |c: u64, p| (c > 0).then(|| s.phase_hours(p) / c as f64);
+        let node = |c: u64, p| sys(c, p).map(|m| m * s.node_count() as f64);
+        let _ = writeln!(
+            out,
+            "{code},{name},{pre},{op},{},{},{},{}",
+            cell(sys(pre, Phase::PreOp)),
+            cell(node(pre, Phase::PreOp)),
+            cell(sys(op, Phase::Op)),
+            cell(node(op, Phase::Op)),
+        );
+    }
+    out
+}
+
+/// Renders Table II: per-kind job failure probabilities.
+pub fn table2(report: &StudyReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:<26} {:>12} {:>12} {:>10}",
+        "XID", "GPU Error", "FailedJobs", "Encounters", "P(fail)%"
+    );
+    for (kind, impact) in report.impact.kinds() {
+        let _ = writeln!(
+            out,
+            "{:<10} {:<26} {:>12} {:>12} {:>10}",
+            kind.primary_code(),
+            kind.abbreviation(),
+            impact.failed,
+            impact.encountered,
+            fmt_opt(impact.failure_probability().map(|p| p * 100.0), 2)
+        );
+    }
+    let _ = writeln!(out, "total GPU-failed jobs: {}", report.impact.gpu_failed_jobs());
+    out
+}
+
+/// Table II as CSV.
+pub fn table2_csv(report: &StudyReport) -> String {
+    let mut out = String::from("xid,error,failed_jobs,encounters,failure_probability\n");
+    for (kind, impact) in report.impact.kinds() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            kind.primary_code(),
+            kind.abbreviation(),
+            impact.failed,
+            impact.encountered,
+            impact.failure_probability().map_or(String::new(), |p| format!("{p:.4}"))
+        );
+    }
+    out
+}
+
+/// Renders Table III: the workload mix.
+pub fn table3(report: &StudyReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8} {:>10} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "GPUs", "Count", "Share%", "MeanMin", "P50Min", "P99Min", "ML-kGPUh", "Non-kGPUh"
+    );
+    for row in &report.mix {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>10} {:>8.3} {:>9.2} {:>9.2} {:>9.2} {:>9.1} {:>9.1}",
+            row.label,
+            row.count,
+            row.share_pct,
+            row.mean_mins,
+            row.p50_mins,
+            row.p99_mins,
+            row.ml_gpu_hours_k,
+            row.non_ml_gpu_hours_k
+        );
+    }
+    if let Some(gpu) = report.gpu_success {
+        let _ = writeln!(out, "GPU job success rate: {:.2}%", gpu * 100.0);
+    }
+    if let Some(cpu) = report.cpu_success {
+        let _ = writeln!(out, "CPU job success rate: {:.2}%", cpu * 100.0);
+    }
+    out
+}
+
+/// Table III as CSV.
+pub fn table3_csv(report: &StudyReport) -> String {
+    let mut out = String::from(
+        "bucket,count,share_pct,mean_mins,p50_mins,p99_mins,ml_gpu_hours_k,non_ml_gpu_hours_k\n",
+    );
+    for row in &report.mix {
+        let _ = writeln!(
+            out,
+            "{},{},{:.4},{:.2},{:.2},{:.2},{:.2},{:.2}",
+            row.label,
+            row.count,
+            row.share_pct,
+            row.mean_mins,
+            row.p50_mins,
+            row.p99_mins,
+            row.ml_gpu_hours_k,
+            row.non_ml_gpu_hours_k
+        );
+    }
+    out
+}
+
+/// Renders Figure 2: the unavailability-duration distribution plus the
+/// §V-C headline numbers.
+pub fn figure2(report: &StudyReport) -> String {
+    let mut out = String::new();
+    let hist = report.availability.duration_histogram(4.0, 16);
+    let _ = writeln!(out, "Unavailability time distribution (hours):");
+    let _ = write!(out, "{hist}");
+    let _ = writeln!(out, "outages: {}", report.availability.outage_count());
+    let _ = writeln!(out, "MTTR: {} h", fmt_opt(report.availability.mttr_hours(), 2));
+    let _ = writeln!(
+        out,
+        "total downtime: {:.0} node-hours",
+        report.availability.total_downtime_node_hours()
+    );
+    let _ = writeln!(out, "MTTF estimate: {} h", fmt_opt(report.mttf_hours, 1));
+    if let Some(a) = report.availability_estimate() {
+        let _ = writeln!(
+            out,
+            "availability: {:.2}% ({:.1} minutes downtime per node-day)",
+            a * 100.0,
+            crate::availability::Availability::downtime_minutes_per_day(a)
+        );
+    }
+    out
+}
+
+/// Figure 2 series as CSV (`bin_start_h,bin_end_h,count`).
+pub fn figure2_csv(report: &StudyReport) -> String {
+    let hist = report.availability.duration_histogram(4.0, 16);
+    let mut out = String::from("bin_start_h,bin_end_h,count\n");
+    for (i, &c) in hist.bin_counts().iter().enumerate() {
+        let (a, b) = hist.bin_edges(i);
+        let _ = writeln!(out, "{a:.2},{b:.2},{c}");
+    }
+    let _ = writeln!(out, "4.00,inf,{}", hist.overflow());
+    out
+}
+
+/// Renders the complete report — every table, the figure, the findings
+/// checklist and the deep analyses — as one document.
+pub fn full(report: &StudyReport) -> String {
+    let findings = crate::findings::Findings::evaluate(report);
+    format!(
+        "=== Table I ===\n{}\n=== Table II ===\n{}\n=== Table III ===\n{}\n=== Figure 2 ===\n{}\n=== Findings ===\n{}\n\n=== Deep analyses ===\n{}",
+        table1(report),
+        table2(report),
+        table3(report),
+        figure2(report),
+        findings,
+        deep(report)
+    )
+}
+
+/// Renders the extension analyses — per-GPU concentration, burstiness and
+/// GSP survival — as one text section (the CLI's `--deep` output and the
+/// fleet-health example both use this).
+pub fn deep(report: &StudyReport) -> String {
+    use crate::{burst, spatial, survival};
+    use simtime::Duration;
+    use std::collections::BTreeSet;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "— per-GPU concentration —");
+    let conc = spatial::Concentration::compute(&report.errors, &[], None);
+    let _ = writeln!(
+        out,
+        "{} errors across {} GPUs; top-1 share {:.1}%, top-5 share {:.1}%",
+        conc.total(),
+        conc.affected_gpus(),
+        conc.top_k_share(1) * 100.0,
+        conc.top_k_share(5) * 100.0
+    );
+    for hot in conc.hot_gpus(0.10) {
+        let _ = writeln!(
+            out,
+            "  replacement candidate: {} {} ({} errors)",
+            hot.host, hot.pci, hot.errors
+        );
+    }
+
+    let _ = writeln!(out, "
+— burstiness —");
+    let episodes = burst::detect_episodes(&report.errors, Duration::from_hours(6));
+    for kind in [ErrorKind::GspError, ErrorKind::NvlinkError, ErrorKind::MmuError] {
+        let ia = burst::inter_arrivals(&report.errors, kind);
+        let summary = burst::summarize_episodes(&episodes, kind);
+        let _ = writeln!(
+            out,
+            "  {:<14} CoV {}  episodes {} (mean size {:.1}, max {})",
+            kind.abbreviation(),
+            ia.cov().map_or("-".into(), |c| format!("{c:.2}")),
+            summary.episodes,
+            summary.mean_size,
+            summary.max_size
+        );
+    }
+
+    let _ = writeln!(out, "
+— GSP survival (operational period) —");
+    let window = report.config.periods.op;
+    let gpus: Vec<(String, hpclog::PciAddr)> = report
+        .errors
+        .iter()
+        .map(|e| (e.host.clone(), e.pci))
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let lifetimes =
+        survival::gpu_lifetimes(&report.errors, &gpus, &[ErrorKind::GspError], window);
+    let km = survival::KaplanMeier::fit(&lifetimes);
+    let _ = writeln!(
+        out,
+        "  {} GPUs observed (error-logging population), {} with GSP events",
+        km.subjects(),
+        km.observed_events()
+    );
+    for h in [1000.0, 5000.0, 10000.0, 20000.0] {
+        let _ = writeln!(out, "  S({h:>6.0} h) = {:.3}", km.survival_at(h));
+    }
+    match km.median_hours() {
+        Some(m) => {
+            let _ = writeln!(out, "  median time to first GSP error: {m:.0} h");
+        }
+        None => {
+            let _ = writeln!(out, "  median time to first GSP error: beyond the window");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{AccountedJob, OutageRecord};
+    use crate::pipeline::Pipeline;
+    use hpclog::{PciAddr, XidEvent};
+    use simtime::{Duration, StudyPeriods};
+    use xid::XidCode;
+
+    fn sample_report() -> StudyReport {
+        let op = StudyPeriods::delta().op.start;
+        let mk = |secs: u64, code: u16| {
+            XidEvent::new(
+                op + Duration::from_secs(secs),
+                "gpub001",
+                PciAddr::for_gpu_index(0),
+                XidCode::new(code),
+                "",
+            )
+        };
+        let events = vec![mk(100, 119), mk(5000, 74), mk(9000, 31), mk(12_000, 63)];
+        let jobs = vec![AccountedJob {
+            id: 1,
+            name: "train_model".to_owned(),
+            submit: op,
+            start: op + Duration::from_secs(50),
+            end: op + Duration::from_secs(110),
+            gpus: 1,
+            gpu_slots: vec![("gpub001".to_owned(), 0)],
+            completed: false,
+        }];
+        let outages = vec![OutageRecord {
+            host: "gpub001".to_owned(),
+            start: op + Duration::from_secs(500),
+            duration: Duration::from_mins(53),
+        }];
+        Pipeline::delta().run_events(events, None, &jobs, &[], &outages)
+    }
+
+    #[test]
+    fn table1_contains_all_rows_and_total() {
+        let t = table1(&sample_report());
+        for label in ["MMU Error", "DBE", "RRE", "RRF", "NVLink", "GSP", "PMU", "TOTAL"] {
+            assert!(t.contains(label), "missing {label} in:\n{t}");
+        }
+        assert!(t.contains("Uncorrectable ECC Errors"));
+    }
+
+    #[test]
+    fn table1_csv_has_header_and_rows() {
+        let csv = table1_csv(&sample_report());
+        assert!(csv.starts_with("code,event,"));
+        assert_eq!(csv.lines().count(), 12); // header + 11 rows
+    }
+
+    #[test]
+    fn table2_reports_probabilities() {
+        let t = table2(&sample_report());
+        assert!(t.contains("GSP Error"));
+        assert!(t.contains("100.00")); // the failed job died within 20 s
+        assert!(t.contains("total GPU-failed jobs: 1"));
+        let csv = table2_csv(&sample_report());
+        assert!(csv.starts_with("xid,error,"));
+        assert!(csv.contains("119,GSP Error,1,1,1.0000"));
+    }
+
+    #[test]
+    fn table3_lists_buckets_and_rates() {
+        let t = table3(&sample_report());
+        assert!(t.contains("2-4"));
+        assert!(t.contains("256+"));
+        assert!(t.contains("GPU job success rate: 0.00%"));
+        let csv = table3_csv(&sample_report());
+        assert_eq!(csv.lines().count(), 9); // header + 8 buckets
+    }
+
+    #[test]
+    fn figure2_shows_mttr_and_availability() {
+        let f = figure2(&sample_report());
+        assert!(f.contains("MTTR: 0.88 h"), "{f}");
+        assert!(f.contains("availability:"), "{f}");
+        let csv = figure2_csv(&sample_report());
+        assert!(csv.starts_with("bin_start_h,"));
+        assert!(csv.contains("4.00,inf,"));
+        assert_eq!(csv.lines().count(), 18); // header + 16 bins + overflow
+    }
+
+    #[test]
+    fn full_concatenates_everything() {
+        let f = full(&sample_report());
+        for section in ["Table I", "Table II", "Table III", "Figure 2", "Findings", "Deep"] {
+            assert!(f.contains(section), "missing {section}");
+        }
+    }
+
+    #[test]
+    fn deep_renders_sections() {
+        let d = deep(&sample_report());
+        assert!(d.contains("concentration"));
+        assert!(d.contains("burstiness"));
+        assert!(d.contains("GSP survival"));
+        assert!(d.contains("CoV"));
+    }
+
+    #[test]
+    fn empty_report_renders_without_panicking() {
+        let report = Pipeline::delta().run_events(Vec::new(), None, &[], &[], &[]);
+        for rendered in [
+            table1(&report),
+            table1_csv(&report),
+            table2(&report),
+            table2_csv(&report),
+            table3(&report),
+            table3_csv(&report),
+            figure2(&report),
+            figure2_csv(&report),
+            deep(&report),
+        ] {
+            assert!(!rendered.is_empty());
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Spatial concentration analysis: how unevenly are errors distributed
+//! across GPUs?
+//!
+//! The paper's storm (one GPU producing 92% of all pre-operational errors)
+//! is the extreme of a general phenomenon in GPU fleets: error mass
+//! concentrates on a few bad devices. This module quantifies that —
+//! per-GPU error counts, top-k shares, the Gini coefficient and a hot-GPU
+//! detector generalizing the SRE outlier rule — so fleet operators can
+//! rank replacement candidates the way Delta's SREs did.
+
+use crate::coalesce::CoalescedError;
+use hpclog::PciAddr;
+use simtime::Period;
+use std::collections::HashMap;
+use xid::ErrorKind;
+
+/// Per-GPU error tally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GpuTally {
+    /// Hostname.
+    pub host: String,
+    /// GPU PCI address.
+    pub pci: PciAddr,
+    /// Errors attributed to this GPU.
+    pub errors: u64,
+}
+
+/// Concentration statistics over a set of errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Concentration {
+    tallies: Vec<GpuTally>,
+    total: u64,
+}
+
+impl Concentration {
+    /// Tallies errors per GPU, restricted to `kinds` (empty = all studied
+    /// kinds) and `window` (`None` = everything), sorted most-errors-first.
+    pub fn compute(
+        errors: &[CoalescedError],
+        kinds: &[ErrorKind],
+        window: Option<Period>,
+    ) -> Self {
+        let mut map: HashMap<(String, PciAddr), u64> = HashMap::new();
+        let mut total = 0;
+        for e in errors {
+            if !e.kind.is_studied() {
+                continue;
+            }
+            if !kinds.is_empty() && !kinds.contains(&e.kind) {
+                continue;
+            }
+            if let Some(w) = window {
+                if !w.contains(e.time) {
+                    continue;
+                }
+            }
+            *map.entry((e.host.clone(), e.pci)).or_insert(0) += 1;
+            total += 1;
+        }
+        let mut tallies: Vec<GpuTally> = map
+            .into_iter()
+            .map(|((host, pci), errors)| GpuTally { host, pci, errors })
+            .collect();
+        tallies.sort_by(|a, b| {
+            b.errors.cmp(&a.errors).then_with(|| (&a.host, a.pci).cmp(&(&b.host, b.pci)))
+        });
+        Concentration { tallies, total }
+    }
+
+    /// The tallies, most-errors-first.
+    pub fn tallies(&self) -> &[GpuTally] {
+        &self.tallies
+    }
+
+    /// Total errors tallied.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct GPUs with at least one error.
+    pub fn affected_gpus(&self) -> usize {
+        self.tallies.len()
+    }
+
+    /// Fraction of all errors carried by the `k` worst GPUs (1.0 when
+    /// there are at most `k` affected GPUs; 0.0 when there are no errors).
+    pub fn top_k_share(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let top: u64 = self.tallies.iter().take(k).map(|t| t.errors).sum();
+        top as f64 / self.total as f64
+    }
+
+    /// The Gini coefficient of the per-GPU error distribution **over the
+    /// whole fleet** of `fleet_size` GPUs (error-free GPUs count as
+    /// zeros). 0 = perfectly even, → 1 = all errors on one GPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fleet_size` is smaller than the number of affected GPUs
+    /// or zero.
+    pub fn gini(&self, fleet_size: usize) -> f64 {
+        assert!(fleet_size >= self.tallies.len() && fleet_size > 0);
+        if self.total == 0 || fleet_size == 1 {
+            return 0.0;
+        }
+        // Ascending counts including zeros.
+        let mut counts: Vec<u64> = vec![0; fleet_size - self.tallies.len()];
+        counts.extend(self.tallies.iter().rev().map(|t| t.errors));
+        let n = fleet_size as f64;
+        let sum: f64 = self.total as f64;
+        let weighted: f64 = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as f64 + 1.0) * c as f64)
+            .sum();
+        (2.0 * weighted) / (n * sum) - (n + 1.0) / n
+    }
+
+    /// GPUs whose share of the total exceeds `share_threshold` — the
+    /// replacement candidates the SRE outlier rule targets.
+    pub fn hot_gpus(&self, share_threshold: f64) -> Vec<&GpuTally> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        self.tallies
+            .iter()
+            .take_while(|t| t.errors as f64 / self.total as f64 > share_threshold)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtime::{StudyPeriods, Timestamp};
+
+    fn err(host: &str, gpu: u8, kind: ErrorKind, n: u64) -> Vec<CoalescedError> {
+        (0..n)
+            .map(|i| CoalescedError {
+                time: Timestamp::from_ymd_hms(2023, 1, 1, 0, 0, 0).unwrap()
+                    + simtime::Duration::from_secs(i * 60),
+                host: host.to_owned(),
+                pci: PciAddr::for_gpu_index(gpu),
+                kind,
+                merged_lines: 1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tallies_sorted_desc() {
+        let mut errors = err("n1", 0, ErrorKind::GspError, 5);
+        errors.extend(err("n2", 1, ErrorKind::GspError, 10));
+        errors.extend(err("n3", 2, ErrorKind::GspError, 1));
+        let c = Concentration::compute(&errors, &[], None);
+        assert_eq!(c.total(), 16);
+        assert_eq!(c.affected_gpus(), 3);
+        assert_eq!(c.tallies()[0].errors, 10);
+        assert_eq!(c.tallies()[0].host, "n2");
+        assert_eq!(c.tallies()[2].errors, 1);
+    }
+
+    #[test]
+    fn top_k_share() {
+        let mut errors = err("n1", 0, ErrorKind::MmuError, 90);
+        errors.extend(err("n2", 0, ErrorKind::MmuError, 10));
+        let c = Concentration::compute(&errors, &[], None);
+        assert!((c.top_k_share(1) - 0.9).abs() < 1e-12);
+        assert!((c.top_k_share(2) - 1.0).abs() < 1e-12);
+        assert!((c.top_k_share(99) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn storm_shape_dominates_gini() {
+        // One GPU with 920 errors vs 8 GPUs with 10 each: very unequal.
+        let mut errors = err("storm", 0, ErrorKind::UncontainedMemoryError, 920);
+        for g in 0..8u8 {
+            errors.extend(err("other", g, ErrorKind::MmuError, 10));
+        }
+        let c = Concentration::compute(&errors, &[], None);
+        let gini = c.gini(448);
+        assert!(gini > 0.95, "gini {gini}");
+        // The paper's 92%-from-one-GPU statistic.
+        assert!((c.top_k_share(1) - 0.92).abs() < 0.01);
+    }
+
+    #[test]
+    fn even_distribution_has_low_gini() {
+        let mut errors = Vec::new();
+        for g in 0..8u8 {
+            errors.extend(err("n", g, ErrorKind::MmuError, 10));
+        }
+        let c = Concentration::compute(&errors, &[], None);
+        // Even among affected GPUs; fleet of exactly those GPUs.
+        assert!(c.gini(8).abs() < 1e-9);
+        // But across a big fleet of mostly error-free GPUs it is high.
+        assert!(c.gini(448) > 0.9);
+    }
+
+    #[test]
+    fn kind_and_window_filters() {
+        let op = StudyPeriods::delta().op;
+        let mut errors = err("n1", 0, ErrorKind::GspError, 5); // 2023 => op
+        errors.extend(err("n1", 1, ErrorKind::MmuError, 7));
+        let only_gsp = Concentration::compute(&errors, &[ErrorKind::GspError], None);
+        assert_eq!(only_gsp.total(), 5);
+        let in_op = Concentration::compute(&errors, &[], Some(op));
+        assert_eq!(in_op.total(), 12);
+        let pre = Concentration::compute(&errors, &[], Some(StudyPeriods::delta().pre_op));
+        assert_eq!(pre.total(), 0);
+    }
+
+    #[test]
+    fn hot_gpus_threshold() {
+        let mut errors = err("bad", 0, ErrorKind::UncontainedMemoryError, 80);
+        errors.extend(err("meh", 0, ErrorKind::MmuError, 15));
+        errors.extend(err("ok", 0, ErrorKind::MmuError, 5));
+        let c = Concentration::compute(&errors, &[], None);
+        let hot = c.hot_gpus(0.5);
+        assert_eq!(hot.len(), 1);
+        assert_eq!(hot[0].host, "bad");
+        assert_eq!(c.hot_gpus(0.05).len(), 2);
+        assert!(c.hot_gpus(0.99).is_empty());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let c = Concentration::compute(&[], &[], None);
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.top_k_share(3), 0.0);
+        assert!(c.hot_gpus(0.1).is_empty());
+        assert_eq!(c.gini(448), 0.0);
+    }
+}

@@ -1,0 +1,282 @@
+//! Survival analysis of GPU time-to-first-error (Kaplan–Meier).
+//!
+//! The paper's related work (Ostrouchov et al., "GPU lifetimes on Titan",
+//! SC'20) analyses GPU survival; this module brings the same lens to the
+//! Delta data: treating each GPU's time from the observation start to its
+//! first error of a chosen kind set as a (right-censored) lifetime, the
+//! Kaplan–Meier estimator gives the survival curve S(t) and median
+//! lifetime without assuming a parametric hazard.
+//!
+//! Censoring arises naturally: GPUs that never log the error within the
+//! window contribute lifetimes "at least the window length".
+
+use crate::coalesce::CoalescedError;
+use hpclog::PciAddr;
+use simtime::{Duration, Period};
+use std::collections::HashMap;
+use xid::ErrorKind;
+
+/// One subject's observation: time observed and whether the event (first
+/// error) occurred at that time or the subject was censored.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lifetime {
+    /// Hours from observation start to event or censoring.
+    pub hours: f64,
+    /// `true` if the error occurred; `false` if censored (no error by the
+    /// end of the window).
+    pub observed: bool,
+}
+
+/// A point on the Kaplan–Meier curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurvivalPoint {
+    /// Event time in hours.
+    pub hours: f64,
+    /// Estimated survival probability S(t) just after this time.
+    pub survival: f64,
+    /// Subjects at risk just before this time.
+    pub at_risk: usize,
+    /// Events at this time.
+    pub events: usize,
+}
+
+/// The Kaplan–Meier estimate over a set of lifetimes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KaplanMeier {
+    points: Vec<SurvivalPoint>,
+    subjects: usize,
+    observed_events: usize,
+}
+
+impl KaplanMeier {
+    /// Fits the estimator.
+    ///
+    /// Ties are handled in the standard way (all events at a time share
+    /// one step); censored subjects leave the risk set after events at the
+    /// same time.
+    pub fn fit(lifetimes: &[Lifetime]) -> Self {
+        let mut sorted: Vec<Lifetime> = lifetimes.to_vec();
+        sorted.sort_by(|a, b| a.hours.total_cmp(&b.hours));
+        let subjects = sorted.len();
+        let mut points = Vec::new();
+        let mut at_risk = subjects;
+        let mut survival = 1.0;
+        let mut observed_events = 0;
+        let mut i = 0;
+        while i < sorted.len() {
+            let t = sorted[i].hours;
+            let mut events = 0;
+            let mut leaving = 0;
+            while i < sorted.len() && sorted[i].hours == t {
+                if sorted[i].observed {
+                    events += 1;
+                }
+                leaving += 1;
+                i += 1;
+            }
+            if events > 0 {
+                survival *= 1.0 - events as f64 / at_risk as f64;
+                observed_events += events;
+                points.push(SurvivalPoint { hours: t, survival, at_risk, events });
+            }
+            at_risk -= leaving;
+        }
+        KaplanMeier { points, subjects, observed_events }
+    }
+
+    /// The curve's step points (only event times appear).
+    pub fn points(&self) -> &[SurvivalPoint] {
+        &self.points
+    }
+
+    /// Number of subjects.
+    pub fn subjects(&self) -> usize {
+        self.subjects
+    }
+
+    /// Number of observed (uncensored) events.
+    pub fn observed_events(&self) -> usize {
+        self.observed_events
+    }
+
+    /// S(t): the estimated probability of surviving beyond `hours`.
+    pub fn survival_at(&self, hours: f64) -> f64 {
+        let mut s = 1.0;
+        for p in &self.points {
+            if p.hours <= hours {
+                s = p.survival;
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    /// The median survival time in hours, or `None` if the curve never
+    /// drops to 0.5 (more than half the subjects censored error-free —
+    /// itself a strong reliability statement).
+    pub fn median_hours(&self) -> Option<f64> {
+        self.points.iter().find(|p| p.survival <= 0.5).map(|p| p.hours)
+    }
+}
+
+/// Builds per-GPU time-to-first-error lifetimes for the error kinds in
+/// `kinds`, over the observation window.
+///
+/// `gpus` lists every observed GPU (host, PCI) so that error-free GPUs are
+/// correctly included as censored subjects — omitting them would
+/// catastrophically bias the estimate toward unreliability.
+pub fn gpu_lifetimes(
+    errors: &[CoalescedError],
+    gpus: &[(String, PciAddr)],
+    kinds: &[ErrorKind],
+    window: Period,
+) -> Vec<Lifetime> {
+    let mut first: HashMap<(&str, PciAddr), Duration> = HashMap::new();
+    for e in errors {
+        if !kinds.contains(&e.kind) || !window.contains(e.time) {
+            continue;
+        }
+        let at = e.time - window.start;
+        first
+            .entry((e.host.as_str(), e.pci))
+            .and_modify(|d| {
+                if at < *d {
+                    *d = at;
+                }
+            })
+            .or_insert(at);
+    }
+    let horizon = window.length().as_hours_f64();
+    gpus.iter()
+        .map(|(host, pci)| match first.get(&(host.as_str(), *pci)) {
+            Some(d) => Lifetime { hours: d.as_hours_f64(), observed: true },
+            None => Lifetime { hours: horizon, observed: false },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtime::{StudyPeriods, Timestamp};
+
+    fn lt(hours: f64, observed: bool) -> Lifetime {
+        Lifetime { hours, observed }
+    }
+
+    #[test]
+    fn all_observed_simple_curve() {
+        // Events at 1, 2, 3, 4 hours; classic quarter steps.
+        let km = KaplanMeier::fit(&[lt(1.0, true), lt(2.0, true), lt(3.0, true), lt(4.0, true)]);
+        assert_eq!(km.subjects(), 4);
+        assert_eq!(km.observed_events(), 4);
+        let s: Vec<f64> = km.points().iter().map(|p| p.survival).collect();
+        assert_eq!(s, vec![0.75, 0.5, 0.25, 0.0]);
+        assert_eq!(km.median_hours(), Some(2.0));
+    }
+
+    #[test]
+    fn censoring_shrinks_risk_set_without_steps() {
+        // Event at 1 h (n=3 -> S=2/3), censor at 2 h, event at 3 h
+        // (risk set 1 -> S=0).
+        let km = KaplanMeier::fit(&[lt(1.0, true), lt(2.0, false), lt(3.0, true)]);
+        assert_eq!(km.points().len(), 2);
+        assert!((km.points()[0].survival - 2.0 / 3.0).abs() < 1e-12);
+        assert!((km.points()[1].survival - 0.0).abs() < 1e-12);
+        assert_eq!(km.observed_events(), 2);
+    }
+
+    #[test]
+    fn survival_at_is_a_right_continuous_step() {
+        let km = KaplanMeier::fit(&[lt(1.0, true), lt(3.0, true)]);
+        assert_eq!(km.survival_at(0.5), 1.0);
+        assert_eq!(km.survival_at(1.0), 0.5);
+        assert_eq!(km.survival_at(2.9), 0.5);
+        assert_eq!(km.survival_at(3.0), 0.0);
+    }
+
+    #[test]
+    fn heavy_censoring_yields_no_median() {
+        let mut lifetimes = vec![lt(5.0, true)];
+        lifetimes.extend(std::iter::repeat_n(lt(100.0, false), 9));
+        let km = KaplanMeier::fit(&lifetimes);
+        assert_eq!(km.median_hours(), None);
+        assert!(km.survival_at(1000.0) > 0.8);
+    }
+
+    #[test]
+    fn tied_events_share_one_step() {
+        let km = KaplanMeier::fit(&[lt(2.0, true), lt(2.0, true), lt(5.0, true), lt(9.0, false)]);
+        assert_eq!(km.points().len(), 2);
+        assert_eq!(km.points()[0].events, 2);
+        assert!((km.points()[0].survival - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        let km = KaplanMeier::fit(&[]);
+        assert!(km.points().is_empty());
+        assert_eq!(km.median_hours(), None);
+        assert_eq!(km.survival_at(10.0), 1.0);
+    }
+
+    #[test]
+    fn gpu_lifetimes_include_censored_gpus() {
+        let window = StudyPeriods::delta().op;
+        let gpus: Vec<(String, PciAddr)> = (0..4)
+            .map(|i| ("gpub001".to_owned(), PciAddr::for_gpu_index(i)))
+            .collect();
+        // Only GPU 0 errors, 10 hours in; twice (first occurrence wins).
+        let errors = vec![
+            CoalescedError {
+                time: window.start + Duration::from_hours(10),
+                host: "gpub001".to_owned(),
+                pci: PciAddr::for_gpu_index(0),
+                kind: ErrorKind::GspError,
+                merged_lines: 1,
+            },
+            CoalescedError {
+                time: window.start + Duration::from_hours(99),
+                host: "gpub001".to_owned(),
+                pci: PciAddr::for_gpu_index(0),
+                kind: ErrorKind::GspError,
+                merged_lines: 1,
+            },
+        ];
+        let lifetimes = gpu_lifetimes(&errors, &gpus, &[ErrorKind::GspError], window);
+        assert_eq!(lifetimes.len(), 4);
+        let observed: Vec<&Lifetime> = lifetimes.iter().filter(|l| l.observed).collect();
+        assert_eq!(observed.len(), 1);
+        assert!((observed[0].hours - 10.0).abs() < 1e-9);
+        for l in lifetimes.iter().filter(|l| !l.observed) {
+            assert!((l.hours - window.hours()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gpu_lifetimes_respect_kind_filter_and_window() {
+        let window = StudyPeriods::delta().op;
+        let gpus = vec![("gpub001".to_owned(), PciAddr::for_gpu_index(0))];
+        let errors = vec![
+            // Wrong kind.
+            CoalescedError {
+                time: window.start + Duration::from_hours(1),
+                host: "gpub001".to_owned(),
+                pci: PciAddr::for_gpu_index(0),
+                kind: ErrorKind::MmuError,
+                merged_lines: 1,
+            },
+            // Outside window (pre-op).
+            CoalescedError {
+                time: Timestamp::from_ymd_hms(2022, 3, 1, 0, 0, 0).unwrap(),
+                host: "gpub001".to_owned(),
+                pci: PciAddr::for_gpu_index(0),
+                kind: ErrorKind::GspError,
+                merged_lines: 1,
+            },
+        ];
+        let lifetimes = gpu_lifetimes(&errors, &gpus, &[ErrorKind::GspError], window);
+        assert!(!lifetimes[0].observed);
+    }
+}

@@ -1,0 +1,254 @@
+//! Error-rate time series and trend analysis.
+//!
+//! §IV of the paper reasons about *change over time* — rates before vs
+//! after production, improvements "potentially due to the early replacement
+//! of defective GPUs and automatic node health checks". This module makes
+//! those statements quantitative on any error stream: fixed-width binned
+//! counts (weekly by default), per-bin MTBE, and a least-squares trend
+//! with which to ask "is this component getting better or worse?".
+
+use crate::coalesce::CoalescedError;
+use simtime::{Duration, Period, Timestamp};
+use xid::ErrorKind;
+
+/// One time-series bin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bin {
+    /// Bin start.
+    pub start: Timestamp,
+    /// Errors in the bin.
+    pub count: u64,
+}
+
+/// A binned error-count series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorSeries {
+    bins: Vec<Bin>,
+    bin_length: Duration,
+}
+
+impl ErrorSeries {
+    /// Bins errors of `kind` (or all studied kinds when `None`) over
+    /// `window` into consecutive bins of `bin_length` (a partial trailing
+    /// bin is kept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_length` is zero.
+    pub fn bin(
+        errors: &[CoalescedError],
+        kind: Option<ErrorKind>,
+        window: Period,
+        bin_length: Duration,
+    ) -> Self {
+        assert!(bin_length.as_secs() > 0, "bin length must be positive");
+        let span = window.length().as_secs();
+        let width = bin_length.as_secs();
+        let bin_count = span.div_ceil(width).max(1) as usize;
+        let mut bins: Vec<Bin> = (0..bin_count)
+            .map(|i| Bin {
+                start: window.start + Duration::from_secs(i as u64 * width),
+                count: 0,
+            })
+            .collect();
+        for e in errors {
+            let keep = match kind {
+                Some(k) => e.kind == k,
+                None => e.kind.is_studied(),
+            };
+            if !keep || !window.contains(e.time) {
+                continue;
+            }
+            let idx = ((e.time - window.start).as_secs() / width) as usize;
+            bins[idx.min(bin_count - 1)].count += 1;
+        }
+        ErrorSeries { bins, bin_length }
+    }
+
+    /// Weekly binning, the paper-natural granularity.
+    pub fn weekly(errors: &[CoalescedError], kind: Option<ErrorKind>, window: Period) -> Self {
+        ErrorSeries::bin(errors, kind, window, Duration::from_days(7))
+    }
+
+    /// The bins, in time order.
+    pub fn bins(&self) -> &[Bin] {
+        &self.bins
+    }
+
+    /// The bin width.
+    pub fn bin_length(&self) -> Duration {
+        self.bin_length
+    }
+
+    /// Total errors across all bins.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().map(|b| b.count).sum()
+    }
+
+    /// Least-squares slope of counts per bin, in errors-per-bin per bin.
+    /// Negative = improving. `None` with fewer than two bins.
+    pub fn trend(&self) -> Option<f64> {
+        let n = self.bins.len();
+        if n < 2 {
+            return None;
+        }
+        let nf = n as f64;
+        let mean_x = (nf - 1.0) / 2.0;
+        let mean_y = self.total() as f64 / nf;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (i, b) in self.bins.iter().enumerate() {
+            let dx = i as f64 - mean_x;
+            num += dx * (b.count as f64 - mean_y);
+            den += dx * dx;
+        }
+        Some(num / den)
+    }
+
+    /// Per-bin system-wide MTBE in hours (`None` entries for empty bins).
+    pub fn mtbe_per_bin(&self) -> Vec<Option<f64>> {
+        let hours = self.bin_length.as_hours_f64();
+        self.bins
+            .iter()
+            .map(|b| if b.count == 0 { None } else { Some(hours / b.count as f64) })
+            .collect()
+    }
+
+    /// Renders a compact sparkline-style text chart.
+    pub fn render(&self) -> String {
+        const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.bins.iter().map(|b| b.count).max().unwrap_or(0).max(1);
+        self.bins
+            .iter()
+            .map(|b| GLYPHS[((b.count * (GLYPHS.len() as u64 - 1)) / max) as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpclog::PciAddr;
+    use simtime::StudyPeriods;
+
+    fn window() -> Period {
+        let start = StudyPeriods::delta().op.start;
+        Period::new(start, start + Duration::from_days(70)) // 10 weeks
+    }
+
+    fn err(day: u64, kind: ErrorKind) -> CoalescedError {
+        CoalescedError {
+            time: window().start + Duration::from_days(day) + Duration::from_hours(1),
+            host: "gpub001".to_owned(),
+            pci: PciAddr::for_gpu_index(0),
+            kind,
+            merged_lines: 1,
+        }
+    }
+
+    #[test]
+    fn weekly_binning_counts_correctly() {
+        // Days 0, 1 -> week 0; day 8 -> week 1; day 65 -> week 9.
+        let errors = vec![
+            err(0, ErrorKind::GspError),
+            err(1, ErrorKind::GspError),
+            err(8, ErrorKind::GspError),
+            err(65, ErrorKind::GspError),
+        ];
+        let s = ErrorSeries::weekly(&errors, Some(ErrorKind::GspError), window());
+        assert_eq!(s.bins().len(), 10);
+        assert_eq!(s.bins()[0].count, 2);
+        assert_eq!(s.bins()[1].count, 1);
+        assert_eq!(s.bins()[9].count, 1);
+        assert_eq!(s.total(), 4);
+    }
+
+    #[test]
+    fn kind_filter_and_all_studied() {
+        let errors = vec![
+            err(0, ErrorKind::GspError),
+            err(0, ErrorKind::MmuError),
+            err(0, ErrorKind::GpuSoftware), // excluded kind
+        ];
+        let gsp = ErrorSeries::weekly(&errors, Some(ErrorKind::GspError), window());
+        assert_eq!(gsp.total(), 1);
+        let all = ErrorSeries::weekly(&errors, None, window());
+        assert_eq!(all.total(), 2);
+    }
+
+    #[test]
+    fn events_outside_window_ignored() {
+        let mut e = err(0, ErrorKind::GspError);
+        e.time = window().end + Duration::from_days(1);
+        let s = ErrorSeries::weekly(&[e], None, window());
+        assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn increasing_series_has_positive_trend() {
+        let mut errors = Vec::new();
+        for week in 0..10u64 {
+            for _ in 0..week {
+                errors.push(err(week * 7, ErrorKind::GspError));
+            }
+        }
+        let s = ErrorSeries::weekly(&errors, None, window());
+        let slope = s.trend().unwrap();
+        assert!((slope - 1.0).abs() < 1e-9, "slope {slope}");
+    }
+
+    #[test]
+    fn improving_series_has_negative_trend() {
+        let mut errors = Vec::new();
+        for week in 0..10u64 {
+            for _ in 0..(10 - week) {
+                errors.push(err(week * 7, ErrorKind::NvlinkError));
+            }
+        }
+        let s = ErrorSeries::weekly(&errors, None, window());
+        assert!(s.trend().unwrap() < -0.9);
+    }
+
+    #[test]
+    fn flat_series_has_zero_trend() {
+        let mut errors = Vec::new();
+        for week in 0..10u64 {
+            errors.push(err(week * 7, ErrorKind::MmuError));
+        }
+        let s = ErrorSeries::weekly(&errors, None, window());
+        assert!(s.trend().unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn trend_needs_two_bins() {
+        let s = ErrorSeries::bin(&[], None, window(), Duration::from_days(70));
+        assert_eq!(s.bins().len(), 1);
+        assert_eq!(s.trend(), None);
+    }
+
+    #[test]
+    fn mtbe_per_bin() {
+        let errors = vec![err(0, ErrorKind::GspError), err(0, ErrorKind::GspError)];
+        let s = ErrorSeries::weekly(&errors, None, window());
+        let mtbe = s.mtbe_per_bin();
+        assert_eq!(mtbe[0], Some(7.0 * 24.0 / 2.0));
+        assert_eq!(mtbe[1], None);
+    }
+
+    #[test]
+    fn render_sparkline() {
+        let errors = vec![err(0, ErrorKind::GspError), err(0, ErrorKind::GspError)];
+        let s = ErrorSeries::weekly(&errors, None, window());
+        let chart = s.render();
+        assert_eq!(chart.chars().count(), 10);
+        assert!(chart.starts_with('█'));
+    }
+
+    #[test]
+    fn partial_trailing_bin_kept() {
+        let start = window().start;
+        let short = Period::new(start, start + Duration::from_days(10));
+        let s = ErrorSeries::weekly(&[], None, short);
+        assert_eq!(s.bins().len(), 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! Property tests for the analysis pipeline's invariants: coalescing
+//! conservation and idempotence, MTBE identities, attribution monotonicity
+//! and histogram conservation.
+
+use hpclog::{PciAddr, Timestamp, XidEvent};
+use proptest::prelude::*;
+use resilience::coalesce::{coalesce, CoalesceSummary};
+use resilience::csvio;
+use resilience::histogram::{percentile, Histogram};
+use resilience::impact::JobImpact;
+use resilience::job::AccountedJob;
+use resilience::stats::ErrorStats;
+use simtime::{Duration, Phase, StudyPeriods};
+use xid::XidCode;
+
+/// Event streams over a few hosts/GPUs/codes within the study window.
+fn event_stream() -> impl Strategy<Value = Vec<XidEvent>> {
+    let start = StudyPeriods::delta().pre_op.start.unix();
+    proptest::collection::vec(
+        (
+            0u64..100_000,             // offset seconds
+            0u8..3,                    // host
+            0u8..2,                    // gpu
+            prop::sample::select(vec![31u16, 74, 79, 119]),
+        ),
+        0..120,
+    )
+    .prop_map(move |mut raw| {
+        raw.sort();
+        raw.into_iter()
+            .map(|(offset, host, gpu, code)| {
+                XidEvent::new(
+                    Timestamp::from_unix(start + offset),
+                    format!("gpub00{}", host + 1),
+                    PciAddr::for_gpu_index(gpu),
+                    XidCode::new(code),
+                    "",
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Coalescing conserves raw lines and never grows the set.
+    #[test]
+    fn coalesce_conserves_lines(events in event_stream(), window in 0u64..600) {
+        let n = events.len() as u64;
+        let merged = coalesce(events, Duration::from_secs(window));
+        let summary = CoalesceSummary::of(&merged);
+        prop_assert_eq!(summary.raw_lines, n);
+        prop_assert!(summary.errors <= n);
+    }
+
+    /// Coalescing is idempotent: re-coalescing the representatives with the
+    /// same window changes nothing (anchors are at least a window apart).
+    #[test]
+    fn coalesce_idempotent(events in event_stream(), window in 0u64..600) {
+        let window = Duration::from_secs(window);
+        let once = coalesce(events, window);
+        let again = coalesce(
+            once.iter().map(|e| XidEvent::new(
+                e.time,
+                e.host.clone(),
+                e.pci,
+                e.kind.primary_code(),
+                "",
+            )),
+            window,
+        );
+        prop_assert_eq!(again.len(), once.len());
+        for (a, b) in once.iter().zip(&again) {
+            prop_assert_eq!(a.time, b.time);
+            prop_assert_eq!(&a.host, &b.host);
+            prop_assert_eq!(a.kind, b.kind);
+        }
+    }
+
+    /// A wider window never yields more errors.
+    #[test]
+    fn coalesce_monotone_in_window(events in event_stream(), w1 in 0u64..300, w2 in 0u64..300) {
+        let (small, large) = (w1.min(w2), w1.max(w2));
+        let a = coalesce(events.clone(), Duration::from_secs(small)).len();
+        let b = coalesce(events, Duration::from_secs(large)).len();
+        prop_assert!(b <= a, "window {large} gave {b} > {a} from window {small}");
+    }
+
+    /// MTBE identities: per-node = system × nodes; count × MTBE = hours.
+    #[test]
+    fn mtbe_identities(events in event_stream(), nodes in 1usize..500) {
+        let merged = coalesce(events, Duration::from_secs(20));
+        let stats = ErrorStats::compute(&merged, StudyPeriods::delta(), nodes);
+        for kind in xid::ErrorKind::STUDIED {
+            for phase in [Phase::PreOp, Phase::Op] {
+                let count = stats.count(kind, phase);
+                match (stats.mtbe_system(kind, phase), stats.mtbe_per_node(kind, phase)) {
+                    (Some(sys), Some(node)) => {
+                        prop_assert!(count > 0);
+                        prop_assert!((node / sys - nodes as f64).abs() < 1e-6);
+                        prop_assert!((sys * count as f64 - stats.phase_hours(phase)).abs() < 1e-3);
+                    }
+                    (None, None) => prop_assert_eq!(count, 0),
+                    _ => prop_assert!(false, "inconsistent MTBE options"),
+                }
+            }
+        }
+    }
+
+    /// Attribution: failed ≤ encountered per kind; a wider attribution
+    /// window never attributes fewer failures.
+    #[test]
+    fn attribution_monotone(events in event_stream(), end_offset in 1u64..120) {
+        let merged = coalesce(events, Duration::from_secs(20));
+        // One failing job per (host, gpu) covering the whole window.
+        let periods = StudyPeriods::delta();
+        let jobs: Vec<AccountedJob> = (0..3u8)
+            .flat_map(|h| (0..2u8).map(move |g| (h, g)))
+            .enumerate()
+            .map(|(i, (h, g))| AccountedJob {
+                id: i as u64,
+                name: format!("j{i}"),
+                submit: periods.pre_op.start,
+                start: periods.pre_op.start,
+                end: periods.pre_op.start + Duration::from_secs(100_000 + end_offset),
+                gpus: 1,
+                gpu_slots: vec![(format!("gpub00{}", h + 1), g)],
+                completed: false,
+            })
+            .collect();
+        let narrow = JobImpact::compute(&jobs, &merged, Duration::from_secs(5));
+        let wide = JobImpact::compute(&jobs, &merged, Duration::from_secs(600_000));
+        for kind in xid::ErrorKind::STUDIED {
+            let (n, w) = (narrow.kind(kind), wide.kind(kind));
+            prop_assert!(n.failed <= n.encountered);
+            prop_assert!(w.failed <= w.encountered);
+            prop_assert!(n.failed <= w.failed);
+            prop_assert_eq!(n.encountered, w.encountered);
+        }
+        prop_assert!(narrow.gpu_failed_jobs() <= wide.gpu_failed_jobs());
+    }
+
+    /// Histograms conserve observations across bins + under/overflow.
+    #[test]
+    fn histogram_conserves(values in proptest::collection::vec(-10.0f64..100.0, 0..200)) {
+        let mut h = Histogram::new(0.0, 10.0, 7);
+        for &v in &values {
+            h.add(v);
+        }
+        let binned: u64 = h.bin_counts().iter().sum();
+        prop_assert_eq!(binned + h.overflow() + h.underflow(), values.len() as u64);
+    }
+
+    /// Percentiles are monotone in p and bounded by the sample extremes.
+    #[test]
+    fn percentile_monotone(
+        values in proptest::collection::vec(-1e6f64..1e6, 1..100),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        let a = percentile(&values, p1.min(p2)).unwrap();
+        let b = percentile(&values, p1.max(p2)).unwrap();
+        prop_assert!(a <= b + 1e-9);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min - 1e-9 && b <= max + 1e-9);
+    }
+}
+
+/// Arbitrary-ish job records for CSV round-trip testing (names restricted
+/// to CSV-safe characters, as real sacct exports are).
+fn arbitrary_job() -> impl Strategy<Value = AccountedJob> {
+    (
+        any::<u32>(),
+        "[a-zA-Z0-9_.-]{1,20}",
+        1_640_995_200u64..1_741_000_000,
+        0u64..10_000,
+        1u64..500_000,
+        0u32..8,
+        any::<bool>(),
+    )
+        .prop_map(|(id, name, submit, wait, run, gpus, completed)| {
+            let submit = Timestamp::from_unix(submit);
+            let start = submit + Duration::from_secs(wait);
+            AccountedJob {
+                id: id as u64,
+                name,
+                submit,
+                start,
+                end: start + Duration::from_secs(run),
+                gpus,
+                gpu_slots: (0..gpus.min(4) as u8)
+                    .map(|i| (format!("gpub{:03}", i + 1), i))
+                    .collect(),
+                completed,
+            }
+        })
+}
+
+proptest! {
+    /// The job CSV schema round-trips arbitrary records exactly.
+    #[test]
+    fn csv_jobs_roundtrip(jobs in proptest::collection::vec(arbitrary_job(), 0..30)) {
+        let csv = csvio::render_jobs(&jobs);
+        let back = csvio::parse_jobs(&csv).unwrap();
+        prop_assert_eq!(back, jobs);
+    }
+
+    /// The outage CSV schema round-trips arbitrary records exactly.
+    #[test]
+    fn csv_outages_roundtrip(
+        rows in proptest::collection::vec(
+            (1u16..999, 1_640_995_200u64..1_741_000_000, 1u64..100_000),
+            0..30,
+        )
+    ) {
+        let outages: Vec<resilience::OutageRecord> = rows
+            .into_iter()
+            .map(|(node, start, secs)| resilience::OutageRecord {
+                host: format!("gpub{node:03}"),
+                start: Timestamp::from_unix(start),
+                duration: Duration::from_secs(secs),
+            })
+            .collect();
+        let csv = csvio::render_outages(&outages);
+        prop_assert_eq!(csvio::parse_outages(&csv).unwrap(), outages);
+    }
+}

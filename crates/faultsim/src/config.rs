@@ -1,0 +1,313 @@
+//! Campaign configuration: cluster shape, calendar, rates, propagation,
+//! duplication, the storm episode, health policy and repair model.
+
+use simtime::StudyPeriods;
+use crate::rates::CalibratedRates;
+use clustersim::{ClusterSpec, GpuId, HealthPolicy, NodeId, RepairModel};
+use simtime::{Duration, Timestamp};
+
+/// How PMU errors drag MMU errors behind them (§IV(iv): PMU SPI errors
+/// "exhibited high correlations with MMU errors").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PropagationConfig {
+    /// Probability a PMU error is followed by an MMU burst.
+    pub pmu_mmu_burst_prob: f64,
+    /// Mean burst size (Poisson) when a burst happens.
+    pub pmu_mmu_burst_mean: f64,
+    /// Mean gap between the PMU error and each follower (exponential).
+    pub pmu_mmu_mean_delay: Duration,
+    /// NVLink incident fan-out weights for touching 1, 2 or 3 GPUs.
+    /// The paper: 42% of operational NVLink errors propagate to ≥ 2 GPUs.
+    pub nvlink_fanout_weights: [f64; 3],
+}
+
+impl Default for PropagationConfig {
+    fn default() -> Self {
+        PropagationConfig {
+            pmu_mmu_burst_prob: 0.8,
+            pmu_mmu_burst_mean: 3.0,
+            pmu_mmu_mean_delay: Duration::from_secs(90),
+            nvlink_fanout_weights: [0.58, 0.30, 0.12],
+        }
+    }
+}
+
+/// Episode structure: how errors of one incident repeat over time.
+///
+/// The paper's Tables I and II only reconcile if errors are strongly
+/// clustered: Table I counts 3,857 operational GSP errors, yet Table II
+/// finds only 31 jobs that encountered XID 119 — because a GSP fault
+/// *flaps*: the health check drains the node, a reboot clears nothing, the
+/// error re-fires on the drained node (hitting no new job), and the cycle
+/// repeats until SREs intervene. [`EpisodeConfig`] encodes the expected
+/// number of error/reboot cycles per root incident; the calibrated
+/// *incident* rates in [`crate::CalibratedRates`] are the Table I counts
+/// divided by these cycle counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpisodeConfig {
+    /// Expected extra MMU errors per MMU incident (short burst, no reboot).
+    pub mmu_extra_mean: f64,
+    /// Mean gap between MMU burst errors.
+    pub mmu_gap_mean: Duration,
+    /// Expected error/reboot cycles per GSP incident.
+    pub gsp_cycles_mean: f64,
+    /// Expected error/reboot cycles per NVLink defective-link episode.
+    pub nvlink_cycles_mean: f64,
+    /// Expected error/reboot cycles per fallen-off-bus incident.
+    pub fallen_cycles_mean: f64,
+    /// Mean idle gap between a reboot completing and the error re-firing.
+    pub cycle_gap_mean: Duration,
+}
+
+impl EpisodeConfig {
+    /// Expected MMU errors per incident (first + extras).
+    pub fn mmu_errors_per_incident(&self) -> f64 {
+        1.0 + self.mmu_extra_mean
+    }
+}
+
+impl Default for EpisodeConfig {
+    fn default() -> Self {
+        EpisodeConfig {
+            mmu_extra_mean: crate::rates::MMU_EXTRA_MEAN,
+            mmu_gap_mean: Duration::from_mins(3),
+            gsp_cycles_mean: crate::rates::GSP_CYCLES_MEAN,
+            nvlink_cycles_mean: crate::rates::NVLINK_CYCLES_MEAN,
+            fallen_cycles_mean: crate::rates::FALLEN_CYCLES_MEAN,
+            cycle_gap_mean: Duration::from_mins(30),
+        }
+    }
+}
+
+/// Duplicate-log-line emission: the same error repeats in the log before
+/// the condition clears, which is exactly why the analysis pipeline needs
+/// its coalescing stage (Fig. 1, stage ii).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DuplicationConfig {
+    /// Mean number of *extra* lines per ground-truth error (geometric).
+    pub mean_extra: f64,
+    /// Window within which duplicates land after the first line.
+    pub window: Duration,
+}
+
+impl Default for DuplicationConfig {
+    fn default() -> Self {
+        // Duplicates repeat within seconds of the first line; the window
+        // must sit well inside the analysis coalescing Δt (20 s) so that
+        // duplicates merge while distinct errors survive.
+        DuplicationConfig { mean_extra: 2.0, window: Duration::from_secs(10) }
+    }
+}
+
+/// The pre-operational error storm of §IV(vi): one faulty GPU logged
+/// uncontained memory errors continuously for 17 days (May 5–21, 2022),
+/// 38,900 coalesced errors and over a million raw lines, without recovery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StormConfig {
+    /// The faulty GPU.
+    pub gpu: GpuId,
+    /// When the storm starts.
+    pub start: Timestamp,
+    /// How long it lasts.
+    pub length: Duration,
+    /// Coalesced errors per hour during the storm.
+    pub errors_per_hour: f64,
+    /// Mean extra duplicate lines per storm error (much burstier than
+    /// normal errors).
+    pub duplicate_mean_extra: f64,
+}
+
+impl StormConfig {
+    /// The paper's episode: 38,900 errors over 17 days (~95/h) from one
+    /// GPU, duplicated to >1M raw lines (~26 extra lines each).
+    pub fn delta() -> Self {
+        StormConfig {
+            gpu: GpuId::new(NodeId::new(37), 2),
+            start: Timestamp::from_ymd_hms(2022, 5, 5, 0, 0, 0).expect("valid date"),
+            length: Duration::from_days(17),
+            errors_per_hour: 38_900.0 / (17.0 * 24.0),
+            duplicate_mean_extra: 26.0,
+        }
+    }
+
+    /// Expected number of coalesced storm errors.
+    pub fn expected_errors(&self) -> f64 {
+        self.errors_per_hour * self.length.as_hours_f64()
+    }
+
+    /// The storm window end.
+    pub fn end(&self) -> Timestamp {
+        self.start + self.length
+    }
+}
+
+/// Complete configuration for one fault-injection campaign.
+///
+/// Use [`FaultConfig::delta`] for the full-fidelity study reproduction,
+/// [`FaultConfig::delta_scaled`] for a time-scaled one, or build a custom
+/// configuration field by field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// The cluster shape.
+    pub spec: ClusterSpec,
+    /// The measurement calendar.
+    pub periods: StudyPeriods,
+    /// Per-component hazard rates.
+    pub rates: CalibratedRates,
+    /// Error propagation parameters.
+    pub propagation: PropagationConfig,
+    /// Episode (error clustering / flapping) parameters.
+    pub episodes: EpisodeConfig,
+    /// Duplicate-line emission parameters.
+    pub duplication: DuplicationConfig,
+    /// The storm episode, if any.
+    pub storm: Option<StormConfig>,
+    /// The SRE health-check response model.
+    pub health: HealthPolicy,
+    /// The repair-duration model.
+    pub repair: RepairModel,
+    /// Whether to render raw log lines into the archive (disable for
+    /// statistics-only runs where only ground truth matters).
+    pub emit_logs: bool,
+    /// Benign background log lines per node per day (slurmd, health
+    /// checks, systemd...), written alongside error lines so extraction is
+    /// exercised on realistic traffic. Zero disables noise.
+    pub noise_lines_per_node_day: f64,
+    /// SRE replacement rule (§II-B): after this many row-remapping
+    /// failures a GPU is physically swapped (fresh spare rows, long
+    /// replacement outage). Zero disables replacement.
+    pub rrf_replacement_threshold: u32,
+    /// Root seed for the campaign's random streams.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// The full-fidelity Delta reproduction: 106 nodes / 448 GPUs, the
+    /// 1,169-day calendar, Table-I-calibrated rates and the 17-day storm.
+    pub fn delta() -> Self {
+        FaultConfig {
+            spec: ClusterSpec::delta(),
+            periods: StudyPeriods::delta(),
+            rates: CalibratedRates::delta(),
+            propagation: PropagationConfig::default(),
+            episodes: EpisodeConfig::default(),
+            duplication: DuplicationConfig::default(),
+            storm: Some(StormConfig::delta()),
+            health: HealthPolicy::delta(),
+            repair: RepairModel::delta(),
+            emit_logs: true,
+            noise_lines_per_node_day: 4.0,
+            rrf_replacement_threshold: 3,
+            seed: 0xDE17A,
+        }
+    }
+
+    /// A time-scaled campaign: the full cluster and the same *rates*, but a
+    /// window shortened to `fraction` of the real calendar (and the storm
+    /// shortened to fit). Expected event counts scale with `fraction`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction <= 1`.
+    pub fn delta_scaled(fraction: f64) -> Self {
+        let mut config = FaultConfig::delta();
+        config.periods = StudyPeriods::delta_scaled(fraction);
+        config.storm = config.storm.map(|mut storm| {
+            let days = (17.0 * fraction).max(0.5);
+            storm.length = Duration::from_secs((days * 86_400.0) as u64);
+            // Keep the storm inside the scaled pre-op window.
+            storm.start = config.periods.pre_op.start + Duration::from_days(1);
+            if storm.end() > config.periods.pre_op.end {
+                storm.length = config.periods.pre_op.end - storm.start;
+            }
+            storm
+        });
+        config
+    }
+
+    /// A tiny configuration for unit tests: [`ClusterSpec::tiny`], ~1% of
+    /// the calendar, no storm, no log emission.
+    pub fn tiny(seed: u64) -> Self {
+        let spec = ClusterSpec::tiny();
+        let periods = StudyPeriods::delta_scaled(0.01);
+        FaultConfig {
+            spec,
+            periods,
+            // Rates are per-unit, so they transfer to any cluster size.
+            rates: CalibratedRates::delta(),
+            propagation: PropagationConfig::default(),
+            episodes: EpisodeConfig::default(),
+            duplication: DuplicationConfig::default(),
+            storm: None,
+            health: HealthPolicy::delta(),
+            repair: RepairModel::delta(),
+            emit_logs: false,
+            noise_lines_per_node_day: 0.0,
+            rrf_replacement_threshold: 3,
+            seed,
+        }
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::delta()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_storm_matches_paper_episode() {
+        let storm = StormConfig::delta();
+        assert!((storm.expected_errors() - 38_900.0).abs() < 1.0);
+        assert_eq!(storm.length, Duration::from_days(17));
+        assert_eq!(storm.start.ymd(), (2022, 5, 5));
+        assert_eq!(storm.end().ymd(), (2022, 5, 22));
+        // >1M raw lines: 38,900 * (1 + 26) = 1.05M.
+        let lines = storm.expected_errors() * (1.0 + storm.duplicate_mean_extra);
+        assert!(lines > 1_000_000.0);
+    }
+
+    #[test]
+    fn delta_config_is_full_fidelity() {
+        let c = FaultConfig::delta();
+        assert_eq!(c.spec.gpu_count(), 448);
+        assert!(c.storm.is_some());
+        assert!(c.emit_logs);
+    }
+
+    #[test]
+    fn scaled_storm_stays_in_pre_op() {
+        for f in [0.01, 0.05, 0.2, 1.0] {
+            let c = FaultConfig::delta_scaled(f);
+            let storm = c.storm.unwrap();
+            assert!(storm.start >= c.periods.pre_op.start, "f={f}");
+            assert!(storm.end() <= c.periods.pre_op.end, "f={f}");
+        }
+    }
+
+    #[test]
+    fn tiny_config_is_fast() {
+        let c = FaultConfig::tiny(1);
+        assert!(c.spec.gpu_count() < 32);
+        assert!(c.periods.whole().days() < 30.0);
+        assert!(c.storm.is_none());
+        assert!(!c.emit_logs);
+    }
+
+    #[test]
+    fn fanout_weights_embody_42_percent_multi_gpu() {
+        let p = PropagationConfig::default();
+        let multi = p.nvlink_fanout_weights[1] + p.nvlink_fanout_weights[2];
+        let total: f64 = p.nvlink_fanout_weights.iter().sum();
+        assert!((multi / total - 0.42).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_is_delta() {
+        assert_eq!(FaultConfig::default(), FaultConfig::delta());
+    }
+}

@@ -1,0 +1,118 @@
+//! Duplicate-log-line emission.
+//!
+//! A GPU error condition rarely logs exactly once: the driver re-reports it
+//! until it clears, so one ground-truth error becomes a small cluster of
+//! identical lines seconds apart (and during the storm episode, dozens).
+//! The analysis pipeline's coalescing stage exists precisely to undo this;
+//! [`Duplicator`] is the forward model it is undoing.
+
+use crate::config::DuplicationConfig;
+use simrng::dist::{Geometric, Sample};
+use simrng::Rng;
+use simtime::{Duration, Timestamp};
+
+/// Samples the timestamps at which one error's log lines appear.
+#[derive(Debug, Clone)]
+pub struct Duplicator {
+    extra: Geometric,
+    window: Duration,
+}
+
+impl Duplicator {
+    /// Builds a duplicator emitting `1 + Geometric` lines, with the extras
+    /// uniform over `window` after the first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_extra` is negative or non-finite — these come from
+    /// static configuration.
+    pub fn new(config: DuplicationConfig) -> Self {
+        assert!(
+            config.mean_extra >= 0.0 && config.mean_extra.is_finite(),
+            "mean_extra {}",
+            config.mean_extra
+        );
+        // Geometric(p) has mean (1-p)/p = m  =>  p = 1/(1+m).
+        let p = 1.0 / (1.0 + config.mean_extra);
+        Duplicator {
+            extra: Geometric::new(p).expect("p in (0, 1] by construction"),
+            window: config.window,
+        }
+    }
+
+    /// The expected number of extra lines per error.
+    pub fn mean_extra(&self) -> f64 {
+        self.extra.mean()
+    }
+
+    /// The timestamps of all lines for an error at `time`: the first line
+    /// exactly at `time`, extras sorted within the window.
+    pub fn line_times(&self, time: Timestamp, rng: &mut Rng) -> Vec<Timestamp> {
+        let extras = self.extra.sample(rng) as usize;
+        let mut times = Vec::with_capacity(1 + extras);
+        times.push(time);
+        let span = self.window.as_secs().max(1);
+        for _ in 0..extras {
+            times.push(time + Duration::from_secs(rng.range(1, span + 1)));
+        }
+        times.sort_unstable();
+        times
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(mean: f64) -> DuplicationConfig {
+        DuplicationConfig { mean_extra: mean, window: Duration::from_secs(30) }
+    }
+
+    #[test]
+    fn first_line_is_at_error_time() {
+        let d = Duplicator::new(config(2.0));
+        let mut rng = Rng::seed_from(1);
+        let t = Timestamp::from_unix(1_000_000);
+        for _ in 0..200 {
+            let times = d.line_times(t, &mut rng);
+            assert_eq!(times[0], t);
+        }
+    }
+
+    #[test]
+    fn extras_stay_in_window_and_sorted() {
+        let d = Duplicator::new(config(5.0));
+        let mut rng = Rng::seed_from(2);
+        let t = Timestamp::from_unix(500_000);
+        for _ in 0..200 {
+            let times = d.line_times(t, &mut rng);
+            for pair in times.windows(2) {
+                assert!(pair[0] <= pair[1]);
+            }
+            for &lt in &times {
+                assert!(lt >= t && lt <= t + Duration::from_secs(30));
+            }
+        }
+    }
+
+    #[test]
+    fn mean_extra_matches_configuration() {
+        let d = Duplicator::new(config(26.0));
+        assert!((d.mean_extra() - 26.0).abs() < 1e-9);
+        let mut rng = Rng::seed_from(3);
+        let t = Timestamp::from_unix(0);
+        let n = 20_000;
+        let total: usize = (0..n).map(|_| d.line_times(t, &mut rng).len() - 1).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 26.0).abs() < 0.5, "mean extras {mean}");
+    }
+
+    #[test]
+    fn zero_mean_never_duplicates() {
+        let d = Duplicator::new(config(0.0));
+        let mut rng = Rng::seed_from(4);
+        for _ in 0..100 {
+            assert_eq!(d.line_times(Timestamp::from_unix(1), &mut rng).len(), 1);
+        }
+    }
+}

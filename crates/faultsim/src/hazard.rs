@@ -1,0 +1,346 @@
+//! Piecewise-constant hazard processes over the study calendar.
+//!
+//! Each `(GPU, error kind)` pair is a Poisson process whose rate jumps at
+//! the pre-operational → operational boundary (the paper attributes the
+//! observed GSP/PMU/MMU rate changes to the utilization jump when Delta
+//! entered production). Sampling across the boundary uses the standard
+//! restart property of the exponential distribution: if a gap drawn at rate
+//! `r₁` overshoots the boundary, the draw is redone from the boundary at
+//! rate `r₂` — memorylessness makes this exact, not an approximation.
+
+use simtime::{Phase, StudyPeriods};
+use simrng::Rng;
+use simtime::{Duration, Timestamp};
+
+/// A two-phase Poisson error process.
+///
+/// # Example
+///
+/// ```
+/// use faultsim::hazard::PiecewiseHazard;
+/// use faultsim::StudyPeriods;
+/// use simrng::Rng;
+///
+/// let periods = StudyPeriods::delta();
+/// // GSP: rare in testing, frequent in production.
+/// let hazard = PiecewiseHazard::new(periods, 0.0001, 0.0006);
+/// let mut rng = Rng::seed_from(1);
+/// let first = hazard.next_fire(periods.pre_op.start, &mut rng);
+/// assert!(first.is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PiecewiseHazard {
+    periods: StudyPeriods,
+    /// Rate during pre-op, events per hour.
+    pre_rate: f64,
+    /// Rate during op, events per hour.
+    op_rate: f64,
+}
+
+impl PiecewiseHazard {
+    /// Creates a process with the given per-hour rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is negative or non-finite.
+    pub fn new(periods: StudyPeriods, pre_rate: f64, op_rate: f64) -> Self {
+        assert!(pre_rate >= 0.0 && pre_rate.is_finite(), "pre_rate {pre_rate}");
+        assert!(op_rate >= 0.0 && op_rate.is_finite(), "op_rate {op_rate}");
+        PiecewiseHazard { periods, pre_rate, op_rate }
+    }
+
+    /// The rate in effect at `t` (zero outside the study window).
+    pub fn rate_at(&self, t: Timestamp) -> f64 {
+        match self.periods.period_of(t) {
+            Some(Phase::PreOp) => self.pre_rate,
+            Some(Phase::Op) => self.op_rate,
+            None => 0.0,
+        }
+    }
+
+    /// The expected total number of events over the whole window.
+    pub fn expected_events(&self) -> f64 {
+        self.pre_rate * self.periods.pre_op.hours() + self.op_rate * self.periods.op.hours()
+    }
+
+    /// Samples the first firing time strictly after `now`, or `None` if the
+    /// process never fires again before the window ends.
+    pub fn next_fire(&self, now: Timestamp, rng: &mut Rng) -> Option<Timestamp> {
+        let mut cursor = now.max(self.periods.pre_op.start);
+        loop {
+            let (rate, period_end) = match self.periods.period_of(cursor) {
+                Some(Phase::PreOp) => (self.pre_rate, self.periods.pre_op.end),
+                Some(Phase::Op) => (self.op_rate, self.periods.op.end),
+                None => return None,
+            };
+            if rate <= 0.0 {
+                // Dormant this phase; fast-forward to the next one.
+                cursor = period_end;
+                continue;
+            }
+            let gap_hours = -rng.f64_open().ln() / rate;
+            // Cap the gap so the seconds conversion cannot overflow even
+            // for absurdly small rates.
+            let gap_secs = (gap_hours * 3600.0).min(4.0e17);
+            let fire = cursor.saturating_add(Duration::from_secs(gap_secs.ceil() as u64));
+            if fire < period_end {
+                return Some(fire);
+            }
+            // Overshot: restart from the boundary (memorylessness).
+            cursor = period_end;
+        }
+    }
+}
+
+/// A power-law (Weibull-intensity) non-homogeneous process, the standard
+/// model for *infant mortality* and *wear-out* in repairable systems.
+///
+/// The intensity at device age `t` hours is
+/// `λ(t) = (shape / scale) · (t / scale)^(shape−1)`: `shape < 1` gives a
+/// decreasing error rate (early defects shaken out — the paper's pre-op
+/// NVLink and RRF rates improving into the operational period), `shape = 1`
+/// reduces to a homogeneous Poisson process, and `shape > 1` models
+/// wear-out. Sampling uses the closed-form inverse of the cumulative
+/// hazard `Λ(t) = (t/scale)^shape`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawProcess {
+    origin: Timestamp,
+    end: Timestamp,
+    shape: f64,
+    scale_hours: f64,
+}
+
+impl PowerLawProcess {
+    /// Creates a process observed from `origin` (device age zero) to `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `shape` and `scale_hours` are finite and positive and
+    /// `end > origin`.
+    pub fn new(origin: Timestamp, end: Timestamp, shape: f64, scale_hours: f64) -> Self {
+        assert!(shape > 0.0 && shape.is_finite(), "shape {shape}");
+        assert!(scale_hours > 0.0 && scale_hours.is_finite(), "scale {scale_hours}");
+        assert!(end > origin, "empty observation window");
+        PowerLawProcess { origin, end, shape, scale_hours }
+    }
+
+    /// Expected events by device age `age_hours`: `(age/scale)^shape`.
+    pub fn expected_by(&self, age_hours: f64) -> f64 {
+        (age_hours / self.scale_hours).powf(self.shape)
+    }
+
+    /// Samples the next event strictly after `now`, or `None` past the
+    /// window end.
+    ///
+    /// Inversion: with `Λ(t) = (t/s)^k`, the next event after age `a`
+    /// arrives at age `s · (Λ(a) − ln U)^(1/k)`.
+    pub fn next_fire(&self, now: Timestamp, rng: &mut Rng) -> Option<Timestamp> {
+        let now = now.max(self.origin);
+        if now >= self.end {
+            return None;
+        }
+        let age = (now - self.origin).as_hours_f64();
+        let lambda_now = self.expected_by(age);
+        let next_age = self.scale_hours
+            * (lambda_now - rng.f64_open().ln()).powf(1.0 / self.shape);
+        let gap_secs = ((next_age - age) * 3600.0).clamp(1.0, 4.0e17);
+        let fire = now.saturating_add(Duration::from_secs(gap_secs.ceil() as u64));
+        if fire < self.end {
+            Some(fire)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn periods() -> StudyPeriods {
+        StudyPeriods::delta()
+    }
+
+    /// Counts fires of a hazard over the whole window.
+    fn count_fires(h: &PiecewiseHazard, rng: &mut Rng) -> (u64, u64) {
+        let mut pre = 0;
+        let mut op = 0;
+        let mut t = h.periods.pre_op.start;
+        while let Some(fire) = h.next_fire(t, rng) {
+            match h.periods.period_of(fire) {
+                Some(Phase::PreOp) => pre += 1,
+                Some(Phase::Op) => op += 1,
+                None => break,
+            }
+            t = fire;
+        }
+        (pre, op)
+    }
+
+    #[test]
+    fn fires_match_expected_counts_per_phase() {
+        // Rates chosen to give ~200 pre-op and ~2000 op events.
+        let h = PiecewiseHazard::new(periods(), 200.0 / periods().pre_op.hours(), 2000.0 / periods().op.hours());
+        let mut rng = Rng::seed_from(11);
+        let (pre, op) = count_fires(&h, &mut rng);
+        assert!((150..250).contains(&pre), "pre {pre}");
+        assert!((1800..2200).contains(&op), "op {op}");
+    }
+
+    #[test]
+    fn zero_pre_rate_skips_to_op() {
+        let h = PiecewiseHazard::new(periods(), 0.0, 1.0);
+        let mut rng = Rng::seed_from(2);
+        let fire = h.next_fire(periods().pre_op.start, &mut rng).unwrap();
+        assert_eq!(periods().period_of(fire), Some(Phase::Op));
+    }
+
+    #[test]
+    fn zero_rates_never_fire() {
+        let h = PiecewiseHazard::new(periods(), 0.0, 0.0);
+        let mut rng = Rng::seed_from(3);
+        assert_eq!(h.next_fire(periods().pre_op.start, &mut rng), None);
+    }
+
+    #[test]
+    fn no_fires_after_window() {
+        let h = PiecewiseHazard::new(periods(), 1.0, 1.0);
+        let mut rng = Rng::seed_from(4);
+        assert_eq!(h.next_fire(periods().op.end, &mut rng), None);
+    }
+
+    #[test]
+    fn fires_are_strictly_increasing() {
+        let h = PiecewiseHazard::new(periods(), 0.05, 0.05);
+        let mut rng = Rng::seed_from(5);
+        let mut t = periods().pre_op.start;
+        for _ in 0..500 {
+            match h.next_fire(t, &mut rng) {
+                Some(fire) => {
+                    assert!(fire > t);
+                    t = fire;
+                }
+                None => break,
+            }
+        }
+    }
+
+    #[test]
+    fn rate_at_respects_phases() {
+        let h = PiecewiseHazard::new(periods(), 1.0, 2.0);
+        assert_eq!(h.rate_at(periods().pre_op.start), 1.0);
+        assert_eq!(h.rate_at(periods().op.start), 2.0);
+        assert_eq!(h.rate_at(periods().op.end), 0.0);
+    }
+
+    #[test]
+    fn expected_events_formula() {
+        let h = PiecewiseHazard::new(periods(), 0.0, 1.0);
+        assert!((h.expected_events() - periods().op.hours()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tiny_rate_does_not_overflow() {
+        let h = PiecewiseHazard::new(periods(), 1e-300, 1e-300);
+        let mut rng = Rng::seed_from(6);
+        // Will almost surely be None (gap far beyond window) without panic.
+        let _ = h.next_fire(periods().pre_op.start, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "pre_rate")]
+    fn negative_rate_panics() {
+        PiecewiseHazard::new(periods(), -1.0, 0.0);
+    }
+
+    fn power_law(shape: f64, scale: f64) -> PowerLawProcess {
+        let p = periods();
+        PowerLawProcess::new(p.pre_op.start, p.op.end, shape, scale)
+    }
+
+    fn count_power_law_fires(
+        proc_: &PowerLawProcess,
+        until_hours: f64,
+        rng: &mut Rng,
+    ) -> (u64, u64) {
+        // Counts in [0, until/2) and [until/2, until).
+        let start = periods().pre_op.start;
+        let half = start + Duration::from_secs((until_hours * 1800.0) as u64);
+        let end = start + Duration::from_secs((until_hours * 3600.0) as u64);
+        let (mut first, mut second) = (0, 0);
+        let mut t = start;
+        while let Some(fire) = proc_.next_fire(t, rng) {
+            if fire >= end {
+                break;
+            }
+            if fire < half {
+                first += 1;
+            } else {
+                second += 1;
+            }
+            t = fire;
+        }
+        (first, second)
+    }
+
+    #[test]
+    fn power_law_shape_one_is_poisson() {
+        // shape 1, scale s: rate 1/s per hour.
+        let proc_ = power_law(1.0, 10.0);
+        let mut rng = Rng::seed_from(41);
+        let (a, b) = count_power_law_fires(&proc_, 10_000.0, &mut rng);
+        let total = a + b;
+        assert!((900..1100).contains(&total), "total {total}");
+        // Halves roughly equal.
+        let ratio = a as f64 / b.max(1) as f64;
+        assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn infant_mortality_front_loads_events() {
+        let proc_ = power_law(0.4, 0.001);
+        let mut rng = Rng::seed_from(42);
+        let (first, second) = count_power_law_fires(&proc_, 10_000.0, &mut rng);
+        assert!(first > second * 2, "first {first} second {second}");
+    }
+
+    #[test]
+    fn wear_out_back_loads_events() {
+        let proc_ = power_law(2.5, 1_500.0);
+        let mut rng = Rng::seed_from(43);
+        let (first, second) = count_power_law_fires(&proc_, 10_000.0, &mut rng);
+        assert!(second > first * 2, "first {first} second {second}");
+    }
+
+    #[test]
+    fn power_law_expected_count_matches_cumulative_hazard() {
+        let proc_ = power_law(0.5, 0.01);
+        let mut rng = Rng::seed_from(44);
+        let hours = 10_000.0;
+        let (a, b) = count_power_law_fires(&proc_, hours, &mut rng);
+        let total = (a + b) as f64;
+        let expected = proc_.expected_by(hours);
+        assert!((total - expected).abs() / expected < 0.1, "{total} vs {expected}");
+    }
+
+    #[test]
+    fn power_law_fires_strictly_increase_and_stop_at_end() {
+        let proc_ = power_law(0.7, 5.0);
+        let mut rng = Rng::seed_from(45);
+        let mut t = periods().pre_op.start;
+        while let Some(fire) = proc_.next_fire(t, &mut rng) {
+            assert!(fire > t);
+            assert!(fire < periods().op.end);
+            t = fire;
+            if t > periods().pre_op.start + Duration::from_days(400) {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn power_law_rejects_bad_shape() {
+        power_law(0.0, 1.0);
+    }
+}

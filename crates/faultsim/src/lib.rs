@@ -1,0 +1,71 @@
+//! Discrete-event GPU fault injection with calibrated per-component hazard
+//! processes, error propagation, recovery interplay and raw-log emission.
+//!
+//! This crate is the generative counterpart of the DSN'25 Delta study: where
+//! the paper *measured* three years of A100 error behaviour, `faultsim`
+//! *reproduces* that behaviour as a stochastic model over a
+//! [`clustersim`] cluster, so every downstream stage (log extraction,
+//! coalescing, MTBE statistics, job impact, availability) runs on data with
+//! the same structure and rates the paper reports.
+//!
+//! The model, per §IV of the paper:
+//!
+//! * **Hazard processes** ([`hazard`]) — each `(GPU, error kind)` pair draws
+//!   inter-error gaps from an exponential process whose rate is
+//!   piecewise-constant across the pre-operational / operational boundary
+//!   (the paper attributes the GSP/PMU/MMU rate jumps to higher GPU
+//!   utilization in production). Rates are calibrated from Table I by
+//!   [`rates::CalibratedRates`].
+//! * **Propagation** — PMU errors trigger trailing MMU error bursts
+//!   (§IV(iv)); one uncorrectable memory fault fans out into
+//!   DBE/RRE/RRF/contained/uncontained sub-events ([`memory`]); NVLink
+//!   incidents fan out across the GPUs sharing the link, 42% touching two
+//!   or more ([`nvlink`]).
+//! * **The storm** — the 17-day uncontained-memory-error episode from one
+//!   faulty pre-operational GPU (38,900 errors, >1M raw lines) is modelled
+//!   explicitly ([`config::StormConfig`]).
+//! * **Duplication** ([`duplication`]) — every ground-truth error emits
+//!   1 + geometric duplicate log lines so the analysis pipeline's
+//!   coalescing stage does real work.
+//! * **Recovery interplay** — critical errors trigger the
+//!   [`clustersim::HealthPolicy`] drain → reboot → recover loop; GPUs on a
+//!   down node emit no errors; outages land in a
+//!   [`clustersim::DowntimeLedger`].
+//!
+//! The entry point is [`Campaign`]: configure, [`Campaign::run`], and get a
+//! [`CampaignOutput`] holding the ground truth, the rendered log archive
+//! and the outage ledger.
+//!
+//! # Example
+//!
+//! ```
+//! use faultsim::{Campaign, FaultConfig};
+//!
+//! // A scaled-down campaign for a quick run.
+//! let config = FaultConfig::delta_scaled(0.05);
+//! let output = Campaign::new(config).run();
+//! assert!(output.ground_truth.len() > 100);
+//! assert!(output.archive.line_count() >= output.ground_truth.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+pub mod config;
+pub mod duplication;
+pub mod hazard;
+pub mod memory;
+pub mod noise;
+pub mod nvlink;
+mod queue;
+pub mod rates;
+pub mod utilization;
+
+pub use campaign::{Campaign, CampaignOutput};
+pub use config::{FaultConfig, StormConfig};
+pub use simtime::{Period, Phase, StudyPeriods};
+pub use hazard::PowerLawProcess;
+pub use queue::EventQueue;
+pub use rates::CalibratedRates;
+pub use utilization::UtilizationProfile;

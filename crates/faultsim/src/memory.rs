@@ -1,0 +1,242 @@
+//! The uncorrectable-memory-error chain (§II-B, §IV(vi)).
+//!
+//! One root uncorrectable fault (a DBE or two SBEs at one address) fans out
+//! into the sub-events the driver actually logs:
+//!
+//! ```text
+//! uncorrectable fault
+//!   ├─ sometimes an explicit XID 48 DBE record
+//!   ├─ a row-remap attempt → XID 63 (RRE) on success, XID 64 (RRF) when
+//!   │  the bank's spare rows are exhausted
+//!   └─ a containment attempt → XID 94 (contained) or XID 95 (uncontained)
+//! ```
+//!
+//! Outcome probabilities are calibrated per period from Table I by
+//! [`crate::rates::CalibratedRates`]; spare-row exhaustion is additionally
+//! tracked per GPU (A100s have 512 remappable rows) so that a long-lived
+//! campaign exhausts spares the way real silicon does.
+
+use simtime::Phase;
+use crate::rates::CalibratedRates;
+use simrng::Rng;
+use xid::ErrorKind;
+
+/// Rows available for remapping on an A100 (per the NVIDIA memory error
+/// management documentation).
+pub const A100_SPARE_ROWS: u32 = 512;
+
+/// What one uncorrectable memory fault turned into.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryChainOutcome {
+    /// The logged sub-events, in emission order.
+    pub events: Vec<ErrorKind>,
+    /// Whether the fault requires a GPU reset (remap failure or
+    /// uncontained error).
+    pub needs_reset: bool,
+}
+
+/// Per-GPU spare-row accounting plus the outcome sampler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryChain {
+    remapped_rows: u32,
+    spare_rows: u32,
+}
+
+impl MemoryChain {
+    /// A fresh A100 memory subsystem.
+    pub fn new() -> Self {
+        MemoryChain { remapped_rows: 0, spare_rows: A100_SPARE_ROWS }
+    }
+
+    /// Rows remapped so far.
+    pub fn remapped_rows(&self) -> u32 {
+        self.remapped_rows
+    }
+
+    /// Whether spares remain.
+    pub fn has_spares(&self) -> bool {
+        self.remapped_rows < self.spare_rows
+    }
+
+    /// Resets the accounting (GPU replacement).
+    pub fn replace(&mut self) {
+        self.remapped_rows = 0;
+    }
+
+    /// Plays out one uncorrectable fault at calibrated probabilities for
+    /// `phase`.
+    pub fn fault(
+        &mut self,
+        rates: &CalibratedRates,
+        phase: Phase,
+        rng: &mut Rng,
+    ) -> MemoryChainOutcome {
+        let pick = |pair: (f64, f64)| CalibratedRates::phase_of(pair, phase);
+        let mut events = Vec::with_capacity(3);
+        let mut needs_reset = false;
+
+        // The driver sometimes logs the raw DBE itself (rare: 1 of 34 in
+        // the operational period).
+        if rng.bool_with(pick(rates.dbe_log_prob)) {
+            events.push(ErrorKind::DoubleBitError);
+        }
+
+        // Row-remap attempt: calibrated failure probability, *and* a hard
+        // failure once the physical spares run out.
+        let remap_fails = !self.has_spares() || rng.bool_with(pick(rates.remap_failure_prob));
+        if remap_fails {
+            events.push(ErrorKind::RowRemapFailure);
+            needs_reset = true;
+        } else {
+            self.remapped_rows += 1;
+            events.push(ErrorKind::RowRemapEvent);
+        }
+
+        // Containment attempt: contained, uncontained, or silent
+        // (mitigated without a containment record).
+        let contained_p = pick(rates.contained_prob);
+        let uncontained_p = pick(rates.uncontained_prob);
+        let roll = rng.f64();
+        if roll < contained_p {
+            events.push(ErrorKind::ContainedMemoryError);
+        } else if roll < contained_p + uncontained_p {
+            events.push(ErrorKind::UncontainedMemoryError);
+            needs_reset = true;
+        }
+
+        MemoryChainOutcome { events, needs_reset }
+    }
+}
+
+impl Default for MemoryChain {
+    fn default() -> Self {
+        MemoryChain::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rates() -> CalibratedRates {
+        CalibratedRates::delta()
+    }
+
+    #[test]
+    fn every_fault_logs_a_remap_outcome() {
+        let mut chain = MemoryChain::new();
+        let mut rng = Rng::seed_from(1);
+        for _ in 0..1000 {
+            let out = chain.fault(&rates(), Phase::Op, &mut rng);
+            let has_remap = out
+                .events
+                .iter()
+                .any(|k| matches!(k, ErrorKind::RowRemapEvent | ErrorKind::RowRemapFailure));
+            assert!(has_remap, "{:?}", out.events);
+        }
+    }
+
+    #[test]
+    fn op_period_has_no_remap_failures() {
+        // Table I: RRF count 0 in the operational period.
+        let mut chain = MemoryChain::new();
+        let mut rng = Rng::seed_from(2);
+        for _ in 0..450 {
+            let out = chain.fault(&rates(), Phase::Op, &mut rng);
+            assert!(!out.events.contains(&ErrorKind::RowRemapFailure));
+        }
+    }
+
+    #[test]
+    fn pre_op_remap_failures_near_calibration() {
+        // Pre-op failure probability is 15/46 ≈ 0.33.
+        let mut rng = Rng::seed_from(3);
+        let mut failures = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            // Fresh chain each time so spare exhaustion doesn't interfere.
+            let mut chain = MemoryChain::new();
+            let out = chain.fault(&rates(), Phase::PreOp, &mut rng);
+            if out.events.contains(&ErrorKind::RowRemapFailure) {
+                failures += 1;
+            }
+        }
+        let frac = failures as f64 / n as f64;
+        assert!((frac - 15.0 / 46.0).abs() < 0.02, "failure frac {frac}");
+    }
+
+    #[test]
+    fn spare_exhaustion_forces_failures() {
+        let mut chain = MemoryChain::new();
+        let mut rng = Rng::seed_from(4);
+        // Exhaust all 512 spares.
+        let mut remaps = 0;
+        while chain.has_spares() {
+            let out = chain.fault(&rates(), Phase::Op, &mut rng);
+            if out.events.contains(&ErrorKind::RowRemapEvent) {
+                remaps += 1;
+            }
+        }
+        assert_eq!(remaps, A100_SPARE_ROWS);
+        // Every further fault must fail remapping and need a reset.
+        let out = chain.fault(&rates(), Phase::Op, &mut rng);
+        assert!(out.events.contains(&ErrorKind::RowRemapFailure));
+        assert!(out.needs_reset);
+        // Replacement restores spares.
+        chain.replace();
+        assert!(chain.has_spares());
+        assert_eq!(chain.remapped_rows(), 0);
+    }
+
+    #[test]
+    fn containment_outcomes_match_op_calibration() {
+        // Op: contained 13/34 ≈ 0.38, uncontained 11/34 ≈ 0.32.
+        let mut rng = Rng::seed_from(5);
+        let (mut contained, mut uncontained) = (0u32, 0u32);
+        let n = 20_000;
+        for _ in 0..n {
+            let mut chain = MemoryChain::new();
+            let out = chain.fault(&rates(), Phase::Op, &mut rng);
+            if out.events.contains(&ErrorKind::ContainedMemoryError) {
+                contained += 1;
+            }
+            if out.events.contains(&ErrorKind::UncontainedMemoryError) {
+                uncontained += 1;
+            }
+        }
+        let cf = contained as f64 / n as f64;
+        let uf = uncontained as f64 / n as f64;
+        assert!((cf - 13.0 / 34.0).abs() < 0.02, "contained {cf}");
+        assert!((uf - 11.0 / 34.0).abs() < 0.02, "uncontained {uf}");
+    }
+
+    #[test]
+    fn uncontained_needs_reset() {
+        let mut rng = Rng::seed_from(6);
+        let mut seen = false;
+        for _ in 0..2000 {
+            let mut chain = MemoryChain::new();
+            let out = chain.fault(&rates(), Phase::Op, &mut rng);
+            if out.events.contains(&ErrorKind::UncontainedMemoryError) {
+                assert!(out.needs_reset);
+                seen = true;
+            }
+        }
+        assert!(seen, "never sampled an uncontained outcome");
+    }
+
+    #[test]
+    fn dbe_logs_are_rare_in_op() {
+        let mut rng = Rng::seed_from(7);
+        let mut dbe = 0;
+        let n = 50_000;
+        for _ in 0..n {
+            let mut chain = MemoryChain::new();
+            if chain.fault(&rates(), Phase::Op, &mut rng).events.contains(&ErrorKind::DoubleBitError) {
+                dbe += 1;
+            }
+        }
+        let frac = dbe as f64 / n as f64;
+        assert!((frac - 1.0 / 34.0).abs() < 0.01, "dbe frac {frac}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Benign background log traffic.
+//!
+//! Real consolidated syslogs are overwhelmingly *not* XID lines — slurmd
+//! job lifecycle messages, health-check heartbeats, systemd chatter. The
+//! extraction stage's whole job is rejecting that traffic cheaply, so the
+//! campaign writes a configurable stream of realistic noise lines into the
+//! archive alongside the error lines. Without it, parsing benchmarks and
+//! extractor tests would measure a fantasy workload.
+
+use clustersim::NodeId;
+use hpclog::LogLine;
+use simrng::dist::{Exponential, Sample};
+use simrng::Rng;
+use simtime::{Duration, Period, Timestamp};
+
+/// Noise templates, roughly in observed frequency order. `{}` takes a
+/// small random integer.
+const TEMPLATES: &[(&str, &str)] = &[
+    ("slurmd", "launch task StepId={}.0 request from UID 52{}"),
+    ("slurmd", "done with job {}"),
+    ("healthd", "node health check passed ({} checks, 0 failures)"),
+    ("systemd", "Started Session {} of User root."),
+    ("kernel", "perf: interrupt took too long ({} > 9500), lowering kernel.perf_event_max_sample_rate"),
+    ("nvidia-persistenced", "device 0000:{}:00.0 - persistence mode enabled"),
+    ("sshd", "Accepted publickey for svcuser from 141.142.0.{} port 522{}"),
+    ("kernel", "EXT4-fs (nvme0n1p2): mounted filesystem with ordered data mode. Opts: ({})"),
+    ("lustre", "delta-OST00{}: Connection restored to service"),
+    ("kernel", "NVRM: GPU at PCI:0000:{}:00: GPU-serial-number"),
+];
+
+/// Generates background lines for one node over a window.
+///
+/// Lines arrive as a Poisson process with the given daily mean; contents
+/// cycle through realistic service templates. The final template
+/// deliberately contains `NVRM:` without being an XID line, keeping the
+/// extractor's prefilter honest.
+pub fn node_noise(
+    node: NodeId,
+    window: Period,
+    lines_per_day: f64,
+    rng: &mut Rng,
+) -> Vec<LogLine> {
+    if lines_per_day <= 0.0 {
+        return Vec::new();
+    }
+    let gap = Exponential::with_mean(86_400.0 / lines_per_day).expect("positive mean");
+    let mut out = Vec::new();
+    let mut t = window.start;
+    loop {
+        let step = Duration::from_secs(gap.sample(rng).ceil() as u64 + 1);
+        t = t + step;
+        if t >= window.end {
+            break;
+        }
+        out.push(line_at(node, t, rng));
+    }
+    out
+}
+
+fn line_at(node: NodeId, t: Timestamp, rng: &mut Rng) -> LogLine {
+    let (tag, template) = TEMPLATES[rng.range_u64(TEMPLATES.len() as u64) as usize];
+    let mut body = String::with_capacity(template.len() + 8);
+    let mut parts = template.split("{}");
+    if let Some(first) = parts.next() {
+        body.push_str(first);
+    }
+    for part in parts {
+        body.push_str(&rng.range(1, 99).to_string());
+        body.push_str(part);
+    }
+    LogLine::new(t, node.hostname(), tag, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpclog::extract::XidExtractor;
+    use simtime::StudyPeriods;
+
+    fn window() -> Period {
+        let p = StudyPeriods::delta();
+        Period::new(p.pre_op.start, p.pre_op.start + Duration::from_days(10))
+    }
+
+    #[test]
+    fn volume_tracks_rate() {
+        let mut rng = Rng::seed_from(1);
+        let lines = node_noise(NodeId::new(0), window(), 50.0, &mut rng);
+        // 10 days at 50/day = 500 expected.
+        assert!((400..600).contains(&lines.len()), "{}", lines.len());
+    }
+
+    #[test]
+    fn zero_rate_is_silent() {
+        let mut rng = Rng::seed_from(2);
+        assert!(node_noise(NodeId::new(0), window(), 0.0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn lines_stay_in_window_and_on_node() {
+        let mut rng = Rng::seed_from(3);
+        let w = window();
+        for line in node_noise(NodeId::new(7), w, 20.0, &mut rng) {
+            assert!(w.contains(line.time));
+            assert_eq!(line.host, "gpub008");
+        }
+    }
+
+    #[test]
+    fn noise_is_rejected_by_the_extractor() {
+        let mut rng = Rng::seed_from(4);
+        let lines = node_noise(NodeId::new(0), window(), 100.0, &mut rng);
+        assert!(!lines.is_empty());
+        let mut extractor = XidExtractor::studied_only(2022);
+        for line in &lines {
+            assert!(
+                extractor.extract(line).is_none(),
+                "noise extracted as XID: {line}"
+            );
+        }
+        // And none of it is even malformed-XID: it is plain noise.
+        assert_eq!(extractor.stats().malformed, 0);
+    }
+
+    #[test]
+    fn noise_lines_parse_as_syslog() {
+        let mut rng = Rng::seed_from(5);
+        for line in node_noise(NodeId::new(3), window(), 30.0, &mut rng) {
+            let rendered = line.to_string();
+            let year = line.time.ymd().0;
+            let parsed = hpclog::LogLine::parse_with_year(&rendered, year)
+                .unwrap_or_else(|e| panic!("{rendered:?}: {e}"));
+            assert_eq!(parsed.time, line.time);
+        }
+    }
+
+    #[test]
+    fn templates_fill_placeholders() {
+        let mut rng = Rng::seed_from(6);
+        for line in node_noise(NodeId::new(0), window(), 100.0, &mut rng) {
+            assert!(!line.body.contains("{}"), "{}", line.body);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! GPU-utilization modelling and the utilization-sensitivity ablation.
+//!
+//! The paper *hypothesises* (findings i, iii, iv) that the MTBE degradation
+//! of GSP, PMU and MMU errors between the pre-operational and operational
+//! periods is driven by higher GPU utilization in production. This module
+//! makes that hypothesis a first-class, testable model object:
+//!
+//! * [`UtilizationProfile`] — time-varying utilization: phase base levels
+//!   (bring-up vs production) with diurnal and weekly modulation, the shape
+//!   HPC schedulers actually exhibit.
+//! * [`sensitivity_from_rates`] — inverts the paper's own numbers: given
+//!   the observed rate jump of a component and the utilization jump, the
+//!   power-law exponent `s` in `rate ∝ utilization^s` that explains it.
+//! * [`scale_sensitive_rates`] — rewrites a [`CalibratedRates`] for a
+//!   counterfactual utilization level, scaling exactly the kinds the paper
+//!   identifies as utilization-sensitive (GSP, PMU, MMU); memory, NVLink
+//!   and bus errors are left alone, matching §IV's observations that their
+//!   rates *improved* or held steady.
+//!
+//! The `utilization` bench binary sweeps counterfactual utilization levels
+//! and reports the resulting per-node MTBE — the E6 ablation.
+
+use crate::rates::CalibratedRates;
+use simtime::Timestamp;
+
+/// A time-varying GPU utilization model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilizationProfile {
+    /// Mean utilization in the pre-operational period.
+    pub pre_op_base: f64,
+    /// Mean utilization in the operational period.
+    pub op_base: f64,
+    /// Fractional diurnal swing (day vs night), 0..1.
+    pub diurnal_amplitude: f64,
+    /// Fractional weekly swing (weekday vs weekend), 0..1.
+    pub weekly_amplitude: f64,
+}
+
+impl UtilizationProfile {
+    /// The Delta-like profile: bring-up ran light (~35%), production runs
+    /// hot (~94% of GPU capacity allocated per Table III GPU-hours, with
+    /// ~75% of allocations keeping the silicon busy), with mild diurnal
+    /// and weekly structure.
+    pub fn delta() -> Self {
+        UtilizationProfile {
+            pre_op_base: 0.35,
+            op_base: 0.75,
+            diurnal_amplitude: 0.15,
+            weekly_amplitude: 0.10,
+        }
+    }
+
+    /// Utilization at instant `t` for the given phase base, modulated by
+    /// hour-of-day and day-of-week, clamped to `[0, 1]`.
+    pub fn at(&self, t: Timestamp, op_phase: bool) -> f64 {
+        let base = if op_phase { self.op_base } else { self.pre_op_base };
+        let secs = t.unix();
+        let hour = (secs % 86_400) as f64 / 3_600.0;
+        // Peak mid-afternoon (15:00), trough pre-dawn (03:00).
+        let diurnal = 1.0
+            + self.diurnal_amplitude
+                * ((hour - 15.0) * std::f64::consts::TAU / 24.0).cos();
+        // Unix epoch was a Thursday; days 2-3 of the week cycle land on
+        // the weekend.
+        let dow = (secs / 86_400 + 4) % 7;
+        let weekly = if dow >= 5 { 1.0 - self.weekly_amplitude } else { 1.0 };
+        (base * diurnal * weekly).clamp(0.0, 1.0)
+    }
+
+    /// The pre-op → op utilization ratio.
+    pub fn op_over_pre(&self) -> f64 {
+        self.op_base / self.pre_op_base
+    }
+}
+
+impl Default for UtilizationProfile {
+    fn default() -> Self {
+        UtilizationProfile::delta()
+    }
+}
+
+/// Infers the power-law sensitivity `s` with `rate_op / rate_pre =
+/// (u_op / u_pre)^s` from an observed rate ratio and a utilization ratio.
+///
+/// Applied to the paper's own numbers (GSP per-node MTBE 3,347 h → 590 h,
+/// utilization 0.35 → 0.75) this gives `s ≈ 2.3`: GSP errors grow faster
+/// than linearly in load, consistent with a queue-pressure failure mode in
+/// the RPC path.
+///
+/// # Panics
+///
+/// Panics unless both ratios are positive and the utilization ratio is
+/// not 1 (the exponent is undefined there).
+pub fn sensitivity_from_rates(rate_ratio: f64, utilization_ratio: f64) -> f64 {
+    assert!(rate_ratio > 0.0 && utilization_ratio > 0.0);
+    assert!(
+        (utilization_ratio - 1.0).abs() > 1e-9,
+        "sensitivity undefined at equal utilization"
+    );
+    rate_ratio.ln() / utilization_ratio.ln()
+}
+
+/// Scales the utilization-sensitive operational rates (GSP, PMU, MMU) of
+/// `rates` for a counterfactual operational utilization `u_new`, using a
+/// power law with exponent `sensitivity` around the profile's baseline.
+///
+/// Insensitive kinds (memory chain, NVLink, fallen-off-bus) are left
+/// untouched, matching the paper's per-component observations.
+pub fn scale_sensitive_rates(
+    rates: &mut CalibratedRates,
+    profile: &UtilizationProfile,
+    u_new: f64,
+    sensitivity: f64,
+) {
+    assert!(u_new > 0.0 && u_new <= 1.0, "utilization must be in (0, 1]");
+    let factor = (u_new / profile.op_base).powf(sensitivity);
+    rates.gsp_per_gpu_hour.1 *= factor;
+    rates.pmu_per_gpu_hour.1 *= factor;
+    rates.mmu_per_gpu_hour.1 *= factor;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simtime::StudyPeriods;
+
+    #[test]
+    fn phase_bases_differ() {
+        let p = UtilizationProfile::delta();
+        let t = Timestamp::from_ymd_hms(2023, 6, 7, 15, 0, 0).unwrap(); // Wed 15:00
+        let op = p.at(t, true);
+        let pre = p.at(t, false);
+        assert!(op > pre);
+        assert!((op / pre - p.op_over_pre()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diurnal_peak_beats_trough() {
+        let p = UtilizationProfile::delta();
+        let peak = Timestamp::from_ymd_hms(2023, 6, 7, 15, 0, 0).unwrap();
+        let trough = Timestamp::from_ymd_hms(2023, 6, 7, 3, 0, 0).unwrap();
+        assert!(p.at(peak, true) > p.at(trough, true));
+        // Swing magnitude matches the configured amplitude.
+        let ratio = p.at(peak, true) / p.at(trough, true);
+        let expected = (1.0 + p.diurnal_amplitude) / (1.0 - p.diurnal_amplitude);
+        assert!((ratio - expected).abs() < 1e-9, "{ratio} vs {expected}");
+    }
+
+    #[test]
+    fn weekend_dip() {
+        let p = UtilizationProfile::delta();
+        // 2023-06-10 was a Saturday; 2023-06-07 a Wednesday.
+        let saturday = Timestamp::from_ymd_hms(2023, 6, 10, 12, 0, 0).unwrap();
+        let wednesday = Timestamp::from_ymd_hms(2023, 6, 7, 12, 0, 0).unwrap();
+        assert!(p.at(saturday, true) < p.at(wednesday, true));
+    }
+
+    #[test]
+    fn utilization_clamped_to_unit_interval() {
+        let p = UtilizationProfile {
+            pre_op_base: 0.9,
+            op_base: 0.99,
+            diurnal_amplitude: 0.5,
+            weekly_amplitude: 0.0,
+        };
+        let start = StudyPeriods::delta().op.start;
+        for h in 0..48 {
+            let t = start + simtime::Duration::from_hours(h);
+            let u = p.at(t, true);
+            assert!((0.0..=1.0).contains(&u), "{u}");
+        }
+    }
+
+    #[test]
+    fn sensitivity_inverts_paper_gsp_numbers() {
+        // GSP per-node MTBE 3,347 h -> 590 h is a 5.67x rate jump; the
+        // utilization jump is 0.75/0.35 = 2.14x.
+        let s = sensitivity_from_rates(3_347.0 / 590.0, 0.75 / 0.35);
+        assert!((2.0..2.6).contains(&s), "s = {s}");
+        // PMU: 87,450 -> 29,569 per-node MTBE is ~3x.
+        let s_pmu = sensitivity_from_rates(87_450.0 / 29_569.0, 0.75 / 0.35);
+        assert!((1.2..1.7).contains(&s_pmu), "s = {s_pmu}");
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn sensitivity_rejects_equal_utilization() {
+        sensitivity_from_rates(2.0, 1.0);
+    }
+
+    #[test]
+    fn scaling_touches_only_sensitive_kinds() {
+        let profile = UtilizationProfile::delta();
+        let base = CalibratedRates::delta();
+        let mut scaled = base;
+        scale_sensitive_rates(&mut scaled, &profile, 0.375, 2.0); // half utilization, s=2
+        // Sensitive op rates drop 4x.
+        assert!((scaled.gsp_per_gpu_hour.1 / base.gsp_per_gpu_hour.1 - 0.25).abs() < 1e-9);
+        assert!((scaled.pmu_per_gpu_hour.1 / base.pmu_per_gpu_hour.1 - 0.25).abs() < 1e-9);
+        assert!((scaled.mmu_per_gpu_hour.1 / base.mmu_per_gpu_hour.1 - 0.25).abs() < 1e-9);
+        // Pre-op rates and insensitive kinds untouched.
+        assert_eq!(scaled.gsp_per_gpu_hour.0, base.gsp_per_gpu_hour.0);
+        assert_eq!(scaled.nvlink_incidents_per_node_hour, base.nvlink_incidents_per_node_hour);
+        assert_eq!(scaled.uncorrectable_per_gpu_hour, base.uncorrectable_per_gpu_hour);
+        assert_eq!(scaled.fallen_per_gpu_hour, base.fallen_per_gpu_hour);
+    }
+
+    #[test]
+    fn scaling_at_baseline_is_identity() {
+        let profile = UtilizationProfile::delta();
+        let base = CalibratedRates::delta();
+        let mut scaled = base;
+        scale_sensitive_rates(&mut scaled, &profile, profile.op_base, 2.3);
+        assert!((scaled.gsp_per_gpu_hour.1 - base.gsp_per_gpu_hour.1).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,273 @@
+//! Per-day log consolidation, mirroring Delta's collection pipeline.
+//!
+//! Delta consolidates system logs from all nodes into one file per day.
+//! [`Archive`] is the in-memory equivalent: lines are appended in any
+//! order, grouped by civil day, and replayed in global time order. The
+//! fault injector writes into an archive; the analysis pipeline replays it
+//! through an [`XidExtractor`](crate::extract::XidExtractor) — so the whole
+//! study round-trips through the same consolidated representation the real
+//! system used.
+
+use crate::line::LogLine;
+use simtime::{Duration, Timestamp};
+use std::collections::BTreeMap;
+
+/// An in-memory, per-day consolidated log archive.
+///
+/// # Example
+///
+/// ```
+/// use hpclog::{archive::Archive, LogLine, Timestamp};
+///
+/// let mut archive = Archive::new();
+/// let t = Timestamp::from_ymd_hms(2024, 3, 14, 3, 22, 7)?;
+/// archive.push(LogLine::new(t, "gpub042", "kernel", "hello"));
+/// assert_eq!(archive.day_count(), 1);
+/// assert_eq!(archive.line_count(), 1);
+/// # Ok::<(), hpclog::ParseTimestampError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Archive {
+    days: BTreeMap<u64, Vec<LogLine>>,
+    line_count: usize,
+}
+
+impl Archive {
+    /// Creates an empty archive.
+    pub fn new() -> Self {
+        Archive::default()
+    }
+
+    /// Appends a line to its day bucket.
+    pub fn push(&mut self, line: LogLine) {
+        self.days.entry(line.time.day_number()).or_default().push(line);
+        self.line_count += 1;
+    }
+
+    /// Number of distinct days with at least one line.
+    pub fn day_count(&self) -> usize {
+        self.days.len()
+    }
+
+    /// Total number of lines.
+    pub fn line_count(&self) -> usize {
+        self.line_count
+    }
+
+    /// The first and last instants present, or `None` if empty.
+    pub fn time_span(&self) -> Option<(Timestamp, Timestamp)> {
+        let first = self.days.values().next()?.iter().map(|l| l.time).min()?;
+        let last = self.days.values().next_back()?.iter().map(|l| l.time).max()?;
+        Some((first, last))
+    }
+
+    /// Iterates over all lines in global time order.
+    ///
+    /// Within a day, lines are sorted by timestamp with insertion order
+    /// breaking ties (syslog files preserve arrival order for same-second
+    /// records).
+    pub fn iter(&self) -> impl Iterator<Item = &LogLine> {
+        self.days.values().flat_map(|lines| {
+            let mut idx: Vec<usize> = (0..lines.len()).collect();
+            idx.sort_by_key(|&i| (lines[i].time, i));
+            idx.into_iter().map(move |i| &lines[i])
+        })
+    }
+
+    /// Iterates over `(day number, lines)` buckets in chronological order.
+    pub fn days(&self) -> impl Iterator<Item = (u64, &[LogLine])> {
+        self.days.iter().map(|(&d, v)| (d, v.as_slice()))
+    }
+
+    /// Renders one day bucket to consolidated text, or `None` if the day is
+    /// absent.
+    pub fn render_day(&self, day_number: u64) -> Option<String> {
+        let lines = self.days.get(&day_number)?;
+        let mut idx: Vec<usize> = (0..lines.len()).collect();
+        idx.sort_by_key(|&i| (lines[i].time, i));
+        let mut out = String::new();
+        for i in idx {
+            out.push_str(&lines[i].to_string());
+            out.push('\n');
+        }
+        Some(out)
+    }
+
+    /// Parses one consolidated day file produced by [`Archive::render_day`]
+    /// (or a real per-day log) into the archive, resolving timestamps
+    /// against `year`. Unparseable lines are skipped and counted.
+    ///
+    /// Returns `(lines added, lines skipped)`.
+    pub fn ingest_day(&mut self, text: &str, year: i32) -> (usize, usize) {
+        let mut added = 0;
+        let mut skipped = 0;
+        for raw in text.lines() {
+            if raw.trim().is_empty() {
+                continue;
+            }
+            match LogLine::parse_with_year(raw, year) {
+                Ok(line) => {
+                    self.push(line);
+                    added += 1;
+                }
+                Err(_) => skipped += 1,
+            }
+        }
+        (added, skipped)
+    }
+
+    /// Merges another archive into this one.
+    pub fn merge(&mut self, other: Archive) {
+        for (_, lines) in other.days {
+            for line in lines {
+                self.push(line);
+            }
+        }
+    }
+
+    /// Retains only lines within `[start, end)`, dropping empty days.
+    pub fn retain_window(&mut self, start: Timestamp, end: Timestamp) {
+        for lines in self.days.values_mut() {
+            lines.retain(|l| l.time >= start && l.time < end);
+        }
+        self.days.retain(|_, v| !v.is_empty());
+        self.line_count = self.days.values().map(Vec::len).sum();
+    }
+
+    /// The total wall-clock coverage (first to last line), zero if empty.
+    pub fn coverage(&self) -> Duration {
+        match self.time_span() {
+            Some((a, b)) => b - a,
+            None => Duration::ZERO,
+        }
+    }
+}
+
+impl Extend<LogLine> for Archive {
+    fn extend<T: IntoIterator<Item = LogLine>>(&mut self, iter: T) {
+        for line in iter {
+            self.push(line);
+        }
+    }
+}
+
+impl FromIterator<LogLine> for Archive {
+    fn from_iter<T: IntoIterator<Item = LogLine>>(iter: T) -> Self {
+        let mut archive = Archive::new();
+        archive.extend(iter);
+        archive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_at(day: u32, hour: u32, host: &str) -> LogLine {
+        let t = Timestamp::from_ymd_hms(2024, 3, day, hour, 0, 0).unwrap();
+        LogLine::new(t, host, "kernel", format!("msg d{day} h{hour}"))
+    }
+
+    #[test]
+    fn push_groups_by_day() {
+        let mut a = Archive::new();
+        a.push(line_at(14, 3, "n1"));
+        a.push(line_at(14, 5, "n2"));
+        a.push(line_at(15, 1, "n1"));
+        assert_eq!(a.day_count(), 2);
+        assert_eq!(a.line_count(), 3);
+    }
+
+    #[test]
+    fn iter_is_globally_time_ordered() {
+        let mut a = Archive::new();
+        a.push(line_at(15, 1, "n1"));
+        a.push(line_at(14, 5, "n2"));
+        a.push(line_at(14, 3, "n3"));
+        let times: Vec<_> = a.iter().map(|l| l.time).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn same_second_preserves_insertion_order() {
+        let mut a = Archive::new();
+        let t = Timestamp::from_ymd_hms(2024, 3, 14, 3, 0, 0).unwrap();
+        a.push(LogLine::new(t, "n", "kernel", "first"));
+        a.push(LogLine::new(t, "n", "kernel", "second"));
+        let bodies: Vec<_> = a.iter().map(|l| l.body.as_str()).collect();
+        assert_eq!(bodies, vec!["first", "second"]);
+    }
+
+    #[test]
+    fn render_ingest_roundtrip() {
+        let mut a = Archive::new();
+        a.push(line_at(14, 3, "gpub001"));
+        a.push(line_at(14, 7, "gpub002"));
+        let day = a.days().next().unwrap().0;
+        let text = a.render_day(day).unwrap();
+        let mut b = Archive::new();
+        let (added, skipped) = b.ingest_day(&text, 2024);
+        assert_eq!((added, skipped), (2, 0));
+        let orig: Vec<_> = a.iter().cloned().collect();
+        let back: Vec<_> = b.iter().cloned().collect();
+        assert_eq!(orig, back);
+    }
+
+    #[test]
+    fn ingest_skips_garbage() {
+        let mut a = Archive::new();
+        let (added, skipped) = a.ingest_day("not a log line\n\nMar 14 03:00:00 n kernel: ok\n", 2024);
+        assert_eq!((added, skipped), (1, 1));
+    }
+
+    #[test]
+    fn render_missing_day_is_none() {
+        assert_eq!(Archive::new().render_day(0), None);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Archive::new();
+        a.push(line_at(14, 1, "n1"));
+        let mut b = Archive::new();
+        b.push(line_at(14, 2, "n2"));
+        b.push(line_at(16, 2, "n2"));
+        a.merge(b);
+        assert_eq!(a.line_count(), 3);
+        assert_eq!(a.day_count(), 2);
+    }
+
+    #[test]
+    fn retain_window_trims() {
+        let mut a = Archive::new();
+        a.push(line_at(14, 1, "n"));
+        a.push(line_at(15, 1, "n"));
+        a.push(line_at(16, 1, "n"));
+        let start = Timestamp::from_ymd_hms(2024, 3, 15, 0, 0, 0).unwrap();
+        let end = Timestamp::from_ymd_hms(2024, 3, 16, 0, 0, 0).unwrap();
+        a.retain_window(start, end);
+        assert_eq!(a.line_count(), 1);
+        assert_eq!(a.day_count(), 1);
+        assert_eq!(a.iter().next().unwrap().time.ymd(), (2024, 3, 15));
+    }
+
+    #[test]
+    fn time_span_and_coverage() {
+        let mut a = Archive::new();
+        assert_eq!(a.time_span(), None);
+        assert_eq!(a.coverage(), Duration::ZERO);
+        a.push(line_at(14, 0, "n"));
+        a.push(line_at(16, 0, "n"));
+        let (first, last) = a.time_span().unwrap();
+        assert_eq!(last - first, Duration::from_days(2));
+        assert_eq!(a.coverage(), Duration::from_days(2));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let a: Archive = (1..=3).map(|h| line_at(14, h, "n")).collect();
+        assert_eq!(a.line_count(), 3);
+    }
+}

@@ -1,0 +1,380 @@
+//! NVIDIA kernel-module (`NVRM`) message formats.
+//!
+//! The driver logs XID events through the kernel with bodies like
+//!
+//! ```text
+//! NVRM: Xid (PCI:0000:27:00): 79, pid=1234, GPU has fallen off the bus.
+//! ```
+//!
+//! This module renders and parses those bodies. Rendering is used by the
+//! fault injector (so injected errors are byte-identical to real driver
+//! output); parsing is Stage I of the analysis pipeline.
+
+use crate::line::LogLine;
+use simtime::Timestamp;
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+use xid::{ErrorKind, XidCode};
+
+/// A PCI device address as printed by the NVIDIA driver: `0000:27:00`.
+///
+/// The driver prints domain, bus and device (function omitted for GPUs).
+/// Bus numbers identify the physical GPU within a node; the mapping from
+/// bus to GPU index is fixed per node type and handled by `clustersim`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PciAddr {
+    /// PCI domain (always `0000` on Delta nodes).
+    pub domain: u16,
+    /// PCI bus number; identifies the GPU within the node.
+    pub bus: u8,
+    /// PCI device number.
+    pub device: u8,
+}
+
+impl PciAddr {
+    /// Creates a PCI address.
+    pub const fn new(domain: u16, bus: u8, device: u8) -> Self {
+        PciAddr { domain, bus, device }
+    }
+
+    /// The conventional address of the GPU with the given index on a Delta
+    /// A100 node (GPUs sit on buses 0x27, 0x2A, 0x51, 0x57, 0x9E, 0xA4,
+    /// 0xC7, 0xCA in index order, matching 8-way HGX baseboards).
+    pub fn for_gpu_index(index: u8) -> PciAddr {
+        const BUSES: [u8; 8] = [0x27, 0x2A, 0x51, 0x57, 0x9E, 0xA4, 0xC7, 0xCA];
+        PciAddr::new(0, BUSES[(index as usize) % BUSES.len()], 0)
+    }
+
+    /// The GPU index conventionally associated with this address, if the
+    /// bus is one of the known GPU buses.
+    pub fn gpu_index(self) -> Option<u8> {
+        const BUSES: [u8; 8] = [0x27, 0x2A, 0x51, 0x57, 0x9E, 0xA4, 0xC7, 0xCA];
+        BUSES.iter().position(|&b| b == self.bus).map(|i| i as u8)
+    }
+}
+
+impl fmt::Display for PciAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04x}:{:02x}:{:02x}", self.domain, self.bus, self.device)
+    }
+}
+
+impl FromStr for PciAddr {
+    type Err = ParseNvrmError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.trim().split(':');
+        let domain = parts
+            .next()
+            .and_then(|v| u16::from_str_radix(v, 16).ok())
+            .ok_or_else(|| ParseNvrmError::new(format!("bad PCI domain in {s:?}")))?;
+        let bus = parts
+            .next()
+            .and_then(|v| u8::from_str_radix(v, 16).ok())
+            .ok_or_else(|| ParseNvrmError::new(format!("bad PCI bus in {s:?}")))?;
+        let device = parts
+            .next()
+            .and_then(|v| u8::from_str_radix(v, 16).ok())
+            .ok_or_else(|| ParseNvrmError::new(format!("bad PCI device in {s:?}")))?;
+        Ok(PciAddr { domain, bus, device })
+    }
+}
+
+/// A structured XID error-recovery event extracted from (or destined for)
+/// a log line.
+///
+/// This is the record type that flows through the whole pipeline: the fault
+/// injector produces them, renders them to text, and the extractor
+/// recovers them for analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct XidEvent {
+    /// When the driver logged the event.
+    pub time: Timestamp,
+    /// Hostname of the node that logged it.
+    pub host: String,
+    /// PCI address of the affected GPU.
+    pub pci: PciAddr,
+    /// The raw XID code.
+    pub code: XidCode,
+    /// Free-text remainder of the message (pid, channel, etc.).
+    pub detail: String,
+}
+
+impl XidEvent {
+    /// Creates an event.
+    pub fn new(
+        time: Timestamp,
+        host: impl Into<String>,
+        pci: PciAddr,
+        code: XidCode,
+        detail: impl Into<String>,
+    ) -> Self {
+        XidEvent { time, host: host.into(), pci, code, detail: detail.into() }
+    }
+
+    /// The semantic kind of this event.
+    pub fn kind(&self) -> ErrorKind {
+        ErrorKind::from_code(self.code)
+    }
+
+    /// Renders the NVRM message body (everything after `kernel: `).
+    pub fn body(&self) -> String {
+        if self.detail.is_empty() {
+            format!("NVRM: Xid (PCI:{}): {}", self.pci, self.code)
+        } else {
+            format!("NVRM: Xid (PCI:{}): {}, {}", self.pci, self.code, self.detail)
+        }
+    }
+
+    /// Renders the complete syslog line for this event.
+    pub fn to_log_line(&self) -> LogLine {
+        LogLine::new(self.time, self.host.clone(), "kernel", self.body())
+    }
+
+    /// Attempts to parse an NVRM XID body (as produced by [`XidEvent::body`]
+    /// or a real driver); returns `None` if `body` is not an XID message.
+    ///
+    /// Timestamp and host are taken from the surrounding [`LogLine`], so
+    /// this function only sees the body text.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Some(Err(_))` when the body *is* an XID message but its
+    /// address or code fields are malformed — a signal worth surfacing
+    /// (truncated logs) rather than silently dropping.
+    pub fn parse_body(
+        time: Timestamp,
+        host: &str,
+        body: &str,
+    ) -> Option<Result<XidEvent, ParseNvrmError>> {
+        let rest = body.strip_prefix("NVRM: Xid (PCI:")?;
+        Some(Self::parse_after_prefix(time, host, rest))
+    }
+
+    fn parse_after_prefix(
+        time: Timestamp,
+        host: &str,
+        rest: &str,
+    ) -> Result<XidEvent, ParseNvrmError> {
+        let (addr_str, rest) = rest
+            .split_once("):")
+            .ok_or_else(|| ParseNvrmError::new("missing '):' after PCI address"))?;
+        let pci: PciAddr = addr_str.parse()?;
+        let rest = rest.trim_start();
+        let (code_str, detail) = match rest.split_once(',') {
+            Some((c, d)) => (c.trim(), d.trim_start()),
+            None => (rest.trim(), ""),
+        };
+        let code: XidCode = code_str
+            .parse()
+            .map_err(|_| ParseNvrmError::new(format!("bad XID code {code_str:?}")))?;
+        Ok(XidEvent {
+            time,
+            host: host.to_owned(),
+            pci,
+            code,
+            detail: detail.to_owned(),
+        })
+    }
+
+    /// The canonical detail text the NVIDIA driver prints for `kind`,
+    /// parameterised by a process id where the real driver prints one.
+    pub fn canonical_detail(kind: ErrorKind, pid: u32) -> String {
+        match kind {
+            ErrorKind::MmuError => format!(
+                "pid={pid}, name=python, Ch 00000008, intr 10000000. MMU Fault: ENGINE GRAPHICS GPCCLIENT_T1_0 faulted @ 0x7f50_c0000000"
+            ),
+            ErrorKind::DoubleBitError => {
+                "DBE (Double Bit Error) ECC Error detected in HBM memory".to_owned()
+            }
+            ErrorKind::RowRemapEvent => "Row remapping event: row remapper pending".to_owned(),
+            ErrorKind::RowRemapFailure => {
+                "Row remapping failure: no spare rows available in bank".to_owned()
+            }
+            ErrorKind::NvlinkError => {
+                "NVLink: fatal error detected on link, LinkState 0x5".to_owned()
+            }
+            ErrorKind::FallenOffBus => format!("pid={pid}, GPU has fallen off the bus."),
+            ErrorKind::ContainedMemoryError => format!(
+                "pid={pid}, Contained: SM (0x3). RST: No, D-RST: No"
+            ),
+            ErrorKind::UncontainedMemoryError => {
+                "Uncontained: Uncorrectable ECC error. RST: Yes, D-RST: No".to_owned()
+            }
+            ErrorKind::GspError => format!(
+                "pid={pid}, Timeout after 6s of waiting for RPC response from GPU0 GSP!"
+            ),
+            ErrorKind::PmuSpiError => "PMU SPI RPC read failure, cmd 0x7".to_owned(),
+            ErrorKind::GpuSoftware => format!(
+                "pid={pid}, Graphics Exception: ESR 0x505648=0x1000e"
+            ),
+            ErrorKind::ResetChannel => format!("pid={pid}, Reset Channel Verification Error"),
+            ErrorKind::Other(_) => String::new(),
+        }
+    }
+}
+
+impl fmt::Display for XidEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} xid={} ({})", self.time, self.host, self.code, self.kind())
+    }
+}
+
+/// Error returned when an NVRM message body is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNvrmError {
+    what: String,
+}
+
+impl ParseNvrmError {
+    fn new(what: impl Into<String>) -> Self {
+        ParseNvrmError { what: what.into() }
+    }
+}
+
+impl fmt::Display for ParseNvrmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid NVRM message: {}", self.what)
+    }
+}
+
+impl Error for ParseNvrmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> Timestamp {
+        Timestamp::from_ymd_hms(2024, 3, 14, 3, 22, 7).unwrap()
+    }
+
+    #[test]
+    fn pci_display_matches_driver_format() {
+        let addr = PciAddr::new(0, 0x27, 0);
+        assert_eq!(addr.to_string(), "0000:27:00");
+    }
+
+    #[test]
+    fn pci_roundtrip() {
+        for index in 0..8 {
+            let addr = PciAddr::for_gpu_index(index);
+            let parsed: PciAddr = addr.to_string().parse().unwrap();
+            assert_eq!(parsed, addr);
+            assert_eq!(addr.gpu_index(), Some(index));
+        }
+    }
+
+    #[test]
+    fn pci_unknown_bus_has_no_gpu_index() {
+        assert_eq!(PciAddr::new(0, 0x01, 0).gpu_index(), None);
+    }
+
+    #[test]
+    fn pci_parse_rejects_garbage() {
+        for bad in ["", "zz:27:00", "0000", "0000:zz:00"] {
+            assert!(bad.parse::<PciAddr>().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn event_body_matches_driver_shape() {
+        let ev = XidEvent::new(
+            t0(),
+            "gpub042",
+            PciAddr::for_gpu_index(0),
+            XidCode::FALLEN_OFF_BUS,
+            "pid=1234, GPU has fallen off the bus.",
+        );
+        assert_eq!(
+            ev.body(),
+            "NVRM: Xid (PCI:0000:27:00): 79, pid=1234, GPU has fallen off the bus."
+        );
+    }
+
+    #[test]
+    fn body_parse_roundtrip() {
+        for kind in ErrorKind::STUDIED {
+            let ev = XidEvent::new(
+                t0(),
+                "gpub007",
+                PciAddr::for_gpu_index(3),
+                kind.primary_code(),
+                XidEvent::canonical_detail(kind, 4242),
+            );
+            let parsed = XidEvent::parse_body(t0(), "gpub007", &ev.body())
+                .expect("is an XID body")
+                .expect("parses");
+            assert_eq!(parsed, ev, "{kind}");
+            assert_eq!(parsed.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn body_without_detail_roundtrips() {
+        let ev = XidEvent::new(t0(), "h", PciAddr::for_gpu_index(1), XidCode::new(63), "");
+        let parsed = XidEvent::parse_body(t0(), "h", &ev.body()).unwrap().unwrap();
+        assert_eq!(parsed, ev);
+    }
+
+    #[test]
+    fn non_xid_bodies_are_skipped_not_errors() {
+        for body in [
+            "",
+            "usb 3-2: new high-speed USB device",
+            "NVRM: GPU at PCI:0000:27:00 has pending interrupts",
+            "nvidia-smi started",
+        ] {
+            assert!(XidEvent::parse_body(t0(), "h", body).is_none(), "{body:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_xid_bodies_are_errors() {
+        for body in [
+            "NVRM: Xid (PCI:0000:27:00): notanumber, detail",
+            "NVRM: Xid (PCI:zz:27:00): 79, detail",
+            "NVRM: Xid (PCI:0000:27:00 79 detail",
+        ] {
+            let res = XidEvent::parse_body(t0(), "h", body).expect("recognised as XID-ish");
+            assert!(res.is_err(), "{body:?}");
+        }
+    }
+
+    #[test]
+    fn full_log_line_roundtrip() {
+        let ev = XidEvent::new(
+            t0(),
+            "gpub099",
+            PciAddr::for_gpu_index(2),
+            XidCode::GSP_RPC_TIMEOUT,
+            XidEvent::canonical_detail(ErrorKind::GspError, 777),
+        );
+        let line = ev.to_log_line();
+        let rendered = line.to_string();
+        let reparsed = LogLine::parse_with_year(&rendered, 2024).unwrap();
+        let back = XidEvent::parse_body(reparsed.time, &reparsed.host, &reparsed.body)
+            .unwrap()
+            .unwrap();
+        assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let ev = XidEvent::new(t0(), "gpub001", PciAddr::for_gpu_index(0), XidCode::new(119), "");
+        let s = ev.to_string();
+        assert!(s.contains("gpub001"));
+        assert!(s.contains("119"));
+        assert!(s.contains("GSP"));
+    }
+
+    #[test]
+    fn canonical_details_parse_for_every_kind() {
+        // Detail text must not contain the sequence that would confuse the
+        // body parser (a "):"" before the code).
+        for kind in ErrorKind::STUDIED {
+            let detail = XidEvent::canonical_detail(kind, 1);
+            assert!(!detail.contains("):"), "{kind}: {detail}");
+        }
+    }
+}

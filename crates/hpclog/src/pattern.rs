@@ -1,0 +1,514 @@
+//! A small log-filtering pattern engine (the "RegEX pattern-matching" stage
+//! of the paper's Fig. 1, Stage I).
+//!
+//! Full regular expressions are overkill for log extraction — the pipeline
+//! only ever needs literals, wildcards and typed captures — so this module
+//! implements exactly that, compiled once and matched millions of times:
+//!
+//! | Syntax | Meaning |
+//! |--------|---------|
+//! | `abc`  | literal text |
+//! | `*`    | any (possibly empty) sequence, not captured |
+//! | `{*}`  | any (possibly empty) sequence, captured |
+//! | `{d}`  | one or more ASCII digits, captured |
+//! | `{w}`  | one or more non-space characters, captured |
+//! | `\x`   | escapes `x` (to match a literal `*`, `{`, or `\`) |
+//!
+//! # Example
+//!
+//! ```
+//! use hpclog::pattern::Pattern;
+//!
+//! let p = Pattern::compile(r"NVRM: Xid (PCI:{w}): {d},*")?;
+//! let caps = p.captures("NVRM: Xid (PCI:0000:27:00): 79, GPU has fallen off the bus.")
+//!     .expect("line matches");
+//! assert_eq!(caps, vec!["0000:27:00", "79"]);
+//! # Ok::<(), hpclog::pattern::PatternError>(())
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+/// One element of a compiled pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    /// Exact text.
+    Literal(String),
+    /// `*` — any run, not captured.
+    Any,
+    /// `{*}` — any run, captured.
+    AnyCapture,
+    /// `{d}` — one or more digits, captured.
+    Digits,
+    /// `{w}` — one or more non-space characters, captured.
+    Word,
+}
+
+/// A compiled log-filter pattern. See the [module docs](self) for syntax.
+///
+/// Matching is anchored at both ends: the pattern must cover the whole
+/// input. Use leading/trailing `*` for substring semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    tokens: Vec<Token>,
+    source: String,
+}
+
+impl Pattern {
+    /// Compiles a pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternError`] on an unknown `{...}` capture class, an
+    /// unterminated `{`, or a trailing `\`.
+    pub fn compile(source: &str) -> Result<Self, PatternError> {
+        let mut tokens = Vec::new();
+        let mut literal = String::new();
+        let mut chars = source.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some(esc) => literal.push(esc),
+                    None => return Err(PatternError::new("trailing backslash")),
+                },
+                '*' => {
+                    if !literal.is_empty() {
+                        tokens.push(Token::Literal(std::mem::take(&mut literal)));
+                    }
+                    // Collapse consecutive wildcards.
+                    if tokens.last() != Some(&Token::Any) {
+                        tokens.push(Token::Any);
+                    }
+                }
+                '{' => {
+                    let mut class = String::new();
+                    let mut closed = false;
+                    for cc in chars.by_ref() {
+                        if cc == '}' {
+                            closed = true;
+                            break;
+                        }
+                        class.push(cc);
+                    }
+                    if !closed {
+                        return Err(PatternError::new("unterminated '{'"));
+                    }
+                    if !literal.is_empty() {
+                        tokens.push(Token::Literal(std::mem::take(&mut literal)));
+                    }
+                    tokens.push(match class.as_str() {
+                        "*" => Token::AnyCapture,
+                        "d" => Token::Digits,
+                        "w" => Token::Word,
+                        other => {
+                            return Err(PatternError::new(format!(
+                                "unknown capture class {{{other}}} (expected {{*}}, {{d}} or {{w}})"
+                            )))
+                        }
+                    });
+                }
+                other => literal.push(other),
+            }
+        }
+        if !literal.is_empty() {
+            tokens.push(Token::Literal(literal));
+        }
+        Ok(Pattern { tokens, source: source.to_owned() })
+    }
+
+    /// The source string the pattern was compiled from.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The number of captures a successful match will produce.
+    pub fn capture_count(&self) -> usize {
+        self.tokens
+            .iter()
+            .filter(|t| matches!(t, Token::AnyCapture | Token::Digits | Token::Word))
+            .count()
+    }
+
+    /// The longest literal fragment, usable as a cheap pre-filter
+    /// (`line.contains(lit)`) before full matching.
+    pub fn longest_literal(&self) -> Option<&str> {
+        self.tokens
+            .iter()
+            .filter_map(|t| match t {
+                Token::Literal(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .max_by_key(|s| s.len())
+    }
+
+    /// Whether `text` matches the whole pattern.
+    pub fn matches(&self, text: &str) -> bool {
+        self.try_match(text, &mut Vec::new())
+    }
+
+    /// Matches and returns the captured substrings, or `None` on mismatch.
+    pub fn captures<'t>(&self, text: &'t str) -> Option<Vec<&'t str>> {
+        let mut spans = Vec::new();
+        if self.try_match(text, &mut spans) {
+            Some(spans.iter().map(|&(s, e)| &text[s..e]).collect())
+        } else {
+            None
+        }
+    }
+
+    fn try_match(&self, text: &str, spans: &mut Vec<(usize, usize)>) -> bool {
+        spans.clear();
+        let mut failed = std::collections::HashSet::new();
+        match_tokens(&self.tokens, 0, text, 0, spans, &mut failed)
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.source)
+    }
+}
+
+/// Recursive matcher with backtracking over variable-length tokens.
+///
+/// `pos` is a byte offset into `text`; all candidate split points are
+/// produced on `char` boundaries so slicing is always valid UTF-8. `failed`
+/// memoises `(token index, position)` states that are known not to match,
+/// bounding worst-case work to O(tokens × positions²) even for pathological
+/// wildcard pile-ups.
+fn match_tokens(
+    tokens: &[Token],
+    idx: usize,
+    text: &str,
+    pos: usize,
+    spans: &mut Vec<(usize, usize)>,
+    failed: &mut std::collections::HashSet<(usize, usize)>,
+) -> bool {
+    let Some(tok) = tokens.get(idx) else {
+        return pos == text.len();
+    };
+    if failed.contains(&(idx, pos)) {
+        return false;
+    }
+    let rest = &text[pos..];
+    let ok = match tok {
+        Token::Literal(lit) => {
+            rest.starts_with(lit.as_str())
+                && match_tokens(tokens, idx + 1, text, pos + lit.len(), spans, failed)
+        }
+        Token::Any | Token::AnyCapture => {
+            let capturing = matches!(tok, Token::AnyCapture);
+            // Try shortest first; wildcard runs are typically short.
+            let mut hit = false;
+            for end in char_boundaries(rest, pos) {
+                if capturing {
+                    spans.push((pos, end));
+                }
+                if match_tokens(tokens, idx + 1, text, end, spans, failed) {
+                    hit = true;
+                    break;
+                }
+                if capturing {
+                    spans.pop();
+                }
+            }
+            hit
+        }
+        Token::Digits => {
+            let max = rest
+                .char_indices()
+                .take_while(|&(_, c)| c.is_ascii_digit())
+                .map(|(i, c)| i + c.len_utf8())
+                .last();
+            match max {
+                None => false,
+                Some(max) => {
+                    // Greedy, backing off one digit at a time.
+                    let mut len = max;
+                    let mut hit = false;
+                    loop {
+                        spans.push((pos, pos + len));
+                        if match_tokens(tokens, idx + 1, text, pos + len, spans, failed) {
+                            hit = true;
+                            break;
+                        }
+                        spans.pop();
+                        if len <= 1 {
+                            break;
+                        }
+                        len -= 1;
+                    }
+                    hit
+                }
+            }
+        }
+        Token::Word => {
+            let max = rest
+                .char_indices()
+                .take_while(|&(_, c)| !c.is_whitespace())
+                .map(|(i, c)| i + c.len_utf8())
+                .last();
+            match max {
+                None => false,
+                Some(max) => {
+                    let boundaries: Vec<usize> = rest[..max]
+                        .char_indices()
+                        .map(|(i, c)| pos + i + c.len_utf8())
+                        .collect();
+                    // Greedy, backing off on char boundaries.
+                    let mut hit = false;
+                    for &end in boundaries.iter().rev() {
+                        spans.push((pos, end));
+                        if match_tokens(tokens, idx + 1, text, end, spans, failed) {
+                            hit = true;
+                            break;
+                        }
+                        spans.pop();
+                    }
+                    hit
+                }
+            }
+        }
+    };
+    if !ok {
+        failed.insert((idx, pos));
+    }
+    ok
+}
+
+/// All byte offsets that are valid end positions for a wildcard starting at
+/// `pos` (i.e. `pos` itself plus every subsequent char boundary).
+fn char_boundaries(rest: &str, pos: usize) -> impl Iterator<Item = usize> + '_ {
+    std::iter::once(pos).chain(rest.char_indices().map(move |(i, c)| pos + i + c.len_utf8()))
+}
+
+/// Error returned when a pattern fails to compile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternError {
+    what: String,
+}
+
+impl PatternError {
+    fn new(what: impl Into<String>) -> Self {
+        PatternError { what: what.into() }
+    }
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid pattern: {}", self.what)
+    }
+}
+
+impl Error for PatternError {}
+
+/// A disjunction of patterns with a shared literal pre-filter, for
+/// high-volume log scanning.
+///
+/// # Example
+///
+/// ```
+/// use hpclog::pattern::FilterSet;
+///
+/// let filter = FilterSet::compile(&[r"*Xid*", r"*remapping*"])?;
+/// assert!(filter.matches("NVRM: Xid (PCI:0000:27:00): 79"));
+/// assert!(!filter.matches("usb 3-2: device descriptor read"));
+/// # Ok::<(), hpclog::pattern::PatternError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FilterSet {
+    patterns: Vec<Pattern>,
+}
+
+impl FilterSet {
+    /// Compiles every source pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PatternError`] encountered.
+    pub fn compile(sources: &[&str]) -> Result<Self, PatternError> {
+        let patterns = sources
+            .iter()
+            .map(|s| Pattern::compile(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FilterSet { patterns })
+    }
+
+    /// Whether any pattern matches.
+    pub fn matches(&self, text: &str) -> bool {
+        self.patterns.iter().any(|p| {
+            match p.longest_literal() {
+                // Cheap reject: the longest literal must appear somewhere.
+                Some(lit) if !text.contains(lit) => false,
+                _ => p.matches(text),
+            }
+        })
+    }
+
+    /// The index of the first matching pattern, if any.
+    pub fn first_match(&self, text: &str) -> Option<usize> {
+        self.patterns.iter().position(|p| p.matches(text))
+    }
+
+    /// The compiled patterns.
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_exact_match() {
+        let p = Pattern::compile("hello world").unwrap();
+        assert!(p.matches("hello world"));
+        assert!(!p.matches("hello worlds"));
+        assert!(!p.matches("say hello world"));
+    }
+
+    #[test]
+    fn wildcard_substring_semantics() {
+        let p = Pattern::compile("*Xid*").unwrap();
+        assert!(p.matches("NVRM: Xid (PCI): 79"));
+        assert!(p.matches("Xid"));
+        assert!(!p.matches("xid lowercase"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_only_empty() {
+        let p = Pattern::compile("").unwrap();
+        assert!(p.matches(""));
+        assert!(!p.matches("x"));
+    }
+
+    #[test]
+    fn digit_capture() {
+        let p = Pattern::compile("code {d} done").unwrap();
+        assert_eq!(p.captures("code 79 done").unwrap(), vec!["79"]);
+        assert!(p.captures("code done").is_none());
+        assert!(p.captures("code xx done").is_none());
+    }
+
+    #[test]
+    fn digit_capture_requires_at_least_one() {
+        let p = Pattern::compile("{d}").unwrap();
+        assert!(p.captures("").is_none());
+        assert_eq!(p.captures("7").unwrap(), vec!["7"]);
+    }
+
+    #[test]
+    fn digits_backtrack_before_digit_literal() {
+        // Greedy digits must back off so the literal "1" can match.
+        let p = Pattern::compile("{d}1").unwrap();
+        assert_eq!(p.captures("421").unwrap(), vec!["42"]);
+    }
+
+    #[test]
+    fn word_capture_stops_at_space() {
+        let p = Pattern::compile("host {w} up").unwrap();
+        assert_eq!(p.captures("host gpub042 up").unwrap(), vec!["gpub042"]);
+        assert!(p.captures("host  up").is_none());
+    }
+
+    #[test]
+    fn word_backtracks_for_following_literal() {
+        let p = Pattern::compile("{w}:tail").unwrap();
+        assert_eq!(p.captures("abc:tail").unwrap(), vec!["abc"]);
+        // Word cannot include the colon if the literal needs it.
+        let p2 = Pattern::compile("{w}:{w}").unwrap();
+        assert_eq!(p2.captures("a:b").unwrap(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn any_capture_can_be_empty() {
+        let p = Pattern::compile("[{*}]").unwrap();
+        assert_eq!(p.captures("[]").unwrap(), vec![""]);
+        assert_eq!(p.captures("[abc]").unwrap(), vec!["abc"]);
+    }
+
+    #[test]
+    fn multiple_captures_in_order() {
+        let p = Pattern::compile(r"NVRM: Xid (PCI:{w}): {d},*").unwrap();
+        let caps = p
+            .captures("NVRM: Xid (PCI:0000:27:00): 79, GPU has fallen off the bus.")
+            .unwrap();
+        assert_eq!(caps, vec!["0000:27:00", "79"]);
+        assert_eq!(p.capture_count(), 2);
+    }
+
+    #[test]
+    fn escapes() {
+        let p = Pattern::compile(r"literal \* star").unwrap();
+        assert!(p.matches("literal * star"));
+        assert!(!p.matches("literal x star"));
+        let p = Pattern::compile(r"\{d\}").unwrap();
+        assert!(p.matches("{d}"));
+    }
+
+    #[test]
+    fn compile_errors() {
+        assert!(Pattern::compile("{x}").is_err());
+        assert!(Pattern::compile("{d").is_err());
+        assert!(Pattern::compile("trailing\\").is_err());
+        let msg = Pattern::compile("{zz}").unwrap_err().to_string();
+        assert!(msg.contains("{zz}"), "{msg}");
+    }
+
+    #[test]
+    fn consecutive_wildcards_collapse() {
+        let p = Pattern::compile("a**b").unwrap();
+        assert!(p.matches("ab"));
+        assert!(p.matches("a--b"));
+    }
+
+    #[test]
+    fn longest_literal_prefilter() {
+        let p = Pattern::compile(r"*NVRM: Xid*{d}*").unwrap();
+        assert_eq!(p.longest_literal(), Some("NVRM: Xid"));
+        let p = Pattern::compile("{d}").unwrap();
+        assert_eq!(p.longest_literal(), None);
+    }
+
+    #[test]
+    fn unicode_safe_wildcards() {
+        let p = Pattern::compile("*é*").unwrap();
+        assert!(p.matches("caféteria"));
+        let p = Pattern::compile("{w}").unwrap();
+        assert_eq!(p.captures("héllo").unwrap(), vec!["héllo"]);
+    }
+
+    #[test]
+    fn source_and_display_roundtrip() {
+        let src = r"NVRM: Xid (PCI:{w}): {d},*";
+        let p = Pattern::compile(src).unwrap();
+        assert_eq!(p.source(), src);
+        assert_eq!(p.to_string(), src);
+    }
+
+    #[test]
+    fn filter_set_matches_any() {
+        let f = FilterSet::compile(&["*Xid*", "*remapping*"]).unwrap();
+        assert!(f.matches("a row remapping event"));
+        assert!(f.matches("NVRM: Xid"));
+        assert!(!f.matches("unrelated"));
+        assert_eq!(f.first_match("a row remapping event"), Some(1));
+        assert_eq!(f.first_match("zzz"), None);
+        assert_eq!(f.patterns().len(), 2);
+    }
+
+    #[test]
+    fn filter_set_compile_error_propagates() {
+        assert!(FilterSet::compile(&["ok", "{bad}"]).is_err());
+    }
+
+    #[test]
+    fn pathological_backtracking_is_bounded() {
+        // Dozens of wildcards against a non-matching line must still finish
+        // quickly because of shortest-first expansion and literal anchors.
+        let p = Pattern::compile("*a*a*a*a*a*a*a*END").unwrap();
+        let text = "a".repeat(200);
+        assert!(!p.matches(&text));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests: log line and NVRM body round trips, pattern-engine
+//! invariants, archive conservation.
+
+use hpclog::archive::Archive;
+use hpclog::pattern::Pattern;
+use hpclog::{LogLine, PciAddr, Timestamp, XidEvent};
+use proptest::prelude::*;
+use xid::XidCode;
+
+/// Timestamps within the study window (2022-2025).
+fn study_time() -> impl Strategy<Value = Timestamp> {
+    (1_640_995_200u64..1_741_996_800).prop_map(Timestamp::from_unix)
+}
+
+/// Hostnames in Delta's convention.
+fn hostname() -> impl Strategy<Value = String> {
+    (1u16..999).prop_map(|n| format!("gpub{n:03}"))
+}
+
+/// Printable body text: no newlines; not starting with whitespace (syslog
+/// separators would eat it).
+fn body_text() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9][a-zA-Z0-9 _.:=/()-]{0,80}".prop_map(|s| s.trim_end().to_owned())
+}
+
+/// XID detail text: printable, not beginning with space/comma (the wire
+/// format separates with ", ").
+fn detail_text() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9][a-zA-Z0-9 _.:=/()-]{0,60}".prop_map(|s| s.trim_end().to_owned())
+}
+
+proptest! {
+    /// Any structurally valid log line round-trips through rendering.
+    #[test]
+    fn log_line_roundtrip(time in study_time(), host in hostname(), body in body_text()) {
+        let line = LogLine::new(time, host, "kernel", body);
+        let year = time.ymd().0;
+        let parsed = LogLine::parse_with_year(&line.to_string(), year).unwrap();
+        prop_assert_eq!(parsed, line);
+    }
+
+    /// Any XID event with well-formed detail text round-trips through the
+    /// NVRM body format.
+    #[test]
+    fn xid_event_roundtrip(
+        time in study_time(),
+        host in hostname(),
+        gpu in 0u8..8,
+        code in 1u16..200,
+        detail in detail_text(),
+    ) {
+        let event = XidEvent::new(time, host, PciAddr::for_gpu_index(gpu), XidCode::new(code), detail);
+        let line = event.to_log_line();
+        let year = time.ymd().0;
+        let reparsed = LogLine::parse_with_year(&line.to_string(), year).unwrap();
+        let back = XidEvent::parse_body(reparsed.time, &reparsed.host, &reparsed.body)
+            .expect("recognised")
+            .expect("parses");
+        prop_assert_eq!(back, event);
+    }
+
+    /// A pattern built by escaping arbitrary text always matches exactly
+    /// that text.
+    #[test]
+    fn escaped_literal_matches_itself(text in "[ -~]{0,40}") {
+        let escaped: String = text
+            .chars()
+            .flat_map(|c| match c {
+                '*' | '{' | '\\' => vec!['\\', c],
+                other => vec![other],
+            })
+            .collect();
+        let p = Pattern::compile(&escaped).unwrap();
+        prop_assert!(p.matches(&text));
+    }
+
+    /// `*text*` matches any string containing `text`.
+    #[test]
+    fn substring_pattern(hay in "[a-z ]{0,30}", needle in "[a-z]{1,6}", tail in "[a-z ]{0,30}") {
+        let text = format!("{hay}{needle}{tail}");
+        let p = Pattern::compile(&format!("*{needle}*")).unwrap();
+        prop_assert!(p.matches(&text));
+    }
+
+    /// Digit captures always return digit-only, non-empty captures.
+    #[test]
+    fn digit_capture_is_digits(prefix in "[a-z ]{0,10}", n in 0u64..1_000_000, suffix in "[a-z ]{0,10}") {
+        let text = format!("{prefix}{n}#{suffix}");
+        let p = Pattern::compile("*{d}#*").unwrap();
+        let caps = p.captures(&text).expect("must match");
+        prop_assert!(!caps[0].is_empty());
+        prop_assert!(caps[0].chars().all(|c| c.is_ascii_digit()));
+    }
+
+    /// The archive conserves lines: every push is visible, in time order.
+    #[test]
+    fn archive_conserves_lines(times in proptest::collection::vec(study_time(), 0..50)) {
+        let mut archive = Archive::new();
+        for (i, &t) in times.iter().enumerate() {
+            archive.push(LogLine::new(t, "gpub001", "kernel", format!("m{i}")));
+        }
+        prop_assert_eq!(archive.line_count(), times.len());
+        let replayed: Vec<Timestamp> = archive.iter().map(|l| l.time).collect();
+        let mut sorted = replayed.clone();
+        sorted.sort();
+        prop_assert_eq!(replayed, sorted);
+    }
+
+    /// Render → ingest preserves the archive byte-for-byte.
+    #[test]
+    fn archive_day_roundtrip(times in proptest::collection::vec(study_time(), 1..40)) {
+        let mut archive = Archive::new();
+        for (i, &t) in times.iter().enumerate() {
+            archive.push(LogLine::new(t, "gpub002", "kernel", format!("event {i}")));
+        }
+        let mut back = Archive::new();
+        for (day, _) in archive.days() {
+            let text = archive.render_day(day).unwrap();
+            let year = Timestamp::from_unix(day * 86_400).ymd().0;
+            let (_, skipped) = back.ingest_day(&text, year);
+            prop_assert_eq!(skipped, 0);
+        }
+        let a: Vec<_> = archive.iter().cloned().collect();
+        let b: Vec<_> = back.iter().cloned().collect();
+        prop_assert_eq!(a, b);
+    }
+}

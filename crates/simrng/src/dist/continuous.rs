@@ -1,0 +1,517 @@
+//! Continuous distributions: exponential, Weibull, log-normal, Pareto,
+//! uniform, and a truncated log-normal used for walltime-capped durations.
+
+use super::{require_positive, ParamError, Sample};
+use crate::Rng;
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+///
+/// The workhorse of constant-hazard failure processes: if a component's MTBE
+/// is `m` hours, its inter-error gaps are `Exponential::new(1.0 / m)`.
+///
+/// # Example
+///
+/// ```
+/// use simrng::{Rng, dist::{Exponential, Sample}};
+/// # fn main() -> Result<(), simrng::dist::ParamError> {
+/// let gaps = Exponential::new(1.0 / 590.0)?; // GSP per-node MTBE, op period
+/// let mut rng = Rng::seed_from(1);
+/// assert!(gaps.sample(&mut rng) > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `rate` is finite and strictly positive.
+    pub fn new(rate: f64) -> Result<Self, ParamError> {
+        Ok(Exponential { rate: require_positive("rate", rate)? })
+    }
+
+    /// Creates an exponential distribution with the given mean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `mean` is finite and strictly positive.
+    pub fn with_mean(mean: f64) -> Result<Self, ParamError> {
+        Ok(Exponential { rate: 1.0 / require_positive("mean", mean)? })
+    }
+
+    /// The rate parameter `lambda`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The distribution mean `1/lambda`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+impl Sample for Exponential {
+    type Output = f64;
+
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        // Inverse transform on the open interval so ln never sees zero.
+        -rng.f64_open().ln() / self.rate
+    }
+}
+
+/// Weibull distribution with shape `k` and scale `lambda`.
+///
+/// `k < 1` models infant-mortality hazards (early GPU failures in the
+/// pre-operational period), `k = 1` reduces to exponential, and `k > 1`
+/// models wear-out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless both `shape` and `scale` are finite and
+    /// strictly positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, ParamError> {
+        Ok(Weibull {
+            shape: require_positive("shape", shape)?,
+            scale: require_positive("scale", scale)?,
+        })
+    }
+
+    /// The shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// The scale parameter `lambda`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The distribution mean `lambda * Gamma(1 + 1/k)`.
+    pub fn mean(&self) -> f64 {
+        self.scale * gamma(1.0 + 1.0 / self.shape)
+    }
+}
+
+impl Sample for Weibull {
+    type Output = f64;
+
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        self.scale * (-rng.f64_open().ln()).powf(1.0 / self.shape)
+    }
+}
+
+/// Log-normal distribution parameterised by the mean `mu` and standard
+/// deviation `sigma` of the underlying normal.
+///
+/// Job elapsed times and node repair times in the paper are right-skewed
+/// with medians far below their means (Table III: mean 175.6 min vs P50
+/// 10.2 min for 1-GPU jobs) — exactly the log-normal signature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with log-space mean `mu` and log-space standard
+    /// deviation `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `mu` is finite and `sigma` is finite
+    /// and strictly positive.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if !mu.is_finite() {
+            return Err(ParamError::new(format!("mu must be finite, got {mu}")));
+        }
+        Ok(LogNormal { mu, sigma: require_positive("sigma", sigma)? })
+    }
+
+    /// Creates a log-normal from its *linear-space* mean and median.
+    ///
+    /// Because `median = exp(mu)` and `mean = exp(mu + sigma^2/2)`, a
+    /// (mean, median) pair with `mean > median > 0` determines the
+    /// parameters uniquely. This is the natural fit interface for Table III
+    /// rows, which report exactly those two statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `0 < median < mean`.
+    pub fn from_mean_median(mean: f64, median: f64) -> Result<Self, ParamError> {
+        require_positive("median", median)?;
+        require_positive("mean", mean)?;
+        if mean <= median {
+            return Err(ParamError::new(format!(
+                "log-normal fit requires mean > median, got mean {mean} <= median {median}"
+            )));
+        }
+        let mu = median.ln();
+        let sigma = (2.0 * (mean.ln() - mu)).sqrt();
+        LogNormal::new(mu, sigma)
+    }
+
+    /// Log-space mean.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Log-space standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Linear-space mean `exp(mu + sigma^2 / 2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+
+    /// Linear-space median `exp(mu)`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+}
+
+impl Sample for LogNormal {
+    type Output = f64;
+
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        (self.mu + self.sigma * rng.standard_normal()).exp()
+    }
+}
+
+/// A log-normal right-truncated at `cap` by rejection, modelling quantities
+/// with an enforced upper limit such as walltime-capped job durations
+/// (Delta's 48-hour limit shows up as the P99 ≈ 2880 min wall in Table III).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedLogNormal {
+    inner: LogNormal,
+    cap: f64,
+}
+
+impl TruncatedLogNormal {
+    /// Creates a truncated log-normal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless the base parameters are valid and `cap`
+    /// is finite and strictly positive.
+    pub fn new(mu: f64, sigma: f64, cap: f64) -> Result<Self, ParamError> {
+        Ok(TruncatedLogNormal {
+            inner: LogNormal::new(mu, sigma)?,
+            cap: require_positive("cap", cap)?,
+        })
+    }
+
+    /// The truncation point.
+    pub fn cap(&self) -> f64 {
+        self.cap
+    }
+
+    /// The untruncated base distribution.
+    pub fn base(&self) -> LogNormal {
+        self.inner
+    }
+}
+
+impl Sample for TruncatedLogNormal {
+    type Output = f64;
+
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        // Rejection with a clamp fallback: if the cap is deep in the left
+        // tail, rejection would stall, so after a bounded number of tries
+        // the sample saturates at the cap — mirroring how real jobs pile up
+        // exactly at the walltime limit.
+        for _ in 0..64 {
+            let x = self.inner.sample(rng);
+            if x <= self.cap {
+                return x;
+            }
+        }
+        self.cap
+    }
+}
+
+/// Pareto (type I) distribution with minimum `x_min` and tail index `alpha`.
+///
+/// Used for heavy-tailed burst lengths: the 17-day uncontained-memory-error
+/// storm of §IV(vi) sits in the extreme tail of a Pareto burst-length model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless both parameters are finite and
+    /// strictly positive.
+    pub fn new(x_min: f64, alpha: f64) -> Result<Self, ParamError> {
+        Ok(Pareto {
+            x_min: require_positive("x_min", x_min)?,
+            alpha: require_positive("alpha", alpha)?,
+        })
+    }
+
+    /// The scale (minimum value) parameter.
+    pub fn x_min(&self) -> f64 {
+        self.x_min
+    }
+
+    /// The tail index.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl Sample for Pareto {
+    type Output = f64;
+
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        self.x_min / rng.f64_open().powf(1.0 / self.alpha)
+    }
+}
+
+/// Continuous uniform distribution on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `lo < hi` and both are finite.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, ParamError> {
+        if lo.is_finite() && hi.is_finite() && lo < hi {
+            Ok(Uniform { lo, hi })
+        } else {
+            Err(ParamError::new(format!("uniform requires finite lo < hi, got [{lo}, {hi})")))
+        }
+    }
+
+    /// Lower bound (inclusive).
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound (exclusive).
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl Sample for Uniform {
+    type Output = f64;
+
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        rng.range_f64(self.lo, self.hi)
+    }
+}
+
+/// Lanczos approximation of the Gamma function, used for Weibull moments.
+fn gamma(x: f64) -> f64 {
+    // g = 7, n = 9 Lanczos coefficients.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = COEFFS[0];
+        let t = x + 7.5;
+        for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{assert_close, mean, variance};
+    use super::*;
+    use crate::Rng;
+
+    const N: usize = 200_000;
+
+    #[test]
+    fn gamma_known_values() {
+        assert_close(gamma(1.0), 1.0, 1e-9, "Gamma(1)");
+        assert_close(gamma(2.0), 1.0, 1e-9, "Gamma(2)");
+        assert_close(gamma(5.0), 24.0, 1e-9, "Gamma(5)");
+        assert_close(gamma(0.5), std::f64::consts::PI.sqrt(), 1e-9, "Gamma(1/2)");
+        assert_close(gamma(1.5), 0.5 * std::f64::consts::PI.sqrt(), 1e-9, "Gamma(3/2)");
+    }
+
+    #[test]
+    fn exponential_rejects_bad_rate() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn exponential_mean_and_variance() {
+        let mut rng = Rng::seed_from(100);
+        let d = Exponential::new(0.25).unwrap();
+        let xs = d.sample_n(&mut rng, N);
+        assert_close(mean(&xs), 4.0, 0.03, "exp mean");
+        assert_close(variance(&xs), 16.0, 0.06, "exp variance");
+    }
+
+    #[test]
+    fn exponential_with_mean_matches_rate_form() {
+        let a = Exponential::with_mean(154.0).unwrap();
+        let b = Exponential::new(1.0 / 154.0).unwrap();
+        assert_close(a.rate(), b.rate(), 1e-12, "rate");
+        assert_close(a.mean(), 154.0, 1e-12, "mean");
+    }
+
+    #[test]
+    fn exponential_memoryless_shape() {
+        // P(X > 2m) should be approximately P(X > m)^2.
+        let mut rng = Rng::seed_from(101);
+        let d = Exponential::new(1.0).unwrap();
+        let xs = d.sample_n(&mut rng, N);
+        let p1 = xs.iter().filter(|&&x| x > 1.0).count() as f64 / N as f64;
+        let p2 = xs.iter().filter(|&&x| x > 2.0).count() as f64 / N as f64;
+        assert_close(p2, p1 * p1, 0.05, "memorylessness");
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let mut rng = Rng::seed_from(102);
+        let d = Weibull::new(1.0, 3.0).unwrap();
+        let xs = d.sample_n(&mut rng, N);
+        assert_close(mean(&xs), 3.0, 0.03, "weibull(1, 3) mean");
+        assert_close(d.mean(), 3.0, 1e-9, "analytic mean");
+    }
+
+    #[test]
+    fn weibull_mean_matches_analytic() {
+        let mut rng = Rng::seed_from(103);
+        let d = Weibull::new(0.7, 10.0).unwrap();
+        let xs = d.sample_n(&mut rng, N);
+        assert_close(mean(&xs), d.mean(), 0.04, "weibull(0.7, 10) mean");
+    }
+
+    #[test]
+    fn weibull_infant_mortality_skews_early() {
+        // Shape < 1 puts more mass below the scale than shape > 1.
+        let mut rng = Rng::seed_from(104);
+        let early = Weibull::new(0.5, 1.0).unwrap();
+        let late = Weibull::new(3.0, 1.0).unwrap();
+        let pe = early.sample_n(&mut rng, N).iter().filter(|&&x| x < 0.2).count();
+        let pl = late.sample_n(&mut rng, N).iter().filter(|&&x| x < 0.2).count();
+        assert!(pe > 3 * pl, "early {pe} vs late {pl}");
+    }
+
+    #[test]
+    fn lognormal_moments() {
+        let mut rng = Rng::seed_from(105);
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let xs = d.sample_n(&mut rng, N);
+        assert_close(mean(&xs), d.mean(), 0.02, "lognormal mean");
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_close(sorted[N / 2], d.median(), 0.02, "lognormal median");
+    }
+
+    #[test]
+    fn lognormal_from_mean_median_roundtrip() {
+        // Table III row: 1-GPU jobs, mean 175.62 min, median 10.15 min.
+        let d = LogNormal::from_mean_median(175.62, 10.15).unwrap();
+        assert_close(d.mean(), 175.62, 1e-9, "fit mean");
+        assert_close(d.median(), 10.15, 1e-9, "fit median");
+    }
+
+    #[test]
+    fn lognormal_fit_rejects_mean_below_median() {
+        assert!(LogNormal::from_mean_median(5.0, 10.0).is_err());
+        assert!(LogNormal::from_mean_median(10.0, 10.0).is_err());
+    }
+
+    #[test]
+    fn truncated_lognormal_respects_cap() {
+        let mut rng = Rng::seed_from(106);
+        let d = TruncatedLogNormal::new(5.0, 2.0, 2880.0).unwrap();
+        for x in d.sample_n(&mut rng, 50_000) {
+            assert!(x <= 2880.0);
+        }
+    }
+
+    #[test]
+    fn truncated_lognormal_saturates_at_deep_cap() {
+        // Cap far in the left tail: nearly all draws clamp to the cap.
+        let mut rng = Rng::seed_from(107);
+        let d = TruncatedLogNormal::new(10.0, 0.1, 1.0).unwrap();
+        let xs = d.sample_n(&mut rng, 100);
+        assert!(xs.iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn pareto_minimum_and_tail() {
+        let mut rng = Rng::seed_from(108);
+        let d = Pareto::new(2.0, 3.0).unwrap();
+        let xs = d.sample_n(&mut rng, N);
+        assert!(xs.iter().all(|&x| x >= 2.0));
+        // alpha = 3 mean: alpha * x_min / (alpha - 1) = 3.
+        assert_close(mean(&xs), 3.0, 0.05, "pareto mean");
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed_relative_to_exponential() {
+        let mut rng = Rng::seed_from(109);
+        let p = Pareto::new(1.0, 1.5).unwrap();
+        let e = Exponential::with_mean(3.0).unwrap();
+        let far = 50.0;
+        let pp = p.sample_n(&mut rng, N).iter().filter(|&&x| x > far).count();
+        let pe = e.sample_n(&mut rng, N).iter().filter(|&&x| x > far).count();
+        assert!(pp > 10 * (pe + 1), "pareto tail {pp} vs exp tail {pe}");
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let mut rng = Rng::seed_from(110);
+        let d = Uniform::new(-2.0, 6.0).unwrap();
+        let xs = d.sample_n(&mut rng, N);
+        assert!(xs.iter().all(|&x| (-2.0..6.0).contains(&x)));
+        assert_close(mean(&xs), 2.0, 0.02, "uniform mean");
+    }
+
+    #[test]
+    fn uniform_rejects_empty_interval() {
+        assert!(Uniform::new(1.0, 1.0).is_err());
+        assert!(Uniform::new(2.0, 1.0).is_err());
+        assert!(Uniform::new(f64::NEG_INFINITY, 0.0).is_err());
+    }
+}

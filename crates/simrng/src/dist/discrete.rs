@@ -1,0 +1,436 @@
+//! Discrete distributions: Bernoulli, Poisson, geometric, categorical
+//! (alias method) and discrete empirical distributions.
+
+use super::{require_positive, require_probability, ParamError, Sample};
+use crate::Rng;
+
+/// Bernoulli distribution: `true` with probability `p`.
+///
+/// Used throughout the fault models for one-shot outcomes — did containment
+/// succeed, did the CRC retry mask the NVLink error, did the job die.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `p` lies in `[0, 1]`.
+    pub fn new(p: f64) -> Result<Self, ParamError> {
+        Ok(Bernoulli { p: require_probability("p", p)? })
+    }
+
+    /// The success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Sample for Bernoulli {
+    type Output = bool;
+
+    fn sample(&self, rng: &mut Rng) -> bool {
+        rng.bool_with(self.p)
+    }
+}
+
+/// Poisson distribution with mean `lambda`.
+///
+/// Models duplicate-log-line multiplicities and per-interval error counts.
+/// Sampling uses Knuth's product method for small `lambda` and the
+/// transformed-rejection PTRS algorithm's simpler normal-approximation
+/// fallback for large `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `lambda` is finite and strictly
+    /// positive.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        Ok(Poisson { lambda: require_positive("lambda", lambda)? })
+    }
+
+    /// The mean (and variance) `lambda`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl Sample for Poisson {
+    type Output = u64;
+
+    fn sample(&self, rng: &mut Rng) -> u64 {
+        if self.lambda < 30.0 {
+            // Knuth: multiply uniforms until the product drops below e^-λ.
+            let limit = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut prod = rng.f64_open();
+            while prod > limit {
+                k += 1;
+                prod *= rng.f64_open();
+            }
+            k
+        } else {
+            // Normal approximation with continuity correction; adequate for
+            // the log-storm regime (λ in the hundreds) and exact enough for
+            // every statistic we derive from it.
+            let x = self.lambda + self.lambda.sqrt() * rng.standard_normal() + 0.5;
+            if x < 0.0 {
+                0
+            } else {
+                x as u64
+            }
+        }
+    }
+}
+
+/// Geometric distribution counting failures before the first success
+/// (support `0, 1, 2, ...`), with success probability `p`.
+///
+/// Models "how many extra duplicate lines follow the first log line of an
+/// error" — the coalescing workload of Fig. 1 stage ii.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    p: f64,
+}
+
+impl Geometric {
+    /// Creates a geometric distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `p` lies in `(0, 1]`.
+    pub fn new(p: f64) -> Result<Self, ParamError> {
+        require_probability("p", p)?;
+        if p == 0.0 {
+            return Err(ParamError::new("geometric requires p > 0"));
+        }
+        Ok(Geometric { p })
+    }
+
+    /// The success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The mean `(1 - p) / p`.
+    pub fn mean(&self) -> f64 {
+        (1.0 - self.p) / self.p
+    }
+}
+
+impl Sample for Geometric {
+    type Output = u64;
+
+    fn sample(&self, rng: &mut Rng) -> u64 {
+        if self.p >= 1.0 {
+            return 0;
+        }
+        // Inverse transform: floor(ln U / ln(1-p)).
+        let u = rng.f64_open();
+        (u.ln() / (1.0 - self.p).ln()).floor() as u64
+    }
+}
+
+/// Categorical distribution over indices `0..k`, sampled in O(1) via the
+/// Walker–Vose alias method.
+///
+/// Built once from unnormalised weights; used for the Table III GPU-count
+/// bucket mix and for picking which component an error storm targets.
+///
+/// # Example
+///
+/// ```
+/// use simrng::{Rng, dist::{Categorical, Sample}};
+/// # fn main() -> Result<(), simrng::dist::ParamError> {
+/// // Table III job mix: 69.86% 1-GPU, 27.31% 2-4 GPU, ...
+/// let mix = Categorical::new(&[69.86, 27.31, 1.55, 1.07, 0.14, 0.063, 0.006, 0.002])?;
+/// let mut rng = Rng::seed_from(3);
+/// assert!(mix.sample(&mut rng) < 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+    weights: Vec<f64>,
+}
+
+impl Categorical {
+    /// Creates a categorical distribution from unnormalised weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `weights` is empty, contains a negative or
+    /// non-finite value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Result<Self, ParamError> {
+        if weights.is_empty() {
+            return Err(ParamError::new("categorical requires at least one weight"));
+        }
+        let total: f64 = weights.iter().sum();
+        if !total.is_finite() || total <= 0.0 {
+            return Err(ParamError::new(format!(
+                "categorical weights must be finite, non-negative and sum > 0 (sum {total})"
+            )));
+        }
+        if weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
+            return Err(ParamError::new("categorical weights must be finite and >= 0"));
+        }
+        let n = weights.len();
+        let scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        let mut work = scaled;
+        for (i, &w) in work.iter().enumerate() {
+            if w < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let Some(s) = small.pop() {
+            // Pair each under-full bucket with an over-full donor; when no
+            // donor remains (floating-point residue), the bucket is full.
+            match large.pop() {
+                Some(l) => {
+                    prob[s] = work[s];
+                    alias[s] = l;
+                    work[l] = (work[l] + work[s]) - 1.0;
+                    if work[l] < 1.0 {
+                        small.push(l);
+                    } else {
+                        large.push(l);
+                    }
+                }
+                None => prob[s] = 1.0,
+            }
+        }
+        for i in large {
+            prob[i] = 1.0;
+        }
+        Ok(Categorical {
+            prob,
+            alias,
+            weights: weights.iter().map(|w| w / total).collect(),
+        })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// `true` if there are no categories (never true for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// The normalised probability of category `i`, or `None` out of range.
+    pub fn probability(&self, i: usize) -> Option<f64> {
+        self.weights.get(i).copied()
+    }
+}
+
+impl Sample for Categorical {
+    type Output = usize;
+
+    fn sample(&self, rng: &mut Rng) -> usize {
+        let i = rng.range_u64(self.prob.len() as u64) as usize;
+        if rng.f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// Discrete empirical distribution over arbitrary `(value, weight)` pairs.
+///
+/// A thin, value-carrying wrapper over [`Categorical`] for measured
+/// histograms (e.g. replaying an observed repair-time histogram).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Empirical<T> {
+    values: Vec<T>,
+    picker: Categorical,
+}
+
+impl<T: Clone> Empirical<T> {
+    /// Creates an empirical distribution from `(value, weight)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] under the same conditions as
+    /// [`Categorical::new`].
+    pub fn new(pairs: &[(T, f64)]) -> Result<Self, ParamError> {
+        let weights: Vec<f64> = pairs.iter().map(|(_, w)| *w).collect();
+        Ok(Empirical {
+            values: pairs.iter().map(|(v, _)| v.clone()).collect(),
+            picker: Categorical::new(&weights)?,
+        })
+    }
+
+    /// The distinct values, in construction order.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+}
+
+impl<T: Clone> Sample for Empirical<T> {
+    type Output = T;
+
+    fn sample(&self, rng: &mut Rng) -> T {
+        self.values[self.picker.sample(rng)].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{assert_close, mean};
+    use super::*;
+    use crate::Rng;
+
+    const N: usize = 200_000;
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut rng = Rng::seed_from(200);
+        let d = Bernoulli::new(0.9048).unwrap(); // MMU job-failure probability
+        let hits = (0..N).filter(|_| d.sample(&mut rng)).count();
+        assert_close(hits as f64 / N as f64, 0.9048, 0.01, "bernoulli freq");
+    }
+
+    #[test]
+    fn bernoulli_rejects_out_of_range() {
+        assert!(Bernoulli::new(-0.01).is_err());
+        assert!(Bernoulli::new(1.01).is_err());
+    }
+
+    #[test]
+    fn poisson_small_lambda_moments() {
+        let mut rng = Rng::seed_from(201);
+        let d = Poisson::new(3.5).unwrap();
+        let xs: Vec<f64> = d.sample_n(&mut rng, N).into_iter().map(|k| k as f64).collect();
+        assert_close(mean(&xs), 3.5, 0.02, "poisson mean");
+        let var = super::super::testutil::variance(&xs);
+        assert_close(var, 3.5, 0.03, "poisson variance");
+    }
+
+    #[test]
+    fn poisson_large_lambda_moments() {
+        let mut rng = Rng::seed_from(202);
+        let d = Poisson::new(400.0).unwrap();
+        let xs: Vec<f64> = d.sample_n(&mut rng, 50_000).into_iter().map(|k| k as f64).collect();
+        assert_close(mean(&xs), 400.0, 0.01, "poisson large mean");
+    }
+
+    #[test]
+    fn poisson_zero_probability_mass() {
+        let mut rng = Rng::seed_from(203);
+        let d = Poisson::new(1.0).unwrap();
+        let zeros = d.sample_n(&mut rng, N).iter().filter(|&&k| k == 0).count();
+        assert_close(zeros as f64 / N as f64, (-1.0f64).exp(), 0.02, "P(X=0)");
+    }
+
+    #[test]
+    fn geometric_mean() {
+        let mut rng = Rng::seed_from(204);
+        let d = Geometric::new(0.2).unwrap();
+        let xs: Vec<f64> = d.sample_n(&mut rng, N).into_iter().map(|k| k as f64).collect();
+        assert_close(mean(&xs), 4.0, 0.03, "geometric mean");
+        assert_close(d.mean(), 4.0, 1e-12, "analytic mean");
+    }
+
+    #[test]
+    fn geometric_p_one_is_always_zero() {
+        let mut rng = Rng::seed_from(205);
+        let d = Geometric::new(1.0).unwrap();
+        assert!(d.sample_n(&mut rng, 100).iter().all(|&k| k == 0));
+    }
+
+    #[test]
+    fn geometric_rejects_zero() {
+        assert!(Geometric::new(0.0).is_err());
+    }
+
+    #[test]
+    fn categorical_matches_weights() {
+        let mut rng = Rng::seed_from(206);
+        let weights = [69.86, 27.31, 1.55, 1.07, 0.14, 0.063, 0.006, 0.002];
+        let d = Categorical::new(&weights).unwrap();
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..N {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate().take(4) {
+            assert_close(
+                counts[i] as f64 / N as f64,
+                w / total,
+                0.05,
+                &format!("bucket {i}"),
+            );
+        }
+    }
+
+    #[test]
+    fn categorical_probability_accessor() {
+        let d = Categorical::new(&[1.0, 3.0]).unwrap();
+        assert_close(d.probability(0).unwrap(), 0.25, 1e-12, "p0");
+        assert_close(d.probability(1).unwrap(), 0.75, 1e-12, "p1");
+        assert_eq!(d.probability(2), None);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn categorical_single_category() {
+        let mut rng = Rng::seed_from(207);
+        let d = Categorical::new(&[42.0]).unwrap();
+        assert!(d.sample_n(&mut rng, 100).iter().all(|&i| i == 0));
+    }
+
+    #[test]
+    fn categorical_zero_weight_category_never_drawn() {
+        let mut rng = Rng::seed_from(208);
+        let d = Categorical::new(&[1.0, 0.0, 1.0]).unwrap();
+        assert!(d.sample_n(&mut rng, 10_000).iter().all(|&i| i != 1));
+    }
+
+    #[test]
+    fn categorical_rejects_bad_weights() {
+        assert!(Categorical::new(&[]).is_err());
+        assert!(Categorical::new(&[0.0, 0.0]).is_err());
+        assert!(Categorical::new(&[1.0, -1.0]).is_err());
+        assert!(Categorical::new(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn empirical_draws_only_listed_values() {
+        let mut rng = Rng::seed_from(209);
+        let d = Empirical::new(&[("fast", 0.7), ("slow", 0.3)]).unwrap();
+        for v in d.sample_n(&mut rng, 1000) {
+            assert!(v == "fast" || v == "slow");
+        }
+        assert_eq!(d.values(), &["fast", "slow"]);
+    }
+
+    #[test]
+    fn empirical_respects_weights() {
+        let mut rng = Rng::seed_from(210);
+        let d = Empirical::new(&[(1u32, 9.0), (2u32, 1.0)]).unwrap();
+        let ones = d.sample_n(&mut rng, N).iter().filter(|&&v| v == 1).count();
+        assert_close(ones as f64 / N as f64, 0.9, 0.01, "empirical weight");
+    }
+}

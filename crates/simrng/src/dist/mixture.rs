@@ -1,0 +1,121 @@
+//! Finite mixtures of distributions sharing an output type.
+
+use super::{Categorical, ParamError, Sample};
+use crate::Rng;
+
+/// A finite mixture: picks a component by weight, then samples from it.
+///
+/// The Delta workload has strongly bimodal job durations — a mass of
+/// sub-minute debug runs and a long tail of multi-day training runs (Table
+/// III: P50 minutes vs P99 at the 48 h walltime). A two-component
+/// [`Mixture`] of log-normals reproduces exactly that shape.
+///
+/// # Example
+///
+/// ```
+/// use simrng::{Rng, dist::{LogNormal, Mixture, Sample}};
+/// # fn main() -> Result<(), simrng::dist::ParamError> {
+/// let debug_runs = LogNormal::new(0.5, 1.0)?;
+/// let training = LogNormal::new(6.5, 1.2)?;
+/// let durations = Mixture::new(vec![(0.6, debug_runs), (0.4, training)])?;
+/// let mut rng = Rng::seed_from(7);
+/// assert!(durations.sample(&mut rng) > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mixture<D> {
+    components: Vec<D>,
+    picker: Categorical,
+}
+
+impl<D> Mixture<D> {
+    /// Creates a mixture from `(weight, component)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if the weight vector is invalid per
+    /// [`Categorical::new`] (empty, negative, non-finite or zero-sum).
+    pub fn new(parts: Vec<(f64, D)>) -> Result<Self, ParamError> {
+        let weights: Vec<f64> = parts.iter().map(|(w, _)| *w).collect();
+        let picker = Categorical::new(&weights)?;
+        Ok(Mixture {
+            components: parts.into_iter().map(|(_, d)| d).collect(),
+            picker,
+        })
+    }
+
+    /// The mixture components, in construction order.
+    pub fn components(&self) -> &[D] {
+        &self.components
+    }
+
+    /// The normalised weight of component `i`, or `None` if out of range.
+    pub fn weight(&self, i: usize) -> Option<f64> {
+        self.picker.probability(i)
+    }
+}
+
+impl<D: Sample> Sample for Mixture<D> {
+    type Output = D::Output;
+
+    fn sample(&self, rng: &mut Rng) -> D::Output {
+        let i = self.picker.sample(rng);
+        self.components[i].sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{assert_close, mean};
+    use super::*;
+    use crate::dist::{Exponential, LogNormal};
+    use crate::Rng;
+
+    #[test]
+    fn mixture_mean_is_weighted_component_mean() {
+        let mut rng = Rng::seed_from(300);
+        let m = Mixture::new(vec![
+            (0.25, Exponential::with_mean(2.0).unwrap()),
+            (0.75, Exponential::with_mean(10.0).unwrap()),
+        ])
+        .unwrap();
+        let xs = m.sample_n(&mut rng, 200_000);
+        assert_close(mean(&xs), 0.25 * 2.0 + 0.75 * 10.0, 0.03, "mixture mean");
+    }
+
+    #[test]
+    fn mixture_weight_accessor_normalises() {
+        let m = Mixture::new(vec![
+            (2.0, Exponential::new(1.0).unwrap()),
+            (6.0, Exponential::new(1.0).unwrap()),
+        ])
+        .unwrap();
+        assert_close(m.weight(0).unwrap(), 0.25, 1e-12, "w0");
+        assert_close(m.weight(1).unwrap(), 0.75, 1e-12, "w1");
+        assert_eq!(m.weight(2), None);
+        assert_eq!(m.components().len(), 2);
+    }
+
+    #[test]
+    fn mixture_rejects_empty() {
+        let parts: Vec<(f64, Exponential)> = vec![];
+        assert!(Mixture::new(parts).is_err());
+    }
+
+    #[test]
+    fn bimodal_lognormal_mixture_has_low_median_high_mean() {
+        // The Table III signature: mean >> median.
+        let mut rng = Rng::seed_from(301);
+        let m = Mixture::new(vec![
+            (0.7, LogNormal::new(1.0, 0.8).unwrap()),
+            (0.3, LogNormal::new(6.0, 1.0).unwrap()),
+        ])
+        .unwrap();
+        let mut xs = m.sample_n(&mut rng, 100_000);
+        xs.sort_by(f64::total_cmp);
+        let median = xs[xs.len() / 2];
+        let mu = mean(&xs);
+        assert!(mu > 10.0 * median, "mean {mu} vs median {median}");
+    }
+}

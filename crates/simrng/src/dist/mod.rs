@@ -1,0 +1,154 @@
+//! Statistical distributions for failure-process modelling.
+//!
+//! Every distribution is a small immutable value implementing [`Sample`];
+//! parameter validation happens once at construction and returns
+//! [`ParamError`] on invalid input, so sampling itself is infallible.
+//!
+//! The set of families is exactly what the Delta reproduction needs:
+//!
+//! * [`Exponential`] / [`Weibull`] — inter-error gaps of component hazard
+//!   processes (constant and age-dependent hazards).
+//! * [`LogNormal`] — job durations and repair (drain+reboot) times, both
+//!   right-skewed with long tails (paper §V-C, Fig. 2).
+//! * [`Pareto`] — heavy-tailed burst lengths of error storms.
+//! * [`Poisson`] / [`Geometric`] — duplicate-log-line multiplicities.
+//! * [`Categorical`] — GPU-count bucket mix of Table III (alias method, O(1)).
+//! * [`Empirical`] — arbitrary measured histograms.
+//! * [`Mixture`] — e.g. the bimodal short-debug-run / long-training-run job
+//!   duration mix.
+
+mod capped;
+mod continuous;
+mod discrete;
+mod mixture;
+
+pub use capped::CappedLogNormal;
+pub use continuous::{Exponential, LogNormal, Pareto, TruncatedLogNormal, Uniform, Weibull};
+pub use discrete::{Bernoulli, Categorical, Empirical, Geometric, Poisson};
+pub use mixture::Mixture;
+
+use crate::Rng;
+use std::error::Error;
+use std::fmt;
+
+/// A distribution from which values of type `Output` can be drawn.
+///
+/// Implementors are immutable; all mutation happens in the caller-supplied
+/// [`Rng`], which keeps distribution values freely shareable across threads.
+pub trait Sample {
+    /// The type of values produced by this distribution.
+    type Output;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut Rng) -> Self::Output;
+
+    /// Draws `n` values into a fresh vector.
+    fn sample_n(&self, rng: &mut Rng, n: usize) -> Vec<Self::Output> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Error returned when constructing a distribution with invalid parameters.
+///
+/// The message names the offending parameter and the constraint it violated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamError {
+    what: String,
+}
+
+impl ParamError {
+    pub(crate) fn new(what: impl Into<String>) -> Self {
+        ParamError { what: what.into() }
+    }
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.what)
+    }
+}
+
+impl Error for ParamError {}
+
+/// Validates that `value` is finite and strictly positive.
+pub(crate) fn require_positive(name: &str, value: f64) -> Result<f64, ParamError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(ParamError::new(format!("{name} must be finite and > 0, got {value}")))
+    }
+}
+
+/// Validates that `value` is a probability in `[0, 1]`.
+pub(crate) fn require_probability(name: &str, value: f64) -> Result<f64, ParamError> {
+    if value.is_finite() && (0.0..=1.0).contains(&value) {
+        Ok(value)
+    } else {
+        Err(ParamError::new(format!("{name} must lie in [0, 1], got {value}")))
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared helpers for sampler moment tests.
+
+    /// Sample mean.
+    pub fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    /// Unbiased sample variance.
+    pub fn variance(xs: &[f64]) -> f64 {
+        let m = mean(xs);
+        xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+    }
+
+    /// Asserts `actual` is within `tol` relative error of `expected`.
+    pub fn assert_close(actual: f64, expected: f64, tol: f64, what: &str) {
+        let rel = if expected == 0.0 {
+            actual.abs()
+        } else {
+            ((actual - expected) / expected).abs()
+        };
+        assert!(
+            rel < tol,
+            "{what}: actual {actual} vs expected {expected} (rel err {rel:.4} > {tol})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_error_display_names_parameter() {
+        let err = require_positive("rate", -1.0).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("rate"), "{msg}");
+        assert!(msg.contains("-1"), "{msg}");
+    }
+
+    #[test]
+    fn require_probability_bounds() {
+        assert!(require_probability("p", 0.0).is_ok());
+        assert!(require_probability("p", 1.0).is_ok());
+        assert!(require_probability("p", 1.1).is_err());
+        assert!(require_probability("p", -0.1).is_err());
+        assert!(require_probability("p", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn require_positive_rejects_non_finite() {
+        assert!(require_positive("x", f64::INFINITY).is_err());
+        assert!(require_positive("x", 0.0).is_err());
+        assert!(require_positive("x", 1e-300).is_ok());
+    }
+
+    #[test]
+    fn sample_n_length() {
+        let mut rng = crate::Rng::seed_from(1);
+        let d = Exponential::new(2.0).unwrap();
+        assert_eq!(d.sample_n(&mut rng, 17).len(), 17);
+    }
+}

@@ -1,0 +1,52 @@
+//! Deterministic pseudo-random number generation and statistical
+//! distributions for reproducible HPC failure simulation.
+//!
+//! This crate is the randomness substrate for the Delta GPU resilience
+//! reproduction. Everything downstream — fault-injection schedules, job
+//! workloads, repair times — must be *bit-exact reproducible* from a seed so
+//! that every table and figure in `EXPERIMENTS.md` can be regenerated
+//! verbatim. To guarantee that across platforms and dependency upgrades, the
+//! generator ([`Rng`], a xoshiro256++ implementation) and all samplers are
+//! implemented here from scratch rather than imported.
+//!
+//! # Layout
+//!
+//! * [`Rng`] — the core generator: xoshiro256++ state, seeded via SplitMix64,
+//!   with uniform primitives (`next_u64`, [`Rng::f64`], [`Rng::range_u64`],
+//!   [`Rng::bool_with`]) and deterministic stream splitting ([`Rng::fork`]).
+//! * [`dist`] — distribution objects implementing [`dist::Sample`]:
+//!   exponential, Weibull, log-normal, Pareto, Poisson, geometric,
+//!   categorical (alias method), discrete empirical, and mixtures.
+//!
+//! # Example
+//!
+//! ```
+//! use simrng::{Rng, dist::{Exponential, Sample}};
+//!
+//! let mut rng = Rng::seed_from(0xDE17A);
+//! let mtbe_hours = 154.0;
+//! let exp = Exponential::new(1.0 / mtbe_hours).expect("rate must be positive");
+//! let gap = exp.sample(&mut rng);
+//! assert!(gap > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+mod rng;
+
+pub use rng::Rng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_send_and_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<Rng>();
+        assert_sync::<Rng>();
+    }
+}

@@ -1,0 +1,200 @@
+//! The study's measurement periods.
+
+use crate::{Duration, Timestamp};
+use std::fmt;
+
+/// A half-open time window `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Period {
+    /// Inclusive start.
+    pub start: Timestamp,
+    /// Exclusive end.
+    pub end: Timestamp,
+}
+
+impl Period {
+    /// Creates a period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start`.
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        assert!(end > start, "period end must be after start");
+        Period { start, end }
+    }
+
+    /// Whether `t` falls inside the period.
+    pub fn contains(&self, t: Timestamp) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// The period's length.
+    pub fn length(&self) -> Duration {
+        self.end - self.start
+    }
+
+    /// The period's length in hours.
+    pub fn hours(&self) -> f64 {
+        self.length().as_hours_f64()
+    }
+
+    /// The period's length in days.
+    pub fn days(&self) -> f64 {
+        self.length().as_days_f64()
+    }
+}
+
+impl fmt::Display for Period {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {})", self.start, self.end)
+    }
+}
+
+/// The study's two-phase measurement window.
+///
+/// Delta's SREs divide the 1,170-day window into a *pre-operational*
+/// (bring-up and testing) period, January–September 2022, and an
+/// *operational* (production) period, October 2022 – March 2025. Rates,
+/// statistics and job impact are all reported per period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StudyPeriods {
+    /// The pre-operational (testing) period.
+    pub pre_op: Period,
+    /// The operational (production) period.
+    pub op: Period,
+}
+
+impl StudyPeriods {
+    /// The paper's calendar: pre-op 2022-01-01 .. 2022-10-01 (273 days),
+    /// op 2022-10-01 .. 2025-03-15 (896 days).
+    pub fn delta() -> Self {
+        let start = Timestamp::from_ymd_hms(2022, 1, 1, 0, 0, 0).expect("valid date");
+        let boundary = Timestamp::from_ymd_hms(2022, 10, 1, 0, 0, 0).expect("valid date");
+        let end = Timestamp::from_ymd_hms(2025, 3, 15, 0, 0, 0).expect("valid date");
+        StudyPeriods { pre_op: Period::new(start, boundary), op: Period::new(boundary, end) }
+    }
+
+    /// A contiguous scaled-down window keeping the pre-op/op *ratio* of the
+    /// real study, for fast tests and examples. `fraction` scales both
+    /// period lengths (clamped to at least one day each).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction <= 1`.
+    pub fn delta_scaled(fraction: f64) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        let full = StudyPeriods::delta();
+        let pre_days = (full.pre_op.days() * fraction).max(1.0).round() as u64;
+        let op_days = (full.op.days() * fraction).max(1.0).round() as u64;
+        let start = full.pre_op.start;
+        let boundary = start + Duration::from_days(pre_days);
+        let end = boundary + Duration::from_days(op_days);
+        StudyPeriods { pre_op: Period::new(start, boundary), op: Period::new(boundary, end) }
+    }
+
+    /// The whole measurement window.
+    pub fn whole(&self) -> Period {
+        Period::new(self.pre_op.start, self.op.end)
+    }
+
+    /// The period containing `t`, or `None` outside the window.
+    pub fn period_of(&self, t: Timestamp) -> Option<Phase> {
+        if self.pre_op.contains(t) {
+            Some(Phase::PreOp)
+        } else if self.op.contains(t) {
+            Some(Phase::Op)
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for StudyPeriods {
+    fn default() -> Self {
+        StudyPeriods::delta()
+    }
+}
+
+/// Which phase of the study a timestamp belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// The bring-up/testing phase.
+    PreOp,
+    /// The production phase.
+    Op,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Phase::PreOp => "pre-operational",
+            Phase::Op => "operational",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_period_lengths_match_paper() {
+        let p = StudyPeriods::delta();
+        assert_eq!(p.pre_op.days().round() as i64, 273);
+        assert_eq!(p.op.days().round() as i64, 896);
+        assert_eq!(p.whole().days().round() as i64, 1169);
+    }
+
+    #[test]
+    fn contains_respects_half_open_bounds() {
+        let p = StudyPeriods::delta();
+        assert!(p.pre_op.contains(p.pre_op.start));
+        assert!(!p.pre_op.contains(p.pre_op.end));
+        assert!(p.op.contains(p.pre_op.end));
+    }
+
+    #[test]
+    fn period_of_phases() {
+        let p = StudyPeriods::delta();
+        let mid_pre = Timestamp::from_ymd_hms(2022, 5, 1, 0, 0, 0).unwrap();
+        let mid_op = Timestamp::from_ymd_hms(2024, 1, 1, 0, 0, 0).unwrap();
+        let after = Timestamp::from_ymd_hms(2026, 1, 1, 0, 0, 0).unwrap();
+        assert_eq!(p.period_of(mid_pre), Some(Phase::PreOp));
+        assert_eq!(p.period_of(mid_op), Some(Phase::Op));
+        assert_eq!(p.period_of(after), None);
+    }
+
+    #[test]
+    fn scaled_preserves_ratio_roughly() {
+        let p = StudyPeriods::delta_scaled(0.1);
+        let ratio = p.op.days() / p.pre_op.days();
+        let full_ratio = 896.0 / 273.0;
+        assert!((ratio - full_ratio).abs() / full_ratio < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn scaled_tiny_fraction_clamps_to_days() {
+        let p = StudyPeriods::delta_scaled(0.0001);
+        assert!(p.pre_op.days() >= 1.0);
+        assert!(p.op.days() >= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn scaled_rejects_zero() {
+        StudyPeriods::delta_scaled(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "end must be after start")]
+    fn inverted_period_panics() {
+        Period::new(Timestamp::from_unix(10), Timestamp::from_unix(10));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Phase::PreOp.to_string(), "pre-operational");
+        let p = StudyPeriods::delta();
+        assert!(p.pre_op.to_string().contains("2022-01-01"));
+    }
+}

@@ -1,0 +1,160 @@
+//! The error-to-job termination model (Table II, generative direction).
+//!
+//! When a GPU error fires on a GPU that is hosting a job, the job dies with
+//! a kind-dependent probability. The paper *measures* these conditional
+//! probabilities (Table II); the simulator uses them *generatively*, so the
+//! analysis pipeline should recover approximately the same numbers — that
+//! round trip is one of the reproduction's validation checks.
+
+use simrng::Rng;
+use xid::ErrorKind;
+
+/// How far an error's blast radius reaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KillScope {
+    /// Only the job holding the erroring GPU is at risk.
+    Gpu,
+    /// Every job on the node is at risk (the GPU driver wedges the whole
+    /// node: GSP hangs and bus drops require a node reboot).
+    Node,
+}
+
+/// Per-error-kind conditional job-termination probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KillModel {
+    /// P(job dies | MMU error on its GPU). Below 1.0 because some MMU
+    /// faults are application-level illegal accesses masked by the
+    /// framework (§V-B: skipped training iterations).
+    pub mmu: f64,
+    /// P(job dies | GSP error on its GPU). The paper observed 100%.
+    pub gsp: f64,
+    /// P(job dies | PMU SPI error on its GPU).
+    pub pmu: f64,
+    /// P(job dies | NVLink error on its GPU). Well below 1.0: CRC
+    /// detection plus retransmission masks errors on links the job is not
+    /// actively using (§IV(v): 46% of affected jobs completed).
+    pub nvlink: f64,
+    /// P(job dies | contained ECC error on its GPU). Containment works by
+    /// terminating the affected process, so this is 1.0 by design.
+    pub contained: f64,
+    /// P(job dies | uncontained ECC error on its GPU).
+    pub uncontained: f64,
+    /// P(job dies | GPU fell off the bus).
+    pub fallen: f64,
+}
+
+impl KillModel {
+    /// The Table II calibration.
+    pub fn delta() -> Self {
+        KillModel {
+            mmu: 0.9048,
+            gsp: 1.0,
+            pmu: 0.9756,
+            nvlink: 0.5375,
+            contained: 1.0,
+            uncontained: 1.0,
+            fallen: 1.0,
+        }
+    }
+
+    /// The termination probability for `kind`; kinds with no direct job
+    /// impact (row-remap bookkeeping, logged DBEs — their impact arrives
+    /// via the containment outcome) return 0.
+    pub fn probability(&self, kind: ErrorKind) -> f64 {
+        match kind {
+            ErrorKind::MmuError => self.mmu,
+            ErrorKind::GspError => self.gsp,
+            ErrorKind::PmuSpiError => self.pmu,
+            ErrorKind::NvlinkError => self.nvlink,
+            ErrorKind::ContainedMemoryError => self.contained,
+            ErrorKind::UncontainedMemoryError => self.uncontained,
+            ErrorKind::FallenOffBus => self.fallen,
+            ErrorKind::DoubleBitError
+            | ErrorKind::RowRemapEvent
+            | ErrorKind::RowRemapFailure
+            | ErrorKind::GpuSoftware
+            | ErrorKind::ResetChannel
+            | ErrorKind::Other(_) => 0.0,
+        }
+    }
+
+    /// Samples whether a job hosting the error dies.
+    pub fn kills(&self, kind: ErrorKind, rng: &mut Rng) -> bool {
+        rng.bool_with(self.probability(kind))
+    }
+
+    /// The blast radius of `kind`: GSP errors and bus drops wedge the whole
+    /// node's driver state (they require a node reboot), so every resident
+    /// job is exposed; all other kinds are confined to the erroring GPU.
+    pub fn scope(&self, kind: ErrorKind) -> KillScope {
+        match kind {
+            ErrorKind::GspError | ErrorKind::FallenOffBus => KillScope::Node,
+            _ => KillScope::Gpu,
+        }
+    }
+}
+
+impl Default for KillModel {
+    fn default() -> Self {
+        KillModel::delta()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_ordering_holds() {
+        // GSP (100%) > PMU (97.6%) > MMU (90.5%) > NVLink (53.8%).
+        let m = KillModel::delta();
+        assert!(m.gsp > m.pmu);
+        assert!(m.pmu > m.mmu);
+        assert!(m.mmu > m.nvlink);
+        assert_eq!(m.gsp, 1.0);
+        assert_eq!(m.contained, 1.0);
+    }
+
+    #[test]
+    fn bookkeeping_kinds_never_kill() {
+        let m = KillModel::delta();
+        let mut rng = Rng::seed_from(1);
+        for kind in [
+            ErrorKind::RowRemapEvent,
+            ErrorKind::RowRemapFailure,
+            ErrorKind::DoubleBitError,
+            ErrorKind::GpuSoftware,
+        ] {
+            assert_eq!(m.probability(kind), 0.0);
+            assert!(!m.kills(kind, &mut rng));
+        }
+    }
+
+    #[test]
+    fn gsp_always_kills() {
+        let m = KillModel::delta();
+        let mut rng = Rng::seed_from(2);
+        for _ in 0..1000 {
+            assert!(m.kills(ErrorKind::GspError, &mut rng));
+        }
+    }
+
+    #[test]
+    fn scopes() {
+        let m = KillModel::delta();
+        assert_eq!(m.scope(ErrorKind::GspError), KillScope::Node);
+        assert_eq!(m.scope(ErrorKind::FallenOffBus), KillScope::Node);
+        assert_eq!(m.scope(ErrorKind::MmuError), KillScope::Gpu);
+        assert_eq!(m.scope(ErrorKind::NvlinkError), KillScope::Gpu);
+    }
+
+    #[test]
+    fn nvlink_kill_rate_converges_to_calibration() {
+        let m = KillModel::delta();
+        let mut rng = Rng::seed_from(3);
+        let n = 100_000;
+        let kills = (0..n).filter(|_| m.kills(ErrorKind::NvlinkError, &mut rng)).count();
+        let frac = kills as f64 / n as f64;
+        assert!((frac - 0.5375).abs() < 0.01, "{frac}");
+    }
+}

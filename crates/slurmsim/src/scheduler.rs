@@ -1,0 +1,908 @@
+//! The event-driven FIFO + backfill scheduler and error co-simulation.
+//!
+//! [`Simulation::run`] replays a generated workload against a cluster while
+//! consuming two external timelines produced by the fault injector: GPU
+//! error events (which kill co-located jobs per the [`KillModel`]) and node
+//! hold windows (during which a node is unschedulable). Holds kill no jobs:
+//! per §V-C, Delta drains a node and lets active jobs finish before the
+//! reboot — job deaths come from the errors themselves. The output is the
+//! sacct-style accounting table the analysis pipeline joins against the
+//! error log — the §V methodology run in the forward direction.
+
+use crate::job::{JobId, JobRecord, JobState};
+use crate::kill::{KillModel, KillScope};
+use crate::workload::{JobSpec, WorkloadConfig};
+use clustersim::{Cluster, GpuErrorEvent, GpuId, NodeId, Outage};
+use simrng::Rng;
+use simtime::Timestamp;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// How many queued jobs each scheduling pass may inspect (bounded backfill:
+/// deeper scans change almost nothing at realistic queue depths but cost
+/// simulation time).
+const BACKFILL_DEPTH: usize = 64;
+
+/// Requeue-on-failure policy: what happens to a job killed by a GPU error.
+///
+/// Models the §V-B mitigation discussion: without checkpointing a restarted
+/// job repeats all of its work; with periodic checkpoints it resumes from
+/// the last one. [`RequeuePolicy::none`] (the default) matches Delta as
+/// measured — killed jobs just fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequeuePolicy {
+    /// Maximum automatic restarts per job (0 disables requeueing).
+    pub max_retries: u32,
+    /// Delay between the kill and re-entering the queue.
+    pub restart_delay: simtime::Duration,
+    /// Checkpoint period; `None` means restarts repeat the whole job.
+    pub checkpoint_interval: Option<simtime::Duration>,
+}
+
+impl RequeuePolicy {
+    /// No requeueing (Delta as measured).
+    pub fn none() -> Self {
+        RequeuePolicy {
+            max_retries: 0,
+            restart_delay: simtime::Duration::ZERO,
+            checkpoint_interval: None,
+        }
+    }
+
+    /// Requeue up to `max_retries` times with hourly checkpoints and a
+    /// 5-minute restart delay — a typical checkpoint/restart setup.
+    pub fn hourly_checkpoints(max_retries: u32) -> Self {
+        RequeuePolicy {
+            max_retries,
+            restart_delay: simtime::Duration::from_mins(5),
+            checkpoint_interval: Some(simtime::Duration::from_hours(1)),
+        }
+    }
+
+    /// Whether requeueing is active.
+    pub fn enabled(&self) -> bool {
+        self.max_retries > 0
+    }
+}
+
+impl Default for RequeuePolicy {
+    fn default() -> Self {
+        RequeuePolicy::none()
+    }
+}
+
+/// Aggregate scheduler counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SchedulerStats {
+    /// Jobs killed directly by a GPU error.
+    pub error_kills: u64,
+    /// Error events that landed on a GPU with no running job.
+    pub errors_on_idle: u64,
+    /// Peak queue depth observed.
+    pub peak_queue: usize,
+    /// Automatic restarts performed under the [`RequeuePolicy`].
+    pub requeues: u64,
+    /// GPU-hours of work discarded by kills (work since the last
+    /// checkpoint, or the whole attempt without checkpointing).
+    pub lost_gpu_hours: f64,
+}
+
+/// The result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationOutcome {
+    /// GPU job records, ordered by job id (submission order).
+    pub jobs: Vec<JobRecord>,
+    /// CPU job records (generated, not scheduled — they share no resources
+    /// with the GPU partition).
+    pub cpu_jobs: Vec<JobRecord>,
+    /// Scheduler counters.
+    pub stats: SchedulerStats,
+}
+
+impl SimulationOutcome {
+    /// Success rate of the GPU jobs (§V-A reports 74.68%).
+    pub fn gpu_success_rate(&self) -> f64 {
+        success_rate(&self.jobs)
+    }
+
+    /// Success rate of the CPU jobs (§V-A reports 74.90%).
+    pub fn cpu_success_rate(&self) -> f64 {
+        success_rate(&self.cpu_jobs)
+    }
+
+    /// GPU allocation (fraction of GPU-hours occupied) over a window on a
+    /// cluster with `total_gpus` devices. Delta's operational period ran
+    /// around 90% allocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_gpus` is zero or the window is empty.
+    pub fn gpu_allocation(&self, total_gpus: usize, window: simtime::Period) -> f64 {
+        assert!(total_gpus > 0);
+        let capacity = total_gpus as f64 * window.hours();
+        let used: f64 = self
+            .jobs
+            .iter()
+            .map(|j| {
+                // Clip each job to the window.
+                let start = j.start.max(window.start);
+                let end = j.end.min(window.end);
+                if end > start {
+                    j.gpus as f64 * (end - start).as_hours_f64()
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        used / capacity
+    }
+
+    /// Queue-wait statistics in hours: `(mean, p50, p99)`, `None` with no
+    /// started jobs.
+    pub fn wait_stats_hours(&self) -> Option<(f64, f64, f64)> {
+        let mut waits: Vec<f64> = self
+            .jobs
+            .iter()
+            .filter(|j| !j.nodes.is_empty())
+            .map(|j| j.wait().as_hours_f64())
+            .collect();
+        if waits.is_empty() {
+            return None;
+        }
+        waits.sort_by(f64::total_cmp);
+        let mean = waits.iter().sum::<f64>() / waits.len() as f64;
+        let idx = |p: f64| waits[(p * (waits.len() - 1) as f64).round() as usize];
+        Some((mean, idx(0.50), idx(0.99)))
+    }
+}
+
+fn success_rate(jobs: &[JobRecord]) -> f64 {
+    if jobs.is_empty() {
+        return 0.0;
+    }
+    jobs.iter().filter(|j| j.state.is_success()).count() as f64 / jobs.len() as f64
+}
+
+/// A configured scheduler simulation.
+///
+/// # Example
+///
+/// ```
+/// use clustersim::{Cluster, ClusterSpec};
+/// use slurmsim::{Simulation, WorkloadConfig};
+///
+/// let cluster = Cluster::new(ClusterSpec::tiny());
+/// let workload = WorkloadConfig::delta_scaled(0.001);
+/// let expected = workload.gpu_jobs;
+/// let outcome = Simulation::new(&cluster, workload, 7).run(&[], &[]);
+/// assert_eq!(outcome.jobs.len() as u64, expected);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulation<'c> {
+    cluster: &'c Cluster,
+    workload: WorkloadConfig,
+    kill: KillModel,
+    requeue: RequeuePolicy,
+    seed: u64,
+}
+
+impl<'c> Simulation<'c> {
+    /// Creates a simulation with the default (paper-calibrated) kill model
+    /// and no requeueing.
+    pub fn new(cluster: &'c Cluster, workload: WorkloadConfig, seed: u64) -> Self {
+        Simulation {
+            cluster,
+            workload,
+            kill: KillModel::delta(),
+            requeue: RequeuePolicy::none(),
+            seed,
+        }
+    }
+
+    /// Overrides the kill model (for ablations).
+    pub fn with_kill_model(mut self, kill: KillModel) -> Self {
+        self.kill = kill;
+        self
+    }
+
+    /// Enables requeue-on-failure (checkpoint/restart what-if analysis).
+    pub fn with_requeue(mut self, requeue: RequeuePolicy) -> Self {
+        self.requeue = requeue;
+        self
+    }
+
+    /// Runs the workload against the error and node-hold timelines.
+    ///
+    /// `errors` must be sorted by time (campaign outputs are); `holds` are
+    /// the campaign's merged unschedulable windows. Events outside the
+    /// workload window are ignored harmlessly.
+    pub fn run(&self, errors: &[GpuErrorEvent], holds: &[Outage]) -> SimulationOutcome {
+        let root = Rng::seed_from(self.seed);
+        let specs = self.workload.generate(&mut root.fork(1));
+        let cpu_specs = self.workload.generate_cpu(&mut root.fork(2));
+        let mut engine =
+            Engine::new(self.cluster, specs.len(), self.kill, self.requeue, root.fork(3));
+        engine.run(&specs, errors, holds);
+        let stats = engine.stats;
+        let jobs = engine.into_records(&specs);
+        let cpu_jobs = cpu_specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| JobRecord {
+                id: JobId(1_000_000_000 + i as u64),
+                name: s.name,
+                submit: s.submit,
+                start: s.submit,
+                end: s.submit + s.duration,
+                gpus: 0,
+                nodes: Vec::new(),
+                gpu_ids: Vec::new(),
+                state: s.baseline_state,
+            })
+            .collect();
+        SimulationOutcome { jobs, cpu_jobs, stats }
+    }
+}
+
+/// A started job's live state.
+#[derive(Debug, Clone)]
+struct RunJob {
+    spec_idx: usize,
+    start: Timestamp,
+    gpus: Vec<GpuId>,
+    done: bool,
+    /// Sticky NVLink fate: whether this job actively uses the faulted
+    /// link. Rolled once on first exposure — a job that CRC retries saved
+    /// stays safe through every repeat of the same flapping link error
+    /// (§IV(v): 46% of affected jobs ran to completion).
+    nvlink_vulnerable: Option<bool>,
+    /// Sticky MMU fate: whether this job's application masks MMU faults
+    /// (§V-B: frameworks can catch the exception and skip the iteration).
+    /// Masking is a property of the job's code, so it is rolled once.
+    mmu_vulnerable: Option<bool>,
+}
+
+/// Per-job requeue bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct RetryState {
+    attempts: u32,
+    /// Work still to do at the next attempt.
+    remaining: simtime::Duration,
+    /// Start of the first attempt (the record keeps it).
+    first_start: Timestamp,
+}
+
+/// Internal mutable engine.
+struct Engine<'c> {
+    cluster: &'c Cluster,
+    kill: KillModel,
+    requeue: RequeuePolicy,
+    rng: Rng,
+    node_up: Vec<bool>,
+    free: Vec<u8>,
+    /// `owner[node][gpu]` = index into `running`.
+    owner: Vec<Vec<Option<usize>>>,
+    running: Vec<RunJob>,
+    queue: VecDeque<usize>,
+    finish: BinaryHeap<Reverse<(Timestamp, usize)>>,
+    /// Killed jobs waiting out their restart delay: (resume time, spec).
+    resume: BinaryHeap<Reverse<(Timestamp, usize)>>,
+    retry: std::collections::HashMap<usize, RetryState>,
+    records: Vec<Option<JobRecord>>,
+    stats: SchedulerStats,
+}
+
+impl<'c> Engine<'c> {
+    fn new(
+        cluster: &'c Cluster,
+        job_count: usize,
+        kill: KillModel,
+        requeue: RequeuePolicy,
+        rng: Rng,
+    ) -> Self {
+        Engine {
+            cluster,
+            kill,
+            requeue,
+            rng,
+            node_up: vec![true; cluster.node_count()],
+            free: cluster.nodes().iter().map(|n| n.gpu_count()).collect(),
+            owner: cluster
+                .nodes()
+                .iter()
+                .map(|n| vec![None; n.gpu_count() as usize])
+                .collect(),
+            running: Vec::new(),
+            queue: VecDeque::new(),
+            finish: BinaryHeap::new(),
+            resume: BinaryHeap::new(),
+            retry: std::collections::HashMap::new(),
+            records: vec![None; job_count],
+            stats: SchedulerStats::default(),
+        }
+    }
+
+    fn run(&mut self, specs: &[JobSpec], errors: &[GpuErrorEvent], holds: &[Outage]) {
+        // Hold edges: (time, node index, is_down), sorted.
+        let mut edges: Vec<(Timestamp, usize, bool)> = Vec::with_capacity(holds.len() * 2);
+        for o in holds {
+            if (o.node.index() as usize) < self.node_up.len() {
+                edges.push((o.start, o.node.index() as usize, true));
+                edges.push((o.end(), o.node.index() as usize, false));
+            }
+        }
+        edges.sort_by_key(|&(t, n, d)| (t, n, d));
+
+        let (mut si, mut ei, mut oi) = (0usize, 0usize, 0usize);
+        loop {
+            // Next pending time from each stream; tie-break priority:
+            // finishes (free resources) < resumes < hold edges < errors
+            // < submits.
+            let tf = self.finish.peek().map(|Reverse((t, _))| *t);
+            let tr = self.resume.peek().map(|Reverse((t, _))| *t);
+            let to = edges.get(oi).map(|e| e.0);
+            let te = errors.get(ei).map(|e| e.time);
+            let ts = specs.get(si).map(|s| s.submit);
+            let next = [(tf, 0u8), (tr, 1), (to, 2), (te, 3), (ts, 4)]
+                .into_iter()
+                .filter_map(|(t, tag)| t.map(|t| (t, tag)))
+                .min();
+            let Some((_, tag)) = next else { break };
+            match tag {
+                0 => {
+                    let Reverse((t, idx)) = self.finish.pop().expect("peeked non-empty");
+                    self.on_finish(t, idx, specs);
+                    self.drain_queue(t, specs);
+                }
+                1 => {
+                    let Reverse((t, idx)) = self.resume.pop().expect("peeked non-empty");
+                    if !self.try_start(idx, t, specs) {
+                        self.queue.push_back(idx);
+                        self.stats.peak_queue = self.stats.peak_queue.max(self.queue.len());
+                    }
+                }
+                2 => {
+                    let (t, node, down) = edges[oi];
+                    oi += 1;
+                    self.on_hold_edge(node, down);
+                    if !down {
+                        self.drain_queue(t, specs);
+                    }
+                }
+                3 => {
+                    let ev = errors[ei];
+                    ei += 1;
+                    self.on_error(&ev, specs);
+                }
+                _ => {
+                    let idx = si;
+                    si += 1;
+                    let t = specs[idx].submit;
+                    if !self.try_start(idx, t, specs) {
+                        self.queue.push_back(idx);
+                        self.stats.peak_queue = self.stats.peak_queue.max(self.queue.len());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Attempts to allocate and start job `idx` at time `t`.
+    fn try_start(&mut self, idx: usize, t: Timestamp, specs: &[JobSpec]) -> bool {
+        let total_gpus = self.cluster.gpu_count() as u32;
+        let want = specs[idx].gpus.min(total_gpus).max(1);
+        let alloc = self.find_allocation(want);
+        let Some(gpus) = alloc else { return false };
+        let run_idx = self.running.len();
+        for gpu in &gpus {
+            let n = gpu.node.index() as usize;
+            self.owner[n][gpu.index as usize] = Some(run_idx);
+            self.free[n] -= 1;
+        }
+        let duration = self
+            .retry
+            .get(&idx)
+            .map(|r| r.remaining)
+            .unwrap_or(specs[idx].duration);
+        let end = t + duration;
+        self.running.push(RunJob {
+            spec_idx: idx,
+            start: t,
+            gpus,
+            done: false,
+            nvlink_vulnerable: None,
+            mmu_vulnerable: None,
+        });
+        self.finish.push(Reverse((end, run_idx)));
+        true
+    }
+
+    /// Finds GPUs for a `want`-wide job: single-node first-fit for jobs
+    /// that fit on one node, whole-node accumulation for larger jobs.
+    fn find_allocation(&self, want: u32) -> Option<Vec<GpuId>> {
+        let nodes = self.cluster.nodes();
+        if want <= 8 {
+            for (n, node) in nodes.iter().enumerate() {
+                if self.node_up[n]
+                    && node.gpu_count() as u32 >= want
+                    && self.free[n] as u32 >= want
+                {
+                    let mut gpus = Vec::with_capacity(want as usize);
+                    for g in 0..node.gpu_count() {
+                        if self.owner[n][g as usize].is_none() {
+                            gpus.push(GpuId::new(node.id(), g));
+                            if gpus.len() as u32 == want {
+                                return Some(gpus);
+                            }
+                        }
+                    }
+                }
+            }
+            return None;
+        }
+        // Multi-node: accumulate fully idle nodes.
+        let mut gpus = Vec::with_capacity(want as usize);
+        for (n, node) in nodes.iter().enumerate() {
+            if self.node_up[n] && self.free[n] == node.gpu_count() {
+                for g in 0..node.gpu_count() {
+                    gpus.push(GpuId::new(node.id(), g));
+                }
+                if gpus.len() as u32 >= want {
+                    return Some(gpus);
+                }
+            }
+        }
+        None
+    }
+
+    /// Starts whatever fits from the queue head region (bounded backfill).
+    fn drain_queue(&mut self, t: Timestamp, specs: &[JobSpec]) {
+        loop {
+            let mut started_any = false;
+            let depth = self.queue.len().min(BACKFILL_DEPTH);
+            let mut i = 0;
+            while i < depth.min(self.queue.len()) {
+                let idx = self.queue[i];
+                if self.try_start(idx, t, specs) {
+                    self.queue.remove(i);
+                    started_any = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !started_any {
+                break;
+            }
+        }
+    }
+
+    /// Natural completion: finalize with the baseline state.
+    fn on_finish(&mut self, t: Timestamp, run_idx: usize, specs: &[JobSpec]) {
+        if self.running[run_idx].done {
+            return;
+        }
+        let state = specs[self.running[run_idx].spec_idx].baseline_state;
+        self.finalize(run_idx, t, state, specs);
+    }
+
+    /// A hold only toggles schedulability: per §V-C the drain lets
+    /// resident jobs run to completion, so nothing is killed here.
+    fn on_hold_edge(&mut self, node: usize, down: bool) {
+        self.node_up[node] = !down;
+    }
+
+    fn on_error(&mut self, ev: &GpuErrorEvent, specs: &[JobSpec]) {
+        let n = ev.gpu.node.index() as usize;
+        if n >= self.owner.len() || ev.gpu.index as usize >= self.owner[n].len() {
+            return;
+        }
+        // Blast radius: node-scoped kinds (GSP, bus drop) wedge the whole
+        // node's driver, so every resident job rolls the dice.
+        let victims: Vec<usize> = match self.kill.scope(ev.kind) {
+            KillScope::Gpu => self.owner[n][ev.gpu.index as usize]
+                .into_iter()
+                .collect(),
+            KillScope::Node => {
+                let mut v: Vec<usize> = self.owner[n].iter().flatten().copied().collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+        };
+        if victims.is_empty()
+            || victims.iter().all(|&run_idx| self.running[run_idx].done)
+        {
+            self.stats.errors_on_idle += 1;
+            return;
+        }
+        let mut any = false;
+        for run_idx in victims {
+            if self.running[run_idx].done {
+                continue;
+            }
+            // NVLink and MMU survivability are properties of the *job*
+            // (link usage; application-level exception handling), so their
+            // fate is rolled once per job and reused on repeat exposures.
+            let dies = match ev.kind {
+                xid::ErrorKind::NvlinkError => {
+                    match self.running[run_idx].nvlink_vulnerable {
+                        Some(v) => v,
+                        None => {
+                            let v = self.kill.kills(ev.kind, &mut self.rng);
+                            self.running[run_idx].nvlink_vulnerable = Some(v);
+                            v
+                        }
+                    }
+                }
+                xid::ErrorKind::MmuError => {
+                    match self.running[run_idx].mmu_vulnerable {
+                        Some(v) => v,
+                        None => {
+                            let v = self.kill.kills(ev.kind, &mut self.rng);
+                            self.running[run_idx].mmu_vulnerable = Some(v);
+                            v
+                        }
+                    }
+                }
+                _ => self.kill.kills(ev.kind, &mut self.rng),
+            };
+            if dies {
+                self.stats.error_kills += 1;
+                self.kill_with_requeue(run_idx, ev.time, specs);
+                any = true;
+            }
+        }
+        if any {
+            self.drain_queue(ev.time, specs);
+        }
+    }
+
+    /// Kills a running job, either finalizing it as `NODE_FAIL` or — under
+    /// an active [`RequeuePolicy`] with retries left — releasing its GPUs
+    /// and scheduling a restart from the last checkpoint.
+    fn kill_with_requeue(&mut self, run_idx: usize, t: Timestamp, specs: &[JobSpec]) {
+        let spec_idx = self.running[run_idx].spec_idx;
+        let start = self.running[run_idx].start;
+        let gpus = self.running[run_idx].gpus.len() as f64;
+        let attempts = self.retry.get(&spec_idx).map_or(0, |r| r.attempts);
+        let done_this_attempt = t - start;
+        let remaining_before = self
+            .retry
+            .get(&spec_idx)
+            .map(|r| r.remaining)
+            .unwrap_or(specs[spec_idx].duration);
+
+        if !self.requeue.enabled() || attempts >= self.requeue.max_retries {
+            // Lost work: everything since the last checkpoint (whole
+            // attempt without checkpointing).
+            let lost = match self.requeue.checkpoint_interval {
+                Some(c) if self.requeue.enabled() => {
+                    simtime::Duration::from_secs(done_this_attempt.as_secs() % c.as_secs().max(1))
+                }
+                _ => done_this_attempt,
+            };
+            self.stats.lost_gpu_hours += gpus * lost.as_hours_f64();
+            self.finalize(run_idx, t, JobState::NodeFail, specs);
+            return;
+        }
+
+        // Progress preserved: checkpointed work survives, the rest is lost.
+        let kept = match self.requeue.checkpoint_interval {
+            Some(c) => simtime::Duration::from_secs(
+                done_this_attempt.as_secs() / c.as_secs().max(1) * c.as_secs().max(1),
+            ),
+            None => simtime::Duration::ZERO,
+        };
+        let lost = done_this_attempt - kept;
+        self.stats.lost_gpu_hours += gpus * lost.as_hours_f64();
+        self.stats.requeues += 1;
+        let first_start = self.retry.get(&spec_idx).map_or(start, |r| r.first_start);
+        self.retry.insert(
+            spec_idx,
+            RetryState {
+                attempts: attempts + 1,
+                remaining: remaining_before - kept,
+                first_start,
+            },
+        );
+        // Release the GPUs without writing a record.
+        self.running[run_idx].done = true;
+        let gpus_vec = std::mem::take(&mut self.running[run_idx].gpus);
+        for gpu in gpus_vec {
+            let n = gpu.node.index() as usize;
+            self.owner[n][gpu.index as usize] = None;
+            self.free[n] += 1;
+        }
+        self.resume.push(Reverse((t + self.requeue.restart_delay, spec_idx)));
+    }
+
+    /// Writes the job's record and releases its GPUs.
+    fn finalize(&mut self, run_idx: usize, end: Timestamp, state: JobState, specs: &[JobSpec]) {
+        let run = &mut self.running[run_idx];
+        run.done = true;
+        let spec = &specs[run.spec_idx];
+        let mut nodes: Vec<NodeId> = run.gpus.iter().map(|g| g.node).collect();
+        nodes.dedup();
+        let record_start = self
+            .retry
+            .get(&run.spec_idx)
+            .map(|r| r.first_start)
+            .unwrap_or(run.start);
+        self.records[run.spec_idx] = Some(JobRecord {
+            id: JobId(run.spec_idx as u64),
+            name: spec.name.clone(),
+            submit: spec.submit,
+            start: record_start,
+            // A job killed at its start instant still occupies one second
+            // of accounting so elapsed times stay positive.
+            end: end.max(run.start + simtime::Duration::from_secs(1)),
+            gpus: run.gpus.len() as u32,
+            nodes,
+            gpu_ids: run.gpus.clone(),
+            state,
+        });
+        let gpus = std::mem::take(&mut self.running[run_idx].gpus);
+        for gpu in gpus {
+            let n = gpu.node.index() as usize;
+            self.owner[n][gpu.index as usize] = None;
+            self.free[n] += 1;
+        }
+    }
+
+    /// Converts accumulated records, synthesising CANCELLED records for
+    /// jobs that never started (queued past the end of the trace).
+    fn into_records(self, specs: &[JobSpec]) -> Vec<JobRecord> {
+        self.records
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.unwrap_or_else(|| JobRecord {
+                    id: JobId(i as u64),
+                    name: specs[i].name.clone(),
+                    submit: specs[i].submit,
+                    start: specs[i].submit,
+                    end: specs[i].submit,
+                    gpus: specs[i].gpus,
+                    nodes: Vec::new(),
+                    gpu_ids: Vec::new(),
+                    state: JobState::Cancelled,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clustersim::{ClusterSpec, IncidentId};
+    use simtime::Duration;
+    use xid::ErrorKind;
+
+    fn tiny_cluster() -> Cluster {
+        Cluster::new(ClusterSpec::tiny())
+    }
+
+    fn small_workload(fraction: f64) -> WorkloadConfig {
+        WorkloadConfig::delta_scaled(fraction)
+    }
+
+    #[test]
+    fn all_jobs_get_records_in_submission_order() {
+        let cluster = tiny_cluster();
+        let outcome = Simulation::new(&cluster, small_workload(0.0005), 1).run(&[], &[]);
+        for (i, job) in outcome.jobs.iter().enumerate() {
+            assert_eq!(job.id, JobId(i as u64));
+            assert!(job.end >= job.start);
+            assert!(job.start >= job.submit);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cluster = tiny_cluster();
+        let a = Simulation::new(&cluster, small_workload(0.0005), 9).run(&[], &[]);
+        let b = Simulation::new(&cluster, small_workload(0.0005), 9).run(&[], &[]);
+        assert_eq!(a.jobs, b.jobs);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn success_rate_without_errors_matches_baseline() {
+        let cluster = tiny_cluster();
+        let outcome = Simulation::new(&cluster, small_workload(0.002), 2).run(&[], &[]);
+        let rate = outcome.gpu_success_rate();
+        // Some jobs may be cancelled by never starting, so allow slack
+        // below the 74.68% target but not above.
+        assert!(rate > 0.70 && rate < 0.78, "success rate {rate}");
+        let cpu = outcome.cpu_success_rate();
+        assert!((cpu - 0.749).abs() < 0.02, "cpu success {cpu}");
+    }
+
+    #[test]
+    fn gsp_error_on_busy_gpu_kills_job() {
+        let cluster = tiny_cluster();
+        let workload = small_workload(0.002);
+        let window = workload.window;
+        // Blanket the window with GSP errors on every GPU every ~2 hours.
+        let mut errors = Vec::new();
+        let mut t = window.start;
+        let mut incident = 0u64;
+        while t < window.end {
+            for gpu in cluster.gpus() {
+                errors.push(GpuErrorEvent::new(
+                    t,
+                    gpu,
+                    ErrorKind::GspError,
+                    IncidentId(incident),
+                ));
+                incident += 1;
+            }
+            t = t + Duration::from_hours(2);
+        }
+        let outcome = Simulation::new(&cluster, workload, 3).run(&errors, &[]);
+        assert!(outcome.stats.error_kills > 0, "{:?}", outcome.stats);
+        let node_fails = outcome
+            .jobs
+            .iter()
+            .filter(|j| j.state == JobState::NodeFail)
+            .count();
+        assert!(node_fails as u64 >= outcome.stats.error_kills);
+    }
+
+    #[test]
+    fn rre_errors_never_kill() {
+        let cluster = tiny_cluster();
+        let workload = small_workload(0.001);
+        let window = workload.window;
+        let mut errors = Vec::new();
+        let mut t = window.start;
+        while t < window.end {
+            for gpu in cluster.gpus() {
+                errors.push(GpuErrorEvent::new(t, gpu, ErrorKind::RowRemapEvent, IncidentId(0)));
+            }
+            t = t + Duration::from_hours(1);
+        }
+        let outcome = Simulation::new(&cluster, workload, 4).run(&errors, &[]);
+        assert_eq!(outcome.stats.error_kills, 0);
+    }
+
+    #[test]
+    fn hold_blocks_scheduling_without_killing() {
+        let cluster = tiny_cluster();
+        let workload = small_workload(0.002);
+        let window = workload.window;
+        // Hold node 0 out for the entire window.
+        let hold = Outage {
+            node: NodeId::new(0),
+            start: window.start,
+            duration: window.length(),
+            action: xid::RecoveryAction::NodeReboot,
+        };
+        let outcome = Simulation::new(&cluster, workload, 5).run(&[], &[hold]);
+        // No job may have *started* on node 0 while it was held (jobs that
+        // queue past the hold may legitimately start there afterwards).
+        for job in &outcome.jobs {
+            if job.state != JobState::Cancelled && job.start < hold.end() {
+                assert!(!job.uses_node(NodeId::new(0)), "{job} ran on a held node");
+            }
+        }
+        // Holds themselves kill nothing.
+        assert_eq!(
+            outcome.jobs.iter().filter(|j| j.state == JobState::NodeFail).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn multi_node_jobs_get_whole_nodes() {
+        let cluster = tiny_cluster(); // 3x4 + 1x8 = 20 GPUs
+        let workload = small_workload(0.0005);
+        let outcome = Simulation::new(&cluster, workload, 6).run(&[], &[]);
+        for job in &outcome.jobs {
+            if job.gpus > 8 && job.state != JobState::Cancelled {
+                assert!(job.nodes.len() >= 2, "{job}");
+            }
+        }
+    }
+
+    #[test]
+    fn requeue_restarts_killed_jobs() {
+        let cluster = tiny_cluster();
+        let workload = small_workload(0.001);
+        let window = workload.window;
+        // One GSP error early in the window: without requeue the victim
+        // dies; with requeue it restarts and completes.
+        let errors = vec![GpuErrorEvent::new(
+            window.start + Duration::from_hours(24),
+            GpuId::new(NodeId::new(0), 0),
+            ErrorKind::GspError,
+            IncidentId(0),
+        )];
+        let plain = Simulation::new(&cluster, workload.clone(), 11).run(&errors, &[]);
+        let retried = Simulation::new(&cluster, workload, 11)
+            .with_requeue(RequeuePolicy::hourly_checkpoints(3))
+            .run(&errors, &[]);
+        // Same workload stream: requeue can only reduce NODE_FAIL count.
+        let plain_fails =
+            plain.jobs.iter().filter(|j| j.state == JobState::NodeFail).count();
+        let retried_fails =
+            retried.jobs.iter().filter(|j| j.state == JobState::NodeFail).count();
+        assert!(retried_fails <= plain_fails, "{retried_fails} > {plain_fails}");
+        if plain.stats.error_kills > 0 {
+            assert_eq!(retried.stats.requeues, retried.stats.error_kills);
+        }
+        // Both see the same number of records.
+        assert_eq!(plain.jobs.len(), retried.jobs.len());
+    }
+
+    #[test]
+    fn requeue_checkpointing_bounds_lost_work() {
+        let cluster = tiny_cluster();
+        let workload = small_workload(0.002);
+        let window = workload.window;
+        // Kill everything hourly for a stretch: checkpointed restarts lose
+        // at most one checkpoint interval per kill.
+        let mut errors = Vec::new();
+        let mut t = window.start + Duration::from_hours(10);
+        for i in 0..20u64 {
+            errors.push(GpuErrorEvent::new(
+                t,
+                GpuId::new(NodeId::new(0), 0),
+                ErrorKind::GspError,
+                IncidentId(i),
+            ));
+            t = t + Duration::from_hours(3);
+        }
+        let ckpt = Simulation::new(&cluster, workload.clone(), 12)
+            .with_requeue(RequeuePolicy::hourly_checkpoints(10))
+            .run(&errors, &[]);
+        let restart = Simulation::new(&cluster, workload, 12)
+            .with_requeue(RequeuePolicy {
+                checkpoint_interval: None,
+                ..RequeuePolicy::hourly_checkpoints(10)
+            })
+            .run(&errors, &[]);
+        if ckpt.stats.requeues > 0 && restart.stats.requeues > 0 {
+            // Full restarts lose at least as much work per requeue.
+            let ckpt_per = ckpt.stats.lost_gpu_hours / ckpt.stats.requeues as f64;
+            let restart_per = restart.stats.lost_gpu_hours / restart.stats.requeues.max(1) as f64;
+            assert!(ckpt_per <= restart_per + 1e-9, "{ckpt_per} > {restart_per}");
+        }
+    }
+
+    #[test]
+    fn allocation_and_wait_statistics() {
+        let cluster = tiny_cluster();
+        let workload = small_workload(0.002);
+        let window = workload.window;
+        let outcome = Simulation::new(&cluster, workload, 30).run(&[], &[]);
+        let alloc = outcome.gpu_allocation(cluster.gpu_count(), window);
+        // A busy tiny cluster: meaningfully loaded, never above 1.
+        assert!((0.05..=1.0).contains(&alloc), "allocation {alloc}");
+        let (mean, p50, p99) = outcome.wait_stats_hours().unwrap();
+        assert!(mean >= 0.0 && p50 <= p99);
+    }
+
+    #[test]
+    fn requeue_policy_accessors() {
+        assert!(!RequeuePolicy::none().enabled());
+        assert!(RequeuePolicy::hourly_checkpoints(2).enabled());
+        assert_eq!(RequeuePolicy::default(), RequeuePolicy::none());
+    }
+
+    #[test]
+    fn errors_on_idle_gpus_are_counted() {
+        let cluster = tiny_cluster();
+        // No workload overlap: single error long before any job.
+        let workload = small_workload(0.0005);
+        let errors = [GpuErrorEvent::new(
+            Timestamp::from_unix(1),
+            GpuId::new(NodeId::new(0), 0),
+            ErrorKind::GspError,
+            IncidentId(0),
+        )];
+        let outcome = Simulation::new(&cluster, workload, 7).run(&errors, &[]);
+        assert_eq!(outcome.stats.errors_on_idle, 1);
+    }
+}

@@ -1,0 +1,82 @@
+//! The study's top-level error categorisation (Table I "Category" column).
+
+use std::fmt;
+
+/// The component family an error kind belongs to.
+///
+/// The paper's headline comparison — "GPU memory is 160× more reliable than
+/// GPU hardware" — is a comparison between the aggregate MTBE of the
+/// [`Category::Memory`] kinds and the [`Category::Hardware`] kinds, so the
+/// category assignment below *is* part of the methodology, copied verbatim
+/// from Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Category {
+    /// Non-memory GPU hardware: MMU, GSP, PMU, bus interface.
+    Hardware,
+    /// HBM2e memory and its ECC/row-remap/containment machinery.
+    Memory,
+    /// NVLink GPU-to-GPU fabric.
+    Interconnect,
+    /// Application-triggered software errors (excluded from the study).
+    Software,
+}
+
+impl Category {
+    /// All categories, in Table I presentation order.
+    pub const ALL: [Category; 4] = [
+        Category::Hardware,
+        Category::Memory,
+        Category::Interconnect,
+        Category::Software,
+    ];
+
+    /// A short lowercase label, suitable for CSV columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Hardware => "hardware",
+            Category::Memory => "memory",
+            Category::Interconnect => "interconnect",
+            Category::Software => "software",
+        }
+    }
+
+    /// Whether errors in this category count toward the study statistics.
+    pub fn is_studied(self) -> bool {
+        !matches!(self, Category::Software)
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<&str> = Category::ALL.iter().map(|c| c.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len());
+    }
+
+    #[test]
+    fn only_software_is_excluded() {
+        assert!(Category::Hardware.is_studied());
+        assert!(Category::Memory.is_studied());
+        assert!(Category::Interconnect.is_studied());
+        assert!(!Category::Software.is_studied());
+    }
+
+    #[test]
+    fn display_matches_label() {
+        for c in Category::ALL {
+            assert_eq!(c.to_string(), c.label());
+        }
+    }
+}

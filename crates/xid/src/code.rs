@@ -1,0 +1,166 @@
+//! Raw numeric XID codes as they appear in NVRM log lines.
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// A raw numeric XID code as printed by the NVIDIA driver.
+///
+/// This is deliberately a thin newtype over the wire value: *any* `u16` is a
+/// representable code (drivers add new ones over time), and interpretation
+/// happens one level up in [`ErrorKind`](crate::ErrorKind). Constants are
+/// provided for the codes the Delta study tracks.
+///
+/// # Example
+///
+/// ```
+/// use xid::XidCode;
+///
+/// let code: XidCode = "79".parse()?;
+/// assert_eq!(code, XidCode::FALLEN_OFF_BUS);
+/// assert_eq!(code.to_string(), "79");
+/// # Ok::<(), xid::ParseXidCodeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct XidCode(u16);
+
+impl XidCode {
+    /// GPU software error (application-triggered; excluded from the study).
+    pub const GPU_SOFTWARE: XidCode = XidCode(13);
+    /// GPU memory-management-unit error.
+    pub const MMU_ERROR: XidCode = XidCode(31);
+    /// Reset-channel verification error (application-triggered; excluded).
+    pub const RESET_CHANNEL: XidCode = XidCode(43);
+    /// Double-bit ECC memory error.
+    pub const DBE: XidCode = XidCode(48);
+    /// Row-remapping event (spare row marked for replacement).
+    pub const ROW_REMAP_EVENT: XidCode = XidCode(63);
+    /// Row-remapping failure (spare rows exhausted).
+    pub const ROW_REMAP_FAILURE: XidCode = XidCode(64);
+    /// NVLink interconnect error.
+    pub const NVLINK_ERROR: XidCode = XidCode(74);
+    /// GPU has fallen off the bus.
+    pub const FALLEN_OFF_BUS: XidCode = XidCode(79);
+    /// Contained uncorrectable ECC error (containment succeeded).
+    pub const CONTAINED_ECC: XidCode = XidCode(94);
+    /// Uncontained uncorrectable ECC error (containment failed).
+    pub const UNCONTAINED_ECC: XidCode = XidCode(95);
+    /// GSP RPC timeout.
+    pub const GSP_RPC_TIMEOUT: XidCode = XidCode(119);
+    /// GSP error (secondary code).
+    pub const GSP_ERROR: XidCode = XidCode(120);
+    /// PMU SPI RPC read failure.
+    pub const PMU_SPI_READ_FAILURE: XidCode = XidCode(122);
+    /// PMU SPI RPC write failure (secondary code).
+    pub const PMU_SPI_WRITE_FAILURE: XidCode = XidCode(123);
+
+    /// Wraps a raw code value.
+    pub const fn new(raw: u16) -> Self {
+        XidCode(raw)
+    }
+
+    /// The raw numeric value.
+    pub const fn value(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for XidCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl From<u16> for XidCode {
+    fn from(raw: u16) -> Self {
+        XidCode(raw)
+    }
+}
+
+impl From<XidCode> for u16 {
+    fn from(code: XidCode) -> Self {
+        code.0
+    }
+}
+
+/// Error returned when parsing an [`XidCode`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseXidCodeError {
+    input: String,
+}
+
+impl fmt::Display for ParseXidCodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid XID code {:?}: expected a decimal integer in 0..=65535", self.input)
+    }
+}
+
+impl Error for ParseXidCodeError {}
+
+impl FromStr for XidCode {
+    type Err = ParseXidCodeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        s.trim()
+            .parse::<u16>()
+            .map(XidCode)
+            .map_err(|_| ParseXidCodeError { input: s.to_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_nvidia_numbering() {
+        assert_eq!(XidCode::MMU_ERROR.value(), 31);
+        assert_eq!(XidCode::DBE.value(), 48);
+        assert_eq!(XidCode::ROW_REMAP_EVENT.value(), 63);
+        assert_eq!(XidCode::ROW_REMAP_FAILURE.value(), 64);
+        assert_eq!(XidCode::NVLINK_ERROR.value(), 74);
+        assert_eq!(XidCode::FALLEN_OFF_BUS.value(), 79);
+        assert_eq!(XidCode::CONTAINED_ECC.value(), 94);
+        assert_eq!(XidCode::UNCONTAINED_ECC.value(), 95);
+        assert_eq!(XidCode::GSP_RPC_TIMEOUT.value(), 119);
+        assert_eq!(XidCode::GSP_ERROR.value(), 120);
+        assert_eq!(XidCode::PMU_SPI_READ_FAILURE.value(), 122);
+        assert_eq!(XidCode::PMU_SPI_WRITE_FAILURE.value(), 123);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for raw in [0u16, 13, 31, 119, 65535] {
+            let code = XidCode::new(raw);
+            let parsed: XidCode = code.to_string().parse().unwrap();
+            assert_eq!(parsed, code);
+        }
+    }
+
+    #[test]
+    fn parse_tolerates_whitespace() {
+        assert_eq!(" 74 ".parse::<XidCode>().unwrap(), XidCode::NVLINK_ERROR);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "abc", "-1", "70000", "3.5"] {
+            let err = bad.parse::<XidCode>().unwrap_err();
+            assert!(err.to_string().contains("invalid XID code"), "{bad}");
+        }
+    }
+
+    #[test]
+    fn conversion_traits() {
+        let code: XidCode = 94u16.into();
+        assert_eq!(code, XidCode::CONTAINED_ECC);
+        let raw: u16 = code.into();
+        assert_eq!(raw, 94);
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(XidCode::MMU_ERROR < XidCode::DBE);
+        assert!(XidCode::GSP_ERROR > XidCode::GSP_RPC_TIMEOUT);
+    }
+}

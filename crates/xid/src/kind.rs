@@ -1,0 +1,297 @@
+//! Event kinds: the study's semantic grouping of raw XID codes.
+
+use crate::{Category, RecoveryAction, XidCode};
+use std::fmt;
+
+/// A semantic GPU error kind, the unit of analysis of the Delta study.
+///
+/// Kinds group raw codes the way Table I does: XID 119 and 120 are both
+/// [`ErrorKind::GspError`]; 122 and 123 are both [`ErrorKind::PmuSpiError`].
+/// Codes the study does not track map to [`ErrorKind::Other`], which carries
+/// the raw code so nothing is lost in translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ErrorKind {
+    /// XID 31 — memory-management-unit error (invalid memory access or
+    /// driver/hardware bug).
+    MmuError,
+    /// XID 48 — double-bit ECC error, uncorrectable by SECDED.
+    DoubleBitError,
+    /// XID 63 — row-remapping event: a spare row was marked to replace a
+    /// faulty one.
+    RowRemapEvent,
+    /// XID 64 — row-remapping failure: spare rows exhausted.
+    RowRemapFailure,
+    /// XID 74 — NVLink interconnect error.
+    NvlinkError,
+    /// XID 79 — GPU fell off the system bus.
+    FallenOffBus,
+    /// XID 94 — uncorrectable ECC error successfully contained.
+    ContainedMemoryError,
+    /// XID 95 — uncorrectable ECC error containment failed.
+    UncontainedMemoryError,
+    /// XID 119/120 — GPU System Processor (GSP) error / RPC timeout.
+    GspError,
+    /// XID 122/123 — PMU SPI RPC communication failure.
+    PmuSpiError,
+    /// XID 13 — application-triggered graphics engine exception (excluded).
+    GpuSoftware,
+    /// XID 43 — reset-channel verification error (excluded).
+    ResetChannel,
+    /// Any code the study does not track; the raw code is preserved.
+    Other(XidCode),
+}
+
+impl ErrorKind {
+    /// The kinds the study tracks, in Table I order.
+    ///
+    /// `Other`, `GpuSoftware` and `ResetChannel` are deliberately absent.
+    pub const STUDIED: [ErrorKind; 10] = [
+        ErrorKind::MmuError,
+        ErrorKind::DoubleBitError,
+        ErrorKind::RowRemapEvent,
+        ErrorKind::RowRemapFailure,
+        ErrorKind::NvlinkError,
+        ErrorKind::FallenOffBus,
+        ErrorKind::ContainedMemoryError,
+        ErrorKind::UncontainedMemoryError,
+        ErrorKind::GspError,
+        ErrorKind::PmuSpiError,
+    ];
+
+    /// Classifies a raw code into its kind.
+    pub fn from_code(code: XidCode) -> ErrorKind {
+        match code.value() {
+            13 => ErrorKind::GpuSoftware,
+            31 => ErrorKind::MmuError,
+            43 => ErrorKind::ResetChannel,
+            48 => ErrorKind::DoubleBitError,
+            63 => ErrorKind::RowRemapEvent,
+            64 => ErrorKind::RowRemapFailure,
+            74 => ErrorKind::NvlinkError,
+            79 => ErrorKind::FallenOffBus,
+            94 => ErrorKind::ContainedMemoryError,
+            95 => ErrorKind::UncontainedMemoryError,
+            119 | 120 => ErrorKind::GspError,
+            122 | 123 => ErrorKind::PmuSpiError,
+            _ => ErrorKind::Other(code),
+        }
+    }
+
+    /// The canonical (primary) XID code for this kind.
+    ///
+    /// For kinds spanning two codes (GSP, PMU) this is the code the paper
+    /// lists first (119, 122). For [`ErrorKind::Other`] it is the wrapped
+    /// code itself.
+    pub fn primary_code(self) -> XidCode {
+        match self {
+            ErrorKind::MmuError => XidCode::MMU_ERROR,
+            ErrorKind::DoubleBitError => XidCode::DBE,
+            ErrorKind::RowRemapEvent => XidCode::ROW_REMAP_EVENT,
+            ErrorKind::RowRemapFailure => XidCode::ROW_REMAP_FAILURE,
+            ErrorKind::NvlinkError => XidCode::NVLINK_ERROR,
+            ErrorKind::FallenOffBus => XidCode::FALLEN_OFF_BUS,
+            ErrorKind::ContainedMemoryError => XidCode::CONTAINED_ECC,
+            ErrorKind::UncontainedMemoryError => XidCode::UNCONTAINED_ECC,
+            ErrorKind::GspError => XidCode::GSP_RPC_TIMEOUT,
+            ErrorKind::PmuSpiError => XidCode::PMU_SPI_READ_FAILURE,
+            ErrorKind::GpuSoftware => XidCode::GPU_SOFTWARE,
+            ErrorKind::ResetChannel => XidCode::RESET_CHANNEL,
+            ErrorKind::Other(code) => code,
+        }
+    }
+
+    /// The component category (Table I "Category" column).
+    pub fn category(self) -> Category {
+        match self {
+            ErrorKind::MmuError
+            | ErrorKind::FallenOffBus
+            | ErrorKind::GspError
+            | ErrorKind::PmuSpiError => Category::Hardware,
+            ErrorKind::DoubleBitError
+            | ErrorKind::RowRemapEvent
+            | ErrorKind::RowRemapFailure
+            | ErrorKind::ContainedMemoryError
+            | ErrorKind::UncontainedMemoryError => Category::Memory,
+            ErrorKind::NvlinkError => Category::Interconnect,
+            ErrorKind::GpuSoftware | ErrorKind::ResetChannel | ErrorKind::Other(_) => {
+                Category::Software
+            }
+        }
+    }
+
+    /// The documented recovery action (Table I "Recovery Action" column).
+    pub fn recovery(self) -> RecoveryAction {
+        match self {
+            // MMU errors clear with the offending process; no reset needed
+            // unless they stem from a real hardware fault.
+            ErrorKind::MmuError => RecoveryAction::None,
+            // A DBE triggers row remapping; reset needed only if that fails.
+            ErrorKind::DoubleBitError => RecoveryAction::GpuReset,
+            ErrorKind::RowRemapEvent => RecoveryAction::GpuReset,
+            ErrorKind::RowRemapFailure => RecoveryAction::GpuReset,
+            ErrorKind::NvlinkError => RecoveryAction::SreIntervention,
+            ErrorKind::FallenOffBus => RecoveryAction::SreIntervention,
+            ErrorKind::ContainedMemoryError => RecoveryAction::None,
+            ErrorKind::UncontainedMemoryError => RecoveryAction::SreIntervention,
+            // GSP errors require draining and rebooting the whole node.
+            ErrorKind::GspError => RecoveryAction::NodeReboot,
+            ErrorKind::PmuSpiError => RecoveryAction::None,
+            ErrorKind::GpuSoftware | ErrorKind::ResetChannel | ErrorKind::Other(_) => {
+                RecoveryAction::None
+            }
+        }
+    }
+
+    /// Whether this kind counts toward the study statistics.
+    ///
+    /// XID 13 and 43 are excluded despite their volume because they are
+    /// typically triggered by user code and are not indicators of degraded
+    /// GPU health; unknown codes are likewise excluded.
+    pub fn is_studied(self) -> bool {
+        !matches!(
+            self,
+            ErrorKind::GpuSoftware | ErrorKind::ResetChannel | ErrorKind::Other(_)
+        )
+    }
+
+    /// The paper's abbreviation for this kind (Table I "Abbr." column).
+    pub fn abbreviation(self) -> &'static str {
+        match self {
+            ErrorKind::MmuError => "MMU Error",
+            ErrorKind::DoubleBitError => "DBE",
+            ErrorKind::RowRemapEvent => "RRE",
+            ErrorKind::RowRemapFailure => "RRF",
+            ErrorKind::NvlinkError => "NVLink Error",
+            ErrorKind::FallenOffBus => "GPU Fallen Off the Bus",
+            ErrorKind::ContainedMemoryError => "Contained Memory Error",
+            ErrorKind::UncontainedMemoryError => "Uncontained Memory Error",
+            ErrorKind::GspError => "GSP Error",
+            ErrorKind::PmuSpiError => "PMU SPI Error",
+            ErrorKind::GpuSoftware => "GPU Software Error",
+            ErrorKind::ResetChannel => "Reset Channel Error",
+            ErrorKind::Other(_) => "Other",
+        }
+    }
+
+    /// A one-line description derived from the NVIDIA XID manual.
+    pub fn description(self) -> &'static str {
+        match self {
+            ErrorKind::MmuError => "GPU memory management unit (MMU) error",
+            ErrorKind::DoubleBitError => "double-bit ECC memory error exceeding SECDED correction",
+            ErrorKind::RowRemapEvent => "row remapping event: spare row marked for replacement",
+            ErrorKind::RowRemapFailure => "row remapping failure: spare rows exhausted",
+            ErrorKind::NvlinkError => "NVLink connection error between GPUs",
+            ErrorKind::FallenOffBus => "GPU has fallen off the system bus and is unreachable",
+            ErrorKind::ContainedMemoryError => {
+                "uncorrectable ECC error contained by terminating affected processes"
+            }
+            ErrorKind::UncontainedMemoryError => {
+                "uncorrectable ECC error that escaped containment"
+            }
+            ErrorKind::GspError => "GPU System Processor (GSP) error or RPC timeout",
+            ErrorKind::PmuSpiError => "PMU SPI RPC failure: communication with the PMU failed",
+            ErrorKind::GpuSoftware => "application-triggered graphics engine exception",
+            ErrorKind::ResetChannel => "reset channel verification error",
+            ErrorKind::Other(_) => "XID code not tracked by the study",
+        }
+    }
+
+    /// All raw codes that map to this kind.
+    pub fn codes(self) -> &'static [u16] {
+        match self {
+            ErrorKind::MmuError => &[31],
+            ErrorKind::DoubleBitError => &[48],
+            ErrorKind::RowRemapEvent => &[63],
+            ErrorKind::RowRemapFailure => &[64],
+            ErrorKind::NvlinkError => &[74],
+            ErrorKind::FallenOffBus => &[79],
+            ErrorKind::ContainedMemoryError => &[94],
+            ErrorKind::UncontainedMemoryError => &[95],
+            ErrorKind::GspError => &[119, 120],
+            ErrorKind::PmuSpiError => &[122, 123],
+            ErrorKind::GpuSoftware => &[13],
+            ErrorKind::ResetChannel => &[43],
+            ErrorKind::Other(_) => &[],
+        }
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbreviation())
+    }
+}
+
+impl From<XidCode> for ErrorKind {
+    fn from(code: XidCode) -> Self {
+        ErrorKind::from_code(code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_code_maps_back_to_its_kind() {
+        for kind in ErrorKind::STUDIED {
+            for &raw in kind.codes() {
+                assert_eq!(ErrorKind::from_code(XidCode::new(raw)), kind);
+            }
+            assert!(kind.codes().contains(&kind.primary_code().value()));
+        }
+    }
+
+    #[test]
+    fn unknown_code_preserves_value() {
+        let kind = ErrorKind::from_code(XidCode::new(999));
+        assert_eq!(kind, ErrorKind::Other(XidCode::new(999)));
+        assert_eq!(kind.primary_code().value(), 999);
+        assert!(!kind.is_studied());
+        assert_eq!(kind.category(), Category::Software);
+    }
+
+    #[test]
+    fn studied_list_matches_predicate() {
+        for kind in ErrorKind::STUDIED {
+            assert!(kind.is_studied());
+        }
+        assert!(!ErrorKind::GpuSoftware.is_studied());
+        assert!(!ErrorKind::ResetChannel.is_studied());
+    }
+
+    #[test]
+    fn gsp_requires_node_reboot() {
+        // Paper §IV(iii): GSP errors require manual node draining and reboot.
+        assert_eq!(ErrorKind::GspError.recovery(), RecoveryAction::NodeReboot);
+        assert!(ErrorKind::GspError.recovery().requires_reset());
+    }
+
+    #[test]
+    fn abbreviations_are_unique_among_studied() {
+        let mut abbrs: Vec<&str> = ErrorKind::STUDIED.iter().map(|k| k.abbreviation()).collect();
+        abbrs.sort_unstable();
+        let before = abbrs.len();
+        abbrs.dedup();
+        assert_eq!(before, abbrs.len());
+    }
+
+    #[test]
+    fn descriptions_are_nonempty() {
+        for kind in ErrorKind::STUDIED {
+            assert!(!kind.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn display_uses_abbreviation() {
+        assert_eq!(ErrorKind::GspError.to_string(), "GSP Error");
+    }
+
+    #[test]
+    fn from_trait_matches_from_code() {
+        let code = XidCode::new(74);
+        let via_trait: ErrorKind = code.into();
+        assert_eq!(via_trait, ErrorKind::from_code(code));
+    }
+}

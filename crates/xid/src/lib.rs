@@ -1,0 +1,77 @@
+//! NVIDIA XID error taxonomy for A100-class GPUs.
+//!
+//! NVIDIA GPUs report driver-visible errors as *XID* events in the kernel
+//! log (`NVRM: Xid (...): <code>, ...`). This crate is the shared vocabulary
+//! of the Delta resilience study (DSN'25): the numeric codes, the event
+//! kinds built from them, their hardware/memory/interconnect categories, the
+//! documented recovery actions, and the study's inclusion rules (XID 13 and
+//! 43 are excluded as application-triggered).
+//!
+//! It is a pure data/logic crate with no I/O and no dependencies, used by
+//! the `hpclog` log substrate, the `faultsim` injector, and the
+//! `resilience` analysis pipeline alike.
+//!
+//! # Example
+//!
+//! ```
+//! use xid::{ErrorKind, XidCode, Category};
+//!
+//! let code = XidCode::new(119);
+//! let kind = ErrorKind::from_code(code);
+//! assert_eq!(kind, ErrorKind::GspError);
+//! assert_eq!(kind.category(), Category::Hardware);
+//! assert!(kind.recovery().requires_reset());
+//! assert!(kind.is_studied());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+mod category;
+mod code;
+mod kind;
+mod recovery;
+
+pub use category::Category;
+pub use code::{ParseXidCodeError, XidCode};
+pub use kind::ErrorKind;
+pub use recovery::RecoveryAction;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_rows_are_fully_classified() {
+        // Every row of Table I must map code -> kind -> category coherently.
+        let rows: &[(u16, ErrorKind, Category)] = &[
+            (31, ErrorKind::MmuError, Category::Hardware),
+            (48, ErrorKind::DoubleBitError, Category::Memory),
+            (63, ErrorKind::RowRemapEvent, Category::Memory),
+            (64, ErrorKind::RowRemapFailure, Category::Memory),
+            (74, ErrorKind::NvlinkError, Category::Interconnect),
+            (79, ErrorKind::FallenOffBus, Category::Hardware),
+            (94, ErrorKind::ContainedMemoryError, Category::Memory),
+            (95, ErrorKind::UncontainedMemoryError, Category::Memory),
+            (119, ErrorKind::GspError, Category::Hardware),
+            (120, ErrorKind::GspError, Category::Hardware),
+            (122, ErrorKind::PmuSpiError, Category::Hardware),
+            (123, ErrorKind::PmuSpiError, Category::Hardware),
+        ];
+        for &(raw, kind, cat) in rows {
+            let code = XidCode::new(raw);
+            assert_eq!(ErrorKind::from_code(code), kind, "code {raw}");
+            assert_eq!(kind.category(), cat, "code {raw}");
+            assert!(kind.is_studied(), "code {raw} must be in the study set");
+        }
+    }
+
+    #[test]
+    fn excluded_codes_are_not_studied() {
+        for raw in [13u16, 43] {
+            let kind = ErrorKind::from_code(XidCode::new(raw));
+            assert!(!kind.is_studied(), "XID {raw} is app-triggered, excluded");
+        }
+    }
+}

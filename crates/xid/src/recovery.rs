@@ -1,0 +1,106 @@
+//! Recovery actions documented for each error kind (Table I).
+
+use std::fmt;
+
+/// The action required to clear an error, per NVIDIA's deployment guide and
+/// Delta SRE practice.
+///
+/// Ordering is by escalating severity: `None < GpuReset < NodeReboot <
+/// SreIntervention < GpuReplacement`. The availability model in
+/// `clustersim` keys its downtime estimates off this ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum RecoveryAction {
+    /// No administrative action; the error clears with the offending
+    /// process or is informational.
+    #[default]
+    None,
+    /// The GPU must be reset (application-transparent node-level action).
+    GpuReset,
+    /// The whole node must be drained and rebooted.
+    NodeReboot,
+    /// Site reliability engineers must inspect hardware/software manually.
+    SreIntervention,
+    /// The GPU must be physically replaced.
+    GpuReplacement,
+}
+
+impl RecoveryAction {
+    /// All actions, in escalating-severity order.
+    pub const ALL: [RecoveryAction; 5] = [
+        RecoveryAction::None,
+        RecoveryAction::GpuReset,
+        RecoveryAction::NodeReboot,
+        RecoveryAction::SreIntervention,
+        RecoveryAction::GpuReplacement,
+    ];
+
+    /// Whether the action interrupts the GPU (reset or stronger).
+    pub fn requires_reset(self) -> bool {
+        self >= RecoveryAction::GpuReset
+    }
+
+    /// Whether the action takes the *node* out of service (reboot or
+    /// stronger), not just one GPU.
+    pub fn takes_node_down(self) -> bool {
+        self >= RecoveryAction::NodeReboot
+    }
+
+    /// Whether a human must be involved.
+    pub fn needs_human(self) -> bool {
+        self >= RecoveryAction::SreIntervention
+    }
+
+    /// A short lowercase label, suitable for CSV columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryAction::None => "none",
+            RecoveryAction::GpuReset => "gpu-reset",
+            RecoveryAction::NodeReboot => "node-reboot",
+            RecoveryAction::SreIntervention => "sre-intervention",
+            RecoveryAction::GpuReplacement => "gpu-replacement",
+        }
+    }
+}
+
+impl fmt::Display for RecoveryAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ladder_is_monotone() {
+        for pair in RecoveryAction::ALL.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn predicates_follow_the_ladder() {
+        assert!(!RecoveryAction::None.requires_reset());
+        assert!(RecoveryAction::GpuReset.requires_reset());
+        assert!(!RecoveryAction::GpuReset.takes_node_down());
+        assert!(RecoveryAction::NodeReboot.takes_node_down());
+        assert!(!RecoveryAction::NodeReboot.needs_human());
+        assert!(RecoveryAction::SreIntervention.needs_human());
+        assert!(RecoveryAction::GpuReplacement.needs_human());
+    }
+
+    #[test]
+    fn default_is_none() {
+        assert_eq!(RecoveryAction::default(), RecoveryAction::None);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<&str> = RecoveryAction::ALL.iter().map(|a| a.label()).collect();
+        labels.sort_unstable();
+        let before = labels.len();
+        labels.dedup();
+        assert_eq!(before, labels.len());
+    }
+}

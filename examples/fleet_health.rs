@@ -1,0 +1,77 @@
+//! Fleet health report: the weekly dashboard an SRE team would generate
+//! from this library — trends, hot GPUs, burst structure and survival —
+//! exercising the extension modules (`timeseries`, `spatial`, `burst`,
+//! `survival`) on a simulated year of operations.
+//!
+//! ```text
+//! cargo run --release --example fleet_health
+//! ```
+
+use delta_gpu_resilience::prelude::*;
+use resilience::timeseries::ErrorSeries;
+use resilience::{report, spatial};
+
+fn main() {
+    // A year of operations at full cluster scale.
+    let mut config = FaultConfig::delta_scaled(0.3);
+    config.seed = 77;
+    let campaign = Campaign::new(config).run();
+
+    let mut pipeline = Pipeline::delta();
+    pipeline.periods = campaign.config.periods;
+    let analysed = pipeline.run(&campaign.archive, &[], &[], &[]);
+
+    println!("FLEET HEALTH REPORT — {} GPUs", campaign.config.spec.gpu_count());
+    println!(
+        "window: {} .. {}\n",
+        campaign.config.periods.pre_op.start, campaign.config.periods.op.end
+    );
+
+    // Weekly error trends per kind, with sparklines.
+    let whole = campaign.config.periods.whole();
+    println!("weekly error volume (full window):");
+    for kind in [
+        ErrorKind::MmuError,
+        ErrorKind::GspError,
+        ErrorKind::NvlinkError,
+        ErrorKind::PmuSpiError,
+    ] {
+        let series = ErrorSeries::weekly(&analysed.errors, Some(kind), whole);
+        let trend = series.trend().unwrap_or(0.0);
+        let direction = if trend > 0.05 {
+            "worsening"
+        } else if trend < -0.05 {
+            "improving"
+        } else {
+            "stable"
+        };
+        println!(
+            "  {:<14} {:>6} total  {:>9} ({trend:+.2}/wk²)\n    {}",
+            kind.abbreviation(),
+            series.total(),
+            direction,
+            series.render()
+        );
+    }
+
+    // Storm awareness: what did the outlier rule catch?
+    if let Some(outlier) = analysed.outlier() {
+        println!(
+            "\nstorm caught by the outlier rule: {} {} ({} errors excluded from MTBE)",
+            outlier.host, outlier.pci, outlier.excluded_errors
+        );
+    }
+
+    // Concentration: are errors fleet-wide or a few bad devices?
+    let conc = spatial::Concentration::compute(&analysed.errors, &[], None);
+    println!(
+        "\nconcentration: {} affected GPUs carry {} errors; Gini (fleet of {}) = {:.2}",
+        conc.affected_gpus(),
+        conc.total(),
+        campaign.config.spec.gpu_count(),
+        conc.gini(campaign.config.spec.gpu_count() as usize)
+    );
+
+    // The full deep section (shared with `delta-cli analyze --deep`).
+    println!("\n{}", report::deep(&analysed));
+}

@@ -1,0 +1,78 @@
+//! Log forensics: use the substrate as an *analysis* toolkit on raw log
+//! text — the workflow of a site reliability engineer handed a day's
+//! consolidated syslog and asked "which GPUs are unhealthy?".
+//!
+//! Demonstrates the text-level API: pattern filtering, line parsing, XID
+//! extraction, coalescing, and a per-GPU triage summary — no simulators
+//! involved (the sample log is embedded).
+//!
+//! ```text
+//! cargo run --example log_forensics
+//! ```
+
+use delta_gpu_resilience::prelude::*;
+use hpclog::extract::XidExtractor;
+use hpclog::pattern::{FilterSet, Pattern};
+use resilience::coalesce::coalesce;
+use std::collections::BTreeMap;
+
+/// A day of consolidated log text, as Delta's collection pipeline emits it:
+/// XID errors from several GPUs, duplicates, and unrelated noise.
+const DAY_LOG: &str = "\
+Mar 14 00:11:02 gpub007 kernel: usb 3-2: new high-speed USB device number 4
+Mar 14 01:05:17 gpub042 kernel: NVRM: Xid (PCI:0000:27:00): 119, pid=88211, Timeout after 6s of waiting for RPC response from GPU0 GSP!
+Mar 14 01:05:19 gpub042 kernel: NVRM: Xid (PCI:0000:27:00): 119, pid=88211, Timeout after 6s of waiting for RPC response from GPU0 GSP!
+Mar 14 01:05:24 gpub042 kernel: NVRM: Xid (PCI:0000:27:00): 119, pid=88211, Timeout after 6s of waiting for RPC response from GPU0 GSP!
+Mar 14 02:44:51 gpub013 kernel: NVRM: Xid (PCI:0000:51:00): 74, NVLink: fatal error detected on link, LinkState 0x5
+Mar 14 02:44:51 gpub013 kernel: NVRM: Xid (PCI:0000:57:00): 74, NVLink: fatal error detected on link, LinkState 0x5
+Mar 14 03:20:00 gpub013 slurmd: launching job 4242 for user hpcuser
+Mar 14 04:00:41 gpub099 kernel: NVRM: Xid (PCI:0000:2a:00): 63, Row remapping event: row remapper pending
+Mar 14 04:00:42 gpub099 kernel: NVRM: Xid (PCI:0000:2a:00): 94, pid=51332, Contained: SM (0x3). RST: No, D-RST: No
+Mar 14 05:59:59 gpub042 kernel: NVRM: Xid (PCI:0000:27:00): 119, pid=88211, Timeout after 6s of waiting for RPC response from GPU0 GSP!
+Mar 14 07:13:08 gpub007 kernel: NVRM: Xid (PCI:0000:c7:00): 13, pid=120, Graphics Exception: ESR 0x505648=0x1000e
+Mar 14 09:30:30 gpub042 kernel: nvidia-persistenced: persistence mode enabled
+";
+
+fn main() {
+    // 1. Cheap pre-filter: which lines even mention an XID?
+    let filter = FilterSet::compile(&["*NVRM: Xid*"]).expect("static pattern compiles");
+    let xid_lines = DAY_LOG.lines().filter(|l| filter.matches(l)).count();
+    println!("{} of {} lines are XID reports", xid_lines, DAY_LOG.lines().count());
+
+    // 2. Typed extraction with a capture pattern, for ad-hoc inspection.
+    let probe = Pattern::compile("*Xid (PCI:{w}): {d},*").expect("static pattern compiles");
+    for line in DAY_LOG.lines() {
+        if let Some(caps) = probe.captures(line) {
+            println!("  PCI {}  XID {}", caps[0], caps[1]);
+        }
+    }
+
+    // 3. The real pipeline: parse -> extract (study filter on) -> coalesce.
+    let mut extractor = XidExtractor::studied_only(2024);
+    let events: Vec<_> = DAY_LOG.lines().filter_map(|l| extractor.extract_raw(l)).collect();
+    let stats = extractor.stats();
+    println!(
+        "\nextraction: {} XID lines, {} events kept, {} excluded (app-triggered XID 13/43)",
+        stats.xid_lines, stats.extracted, stats.excluded
+    );
+
+    let errors = coalesce(events, Duration::from_secs(60));
+    println!("coalesced to {} distinct errors:", errors.len());
+
+    // 4. Triage: per-GPU error summary ranked by recovery severity.
+    let mut per_gpu: BTreeMap<(String, u8), Vec<ErrorKind>> = BTreeMap::new();
+    for e in &errors {
+        let gpu = e.gpu_index().unwrap_or(255);
+        per_gpu.entry((e.host.clone(), gpu)).or_default().push(e.kind);
+    }
+    for ((host, gpu), kinds) in &per_gpu {
+        let worst = kinds.iter().map(|k| k.recovery()).max().unwrap_or_default();
+        let action = if worst.requires_reset() {
+            format!("ACTION: {worst}")
+        } else {
+            "monitor".to_owned()
+        };
+        let list: Vec<String> = kinds.iter().map(|k| k.abbreviation().to_owned()).collect();
+        println!("  {host} gpu{gpu}: {} -> {action}", list.join(", "));
+    }
+}

@@ -1,0 +1,426 @@
+//! `delta-cli` — the command-line face of the reproduction.
+//!
+//! ```text
+//! delta-cli analyze  <LOG>... [--jobs FILE] [--cpu-jobs FILE] [--outages FILE]
+//!                    [--window SECS] [--deep]
+//! delta-cli simulate [--scale F] [--seed N] --out DIR
+//! delta-cli taxonomy
+//! ```
+//!
+//! * `analyze` runs the paper's pipeline over real (or simulator-written)
+//!   per-day log files, optionally joined against CSV job/outage exports
+//!   (schemas in `resilience::csvio`), and prints every table plus — with
+//!   `--deep` — the survival/concentration/burstiness extensions.
+//! * `simulate` runs a seeded campaign and writes the raw artifacts
+//!   (per-day logs, job CSV, outage CSV) to a directory, producing a
+//!   self-contained synthetic dataset for the `analyze` path or external
+//!   tools.
+//! * `taxonomy` prints the XID reference table.
+
+use delta_gpu_resilience::prelude::*;
+use resilience::csvio;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("taxonomy") => cmd_taxonomy(),
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+delta-cli — A100 GPU resilience analysis (DSN'25 reproduction)
+
+USAGE:
+  delta-cli analyze <LOG>... [--jobs FILE] [--cpu-jobs FILE] [--outages FILE]
+                    [--window SECS] [--deep]
+  delta-cli simulate [--scale F] [--seed N] --out DIR
+  delta-cli taxonomy
+
+ANALYZE
+  <LOG>...        per-day syslog files (or directories of them)
+  --jobs FILE     GPU job export (CSV: id,name,submit,start,end,gpus,gpu_slots,state)
+  --cpu-jobs FILE CPU job export (same schema, gpus=0)
+  --outages FILE  outage export (CSV: host,start,duration_secs)
+  --window SECS   coalescing window Δt (default 20)
+  --periods MODE  'delta' (the paper's calendar, default) or 'auto'
+                  (infer the window from the data span, keeping Delta's
+                  23%/77% pre-op/op split — use for scaled datasets)
+  --deep          also run survival / concentration / burstiness analyses
+
+SIMULATE
+  --scale F       calendar scale in (0,1], default 0.05
+  --seed N        campaign seed, default 0xDE17A
+  --out DIR       output directory (created if missing)
+";
+
+/// Minimal flag parser: positionals plus `--flag value` / `--flag`.
+#[derive(Debug)]
+struct Flags {
+    positionals: Vec<String>,
+    options: Vec<(String, Option<String>)>,
+}
+
+fn parse_flags(args: &[String], value_flags: &[&str]) -> Result<Flags, String> {
+    let mut positionals = Vec::new();
+    let mut options = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            if value_flags.contains(&name) {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{name} needs a value"))?
+                    .clone();
+                options.push((name.to_owned(), Some(value)));
+            } else {
+                options.push((name.to_owned(), None));
+            }
+        } else {
+            positionals.push(arg.clone());
+        }
+    }
+    Ok(Flags { positionals, options })
+}
+
+impl Flags {
+    fn value(&self, name: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.options.iter().any(|(n, _)| n == name)
+    }
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+/// Collects log files from file and directory arguments.
+fn collect_log_files(paths: &[String]) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    for p in paths {
+        let path = Path::new(p);
+        if path.is_dir() {
+            let entries =
+                std::fs::read_dir(path).map_err(|e| format!("reading dir {p}: {e}"))?;
+            for entry in entries {
+                let entry = entry.map_err(|e| format!("reading dir {p}: {e}"))?;
+                if entry.path().is_file() {
+                    files.push(entry.path());
+                }
+            }
+        } else if path.is_file() {
+            files.push(path.to_path_buf());
+        } else {
+            return Err(format!("{p}: no such file or directory"));
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["jobs", "cpu-jobs", "outages", "window", "periods"])?;
+    if flags.positionals.is_empty() {
+        return Err(format!("analyze needs at least one log file\n{USAGE}"));
+    }
+
+    // Ingest logs. Syslog lines carry no year, so resolve it per file:
+    // prefer a `...YYYYMMDD...` date in the filename (what `simulate`
+    // writes); otherwise probe candidate years on a small line sample and
+    // keep the year that parses best. Either way each file is fully
+    // parsed exactly once.
+    let mut archive = hpclog::archive::Archive::new();
+    let mut skipped_total = 0;
+    for file in collect_log_files(&flags.positionals)? {
+        let text = read_file(&file.display().to_string())?;
+        let year = year_from_filename(&file).unwrap_or_else(|| probe_year(&text));
+        let (_, skipped) = archive.ingest_day(&text, year);
+        skipped_total += skipped;
+    }
+    println!(
+        "ingested {} lines over {} days ({} unparseable lines skipped)",
+        archive.line_count(),
+        archive.day_count(),
+        skipped_total
+    );
+
+    let gpu_jobs = match flags.value("jobs") {
+        Some(path) => csvio::parse_jobs(&read_file(path)?).map_err(|e| e.to_string())?,
+        None => Vec::new(),
+    };
+    let cpu_jobs = match flags.value("cpu-jobs") {
+        Some(path) => csvio::parse_jobs(&read_file(path)?).map_err(|e| e.to_string())?,
+        None => Vec::new(),
+    };
+    let outages = match flags.value("outages") {
+        Some(path) => csvio::parse_outages(&read_file(path)?).map_err(|e| e.to_string())?,
+        None => Vec::new(),
+    };
+
+    let mut pipeline = Pipeline::delta();
+    if let Some(w) = flags.value("window") {
+        let secs: u64 = w.parse().map_err(|_| format!("bad --window {w:?}"))?;
+        pipeline.coalesce_window = Duration::from_secs(secs);
+    }
+    match flags.value("periods").unwrap_or("delta") {
+        "delta" => {}
+        "auto" => {
+            pipeline.periods = infer_periods(&archive, &gpu_jobs)
+                .ok_or("cannot infer periods from empty data")?;
+            println!(
+                "inferred calendar: pre-op {} .. op {} .. {}",
+                pipeline.periods.pre_op.start, pipeline.periods.op.start, pipeline.periods.op.end
+            );
+        }
+        other => return Err(format!("bad --periods {other:?} (expected delta|auto)")),
+    }
+    let report_out = pipeline.run(&archive, &gpu_jobs, &cpu_jobs, &outages);
+
+    println!("\n=== Table I ===\n{}", report::table1(&report_out));
+    if !gpu_jobs.is_empty() {
+        println!("=== Table II ===\n{}", report::table2(&report_out));
+        println!("=== Table III ===\n{}", report::table3(&report_out));
+    }
+    if !outages.is_empty() {
+        println!("=== Figure 2 ===\n{}", report::figure2(&report_out));
+    }
+    println!("=== Findings ===\n{}", Findings::evaluate(&report_out));
+
+    if flags.has("deep") {
+        println!("\n=== Deep analyses ===\n{}", report::deep(&report_out));
+    }
+    Ok(())
+}
+
+/// Extracts a plausible year from a `...YYYYMMDD...` filename component.
+fn year_from_filename(path: &Path) -> Option<i32> {
+    let name = path.file_stem()?.to_str()?;
+    let digits: Vec<&str> = name
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|chunk| chunk.len() == 8)
+        .collect();
+    for chunk in digits {
+        let year: i32 = chunk[..4].parse().ok()?;
+        if (1970..=2100).contains(&year) {
+            return Some(year);
+        }
+    }
+    None
+}
+
+/// Picks the year under which a sample of the file's lines parses with the
+/// fewest losses (leap days make wrong years lose lines).
+fn probe_year(text: &str) -> i32 {
+    let sample: Vec<&str> = text.lines().take(500).collect();
+    let mut best = (usize::MAX, 2024);
+    for year in 2022..=2026 {
+        let mut probe = hpclog::archive::Archive::new();
+        let (_, skipped) = probe.ingest_day(&sample.join("\n"), year);
+        if skipped < best.0 {
+            best = (skipped, year);
+        }
+    }
+    best.1
+}
+
+/// Infers a study calendar from the observed data span, keeping Delta's
+/// 273:896-day pre-op/op proportions.
+fn infer_periods(
+    archive: &hpclog::archive::Archive,
+    jobs: &[resilience::AccountedJob],
+) -> Option<StudyPeriods> {
+    let (mut first, mut last) = archive.time_span()?;
+    for j in jobs {
+        first = first.min(j.submit);
+        last = last.max(j.end);
+    }
+    if last <= first {
+        return None;
+    }
+    let span = (last - first).as_secs() + 1;
+    let boundary = first + Duration::from_secs(span * 273 / 1169);
+    Some(StudyPeriods {
+        pre_op: Period::new(first, boundary),
+        op: Period::new(boundary, last + Duration::from_secs(1)),
+    })
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["scale", "seed", "out"])?;
+    let scale: f64 = flags.value("scale").unwrap_or("0.05").parse().map_err(|_| "bad --scale")?;
+    if !(0.0..=1.0).contains(&scale) || scale == 0.0 {
+        return Err("--scale must be in (0, 1]".into());
+    }
+    let seed: u64 = flags.value("seed").unwrap_or("911706").parse().map_err(|_| "bad --seed")?;
+    let out_dir = PathBuf::from(flags.value("out").ok_or("simulate needs --out DIR")?);
+    std::fs::create_dir_all(out_dir.join("logs")).map_err(|e| format!("creating {out_dir:?}: {e}"))?;
+
+    let mut config = if scale >= 1.0 { FaultConfig::delta() } else { FaultConfig::delta_scaled(scale) };
+    config.seed = seed;
+    let campaign = Campaign::new(config).run();
+    let cluster = Cluster::new(campaign.config.spec);
+    let workload = if scale >= 1.0 {
+        WorkloadConfig::delta()
+    } else {
+        WorkloadConfig::delta_scaled(scale)
+    };
+    let outcome =
+        Simulation::new(&cluster, workload, seed).run(&campaign.ground_truth, &campaign.holds);
+
+    // Per-day log files.
+    let mut days = 0;
+    for (day, _) in campaign.archive.days() {
+        let text = campaign.archive.render_day(day).expect("day exists");
+        let date = Timestamp::from_unix(day * 86_400);
+        let (y, m, d) = date.ymd();
+        let path = out_dir.join("logs").join(format!("syslog-{y:04}{m:02}{d:02}.log"));
+        std::fs::write(&path, text).map_err(|e| format!("writing {path:?}: {e}"))?;
+        days += 1;
+    }
+    // Job + outage CSVs.
+    let jobs_csv = csvio::render_jobs(&bridge::jobs(&outcome.jobs));
+    std::fs::write(out_dir.join("gpu_jobs.csv"), jobs_csv).map_err(|e| e.to_string())?;
+    let cpu_csv = csvio::render_jobs(&bridge::jobs(&outcome.cpu_jobs));
+    std::fs::write(out_dir.join("cpu_jobs.csv"), cpu_csv).map_err(|e| e.to_string())?;
+    let outage_csv = csvio::render_outages(&bridge::outages(campaign.ledger.outages()));
+    std::fs::write(out_dir.join("outages.csv"), outage_csv).map_err(|e| e.to_string())?;
+
+    println!(
+        "wrote {days} log days, {} GPU jobs, {} CPU jobs, {} outages to {}",
+        outcome.jobs.len(),
+        outcome.cpu_jobs.len(),
+        campaign.ledger.outage_count(),
+        out_dir.display()
+    );
+    println!(
+        "analyze it back with:\n  delta-cli analyze {}/logs --jobs {}/gpu_jobs.csv --cpu-jobs {}/cpu_jobs.csv --outages {}/outages.csv",
+        out_dir.display(),
+        out_dir.display(),
+        out_dir.display(),
+        out_dir.display()
+    );
+    Ok(())
+}
+
+fn cmd_taxonomy() -> Result<(), String> {
+    println!(
+        "{:<10} {:<26} {:<13} {:<17} Description",
+        "XID", "Event", "Category", "Recovery"
+    );
+    for kind in ErrorKind::STUDIED {
+        let codes: Vec<String> = kind.codes().iter().map(u16::to_string).collect();
+        println!(
+            "{:<10} {:<26} {:<13} {:<17} {}",
+            codes.join("/"),
+            kind.abbreviation(),
+            kind.category().label(),
+            kind.recovery().label(),
+            kind.description()
+        );
+    }
+    for kind in [ErrorKind::GpuSoftware, ErrorKind::ResetChannel] {
+        let codes: Vec<String> = kind.codes().iter().map(u16::to_string).collect();
+        println!(
+            "{:<10} {:<26} {:<13} {:<17} {} (excluded from the study)",
+            codes.join("/"),
+            kind.abbreviation(),
+            kind.category().label(),
+            kind.recovery().label(),
+            kind.description()
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_positionals_and_options() {
+        let flags = parse_flags(
+            &args(&["logs/a.log", "--jobs", "j.csv", "--deep", "logs/b.log"]),
+            &["jobs"],
+        )
+        .unwrap();
+        assert_eq!(flags.positionals, vec!["logs/a.log", "logs/b.log"]);
+        assert_eq!(flags.value("jobs"), Some("j.csv"));
+        assert!(flags.has("deep"));
+        assert!(!flags.has("jobs") || flags.value("jobs").is_some());
+        assert_eq!(flags.value("missing"), None);
+    }
+
+    #[test]
+    fn value_flag_without_value_errors() {
+        let err = parse_flags(&args(&["--jobs"]), &["jobs"]).unwrap_err();
+        assert!(err.contains("--jobs"));
+    }
+
+    #[test]
+    fn later_values_win() {
+        let flags =
+            parse_flags(&args(&["--seed", "1", "--seed", "2"]), &["seed"]).unwrap();
+        assert_eq!(flags.value("seed"), Some("2"));
+    }
+
+    #[test]
+    fn infer_periods_keeps_delta_ratio() {
+        let mut archive = hpclog::archive::Archive::new();
+        let start = Timestamp::from_ymd_hms(2022, 1, 1, 0, 0, 0).unwrap();
+        let end = start + Duration::from_days(1169);
+        archive.push(hpclog::LogLine::new(start, "gpub001", "kernel", "first"));
+        archive.push(hpclog::LogLine::new(end, "gpub001", "kernel", "last"));
+        let periods = infer_periods(&archive, &[]).unwrap();
+        assert_eq!(periods.pre_op.start, start);
+        let pre_days = periods.pre_op.days();
+        assert!((pre_days - 273.0).abs() < 1.5, "{pre_days}");
+        assert!(periods.op.end > end);
+    }
+
+    #[test]
+    fn year_from_filename_variants() {
+        assert_eq!(year_from_filename(Path::new("syslog-20220105.log")), Some(2022));
+        assert_eq!(year_from_filename(Path::new("logs/node-20251231-full.log")), Some(2025));
+        assert_eq!(year_from_filename(Path::new("messages.log")), None);
+        assert_eq!(year_from_filename(Path::new("build-12345678.log")), None); // year 1234 out of range
+    }
+
+    #[test]
+    fn probe_year_prefers_parseable_year() {
+        // Feb 29 only parses in 2024 among the candidates.
+        let text = "Feb 29 12:00:00 gpub001 kernel: leap day\n";
+        assert_eq!(probe_year(text), 2024);
+    }
+
+    #[test]
+    fn infer_periods_empty_is_none() {
+        let archive = hpclog::archive::Archive::new();
+        assert!(infer_periods(&archive, &[]).is_none());
+    }
+}

@@ -1,0 +1,181 @@
+//! End-to-end reproduction of *"Characterizing Modern GPU Resilience and
+//! Impact in HPC Systems: A Case Study of A100 GPUs"* (DSN 2025).
+//!
+//! This umbrella crate re-exports the whole workspace and provides the
+//! [`bridge`] between the simulation substrates (which produce
+//! `clustersim`/`slurmsim` records) and the analysis pipeline (which
+//! consumes its own sacct-like input types, so it can equally ingest real
+//! exports).
+//!
+//! # The crates
+//!
+//! | crate | role |
+//! |-------|------|
+//! | [`simrng`] | deterministic PRNG + distributions |
+//! | [`simtime`] | civil time + the study calendar |
+//! | [`xid`] | NVIDIA XID error taxonomy |
+//! | [`hpclog`] | syslog substrate: formats, patterns, extraction |
+//! | [`clustersim`] | the Delta cluster model |
+//! | [`faultsim`] | calibrated discrete-event fault injection |
+//! | [`slurmsim`] | workload generation + scheduling + error co-simulation |
+//! | [`resilience`] | the paper's analysis pipeline |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use delta_gpu_resilience::prelude::*;
+//!
+//! // 1. Inject faults over a scaled-down Delta for a fast demo.
+//! let mut config = FaultConfig::delta_scaled(0.02);
+//! config.seed = 42;
+//! let campaign = Campaign::new(config).run();
+//!
+//! // 2. Run a matching workload through the scheduler.
+//! let cluster = Cluster::new(campaign.config.spec);
+//! let workload = WorkloadConfig::delta_scaled(0.002);
+//! let outcome = Simulation::new(&cluster, workload, 42)
+//!     .run(&campaign.ground_truth, &campaign.holds);
+//!
+//! // 3. Analyse logs + jobs + outages with the paper's pipeline.
+//! let mut pipeline = Pipeline::delta();
+//! pipeline.periods = campaign.config.periods;
+//! let report = pipeline.run(
+//!     &campaign.archive,
+//!     &bridge::jobs(&outcome.jobs),
+//!     &bridge::jobs(&outcome.cpu_jobs),
+//!     &bridge::outages(campaign.ledger.outages()),
+//! );
+//! assert!(report.coalesce_summary.errors > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use clustersim;
+pub use faultsim;
+pub use hpclog;
+pub use resilience;
+pub use simrng;
+pub use simtime;
+pub use slurmsim;
+pub use xid;
+
+/// The common imports for examples and tests.
+pub mod prelude {
+    pub use crate::bridge;
+    pub use clustersim::{Cluster, ClusterSpec, DowntimeLedger, GpuErrorEvent, GpuId, NodeId};
+    pub use faultsim::{Campaign, CampaignOutput, FaultConfig, StormConfig};
+    pub use resilience::findings::Findings;
+    pub use resilience::report;
+    pub use resilience::{AccountedJob, OutageRecord, Pipeline, StudyReport};
+    pub use simrng::Rng;
+    pub use simtime::{Duration, Period, Phase, StudyPeriods, Timestamp};
+    pub use slurmsim::{JobRecord, JobState, KillModel, Simulation, WorkloadConfig};
+    pub use xid::{Category, ErrorKind, RecoveryAction, XidCode};
+}
+
+/// Conversions from simulator output records to analysis input records.
+///
+/// The analysis pipeline deliberately owns its input types (they model a
+/// Slurm database export); these helpers map the simulators' richer
+/// structures down to them.
+pub mod bridge {
+    use resilience::{AccountedJob, OutageRecord};
+
+    /// Converts scheduler job records to sacct-style analysis records.
+    pub fn jobs(records: &[slurmsim::JobRecord]) -> Vec<AccountedJob> {
+        records.iter().map(job).collect()
+    }
+
+    /// Converts one job record.
+    pub fn job(record: &slurmsim::JobRecord) -> AccountedJob {
+        AccountedJob {
+            id: record.id.0,
+            name: record.name.clone(),
+            submit: record.submit,
+            start: record.start,
+            end: record.end,
+            gpus: record.gpus,
+            gpu_slots: record
+                .gpu_ids
+                .iter()
+                .map(|g| (g.node.hostname(), g.index))
+                .collect(),
+            completed: record.state.is_success(),
+        }
+    }
+
+    /// Converts ledger outages to analysis outage records.
+    pub fn outages(outages: &[clustersim::Outage]) -> Vec<OutageRecord> {
+        outages
+            .iter()
+            .map(|o| OutageRecord {
+                host: o.node.hostname(),
+                start: o.start,
+                duration: o.duration,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::bridge;
+    use clustersim::{GpuId, NodeId, Outage};
+    use simtime::{Duration, Timestamp};
+    use slurmsim::{JobId, JobRecord, JobState};
+    use xid::RecoveryAction;
+
+    #[test]
+    fn job_bridge_maps_fields() {
+        let record = JobRecord {
+            id: JobId(7),
+            name: "train_model".to_owned(),
+            submit: Timestamp::from_unix(10),
+            start: Timestamp::from_unix(20),
+            end: Timestamp::from_unix(30),
+            gpus: 2,
+            nodes: vec![NodeId::new(4)],
+            gpu_ids: vec![GpuId::new(NodeId::new(4), 0), GpuId::new(NodeId::new(4), 3)],
+            state: JobState::Completed,
+        };
+        let job = bridge::job(&record);
+        assert_eq!(job.id, 7);
+        assert!(job.completed);
+        assert_eq!(job.gpu_slots, vec![("gpub005".to_owned(), 0), ("gpub005".to_owned(), 3)]);
+        assert!(job.is_ml());
+    }
+
+    #[test]
+    fn failed_states_map_to_not_completed() {
+        for state in [JobState::Failed, JobState::Cancelled, JobState::Timeout, JobState::NodeFail]
+        {
+            let record = JobRecord {
+                id: JobId(1),
+                name: "x".to_owned(),
+                submit: Timestamp::from_unix(0),
+                start: Timestamp::from_unix(0),
+                end: Timestamp::from_unix(1),
+                gpus: 1,
+                nodes: vec![],
+                gpu_ids: vec![],
+                state,
+            };
+            assert!(!bridge::job(&record).completed, "{state}");
+        }
+    }
+
+    #[test]
+    fn outage_bridge_maps_hostnames() {
+        let outage = Outage {
+            node: NodeId::new(0),
+            start: Timestamp::from_unix(100),
+            duration: Duration::from_mins(53),
+            action: RecoveryAction::NodeReboot,
+        };
+        let records = bridge::outages(&[outage]);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].host, "gpub001");
+        assert!((records[0].hours() - 53.0 / 60.0).abs() < 1e-12);
+    }
+}
