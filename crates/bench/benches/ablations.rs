@@ -5,8 +5,11 @@
 //! * attribution-window sweep — sensitivity of the Table II join;
 //! * storm on/off — what the 17-day episode costs the parsing stage;
 //! * pattern-matching — the filter engine vs a naive substring scan.
+//!
+//! Plain `harness = false` binaries on the in-repo [`bench::stopwatch`]
+//! harness. Run with `cargo bench -p bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::stopwatch::bench;
 use faultsim::{Campaign, FaultConfig};
 use hpclog::extract::XidExtractor;
 use hpclog::pattern::FilterSet;
@@ -24,29 +27,27 @@ fn corpus_events(storm: bool, seed: u64) -> (Vec<String>, Vec<hpclog::XidEvent>)
     let campaign = Campaign::new(config).run();
     let lines: Vec<String> = campaign.archive.iter().map(|l| l.to_string()).collect();
     let mut extractor = XidExtractor::studied_only(2022);
-    let events: Vec<_> = campaign.archive.iter().filter_map(|l| extractor.extract(l)).collect();
+    let events: Vec<_> = campaign
+        .archive
+        .iter()
+        .filter_map(|l| extractor.extract(l))
+        .collect();
     (lines, events)
 }
 
-fn bench_coalesce_window_sweep(c: &mut Criterion) {
+fn bench_coalesce_window_sweep() {
     let (_, events) = corpus_events(true, 0xAB1);
-    let mut group = c.benchmark_group("ablation_coalesce_window");
-    group.throughput(Throughput::Elements(events.len() as u64));
     for window_secs in [1u64, 5, 20, 60, 300, 600] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(window_secs),
-            &window_secs,
-            |b, &secs| {
-                b.iter(|| {
-                    black_box(coalesce(events.clone(), Duration::from_secs(secs)).len())
-                })
-            },
+        bench(
+            &format!("ablation_coalesce_window/{window_secs}"),
+            events.len() as u64,
+            10,
+            || coalesce(events.clone(), Duration::from_secs(window_secs)).len(),
         );
     }
-    group.finish();
 }
 
-fn bench_attribution_window_sweep(c: &mut Criterion) {
+fn bench_attribution_window_sweep() {
     use clustersim::Cluster;
     use delta_gpu_resilience::bridge;
     use slurmsim::{Simulation, WorkloadConfig};
@@ -74,39 +75,39 @@ fn bench_attribution_window_sweep(c: &mut Criterion) {
         .collect();
     let errors = coalesce(events, Duration::from_secs(20));
 
-    let mut group = c.benchmark_group("ablation_attribution_window");
     for window_secs in [5u64, 20, 60] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(window_secs),
-            &window_secs,
-            |b, &secs| {
-                b.iter(|| {
-                    black_box(JobImpact::compute(&jobs, &errors, Duration::from_secs(secs)))
-                })
+        bench(
+            &format!("ablation_attribution_window/{window_secs}"),
+            errors.len() as u64,
+            10,
+            || JobImpact::compute(&jobs, &errors, Duration::from_secs(window_secs)),
+        );
+    }
+}
+
+fn bench_storm_parse_cost() {
+    let (with_storm, _) = corpus_events(true, 0xAB3);
+    let (without_storm, _) = corpus_events(false, 0xAB3);
+    for (name, lines) in [
+        ("with_storm", &with_storm),
+        ("without_storm", &without_storm),
+    ] {
+        bench(
+            &format!("ablation_storm_parse/{name}"),
+            lines.len() as u64,
+            5,
+            || {
+                let mut extractor = XidExtractor::studied_only(2022);
+                lines
+                    .iter()
+                    .filter_map(|l| extractor.extract_raw(l))
+                    .count()
             },
         );
     }
-    group.finish();
 }
 
-fn bench_storm_parse_cost(c: &mut Criterion) {
-    let (with_storm, _) = corpus_events(true, 0xAB3);
-    let (without_storm, _) = corpus_events(false, 0xAB3);
-    let mut group = c.benchmark_group("ablation_storm_parse");
-    group.sample_size(10);
-    for (name, lines) in [("with_storm", &with_storm), ("without_storm", &without_storm)] {
-        group.throughput(Throughput::Elements(lines.len() as u64));
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut extractor = XidExtractor::studied_only(2022);
-                black_box(lines.iter().filter_map(|l| extractor.extract_raw(l)).count())
-            })
-        });
-    }
-    group.finish();
-}
-
-fn bench_pattern_engine(c: &mut Criterion) {
+fn bench_pattern_engine() {
     let (lines, _) = corpus_events(false, 0xAB4);
     let filter = FilterSet::compile(&[
         "*NVRM: Xid (PCI:{w}): {d},*",
@@ -114,13 +115,17 @@ fn bench_pattern_engine(c: &mut Criterion) {
         "*fallen off the bus*",
     ])
     .expect("static patterns compile");
-    let mut group = c.benchmark_group("ablation_pattern_matching");
-    group.throughput(Throughput::Elements(lines.len() as u64));
-    group.bench_function("filterset", |b| {
-        b.iter(|| black_box(lines.iter().filter(|l| filter.matches(l)).count()))
-    });
-    group.bench_function("naive_substring", |b| {
-        b.iter(|| {
+    bench(
+        "ablation_pattern_matching/filterset",
+        lines.len() as u64,
+        10,
+        || black_box(lines.iter().filter(|l| filter.matches(l)).count()),
+    );
+    bench(
+        "ablation_pattern_matching/naive_substring",
+        lines.len() as u64,
+        10,
+        || {
             black_box(
                 lines
                     .iter()
@@ -131,16 +136,13 @@ fn bench_pattern_engine(c: &mut Criterion) {
                     })
                     .count(),
             )
-        })
-    });
-    group.finish();
+        },
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_coalesce_window_sweep,
-    bench_attribution_window_sweep,
-    bench_storm_parse_cost,
-    bench_pattern_engine
-);
-criterion_main!(benches);
+fn main() {
+    bench_coalesce_window_sweep();
+    bench_attribution_window_sweep();
+    bench_storm_parse_cost();
+    bench_pattern_engine();
+}

@@ -1,8 +1,12 @@
 //! Throughput benchmarks for every pipeline stage: log parsing/extraction,
 //! coalescing, the impact join, and whole-campaign execution.
+//!
+//! Plain `harness = false` binaries on the in-repo [`bench::stopwatch`]
+//! harness (no external benchmarking dependency; the workspace must build
+//! offline). Run with `cargo bench -p bench`.
 
+use bench::stopwatch::bench;
 use clustersim::Cluster;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use delta_gpu_resilience::bridge;
 use faultsim::{Campaign, FaultConfig};
 use hpclog::extract::XidExtractor;
@@ -27,95 +31,83 @@ fn build_corpus() -> Corpus {
     let campaign = Campaign::new(config).run();
     let raw_lines: Vec<String> = campaign.archive.iter().map(|l| l.to_string()).collect();
     let mut extractor = XidExtractor::studied_only(2022);
-    let events: Vec<_> = campaign.archive.iter().filter_map(|l| extractor.extract(l)).collect();
+    let events: Vec<_> = campaign
+        .archive
+        .iter()
+        .filter_map(|l| extractor.extract(l))
+        .collect();
     let errors = coalesce(events.clone(), Duration::from_secs(20));
 
     let cluster = Cluster::new(campaign.config.spec);
     let outcome = Simulation::new(&cluster, WorkloadConfig::delta_scaled(0.03), 1)
         .run(&campaign.ground_truth, &campaign.holds);
-    Corpus { raw_lines, events, jobs: bridge::jobs(&outcome.jobs), errors }
+    Corpus {
+        raw_lines,
+        events,
+        jobs: bridge::jobs(&outcome.jobs),
+        errors,
+    }
 }
 
-fn bench_stages(c: &mut Criterion) {
+fn main() {
     let corpus = build_corpus();
 
     // Stage I: raw-line parsing + XID extraction.
-    let mut group = c.benchmark_group("stage1_extract");
-    group.throughput(Throughput::Elements(corpus.raw_lines.len() as u64));
-    group.bench_function("parse_and_extract", |b| {
-        b.iter(|| {
+    bench(
+        "stage1_extract/parse_and_extract",
+        corpus.raw_lines.len() as u64,
+        10,
+        || {
             let mut extractor = XidExtractor::studied_only(2022);
-            let n = corpus
+            corpus
                 .raw_lines
                 .iter()
                 .filter_map(|l| extractor.extract_raw(l))
-                .count();
-            black_box(n)
-        })
-    });
-    group.finish();
+                .count()
+        },
+    );
 
     // Stage II: coalescing.
-    let mut group = c.benchmark_group("stage2_coalesce");
-    group.throughput(Throughput::Elements(corpus.events.len() as u64));
-    group.bench_function("coalesce_20s", |b| {
-        b.iter_batched(
-            || corpus.events.clone(),
-            |events| black_box(coalesce(events, Duration::from_secs(20))),
-            BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+    bench(
+        "stage2_coalesce/coalesce_20s",
+        corpus.events.len() as u64,
+        10,
+        || coalesce(corpus.events.clone(), Duration::from_secs(20)),
+    );
 
     // Stage III: the impact join.
-    let mut group = c.benchmark_group("stage3_impact");
-    group.throughput(Throughput::Elements(corpus.errors.len() as u64));
-    group.bench_function("attribution_join", |b| {
-        b.iter(|| {
-            black_box(JobImpact::compute(
-                &corpus.jobs,
-                &corpus.errors,
-                Duration::from_secs(20),
-            ))
-        })
-    });
-    group.finish();
+    bench(
+        "stage3_impact/attribution_join",
+        corpus.errors.len() as u64,
+        10,
+        || JobImpact::compute(&corpus.jobs, &corpus.errors, Duration::from_secs(20)),
+    );
 
     // Whole campaign (fault injection only, logs off) and whole pipeline.
-    let mut group = c.benchmark_group("end_to_end");
-    group.sample_size(10);
-    group.bench_function("campaign_1pct_no_logs", |b| {
-        b.iter(|| {
-            let mut config = FaultConfig::delta_scaled(0.01);
-            config.seed = 3;
-            config.emit_logs = false;
-            black_box(Campaign::new(config).run())
-        })
+    bench("end_to_end/campaign_1pct_no_logs", 0, 5, || {
+        let mut config = FaultConfig::delta_scaled(0.01);
+        config.seed = 3;
+        config.emit_logs = false;
+        Campaign::new(config).run()
     });
-    group.bench_function("scheduler_1pct", |b| {
+
+    {
         let mut config = FaultConfig::delta_scaled(0.01);
         config.seed = 4;
         config.emit_logs = false;
         let campaign = Campaign::new(config).run();
         let cluster = Cluster::new(campaign.config.spec);
-        b.iter(|| {
-            black_box(
-                Simulation::new(&cluster, WorkloadConfig::delta_scaled(0.01), 5)
-                    .run(&campaign.ground_truth, &campaign.holds),
-            )
-        })
-    });
-    group.bench_function("pipeline_on_corpus", |b| {
+        bench("end_to_end/scheduler_1pct", 0, 5, || {
+            Simulation::new(&cluster, WorkloadConfig::delta_scaled(0.01), 5)
+                .run(&campaign.ground_truth, &campaign.holds)
+        });
+    }
+
+    {
         let mut pipeline = Pipeline::delta();
         pipeline.periods = simtime::StudyPeriods::delta_scaled(0.03);
-        b.iter_batched(
-            || corpus.events.clone(),
-            |events| black_box(pipeline.run_events(events, None, &corpus.jobs, &[], &[])),
-            BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+        bench("end_to_end/pipeline_on_corpus", 0, 5, || {
+            black_box(pipeline.run_events(corpus.events.clone(), None, &corpus.jobs, &[], &[]))
+        });
+    }
 }
-
-criterion_group!(benches, bench_stages);
-criterion_main!(benches);

@@ -47,7 +47,10 @@ where
 
 fn main() {
     let options = RunOptions::from_args();
-    banner("Burn-in ablation (E7): infant mortality vs two-rate model", options);
+    banner(
+        "Burn-in ablation (E7): infant mortality vs two-rate model",
+        options,
+    );
     let periods = StudyPeriods::delta_scaled(options.scale.min(0.3));
     let whole = periods.whole();
 

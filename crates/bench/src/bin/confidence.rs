@@ -64,9 +64,18 @@ fn trial(scale: f64, seed: u64) -> Metrics {
         &bridge::outages(campaign.ledger.outages()),
     );
     Metrics {
-        mtbe_pre: report.stats.overall_mtbe_per_node(Phase::PreOp).unwrap_or(f64::NAN),
-        mtbe_op: report.stats.overall_mtbe_per_node(Phase::Op).unwrap_or(f64::NAN),
-        memory_ratio: report.stats.memory_vs_hardware_ratio(Phase::Op).unwrap_or(f64::NAN),
+        mtbe_pre: report
+            .stats
+            .overall_mtbe_per_node(Phase::PreOp)
+            .unwrap_or(f64::NAN),
+        mtbe_op: report
+            .stats
+            .overall_mtbe_per_node(Phase::Op)
+            .unwrap_or(f64::NAN),
+        memory_ratio: report
+            .stats
+            .memory_vs_hardware_ratio(Phase::Op)
+            .unwrap_or(f64::NAN),
         gsp_ratio: report.stats.gsp_degradation_ratio().unwrap_or(f64::NAN),
         p_fail_mmu: report
             .impact
@@ -100,7 +109,10 @@ fn ci(values: &[f64]) -> (f64, f64, usize) {
 fn main() {
     let mut args = std::env::args().skip(1);
     let scale: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.1);
-    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(DEFAULT_SEED);
+    let seed: u64 = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
     let trials: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
     println!("=== Confidence (E8): {trials} trials at scale {scale}, base seed {seed:#x} ===");
 
@@ -110,7 +122,10 @@ fn main() {
         let handles: Vec<_> = (0..trials)
             .map(|i| scope.spawn(move || trial(scale, seed.wrapping_add(i as u64))))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("trial panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("trial panicked"))
+            .collect()
     });
 
     let rows: [(&str, f64, MetricFn); 7] = [

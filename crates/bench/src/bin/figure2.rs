@@ -12,5 +12,8 @@ fn main() {
     banner("Figure 2 — unavailability time distribution", options);
     let study = run_study(options, false);
     println!("{}", resilience::report::figure2(&study.report));
-    println!("--- CSV ---\n{}", resilience::report::figure2_csv(&study.report));
+    println!(
+        "--- CSV ---\n{}",
+        resilience::report::figure2_csv(&study.report)
+    );
 }

@@ -25,7 +25,11 @@ fn main() {
     banner("H100/Grace-Hopper projection (E10)", options);
 
     // A hypothetical 200-node, 4-way GH200 partition.
-    let spec = ClusterSpec { four_way_nodes: 200, eight_way_nodes: 0, cpu_nodes: 0 };
+    let spec = ClusterSpec {
+        four_way_nodes: 200,
+        eight_way_nodes: 0,
+        cpu_nodes: 0,
+    };
     println!(
         "projected system: {} nodes / {} GPUs; A100-measured hazards, GSP scaled\n",
         spec.gpu_node_count(),

@@ -17,5 +17,8 @@ fn main() {
         study.report.coalesce_summary.ratio()
     );
     println!("{}", resilience::report::table1(&study.report));
-    println!("--- CSV ---\n{}", resilience::report::table1_csv(&study.report));
+    println!(
+        "--- CSV ---\n{}",
+        resilience::report::table1_csv(&study.report)
+    );
 }

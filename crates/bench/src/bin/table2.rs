@@ -11,5 +11,8 @@ fn main() {
     banner("Table II — GPU-error impact on jobs", options);
     let study = run_study(options, false);
     println!("{}", resilience::report::table2(&study.report));
-    println!("--- CSV ---\n{}", resilience::report::table2_csv(&study.report));
+    println!(
+        "--- CSV ---\n{}",
+        resilience::report::table2_csv(&study.report)
+    );
 }

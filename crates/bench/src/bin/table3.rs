@@ -12,5 +12,8 @@ fn main() {
     banner("Table III — job distribution and GPU hours", options);
     let study = run_study(options, false);
     println!("{}", resilience::report::table3(&study.report));
-    println!("--- CSV ---\n{}", resilience::report::table3_csv(&study.report));
+    println!(
+        "--- CSV ---\n{}",
+        resilience::report::table3_csv(&study.report)
+    );
 }

@@ -41,7 +41,11 @@ fn main() {
         let out = Campaign::new(config).run();
         let hours = out.config.periods.op.hours();
         let total = out.stats.total(Phase::Op);
-        let mtbe = if total == 0 { f64::NAN } else { hours / total as f64 * 106.0 };
+        let mtbe = if total == 0 {
+            f64::NAN
+        } else {
+            hours / total as f64 * 106.0
+        };
         println!(
             "{:>12.2} {:>10} {:>10} {:>10} {:>14.0}",
             u,

@@ -34,7 +34,10 @@ fn main() {
         .filter_map(|l| extractor.extract(l))
         .collect();
 
-    println!("\ncoalescing window sweep (raw XID lines: {}):", events.len());
+    println!(
+        "\ncoalescing window sweep (raw XID lines: {}):",
+        events.len()
+    );
     println!(
         "{:>8} {:>10} {:>10} {:>10} {:>10}",
         "Δt (s)", "errors", "GSP", "MMU", "storm-GPU"
@@ -64,7 +67,10 @@ fn main() {
         .cloned()
         .collect();
     let jobs = delta_gpu_resilience::bridge::jobs(&study.outcome.jobs);
-    println!("\nattribution window sweep (op-period errors: {}):", op_errors.len());
+    println!(
+        "\nattribution window sweep (op-period errors: {}):",
+        op_errors.len()
+    );
     println!(
         "{:>10} {:>12} {:>14} {:>12}",
         "window (s)", "GPU-failed", "P(fail|MMU)%", "P(fail|GSP)%"

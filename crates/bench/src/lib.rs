@@ -39,12 +39,21 @@ impl RunOptions {
         let mut args = std::env::args().skip(1);
         let scale = args
             .next()
-            .map(|a| a.parse::<f64>().unwrap_or_else(|_| panic!("bad SCALE {a:?}")))
+            .map(|a| {
+                a.parse::<f64>()
+                    .unwrap_or_else(|_| panic!("bad SCALE {a:?}"))
+            })
             .unwrap_or(1.0);
-        assert!(scale > 0.0 && scale <= 1.0, "SCALE must be in (0, 1], got {scale}");
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "SCALE must be in (0, 1], got {scale}"
+        );
         let seed = args
             .next()
-            .map(|a| a.parse::<u64>().unwrap_or_else(|_| panic!("bad SEED {a:?}")))
+            .map(|a| {
+                a.parse::<u64>()
+                    .unwrap_or_else(|_| panic!("bad SEED {a:?}"))
+            })
             .unwrap_or(DEFAULT_SEED);
         RunOptions { scale, seed }
     }
@@ -116,7 +125,56 @@ pub fn run_study(options: RunOptions, emit_logs: bool) -> Study {
             &bridge::outages(campaign.ledger.outages()),
         )
     };
-    Study { campaign, outcome, report }
+    Study {
+        campaign,
+        outcome,
+        report,
+    }
+}
+
+/// A minimal wall-clock micro-benchmark harness.
+///
+/// The Criterion dependency was dropped so the workspace builds offline
+/// (DESIGN.md §4); these benches need only medians and throughput, which
+/// ~40 lines of `std::time::Instant` provide. Timings are indicative, not
+/// statistically rigorous — EXPERIMENTS.md records them as such.
+pub mod stopwatch {
+    use std::time::Instant;
+
+    /// Runs `f` once as warm-up and then `iters` timed times, printing
+    /// `name: median per-iter time` plus per-element throughput when
+    /// `elements` is non-zero.
+    pub fn bench<T>(name: &str, elements: u64, iters: u32, mut f: impl FnMut() -> T) {
+        std::hint::black_box(f());
+        let mut samples: Vec<f64> = (0..iters.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(f());
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        if elements > 0 && median > 0.0 {
+            println!(
+                "{name:<40} {:>12} /iter  {:>14.0} elem/s",
+                human_time(median),
+                elements as f64 / median,
+            );
+        } else {
+            println!("{name:<40} {:>12} /iter", human_time(median));
+        }
+    }
+
+    fn human_time(secs: f64) -> String {
+        if secs >= 1.0 {
+            format!("{secs:.2} s")
+        } else if secs >= 1e-3 {
+            format!("{:.2} ms", secs * 1e3)
+        } else {
+            format!("{:.2} us", secs * 1e6)
+        }
+    }
 }
 
 /// Prints the standard experiment header.
@@ -133,7 +191,13 @@ mod tests {
 
     #[test]
     fn run_study_smoke() {
-        let study = run_study(RunOptions { scale: 0.01, seed: 1 }, true);
+        let study = run_study(
+            RunOptions {
+                scale: 0.01,
+                seed: 1,
+            },
+            true,
+        );
         assert!(!study.campaign.ground_truth.is_empty());
         assert!(!study.outcome.jobs.is_empty());
         assert!(study.report.coalesce_summary.errors > 0);
@@ -141,7 +205,13 @@ mod tests {
 
     #[test]
     fn statistics_only_path_works() {
-        let study = run_study(RunOptions { scale: 0.01, seed: 2 }, false);
+        let study = run_study(
+            RunOptions {
+                scale: 0.01,
+                seed: 2,
+            },
+            false,
+        );
         assert_eq!(study.campaign.archive.line_count(), 0);
         assert!(study.report.coalesce_summary.errors > 0);
     }

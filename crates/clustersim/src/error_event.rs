@@ -45,13 +45,22 @@ pub struct GpuErrorEvent {
 impl GpuErrorEvent {
     /// Creates an event.
     pub fn new(time: Timestamp, gpu: GpuId, kind: ErrorKind, incident: IncidentId) -> Self {
-        GpuErrorEvent { time, gpu, kind, incident }
+        GpuErrorEvent {
+            time,
+            gpu,
+            kind,
+            incident,
+        }
     }
 }
 
 impl fmt::Display for GpuErrorEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} {} ({})", self.time, self.gpu, self.kind, self.incident)
+        write!(
+            f,
+            "{} {} {} ({})",
+            self.time, self.gpu, self.kind, self.incident
+        )
     }
 }
 

@@ -52,7 +52,10 @@ impl HealthPolicy {
 
     /// A custom policy.
     pub fn new(check_interval: Duration, mean_drain: Duration) -> Self {
-        HealthPolicy { check_interval, mean_drain }
+        HealthPolicy {
+            check_interval,
+            mean_drain,
+        }
     }
 
     /// How often health checks run; the mean detection delay is half this.

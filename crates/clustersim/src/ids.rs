@@ -73,7 +73,10 @@ pub struct ParseNodeIdError {
 
 impl ParseNodeIdError {
     fn new(input: &str, why: &'static str) -> Self {
-        ParseNodeIdError { input: input.to_owned(), why }
+        ParseNodeIdError {
+            input: input.to_owned(),
+            why,
+        }
     }
 }
 
@@ -126,11 +129,28 @@ impl LinkId {
     ///
     /// # Panics
     ///
-    /// Panics if `a == b`: a GPU has no link to itself.
+    /// Panics if `a == b`: a GPU has no link to itself. Use
+    /// [`LinkId::try_new`] when the endpoints come from untrusted input.
     pub fn new(node: NodeId, a: u8, b: u8) -> Self {
-        assert_ne!(a, b, "NVLink endpoints must differ");
+        match LinkId::try_new(node, a, b) {
+            Ok(link) => link,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a link id, normalising the endpoint order; fails instead of
+    /// panicking on a self-loop. This is the constructor for endpoints
+    /// parsed from logs or other external data.
+    ///
+    /// # Errors
+    ///
+    /// [`SelfLoopError`] if `a == b`.
+    pub fn try_new(node: NodeId, a: u8, b: u8) -> Result<Self, SelfLoopError> {
+        if a == b {
+            return Err(SelfLoopError { node, endpoint: a });
+        }
         let (a, b) = if a < b { (a, b) } else { (b, a) };
-        LinkId { node, a, b }
+        Ok(LinkId { node, a, b })
     }
 
     /// The two endpoint GPUs.
@@ -149,6 +169,28 @@ impl fmt::Display for LinkId {
         write!(f, "{}/nvlink{}-{}", self.node, self.a, self.b)
     }
 }
+
+/// Error returned by [`LinkId::try_new`] when both endpoints are the same
+/// GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelfLoopError {
+    /// The hosting node.
+    pub node: NodeId,
+    /// The repeated endpoint index.
+    pub endpoint: u8,
+}
+
+impl fmt::Display for SelfLoopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "NVLink endpoints must differ: {}/gpu{} linked to itself",
+            self.node, self.endpoint
+        )
+    }
+}
+
+impl Error for SelfLoopError {}
 
 #[cfg(test)]
 mod tests {
@@ -206,6 +248,17 @@ mod tests {
     #[should_panic(expected = "endpoints must differ")]
     fn link_self_loop_panics() {
         LinkId::new(NodeId::new(0), 2, 2);
+    }
+
+    #[test]
+    fn try_new_reports_self_loops() {
+        let err = LinkId::try_new(NodeId::new(0), 2, 2).unwrap_err();
+        assert_eq!(err.endpoint, 2);
+        assert!(err.to_string().contains("gpub001/gpu2"), "{err}");
+        assert_eq!(
+            LinkId::try_new(NodeId::new(0), 3, 1),
+            Ok(LinkId::new(NodeId::new(0), 1, 3))
+        );
     }
 
     #[test]

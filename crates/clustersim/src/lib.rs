@@ -44,7 +44,7 @@ mod topology;
 
 pub use error_event::{GpuErrorEvent, IncidentId};
 pub use health::{HealthPolicy, RepairPlan};
-pub use ids::{GpuId, LinkId, NodeId, ParseNodeIdError};
+pub use ids::{GpuId, LinkId, NodeId, ParseNodeIdError, SelfLoopError};
 pub use repair::{DowntimeLedger, Outage, RepairModel};
 pub use state::{GpuHealth, InvalidTransition, NodeState};
 pub use topology::{Cluster, ClusterSpec, Node};

@@ -25,8 +25,7 @@ impl RepairModel {
     /// (right-skewed), replacement mean 24 h with median 12 h.
     pub fn delta() -> Self {
         RepairModel {
-            reboot: LogNormal::from_mean_median(0.88, 0.60)
-                .expect("static parameters are valid"),
+            reboot: LogNormal::from_mean_median(0.88, 0.60).expect("static parameters are valid"),
             replacement: LogNormal::from_mean_median(24.0, 12.0)
                 .expect("static parameters are valid"),
         }
@@ -34,7 +33,10 @@ impl RepairModel {
 
     /// A custom model from explicit distributions.
     pub fn new(reboot: LogNormal, replacement: LogNormal) -> Self {
-        RepairModel { reboot, replacement }
+        RepairModel {
+            reboot,
+            replacement,
+        }
     }
 
     /// The reboot-duration distribution (hours).
@@ -117,7 +119,10 @@ pub struct DowntimeLedger {
 impl DowntimeLedger {
     /// Creates a ledger for a cluster of `node_count` nodes.
     pub fn new(node_count: usize) -> Self {
-        DowntimeLedger { node_count, outages: Vec::new() }
+        DowntimeLedger {
+            node_count,
+            outages: Vec::new(),
+        }
     }
 
     /// Records a completed outage.
@@ -179,7 +184,10 @@ impl DowntimeLedger {
 
     /// The outage durations in hours (the Fig. 2 distribution).
     pub fn duration_hours(&self) -> Vec<f64> {
-        self.outages.iter().map(|o| o.duration.as_hours_f64()).collect()
+        self.outages
+            .iter()
+            .map(|o| o.duration.as_hours_f64())
+            .collect()
     }
 }
 
@@ -202,7 +210,11 @@ mod tests {
         let mut rng = Rng::seed_from(42);
         let n = 50_000;
         let total: f64 = (0..n)
-            .map(|_| model.sample(RecoveryAction::NodeReboot, &mut rng).as_hours_f64())
+            .map(|_| {
+                model
+                    .sample(RecoveryAction::NodeReboot, &mut rng)
+                    .as_hours_f64()
+            })
             .sum();
         let mean = total / n as f64;
         assert!((mean - 0.88).abs() < 0.03, "mean repair {mean} h");
@@ -230,14 +242,25 @@ mod tests {
         let model = RepairModel::delta();
         let mut rng = Rng::seed_from(3);
         let reboot: f64 = (0..2000)
-            .map(|_| model.sample(RecoveryAction::NodeReboot, &mut rng).as_hours_f64())
+            .map(|_| {
+                model
+                    .sample(RecoveryAction::NodeReboot, &mut rng)
+                    .as_hours_f64()
+            })
             .sum::<f64>()
             / 2000.0;
         let replace: f64 = (0..2000)
-            .map(|_| model.sample(RecoveryAction::GpuReplacement, &mut rng).as_hours_f64())
+            .map(|_| {
+                model
+                    .sample(RecoveryAction::GpuReplacement, &mut rng)
+                    .as_hours_f64()
+            })
             .sum::<f64>()
             / 2000.0;
-        assert!(replace > 10.0 * reboot, "replace {replace} vs reboot {reboot}");
+        assert!(
+            replace > 10.0 * reboot,
+            "replace {replace} vs reboot {reboot}"
+        );
     }
 
     #[test]
@@ -273,7 +296,7 @@ mod tests {
     fn availability_from_mttf_formula() {
         let mut ledger = DowntimeLedger::new(1);
         ledger.record(outage(0, 0, 53)); // 0.883 h
-        // Paper: MTTF 162 h, MTTR 0.88 h -> 99.46%.
+                                         // Paper: MTTF 162 h, MTTR 0.88 h -> 99.46%.
         let a = ledger.availability_from_mttf(162.0).unwrap();
         assert!((a - 162.0 / 162.883).abs() < 1e-3, "{a}");
     }

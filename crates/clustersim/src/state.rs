@@ -173,7 +173,10 @@ pub struct InvalidTransition {
 
 impl InvalidTransition {
     fn node(from: NodeState, attempted: &'static str) -> Self {
-        InvalidTransition { from: from.to_string(), attempted }
+        InvalidTransition {
+            from: from.to_string(),
+            attempted,
+        }
     }
 }
 
@@ -242,7 +245,10 @@ mod tests {
     #[test]
     fn condemned_gpu_is_sticky() {
         let g = GpuHealth::Healthy.condemn();
-        assert_eq!(g.record_error(ErrorKind::MmuError), GpuHealth::AwaitingReplacement);
+        assert_eq!(
+            g.record_error(ErrorKind::MmuError),
+            GpuHealth::AwaitingReplacement
+        );
         assert_eq!(g.reset(), GpuHealth::AwaitingReplacement);
         assert_eq!(g.replace(), GpuHealth::Healthy);
     }
@@ -265,6 +271,8 @@ mod tests {
     fn displays() {
         assert_eq!(NodeState::Rebooting.to_string(), "rebooting");
         assert_eq!(GpuHealth::Healthy.to_string(), "healthy");
-        assert!(GpuHealth::ErrorState(ErrorKind::GspError).to_string().contains("GSP"));
+        assert!(GpuHealth::ErrorState(ErrorKind::GspError)
+            .to_string()
+            .contains("GSP"));
     }
 }

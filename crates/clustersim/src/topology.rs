@@ -20,12 +20,20 @@ impl ClusterSpec {
     /// NCSA Delta as studied: 100 four-way + 6 eight-way A100 nodes
     /// (448 GPUs) and 132 CPU-only nodes.
     pub const fn delta() -> Self {
-        ClusterSpec { four_way_nodes: 100, eight_way_nodes: 6, cpu_nodes: 132 }
+        ClusterSpec {
+            four_way_nodes: 100,
+            eight_way_nodes: 6,
+            cpu_nodes: 132,
+        }
     }
 
     /// A small spec for fast tests: 3 four-way + 1 eight-way node.
     pub const fn tiny() -> Self {
-        ClusterSpec { four_way_nodes: 3, eight_way_nodes: 1, cpu_nodes: 2 }
+        ClusterSpec {
+            four_way_nodes: 3,
+            eight_way_nodes: 1,
+            cpu_nodes: 2,
+        }
     }
 
     /// Total number of GPU nodes.
@@ -94,10 +102,16 @@ impl Cluster {
     pub fn new(spec: ClusterSpec) -> Self {
         let mut nodes = Vec::with_capacity(spec.gpu_node_count() as usize);
         for i in 0..spec.four_way_nodes {
-            nodes.push(Node { id: NodeId::new(i), gpu_count: 4 });
+            nodes.push(Node {
+                id: NodeId::new(i),
+                gpu_count: 4,
+            });
         }
         for i in 0..spec.eight_way_nodes {
-            nodes.push(Node { id: NodeId::new(spec.four_way_nodes + i), gpu_count: 8 });
+            nodes.push(Node {
+                id: NodeId::new(spec.four_way_nodes + i),
+                gpu_count: 8,
+            });
         }
         Cluster { spec, nodes }
     }
@@ -139,7 +153,8 @@ impl Cluster {
 
     /// Whether `gpu` exists in this topology.
     pub fn contains_gpu(&self, gpu: GpuId) -> bool {
-        self.node(gpu.node).is_some_and(|n| gpu.index < n.gpu_count())
+        self.node(gpu.node)
+            .is_some_and(|n| gpu.index < n.gpu_count())
     }
 
     /// GPU-hours of exposure over a window of `hours` wall-clock hours,

@@ -1,64 +1,77 @@
 //! Property tests for the cluster model: topology identities, state
-//! machine safety and downtime-ledger arithmetic.
+//! machine safety and downtime-ledger arithmetic — on the in-repo
+//! `propcheck` harness.
 
 use clustersim::{
     Cluster, ClusterSpec, DowntimeLedger, GpuHealth, LinkId, NodeId, NodeState, Outage,
 };
-use proptest::prelude::*;
+use propcheck::{run, Gen};
 use simtime::{Duration, Timestamp};
 use xid::{ErrorKind, RecoveryAction};
 
-fn spec_strategy() -> impl Strategy<Value = ClusterSpec> {
-    (1u16..64, 0u16..16, 0u16..64).prop_map(|(four, eight, cpu)| ClusterSpec {
-        four_way_nodes: four,
-        eight_way_nodes: eight,
-        cpu_nodes: cpu,
-    })
+fn arbitrary_spec(g: &mut Gen) -> ClusterSpec {
+    ClusterSpec {
+        four_way_nodes: g.u16_in(1, 64),
+        eight_way_nodes: g.u16_in(0, 16),
+        cpu_nodes: g.u16_in(0, 64),
+    }
 }
 
-proptest! {
-    /// Topology identities hold for arbitrary cluster shapes.
-    #[test]
-    fn topology_identities(spec in spec_strategy()) {
+/// Topology identities hold for arbitrary cluster shapes.
+#[test]
+fn topology_identities() {
+    run("topology_identities", 64, |g| {
+        let spec = arbitrary_spec(g);
         let cluster = Cluster::new(spec);
-        prop_assert_eq!(cluster.node_count() as u16, spec.gpu_node_count());
-        prop_assert_eq!(cluster.gpu_count() as u32, spec.gpu_count());
-        prop_assert_eq!(cluster.gpus().count(), cluster.gpu_count());
+        assert_eq!(cluster.node_count() as u16, spec.gpu_node_count());
+        assert_eq!(cluster.gpu_count() as u32, spec.gpu_count());
+        assert_eq!(cluster.gpus().count(), cluster.gpu_count());
         // Links: C(4,2)=6 per 4-way node, C(8,2)=28 per 8-way node.
-        let expected_links =
-            spec.four_way_nodes as usize * 6 + spec.eight_way_nodes as usize * 28;
-        prop_assert_eq!(cluster.links().count(), expected_links);
+        let expected_links = spec.four_way_nodes as usize * 6 + spec.eight_way_nodes as usize * 28;
+        assert_eq!(cluster.links().count(), expected_links);
         // Every GPU id the topology yields is contained by the topology.
         for gpu in cluster.gpus() {
-            prop_assert!(cluster.contains_gpu(gpu));
+            assert!(cluster.contains_gpu(gpu));
         }
         // GPU-hours scale linearly.
         let hours = 123.0;
-        prop_assert!((cluster.gpu_hours(hours) - spec.gpu_count() as f64 * hours).abs() < 1e-9);
-    }
+        assert!((cluster.gpu_hours(hours) - spec.gpu_count() as f64 * hours).abs() < 1e-9);
+    });
+}
 
-    /// Node ids round-trip through hostnames for the whole fleet.
-    #[test]
-    fn hostnames_roundtrip(index in 0u16..2000) {
-        let node = NodeId::new(index);
-        prop_assert_eq!(node.hostname().parse::<NodeId>().unwrap(), node);
-    }
+/// Node ids round-trip through hostnames for the whole fleet.
+#[test]
+fn hostnames_roundtrip() {
+    run("hostnames_roundtrip", 256, |g| {
+        let node = NodeId::new(g.u16_in(0, 2000));
+        assert_eq!(node.hostname().parse::<NodeId>().unwrap(), node);
+    });
+}
 
-    /// Links normalise endpoint order regardless of construction order.
-    #[test]
-    fn links_are_unordered_pairs(node in 0u16..200, a in 0u8..8, b in 0u8..8) {
-        prop_assume!(a != b);
+/// Links normalise endpoint order regardless of construction order.
+#[test]
+fn links_are_unordered_pairs() {
+    run("links_are_unordered_pairs", 256, |g| {
+        let node = g.u16_in(0, 200);
+        let a = g.u8_in(0, 8);
+        let b = g.u8_in(0, 8);
+        if a == b {
+            return;
+        }
         let n = NodeId::new(node);
-        prop_assert_eq!(LinkId::new(n, a, b), LinkId::new(n, b, a));
+        assert_eq!(LinkId::new(n, a, b), LinkId::new(n, b, a));
         let (lo, hi) = LinkId::new(n, a, b).endpoints();
-        prop_assert!(lo.index < hi.index);
-    }
+        assert!(lo.index < hi.index);
+    });
+}
 
-    /// Random walks over the node state machine never reach an illegal
-    /// state: every accepted transition comes from the legal graph, every
-    /// rejected one leaves the state untouched.
-    #[test]
-    fn node_state_machine_is_safe(ops in proptest::collection::vec(0u8..4, 0..64)) {
+/// Random walks over the node state machine never reach an illegal
+/// state: every accepted transition comes from the legal graph, every
+/// rejected one leaves the state untouched.
+#[test]
+fn node_state_machine_is_safe() {
+    run("node_state_machine_is_safe", 128, |g| {
+        let ops = g.vec_with(0, 64, |g| g.u8_in(0, 4));
         let mut state = NodeState::Up;
         for op in ops {
             let attempt = match op {
@@ -77,17 +90,20 @@ proptest! {
                             | (NodeState::Rebooting, NodeState::Down)
                             | (NodeState::Down, NodeState::Up)
                     );
-                    prop_assert!(legal, "illegal {state:?} -> {next:?}");
+                    assert!(legal, "illegal {state:?} -> {next:?}");
                     state = next;
                 }
                 Err(_) => { /* state unchanged by contract */ }
             }
         }
-    }
+    });
+}
 
-    /// GPU health transitions: condemned is absorbing except for replace.
-    #[test]
-    fn gpu_health_condemned_is_sticky(ops in proptest::collection::vec(0u8..3, 0..32)) {
+/// GPU health transitions: condemned is absorbing except for replace.
+#[test]
+fn gpu_health_condemned_is_sticky() {
+    run("gpu_health_condemned_is_sticky", 128, |g| {
+        let ops = g.vec_with(0, 32, |g| g.u8_in(0, 3));
         let mut health = GpuHealth::Healthy.condemn();
         for op in ops {
             health = match op {
@@ -95,15 +111,18 @@ proptest! {
                 1 => health.reset(),
                 _ => health, // no-op
             };
-            prop_assert_eq!(health, GpuHealth::AwaitingReplacement);
+            assert_eq!(health, GpuHealth::AwaitingReplacement);
         }
-        prop_assert_eq!(health.replace(), GpuHealth::Healthy);
-    }
+        assert_eq!(health.replace(), GpuHealth::Healthy);
+    });
+}
 
-    /// Ledger arithmetic: availability and MTTR agree with hand sums for
-    /// arbitrary outage sets.
-    #[test]
-    fn ledger_arithmetic(mins in proptest::collection::vec(1u64..600, 0..50)) {
+/// Ledger arithmetic: availability and MTTR agree with hand sums for
+/// arbitrary outage sets.
+#[test]
+fn ledger_arithmetic() {
+    run("ledger_arithmetic", 128, |g| {
+        let mins = g.vec_with(0, 50, |g| g.u64_in(1, 600));
         let mut ledger = DowntimeLedger::new(106);
         for (i, &m) in mins.iter().enumerate() {
             ledger.record(Outage {
@@ -114,17 +133,17 @@ proptest! {
             });
         }
         let total_hours: f64 = mins.iter().map(|&m| m as f64 / 60.0).sum();
-        prop_assert!((ledger.total_downtime_hours() - total_hours).abs() < 1e-9);
+        assert!((ledger.total_downtime_hours() - total_hours).abs() < 1e-9);
         match ledger.mttr_hours() {
             Some(mttr) => {
-                prop_assert!(!mins.is_empty());
-                prop_assert!((mttr - total_hours / mins.len() as f64).abs() < 1e-9);
+                assert!(!mins.is_empty());
+                assert!((mttr - total_hours / mins.len() as f64).abs() < 1e-9);
             }
-            None => prop_assert!(mins.is_empty()),
+            None => assert!(mins.is_empty()),
         }
         let window = 10_000.0;
         let avail = ledger.availability(window);
-        prop_assert!((0.0..=1.0).contains(&avail));
-        prop_assert!((avail - (1.0 - total_hours / (106.0 * window))).abs() < 1e-9);
-    }
+        assert!((0.0..=1.0).contains(&avail));
+        assert!((avail - (1.0 - total_hours / (106.0 * window))).abs() < 1e-9);
+    });
 }

@@ -138,8 +138,10 @@ mod tests {
 
     #[test]
     fn histogram_shape() {
-        let outages: Vec<OutageRecord> =
-            [10u64, 20, 50, 50, 55, 120, 300].iter().map(|&m| outage(m)).collect();
+        let outages: Vec<OutageRecord> = [10u64, 20, 50, 50, 55, 120, 300]
+            .iter()
+            .map(|&m| outage(m))
+            .collect();
         let a = Availability::compute(&outages, 106, 1000.0);
         let h = a.duration_histogram(4.0, 8);
         assert_eq!(h.count(), 7);

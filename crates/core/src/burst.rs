@@ -44,7 +44,10 @@ impl InterArrival {
 pub fn inter_arrivals(errors: &[CoalescedError], kind: ErrorKind) -> InterArrival {
     let mut per_gpu: HashMap<(&str, PciAddr), Vec<Timestamp>> = HashMap::new();
     for e in errors.iter().filter(|e| e.kind == kind) {
-        per_gpu.entry((e.host.as_str(), e.pci)).or_default().push(e.time);
+        per_gpu
+            .entry((e.host.as_str(), e.pci))
+            .or_default()
+            .push(e.time);
     }
     let mut gaps_h: Vec<f64> = Vec::new();
     for times in per_gpu.values_mut() {
@@ -55,11 +58,19 @@ pub fn inter_arrivals(errors: &[CoalescedError], kind: ErrorKind) -> InterArriva
     }
     let n = gaps_h.len();
     if n == 0 {
-        return InterArrival { gaps: 0, mean_hours: 0.0, std_hours: 0.0 };
+        return InterArrival {
+            gaps: 0,
+            mean_hours: 0.0,
+            std_hours: 0.0,
+        };
     }
     let mean = gaps_h.iter().sum::<f64>() / n as f64;
     let var = gaps_h.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / n as f64;
-    InterArrival { gaps: n, mean_hours: mean, std_hours: var.sqrt() }
+    InterArrival {
+        gaps: n,
+        mean_hours: mean,
+        std_hours: var.sqrt(),
+    }
 }
 
 /// One detected episode: a run of same-GPU, same-kind errors with every
@@ -93,7 +104,10 @@ impl Episode {
 pub fn detect_episodes(errors: &[CoalescedError], max_gap: Duration) -> Vec<Episode> {
     let mut per_key: HashMap<(&str, PciAddr, ErrorKind), Vec<Timestamp>> = HashMap::new();
     for e in errors {
-        per_key.entry((e.host.as_str(), e.pci, e.kind)).or_default().push(e.time);
+        per_key
+            .entry((e.host.as_str(), e.pci, e.kind))
+            .or_default()
+            .push(e.time);
     }
     let mut episodes = Vec::new();
     for ((host, pci, kind), mut times) in per_key {
@@ -118,7 +132,14 @@ pub fn detect_episodes(errors: &[CoalescedError], max_gap: Duration) -> Vec<Epis
             }
             prev = t;
         }
-        episodes.push(Episode { host: host.to_owned(), pci, kind, start, end: prev, errors: count });
+        episodes.push(Episode {
+            host: host.to_owned(),
+            pci,
+            kind,
+            start,
+            end: prev,
+            errors: count,
+        });
     }
     episodes.sort_by(|a, b| (a.start, &a.host, a.pci).cmp(&(b.start, &b.host, b.pci)));
     episodes
@@ -146,7 +167,11 @@ pub fn summarize_episodes(episodes: &[Episode], kind: ErrorKind) -> EpisodeSumma
     EpisodeSummary {
         episodes: of_kind.len(),
         errors,
-        mean_size: if of_kind.is_empty() { 0.0 } else { errors as f64 / of_kind.len() as f64 },
+        mean_size: if of_kind.is_empty() {
+            0.0
+        } else {
+            errors as f64 / of_kind.len() as f64
+        },
         max_size: of_kind.iter().map(|e| e.errors).max().unwrap_or(0),
         max_length_hours: of_kind
             .iter()
@@ -172,8 +197,9 @@ mod tests {
     #[test]
     fn regular_process_has_low_cov() {
         // Perfectly periodic gaps: CoV = 0.
-        let errors: Vec<_> =
-            (0..20).map(|i| err("n1", 0, ErrorKind::MmuError, i * 3600)).collect();
+        let errors: Vec<_> = (0..20)
+            .map(|i| err("n1", 0, ErrorKind::MmuError, i * 3600))
+            .collect();
         let ia = inter_arrivals(&errors, ErrorKind::MmuError);
         assert_eq!(ia.gaps, 19);
         assert!((ia.mean_hours - 1.0).abs() < 1e-9);
@@ -183,7 +209,9 @@ mod tests {
     #[test]
     fn bursty_process_has_high_cov() {
         // Two tight bursts a week apart.
-        let mut errors: Vec<_> = (0..10).map(|i| err("n1", 0, ErrorKind::GspError, i * 60)).collect();
+        let mut errors: Vec<_> = (0..10)
+            .map(|i| err("n1", 0, ErrorKind::GspError, i * 60))
+            .collect();
         errors.extend((0..10).map(|i| err("n1", 0, ErrorKind::GspError, 604_800 + i * 60)));
         let ia = inter_arrivals(&errors, ErrorKind::GspError);
         assert!(ia.cov().unwrap() > 2.0, "cov {:?}", ia.cov());
@@ -192,7 +220,9 @@ mod tests {
     #[test]
     fn gaps_never_cross_gpus() {
         // One error on each of 5 GPUs: no gaps at all.
-        let errors: Vec<_> = (0..5).map(|g| err("n1", g, ErrorKind::MmuError, g as u64)).collect();
+        let errors: Vec<_> = (0..5)
+            .map(|g| err("n1", g, ErrorKind::MmuError, g as u64))
+            .collect();
         let ia = inter_arrivals(&errors, ErrorKind::MmuError);
         assert_eq!(ia.gaps, 0);
         assert_eq!(ia.cov(), None);

@@ -126,14 +126,23 @@ mod tests {
     }
 
     fn ev(secs: u64, host: &str, gpu: u8, code: u16) -> XidEvent {
-        XidEvent::new(t(secs), host, PciAddr::for_gpu_index(gpu), XidCode::new(code), "d")
+        XidEvent::new(
+            t(secs),
+            host,
+            PciAddr::for_gpu_index(gpu),
+            XidCode::new(code),
+            "d",
+        )
     }
 
     const W: Duration = Duration::from_secs(60);
 
     #[test]
     fn merges_identical_within_window() {
-        let merged = coalesce([ev(0, "n1", 0, 79), ev(10, "n1", 0, 79), ev(59, "n1", 0, 79)], W);
+        let merged = coalesce(
+            [ev(0, "n1", 0, 79), ev(10, "n1", 0, 79), ev(59, "n1", 0, 79)],
+            W,
+        );
         assert_eq!(merged.len(), 1);
         assert_eq!(merged[0].merged_lines, 3);
         assert_eq!(merged[0].time, t(0));
@@ -150,7 +159,10 @@ mod tests {
     fn anchor_is_first_not_last() {
         // Lines at 0, 40, 80: 80 is within 60 of 40 but not of the anchor
         // (0), so it starts a new error — one error per Δt during storms.
-        let merged = coalesce([ev(0, "n1", 0, 79), ev(40, "n1", 0, 79), ev(80, "n1", 0, 79)], W);
+        let merged = coalesce(
+            [ev(0, "n1", 0, 79), ev(40, "n1", 0, 79), ev(80, "n1", 0, 79)],
+            W,
+        );
         assert_eq!(merged.len(), 2);
         assert_eq!(merged[0].merged_lines, 2);
         assert_eq!(merged[1].time, t(80));
@@ -227,7 +239,10 @@ mod tests {
 
     #[test]
     fn summary_ratio() {
-        let merged = coalesce([ev(0, "n1", 0, 79), ev(1, "n1", 0, 79), ev(2, "n1", 0, 79)], W);
+        let merged = coalesce(
+            [ev(0, "n1", 0, 79), ev(1, "n1", 0, 79), ev(2, "n1", 0, 79)],
+            W,
+        );
         let summary = CoalesceSummary::of(&merged);
         assert_eq!(summary.raw_lines, 3);
         assert_eq!(summary.errors, 1);

@@ -65,7 +65,10 @@ pub fn correlate(
     let mut follower_total = 0u64;
     for e in errors {
         if e.kind == follower && period.contains(e.time) {
-            follower_times.entry((e.host.as_str(), e.pci)).or_default().push(e.time);
+            follower_times
+                .entry((e.host.as_str(), e.pci))
+                .or_default()
+                .push(e.time);
             follower_total += 1;
         }
     }

@@ -5,6 +5,9 @@
 //! module defines a small, documented CSV schema for each and parses it
 //! strictly (bad rows are reported with line numbers, not skipped
 //! silently — silent data loss is how reliability studies go wrong).
+//! For end-to-end runs over untrusted exports, the `_lenient` variants
+//! keep every good row and divert bad ones into a
+//! [`QuarantineLedger`] instead of aborting.
 //!
 //! ## Job schema
 //!
@@ -25,6 +28,7 @@
 //! ```
 
 use crate::job::{AccountedJob, OutageRecord};
+use hpclog::quarantine::{QuarantineCategory, QuarantineLedger};
 use simtime::{Duration, Timestamp};
 use std::error::Error;
 use std::fmt;
@@ -37,8 +41,11 @@ pub struct CsvError {
 }
 
 impl CsvError {
-    fn new(line: usize, what: impl Into<String>) -> Self {
-        CsvError { line, what: what.into() }
+    pub(crate) fn new(line: usize, what: impl Into<String>) -> Self {
+        CsvError {
+            line,
+            what: what.into(),
+        }
     }
 
     /// The 1-based line number the error was found on.
@@ -71,7 +78,10 @@ pub fn parse_jobs(text: &str) -> Result<Vec<AccountedJob>, CsvError> {
     match lines.next() {
         Some((_, header)) if header.trim() == JOB_HEADER => {}
         Some((_, header)) => {
-            return Err(CsvError::new(1, format!("expected header {JOB_HEADER:?}, got {header:?}")))
+            return Err(CsvError::new(
+                1,
+                format!("expected header {JOB_HEADER:?}, got {header:?}"),
+            ))
         }
         None => return Err(CsvError::new(1, "empty input")),
     }
@@ -81,39 +91,49 @@ pub fn parse_jobs(text: &str) -> Result<Vec<AccountedJob>, CsvError> {
         if raw.trim().is_empty() {
             continue;
         }
-        let fields: Vec<&str> = raw.split(',').collect();
-        if fields.len() != 8 {
-            return Err(CsvError::new(line_no, format!("expected 8 fields, got {}", fields.len())));
-        }
-        let id: u64 = fields[0]
-            .parse()
-            .map_err(|_| CsvError::new(line_no, format!("bad id {:?}", fields[0])))?;
-        let time = |s: &str, what: &str| {
-            s.parse::<Timestamp>()
-                .map_err(|e| CsvError::new(line_no, format!("bad {what}: {e}")))
-        };
-        let submit = time(fields[2], "submit")?;
-        let start = time(fields[3], "start")?;
-        let end = time(fields[4], "end")?;
-        if end < start || start < submit {
-            return Err(CsvError::new(line_no, "times must satisfy submit <= start <= end"));
-        }
-        let gpus: u32 = fields[5]
-            .parse()
-            .map_err(|_| CsvError::new(line_no, format!("bad gpus {:?}", fields[5])))?;
-        let gpu_slots = parse_slots(fields[6], line_no)?;
-        jobs.push(AccountedJob {
-            id,
-            name: fields[1].to_owned(),
-            submit,
-            start,
-            end,
-            gpus,
-            gpu_slots,
-            completed: fields[7].trim() == "COMPLETED",
-        });
+        jobs.push(parse_job_row(raw, line_no)?);
     }
     Ok(jobs)
+}
+
+fn parse_job_row(raw: &str, line_no: usize) -> Result<AccountedJob, CsvError> {
+    let fields: Vec<&str> = raw.split(',').collect();
+    if fields.len() != 8 {
+        return Err(CsvError::new(
+            line_no,
+            format!("expected 8 fields, got {}", fields.len()),
+        ));
+    }
+    let id: u64 = fields[0]
+        .parse()
+        .map_err(|_| CsvError::new(line_no, format!("bad id {:?}", fields[0])))?;
+    let time = |s: &str, what: &str| {
+        s.parse::<Timestamp>()
+            .map_err(|e| CsvError::new(line_no, format!("bad {what}: {e}")))
+    };
+    let submit = time(fields[2], "submit")?;
+    let start = time(fields[3], "start")?;
+    let end = time(fields[4], "end")?;
+    if end < start || start < submit {
+        return Err(CsvError::new(
+            line_no,
+            "times must satisfy submit <= start <= end",
+        ));
+    }
+    let gpus: u32 = fields[5]
+        .parse()
+        .map_err(|_| CsvError::new(line_no, format!("bad gpus {:?}", fields[5])))?;
+    let gpu_slots = parse_slots(fields[6], line_no)?;
+    Ok(AccountedJob {
+        id,
+        name: fields[1].to_owned(),
+        submit,
+        start,
+        end,
+        gpus,
+        gpu_slots,
+        completed: fields[7].trim() == "COMPLETED",
+    })
 }
 
 fn parse_slots(field: &str, line_no: usize) -> Result<Vec<(String, u8)>, CsvError> {
@@ -140,8 +160,11 @@ pub fn render_jobs(jobs: &[AccountedJob]) -> String {
     let mut out = String::from(JOB_HEADER);
     out.push('\n');
     for j in jobs {
-        let slots: Vec<String> =
-            j.gpu_slots.iter().map(|(h, i)| format!("{h}:{i}")).collect();
+        let slots: Vec<String> = j
+            .gpu_slots
+            .iter()
+            .map(|(h, i)| format!("{h}:{i}"))
+            .collect();
         out.push_str(&format!(
             "{},{},{},{},{},{},{},{}\n",
             j.id,
@@ -180,24 +203,82 @@ pub fn parse_outages(text: &str) -> Result<Vec<OutageRecord>, CsvError> {
         if raw.trim().is_empty() {
             continue;
         }
-        let fields: Vec<&str> = raw.split(',').collect();
-        if fields.len() != 3 {
-            return Err(CsvError::new(line_no, format!("expected 3 fields, got {}", fields.len())));
-        }
-        let start = fields[1]
-            .parse::<Timestamp>()
-            .map_err(|e| CsvError::new(line_no, format!("bad start: {e}")))?;
-        let secs: u64 = fields[2]
-            .trim()
-            .parse()
-            .map_err(|_| CsvError::new(line_no, format!("bad duration {:?}", fields[2])))?;
-        outages.push(OutageRecord {
-            host: fields[0].to_owned(),
-            start,
-            duration: Duration::from_secs(secs),
-        });
+        outages.push(parse_outage_row(raw, line_no)?);
     }
     Ok(outages)
+}
+
+fn parse_outage_row(raw: &str, line_no: usize) -> Result<OutageRecord, CsvError> {
+    let fields: Vec<&str> = raw.split(',').collect();
+    if fields.len() != 3 {
+        return Err(CsvError::new(
+            line_no,
+            format!("expected 3 fields, got {}", fields.len()),
+        ));
+    }
+    let start = fields[1]
+        .parse::<Timestamp>()
+        .map_err(|e| CsvError::new(line_no, format!("bad start: {e}")))?;
+    let secs: u64 = fields[2]
+        .trim()
+        .parse()
+        .map_err(|_| CsvError::new(line_no, format!("bad duration {:?}", fields[2])))?;
+    Ok(OutageRecord {
+        host: fields[0].to_owned(),
+        start,
+        duration: Duration::from_secs(secs),
+    })
+}
+
+/// Parses a job export like [`parse_jobs`], but never fails: rows that do
+/// not parse (and a wrong or missing header) are recorded in `ledger`
+/// under [`QuarantineCategory::BadRecord`] and skipped, and every row that
+/// does parse is kept.
+pub fn parse_jobs_lenient(text: &str, ledger: &mut QuarantineLedger) -> Vec<AccountedJob> {
+    parse_rows_lenient(text, JOB_HEADER, ledger, parse_job_row)
+}
+
+/// Parses an outage export like [`parse_outages`], but never fails; see
+/// [`parse_jobs_lenient`] for the reject semantics.
+pub fn parse_outages_lenient(text: &str, ledger: &mut QuarantineLedger) -> Vec<OutageRecord> {
+    parse_rows_lenient(text, OUTAGE_HEADER, ledger, parse_outage_row)
+}
+
+fn parse_rows_lenient<T>(
+    text: &str,
+    header: &str,
+    ledger: &mut QuarantineLedger,
+    parse_row: fn(&str, usize) -> Result<T, CsvError>,
+) -> Vec<T> {
+    let mut lines = text.lines().enumerate().peekable();
+    match lines.peek() {
+        Some((_, first)) if first.trim() == header => {
+            lines.next();
+        }
+        Some((_, first)) => {
+            // A wrong header is itself a bad record, but the rows below it
+            // may still be sound — keep going.
+            ledger.record(QuarantineCategory::BadRecord, 1, first.as_bytes());
+            lines.next();
+        }
+        None => return Vec::new(),
+    }
+    let mut records = Vec::new();
+    for (i, raw) in lines {
+        let line_no = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        match parse_row(raw, line_no) {
+            Ok(record) => records.push(record),
+            Err(_) => ledger.record(
+                QuarantineCategory::BadRecord,
+                line_no as u64,
+                raw.as_bytes(),
+            ),
+        }
+    }
+    records
 }
 
 /// Renders outages in the [`OUTAGE_HEADER`] schema.
@@ -205,7 +286,12 @@ pub fn render_outages(outages: &[OutageRecord]) -> String {
     let mut out = String::from(OUTAGE_HEADER);
     out.push('\n');
     for o in outages {
-        out.push_str(&format!("{},{},{}\n", o.host, o.start, o.duration.as_secs()));
+        out.push_str(&format!(
+            "{},{},{}\n",
+            o.host,
+            o.start,
+            o.duration.as_secs()
+        ));
     }
     out
 }
@@ -260,7 +346,9 @@ mod tests {
         let bad_header = parse_jobs("wrong\n").unwrap_err();
         assert_eq!(bad_header.line(), 1);
 
-        let csv = format!("{JOB_HEADER}\n1,a,notatime,2023-01-05T10:03:00Z,2023-01-05T12:00:00Z,1,,COMPLETED\n");
+        let csv = format!(
+            "{JOB_HEADER}\n1,a,notatime,2023-01-05T10:03:00Z,2023-01-05T12:00:00Z,1,,COMPLETED\n"
+        );
         let err = parse_jobs(&csv).unwrap_err();
         assert_eq!(err.line(), 2);
         assert!(err.to_string().contains("submit"), "{err}");
@@ -313,6 +401,48 @@ mod tests {
         let csv = format!("{OUTAGE_HEADER}\ngpub001,2023-01-05T13:00:00Z,abc\n");
         let err = parse_outages(&csv).unwrap_err();
         assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn lenient_keeps_good_rows_and_quarantines_bad() {
+        let good = "42,train_resnet,2023-01-05T10:00:00Z,2023-01-05T10:03:00Z,2023-01-05T12:00:00Z,2,gpub042:0;gpub042:1,COMPLETED";
+        let csv = format!("{JOB_HEADER}\n{good}\nnot,a,row\n{good}\n");
+        let mut ledger = QuarantineLedger::new();
+        let jobs = parse_jobs_lenient(&csv, &mut ledger);
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs, vec![sample_job(), sample_job()]);
+        assert_eq!(ledger.counts().get(QuarantineCategory::BadRecord), 1);
+        // The exemplar points at the offending physical line.
+        assert_eq!(ledger.exemplars()[0].line_no, 3);
+    }
+
+    #[test]
+    fn lenient_flags_wrong_header_but_still_reads_rows() {
+        let csv = "bogus header\ngpub001,2023-01-05T13:00:00Z,600\n";
+        let mut ledger = QuarantineLedger::new();
+        let outages = parse_outages_lenient(csv, &mut ledger);
+        assert_eq!(outages.len(), 1);
+        assert_eq!(ledger.counts().get(QuarantineCategory::BadRecord), 1);
+    }
+
+    #[test]
+    fn lenient_empty_input_is_empty_not_an_error() {
+        let mut ledger = QuarantineLedger::new();
+        assert!(parse_jobs_lenient("", &mut ledger).is_empty());
+        assert!(parse_outages_lenient("", &mut ledger).is_empty());
+        assert!(ledger.is_empty());
+    }
+
+    #[test]
+    fn lenient_matches_strict_on_clean_input() {
+        let jobs = vec![sample_job()];
+        let csv = render_jobs(&jobs);
+        let mut ledger = QuarantineLedger::new();
+        assert_eq!(
+            parse_jobs_lenient(&csv, &mut ledger),
+            parse_jobs(&csv).unwrap()
+        );
+        assert!(ledger.is_empty());
     }
 
     #[test]

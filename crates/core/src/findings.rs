@@ -25,7 +25,13 @@ pub struct FindingCheck {
 
 impl fmt::Display for FindingCheck {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {} — {}", if self.pass { "PASS" } else { "FAIL" }, self.id, self.detail)
+        write!(
+            f,
+            "[{}] {} — {}",
+            if self.pass { "PASS" } else { "FAIL" },
+            self.id,
+            self.detail
+        )
     }
 }
 
@@ -58,7 +64,11 @@ impl Findings {
                     format!("{pre:.0} h -> {op:.0} h ({reduction:.0}% reduction; paper: 199 -> 154, 23%)"),
                 );
             }
-            _ => push("(i) MTBE degradation pre-op to op", false, "insufficient errors".into()),
+            _ => push(
+                "(i) MTBE degradation pre-op to op",
+                false,
+                "insufficient errors".into(),
+            ),
         }
 
         // (ii) Memory is two orders of magnitude more reliable than
@@ -69,7 +79,11 @@ impl Findings {
                 ratio > 50.0,
                 format!("{ratio:.0}x (paper: 160x)"),
             ),
-            None => push("(ii) memory vs hardware MTBE ratio", false, "no memory or hardware errors".into()),
+            None => push(
+                "(ii) memory vs hardware MTBE ratio",
+                false,
+                "no memory or hardware errors".into(),
+            ),
         }
 
         // (iii) GSP is the most frequent hardware error source after MMU's
@@ -80,7 +94,11 @@ impl Findings {
                 (3.0..9.0).contains(&ratio),
                 format!("pre/op per-node MTBE ratio {ratio:.1}x (paper: 5.6x)"),
             ),
-            None => push("(iii) GSP degradation in production", false, "no GSP errors".into()),
+            None => push(
+                "(iii) GSP degradation in production",
+                false,
+                "no GSP errors".into(),
+            ),
         }
         push(
             "(iii) GSP errors always kill jobs",
@@ -159,7 +177,11 @@ impl Findings {
                     crate::availability::Availability::downtime_minutes_per_day(a)
                 ),
             ),
-            None => push("(vii) availability ~99.5%", false, "no outages or errors".into()),
+            None => push(
+                "(vii) availability ~99.5%",
+                false,
+                "no outages or errors".into(),
+            ),
         }
 
         // Table II ordering: GSP >= PMU > MMU > NVLink.
@@ -206,7 +228,10 @@ impl Findings {
 
     /// `(passed, total)` counts.
     pub fn score(&self) -> (usize, usize) {
-        (self.checks.iter().filter(|c| c.pass).count(), self.checks.len())
+        (
+            self.checks.iter().filter(|c| c.pass).count(),
+            self.checks.len(),
+        )
     }
 }
 
@@ -241,7 +266,11 @@ mod tests {
 
     #[test]
     fn check_display_format() {
-        let check = FindingCheck { id: "(x) demo", pass: true, detail: "42".into() };
+        let check = FindingCheck {
+            id: "(x) demo",
+            pass: true,
+            detail: "42".into(),
+        };
         assert_eq!(check.to_string(), "[PASS] (x) demo — 42");
     }
 }

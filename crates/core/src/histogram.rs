@@ -36,8 +36,19 @@ impl Histogram {
     ///
     /// Panics if `lo >= hi` or `bins == 0`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
-        assert!(lo < hi && bins > 0, "invalid histogram shape [{lo}, {hi}) x {bins}");
-        Histogram { lo, hi, bins: vec![0; bins], overflow: 0, underflow: 0, count: 0, sum: 0.0 }
+        assert!(
+            lo < hi && bins > 0,
+            "invalid histogram shape [{lo}, {hi}) x {bins}"
+        );
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            overflow: 0,
+            underflow: 0,
+            count: 0,
+            sum: 0.0,
+        }
     }
 
     /// Adds one observation.

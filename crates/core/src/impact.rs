@@ -55,11 +55,7 @@ impl JobImpact {
     /// GPU allocations are exclusive on Delta, so at most one job holds a
     /// GPU at any instant; the join indexes jobs by GPU slot and binary-
     /// searches by time, making the whole pass `O((J + E) log J)`.
-    pub fn compute(
-        jobs: &[AccountedJob],
-        errors: &[CoalescedError],
-        window: Duration,
-    ) -> Self {
+    pub fn compute(jobs: &[AccountedJob], errors: &[CoalescedError], window: Duration) -> Self {
         // (host, gpu index) -> jobs sorted by start time.
         let mut slots: HashMap<(&str, u8), Vec<usize>> = HashMap::new();
         for (idx, job) in jobs.iter().enumerate() {
@@ -75,8 +71,12 @@ impl JobImpact {
         let mut failed: BTreeMap<ErrorKind, BTreeSet<u64>> = BTreeMap::new();
         let mut gpu_failed: BTreeSet<u64> = BTreeSet::new();
         for err in errors {
-            let Some(gpu_index) = err.gpu_index() else { continue };
-            let Some(list) = slots.get(&(err.host.as_str(), gpu_index)) else { continue };
+            let Some(gpu_index) = err.gpu_index() else {
+                continue;
+            };
+            let Some(list) = slots.get(&(err.host.as_str(), gpu_index)) else {
+                continue;
+            };
             // Candidates hold the GPU over (start, end] — *inclusive* of
             // the end instant and *exclusive* of the start instant: a job
             // killed by this very error terminates exactly at the error
@@ -102,8 +102,7 @@ impl JobImpact {
             }
         }
 
-        let kinds: BTreeSet<ErrorKind> =
-            encountered.keys().chain(failed.keys()).copied().collect();
+        let kinds: BTreeSet<ErrorKind> = encountered.keys().chain(failed.keys()).copied().collect();
         let per_kind = kinds
             .into_iter()
             .map(|k| {
@@ -116,7 +115,10 @@ impl JobImpact {
                 )
             })
             .collect();
-        JobImpact { per_kind, gpu_failed_jobs: gpu_failed.len() as u64 }
+        JobImpact {
+            per_kind,
+            gpu_failed_jobs: gpu_failed.len() as u64,
+        }
     }
 
     /// Tallies for one kind (zeroes if never observed).
@@ -185,8 +187,7 @@ pub fn job_mix(jobs: &[AccountedJob]) -> Vec<JobMixRow> {
                 .iter()
                 .filter(|j| j.gpus >= lo && j.gpus <= hi)
                 .collect();
-            let mut mins: Vec<f64> =
-                bucket.iter().map(|j| j.elapsed().as_mins_f64()).collect();
+            let mut mins: Vec<f64> = bucket.iter().map(|j| j.elapsed().as_mins_f64()).collect();
             mins.sort_by(f64::total_cmp);
             let (ml, non_ml) = bucket.iter().fold((0.0, 0.0), |(ml, non), j| {
                 if j.is_ml() {
@@ -202,8 +203,16 @@ pub fn job_mix(jobs: &[AccountedJob]) -> Vec<JobMixRow> {
                 count: bucket.len() as u64,
                 share_pct: bucket.len() as f64 / total * 100.0,
                 mean_mins: mean(&mins).unwrap_or(0.0),
-                p50_mins: if mins.is_empty() { 0.0 } else { percentile_sorted(&mins, 50.0) },
-                p99_mins: if mins.is_empty() { 0.0 } else { percentile_sorted(&mins, 99.0) },
+                p50_mins: if mins.is_empty() {
+                    0.0
+                } else {
+                    percentile_sorted(&mins, 50.0)
+                },
+                p99_mins: if mins.is_empty() {
+                    0.0
+                } else {
+                    percentile_sorted(&mins, 99.0)
+                },
                 ml_gpu_hours_k: ml / 1000.0,
                 non_ml_gpu_hours_k: non_ml / 1000.0,
             }
@@ -257,13 +266,15 @@ mod tests {
         // Error before start and after end: no encounter.
         let impact = JobImpact::compute(
             &jobs,
-            &[error("n1", 0, 50, ErrorKind::GspError), error("n1", 0, 250, ErrorKind::GspError)],
+            &[
+                error("n1", 0, 50, ErrorKind::GspError),
+                error("n1", 0, 250, ErrorKind::GspError),
+            ],
             W,
         );
         assert_eq!(impact.kind(ErrorKind::GspError).encountered, 0);
         // Error during run: encounter.
-        let impact =
-            JobImpact::compute(&jobs, &[error("n1", 0, 150, ErrorKind::GspError)], W);
+        let impact = JobImpact::compute(&jobs, &[error("n1", 0, 150, ErrorKind::GspError)], W);
         assert_eq!(impact.kind(ErrorKind::GspError).encountered, 1);
         assert_eq!(impact.kind(ErrorKind::GspError).failed, 0); // completed
     }
@@ -322,8 +333,9 @@ mod tests {
     #[test]
     fn repeated_errors_count_one_distinct_job() {
         let jobs = [job(1, "n1", 0, 100, 500, true)];
-        let errors: Vec<_> =
-            (0..10).map(|i| error("n1", 0, 150 + i * 10, ErrorKind::NvlinkError)).collect();
+        let errors: Vec<_> = (0..10)
+            .map(|i| error("n1", 0, 150 + i * 10, ErrorKind::NvlinkError))
+            .collect();
         let impact = JobImpact::compute(&jobs, &errors, W);
         assert_eq!(impact.kind(ErrorKind::NvlinkError).encountered, 1);
     }
@@ -348,8 +360,9 @@ mod tests {
         let jobs: Vec<AccountedJob> = (0..4)
             .map(|i| job(i, "n1", i as u8, 100, 200 + (i % 2) * 1000, i % 2 == 1))
             .collect();
-        let errors: Vec<_> =
-            (0..4).map(|i| error("n1", i as u8, 190, ErrorKind::NvlinkError)).collect();
+        let errors: Vec<_> = (0..4)
+            .map(|i| error("n1", i as u8, 190, ErrorKind::NvlinkError))
+            .collect();
         let impact = JobImpact::compute(&jobs, &errors, W);
         let k = impact.kind(ErrorKind::NvlinkError);
         assert_eq!(k.encountered, 4);
@@ -397,8 +410,7 @@ mod tests {
 
     #[test]
     fn job_mix_elapsed_statistics() {
-        let jobs: Vec<AccountedJob> =
-            (1..=100).map(|i| mix_job(i, 1, i, "job")).collect();
+        let jobs: Vec<AccountedJob> = (1..=100).map(|i| mix_job(i, 1, i, "job")).collect();
         let rows = job_mix(&jobs);
         assert!((rows[0].mean_mins - 50.5).abs() < 1e-9);
         assert!((rows[0].p50_mins - 50.5).abs() < 1.0);
@@ -427,7 +439,10 @@ mod tests {
         assert_eq!(success_rate(&[]), None);
         let jobs = [
             mix_job(1, 1, 10, "a"),
-            AccountedJob { completed: false, ..mix_job(2, 1, 10, "b") },
+            AccountedJob {
+                completed: false,
+                ..mix_job(2, 1, 10, "b")
+            },
         ];
         assert_eq!(success_rate(&jobs), Some(0.5));
     }

@@ -69,7 +69,11 @@ impl fmt::Display for AccountedJob {
             self.id,
             self.name,
             self.gpus,
-            if self.completed { "COMPLETED" } else { "FAILED" },
+            if self.completed {
+                "COMPLETED"
+            } else {
+                "FAILED"
+            },
             self.elapsed()
         )
     }
@@ -78,8 +82,18 @@ impl fmt::Display for AccountedJob {
 /// The §V-A keyword heuristic, usable on bare names.
 pub fn is_ml_name(name: &str) -> bool {
     const KEYWORDS: [&str; 12] = [
-        "train", "model", "bert", "resnet", "llm", "gpt", "finetune", "epoch", "torch",
-        "tensorflow", "diffusion", "inference",
+        "train",
+        "model",
+        "bert",
+        "resnet",
+        "llm",
+        "gpt",
+        "finetune",
+        "epoch",
+        "torch",
+        "tensorflow",
+        "diffusion",
+        "inference",
     ];
     let name = name.to_ascii_lowercase();
     KEYWORDS.iter().any(|k| name.contains(k))
@@ -105,7 +119,11 @@ impl OutageRecord {
 
 impl fmt::Display for OutageRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} down {} from {}", self.host, self.duration, self.start)
+        write!(
+            f,
+            "{} down {} from {}",
+            self.host, self.duration, self.start
+        )
     }
 }
 

@@ -36,7 +36,11 @@
 //! * [`burst`] — inter-arrival burstiness and episode detection,
 //!   recovering the flapping structure of §IV from the error stream.
 //! * [`pipeline`] — the end-to-end driver: raw [`hpclog::archive::Archive`]
-//!   plus job and outage records in, a [`pipeline::StudyReport`] out.
+//!   plus job and outage records in, a [`pipeline::StudyReport`] out. The
+//!   lenient entry point ([`Pipeline::run_lenient`]) never panics or
+//!   aborts: defective input lands in a [`pipeline::QuarantineReport`].
+//! * [`error`] — the typed failure taxonomy the strict entry points
+//!   return instead of `Box<dyn Error>`.
 //! * [`findings`] — programmatic checks of the paper's headline findings
 //!   (i)–(vii) against a computed report.
 //!
@@ -68,6 +72,7 @@ pub mod burst;
 pub mod coalesce;
 pub mod correlate;
 pub mod csvio;
+pub mod error;
 pub mod findings;
 pub mod histogram;
 pub mod impact;
@@ -81,5 +86,6 @@ pub mod survival;
 pub mod timeseries;
 
 pub use coalesce::{coalesce, CoalescedError};
+pub use error::PipelineError;
 pub use job::{AccountedJob, OutageRecord};
-pub use pipeline::{Pipeline, StudyReport};
+pub use pipeline::{Caveat, Pipeline, QuarantineReport, StudyReport};

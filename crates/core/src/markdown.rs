@@ -41,7 +41,12 @@ pub fn table1_md(report: &StudyReport) -> String {
         s.uncorrectable_count(Phase::PreOp),
         s.uncorrectable_count(Phase::Op),
     );
-    row("**Σ**", "**total**", s.total_count(Phase::PreOp), s.total_count(Phase::Op));
+    row(
+        "**Σ**",
+        "**total**",
+        s.total_count(Phase::PreOp),
+        s.total_count(Phase::Op),
+    );
     out
 }
 

@@ -12,13 +12,17 @@
 
 use crate::availability::Availability;
 use crate::coalesce::{coalesce, CoalesceSummary, CoalescedError};
+use crate::csvio;
+use crate::error::{CsvInput, PipelineError};
 use crate::impact::{job_mix, success_rate, JobImpact, JobMixRow, ATTRIBUTION_WINDOW};
 use crate::job::{AccountedJob, OutageRecord};
 use crate::stats::{exclude_dominant_gpu, ErrorStats, OutlierReport};
 use hpclog::archive::Archive;
 use hpclog::extract::{ExtractStats, XidExtractor};
+use hpclog::quarantine::QuarantineLedger;
 use hpclog::XidEvent;
 use simtime::{Duration, Phase, StudyPeriods};
+use std::fmt;
 use xid::ErrorKind;
 
 /// Pipeline configuration: the analysis windows and the machine constants.
@@ -61,9 +65,85 @@ impl Pipeline {
         outages: &[OutageRecord],
     ) -> StudyReport {
         let mut extractor = XidExtractor::studied_only(2024);
-        let events: Vec<XidEvent> =
-            archive.iter().filter_map(|line| extractor.extract(line)).collect();
+        let events: Vec<XidEvent> = archive
+            .iter()
+            .filter_map(|line| extractor.extract(line))
+            .collect();
         self.run_events(events, Some(extractor.stats()), gpu_jobs, cpu_jobs, outages)
+    }
+
+    /// Runs the full pipeline from raw byte streams — a log reader plus
+    /// CSV exports — failing fast with a typed [`PipelineError`] on the
+    /// first defect in any input.
+    ///
+    /// This is the strict counterpart of [`run_lenient`](Self::run_lenient):
+    /// use it when the inputs are trusted (rendered by this workspace) and
+    /// any defect means a bug upstream.
+    ///
+    /// `log_year` resolves the year-less syslog stamps (the wire format
+    /// drops the year; the consolidated day files carry it out of band).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Io`] if the log stream fails, or
+    /// [`PipelineError::Csv`] naming the export and line of the first bad
+    /// CSV row.
+    pub fn run_csv<R: std::io::Read>(
+        &self,
+        log: R,
+        log_year: i32,
+        gpu_jobs_csv: &str,
+        cpu_jobs_csv: &str,
+        outages_csv: &str,
+    ) -> Result<StudyReport, PipelineError> {
+        let mut extractor = XidExtractor::studied_only(log_year);
+        let events = extractor.scan_reader(log)?;
+        let gpu_jobs = csvio::parse_jobs(gpu_jobs_csv)
+            .map_err(|e| PipelineError::csv(CsvInput::GpuJobs, e))?;
+        let cpu_jobs = csvio::parse_jobs(cpu_jobs_csv)
+            .map_err(|e| PipelineError::csv(CsvInput::CpuJobs, e))?;
+        let outages = csvio::parse_outages(outages_csv)
+            .map_err(|e| PipelineError::csv(CsvInput::Outages, e))?;
+        Ok(self.run_events(
+            events,
+            Some(extractor.stats()),
+            &gpu_jobs,
+            &cpu_jobs,
+            &outages,
+        ))
+    }
+
+    /// Runs the full pipeline from raw byte streams without ever failing:
+    /// every defective log line and CSV row is classified into the
+    /// returned [`QuarantineReport`]'s ledger, I/O errors truncate the log
+    /// scan instead of aborting it, and the study is computed from
+    /// whatever survived. [`Caveat`] flags say how much to trust the
+    /// result.
+    ///
+    /// This is the entry point for real-world archives, where a multi-month
+    /// consolidated log *will* contain truncated lines, interleaved
+    /// writes and the occasional clock regression, and discarding three
+    /// months of analysis over one bad byte is the wrong trade.
+    /// `log_year` resolves the year-less syslog stamps, as in
+    /// [`run_csv`](Self::run_csv).
+    pub fn run_lenient<R: std::io::Read>(
+        &self,
+        log: R,
+        log_year: i32,
+        gpu_jobs_csv: &str,
+        cpu_jobs_csv: &str,
+        outages_csv: &str,
+    ) -> (StudyReport, QuarantineReport) {
+        let mut ledger = QuarantineLedger::new();
+        let mut extractor = XidExtractor::studied_only(log_year);
+        let events = extractor.scan_reader_lenient(log, &mut ledger);
+        let extract_stats = extractor.stats();
+        let gpu_jobs = csvio::parse_jobs_lenient(gpu_jobs_csv, &mut ledger);
+        let cpu_jobs = csvio::parse_jobs_lenient(cpu_jobs_csv, &mut ledger);
+        let outages = csvio::parse_outages_lenient(outages_csv, &mut ledger);
+        let report = self.run_events(events, Some(extract_stats), &gpu_jobs, &cpu_jobs, &outages);
+        let quarantine = QuarantineReport::from_scan(ledger, extract_stats);
+        (report, quarantine)
     }
 
     /// Runs the pipeline from already-extracted events (Stage I done
@@ -174,6 +254,83 @@ impl StudyReport {
     }
 }
 
+/// A trust qualifier attached to a lenient run's result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Caveat {
+    /// The log stream died mid-scan; the error window is incomplete.
+    InputIoError,
+    /// More than [`QuarantineReport::HIGH_REJECT_RATE`] of the scanned
+    /// log lines were quarantined — the surviving sample may be biased.
+    HighRejectRate {
+        /// Quarantined lines.
+        rejected: u64,
+        /// Lines scanned.
+        seen: u64,
+    },
+    /// Lines were quarantined and *no* events were extracted at all: the
+    /// corruption may have eaten the signal, not just the noise.
+    NothingExtracted,
+}
+
+impl fmt::Display for Caveat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Caveat::InputIoError => {
+                write!(f, "log stream I/O error: the scan ended early")
+            }
+            Caveat::HighRejectRate { rejected, seen } => write!(
+                f,
+                "high reject rate: {rejected} of {seen} log lines quarantined"
+            ),
+            Caveat::NothingExtracted => {
+                write!(f, "lines were quarantined but no events were extracted")
+            }
+        }
+    }
+}
+
+/// What a lenient run refused to ingest, and how much that should worry
+/// the reader.
+#[derive(Debug, Clone)]
+pub struct QuarantineReport {
+    /// Per-category reject counts plus exemplar bad lines.
+    pub ledger: QuarantineLedger,
+    /// Result-trust qualifiers derived from the ledger and the scan
+    /// counters; empty means the inputs were clean (or losslessly dirty —
+    /// e.g. only duplicate floods, which quarantine nothing).
+    pub caveats: Vec<Caveat>,
+}
+
+impl QuarantineReport {
+    /// Reject fraction above which [`Caveat::HighRejectRate`] is raised.
+    pub const HIGH_REJECT_RATE: f64 = 0.05;
+
+    fn from_scan(ledger: QuarantineLedger, stats: ExtractStats) -> Self {
+        let mut caveats = Vec::new();
+        if ledger.io_errors() > 0 {
+            caveats.push(Caveat::InputIoError);
+        }
+        // Rate the *log scan* only: the ledger is shared with the CSV
+        // parsers, whose row rejects are counted in different units than
+        // `lines_seen` and would skew the fraction.
+        let rejected = stats.quarantined.total();
+        let seen = stats.lines_seen;
+        if seen > 0 && rejected as f64 / seen as f64 > Self::HIGH_REJECT_RATE {
+            caveats.push(Caveat::HighRejectRate { rejected, seen });
+        }
+        if rejected > 0 && stats.extracted == 0 {
+            caveats.push(Caveat::NothingExtracted);
+        }
+        QuarantineReport { ledger, caveats }
+    }
+
+    /// True when nothing was quarantined and no caveat applies.
+    pub fn is_clean(&self) -> bool {
+        self.ledger.is_empty() && self.caveats.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,8 +346,14 @@ mod tests {
     }
 
     fn xid_line(t: Timestamp, host: &str, gpu: u8, code: u16) -> LogLine {
-        XidEvent::new(t, host, PciAddr::for_gpu_index(gpu), XidCode::new(code), "detail")
-            .to_log_line()
+        XidEvent::new(
+            t,
+            host,
+            PciAddr::for_gpu_index(gpu),
+            XidCode::new(code),
+            "detail",
+        )
+        .to_log_line()
     }
 
     fn gpu_job(id: u64, host: &str, gpu: u8, start: u64, end: u64, ok: bool) -> AccountedJob {
@@ -214,7 +377,12 @@ mod tests {
             archive.push(xid_line(op_time(1000 + d), "gpub001", 0, 119));
         }
         // Noise and an excluded software XID.
-        archive.push(LogLine::new(op_time(500), "gpub001", "kernel", "usb 1-1 connected"));
+        archive.push(LogLine::new(
+            op_time(500),
+            "gpub001",
+            "kernel",
+            "usb 1-1 connected",
+        ));
         archive.push(xid_line(op_time(2000), "gpub002", 1, 13));
 
         let jobs = [gpu_job(1, "gpub001", 0, 900, 1005, false)];
@@ -264,8 +432,18 @@ mod tests {
         }
         let report = pipeline().run_events(events, None, &[], &[], &[]);
         // Raw stats see everything; headline stats see only the background.
-        assert_eq!(report.stats_raw.count(ErrorKind::UncontainedMemoryError, Phase::PreOp), 505);
-        assert_eq!(report.stats.count(ErrorKind::UncontainedMemoryError, Phase::PreOp), 5);
+        assert_eq!(
+            report
+                .stats_raw
+                .count(ErrorKind::UncontainedMemoryError, Phase::PreOp),
+            505
+        );
+        assert_eq!(
+            report
+                .stats
+                .count(ErrorKind::UncontainedMemoryError, Phase::PreOp),
+            5
+        );
         let outlier = report.outlier().expect("storm detected");
         assert_eq!(outlier.host, "gpub038");
         assert_eq!(outlier.excluded_errors, 500);
@@ -291,13 +469,155 @@ mod tests {
         assert_eq!(report.availability_estimate(), None);
     }
 
+    fn render_log(archive: &Archive) -> Vec<u8> {
+        let mut out = Vec::new();
+        for line in archive.iter() {
+            out.extend_from_slice(line.to_string().as_bytes());
+            out.push(b'\n');
+        }
+        out
+    }
+
+    fn sample_inputs() -> (Archive, String, String) {
+        let mut archive = Archive::new();
+        for d in [0, 5, 10] {
+            archive.push(xid_line(op_time(1000 + d), "gpub001", 0, 119));
+        }
+        archive.push(LogLine::new(
+            op_time(500),
+            "gpub001",
+            "kernel",
+            "usb 1-1 connected",
+        ));
+        let jobs = crate::csvio::render_jobs(&[gpu_job(1, "gpub001", 0, 900, 1005, false)]);
+        let outages = crate::csvio::render_outages(&[OutageRecord {
+            host: "gpub001".to_owned(),
+            start: op_time(1300),
+            duration: Duration::from_mins(53),
+        }]);
+        (archive, jobs, outages)
+    }
+
+    #[test]
+    fn run_csv_strict_roundtrip() {
+        let (archive, jobs, outages) = sample_inputs();
+        let report = pipeline()
+            .run_csv(
+                render_log(&archive).as_slice(),
+                2022,
+                &jobs,
+                &crate::csvio::render_jobs(&[]),
+                &outages,
+            )
+            .unwrap();
+        assert_eq!(report.coalesce_summary.errors, 1);
+        assert_eq!(report.impact.gpu_failed_jobs(), 1);
+    }
+
+    #[test]
+    fn run_csv_reports_typed_errors() {
+        let (archive, jobs, _) = sample_inputs();
+        let err = pipeline()
+            .run_csv(
+                render_log(&archive).as_slice(),
+                2022,
+                &jobs,
+                "",
+                "bad outages\nrow\n",
+            )
+            .unwrap_err();
+        match err {
+            crate::error::PipelineError::Csv { input, .. } => {
+                assert_eq!(input, crate::error::CsvInput::CpuJobs);
+            }
+            other => panic!("expected a CSV error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_lenient_matches_strict_on_clean_input() {
+        let (archive, jobs, outages) = sample_inputs();
+        let empty = crate::csvio::render_jobs(&[]);
+        let strict = pipeline()
+            .run_csv(
+                render_log(&archive).as_slice(),
+                2022,
+                &jobs,
+                &empty,
+                &outages,
+            )
+            .unwrap();
+        let (report, quarantine) = pipeline().run_lenient(
+            render_log(&archive).as_slice(),
+            2022,
+            &jobs,
+            &empty,
+            &outages,
+        );
+        assert!(quarantine.is_clean(), "{:?}", quarantine.ledger.counts());
+        assert_eq!(
+            report.coalesce_summary.errors,
+            strict.coalesce_summary.errors
+        );
+        assert_eq!(
+            report.impact.gpu_failed_jobs(),
+            strict.impact.gpu_failed_jobs()
+        );
+        assert_eq!(
+            report.availability.outage_count(),
+            strict.availability.outage_count()
+        );
+    }
+
+    #[test]
+    fn run_lenient_degrades_instead_of_failing() {
+        let (archive, jobs, outages) = sample_inputs();
+        let mut log = render_log(&archive);
+        // Corrupt the stream: garbage bytes and a bad jobs row appended.
+        log.extend_from_slice(b"\xFF\xFE not a line\n");
+        let jobs = format!("{jobs}this,row,is,bad\n");
+        let (report, quarantine) =
+            pipeline().run_lenient(log.as_slice(), 2022, &jobs, "", &outages);
+        // The good data still flows through...
+        assert_eq!(report.coalesce_summary.errors, 1);
+        assert_eq!(report.availability.outage_count(), 1);
+        // ...and the defects are accounted for, not swallowed.
+        use hpclog::quarantine::QuarantineCategory as Q;
+        assert_eq!(quarantine.ledger.counts().get(Q::Encoding), 1);
+        assert_eq!(quarantine.ledger.counts().get(Q::BadRecord), 1);
+        assert!(!quarantine.is_clean());
+    }
+
+    #[test]
+    fn run_lenient_caveats_flag_distrust() {
+        // A log that is mostly garbage triggers the high-reject caveat.
+        let log = b"\xFFgarbage\n\xFFgarbage\n\xFFgarbage\nMar 14 03:22:07 gpub042 kernel: ok\n";
+        let (_, quarantine) = pipeline().run_lenient(&log[..], 2024, "", "", "");
+        assert!(quarantine.caveats.iter().any(|c| matches!(
+            c,
+            Caveat::HighRejectRate {
+                rejected: 3,
+                seen: 4
+            }
+        )));
+        assert!(quarantine.caveats.contains(&Caveat::NothingExtracted));
+        // Caveats render for humans.
+        for c in &quarantine.caveats {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
     #[test]
     fn success_rates_flow_through() {
         let jobs = [
             gpu_job(1, "gpub001", 0, 100, 200, true),
             gpu_job(2, "gpub001", 1, 100, 200, false),
         ];
-        let cpu = [AccountedJob { gpus: 0, gpu_slots: Vec::new(), ..jobs[0].clone() }];
+        let cpu = [AccountedJob {
+            gpus: 0,
+            gpu_slots: Vec::new(),
+            ..jobs[0].clone()
+        }];
         let report = pipeline().run_events(Vec::new(), None, &jobs, &cpu, &[]);
         assert_eq!(report.gpu_success, Some(0.5));
         assert_eq!(report.cpu_success, Some(1.0));

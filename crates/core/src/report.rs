@@ -165,7 +165,11 @@ pub fn table2(report: &StudyReport) -> String {
             fmt_opt(impact.failure_probability().map(|p| p * 100.0), 2)
         );
     }
-    let _ = writeln!(out, "total GPU-failed jobs: {}", report.impact.gpu_failed_jobs());
+    let _ = writeln!(
+        out,
+        "total GPU-failed jobs: {}",
+        report.impact.gpu_failed_jobs()
+    );
     out
 }
 
@@ -180,7 +184,9 @@ pub fn table2_csv(report: &StudyReport) -> String {
             kind.abbreviation(),
             impact.failed,
             impact.encountered,
-            impact.failure_probability().map_or(String::new(), |p| format!("{p:.4}"))
+            impact
+                .failure_probability()
+                .map_or(String::new(), |p| format!("{p:.4}"))
         );
     }
     out
@@ -247,7 +253,11 @@ pub fn figure2(report: &StudyReport) -> String {
     let _ = writeln!(out, "Unavailability time distribution (hours):");
     let _ = write!(out, "{hist}");
     let _ = writeln!(out, "outages: {}", report.availability.outage_count());
-    let _ = writeln!(out, "MTTR: {} h", fmt_opt(report.availability.mttr_hours(), 2));
+    let _ = writeln!(
+        out,
+        "MTTR: {} h",
+        fmt_opt(report.availability.mttr_hours(), 2)
+    );
     let _ = writeln!(
         out,
         "total downtime: {:.0} node-hours",
@@ -319,10 +329,17 @@ pub fn deep(report: &StudyReport) -> String {
         );
     }
 
-    let _ = writeln!(out, "
-— burstiness —");
+    let _ = writeln!(
+        out,
+        "
+— burstiness —"
+    );
     let episodes = burst::detect_episodes(&report.errors, Duration::from_hours(6));
-    for kind in [ErrorKind::GspError, ErrorKind::NvlinkError, ErrorKind::MmuError] {
+    for kind in [
+        ErrorKind::GspError,
+        ErrorKind::NvlinkError,
+        ErrorKind::MmuError,
+    ] {
         let ia = burst::inter_arrivals(&report.errors, kind);
         let summary = burst::summarize_episodes(&episodes, kind);
         let _ = writeln!(
@@ -336,8 +353,11 @@ pub fn deep(report: &StudyReport) -> String {
         );
     }
 
-    let _ = writeln!(out, "
-— GSP survival (operational period) —");
+    let _ = writeln!(
+        out,
+        "
+— GSP survival (operational period) —"
+    );
     let window = report.config.periods.op;
     let gpus: Vec<(String, hpclog::PciAddr)> = report
         .errors
@@ -346,8 +366,7 @@ pub fn deep(report: &StudyReport) -> String {
         .collect::<BTreeSet<_>>()
         .into_iter()
         .collect();
-    let lifetimes =
-        survival::gpu_lifetimes(&report.errors, &gpus, &[ErrorKind::GspError], window);
+    let lifetimes = survival::gpu_lifetimes(&report.errors, &gpus, &[ErrorKind::GspError], window);
     let km = survival::KaplanMeier::fit(&lifetimes);
     let _ = writeln!(
         out,
@@ -411,7 +430,16 @@ mod tests {
     #[test]
     fn table1_contains_all_rows_and_total() {
         let t = table1(&sample_report());
-        for label in ["MMU Error", "DBE", "RRE", "RRF", "NVLink", "GSP", "PMU", "TOTAL"] {
+        for label in [
+            "MMU Error",
+            "DBE",
+            "RRE",
+            "RRF",
+            "NVLink",
+            "GSP",
+            "PMU",
+            "TOTAL",
+        ] {
             assert!(t.contains(label), "missing {label} in:\n{t}");
         }
         assert!(t.contains("Uncorrectable ECC Errors"));
@@ -459,7 +487,14 @@ mod tests {
     #[test]
     fn full_concatenates_everything() {
         let f = full(&sample_report());
-        for section in ["Table I", "Table II", "Table III", "Figure 2", "Findings", "Deep"] {
+        for section in [
+            "Table I",
+            "Table II",
+            "Table III",
+            "Figure 2",
+            "Findings",
+            "Deep",
+        ] {
             assert!(f.contains(section), "missing {section}");
         }
     }

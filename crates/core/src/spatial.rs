@@ -35,11 +35,7 @@ pub struct Concentration {
 impl Concentration {
     /// Tallies errors per GPU, restricted to `kinds` (empty = all studied
     /// kinds) and `window` (`None` = everything), sorted most-errors-first.
-    pub fn compute(
-        errors: &[CoalescedError],
-        kinds: &[ErrorKind],
-        window: Option<Period>,
-    ) -> Self {
+    pub fn compute(errors: &[CoalescedError], kinds: &[ErrorKind], window: Option<Period>) -> Self {
         let mut map: HashMap<(String, PciAddr), u64> = HashMap::new();
         let mut total = 0;
         for e in errors {
@@ -62,7 +58,9 @@ impl Concentration {
             .map(|((host, pci), errors)| GpuTally { host, pci, errors })
             .collect();
         tallies.sort_by(|a, b| {
-            b.errors.cmp(&a.errors).then_with(|| (&a.host, a.pci).cmp(&(&b.host, b.pci)))
+            b.errors
+                .cmp(&a.errors)
+                .then_with(|| (&a.host, a.pci).cmp(&(&b.host, b.pci)))
         });
         Concentration { tallies, total }
     }

@@ -43,11 +43,7 @@ impl ErrorStats {
     /// # Panics
     ///
     /// Panics if `node_count` is zero.
-    pub fn compute(
-        errors: &[CoalescedError],
-        periods: StudyPeriods,
-        node_count: usize,
-    ) -> Self {
+    pub fn compute(errors: &[CoalescedError], periods: StudyPeriods, node_count: usize) -> Self {
         assert!(node_count > 0, "node_count must be positive");
         let mut counts: BTreeMap<ErrorKind, (u64, u64)> = BTreeMap::new();
         for e in errors {
@@ -61,7 +57,11 @@ impl ErrorStats {
                 None => {}
             }
         }
-        ErrorStats { periods, node_count, counts }
+        ErrorStats {
+            periods,
+            node_count,
+            counts,
+        }
     }
 
     /// The study calendar these statistics were computed over.
@@ -91,7 +91,10 @@ impl ErrorStats {
     /// Total studied errors in a phase, including the synthetic
     /// uncorrectable row (matching the paper's overall-MTBE convention).
     pub fn total_count(&self, phase: Phase) -> u64 {
-        let direct: u64 = ErrorKind::STUDIED.iter().map(|&k| self.count(k, phase)).sum();
+        let direct: u64 = ErrorKind::STUDIED
+            .iter()
+            .map(|&k| self.count(k, phase))
+            .sum();
         direct + self.uncorrectable_count(phase)
     }
 
@@ -110,7 +113,8 @@ impl ErrorStats {
 
     /// Per-node MTBE in hours for a kind, `None` when no errors.
     pub fn mtbe_per_node(&self, kind: ErrorKind, phase: Phase) -> Option<f64> {
-        self.mtbe_system(kind, phase).map(|m| m * self.node_count as f64)
+        self.mtbe_system(kind, phase)
+            .map(|m| m * self.node_count as f64)
     }
 
     /// System-wide MTBE over *all* studied errors in a phase.
@@ -121,7 +125,8 @@ impl ErrorStats {
     /// Per-node MTBE over all studied errors — the paper's headline
     /// 199 h (pre-op) and 154 h (op) figures.
     pub fn overall_mtbe_per_node(&self, phase: Phase) -> Option<f64> {
-        self.overall_mtbe_system(phase).map(|m| m * self.node_count as f64)
+        self.overall_mtbe_system(phase)
+            .map(|m| m * self.node_count as f64)
     }
 
     /// Error count of a whole category in a phase. [`Category::Memory`]
@@ -141,8 +146,11 @@ impl ErrorStats {
 
     /// Per-node MTBE of a category.
     pub fn category_mtbe_per_node(&self, category: Category, phase: Phase) -> Option<f64> {
-        mtbe(self.phase_hours(phase), self.category_count(category, phase))
-            .map(|m| m * self.node_count as f64)
+        mtbe(
+            self.phase_hours(phase),
+            self.category_count(category, phase),
+        )
+        .map(|m| m * self.node_count as f64)
     }
 
     /// The §IV(iii) comparison: per-node MTBE of GPU memory divided by that
@@ -231,14 +239,18 @@ pub fn exclude_dominant_gpu(
         .collect();
     (
         filtered,
-        Some(OutlierReport { host, pci, excluded_errors: max, kind }),
+        Some(OutlierReport {
+            host,
+            pci,
+            excluded_errors: max,
+            kind,
+        }),
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     fn periods() -> StudyPeriods {
         StudyPeriods::delta()
@@ -379,7 +391,13 @@ mod tests {
             ErrorKind::UncontainedMemoryError,
             1000,
         );
-        errors.extend(err(Phase::PreOp, "gpub001", 0, ErrorKind::UncontainedMemoryError, 10));
+        errors.extend(err(
+            Phase::PreOp,
+            "gpub001",
+            0,
+            ErrorKind::UncontainedMemoryError,
+            10,
+        ));
         errors.extend(err(Phase::PreOp, "gpub038", 2, ErrorKind::GspError, 7));
         let (filtered, report) = exclude_dominant_gpu(
             &errors,
@@ -393,14 +411,23 @@ mod tests {
         assert_eq!(report.host, "gpub038");
         // Other GPU's errors and the same GPU's *other* kinds survive.
         let stats = ErrorStats::compute(&filtered, periods(), 106);
-        assert_eq!(stats.count(ErrorKind::UncontainedMemoryError, Phase::PreOp), 10);
+        assert_eq!(
+            stats.count(ErrorKind::UncontainedMemoryError, Phase::PreOp),
+            10
+        );
         assert_eq!(stats.count(ErrorKind::GspError, Phase::PreOp), 7);
     }
 
     #[test]
     fn outlier_exclusion_noop_when_balanced() {
         let mut errors = err(Phase::PreOp, "n1", 0, ErrorKind::UncontainedMemoryError, 10);
-        errors.extend(err(Phase::PreOp, "n2", 0, ErrorKind::UncontainedMemoryError, 10));
+        errors.extend(err(
+            Phase::PreOp,
+            "n2",
+            0,
+            ErrorKind::UncontainedMemoryError,
+            10,
+        ));
         let (filtered, report) = exclude_dominant_gpu(
             &errors,
             ErrorKind::UncontainedMemoryError,

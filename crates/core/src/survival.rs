@@ -77,11 +77,20 @@ impl KaplanMeier {
             if events > 0 {
                 survival *= 1.0 - events as f64 / at_risk as f64;
                 observed_events += events;
-                points.push(SurvivalPoint { hours: t, survival, at_risk, events });
+                points.push(SurvivalPoint {
+                    hours: t,
+                    survival,
+                    at_risk,
+                    events,
+                });
             }
             at_risk -= leaving;
         }
-        KaplanMeier { points, subjects, observed_events }
+        KaplanMeier {
+            points,
+            subjects,
+            observed_events,
+        }
     }
 
     /// The curve's step points (only event times appear).
@@ -116,7 +125,10 @@ impl KaplanMeier {
     /// drops to 0.5 (more than half the subjects censored error-free —
     /// itself a strong reliability statement).
     pub fn median_hours(&self) -> Option<f64> {
-        self.points.iter().find(|p| p.survival <= 0.5).map(|p| p.hours)
+        self.points
+            .iter()
+            .find(|p| p.survival <= 0.5)
+            .map(|p| p.hours)
     }
 }
 
@@ -150,8 +162,14 @@ pub fn gpu_lifetimes(
     let horizon = window.length().as_hours_f64();
     gpus.iter()
         .map(|(host, pci)| match first.get(&(host.as_str(), *pci)) {
-            Some(d) => Lifetime { hours: d.as_hours_f64(), observed: true },
-            None => Lifetime { hours: horizon, observed: false },
+            Some(d) => Lifetime {
+                hours: d.as_hours_f64(),
+                observed: true,
+            },
+            None => Lifetime {
+                hours: horizon,
+                observed: false,
+            },
         })
         .collect()
 }

@@ -110,7 +110,13 @@ impl ErrorSeries {
         let hours = self.bin_length.as_hours_f64();
         self.bins
             .iter()
-            .map(|b| if b.count == 0 { None } else { Some(hours / b.count as f64) })
+            .map(|b| {
+                if b.count == 0 {
+                    None
+                } else {
+                    Some(hours / b.count as f64)
+                }
+            })
             .collect()
     }
 

@@ -1,9 +1,9 @@
 //! Property tests for the analysis pipeline's invariants: coalescing
 //! conservation and idempotence, MTBE identities, attribution monotonicity
-//! and histogram conservation.
+//! and histogram conservation — on the in-repo `propcheck` harness.
 
 use hpclog::{PciAddr, Timestamp, XidEvent};
-use proptest::prelude::*;
+use propcheck::{run, Gen};
 use resilience::coalesce::{coalesce, CoalesceSummary};
 use resilience::csvio;
 use resilience::histogram::{percentile, Histogram};
@@ -13,103 +13,119 @@ use resilience::stats::ErrorStats;
 use simtime::{Duration, Phase, StudyPeriods};
 use xid::XidCode;
 
-/// Event streams over a few hosts/GPUs/codes within the study window.
-fn event_stream() -> impl Strategy<Value = Vec<XidEvent>> {
+const NAME_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.-";
+
+/// Event streams over a few hosts/GPUs/codes within the study window,
+/// sorted by time like a real archive.
+fn event_stream(g: &mut Gen) -> Vec<XidEvent> {
     let start = StudyPeriods::delta().pre_op.start.unix();
-    proptest::collection::vec(
+    let mut raw: Vec<(u64, u8, u8, u16)> = g.vec_with(0, 120, |g| {
         (
-            0u64..100_000,             // offset seconds
-            0u8..3,                    // host
-            0u8..2,                    // gpu
-            prop::sample::select(vec![31u16, 74, 79, 119]),
-        ),
-        0..120,
-    )
-    .prop_map(move |mut raw| {
-        raw.sort();
-        raw.into_iter()
-            .map(|(offset, host, gpu, code)| {
-                XidEvent::new(
-                    Timestamp::from_unix(start + offset),
-                    format!("gpub00{}", host + 1),
-                    PciAddr::for_gpu_index(gpu),
-                    XidCode::new(code),
-                    "",
-                )
-            })
-            .collect()
-    })
+            g.u64_below(100_000),
+            g.u8_in(0, 3),
+            g.u8_in(0, 2),
+            g.choose(&[31u16, 74, 79, 119]),
+        )
+    });
+    raw.sort();
+    raw.into_iter()
+        .map(|(offset, host, gpu, code)| {
+            XidEvent::new(
+                Timestamp::from_unix(start + offset),
+                format!("gpub00{}", host + 1),
+                PciAddr::for_gpu_index(gpu),
+                XidCode::new(code),
+                "",
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    /// Coalescing conserves raw lines and never grows the set.
-    #[test]
-    fn coalesce_conserves_lines(events in event_stream(), window in 0u64..600) {
+/// Coalescing conserves raw lines and never grows the set.
+#[test]
+fn coalesce_conserves_lines() {
+    run("coalesce_conserves_lines", 64, |g| {
+        let events = event_stream(g);
+        let window = g.u64_below(600);
         let n = events.len() as u64;
         let merged = coalesce(events, Duration::from_secs(window));
         let summary = CoalesceSummary::of(&merged);
-        prop_assert_eq!(summary.raw_lines, n);
-        prop_assert!(summary.errors <= n);
-    }
+        assert_eq!(summary.raw_lines, n);
+        assert!(summary.errors <= n);
+    });
+}
 
-    /// Coalescing is idempotent: re-coalescing the representatives with the
-    /// same window changes nothing (anchors are at least a window apart).
-    #[test]
-    fn coalesce_idempotent(events in event_stream(), window in 0u64..600) {
-        let window = Duration::from_secs(window);
+/// Coalescing is idempotent: re-coalescing the representatives with the
+/// same window changes nothing (anchors are at least a window apart).
+#[test]
+fn coalesce_idempotent() {
+    run("coalesce_idempotent", 64, |g| {
+        let events = event_stream(g);
+        let window = Duration::from_secs(g.u64_below(600));
         let once = coalesce(events, window);
         let again = coalesce(
-            once.iter().map(|e| XidEvent::new(
-                e.time,
-                e.host.clone(),
-                e.pci,
-                e.kind.primary_code(),
-                "",
-            )),
+            once.iter()
+                .map(|e| XidEvent::new(e.time, e.host.clone(), e.pci, e.kind.primary_code(), "")),
             window,
         );
-        prop_assert_eq!(again.len(), once.len());
+        assert_eq!(again.len(), once.len());
         for (a, b) in once.iter().zip(&again) {
-            prop_assert_eq!(a.time, b.time);
-            prop_assert_eq!(&a.host, &b.host);
-            prop_assert_eq!(a.kind, b.kind);
+            assert_eq!(a.time, b.time);
+            assert_eq!(&a.host, &b.host);
+            assert_eq!(a.kind, b.kind);
         }
-    }
+    });
+}
 
-    /// A wider window never yields more errors.
-    #[test]
-    fn coalesce_monotone_in_window(events in event_stream(), w1 in 0u64..300, w2 in 0u64..300) {
+/// A wider window never yields more errors.
+#[test]
+fn coalesce_monotone_in_window() {
+    run("coalesce_monotone_in_window", 64, |g| {
+        let events = event_stream(g);
+        let w1 = g.u64_below(300);
+        let w2 = g.u64_below(300);
         let (small, large) = (w1.min(w2), w1.max(w2));
         let a = coalesce(events.clone(), Duration::from_secs(small)).len();
         let b = coalesce(events, Duration::from_secs(large)).len();
-        prop_assert!(b <= a, "window {large} gave {b} > {a} from window {small}");
-    }
+        assert!(b <= a, "window {large} gave {b} > {a} from window {small}");
+    });
+}
 
-    /// MTBE identities: per-node = system × nodes; count × MTBE = hours.
-    #[test]
-    fn mtbe_identities(events in event_stream(), nodes in 1usize..500) {
+/// MTBE identities: per-node = system × nodes; count × MTBE = hours.
+#[test]
+fn mtbe_identities() {
+    run("mtbe_identities", 64, |g| {
+        let events = event_stream(g);
+        let nodes = g.usize_in(1, 500);
         let merged = coalesce(events, Duration::from_secs(20));
         let stats = ErrorStats::compute(&merged, StudyPeriods::delta(), nodes);
         for kind in xid::ErrorKind::STUDIED {
             for phase in [Phase::PreOp, Phase::Op] {
                 let count = stats.count(kind, phase);
-                match (stats.mtbe_system(kind, phase), stats.mtbe_per_node(kind, phase)) {
+                match (
+                    stats.mtbe_system(kind, phase),
+                    stats.mtbe_per_node(kind, phase),
+                ) {
                     (Some(sys), Some(node)) => {
-                        prop_assert!(count > 0);
-                        prop_assert!((node / sys - nodes as f64).abs() < 1e-6);
-                        prop_assert!((sys * count as f64 - stats.phase_hours(phase)).abs() < 1e-3);
+                        assert!(count > 0);
+                        assert!((node / sys - nodes as f64).abs() < 1e-6);
+                        assert!((sys * count as f64 - stats.phase_hours(phase)).abs() < 1e-3);
                     }
-                    (None, None) => prop_assert_eq!(count, 0),
-                    _ => prop_assert!(false, "inconsistent MTBE options"),
+                    (None, None) => assert_eq!(count, 0),
+                    _ => panic!("inconsistent MTBE options"),
                 }
             }
         }
-    }
+    });
+}
 
-    /// Attribution: failed ≤ encountered per kind; a wider attribution
-    /// window never attributes fewer failures.
-    #[test]
-    fn attribution_monotone(events in event_stream(), end_offset in 1u64..120) {
+/// Attribution: failed ≤ encountered per kind; a wider attribution window
+/// never attributes fewer failures.
+#[test]
+fn attribution_monotone() {
+    run("attribution_monotone", 64, |g| {
+        let events = event_stream(g);
+        let end_offset = g.u64_in(1, 120);
         let merged = coalesce(events, Duration::from_secs(20));
         // One failing job per (host, gpu) covering the whole window.
         let periods = StudyPeriods::delta();
@@ -131,97 +147,90 @@ proptest! {
         let wide = JobImpact::compute(&jobs, &merged, Duration::from_secs(600_000));
         for kind in xid::ErrorKind::STUDIED {
             let (n, w) = (narrow.kind(kind), wide.kind(kind));
-            prop_assert!(n.failed <= n.encountered);
-            prop_assert!(w.failed <= w.encountered);
-            prop_assert!(n.failed <= w.failed);
-            prop_assert_eq!(n.encountered, w.encountered);
+            assert!(n.failed <= n.encountered);
+            assert!(w.failed <= w.encountered);
+            assert!(n.failed <= w.failed);
+            assert_eq!(n.encountered, w.encountered);
         }
-        prop_assert!(narrow.gpu_failed_jobs() <= wide.gpu_failed_jobs());
-    }
+        assert!(narrow.gpu_failed_jobs() <= wide.gpu_failed_jobs());
+    });
+}
 
-    /// Histograms conserve observations across bins + under/overflow.
-    #[test]
-    fn histogram_conserves(values in proptest::collection::vec(-10.0f64..100.0, 0..200)) {
+/// Histograms conserve observations across bins + under/overflow.
+#[test]
+fn histogram_conserves() {
+    run("histogram_conserves", 128, |g| {
+        let values = g.vec_with(0, 200, |g| g.f64_in(-10.0, 100.0));
         let mut h = Histogram::new(0.0, 10.0, 7);
         for &v in &values {
             h.add(v);
         }
         let binned: u64 = h.bin_counts().iter().sum();
-        prop_assert_eq!(binned + h.overflow() + h.underflow(), values.len() as u64);
-    }
+        assert_eq!(binned + h.overflow() + h.underflow(), values.len() as u64);
+    });
+}
 
-    /// Percentiles are monotone in p and bounded by the sample extremes.
-    #[test]
-    fn percentile_monotone(
-        values in proptest::collection::vec(-1e6f64..1e6, 1..100),
-        p1 in 0.0f64..100.0,
-        p2 in 0.0f64..100.0,
-    ) {
+/// Percentiles are monotone in p and bounded by the sample extremes.
+#[test]
+fn percentile_monotone() {
+    run("percentile_monotone", 128, |g| {
+        let values = g.vec_with(1, 100, |g| g.f64_in(-1e6, 1e6));
+        let p1 = g.f64_in(0.0, 100.0);
+        let p2 = g.f64_in(0.0, 100.0);
         let a = percentile(&values, p1.min(p2)).unwrap();
         let b = percentile(&values, p1.max(p2)).unwrap();
-        prop_assert!(a <= b + 1e-9);
+        assert!(a <= b + 1e-9);
         let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(a >= min - 1e-9 && b <= max + 1e-9);
-    }
+        assert!(a >= min - 1e-9 && b <= max + 1e-9);
+    });
 }
 
 /// Arbitrary-ish job records for CSV round-trip testing (names restricted
 /// to CSV-safe characters, as real sacct exports are).
-fn arbitrary_job() -> impl Strategy<Value = AccountedJob> {
-    (
-        any::<u32>(),
-        "[a-zA-Z0-9_.-]{1,20}",
-        1_640_995_200u64..1_741_000_000,
-        0u64..10_000,
-        1u64..500_000,
-        0u32..8,
-        any::<bool>(),
-    )
-        .prop_map(|(id, name, submit, wait, run, gpus, completed)| {
-            let submit = Timestamp::from_unix(submit);
-            let start = submit + Duration::from_secs(wait);
-            AccountedJob {
-                id: id as u64,
-                name,
-                submit,
-                start,
-                end: start + Duration::from_secs(run),
-                gpus,
-                gpu_slots: (0..gpus.min(4) as u8)
-                    .map(|i| (format!("gpub{:03}", i + 1), i))
-                    .collect(),
-                completed,
-            }
-        })
+fn arbitrary_job(g: &mut Gen) -> AccountedJob {
+    let id = g.u32_in(0, u32::MAX) as u64;
+    let name = g.string_of(NAME_CHARS, 1, 21);
+    let submit = Timestamp::from_unix(g.u64_in(1_640_995_200, 1_741_000_000));
+    let start = submit + Duration::from_secs(g.u64_below(10_000));
+    let run_secs = g.u64_in(1, 500_000);
+    let gpus = g.u32_in(0, 8);
+    AccountedJob {
+        id,
+        name,
+        submit,
+        start,
+        end: start + Duration::from_secs(run_secs),
+        gpus,
+        gpu_slots: (0..gpus.min(4) as u8)
+            .map(|i| (format!("gpub{:03}", i + 1), i))
+            .collect(),
+        completed: g.bool(),
+    }
 }
 
-proptest! {
-    /// The job CSV schema round-trips arbitrary records exactly.
-    #[test]
-    fn csv_jobs_roundtrip(jobs in proptest::collection::vec(arbitrary_job(), 0..30)) {
+/// The job CSV schema round-trips arbitrary records exactly.
+#[test]
+fn csv_jobs_roundtrip() {
+    run("csv_jobs_roundtrip", 64, |g| {
+        let jobs = g.vec_with(0, 30, arbitrary_job);
         let csv = csvio::render_jobs(&jobs);
         let back = csvio::parse_jobs(&csv).unwrap();
-        prop_assert_eq!(back, jobs);
-    }
+        assert_eq!(back, jobs);
+    });
+}
 
-    /// The outage CSV schema round-trips arbitrary records exactly.
-    #[test]
-    fn csv_outages_roundtrip(
-        rows in proptest::collection::vec(
-            (1u16..999, 1_640_995_200u64..1_741_000_000, 1u64..100_000),
-            0..30,
-        )
-    ) {
-        let outages: Vec<resilience::OutageRecord> = rows
-            .into_iter()
-            .map(|(node, start, secs)| resilience::OutageRecord {
-                host: format!("gpub{node:03}"),
-                start: Timestamp::from_unix(start),
-                duration: Duration::from_secs(secs),
-            })
-            .collect();
+/// The outage CSV schema round-trips arbitrary records exactly.
+#[test]
+fn csv_outages_roundtrip() {
+    run("csv_outages_roundtrip", 64, |g| {
+        let outages: Vec<resilience::OutageRecord> =
+            g.vec_with(0, 30, |g| resilience::OutageRecord {
+                host: format!("gpub{:03}", g.u16_in(1, 999)),
+                start: Timestamp::from_unix(g.u64_in(1_640_995_200, 1_741_000_000)),
+                duration: Duration::from_secs(g.u64_in(1, 100_000)),
+            });
         let csv = csvio::render_outages(&outages);
-        prop_assert_eq!(csvio::parse_outages(&csv).unwrap(), outages);
-    }
+        assert_eq!(csvio::parse_outages(&csv).unwrap(), outages);
+    });
 }

@@ -27,10 +27,9 @@ use crate::memory::MemoryChain;
 use crate::nvlink::NvlinkFanout;
 use crate::queue::EventQueue;
 use crate::rates::CalibratedRates;
-use clustersim::{
-    Cluster, DowntimeLedger, GpuErrorEvent, GpuId, IncidentId, NodeId, Outage,
-};
+use clustersim::{Cluster, DowntimeLedger, GpuErrorEvent, GpuId, IncidentId, NodeId, Outage};
 use hpclog::archive::Archive;
+use hpclog::chaos::{ChaosInjector, ChaosStats};
 use hpclog::{PciAddr, XidEvent};
 use simrng::dist::{Exponential, Poisson, Sample};
 use simrng::Rng;
@@ -66,7 +65,11 @@ enum Ev {
     Fire(usize),
     /// A single error lands on a GPU (episode cycle, burst member, chain
     /// sub-event or propagated follower).
-    Error { gpu: GpuId, kind: ErrorKind, incident: IncidentId },
+    Error {
+        gpu: GpuId,
+        kind: ErrorKind,
+        incident: IncidentId,
+    },
     /// The storm GPU emits its next error.
     StormTick,
 }
@@ -93,7 +96,10 @@ impl CampaignStats {
 
     /// Total ground-truth errors in a phase.
     pub fn total(&self, phase: Phase) -> u64 {
-        ErrorKind::STUDIED.iter().map(|&k| self.count(k, phase)).sum()
+        ErrorKind::STUDIED
+            .iter()
+            .map(|&k| self.count(k, phase))
+            .sum()
     }
 
     /// Number of distinct root incidents.
@@ -141,7 +147,34 @@ impl CampaignOutput {
     /// Ground-truth events within a phase.
     pub fn events_in(&self, phase: Phase) -> impl Iterator<Item = &GpuErrorEvent> {
         let periods = self.config.periods;
-        self.ground_truth.iter().filter(move |e| periods.period_of(e.time) == Some(phase))
+        self.ground_truth
+            .iter()
+            .filter(move |e| periods.period_of(e.time) == Some(phase))
+    }
+
+    /// Renders the archive to the syslog byte stream the analysis pipeline
+    /// ingests. With `config.chaos` set, the stream is fed through a
+    /// [`ChaosInjector`] on the way out — corrupted exactly as the seeded
+    /// configuration dictates — and the injector's [`ChaosStats`] are
+    /// returned so a test can check the quarantine ledger accounts for
+    /// every injected defect. Without chaos the stats are `None` and the
+    /// bytes are the clean rendering.
+    pub fn render_log(&self) -> (Vec<u8>, Option<ChaosStats>) {
+        match self.config.chaos {
+            Some(chaos) => {
+                let mut injector = ChaosInjector::new(chaos);
+                let bytes = injector.corrupt_archive(&self.archive);
+                (bytes, Some(injector.stats()))
+            }
+            None => {
+                let mut out = Vec::new();
+                for line in self.archive.iter() {
+                    out.extend_from_slice(line.to_string().as_bytes());
+                    out.push(b'\n');
+                }
+                (out, None)
+            }
+        }
     }
 }
 
@@ -291,7 +324,11 @@ impl Engine {
         while let Some((t, ev)) = self.queue.pop() {
             match ev {
                 Ev::Fire(i) => self.on_fire(t, i),
-                Ev::Error { gpu, kind, incident } => self.emit(t, gpu, kind, incident, false),
+                Ev::Error {
+                    gpu,
+                    kind,
+                    incident,
+                } => self.emit(t, gpu, kind, incident, false),
                 Ev::StormTick => self.on_storm_tick(t),
             }
         }
@@ -319,6 +356,8 @@ impl Engine {
         };
         let incident = self.new_incident();
         let episodes = self.config.episodes;
+        // Every ProcKind except Nvlink is constructed with `gpu: Some(..)`
+        // in `Engine::new`, so the per-kind `expect`s below cannot fire.
         match kind {
             ProcKind::Mmu => {
                 let gpu = gpu.expect("MMU process is GPU-bound");
@@ -332,7 +371,14 @@ impl Engine {
                 let mut tc = t;
                 for _ in 0..extras {
                     tc = tc + Duration::from_secs(gap.sample(&mut self.fx).ceil() as u64 + 1);
-                    self.queue.push(tc, Ev::Error { gpu, kind: ErrorKind::MmuError, incident });
+                    self.queue.push(
+                        tc,
+                        Ev::Error {
+                            gpu,
+                            kind: ErrorKind::MmuError,
+                            incident,
+                        },
+                    );
                 }
             }
             ProcKind::Gsp => {
@@ -405,10 +451,9 @@ impl Engine {
         } else {
             1
         };
-        let gap = Exponential::with_mean(
-            self.config.episodes.cycle_gap_mean.as_secs().max(1) as f64,
-        )
-        .expect("positive mean");
+        let gap =
+            Exponential::with_mean(self.config.episodes.cycle_gap_mean.as_secs().max(1) as f64)
+                .expect("positive mean");
         let end = self.config.periods.op.end;
         let mut tc = t;
         let mut hold_end = t;
@@ -418,22 +463,42 @@ impl Engine {
             }
             match target {
                 EpisodeTarget::Gpu(gpu) => {
-                    self.queue.push(tc, Ev::Error { gpu, kind, incident });
+                    self.queue.push(
+                        tc,
+                        Ev::Error {
+                            gpu,
+                            kind,
+                            incident,
+                        },
+                    );
                 }
                 EpisodeTarget::NodeFanout(node) => {
-                    let Some(node_ref) = self.cluster.node(node) else { return };
+                    let Some(node_ref) = self.cluster.node(node) else {
+                        return;
+                    };
                     for gpu in self.fanout.touched_gpus(node_ref, &mut self.fx) {
-                        self.queue.push(tc, Ev::Error { gpu, kind, incident });
+                        self.queue.push(
+                            tc,
+                            Ev::Error {
+                                gpu,
+                                kind,
+                                incident,
+                            },
+                        );
                     }
                 }
             }
             // One drain + reboot per cycle.
             let reboot_start = tc + plan.detect_delay + plan.drain_time;
             let duration = self.config.repair.sample(plan.action, &mut self.fx);
-            self.ledger.record(Outage { node, start: reboot_start, duration, action: plan.action });
+            self.ledger.record(Outage {
+                node,
+                start: reboot_start,
+                duration,
+                action: plan.action,
+            });
             hold_end = reboot_start + duration;
-            tc = hold_end
-                + Duration::from_secs(gap.sample(&mut self.fx).ceil() as u64 + 1);
+            tc = hold_end + Duration::from_secs(gap.sample(&mut self.fx).ceil() as u64 + 1);
         }
         // The scheduler sees one continuous unschedulable window.
         self.raw_holds.push(Outage {
@@ -458,7 +523,11 @@ impl Engine {
             let delay = Duration::from_secs(delay_dist.sample(&mut self.fx).ceil() as u64 + 1);
             self.queue.push(
                 t + delay,
-                Ev::Error { gpu, kind: ErrorKind::MmuError, incident },
+                Ev::Error {
+                    gpu,
+                    kind: ErrorKind::MmuError,
+                    incident,
+                },
             );
         }
     }
@@ -475,7 +544,11 @@ impl Engine {
         for (offset, kind) in outcome.events.iter().enumerate() {
             self.queue.push(
                 t + Duration::from_secs(offset as u64),
-                Ev::Error { gpu, kind: *kind, incident },
+                Ev::Error {
+                    gpu,
+                    kind: *kind,
+                    incident,
+                },
             );
         }
         // SRE replacement rule: a GPU that keeps failing to remap gets
@@ -494,6 +567,8 @@ impl Engine {
             if *count >= threshold {
                 *count = 0;
                 self.stats.replacements += 1;
+                // A RowRemapFailure outcome only comes out of this GPU's
+                // chain, so the entry must exist.
                 self.memory_chains
                     .get_mut(&gpu)
                     .expect("chain just used")
@@ -504,7 +579,12 @@ impl Engine {
         if let Some(plan) = self.config.health.response(ErrorKind::RowRemapEvent) {
             let reboot_start = t + plan.detect_delay + plan.drain_time;
             let duration = self.config.repair.sample(action, &mut self.fx);
-            self.ledger.record(Outage { node: gpu.node, start: reboot_start, duration, action });
+            self.ledger.record(Outage {
+                node: gpu.node,
+                start: reboot_start,
+                duration,
+                action,
+            });
             self.raw_holds.push(Outage {
                 node: gpu.node,
                 start: t + plan.detect_delay,
@@ -515,12 +595,20 @@ impl Engine {
     }
 
     fn on_storm_tick(&mut self, t: Timestamp) {
-        let Some(storm) = self.config.storm else { return };
+        let Some(storm) = self.config.storm else {
+            return;
+        };
         if t >= storm.end() {
             return;
         }
         let incident = self.new_incident();
-        self.emit(t, storm.gpu, ErrorKind::UncontainedMemoryError, incident, true);
+        self.emit(
+            t,
+            storm.gpu,
+            ErrorKind::UncontainedMemoryError,
+            incident,
+            true,
+        );
         // The storm predates the automated health checks (§IV(vi): it ran
         // 17 days without recovery), so no drain is triggered. Gaps carry
         // a floor of 30 s (or 80% of the mean for very hot storms): the
@@ -545,8 +633,11 @@ impl Engine {
         incident: IncidentId,
         storm: bool,
     ) {
-        let Some(phase) = self.config.periods.period_of(t) else { return };
-        self.ground_truth.push(GpuErrorEvent::new(t, gpu, kind, incident));
+        let Some(phase) = self.config.periods.period_of(t) else {
+            return;
+        };
+        self.ground_truth
+            .push(GpuErrorEvent::new(t, gpu, kind, incident));
         let entry = self.stats.counts.entry(kind).or_insert((0, 0));
         match phase {
             Phase::PreOp => entry.0 += 1,
@@ -667,6 +758,46 @@ mod tests {
     }
 
     #[test]
+    fn render_log_clean_matches_archive() {
+        let mut config = FaultConfig::tiny(11);
+        config.emit_logs = true;
+        config.noise_lines_per_node_day = 2.0;
+        let out = Campaign::new(config).run();
+        let (bytes, stats) = out.render_log();
+        assert!(stats.is_none());
+        let expect: Vec<u8> = out
+            .archive
+            .iter()
+            .flat_map(|l| {
+                let mut v = l.to_string().into_bytes();
+                v.push(b'\n');
+                v
+            })
+            .collect();
+        assert_eq!(bytes, expect);
+    }
+
+    #[test]
+    fn render_log_with_chaos_is_deterministic_and_accounted() {
+        let mut config = FaultConfig::tiny(12).with_chaos(0.2);
+        config.emit_logs = true;
+        config.noise_lines_per_node_day = 2.0;
+        let out = Campaign::new(config.clone()).run();
+        let (bytes, stats) = out.render_log();
+        let stats = stats.expect("chaos configured");
+        assert_eq!(stats.lines_in, out.archive.line_count() as u64);
+        // Same campaign, same rendering — byte for byte.
+        let (again, stats_again) = Campaign::new(config).run().render_log();
+        assert_eq!(bytes, again);
+        assert_eq!(Some(stats), stats_again);
+        // Every injected defect is detected by the lenient extractor.
+        let mut ledger = hpclog::quarantine::QuarantineLedger::new();
+        let mut ex = hpclog::extract::XidExtractor::new(2022);
+        ex.scan_reader_lenient(bytes.as_slice(), &mut ledger);
+        assert_eq!(ledger.total(), stats.quarantinable());
+    }
+
+    #[test]
     fn episodes_produce_outages_and_holds() {
         // Run long enough that at least one GSP/NVLink incident fires.
         let mut config = FaultConfig::tiny(5);
@@ -723,7 +854,11 @@ mod tests {
             );
             // All cycles of an incident stay on one GPU.
             for &inc in &incidents {
-                let gpus: Vec<_> = gsp.iter().filter(|e| e.incident == inc).map(|e| e.gpu).collect();
+                let gpus: Vec<_> = gsp
+                    .iter()
+                    .filter(|e| e.incident == inc)
+                    .map(|e| e.gpu)
+                    .collect();
                 assert!(gpus.windows(2).all(|w| w[0] == w[1]));
             }
         }
@@ -784,7 +919,10 @@ mod tests {
             .iter()
             .filter(|e| e.gpu == gpu && e.kind == ErrorKind::UncontainedMemoryError)
             .count();
-        assert!((2_000..2_900).contains(&storm_events), "storm events {storm_events}");
+        assert!(
+            (2_000..2_900).contains(&storm_events),
+            "storm events {storm_events}"
+        );
     }
 
     #[test]
@@ -793,7 +931,11 @@ mod tests {
         config.periods = simtime::StudyPeriods::delta_scaled(0.3);
         let out = Campaign::new(config).run();
         let mut by_incident: BTreeMap<IncidentId, Vec<&GpuErrorEvent>> = BTreeMap::new();
-        for ev in out.ground_truth.iter().filter(|e| e.kind == ErrorKind::NvlinkError) {
+        for ev in out
+            .ground_truth
+            .iter()
+            .filter(|e| e.kind == ErrorKind::NvlinkError)
+        {
             by_incident.entry(ev.incident).or_default().push(ev);
         }
         for (incident, events) in &by_incident {
@@ -805,7 +947,7 @@ mod tests {
     }
 
     #[test]
-    fn events_in_filters_by_phase(){
+    fn events_in_filters_by_phase() {
         let out = tiny_output(11);
         let pre: Vec<_> = out.events_in(Phase::PreOp).collect();
         let op: Vec<_> = out.events_in(Phase::Op).collect();
@@ -876,7 +1018,10 @@ mod tests {
         assert_eq!(merged[0].start, Timestamp::from_unix(0));
         assert_eq!(merged[0].end(), Timestamp::from_unix(900));
         // Different nodes never merge.
-        let other = Outage { node: NodeId::new(2), ..mk(0, 10) };
+        let other = Outage {
+            node: NodeId::new(2),
+            ..mk(0, 10)
+        };
         let merged = merge_holds(vec![mk(0, 10), other]);
         assert_eq!(merged.len(), 2);
     }

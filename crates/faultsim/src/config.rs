@@ -1,9 +1,10 @@
 //! Campaign configuration: cluster shape, calendar, rates, propagation,
 //! duplication, the storm episode, health policy and repair model.
 
-use simtime::StudyPeriods;
 use crate::rates::CalibratedRates;
 use clustersim::{ClusterSpec, GpuId, HealthPolicy, NodeId, RepairModel};
+use hpclog::chaos::ChaosConfig;
+use simtime::StudyPeriods;
 use simtime::{Duration, Timestamp};
 
 /// How PMU errors drag MMU errors behind them (§IV(iv): PMU SPI errors
@@ -95,7 +96,10 @@ impl Default for DuplicationConfig {
         // Duplicates repeat within seconds of the first line; the window
         // must sit well inside the analysis coalescing Δt (20 s) so that
         // duplicates merge while distinct errors survive.
-        DuplicationConfig { mean_extra: 2.0, window: Duration::from_secs(10) }
+        DuplicationConfig {
+            mean_extra: 2.0,
+            window: Duration::from_secs(10),
+        }
     }
 }
 
@@ -177,6 +181,11 @@ pub struct FaultConfig {
     /// failures a GPU is physically swapped (fresh spare rows, long
     /// replacement outage). Zero disables replacement.
     pub rrf_replacement_threshold: u32,
+    /// Log-corruption injection applied when the archive is rendered to
+    /// bytes ([`crate::CampaignOutput::render_log`]): `None` renders the
+    /// clean archive, `Some` feeds it through [`hpclog::chaos`] so the
+    /// analysis pipeline's lenient ingestion is exercised end to end.
+    pub chaos: Option<ChaosConfig>,
     /// Root seed for the campaign's random streams.
     pub seed: u64,
 }
@@ -198,6 +207,7 @@ impl FaultConfig {
             emit_logs: true,
             noise_lines_per_node_day: 4.0,
             rrf_replacement_threshold: 3,
+            chaos: None,
             seed: 0xDE17A,
         }
     }
@@ -244,8 +254,17 @@ impl FaultConfig {
             emit_logs: false,
             noise_lines_per_node_day: 0.0,
             rrf_replacement_threshold: 3,
+            chaos: None,
             seed,
         }
+    }
+
+    /// Turns on log corruption at a summed per-line `rate`, spread evenly
+    /// across the quarantinable mutation kinds, seeded from the campaign
+    /// seed so the corruption is as reproducible as the faults.
+    pub fn with_chaos(mut self, rate: f64) -> Self {
+        self.chaos = Some(ChaosConfig::uniform(rate, self.seed ^ 0xC0A5_F00D));
+        self
     }
 }
 

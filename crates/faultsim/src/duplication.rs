@@ -65,7 +65,10 @@ mod tests {
     use super::*;
 
     fn config(mean: f64) -> DuplicationConfig {
-        DuplicationConfig { mean_extra: mean, window: Duration::from_secs(30) }
+        DuplicationConfig {
+            mean_extra: mean,
+            window: Duration::from_secs(30),
+        }
     }
 
     #[test]

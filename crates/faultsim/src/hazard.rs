@@ -8,9 +8,9 @@
 //! `r₁` overshoots the boundary, the draw is redone from the boundary at
 //! rate `r₂` — memorylessness makes this exact, not an approximation.
 
-use simtime::{Phase, StudyPeriods};
 use simrng::Rng;
 use simtime::{Duration, Timestamp};
+use simtime::{Phase, StudyPeriods};
 
 /// A two-phase Poisson error process.
 ///
@@ -44,9 +44,16 @@ impl PiecewiseHazard {
     ///
     /// Panics if either rate is negative or non-finite.
     pub fn new(periods: StudyPeriods, pre_rate: f64, op_rate: f64) -> Self {
-        assert!(pre_rate >= 0.0 && pre_rate.is_finite(), "pre_rate {pre_rate}");
+        assert!(
+            pre_rate >= 0.0 && pre_rate.is_finite(),
+            "pre_rate {pre_rate}"
+        );
         assert!(op_rate >= 0.0 && op_rate.is_finite(), "op_rate {op_rate}");
-        PiecewiseHazard { periods, pre_rate, op_rate }
+        PiecewiseHazard {
+            periods,
+            pre_rate,
+            op_rate,
+        }
     }
 
     /// The rate in effect at `t` (zero outside the study window).
@@ -119,9 +126,17 @@ impl PowerLawProcess {
     /// `end > origin`.
     pub fn new(origin: Timestamp, end: Timestamp, shape: f64, scale_hours: f64) -> Self {
         assert!(shape > 0.0 && shape.is_finite(), "shape {shape}");
-        assert!(scale_hours > 0.0 && scale_hours.is_finite(), "scale {scale_hours}");
+        assert!(
+            scale_hours > 0.0 && scale_hours.is_finite(),
+            "scale {scale_hours}"
+        );
         assert!(end > origin, "empty observation window");
-        PowerLawProcess { origin, end, shape, scale_hours }
+        PowerLawProcess {
+            origin,
+            end,
+            shape,
+            scale_hours,
+        }
     }
 
     /// Expected events by device age `age_hours`: `(age/scale)^shape`.
@@ -141,8 +156,7 @@ impl PowerLawProcess {
         }
         let age = (now - self.origin).as_hours_f64();
         let lambda_now = self.expected_by(age);
-        let next_age = self.scale_hours
-            * (lambda_now - rng.f64_open().ln()).powf(1.0 / self.shape);
+        let next_age = self.scale_hours * (lambda_now - rng.f64_open().ln()).powf(1.0 / self.shape);
         let gap_secs = ((next_age - age) * 3600.0).clamp(1.0, 4.0e17);
         let fire = now.saturating_add(Duration::from_secs(gap_secs.ceil() as u64));
         if fire < self.end {
@@ -180,7 +194,11 @@ mod tests {
     #[test]
     fn fires_match_expected_counts_per_phase() {
         // Rates chosen to give ~200 pre-op and ~2000 op events.
-        let h = PiecewiseHazard::new(periods(), 200.0 / periods().pre_op.hours(), 2000.0 / periods().op.hours());
+        let h = PiecewiseHazard::new(
+            periods(),
+            200.0 / periods().pre_op.hours(),
+            2000.0 / periods().op.hours(),
+        );
         let mut rng = Rng::seed_from(11);
         let (pre, op) = count_fires(&h, &mut rng);
         assert!((150..250).contains(&pre), "pre {pre}");
@@ -320,7 +338,10 @@ mod tests {
         let (a, b) = count_power_law_fires(&proc_, hours, &mut rng);
         let total = (a + b) as f64;
         let expected = proc_.expected_by(hours);
-        assert!((total - expected).abs() / expected < 0.1, "{total} vs {expected}");
+        assert!(
+            (total - expected).abs() / expected < 0.1,
+            "{total} vs {expected}"
+        );
     }
 
     #[test]

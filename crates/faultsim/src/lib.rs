@@ -64,8 +64,8 @@ pub mod utilization;
 
 pub use campaign::{Campaign, CampaignOutput};
 pub use config::{FaultConfig, StormConfig};
-pub use simtime::{Period, Phase, StudyPeriods};
 pub use hazard::PowerLawProcess;
 pub use queue::EventQueue;
 pub use rates::CalibratedRates;
+pub use simtime::{Period, Phase, StudyPeriods};
 pub use utilization::UtilizationProfile;

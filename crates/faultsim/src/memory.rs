@@ -16,9 +16,9 @@
 //! tracked per GPU (A100s have 512 remappable rows) so that a long-lived
 //! campaign exhausts spares the way real silicon does.
 
-use simtime::Phase;
 use crate::rates::CalibratedRates;
 use simrng::Rng;
+use simtime::Phase;
 use xid::ErrorKind;
 
 /// Rows available for remapping on an A100 (per the NVIDIA memory error
@@ -45,7 +45,10 @@ pub struct MemoryChain {
 impl MemoryChain {
     /// A fresh A100 memory subsystem.
     pub fn new() -> Self {
-        MemoryChain { remapped_rows: 0, spare_rows: A100_SPARE_ROWS }
+        MemoryChain {
+            remapped_rows: 0,
+            spare_rows: A100_SPARE_ROWS,
+        }
     }
 
     /// Rows remapped so far.
@@ -104,7 +107,10 @@ impl MemoryChain {
             needs_reset = true;
         }
 
-        MemoryChainOutcome { events, needs_reset }
+        MemoryChainOutcome {
+            events,
+            needs_reset,
+        }
     }
 }
 
@@ -232,7 +238,11 @@ mod tests {
         let n = 50_000;
         for _ in 0..n {
             let mut chain = MemoryChain::new();
-            if chain.fault(&rates(), Phase::Op, &mut rng).events.contains(&ErrorKind::DoubleBitError) {
+            if chain
+                .fault(&rates(), Phase::Op, &mut rng)
+                .events
+                .contains(&ErrorKind::DoubleBitError)
+            {
                 dbe += 1;
             }
         }

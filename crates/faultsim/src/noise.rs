@@ -18,12 +18,27 @@ use simtime::{Duration, Period, Timestamp};
 const TEMPLATES: &[(&str, &str)] = &[
     ("slurmd", "launch task StepId={}.0 request from UID 52{}"),
     ("slurmd", "done with job {}"),
-    ("healthd", "node health check passed ({} checks, 0 failures)"),
+    (
+        "healthd",
+        "node health check passed ({} checks, 0 failures)",
+    ),
     ("systemd", "Started Session {} of User root."),
-    ("kernel", "perf: interrupt took too long ({} > 9500), lowering kernel.perf_event_max_sample_rate"),
-    ("nvidia-persistenced", "device 0000:{}:00.0 - persistence mode enabled"),
-    ("sshd", "Accepted publickey for svcuser from 141.142.0.{} port 522{}"),
-    ("kernel", "EXT4-fs (nvme0n1p2): mounted filesystem with ordered data mode. Opts: ({})"),
+    (
+        "kernel",
+        "perf: interrupt took too long ({} > 9500), lowering kernel.perf_event_max_sample_rate",
+    ),
+    (
+        "nvidia-persistenced",
+        "device 0000:{}:00.0 - persistence mode enabled",
+    ),
+    (
+        "sshd",
+        "Accepted publickey for svcuser from 141.142.0.{} port 522{}",
+    ),
+    (
+        "kernel",
+        "EXT4-fs (nvme0n1p2): mounted filesystem with ordered data mode. Opts: ({})",
+    ),
     ("lustre", "delta-OST00{}: Connection restored to service"),
     ("kernel", "NVRM: GPU at PCI:0000:{}:00: GPU-serial-number"),
 ];
@@ -34,12 +49,7 @@ const TEMPLATES: &[(&str, &str)] = &[
 /// cycle through realistic service templates. The final template
 /// deliberately contains `NVRM:` without being an XID line, keeping the
 /// extractor's prefilter honest.
-pub fn node_noise(
-    node: NodeId,
-    window: Period,
-    lines_per_day: f64,
-    rng: &mut Rng,
-) -> Vec<LogLine> {
+pub fn node_noise(node: NodeId, window: Period, lines_per_day: f64, rng: &mut Rng) -> Vec<LogLine> {
     if lines_per_day <= 0.0 {
         return Vec::new();
     }

@@ -41,7 +41,10 @@ impl NvlinkFanout {
         rng.shuffle(&mut indices);
         indices.truncate(count);
         indices.sort_unstable();
-        indices.into_iter().map(|i| GpuId::new(node.id(), i)).collect()
+        indices
+            .into_iter()
+            .map(|i| GpuId::new(node.id(), i))
+            .collect()
     }
 }
 

@@ -53,17 +53,24 @@ impl UtilizationProfile {
     /// Utilization at instant `t` for the given phase base, modulated by
     /// hour-of-day and day-of-week, clamped to `[0, 1]`.
     pub fn at(&self, t: Timestamp, op_phase: bool) -> f64 {
-        let base = if op_phase { self.op_base } else { self.pre_op_base };
+        let base = if op_phase {
+            self.op_base
+        } else {
+            self.pre_op_base
+        };
         let secs = t.unix();
         let hour = (secs % 86_400) as f64 / 3_600.0;
         // Peak mid-afternoon (15:00), trough pre-dawn (03:00).
-        let diurnal = 1.0
-            + self.diurnal_amplitude
-                * ((hour - 15.0) * std::f64::consts::TAU / 24.0).cos();
+        let diurnal =
+            1.0 + self.diurnal_amplitude * ((hour - 15.0) * std::f64::consts::TAU / 24.0).cos();
         // Unix epoch was a Thursday; days 2-3 of the week cycle land on
         // the weekend.
         let dow = (secs / 86_400 + 4) % 7;
-        let weekly = if dow >= 5 { 1.0 - self.weekly_amplitude } else { 1.0 };
+        let weekly = if dow >= 5 {
+            1.0 - self.weekly_amplitude
+        } else {
+            1.0
+        };
         (base * diurnal * weekly).clamp(0.0, 1.0)
     }
 
@@ -194,14 +201,20 @@ mod tests {
         let base = CalibratedRates::delta();
         let mut scaled = base;
         scale_sensitive_rates(&mut scaled, &profile, 0.375, 2.0); // half utilization, s=2
-        // Sensitive op rates drop 4x.
+                                                                  // Sensitive op rates drop 4x.
         assert!((scaled.gsp_per_gpu_hour.1 / base.gsp_per_gpu_hour.1 - 0.25).abs() < 1e-9);
         assert!((scaled.pmu_per_gpu_hour.1 / base.pmu_per_gpu_hour.1 - 0.25).abs() < 1e-9);
         assert!((scaled.mmu_per_gpu_hour.1 / base.mmu_per_gpu_hour.1 - 0.25).abs() < 1e-9);
         // Pre-op rates and insensitive kinds untouched.
         assert_eq!(scaled.gsp_per_gpu_hour.0, base.gsp_per_gpu_hour.0);
-        assert_eq!(scaled.nvlink_incidents_per_node_hour, base.nvlink_incidents_per_node_hour);
-        assert_eq!(scaled.uncorrectable_per_gpu_hour, base.uncorrectable_per_gpu_hour);
+        assert_eq!(
+            scaled.nvlink_incidents_per_node_hour,
+            base.nvlink_incidents_per_node_hour
+        );
+        assert_eq!(
+            scaled.uncorrectable_per_gpu_hour,
+            base.uncorrectable_per_gpu_hour
+        );
         assert_eq!(scaled.fallen_per_gpu_hour, base.fallen_per_gpu_hour);
     }
 

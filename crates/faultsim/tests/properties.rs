@@ -1,22 +1,22 @@
 //! Property tests for the fault-injection substrate: hazard processes,
-//! the event queue, calibration identities and campaign invariants.
+//! the event queue, calibration identities and campaign invariants — on
+//! the in-repo `propcheck` harness.
 
 use faultsim::hazard::PiecewiseHazard;
 use faultsim::rates::{CalibratedRates, TableOneCounts};
 use faultsim::{Campaign, EventQueue, FaultConfig};
-use proptest::prelude::*;
+use propcheck::run;
 use simrng::Rng;
 use simtime::{StudyPeriods, Timestamp};
 
-proptest! {
-    /// Hazard firings are strictly increasing and inside the window for
-    /// arbitrary rate pairs.
-    #[test]
-    fn hazard_fires_ordered_in_window(
-        seed in any::<u64>(),
-        pre_rate in 0.0f64..0.1,
-        op_rate in 0.0f64..0.1,
-    ) {
+/// Hazard firings are strictly increasing and inside the window for
+/// arbitrary rate pairs.
+#[test]
+fn hazard_fires_ordered_in_window() {
+    run("hazard_fires_ordered_in_window", 64, |g| {
+        let seed = g.u64();
+        let pre_rate = g.f64_in(0.0, 0.1);
+        let op_rate = g.f64_in(0.0, 0.1);
         let periods = StudyPeriods::delta_scaled(0.05);
         let hazard = PiecewiseHazard::new(periods, pre_rate, op_rate);
         let mut rng = Rng::seed_from(seed);
@@ -24,51 +24,59 @@ proptest! {
         for _ in 0..200 {
             match hazard.next_fire(t, &mut rng) {
                 Some(fire) => {
-                    prop_assert!(fire > t);
-                    prop_assert!(periods.period_of(fire).is_some());
+                    assert!(fire > t);
+                    assert!(periods.period_of(fire).is_some());
                     t = fire;
                 }
                 None => break,
             }
         }
-    }
+    });
+}
 
-    /// The expected-events identity holds for any rates.
-    #[test]
-    fn hazard_expected_events_identity(pre in 0.0f64..10.0, op in 0.0f64..10.0) {
+/// The expected-events identity holds for any rates.
+#[test]
+fn hazard_expected_events_identity() {
+    run("hazard_expected_events_identity", 128, |g| {
+        let pre = g.f64_in(0.0, 10.0);
+        let op = g.f64_in(0.0, 10.0);
         let periods = StudyPeriods::delta();
         let hazard = PiecewiseHazard::new(periods, pre, op);
         let expected = pre * periods.pre_op.hours() + op * periods.op.hours();
-        prop_assert!((hazard.expected_events() - expected).abs() < 1e-6);
-    }
+        assert!((hazard.expected_events() - expected).abs() < 1e-6);
+    });
+}
 
-    /// The event queue pops every pushed event in time order.
-    #[test]
-    fn event_queue_is_a_priority_queue(times in proptest::collection::vec(0u64..1_000_000, 0..200)) {
+/// The event queue pops every pushed event in time order.
+#[test]
+fn event_queue_is_a_priority_queue() {
+    run("event_queue_is_a_priority_queue", 64, |g| {
+        let times = g.vec_with(0, 200, |g| g.u64_below(1_000_000));
         let mut queue = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             queue.push(Timestamp::from_unix(t), i);
         }
-        prop_assert_eq!(queue.len(), times.len());
+        assert_eq!(queue.len(), times.len());
         let mut popped = Vec::new();
         while let Some((t, _)) = queue.pop() {
             popped.push(t);
         }
-        prop_assert_eq!(popped.len(), times.len());
+        assert_eq!(popped.len(), times.len());
         for pair in popped.windows(2) {
-            prop_assert!(pair[0] <= pair[1]);
+            assert!(pair[0] <= pair[1]);
         }
-    }
+    });
+}
 
-    /// Calibration inverts exactly: rates × exposure × divisors recover
-    /// the table counts for arbitrary (positive) counts.
-    #[test]
-    fn calibration_roundtrip(
-        mmu in 100u64..20_000,
-        gsp in 14u64..10_000,
-        nvlink in 25u64..10_000,
-        pmu in 1u64..500,
-    ) {
+/// Calibration inverts exactly: rates × exposure × divisors recover the
+/// table counts for arbitrary (positive) counts.
+#[test]
+fn calibration_roundtrip() {
+    run("calibration_roundtrip", 128, |g| {
+        let mmu = g.u64_in(100, 20_000);
+        let gsp = g.u64_in(14, 10_000);
+        let nvlink = g.u64_in(25, 10_000);
+        let pmu = g.u64_in(1, 500);
         let counts = TableOneCounts {
             mmu: (mmu, mmu),
             gsp: (gsp, gsp),
@@ -82,41 +90,38 @@ proptest! {
         let op_node_hours = periods.op.hours() * 106.0;
         // GSP: incidents * cycles == count.
         let gsp_back = rates.gsp_per_gpu_hour.1 * op_gpu_hours * faultsim::rates::GSP_CYCLES_MEAN;
-        prop_assert!((gsp_back - gsp as f64).abs() < 1e-6 * gsp as f64 + 1e-6);
+        assert!((gsp_back - gsp as f64).abs() < 1e-6 * gsp as f64 + 1e-6);
         // NVLink: incidents * cycles * fanout == count.
         let nvl_back = rates.nvlink_incidents_per_node_hour.1
             * op_node_hours
             * faultsim::rates::NVLINK_CYCLES_MEAN
             * faultsim::rates::NVLINK_EXPECTED_FANOUT;
-        prop_assert!((nvl_back - nvlink as f64).abs() < 1e-6 * nvlink as f64 + 1e-6);
+        assert!((nvl_back - nvlink as f64).abs() < 1e-6 * nvlink as f64 + 1e-6);
         // MMU: incidents * burst + PMU followers == count (when positive).
-        let mmu_back = rates.mmu_per_gpu_hour.1
-            * op_gpu_hours
-            * (1.0 + faultsim::rates::MMU_EXTRA_MEAN)
-            + pmu as f64 * 2.4;
+        let mmu_back =
+            rates.mmu_per_gpu_hour.1 * op_gpu_hours * (1.0 + faultsim::rates::MMU_EXTRA_MEAN)
+                + pmu as f64 * 2.4;
         if rates.mmu_per_gpu_hour.1 > 0.0 {
-            prop_assert!((mmu_back - mmu as f64).abs() < 1e-6 * mmu as f64 + 1e-6);
+            assert!((mmu_back - mmu as f64).abs() < 1e-6 * mmu as f64 + 1e-6);
         }
-    }
+    });
 }
 
-proptest! {
-    // Campaigns are slow; keep the case count small.
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// Any seeded tiny campaign satisfies the structural invariants:
-    /// sorted ground truth, in-window events, studied kinds only,
-    /// per-cycle outages within holds.
-    #[test]
-    fn campaign_invariants(seed in any::<u64>()) {
+/// Any seeded tiny campaign satisfies the structural invariants: sorted
+/// ground truth, in-window events, studied kinds only, disjoint holds,
+/// and per-seed determinism. Campaigns are slow; keep the case count low.
+#[test]
+fn campaign_invariants() {
+    run("campaign_invariants", 8, |g| {
+        let seed = g.u64();
         let out = Campaign::new(FaultConfig::tiny(seed)).run();
         let periods = out.config.periods;
         for pair in out.ground_truth.windows(2) {
-            prop_assert!(pair[0].time <= pair[1].time);
+            assert!(pair[0].time <= pair[1].time);
         }
         for ev in &out.ground_truth {
-            prop_assert!(ev.kind.is_studied());
-            prop_assert!(periods.period_of(ev.time).is_some());
+            assert!(ev.kind.is_studied());
+            assert!(periods.period_of(ev.time).is_some());
         }
         // Holds are disjoint per node.
         let mut by_node: std::collections::BTreeMap<_, Vec<_>> = Default::default();
@@ -126,11 +131,11 @@ proptest! {
         for (_, mut hs) in by_node {
             hs.sort_by_key(|h| h.start);
             for pair in hs.windows(2) {
-                prop_assert!(pair[0].end() < pair[1].start);
+                assert!(pair[0].end() < pair[1].start);
             }
         }
         // Determinism.
         let again = Campaign::new(FaultConfig::tiny(seed)).run();
-        prop_assert_eq!(out.ground_truth, again.ground_truth);
-    }
+        assert_eq!(out.ground_truth, again.ground_truth);
+    });
 }

@@ -40,7 +40,10 @@ impl Archive {
 
     /// Appends a line to its day bucket.
     pub fn push(&mut self, line: LogLine) {
-        self.days.entry(line.time.day_number()).or_default().push(line);
+        self.days
+            .entry(line.time.day_number())
+            .or_default()
+            .push(line);
         self.line_count += 1;
     }
 
@@ -57,7 +60,13 @@ impl Archive {
     /// The first and last instants present, or `None` if empty.
     pub fn time_span(&self) -> Option<(Timestamp, Timestamp)> {
         let first = self.days.values().next()?.iter().map(|l| l.time).min()?;
-        let last = self.days.values().next_back()?.iter().map(|l| l.time).max()?;
+        let last = self
+            .days
+            .values()
+            .next_back()?
+            .iter()
+            .map(|l| l.time)
+            .max()?;
         Some((first, last))
     }
 
@@ -218,7 +227,8 @@ mod tests {
     #[test]
     fn ingest_skips_garbage() {
         let mut a = Archive::new();
-        let (added, skipped) = a.ingest_day("not a log line\n\nMar 14 03:00:00 n kernel: ok\n", 2024);
+        let (added, skipped) =
+            a.ingest_day("not a log line\n\nMar 14 03:00:00 n kernel: ok\n", 2024);
         assert_eq!((added, skipped), (1, 1));
     }
 

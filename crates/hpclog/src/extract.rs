@@ -7,8 +7,9 @@
 //! record — and it keeps counters so data-quality problems are visible
 //! instead of silent.
 
-use crate::line::LogLine;
+use crate::line::{LogLine, LogLineErrorKind};
 use crate::nvrm::XidEvent;
+use crate::quarantine::{QuarantineCategory, QuarantineCounts, QuarantineLedger};
 use simtime::Timestamp;
 
 /// Counters describing what an extractor has seen.
@@ -24,6 +25,9 @@ pub struct ExtractStats {
     pub extracted: u64,
     /// XID events dropped by the study-inclusion filter (XID 13/43/etc.).
     pub excluded: u64,
+    /// Per-category reject counts from lenient scans (zero on the strict
+    /// paths, which fold every reject into `malformed`).
+    pub quarantined: QuarantineCounts,
 }
 
 /// Extracts structured XID events from log lines.
@@ -51,14 +55,22 @@ impl XidExtractor {
     /// Creates an extractor resolving year-less syslog stamps against
     /// `year`, keeping every XID code (no study filter).
     pub fn new(year: i32) -> Self {
-        XidExtractor { year, studied_only: false, stats: ExtractStats::default() }
+        XidExtractor {
+            year,
+            studied_only: false,
+            stats: ExtractStats::default(),
+        }
     }
 
     /// Creates an extractor that additionally applies the study-inclusion
     /// rule, dropping application-triggered codes (XID 13, 43) and unknown
     /// codes, as §II-B of the paper does.
     pub fn studied_only(year: i32) -> Self {
-        XidExtractor { year, studied_only: true, stats: ExtractStats::default() }
+        XidExtractor {
+            year,
+            studied_only: true,
+            stats: ExtractStats::default(),
+        }
     }
 
     /// The year used to resolve syslog timestamps.
@@ -104,12 +116,7 @@ impl XidExtractor {
 
     /// Extracts from pre-split line parts (used by the archive replayer to
     /// avoid re-rendering).
-    pub fn extract_parts(
-        &mut self,
-        time: Timestamp,
-        host: &str,
-        body: &str,
-    ) -> Option<XidEvent> {
+    pub fn extract_parts(&mut self, time: Timestamp, host: &str, body: &str) -> Option<XidEvent> {
         self.stats.lines_seen += 1;
         let parsed = XidEvent::parse_body(time, host, body)?;
         self.stats.xid_lines += 1;
@@ -135,7 +142,10 @@ impl XidExtractor {
     where
         I: IntoIterator<Item = &'a str>,
     {
-        lines.into_iter().filter_map(|l| self.extract_raw(l)).collect()
+        lines
+            .into_iter()
+            .filter_map(|l| self.extract_raw(l))
+            .collect()
     }
 
     /// Streams a reader line by line, extracting events without loading
@@ -147,10 +157,7 @@ impl XidExtractor {
     ///
     /// Returns the underlying I/O error, with events extracted so far
     /// lost (re-run from a clean extractor after fixing the source).
-    pub fn scan_reader<R: std::io::Read>(
-        &mut self,
-        reader: R,
-    ) -> std::io::Result<Vec<XidEvent>> {
+    pub fn scan_reader<R: std::io::Read>(&mut self, reader: R) -> std::io::Result<Vec<XidEvent>> {
         use std::io::BufRead;
         let mut events = Vec::new();
         let buffered = std::io::BufReader::new(reader);
@@ -160,6 +167,121 @@ impl XidExtractor {
             }
         }
         Ok(events)
+    }
+
+    /// Streams a reader like [`scan_reader`](Self::scan_reader), but never
+    /// fails: every line the strict path would choke on is classified and
+    /// recorded in `ledger` instead, and I/O errors end the scan early
+    /// (recorded via [`QuarantineLedger::record_io_error`]) rather than
+    /// discarding the events already extracted.
+    ///
+    /// Rejection categories, checked in order per line:
+    ///
+    /// 1. longer than the ledger's byte cap → `OversizedLine`
+    /// 2. not valid UTF-8 → `Encoding`
+    /// 3. syslog parse failed, missing fields → `Truncated`
+    /// 4. syslog parse failed, five fields but a bad stamp → `MalformedTimestamp`
+    /// 5. an `NVRM: Xid` body that does not parse → `BadXid`
+    /// 6. timestamp behind the last accepted line → `OutOfOrder`
+    ///
+    /// The monotonicity check (6) applies to *every* line, noise included:
+    /// consolidated day archives are globally time-ordered, so a regression
+    /// is corruption regardless of the line's content. The accepted-clock
+    /// anchor advances only on accepted lines (study-filter-excluded XID
+    /// events still count as accepted — the line itself was sound).
+    ///
+    /// Empty lines are skipped silently; they carry no data to lose.
+    pub fn scan_reader_lenient<R: std::io::Read>(
+        &mut self,
+        reader: R,
+        ledger: &mut QuarantineLedger,
+    ) -> Vec<XidEvent> {
+        use std::io::BufRead;
+        let mut events = Vec::new();
+        let mut buffered = std::io::BufReader::new(reader);
+        let mut raw = Vec::new();
+        let mut line_no: u64 = 0;
+        let mut prev_accepted: Option<Timestamp> = None;
+        loop {
+            raw.clear();
+            match buffered.read_until(b'\n', &mut raw) {
+                Ok(0) => break,
+                Ok(_) => {}
+                Err(_) => {
+                    // The stream is gone; keep what we have.
+                    ledger.record_io_error();
+                    break;
+                }
+            }
+            line_no += 1;
+            while raw.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
+                raw.pop();
+            }
+            if raw.is_empty() {
+                continue;
+            }
+            self.stats.lines_seen += 1;
+            if raw.len() > ledger.max_line_bytes() {
+                self.quarantine(ledger, QuarantineCategory::OversizedLine, line_no, &raw);
+                continue;
+            }
+            let text = match std::str::from_utf8(&raw) {
+                Ok(t) => t,
+                Err(_) => {
+                    self.quarantine(ledger, QuarantineCategory::Encoding, line_no, &raw);
+                    continue;
+                }
+            };
+            let line = match LogLine::parse_with_year(text, self.year) {
+                Ok(line) => line,
+                Err(err) => {
+                    let category = match err.kind() {
+                        LogLineErrorKind::MissingField => QuarantineCategory::Truncated,
+                        LogLineErrorKind::BadTimestamp => QuarantineCategory::MalformedTimestamp,
+                    };
+                    self.quarantine(ledger, category, line_no, &raw);
+                    continue;
+                }
+            };
+            let xid = match XidEvent::parse_body(line.time, &line.host, &line.body) {
+                Some(Ok(ev)) => {
+                    self.stats.xid_lines += 1;
+                    Some(ev)
+                }
+                Some(Err(_)) => {
+                    self.stats.xid_lines += 1;
+                    self.stats.malformed += 1;
+                    self.quarantine(ledger, QuarantineCategory::BadXid, line_no, &raw);
+                    continue;
+                }
+                None => None,
+            };
+            if prev_accepted.is_some_and(|prev| line.time < prev) {
+                self.quarantine(ledger, QuarantineCategory::OutOfOrder, line_no, &raw);
+                continue;
+            }
+            prev_accepted = Some(line.time);
+            if let Some(ev) = xid {
+                if self.studied_only && !ev.kind().is_studied() {
+                    self.stats.excluded += 1;
+                } else {
+                    self.stats.extracted += 1;
+                    events.push(ev);
+                }
+            }
+        }
+        events
+    }
+
+    fn quarantine(
+        &mut self,
+        ledger: &mut QuarantineLedger,
+        category: QuarantineCategory,
+        line_no: u64,
+        raw: &[u8],
+    ) {
+        self.stats.quarantined.add(category);
+        ledger.record(category, line_no, raw);
     }
 }
 
@@ -264,5 +386,125 @@ mod tests {
     fn stats_start_at_zero() {
         let ex = XidExtractor::new(2024);
         assert_eq!(ex.stats(), ExtractStats::default());
+    }
+
+    #[test]
+    fn lenient_matches_strict_on_clean_input() {
+        let later_xid =
+            "Mar 14 03:25:00 gpub042 kernel: NVRM: Xid (PCI:0000:27:00): 79, pid=77, GPU has fallen off the bus.";
+        let text = format!("{XID_LINE}\n{NOISE}\n{SOFTWARE_XID}\n{later_xid}\n");
+        let mut strict = XidExtractor::new(2024);
+        let expect = strict.scan_reader(text.as_bytes()).unwrap();
+        let mut lenient = XidExtractor::new(2024);
+        let mut ledger = QuarantineLedger::new();
+        let events = lenient.scan_reader_lenient(text.as_bytes(), &mut ledger);
+        assert_eq!(events, expect);
+        assert!(ledger.is_empty());
+        assert_eq!(lenient.stats().quarantined.total(), 0);
+        assert_eq!(lenient.stats().extracted, strict.stats().extracted);
+    }
+
+    #[test]
+    fn lenient_classifies_each_category() {
+        let oversized = format!("Mar 14 03:22:05 gpub042 kernel: {}", "x".repeat(9000));
+        let mut bad_utf8 = NOISE.as_bytes().to_vec();
+        bad_utf8[20] = 0xFF;
+        let regressed = "Mar 13 01:00:00 gpub042 kernel: late arrival";
+        let bad_stamp = "Mar 99 03:22:07 gpub042 kernel: body";
+        let garbled = "Mar 14 03:22:11 gpub042 kernel: NVRM: Xid (PCI:0000:27:00): ??, huh";
+        // A mid-prefix cut: too few fields to even name a host. (The
+        // `TRUNCATED` const above keeps all five syslog fields and loses
+        // only XID body structure, so it classifies as `BadXid` instead.)
+        let cut_short = "Mar 14 03:2";
+        let mut input = Vec::new();
+        for chunk in [
+            XID_LINE.as_bytes(),
+            oversized.as_bytes(),
+            &bad_utf8,
+            cut_short.as_bytes(),
+            bad_stamp.as_bytes(),
+            garbled.as_bytes(),
+            regressed.as_bytes(),
+            NOISE.as_bytes(),
+        ] {
+            input.extend_from_slice(chunk);
+            input.push(b'\n');
+        }
+        let mut ex = XidExtractor::new(2024);
+        let mut ledger = QuarantineLedger::new();
+        let events = ex.scan_reader_lenient(input.as_slice(), &mut ledger);
+        assert_eq!(events.len(), 1); // only XID_LINE survives
+        use QuarantineCategory as Q;
+        let counts = ledger.counts();
+        assert_eq!(counts.get(Q::OversizedLine), 1);
+        assert_eq!(counts.get(Q::Encoding), 1);
+        assert_eq!(counts.get(Q::Truncated), 1);
+        assert_eq!(counts.get(Q::MalformedTimestamp), 1);
+        assert_eq!(counts.get(Q::BadXid), 1);
+        assert_eq!(counts.get(Q::OutOfOrder), 1);
+        assert_eq!(counts.get(Q::BadRecord), 0);
+        assert_eq!(ex.stats().quarantined, counts);
+        // NOISE at the end is accepted: the anchor did not move on rejects.
+        assert_eq!(ex.stats().lines_seen, 8);
+    }
+
+    #[test]
+    fn lenient_survives_io_failure_mid_stream() {
+        struct Flaky {
+            fed: bool,
+        }
+        impl std::io::Read for Flaky {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.fed {
+                    return Err(std::io::Error::other("disk on fire"));
+                }
+                self.fed = true;
+                let line = format!("{XID_LINE}\n");
+                buf[..line.len()].copy_from_slice(line.as_bytes());
+                Ok(line.len())
+            }
+        }
+        let mut ex = XidExtractor::new(2024);
+        let mut ledger = QuarantineLedger::new();
+        let events = ex.scan_reader_lenient(Flaky { fed: false }, &mut ledger);
+        assert_eq!(events.len(), 1); // the line before the failure survives
+        assert_eq!(ledger.io_errors(), 1);
+    }
+
+    #[test]
+    fn lenient_quarantine_total_matches_chaos_stats() {
+        use crate::chaos::{ChaosConfig, ChaosInjector};
+        use crate::LogLine;
+
+        // A clean, time-ordered stream of mixed XID and noise lines.
+        let mut input = Vec::new();
+        let mut chaos =
+            ChaosInjector::new(ChaosConfig::uniform_with_duplicates(0.35, 0.1, 0xDECAF));
+        for i in 0..400u32 {
+            let t =
+                Timestamp::from_ymd_hms(2024, 3, 14, 6 + i / 3600, (i / 60) % 60, i % 60).unwrap();
+            let body = if i % 3 == 0 {
+                "NVRM: Xid (PCI:0000:27:00): 79, pid=9, GPU has fallen off the bus."
+            } else {
+                "usb 3-2: new high-speed USB device"
+            };
+            let line = LogLine::new(t, "gpub042", "kernel", body).to_string();
+            chaos.corrupt_line(t, &line, &mut input);
+        }
+        let stats = chaos.stats();
+        assert!(stats.quarantinable() > 0, "chaos produced no corruption");
+        let mut ex = XidExtractor::new(2024);
+        let mut ledger = QuarantineLedger::new();
+        let events = ex.scan_reader_lenient(input.as_slice(), &mut ledger);
+        assert_eq!(
+            ledger.total(),
+            stats.quarantinable(),
+            "ledger {:?} vs chaos {stats:?}",
+            ledger.counts()
+        );
+        assert_eq!(ledger.io_errors(), 0);
+        assert!(!events.is_empty());
+        // Duplicates pass through un-quarantined (coalescing's problem).
+        assert_eq!(ex.stats().lines_seen, stats.lines_out);
     }
 }

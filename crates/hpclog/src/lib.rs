@@ -23,6 +23,10 @@
 //! * [`extract`] — the Stage-I extractor: lines in, [`nvrm::XidEvent`]s out,
 //!   tolerant of interleaved noise.
 //! * [`archive`] — per-day log consolidation, mirroring Delta's collection.
+//! * [`quarantine`] — the reject ledger lenient readers feed: per-category
+//!   counts plus a bounded reservoir of exemplar bad lines.
+//! * [`chaos`] — seeded corruption injection for resilience testing:
+//!   truncation, invalid UTF-8, clock skew, interleaving, duplication.
 //!
 //! # Example
 //!
@@ -43,11 +47,14 @@
 #![warn(missing_docs)]
 
 pub mod archive;
+pub mod chaos;
 pub mod extract;
 mod line;
 pub mod nvrm;
 pub mod pattern;
+pub mod quarantine;
 
-pub use line::{LogLine, ParseLogLineError};
+pub use line::{LogLine, LogLineErrorKind, ParseLogLineError};
 pub use nvrm::{PciAddr, XidEvent};
+pub use quarantine::{QuarantineCategory, QuarantineCounts, QuarantineLedger};
 pub use simtime::{Duration, ParseTimestampError, Timestamp};

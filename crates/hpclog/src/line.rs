@@ -40,7 +40,12 @@ impl LogLine {
         tag: impl Into<String>,
         body: impl Into<String>,
     ) -> Self {
-        LogLine { time, host: host.into(), tag: tag.into(), body: body.into() }
+        LogLine {
+            time,
+            host: host.into(),
+            tag: tag.into(),
+            body: body.into(),
+        }
     }
 
     /// Parses a rendered line, resolving the year-less syslog timestamp
@@ -53,13 +58,21 @@ impl LogLine {
     pub fn parse_with_year(line: &str, year: i32) -> Result<Self, ParseLogLineError> {
         // Format: "Mon DD HH:MM:SS host tag: body...".
         let mut fields = line.splitn(6, ' ').filter(|f| !f.is_empty());
-        let mon = fields.next().ok_or_else(|| ParseLogLineError::new("empty line"))?;
-        let day = fields.next().ok_or_else(|| ParseLogLineError::new("missing day"))?;
-        let hms = fields.next().ok_or_else(|| ParseLogLineError::new("missing time"))?;
-        let host = fields.next().ok_or_else(|| ParseLogLineError::new("missing host"))?;
+        let mon = fields
+            .next()
+            .ok_or_else(|| ParseLogLineError::missing("empty line"))?;
+        let day = fields
+            .next()
+            .ok_or_else(|| ParseLogLineError::missing("missing day"))?;
+        let hms = fields
+            .next()
+            .ok_or_else(|| ParseLogLineError::missing("missing time"))?;
+        let host = fields
+            .next()
+            .ok_or_else(|| ParseLogLineError::missing("missing host"))?;
         let rest = fields
             .next()
-            .ok_or_else(|| ParseLogLineError::new("missing tag/body"))?;
+            .ok_or_else(|| ParseLogLineError::missing("missing tag/body"))?;
         // `splitn(6)` above can leave a final chunk if the day was
         // double-spaced (single-digit days); re-join whatever is left.
         let rest = match fields.next() {
@@ -83,7 +96,14 @@ impl LogLine {
 
 impl fmt::Display for LogLine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} {}: {}", self.time.syslog(), self.host, self.tag, self.body)
+        write!(
+            f,
+            "{} {} {}: {}",
+            self.time.syslog(),
+            self.host,
+            self.tag,
+            self.body
+        )
     }
 }
 
@@ -98,15 +118,38 @@ impl FromStr for LogLine {
     }
 }
 
+/// The structural reason a syslog line failed to parse.
+///
+/// Lenient readers use this to sort rejects into quarantine categories:
+/// a line that is missing whole fields was almost certainly truncated in
+/// transit, while a line with all five fields but an unparseable stamp
+/// has a corrupted timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogLineErrorKind {
+    /// Fewer than the five mandatory whitespace-separated fields.
+    MissingField,
+    /// All fields present but the `Mon DD HH:MM:SS` stamp is invalid.
+    BadTimestamp,
+}
+
 /// Error returned when a syslog line cannot be parsed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseLogLineError {
+    kind: LogLineErrorKind,
     what: String,
 }
 
 impl ParseLogLineError {
-    fn new(what: impl Into<String>) -> Self {
-        ParseLogLineError { what: what.into() }
+    fn missing(what: impl Into<String>) -> Self {
+        ParseLogLineError {
+            kind: LogLineErrorKind::MissingField,
+            what: what.into(),
+        }
+    }
+
+    /// The structural reason the parse failed.
+    pub fn kind(&self) -> LogLineErrorKind {
+        self.kind
     }
 }
 
@@ -120,7 +163,10 @@ impl Error for ParseLogLineError {}
 
 impl From<ParseTimestampError> for ParseLogLineError {
     fn from(err: ParseTimestampError) -> Self {
-        ParseLogLineError { what: err.to_string() }
+        ParseLogLineError {
+            kind: LogLineErrorKind::BadTimestamp,
+            what: err.to_string(),
+        }
     }
 }
 
@@ -169,7 +215,13 @@ mod tests {
 
     #[test]
     fn rejects_truncated_lines() {
-        for bad in ["", "Mar", "Mar 14", "Mar 14 03:22:07", "Mar 14 03:22:07 host"] {
+        for bad in [
+            "",
+            "Mar",
+            "Mar 14",
+            "Mar 14 03:22:07",
+            "Mar 14 03:22:07 host",
+        ] {
             assert!(LogLine::parse_with_year(bad, 2024).is_err(), "{bad:?}");
         }
     }
@@ -190,6 +242,28 @@ mod tests {
     fn error_display_mentions_cause() {
         let err = LogLine::parse_with_year("", 2024).unwrap_err();
         assert!(err.to_string().contains("empty line"));
+    }
+
+    #[test]
+    fn error_kinds_discriminate_truncation_from_bad_stamp() {
+        for cut in [
+            "",
+            "Mar",
+            "Mar 14",
+            "Mar 14 03:22:07",
+            "Mar 14 03:22:07 host",
+        ] {
+            let err = LogLine::parse_with_year(cut, 2024).unwrap_err();
+            assert_eq!(err.kind(), LogLineErrorKind::MissingField, "{cut:?}");
+        }
+        for bad in [
+            "Xyz 14 03:22:07 gpub042 kernel: body",
+            "Mar 99 03:22:07 gpub042 kernel: body",
+            "Mar 14 03:99:07 gpub042 kernel: body",
+        ] {
+            let err = LogLine::parse_with_year(bad, 2024).unwrap_err();
+            assert_eq!(err.kind(), LogLineErrorKind::BadTimestamp, "{bad:?}");
+        }
     }
 
     #[test]

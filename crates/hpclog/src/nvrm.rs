@@ -35,7 +35,11 @@ pub struct PciAddr {
 impl PciAddr {
     /// Creates a PCI address.
     pub const fn new(domain: u16, bus: u8, device: u8) -> Self {
-        PciAddr { domain, bus, device }
+        PciAddr {
+            domain,
+            bus,
+            device,
+        }
     }
 
     /// The conventional address of the GPU with the given index on a Delta
@@ -56,7 +60,11 @@ impl PciAddr {
 
 impl fmt::Display for PciAddr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:04x}:{:02x}:{:02x}", self.domain, self.bus, self.device)
+        write!(
+            f,
+            "{:04x}:{:02x}:{:02x}",
+            self.domain, self.bus, self.device
+        )
     }
 }
 
@@ -77,7 +85,11 @@ impl FromStr for PciAddr {
             .next()
             .and_then(|v| u8::from_str_radix(v, 16).ok())
             .ok_or_else(|| ParseNvrmError::new(format!("bad PCI device in {s:?}")))?;
-        Ok(PciAddr { domain, bus, device })
+        Ok(PciAddr {
+            domain,
+            bus,
+            device,
+        })
     }
 }
 
@@ -110,7 +122,13 @@ impl XidEvent {
         code: XidCode,
         detail: impl Into<String>,
     ) -> Self {
-        XidEvent { time, host: host.into(), pci, code, detail: detail.into() }
+        XidEvent {
+            time,
+            host: host.into(),
+            pci,
+            code,
+            detail: detail.into(),
+        }
     }
 
     /// The semantic kind of this event.
@@ -123,7 +141,10 @@ impl XidEvent {
         if self.detail.is_empty() {
             format!("NVRM: Xid (PCI:{}): {}", self.pci, self.code)
         } else {
-            format!("NVRM: Xid (PCI:{}): {}, {}", self.pci, self.code, self.detail)
+            format!(
+                "NVRM: Xid (PCI:{}): {}, {}",
+                self.pci, self.code, self.detail
+            )
         }
     }
 
@@ -217,7 +238,14 @@ impl XidEvent {
 
 impl fmt::Display for XidEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} xid={} ({})", self.time, self.host, self.code, self.kind())
+        write!(
+            f,
+            "{} {} xid={} ({})",
+            self.time,
+            self.host,
+            self.code,
+            self.kind()
+        )
     }
 }
 
@@ -313,7 +341,9 @@ mod tests {
     #[test]
     fn body_without_detail_roundtrips() {
         let ev = XidEvent::new(t0(), "h", PciAddr::for_gpu_index(1), XidCode::new(63), "");
-        let parsed = XidEvent::parse_body(t0(), "h", &ev.body()).unwrap().unwrap();
+        let parsed = XidEvent::parse_body(t0(), "h", &ev.body())
+            .unwrap()
+            .unwrap();
         assert_eq!(parsed, ev);
     }
 
@@ -361,7 +391,13 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let ev = XidEvent::new(t0(), "gpub001", PciAddr::for_gpu_index(0), XidCode::new(119), "");
+        let ev = XidEvent::new(
+            t0(),
+            "gpub001",
+            PciAddr::for_gpu_index(0),
+            XidCode::new(119),
+            "",
+        );
         let s = ev.to_string();
         assert!(s.contains("gpub001"));
         assert!(s.contains("119"));

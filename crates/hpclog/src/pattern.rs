@@ -113,7 +113,10 @@ impl Pattern {
         if !literal.is_empty() {
             tokens.push(Token::Literal(literal));
         }
-        Ok(Pattern { tokens, source: source.to_owned() })
+        Ok(Pattern {
+            tokens,
+            source: source.to_owned(),
+        })
     }
 
     /// The source string the pattern was compiled from.
@@ -279,7 +282,10 @@ fn match_tokens(
 /// All byte offsets that are valid end positions for a wildcard starting at
 /// `pos` (i.e. `pos` itself plus every subsequent char boundary).
 fn char_boundaries(rest: &str, pos: usize) -> impl Iterator<Item = usize> + '_ {
-    std::iter::once(pos).chain(rest.char_indices().map(move |(i, c)| pos + i + c.len_utf8()))
+    std::iter::once(pos).chain(
+        rest.char_indices()
+            .map(move |(i, c)| pos + i + c.len_utf8()),
+    )
 }
 
 /// Error returned when a pattern fails to compile.

@@ -1,68 +1,77 @@
 //! Property tests: log line and NVRM body round trips, pattern-engine
-//! invariants, archive conservation.
+//! invariants, archive conservation — on the in-repo `propcheck` harness.
 
 use hpclog::archive::Archive;
 use hpclog::pattern::Pattern;
 use hpclog::{LogLine, PciAddr, Timestamp, XidEvent};
-use proptest::prelude::*;
+use propcheck::{run, Gen};
 use xid::XidCode;
 
+const ALNUM: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+const TEXT: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _.:=/()-";
+const LOWER: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+const LOWER_SPACE: &[u8] = b"abcdefghijklmnopqrstuvwxyz ";
+const PRINTABLE: &[u8] =
+    b" !\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~";
+
 /// Timestamps within the study window (2022-2025).
-fn study_time() -> impl Strategy<Value = Timestamp> {
-    (1_640_995_200u64..1_741_996_800).prop_map(Timestamp::from_unix)
+fn study_time(g: &mut Gen) -> Timestamp {
+    Timestamp::from_unix(g.u64_in(1_640_995_200, 1_741_996_800))
 }
 
 /// Hostnames in Delta's convention.
-fn hostname() -> impl Strategy<Value = String> {
-    (1u16..999).prop_map(|n| format!("gpub{n:03}"))
+fn hostname(g: &mut Gen) -> String {
+    format!("gpub{:03}", g.u16_in(1, 999))
 }
 
-/// Printable body text: no newlines; not starting with whitespace (syslog
-/// separators would eat it).
-fn body_text() -> impl Strategy<Value = String> {
-    "[a-zA-Z0-9][a-zA-Z0-9 _.:=/()-]{0,80}".prop_map(|s| s.trim_end().to_owned())
+/// Printable body text: no newlines; starts alphanumeric (syslog
+/// separators would eat leading whitespace); no trailing whitespace.
+fn body_text(g: &mut Gen, max: usize) -> String {
+    let mut s = String::new();
+    s.push(g.choose(ALNUM) as char);
+    s.push_str(&g.string_of(TEXT, 0, max + 1));
+    s.trim_end().to_owned()
 }
 
-/// XID detail text: printable, not beginning with space/comma (the wire
-/// format separates with ", ").
-fn detail_text() -> impl Strategy<Value = String> {
-    "[a-zA-Z0-9][a-zA-Z0-9 _.:=/()-]{0,60}".prop_map(|s| s.trim_end().to_owned())
-}
-
-proptest! {
-    /// Any structurally valid log line round-trips through rendering.
-    #[test]
-    fn log_line_roundtrip(time in study_time(), host in hostname(), body in body_text()) {
+/// Any structurally valid log line round-trips through rendering.
+#[test]
+fn log_line_roundtrip() {
+    run("log_line_roundtrip", 256, |g| {
+        let (time, host) = (study_time(g), hostname(g));
+        let body = body_text(g, 80);
         let line = LogLine::new(time, host, "kernel", body);
         let year = time.ymd().0;
         let parsed = LogLine::parse_with_year(&line.to_string(), year).unwrap();
-        prop_assert_eq!(parsed, line);
-    }
+        assert_eq!(parsed, line);
+    });
+}
 
-    /// Any XID event with well-formed detail text round-trips through the
-    /// NVRM body format.
-    #[test]
-    fn xid_event_roundtrip(
-        time in study_time(),
-        host in hostname(),
-        gpu in 0u8..8,
-        code in 1u16..200,
-        detail in detail_text(),
-    ) {
-        let event = XidEvent::new(time, host, PciAddr::for_gpu_index(gpu), XidCode::new(code), detail);
+/// Any XID event with well-formed detail text round-trips through the
+/// NVRM body format.
+#[test]
+fn xid_event_roundtrip() {
+    run("xid_event_roundtrip", 256, |g| {
+        let (time, host) = (study_time(g), hostname(g));
+        let gpu = g.u8_in(0, 8);
+        let code = XidCode::new(g.u16_in(1, 200));
+        let detail = body_text(g, 60);
+        let event = XidEvent::new(time, host, PciAddr::for_gpu_index(gpu), code, detail);
         let line = event.to_log_line();
         let year = time.ymd().0;
         let reparsed = LogLine::parse_with_year(&line.to_string(), year).unwrap();
         let back = XidEvent::parse_body(reparsed.time, &reparsed.host, &reparsed.body)
             .expect("recognised")
             .expect("parses");
-        prop_assert_eq!(back, event);
-    }
+        assert_eq!(back, event);
+    });
+}
 
-    /// A pattern built by escaping arbitrary text always matches exactly
-    /// that text.
-    #[test]
-    fn escaped_literal_matches_itself(text in "[ -~]{0,40}") {
+/// A pattern built by escaping arbitrary text always matches exactly
+/// that text.
+#[test]
+fn escaped_literal_matches_itself() {
+    run("escaped_literal_matches_itself", 256, |g| {
+        let text = g.string_of(PRINTABLE, 0, 41);
         let escaped: String = text
             .chars()
             .flat_map(|c| match c {
@@ -71,44 +80,60 @@ proptest! {
             })
             .collect();
         let p = Pattern::compile(&escaped).unwrap();
-        prop_assert!(p.matches(&text));
-    }
+        assert!(p.matches(&text));
+    });
+}
 
-    /// `*text*` matches any string containing `text`.
-    #[test]
-    fn substring_pattern(hay in "[a-z ]{0,30}", needle in "[a-z]{1,6}", tail in "[a-z ]{0,30}") {
+/// `*text*` matches any string containing `text`.
+#[test]
+fn substring_pattern() {
+    run("substring_pattern", 256, |g| {
+        let hay = g.string_of(LOWER_SPACE, 0, 31);
+        let needle = g.string_of(LOWER, 1, 7);
+        let tail = g.string_of(LOWER_SPACE, 0, 31);
         let text = format!("{hay}{needle}{tail}");
         let p = Pattern::compile(&format!("*{needle}*")).unwrap();
-        prop_assert!(p.matches(&text));
-    }
+        assert!(p.matches(&text));
+    });
+}
 
-    /// Digit captures always return digit-only, non-empty captures.
-    #[test]
-    fn digit_capture_is_digits(prefix in "[a-z ]{0,10}", n in 0u64..1_000_000, suffix in "[a-z ]{0,10}") {
+/// Digit captures always return digit-only, non-empty captures.
+#[test]
+fn digit_capture_is_digits() {
+    run("digit_capture_is_digits", 256, |g| {
+        let prefix = g.string_of(LOWER_SPACE, 0, 11);
+        let n = g.u64_below(1_000_000);
+        let suffix = g.string_of(LOWER_SPACE, 0, 11);
         let text = format!("{prefix}{n}#{suffix}");
         let p = Pattern::compile("*{d}#*").unwrap();
         let caps = p.captures(&text).expect("must match");
-        prop_assert!(!caps[0].is_empty());
-        prop_assert!(caps[0].chars().all(|c| c.is_ascii_digit()));
-    }
+        assert!(!caps[0].is_empty());
+        assert!(caps[0].chars().all(|c| c.is_ascii_digit()));
+    });
+}
 
-    /// The archive conserves lines: every push is visible, in time order.
-    #[test]
-    fn archive_conserves_lines(times in proptest::collection::vec(study_time(), 0..50)) {
+/// The archive conserves lines: every push is visible, in time order.
+#[test]
+fn archive_conserves_lines() {
+    run("archive_conserves_lines", 128, |g| {
+        let times = g.vec_with(0, 50, study_time);
         let mut archive = Archive::new();
         for (i, &t) in times.iter().enumerate() {
             archive.push(LogLine::new(t, "gpub001", "kernel", format!("m{i}")));
         }
-        prop_assert_eq!(archive.line_count(), times.len());
+        assert_eq!(archive.line_count(), times.len());
         let replayed: Vec<Timestamp> = archive.iter().map(|l| l.time).collect();
         let mut sorted = replayed.clone();
         sorted.sort();
-        prop_assert_eq!(replayed, sorted);
-    }
+        assert_eq!(replayed, sorted);
+    });
+}
 
-    /// Render → ingest preserves the archive byte-for-byte.
-    #[test]
-    fn archive_day_roundtrip(times in proptest::collection::vec(study_time(), 1..40)) {
+/// Render → ingest preserves the archive byte-for-byte.
+#[test]
+fn archive_day_roundtrip() {
+    run("archive_day_roundtrip", 128, |g| {
+        let times = g.vec_with(1, 40, study_time);
         let mut archive = Archive::new();
         for (i, &t) in times.iter().enumerate() {
             archive.push(LogLine::new(t, "gpub002", "kernel", format!("event {i}")));
@@ -118,10 +143,10 @@ proptest! {
             let text = archive.render_day(day).unwrap();
             let year = Timestamp::from_unix(day * 86_400).ymd().0;
             let (_, skipped) = back.ingest_day(&text, year);
-            prop_assert_eq!(skipped, 0);
+            assert_eq!(skipped, 0);
         }
         let a: Vec<_> = archive.iter().cloned().collect();
         let b: Vec<_> = back.iter().cloned().collect();
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
 }

@@ -26,7 +26,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -58,7 +59,10 @@ impl CappedLogNormal {
     ///
     /// Returns [`ParamError`] unless `cap` is finite and positive.
     pub fn new(base: LogNormal, cap: f64) -> Result<Self, ParamError> {
-        Ok(CappedLogNormal { base, cap: require_positive("cap", cap)? })
+        Ok(CappedLogNormal {
+            base,
+            cap: require_positive("cap", cap)?,
+        })
     }
 
     /// Fits a capped log-normal whose clamped mean is `mean` and whose
@@ -111,7 +115,10 @@ impl CappedLogNormal {
             }
         }
         let sigma = 0.5 * (lo + hi);
-        Ok(CappedLogNormal { base: LogNormal::new(mu, sigma)?, cap })
+        Ok(CappedLogNormal {
+            base: LogNormal::new(mu, sigma)?,
+            cap,
+        })
     }
 
     /// The underlying (uncapped) log-normal.
@@ -175,7 +182,12 @@ mod tests {
         ];
         for (m, p50) in rows {
             let d = CappedLogNormal::fit(m, p50, 2880.0).unwrap();
-            assert_close(d.mean(), m, 1e-3, &format!("analytic mean for ({m}, {p50})"));
+            assert_close(
+                d.mean(),
+                m,
+                1e-3,
+                &format!("analytic mean for ({m}, {p50})"),
+            );
             assert_close(d.median(), p50, 1e-9, "median");
         }
     }

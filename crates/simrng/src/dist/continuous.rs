@@ -32,7 +32,9 @@ impl Exponential {
     ///
     /// Returns [`ParamError`] unless `rate` is finite and strictly positive.
     pub fn new(rate: f64) -> Result<Self, ParamError> {
-        Ok(Exponential { rate: require_positive("rate", rate)? })
+        Ok(Exponential {
+            rate: require_positive("rate", rate)?,
+        })
     }
 
     /// Creates an exponential distribution with the given mean.
@@ -41,7 +43,9 @@ impl Exponential {
     ///
     /// Returns [`ParamError`] unless `mean` is finite and strictly positive.
     pub fn with_mean(mean: f64) -> Result<Self, ParamError> {
-        Ok(Exponential { rate: 1.0 / require_positive("mean", mean)? })
+        Ok(Exponential {
+            rate: 1.0 / require_positive("mean", mean)?,
+        })
     }
 
     /// The rate parameter `lambda`.
@@ -137,7 +141,10 @@ impl LogNormal {
         if !mu.is_finite() {
             return Err(ParamError::new(format!("mu must be finite, got {mu}")));
         }
-        Ok(LogNormal { mu, sigma: require_positive("sigma", sigma)? })
+        Ok(LogNormal {
+            mu,
+            sigma: require_positive("sigma", sigma)?,
+        })
     }
 
     /// Creates a log-normal from its *linear-space* mean and median.
@@ -304,7 +311,9 @@ impl Uniform {
         if lo.is_finite() && hi.is_finite() && lo < hi {
             Ok(Uniform { lo, hi })
         } else {
-            Err(ParamError::new(format!("uniform requires finite lo < hi, got [{lo}, {hi})")))
+            Err(ParamError::new(format!(
+                "uniform requires finite lo < hi, got [{lo}, {hi})"
+            )))
         }
     }
 
@@ -369,7 +378,12 @@ mod tests {
         assert_close(gamma(2.0), 1.0, 1e-9, "Gamma(2)");
         assert_close(gamma(5.0), 24.0, 1e-9, "Gamma(5)");
         assert_close(gamma(0.5), std::f64::consts::PI.sqrt(), 1e-9, "Gamma(1/2)");
-        assert_close(gamma(1.5), 0.5 * std::f64::consts::PI.sqrt(), 1e-9, "Gamma(3/2)");
+        assert_close(
+            gamma(1.5),
+            0.5 * std::f64::consts::PI.sqrt(),
+            1e-9,
+            "Gamma(3/2)",
+        );
     }
 
     #[test]
@@ -430,8 +444,16 @@ mod tests {
         let mut rng = Rng::seed_from(104);
         let early = Weibull::new(0.5, 1.0).unwrap();
         let late = Weibull::new(3.0, 1.0).unwrap();
-        let pe = early.sample_n(&mut rng, N).iter().filter(|&&x| x < 0.2).count();
-        let pl = late.sample_n(&mut rng, N).iter().filter(|&&x| x < 0.2).count();
+        let pe = early
+            .sample_n(&mut rng, N)
+            .iter()
+            .filter(|&&x| x < 0.2)
+            .count();
+        let pl = late
+            .sample_n(&mut rng, N)
+            .iter()
+            .filter(|&&x| x < 0.2)
+            .count();
         assert!(pe > 3 * pl, "early {pe} vs late {pl}");
     }
 

@@ -20,7 +20,9 @@ impl Bernoulli {
     ///
     /// Returns [`ParamError`] unless `p` lies in `[0, 1]`.
     pub fn new(p: f64) -> Result<Self, ParamError> {
-        Ok(Bernoulli { p: require_probability("p", p)? })
+        Ok(Bernoulli {
+            p: require_probability("p", p)?,
+        })
     }
 
     /// The success probability.
@@ -56,7 +58,9 @@ impl Poisson {
     /// Returns [`ParamError`] unless `lambda` is finite and strictly
     /// positive.
     pub fn new(lambda: f64) -> Result<Self, ParamError> {
-        Ok(Poisson { lambda: require_positive("lambda", lambda)? })
+        Ok(Poisson {
+            lambda: require_positive("lambda", lambda)?,
+        })
     }
 
     /// The mean (and variance) `lambda`.
@@ -184,7 +188,9 @@ impl Categorical {
             )));
         }
         if weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
-            return Err(ParamError::new("categorical weights must be finite and >= 0"));
+            return Err(ParamError::new(
+                "categorical weights must be finite and >= 0",
+            ));
         }
         let n = weights.len();
         let scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
@@ -321,7 +327,11 @@ mod tests {
     fn poisson_small_lambda_moments() {
         let mut rng = Rng::seed_from(201);
         let d = Poisson::new(3.5).unwrap();
-        let xs: Vec<f64> = d.sample_n(&mut rng, N).into_iter().map(|k| k as f64).collect();
+        let xs: Vec<f64> = d
+            .sample_n(&mut rng, N)
+            .into_iter()
+            .map(|k| k as f64)
+            .collect();
         assert_close(mean(&xs), 3.5, 0.02, "poisson mean");
         let var = super::super::testutil::variance(&xs);
         assert_close(var, 3.5, 0.03, "poisson variance");
@@ -331,7 +341,11 @@ mod tests {
     fn poisson_large_lambda_moments() {
         let mut rng = Rng::seed_from(202);
         let d = Poisson::new(400.0).unwrap();
-        let xs: Vec<f64> = d.sample_n(&mut rng, 50_000).into_iter().map(|k| k as f64).collect();
+        let xs: Vec<f64> = d
+            .sample_n(&mut rng, 50_000)
+            .into_iter()
+            .map(|k| k as f64)
+            .collect();
         assert_close(mean(&xs), 400.0, 0.01, "poisson large mean");
     }
 
@@ -347,7 +361,11 @@ mod tests {
     fn geometric_mean() {
         let mut rng = Rng::seed_from(204);
         let d = Geometric::new(0.2).unwrap();
-        let xs: Vec<f64> = d.sample_n(&mut rng, N).into_iter().map(|k| k as f64).collect();
+        let xs: Vec<f64> = d
+            .sample_n(&mut rng, N)
+            .into_iter()
+            .map(|k| k as f64)
+            .collect();
         assert_close(mean(&xs), 4.0, 0.03, "geometric mean");
         assert_close(d.mean(), 4.0, 1e-12, "analytic mean");
     }

@@ -75,7 +75,9 @@ pub(crate) fn require_positive(name: &str, value: f64) -> Result<f64, ParamError
     if value.is_finite() && value > 0.0 {
         Ok(value)
     } else {
-        Err(ParamError::new(format!("{name} must be finite and > 0, got {value}")))
+        Err(ParamError::new(format!(
+            "{name} must be finite and > 0, got {value}"
+        )))
     }
 }
 
@@ -84,7 +86,9 @@ pub(crate) fn require_probability(name: &str, value: f64) -> Result<f64, ParamEr
     if value.is_finite() && (0.0..=1.0).contains(&value) {
         Ok(value)
     } else {
-        Err(ParamError::new(format!("{name} must lie in [0, 1], got {value}")))
+        Err(ParamError::new(format!(
+            "{name} must lie in [0, 1], got {value}"
+        )))
     }
 }
 

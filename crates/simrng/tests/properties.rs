@@ -1,146 +1,196 @@
-//! Property tests for the PRNG and the distribution samplers.
+//! Property tests for the PRNG and the distribution samplers, on the
+//! in-repo `propcheck` harness (seeded, offline, deterministic).
 
-use proptest::prelude::*;
+use propcheck::run;
 use simrng::dist::{
     Categorical, Exponential, Geometric, LogNormal, Poisson, Sample, Uniform, Weibull,
 };
 use simrng::Rng;
 
-proptest! {
-    /// Same seed, same stream — for any seed.
-    #[test]
-    fn seed_determinism(seed in any::<u64>()) {
+/// Same seed, same stream — for any seed.
+#[test]
+fn seed_determinism() {
+    run("seed_determinism", 64, |g| {
+        let seed = g.u64();
         let mut a = Rng::seed_from(seed);
         let mut b = Rng::seed_from(seed);
         for _ in 0..32 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
-    }
+    });
+}
 
-    /// Forked streams are reproducible and independent of interleaving.
-    #[test]
-    fn fork_determinism(seed in any::<u64>(), stream in any::<u64>()) {
+/// Forked streams are reproducible and independent of interleaving.
+#[test]
+fn fork_determinism() {
+    run("fork_determinism", 64, |g| {
+        let (seed, stream) = (g.u64(), g.u64());
         let root = Rng::seed_from(seed);
         let mut a = root.fork(stream);
         let _noise = root.fork(stream.wrapping_add(1)).next_u64();
         let mut b = root.fork(stream);
         for _ in 0..16 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
-    }
+    });
+}
 
-    /// range_u64 respects its bound for arbitrary bounds.
-    #[test]
-    fn range_bound(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+/// range_u64 respects its bound for arbitrary bounds.
+#[test]
+fn range_bound() {
+    run("range_bound", 64, |g| {
+        let seed = g.u64();
+        let bound = g.u64_in(1, u64::MAX);
         let mut rng = Rng::seed_from(seed);
         for _ in 0..64 {
-            prop_assert!(rng.range_u64(bound) < bound);
+            assert!(rng.range_u64(bound) < bound);
         }
-    }
+    });
+}
 
-    /// f64 samples stay in [0, 1); f64_open in (0, 1].
-    #[test]
-    fn unit_interval(seed in any::<u64>()) {
-        let mut rng = Rng::seed_from(seed);
+/// f64 samples stay in [0, 1); f64_open in (0, 1].
+#[test]
+fn unit_interval() {
+    run("unit_interval", 64, |g| {
+        let mut rng = Rng::seed_from(g.u64());
         for _ in 0..128 {
             let x = rng.f64();
-            prop_assert!((0.0..1.0).contains(&x));
+            assert!((0.0..1.0).contains(&x));
             let y = rng.f64_open();
-            prop_assert!(y > 0.0 && y <= 1.0);
+            assert!(y > 0.0 && y <= 1.0);
         }
-    }
+    });
+}
 
-    /// Exponential samples are positive and finite for any valid rate.
-    #[test]
-    fn exponential_support(seed in any::<u64>(), rate in 1e-6f64..1e6) {
+/// Exponential samples are positive and finite for any valid rate.
+#[test]
+fn exponential_support() {
+    run("exponential_support", 64, |g| {
+        let seed = g.u64();
+        let rate = g.f64_in(1e-6, 1e6);
         let d = Exponential::new(rate).unwrap();
         let mut rng = Rng::seed_from(seed);
         for _ in 0..64 {
             let x = d.sample(&mut rng);
-            prop_assert!(x > 0.0 && x.is_finite());
+            assert!(x > 0.0 && x.is_finite());
         }
-    }
+    });
+}
 
-    /// Weibull samples are positive and finite across shape regimes.
-    #[test]
-    fn weibull_support(seed in any::<u64>(), shape in 0.2f64..5.0, scale in 1e-3f64..1e3) {
+/// Weibull samples are positive and finite across shape regimes.
+#[test]
+fn weibull_support() {
+    run("weibull_support", 64, |g| {
+        let seed = g.u64();
+        let shape = g.f64_in(0.2, 5.0);
+        let scale = g.f64_in(1e-3, 1e3);
         let d = Weibull::new(shape, scale).unwrap();
         let mut rng = Rng::seed_from(seed);
         for _ in 0..64 {
             let x = d.sample(&mut rng);
-            prop_assert!(x > 0.0 && x.is_finite());
+            assert!(x > 0.0 && x.is_finite());
         }
-    }
+    });
+}
 
-    /// The log-normal (mean, median) fit reproduces its inputs exactly.
-    #[test]
-    fn lognormal_fit_roundtrip(median in 0.1f64..100.0, factor in 1.01f64..50.0) {
+/// The log-normal (mean, median) fit reproduces its inputs exactly.
+#[test]
+fn lognormal_fit_roundtrip() {
+    run("lognormal_fit_roundtrip", 128, |g| {
+        let median = g.f64_in(0.1, 100.0);
+        let factor = g.f64_in(1.01, 50.0);
         let mean = median * factor;
         let d = LogNormal::from_mean_median(mean, median).unwrap();
-        prop_assert!((d.mean() - mean).abs() / mean < 1e-9);
-        prop_assert!((d.median() - median).abs() / median < 1e-9);
-    }
+        assert!((d.mean() - mean).abs() / mean < 1e-9);
+        assert!((d.median() - median).abs() / median < 1e-9);
+    });
+}
 
-    /// Uniform samples stay inside the interval.
-    #[test]
-    fn uniform_support(seed in any::<u64>(), lo in -1e6f64..1e6, width in 1e-3f64..1e6) {
+/// Uniform samples stay inside the interval.
+#[test]
+fn uniform_support() {
+    run("uniform_support", 64, |g| {
+        let seed = g.u64();
+        let lo = g.f64_in(-1e6, 1e6);
+        let width = g.f64_in(1e-3, 1e6);
         let d = Uniform::new(lo, lo + width).unwrap();
         let mut rng = Rng::seed_from(seed);
         for _ in 0..64 {
             let x = d.sample(&mut rng);
-            prop_assert!(x >= lo && x < lo + width);
+            assert!(x >= lo && x < lo + width);
         }
-    }
+    });
+}
 
-    /// Categorical only ever returns valid indices, and never an index
-    /// whose weight is zero.
-    #[test]
-    fn categorical_support(
-        seed in any::<u64>(),
-        weights in proptest::collection::vec(0.0f64..100.0, 1..12),
-    ) {
-        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+/// Categorical only ever returns valid indices, and never an index whose
+/// weight is zero.
+#[test]
+fn categorical_support() {
+    run("categorical_support", 64, |g| {
+        let seed = g.u64();
+        // Mix exact zeros in so zero-weight exclusion is exercised.
+        let weights = g.vec_with(1, 12, |g| {
+            if g.bool_with(0.25) {
+                0.0
+            } else {
+                g.f64_in(1e-3, 100.0)
+            }
+        });
+        if weights.iter().sum::<f64>() <= 0.0 {
+            return;
+        }
         let d = Categorical::new(&weights).unwrap();
         let mut rng = Rng::seed_from(seed);
         for _ in 0..128 {
             let i = d.sample(&mut rng);
-            prop_assert!(i < weights.len());
-            prop_assert!(weights[i] > 0.0, "drew zero-weight index {i}");
+            assert!(i < weights.len());
+            assert!(weights[i] > 0.0, "drew zero-weight index {i}");
         }
-    }
+    });
+}
 
-    /// Categorical probabilities normalise to one.
-    #[test]
-    fn categorical_normalises(
-        weights in proptest::collection::vec(0.0f64..100.0, 1..12),
-    ) {
-        prop_assume!(weights.iter().sum::<f64>() > 1e-9);
+/// Categorical probabilities normalise to one.
+#[test]
+fn categorical_normalises() {
+    run("categorical_normalises", 64, |g| {
+        let weights = g.vec_with(1, 12, |g| g.f64_in(0.0, 100.0));
+        if weights.iter().sum::<f64>() <= 1e-9 {
+            return;
+        }
         let d = Categorical::new(&weights).unwrap();
         let total: f64 = (0..weights.len()).map(|i| d.probability(i).unwrap()).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
-    }
+        assert!((total - 1.0).abs() < 1e-9);
+    });
+}
 
-    /// Geometric and Poisson outputs are finite small integers with the
-    /// right support.
-    #[test]
-    fn discrete_support(seed in any::<u64>(), p in 0.01f64..1.0, lambda in 0.01f64..200.0) {
+/// Geometric and Poisson outputs have the right support (no panics).
+#[test]
+fn discrete_support() {
+    run("discrete_support", 64, |g| {
+        let seed = g.u64();
+        let p = g.f64_in(0.01, 1.0);
+        let lambda = g.f64_in(0.01, 200.0);
         let mut rng = Rng::seed_from(seed);
-        let g = Geometric::new(p).unwrap();
+        let geo = Geometric::new(p).unwrap();
         let po = Poisson::new(lambda).unwrap();
         for _ in 0..32 {
-            let _ = g.sample(&mut rng); // u64 by type; no panic is the property
+            let _ = geo.sample(&mut rng); // u64 by type; no panic is the property
             let _ = po.sample(&mut rng);
         }
-    }
+    });
+}
 
-    /// Shuffle is always a permutation.
-    #[test]
-    fn shuffle_permutes(seed in any::<u64>(), mut v in proptest::collection::vec(any::<u32>(), 0..64)) {
+/// Shuffle is always a permutation.
+#[test]
+fn shuffle_permutes() {
+    run("shuffle_permutes", 64, |g| {
+        let seed = g.u64();
+        let mut v: Vec<u32> = g.vec_with(0, 64, |g| g.u32_in(0, u32::MAX));
         let mut rng = Rng::seed_from(seed);
         let mut expected = v.clone();
         rng.shuffle(&mut v);
         expected.sort_unstable();
         v.sort_unstable();
-        prop_assert_eq!(v, expected);
-    }
+        assert_eq!(v, expected);
+    });
 }

@@ -55,7 +55,9 @@ impl Duration {
 
     /// Creates a duration from whole days.
     pub const fn from_days(days: u64) -> Self {
-        Duration { secs: days * 86_400 }
+        Duration {
+            secs: days * 86_400,
+        }
     }
 
     /// The span in whole seconds.
@@ -100,7 +102,9 @@ impl Add for Duration {
     type Output = Duration;
 
     fn add(self, rhs: Duration) -> Duration {
-        Duration { secs: self.secs + rhs.secs }
+        Duration {
+            secs: self.secs + rhs.secs,
+        }
     }
 }
 
@@ -115,7 +119,9 @@ impl Sub for Duration {
 
     /// Saturating subtraction: never underflows below zero.
     fn sub(self, rhs: Duration) -> Duration {
-        Duration { secs: self.secs.saturating_sub(rhs.secs) }
+        Duration {
+            secs: self.secs.saturating_sub(rhs.secs),
+        }
     }
 }
 
@@ -178,7 +184,9 @@ impl Timestamp {
         sec: u32,
     ) -> Result<Self, ParseTimestampError> {
         if !(1..=12).contains(&month) {
-            return Err(ParseTimestampError::new(format!("month {month} out of range")));
+            return Err(ParseTimestampError::new(format!(
+                "month {month} out of range"
+            )));
         }
         if day < 1 || day > days_in_month(year, month) {
             return Err(ParseTimestampError::new(format!(
@@ -209,7 +217,11 @@ impl Timestamp {
     /// The time of day `(hour, minute, second)` of this instant (UTC).
     pub fn hms(self) -> (u32, u32, u32) {
         let rem = self.secs % 86_400;
-        ((rem / 3600) as u32, ((rem % 3600) / 60) as u32, (rem % 60) as u32)
+        (
+            (rem / 3600) as u32,
+            ((rem % 3600) / 60) as u32,
+            (rem % 60) as u32,
+        )
     }
 
     /// The day index since the Unix epoch (for per-day consolidation).
@@ -221,7 +233,10 @@ impl Timestamp {
     pub fn syslog(self) -> String {
         let (_, month, day) = self.ymd();
         let (h, m, s) = self.hms();
-        format!("{} {day:2} {h:02}:{m:02}:{s:02}", MONTHS[(month - 1) as usize])
+        format!(
+            "{} {day:2} {h:02}:{m:02}:{s:02}",
+            MONTHS[(month - 1) as usize]
+        )
     }
 
     /// Parses a syslog timestamp, taking the year from context.
@@ -255,17 +270,23 @@ impl Timestamp {
 
     /// Adds a span, saturating at the maximum representable instant.
     pub fn saturating_add(self, d: Duration) -> Timestamp {
-        Timestamp { secs: self.secs.saturating_add(d.secs) }
+        Timestamp {
+            secs: self.secs.saturating_add(d.secs),
+        }
     }
 
     /// Subtracts a span, saturating at the epoch.
     pub fn saturating_sub(self, d: Duration) -> Timestamp {
-        Timestamp { secs: self.secs.saturating_sub(d.secs) }
+        Timestamp {
+            secs: self.secs.saturating_sub(d.secs),
+        }
     }
 
     /// The absolute gap between two instants.
     pub fn abs_diff(self, other: Timestamp) -> Duration {
-        Duration { secs: self.secs.abs_diff(other.secs) }
+        Duration {
+            secs: self.secs.abs_diff(other.secs),
+        }
     }
 }
 
@@ -309,7 +330,9 @@ impl Add<Duration> for Timestamp {
     type Output = Timestamp;
 
     fn add(self, d: Duration) -> Timestamp {
-        Timestamp { secs: self.secs + d.secs }
+        Timestamp {
+            secs: self.secs + d.secs,
+        }
     }
 }
 
@@ -318,7 +341,9 @@ impl Sub<Duration> for Timestamp {
 
     /// Saturates at the epoch.
     fn sub(self, d: Duration) -> Timestamp {
-        Timestamp { secs: self.secs.saturating_sub(d.secs) }
+        Timestamp {
+            secs: self.secs.saturating_sub(d.secs),
+        }
     }
 }
 
@@ -327,7 +352,9 @@ impl Sub for Timestamp {
 
     /// The span from `rhs` to `self`, saturating at zero if `rhs` is later.
     fn sub(self, rhs: Timestamp) -> Duration {
-        Duration { secs: self.secs.saturating_sub(rhs.secs) }
+        Duration {
+            secs: self.secs.saturating_sub(rhs.secs),
+        }
     }
 }
 
@@ -528,7 +555,10 @@ mod tests {
         assert_eq!(b - a, Duration::from_secs(100));
         assert_eq!(a - b, Duration::ZERO);
         assert_eq!(a - Duration::from_secs(500), Timestamp::EPOCH);
-        assert_eq!(Duration::from_secs(3) - Duration::from_secs(5), Duration::ZERO);
+        assert_eq!(
+            Duration::from_secs(3) - Duration::from_secs(5),
+            Duration::ZERO
+        );
     }
 
     #[test]
@@ -542,7 +572,10 @@ mod tests {
     #[test]
     fn day_number_boundaries() {
         let t = Timestamp::from_ymd_hms(2022, 1, 2, 0, 0, 0).unwrap();
-        assert_eq!(t.day_number(), (t - Duration::from_secs(1)).day_number() + 1);
+        assert_eq!(
+            t.day_number(),
+            (t - Duration::from_secs(1)).day_number() + 1
+        );
     }
 
     #[test]

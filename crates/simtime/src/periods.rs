@@ -71,7 +71,10 @@ impl StudyPeriods {
         let start = Timestamp::from_ymd_hms(2022, 1, 1, 0, 0, 0).expect("valid date");
         let boundary = Timestamp::from_ymd_hms(2022, 10, 1, 0, 0, 0).expect("valid date");
         let end = Timestamp::from_ymd_hms(2025, 3, 15, 0, 0, 0).expect("valid date");
-        StudyPeriods { pre_op: Period::new(start, boundary), op: Period::new(boundary, end) }
+        StudyPeriods {
+            pre_op: Period::new(start, boundary),
+            op: Period::new(boundary, end),
+        }
     }
 
     /// A contiguous scaled-down window keeping the pre-op/op *ratio* of the
@@ -82,14 +85,20 @@ impl StudyPeriods {
     ///
     /// Panics unless `0 < fraction <= 1`.
     pub fn delta_scaled(fraction: f64) -> Self {
-        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
         let full = StudyPeriods::delta();
         let pre_days = (full.pre_op.days() * fraction).max(1.0).round() as u64;
         let op_days = (full.op.days() * fraction).max(1.0).round() as u64;
         let start = full.pre_op.start;
         let boundary = start + Duration::from_days(pre_days);
         let end = boundary + Duration::from_days(op_days);
-        StudyPeriods { pre_op: Period::new(start, boundary), op: Period::new(boundary, end) }
+        StudyPeriods {
+            pre_op: Period::new(start, boundary),
+            op: Period::new(boundary, end),
+        }
     }
 
     /// The whole measurement window.
@@ -169,7 +178,10 @@ mod tests {
         let p = StudyPeriods::delta_scaled(0.1);
         let ratio = p.op.days() / p.pre_op.days();
         let full_ratio = 896.0 / 273.0;
-        assert!((ratio - full_ratio).abs() / full_ratio < 0.1, "ratio {ratio}");
+        assert!(
+            (ratio - full_ratio).abs() / full_ratio < 0.1,
+            "ratio {ratio}"
+        );
     }
 
     #[test]

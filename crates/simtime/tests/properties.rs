@@ -1,83 +1,102 @@
-//! Property tests for civil-time conversion and duration arithmetic.
+//! Property tests for civil-time conversion and duration arithmetic, on
+//! the in-repo `propcheck` harness (seeded, offline, deterministic).
 
-use proptest::prelude::*;
+use propcheck::run;
 use simtime::{Duration, Timestamp};
 
 // Unix seconds from 1970 to ~2120, comfortably covering the study window.
 const MAX_SECS: u64 = 4_733_510_400;
 
-proptest! {
-    /// Civil conversion round-trips for every representable instant.
-    #[test]
-    fn civil_roundtrip(secs in 0u64..MAX_SECS) {
+/// Civil conversion round-trips for every representable instant.
+#[test]
+fn civil_roundtrip() {
+    run("civil_roundtrip", 256, |g| {
+        let secs = g.u64_below(MAX_SECS);
         let t = Timestamp::from_unix(secs);
         let (y, m, d) = t.ymd();
         let (h, mi, s) = t.hms();
         let back = Timestamp::from_ymd_hms(y, m, d, h, mi, s).unwrap();
-        prop_assert_eq!(back, t);
-    }
+        assert_eq!(back, t);
+    });
+}
 
-    /// ISO-8601 rendering parses back to the same instant.
-    #[test]
-    fn iso_roundtrip(secs in 0u64..MAX_SECS) {
+/// ISO-8601 rendering parses back to the same instant.
+#[test]
+fn iso_roundtrip() {
+    run("iso_roundtrip", 256, |g| {
+        let secs = g.u64_below(MAX_SECS);
         let t = Timestamp::from_unix(secs);
         let parsed: Timestamp = t.to_string().parse().unwrap();
-        prop_assert_eq!(parsed, t);
-    }
+        assert_eq!(parsed, t);
+    });
+}
 
-    /// Syslog rendering parses back given the right year context.
-    #[test]
-    fn syslog_roundtrip(secs in 0u64..MAX_SECS) {
+/// Syslog rendering parses back given the right year context.
+#[test]
+fn syslog_roundtrip() {
+    run("syslog_roundtrip", 256, |g| {
+        let secs = g.u64_below(MAX_SECS);
         let t = Timestamp::from_unix(secs);
         let year = t.ymd().0;
         let parsed = Timestamp::parse_syslog(&t.syslog(), year).unwrap();
-        prop_assert_eq!(parsed, t);
-    }
+        assert_eq!(parsed, t);
+    });
+}
 
-    /// Day numbers are monotone and consistent with civil dates.
-    #[test]
-    fn day_number_monotone(a in 0u64..MAX_SECS, b in 0u64..MAX_SECS) {
+/// Day numbers are monotone and consistent with civil dates.
+#[test]
+fn day_number_monotone() {
+    run("day_number_monotone", 256, |g| {
+        let a = g.u64_below(MAX_SECS);
+        let b = g.u64_below(MAX_SECS);
         let (ta, tb) = (Timestamp::from_unix(a), Timestamp::from_unix(b));
         if a <= b {
-            prop_assert!(ta.day_number() <= tb.day_number());
+            assert!(ta.day_number() <= tb.day_number());
         }
-        prop_assert_eq!(ta.day_number(), a / 86_400);
-    }
+        assert_eq!(ta.day_number(), a / 86_400);
+    });
+}
 
-    /// Addition then subtraction of a duration is the identity (no
-    /// saturation in range).
-    #[test]
-    fn add_sub_duration_identity(
-        secs in 0u64..MAX_SECS,
-        delta in 0u64..1_000_000_000u64,
-    ) {
+/// Addition then subtraction of a duration is the identity (no saturation
+/// in range).
+#[test]
+fn add_sub_duration_identity() {
+    run("add_sub_duration_identity", 256, |g| {
+        let secs = g.u64_below(MAX_SECS);
+        let delta = g.u64_below(1_000_000_000);
         let t = Timestamp::from_unix(secs);
         let d = Duration::from_secs(delta);
-        prop_assert_eq!((t + d) - d, t);
-        prop_assert_eq!((t + d) - t, d);
-    }
+        assert_eq!((t + d) - d, t);
+        assert_eq!((t + d) - t, d);
+    });
+}
 
-    /// abs_diff is symmetric and agrees with saturating subtraction.
-    #[test]
-    fn abs_diff_symmetric(a in 0u64..MAX_SECS, b in 0u64..MAX_SECS) {
+/// abs_diff is symmetric and agrees with saturating subtraction.
+#[test]
+fn abs_diff_symmetric() {
+    run("abs_diff_symmetric", 256, |g| {
+        let a = g.u64_below(MAX_SECS);
+        let b = g.u64_below(MAX_SECS);
         let (ta, tb) = (Timestamp::from_unix(a), Timestamp::from_unix(b));
-        prop_assert_eq!(ta.abs_diff(tb), tb.abs_diff(ta));
+        assert_eq!(ta.abs_diff(tb), tb.abs_diff(ta));
         let bigger = ta.max(tb);
         let smaller = ta.min(tb);
-        prop_assert_eq!(bigger - smaller, ta.abs_diff(tb));
-        prop_assert_eq!(smaller - bigger, Duration::ZERO);
-    }
+        assert_eq!(bigger - smaller, ta.abs_diff(tb));
+        assert_eq!(smaller - bigger, Duration::ZERO);
+    });
+}
 
-    /// Duration display never panics and parses of valid fields hold
-    /// invariants.
-    #[test]
-    fn duration_views_consistent(secs in 0u64..u64::MAX / 4) {
+/// Duration display never panics and the float views stay consistent.
+#[test]
+fn duration_views_consistent() {
+    run("duration_views_consistent", 256, |g| {
+        let secs = g.u64_below(u64::MAX / 4);
         let d = Duration::from_secs(secs);
         // Relative tolerance: above 2^52 seconds f64 can no longer
         // represent every integer exactly.
         let tol = 1.0 + secs as f64 * 1e-12;
-        prop_assert!((d.as_hours_f64() * 3600.0 - secs as f64).abs() < tol);
-        prop_assert!((d.as_days_f64() * 86_400.0 - secs as f64).abs() < tol);
-        prop_assert!(!d.to_string().is_empty());
-    }
+        assert!((d.as_hours_f64() * 3600.0 - secs as f64).abs() < tol);
+        assert!((d.as_days_f64() * 86_400.0 - secs as f64).abs() < tol);
+        assert!(!d.to_string().is_empty());
+    });
 }

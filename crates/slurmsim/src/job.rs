@@ -111,8 +111,18 @@ impl JobRecord {
     /// because submission scripts were off limits.
     pub fn is_ml(&self) -> bool {
         const KEYWORDS: [&str; 12] = [
-            "train", "model", "bert", "resnet", "llm", "gpt", "finetune", "epoch", "torch",
-            "tensorflow", "diffusion", "inference",
+            "train",
+            "model",
+            "bert",
+            "resnet",
+            "llm",
+            "gpt",
+            "finetune",
+            "epoch",
+            "torch",
+            "tensorflow",
+            "diffusion",
+            "inference",
         ];
         let name = self.name.to_ascii_lowercase();
         KEYWORDS.iter().any(|k| name.contains(k))
@@ -196,7 +206,12 @@ mod tests {
     #[test]
     fn state_predicates() {
         assert!(JobState::Completed.is_success());
-        for s in [JobState::Failed, JobState::Cancelled, JobState::Timeout, JobState::NodeFail] {
+        for s in [
+            JobState::Failed,
+            JobState::Cancelled,
+            JobState::Timeout,
+            JobState::NodeFail,
+        ] {
             assert!(!s.is_success());
         }
         assert!(JobState::NodeFail.is_infrastructure_failure());

@@ -153,7 +153,9 @@ mod tests {
         let m = KillModel::delta();
         let mut rng = Rng::seed_from(3);
         let n = 100_000;
-        let kills = (0..n).filter(|_| m.kills(ErrorKind::NvlinkError, &mut rng)).count();
+        let kills = (0..n)
+            .filter(|_| m.kills(ErrorKind::NvlinkError, &mut rng))
+            .count();
         let frac = kills as f64 / n as f64;
         assert!((frac - 0.5375).abs() < 0.01, "{frac}");
     }

@@ -220,8 +220,13 @@ impl<'c> Simulation<'c> {
         let root = Rng::seed_from(self.seed);
         let specs = self.workload.generate(&mut root.fork(1));
         let cpu_specs = self.workload.generate_cpu(&mut root.fork(2));
-        let mut engine =
-            Engine::new(self.cluster, specs.len(), self.kill, self.requeue, root.fork(3));
+        let mut engine = Engine::new(
+            self.cluster,
+            specs.len(),
+            self.kill,
+            self.requeue,
+            root.fork(3),
+        );
         engine.run(&specs, errors, holds);
         let stats = engine.stats;
         let jobs = engine.into_records(&specs);
@@ -240,7 +245,11 @@ impl<'c> Simulation<'c> {
                 state: s.baseline_state,
             })
             .collect();
-        SimulationOutcome { jobs, cpu_jobs, stats }
+        SimulationOutcome {
+            jobs,
+            cpu_jobs,
+            stats,
+        }
     }
 }
 
@@ -423,9 +432,7 @@ impl<'c> Engine<'c> {
         let nodes = self.cluster.nodes();
         if want <= 8 {
             for (n, node) in nodes.iter().enumerate() {
-                if self.node_up[n]
-                    && node.gpu_count() as u32 >= want
-                    && self.free[n] as u32 >= want
+                if self.node_up[n] && node.gpu_count() as u32 >= want && self.free[n] as u32 >= want
                 {
                     let mut gpus = Vec::with_capacity(want as usize);
                     for g in 0..node.gpu_count() {
@@ -499,9 +506,7 @@ impl<'c> Engine<'c> {
         // Blast radius: node-scoped kinds (GSP, bus drop) wedge the whole
         // node's driver, so every resident job rolls the dice.
         let victims: Vec<usize> = match self.kill.scope(ev.kind) {
-            KillScope::Gpu => self.owner[n][ev.gpu.index as usize]
-                .into_iter()
-                .collect(),
+            KillScope::Gpu => self.owner[n][ev.gpu.index as usize].into_iter().collect(),
             KillScope::Node => {
                 let mut v: Vec<usize> = self.owner[n].iter().flatten().copied().collect();
                 v.sort_unstable();
@@ -509,9 +514,7 @@ impl<'c> Engine<'c> {
                 v
             }
         };
-        if victims.is_empty()
-            || victims.iter().all(|&run_idx| self.running[run_idx].done)
-        {
+        if victims.is_empty() || victims.iter().all(|&run_idx| self.running[run_idx].done) {
             self.stats.errors_on_idle += 1;
             return;
         }
@@ -524,26 +527,22 @@ impl<'c> Engine<'c> {
             // (link usage; application-level exception handling), so their
             // fate is rolled once per job and reused on repeat exposures.
             let dies = match ev.kind {
-                xid::ErrorKind::NvlinkError => {
-                    match self.running[run_idx].nvlink_vulnerable {
-                        Some(v) => v,
-                        None => {
-                            let v = self.kill.kills(ev.kind, &mut self.rng);
-                            self.running[run_idx].nvlink_vulnerable = Some(v);
-                            v
-                        }
+                xid::ErrorKind::NvlinkError => match self.running[run_idx].nvlink_vulnerable {
+                    Some(v) => v,
+                    None => {
+                        let v = self.kill.kills(ev.kind, &mut self.rng);
+                        self.running[run_idx].nvlink_vulnerable = Some(v);
+                        v
                     }
-                }
-                xid::ErrorKind::MmuError => {
-                    match self.running[run_idx].mmu_vulnerable {
-                        Some(v) => v,
-                        None => {
-                            let v = self.kill.kills(ev.kind, &mut self.rng);
-                            self.running[run_idx].mmu_vulnerable = Some(v);
-                            v
-                        }
+                },
+                xid::ErrorKind::MmuError => match self.running[run_idx].mmu_vulnerable {
+                    Some(v) => v,
+                    None => {
+                        let v = self.kill.kills(ev.kind, &mut self.rng);
+                        self.running[run_idx].mmu_vulnerable = Some(v);
+                        v
                     }
-                }
+                },
                 _ => self.kill.kills(ev.kind, &mut self.rng),
             };
             if dies {
@@ -613,7 +612,8 @@ impl<'c> Engine<'c> {
             self.owner[n][gpu.index as usize] = None;
             self.free[n] += 1;
         }
-        self.resume.push(Reverse((t + self.requeue.restart_delay, spec_idx)));
+        self.resume
+            .push(Reverse((t + self.requeue.restart_delay, spec_idx)));
     }
 
     /// Writes the job's record and releases its GPUs.
@@ -759,7 +759,12 @@ mod tests {
         let mut t = window.start;
         while t < window.end {
             for gpu in cluster.gpus() {
-                errors.push(GpuErrorEvent::new(t, gpu, ErrorKind::RowRemapEvent, IncidentId(0)));
+                errors.push(GpuErrorEvent::new(
+                    t,
+                    gpu,
+                    ErrorKind::RowRemapEvent,
+                    IncidentId(0),
+                ));
             }
             t = t + Duration::from_hours(1);
         }
@@ -789,7 +794,11 @@ mod tests {
         }
         // Holds themselves kill nothing.
         assert_eq!(
-            outcome.jobs.iter().filter(|j| j.state == JobState::NodeFail).count(),
+            outcome
+                .jobs
+                .iter()
+                .filter(|j| j.state == JobState::NodeFail)
+                .count(),
             0
         );
     }
@@ -824,11 +833,20 @@ mod tests {
             .with_requeue(RequeuePolicy::hourly_checkpoints(3))
             .run(&errors, &[]);
         // Same workload stream: requeue can only reduce NODE_FAIL count.
-        let plain_fails =
-            plain.jobs.iter().filter(|j| j.state == JobState::NodeFail).count();
-        let retried_fails =
-            retried.jobs.iter().filter(|j| j.state == JobState::NodeFail).count();
-        assert!(retried_fails <= plain_fails, "{retried_fails} > {plain_fails}");
+        let plain_fails = plain
+            .jobs
+            .iter()
+            .filter(|j| j.state == JobState::NodeFail)
+            .count();
+        let retried_fails = retried
+            .jobs
+            .iter()
+            .filter(|j| j.state == JobState::NodeFail)
+            .count();
+        assert!(
+            retried_fails <= plain_fails,
+            "{retried_fails} > {plain_fails}"
+        );
         if plain.stats.error_kills > 0 {
             assert_eq!(retried.stats.requeues, retried.stats.error_kills);
         }

@@ -67,14 +67,78 @@ impl fmt::Display for GpuBucket {
 /// The Table III rows. Bucket boundaries follow the paper's headers, read
 /// as disjoint ranges: 1, 2–4, 5–8, 9–32, 33–64, 65–128, 129–256, 257+.
 pub const TABLE_III_BUCKETS: [GpuBucket; 8] = [
-    GpuBucket { min_gpus: 1, max_gpus: 1, share: 69.86, mean_mins: 175.62, median_mins: 10.15, ml_gpu_hours_k: 241.6, non_ml_gpu_hours_k: 2724.0 },
-    GpuBucket { min_gpus: 2, max_gpus: 4, share: 27.31, mean_mins: 145.04, median_mins: 4.75, ml_gpu_hours_k: 344.6, non_ml_gpu_hours_k: 3108.7 },
-    GpuBucket { min_gpus: 5, max_gpus: 8, share: 1.55, mean_mins: 133.89, median_mins: 2.70, ml_gpu_hours_k: 57.9, non_ml_gpu_hours_k: 338.6 },
-    GpuBucket { min_gpus: 9, max_gpus: 32, share: 1.07, mean_mins: 270.40, median_mins: 73.73, ml_gpu_hours_k: 107.1, non_ml_gpu_hours_k: 1332.7 },
-    GpuBucket { min_gpus: 33, max_gpus: 64, share: 0.14, mean_mins: 204.52, median_mins: 10.25, ml_gpu_hours_k: 161.9, non_ml_gpu_hours_k: 226.4 },
-    GpuBucket { min_gpus: 65, max_gpus: 128, share: 0.063, mean_mins: 226.28, median_mins: 0.32, ml_gpu_hours_k: 25.1, non_ml_gpu_hours_k: 322.3 },
-    GpuBucket { min_gpus: 129, max_gpus: 256, share: 0.006, mean_mins: 226.53, median_mins: 9.19, ml_gpu_hours_k: 0.0, non_ml_gpu_hours_k: 52.4 },
-    GpuBucket { min_gpus: 257, max_gpus: 448, share: 0.002, mean_mins: 32.12, median_mins: 20.40, ml_gpu_hours_k: 0.0, non_ml_gpu_hours_k: 4.5 },
+    GpuBucket {
+        min_gpus: 1,
+        max_gpus: 1,
+        share: 69.86,
+        mean_mins: 175.62,
+        median_mins: 10.15,
+        ml_gpu_hours_k: 241.6,
+        non_ml_gpu_hours_k: 2724.0,
+    },
+    GpuBucket {
+        min_gpus: 2,
+        max_gpus: 4,
+        share: 27.31,
+        mean_mins: 145.04,
+        median_mins: 4.75,
+        ml_gpu_hours_k: 344.6,
+        non_ml_gpu_hours_k: 3108.7,
+    },
+    GpuBucket {
+        min_gpus: 5,
+        max_gpus: 8,
+        share: 1.55,
+        mean_mins: 133.89,
+        median_mins: 2.70,
+        ml_gpu_hours_k: 57.9,
+        non_ml_gpu_hours_k: 338.6,
+    },
+    GpuBucket {
+        min_gpus: 9,
+        max_gpus: 32,
+        share: 1.07,
+        mean_mins: 270.40,
+        median_mins: 73.73,
+        ml_gpu_hours_k: 107.1,
+        non_ml_gpu_hours_k: 1332.7,
+    },
+    GpuBucket {
+        min_gpus: 33,
+        max_gpus: 64,
+        share: 0.14,
+        mean_mins: 204.52,
+        median_mins: 10.25,
+        ml_gpu_hours_k: 161.9,
+        non_ml_gpu_hours_k: 226.4,
+    },
+    GpuBucket {
+        min_gpus: 65,
+        max_gpus: 128,
+        share: 0.063,
+        mean_mins: 226.28,
+        median_mins: 0.32,
+        ml_gpu_hours_k: 25.1,
+        non_ml_gpu_hours_k: 322.3,
+    },
+    GpuBucket {
+        min_gpus: 129,
+        max_gpus: 256,
+        share: 0.006,
+        mean_mins: 226.53,
+        median_mins: 9.19,
+        ml_gpu_hours_k: 0.0,
+        non_ml_gpu_hours_k: 52.4,
+    },
+    GpuBucket {
+        min_gpus: 257,
+        max_gpus: 448,
+        share: 0.002,
+        mean_mins: 32.12,
+        median_mins: 20.40,
+        ml_gpu_hours_k: 0.0,
+        non_ml_gpu_hours_k: 4.5,
+    },
 ];
 
 /// One job to be submitted, before scheduling.
@@ -143,8 +207,7 @@ impl WorkloadConfig {
         let sampler = BucketSampler::new();
         let mut submits: Vec<u64> = (0..self.gpu_jobs)
             .map(|_| {
-                self.window.start.unix()
-                    + rng.range_u64(self.window.length().as_secs().max(1))
+                self.window.start.unix() + rng.range_u64(self.window.length().as_secs().max(1))
             })
             .collect();
         submits.sort_unstable();
@@ -179,8 +242,8 @@ impl WorkloadConfig {
             .expect("static parameters are valid");
         (0..self.cpu_jobs)
             .map(|i| {
-                let s = self.window.start.unix()
-                    + rng.range_u64(self.window.length().as_secs().max(1));
+                let s =
+                    self.window.start.unix() + rng.range_u64(self.window.length().as_secs().max(1));
                 let mins = dist.sample(rng);
                 JobSpec {
                     submit: Timestamp::from_unix(s),
@@ -259,12 +322,26 @@ impl BucketSampler {
 /// Generates a plausible job name; ML names carry the §V-A keywords.
 fn job_name(ml: bool, index: u64, rng: &mut Rng) -> String {
     const ML_STEMS: [&str; 8] = [
-        "train_resnet50", "bert_finetune", "llm_pretrain", "gpt_inference", "diffusion_model",
-        "torch_ddp_train", "epoch_sweep", "tensorflow_model",
+        "train_resnet50",
+        "bert_finetune",
+        "llm_pretrain",
+        "gpt_inference",
+        "diffusion_model",
+        "torch_ddp_train",
+        "epoch_sweep",
+        "tensorflow_model",
     ];
     const HPC_STEMS: [&str; 10] = [
-        "namd_apoa1", "gromacs_md", "wrf_forecast", "vasp_relax", "amber_prod", "lammps_flow",
-        "cfd_solver", "qchem_opt", "openfoam_run", "quantum_espresso",
+        "namd_apoa1",
+        "gromacs_md",
+        "wrf_forecast",
+        "vasp_relax",
+        "amber_prod",
+        "lammps_flow",
+        "cfd_solver",
+        "qchem_opt",
+        "openfoam_run",
+        "quantum_espresso",
     ];
     let stem = if ml {
         ML_STEMS[rng.range_u64(ML_STEMS.len() as u64) as usize]
@@ -314,8 +391,8 @@ mod tests {
         let jobs = config.generate(&mut rng);
         let single = jobs.iter().filter(|j| j.gpus == 1).count() as f64 / jobs.len() as f64;
         assert!((single - 0.6986).abs() < 0.01, "single-GPU share {single}");
-        let small = jobs.iter().filter(|j| (2..=4).contains(&j.gpus)).count() as f64
-            / jobs.len() as f64;
+        let small =
+            jobs.iter().filter(|j| (2..=4).contains(&j.gpus)).count() as f64 / jobs.len() as f64;
         assert!((small - 0.2731).abs() < 0.01, "2-4 share {small}");
     }
 
@@ -362,7 +439,10 @@ mod tests {
         let config = WorkloadConfig::delta_scaled(0.01);
         let mut rng = Rng::seed_from(5);
         let jobs = config.generate(&mut rng);
-        let ok = jobs.iter().filter(|j| j.baseline_state == JobState::Completed).count() as f64
+        let ok = jobs
+            .iter()
+            .filter(|j| j.baseline_state == JobState::Completed)
+            .count() as f64
             / jobs.len() as f64;
         assert!((ok - 0.7468).abs() < 0.01, "success {ok}");
     }
@@ -373,8 +453,10 @@ mod tests {
         let mut rng = Rng::seed_from(6);
         let jobs = config.generate(&mut rng);
         let ml_rate = |lo: u32, hi: u32| {
-            let bucket: Vec<_> =
-                jobs.iter().filter(|j| j.gpus >= lo && j.gpus <= hi).collect();
+            let bucket: Vec<_> = jobs
+                .iter()
+                .filter(|j| j.gpus >= lo && j.gpus <= hi)
+                .collect();
             bucket.iter().filter(|j| spec_to_record(j).is_ml()).count() as f64
                 / bucket.len().max(1) as f64
         };

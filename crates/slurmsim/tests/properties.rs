@@ -1,44 +1,47 @@
 //! Property tests for the scheduler substrate: accounting invariants that
-//! must hold for every seed, workload size and error pattern.
+//! must hold for every seed, workload size and error pattern — on the
+//! in-repo `propcheck` harness.
 
 use clustersim::{Cluster, ClusterSpec, GpuErrorEvent, GpuId, IncidentId, NodeId};
-use proptest::prelude::*;
+use propcheck::run;
 use simtime::Duration;
 use slurmsim::{JobState, RequeuePolicy, Simulation, WorkloadConfig};
 use xid::ErrorKind;
 
-fn run(seed: u64, errors: &[GpuErrorEvent]) -> slurmsim::SimulationOutcome {
+fn run_sim(seed: u64, errors: &[GpuErrorEvent]) -> slurmsim::SimulationOutcome {
     let cluster = Cluster::new(ClusterSpec::tiny());
     Simulation::new(&cluster, WorkloadConfig::delta_scaled(0.001), seed).run(errors, &[])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Scheduler accounting invariants hold for any seed: one record per
-    /// job, ids in submission order, sane time ordering, GPU allocations
-    /// matching requests (clamped to cluster size), no GPU double-booked.
-    #[test]
-    fn accounting_invariants(seed in any::<u64>()) {
-        let outcome = run(seed, &[]);
+/// Scheduler accounting invariants hold for any seed: one record per
+/// job, ids in submission order, sane time ordering, GPU allocations
+/// matching requests (clamped to cluster size), no GPU double-booked.
+/// Simulations are slow; keep the case count small.
+#[test]
+fn accounting_invariants() {
+    run("accounting_invariants", 12, |g| {
+        let seed = g.u64();
+        let outcome = run_sim(seed, &[]);
         let cluster_gpus = ClusterSpec::tiny().gpu_count();
         for (i, job) in outcome.jobs.iter().enumerate() {
-            prop_assert_eq!(job.id.0, i as u64);
-            prop_assert!(job.submit <= job.start);
-            prop_assert!(job.start <= job.end);
+            assert_eq!(job.id.0, i as u64);
+            assert!(job.submit <= job.start);
+            assert!(job.start <= job.end);
             if job.state != JobState::Cancelled {
-                prop_assert_eq!(job.gpu_ids.len() as u32, job.gpus);
-                prop_assert!(job.gpus >= 1);
-                prop_assert!(job.gpus <= cluster_gpus);
+                assert_eq!(job.gpu_ids.len() as u32, job.gpus);
+                assert!(job.gpus >= 1);
+                assert!(job.gpus <= cluster_gpus);
                 // Every node in `nodes` hosts at least one allocated GPU.
                 for node in &job.nodes {
-                    prop_assert!(job.gpu_ids.iter().any(|g| g.node == *node));
+                    assert!(job.gpu_ids.iter().any(|g| g.node == *node));
                 }
             }
         }
         // Exclusive allocation: per GPU, running intervals don't overlap.
-        let mut per_gpu: std::collections::BTreeMap<GpuId, Vec<(simtime::Timestamp, simtime::Timestamp)>> =
-            Default::default();
+        let mut per_gpu: std::collections::BTreeMap<
+            GpuId,
+            Vec<(simtime::Timestamp, simtime::Timestamp)>,
+        > = Default::default();
         for job in &outcome.jobs {
             for &gpu in &job.gpu_ids {
                 per_gpu.entry(gpu).or_default().push((job.start, job.end));
@@ -47,57 +50,72 @@ proptest! {
         for (gpu, mut spans) in per_gpu {
             spans.sort();
             for pair in spans.windows(2) {
-                prop_assert!(
+                assert!(
                     pair.first().unwrap().1 <= pair.last().unwrap().0,
                     "overlap on {gpu}: {pair:?}"
                 );
             }
         }
-    }
+    });
+}
 
-    /// With no errors there are no NODE_FAIL records, and error kills are
-    /// bounded by error count in general.
-    #[test]
-    fn error_kills_bounded(seed in any::<u64>(), n_errors in 0usize..40) {
+/// With no errors there are no NODE_FAIL records, and error kills are
+/// bounded by error count in general.
+#[test]
+fn error_kills_bounded() {
+    run("error_kills_bounded", 12, |g| {
+        let seed = g.u64();
+        let n_errors = g.usize_in(0, 40);
         let workload = WorkloadConfig::delta_scaled(0.001);
         let window = workload.window;
         let errors: Vec<GpuErrorEvent> = (0..n_errors)
-            .map(|i| GpuErrorEvent::new(
-                window.start + Duration::from_hours(i as u64 * 7 + 1),
-                GpuId::new(NodeId::new((i % 4) as u16), (i % 4) as u8),
-                ErrorKind::GspError,
-                IncidentId(i as u64),
-            ))
+            .map(|i| {
+                GpuErrorEvent::new(
+                    window.start + Duration::from_hours(i as u64 * 7 + 1),
+                    GpuId::new(NodeId::new((i % 4) as u16), (i % 4) as u8),
+                    ErrorKind::GspError,
+                    IncidentId(i as u64),
+                )
+            })
             .collect();
-        let outcome = run(seed, &errors);
-        let node_fails = outcome.jobs.iter().filter(|j| j.state == JobState::NodeFail).count();
-        prop_assert_eq!(node_fails as u64, outcome.stats.error_kills);
+        let outcome = run_sim(seed, &errors);
+        let node_fails = outcome
+            .jobs
+            .iter()
+            .filter(|j| j.state == JobState::NodeFail)
+            .count();
+        assert_eq!(node_fails as u64, outcome.stats.error_kills);
         if n_errors == 0 {
-            prop_assert_eq!(node_fails, 0);
+            assert_eq!(node_fails, 0);
         }
         // Node-scoped GSP kills can take out up to 8 co-resident jobs each.
-        prop_assert!(outcome.stats.error_kills <= (n_errors * 8) as u64);
-    }
+        assert!(outcome.stats.error_kills <= (n_errors * 8) as u64);
+    });
+}
 
-    /// Requeueing never decreases the success rate and never loses records.
-    #[test]
-    fn requeue_never_hurts(seed in any::<u64>()) {
+/// Requeueing never decreases the success rate and never loses records.
+#[test]
+fn requeue_never_hurts() {
+    run("requeue_never_hurts", 12, |g| {
+        let seed = g.u64();
         let workload = WorkloadConfig::delta_scaled(0.001);
         let window = workload.window;
         let cluster = Cluster::new(ClusterSpec::tiny());
         let errors: Vec<GpuErrorEvent> = (0..12u64)
-            .map(|i| GpuErrorEvent::new(
-                window.start + Duration::from_hours(i * 11 + 2),
-                GpuId::new(NodeId::new((i % 4) as u16), 0),
-                ErrorKind::GspError,
-                IncidentId(i),
-            ))
+            .map(|i| {
+                GpuErrorEvent::new(
+                    window.start + Duration::from_hours(i * 11 + 2),
+                    GpuId::new(NodeId::new((i % 4) as u16), 0),
+                    ErrorKind::GspError,
+                    IncidentId(i),
+                )
+            })
             .collect();
         let plain = Simulation::new(&cluster, workload.clone(), seed).run(&errors, &[]);
         let retried = Simulation::new(&cluster, workload, seed)
             .with_requeue(RequeuePolicy::hourly_checkpoints(5))
             .run(&errors, &[]);
-        prop_assert_eq!(plain.jobs.len(), retried.jobs.len());
-        prop_assert!(retried.gpu_success_rate() >= plain.gpu_success_rate() - 1e-9);
-    }
+        assert_eq!(plain.jobs.len(), retried.jobs.len());
+        assert!(retried.gpu_success_rate() >= plain.gpu_success_rate() - 1e-9);
+    });
 }

@@ -2,10 +2,10 @@
 //!
 //! [`ErrorKind`](crate::ErrorKind) covers the kinds the Delta study tracks;
 //! real logs contain many more. This catalog maps every XID documented in
-//! NVIDIA's *GPU Deployment and Management* guide (the paper's reference
-//! 1) to a name and a coarse class, so tooling built on this crate can
-//! label arbitrary log content instead of lumping everything into
-//! `Other`.
+//! NVIDIA's *GPU Deployment and Management* guide (the paper's first
+//! reference) to a name and a coarse class, so tooling built on this
+//! crate can label arbitrary log content instead of lumping everything
+//! into `Other`.
 
 use crate::XidCode;
 use std::fmt;
@@ -63,109 +63,521 @@ pub struct CatalogEntry {
 /// Names follow the deployment guide; codes NVIDIA marks as reserved or
 /// undocumented are omitted.
 pub const CATALOG: &[CatalogEntry] = &[
-    CatalogEntry { code: 1, name: "Invalid or corrupted push buffer stream", class: XidClass::Driver },
-    CatalogEntry { code: 2, name: "Invalid or corrupted push buffer stream", class: XidClass::Driver },
-    CatalogEntry { code: 3, name: "Invalid or corrupted push buffer stream", class: XidClass::Driver },
-    CatalogEntry { code: 4, name: "Invalid or corrupted push buffer stream / GPU semaphore timeout", class: XidClass::Driver },
-    CatalogEntry { code: 6, name: "Invalid or corrupted push buffer stream", class: XidClass::Driver },
-    CatalogEntry { code: 7, name: "Invalid or corrupted push buffer address", class: XidClass::Driver },
-    CatalogEntry { code: 8, name: "GPU stopped processing", class: XidClass::Application },
-    CatalogEntry { code: 9, name: "Driver error programming GPU", class: XidClass::Driver },
-    CatalogEntry { code: 11, name: "Invalid or corrupted push buffer stream", class: XidClass::Driver },
-    CatalogEntry { code: 12, name: "Driver error handling GPU exception", class: XidClass::Driver },
-    CatalogEntry { code: 13, name: "Graphics Engine Exception", class: XidClass::Application },
-    CatalogEntry { code: 16, name: "Display engine hung", class: XidClass::Driver },
-    CatalogEntry { code: 18, name: "Bus mastering disabled in PCI Config Space", class: XidClass::Driver },
-    CatalogEntry { code: 19, name: "Display Engine error", class: XidClass::Driver },
-    CatalogEntry { code: 20, name: "Invalid or corrupted Mpeg push buffer", class: XidClass::Driver },
-    CatalogEntry { code: 21, name: "Invalid or corrupted Motion Estimation push buffer", class: XidClass::Driver },
-    CatalogEntry { code: 22, name: "Invalid or corrupted Video Processor push buffer", class: XidClass::Driver },
-    CatalogEntry { code: 24, name: "GPU semaphore timeout", class: XidClass::Application },
-    CatalogEntry { code: 25, name: "Invalid or illegal push buffer stream", class: XidClass::Application },
-    CatalogEntry { code: 26, name: "Framebuffer timeout", class: XidClass::Driver },
-    CatalogEntry { code: 27, name: "Video processor exception", class: XidClass::Driver },
-    CatalogEntry { code: 28, name: "Video processor exception", class: XidClass::Driver },
-    CatalogEntry { code: 29, name: "Video processor exception", class: XidClass::Driver },
-    CatalogEntry { code: 30, name: "GPU semaphore access error", class: XidClass::Driver },
-    CatalogEntry { code: 31, name: "GPU memory page fault", class: XidClass::Hardware },
-    CatalogEntry { code: 32, name: "Invalid or corrupted push buffer stream (PBDMA)", class: XidClass::Driver },
-    CatalogEntry { code: 33, name: "Internal micro-controller error", class: XidClass::Hardware },
-    CatalogEntry { code: 34, name: "Video processor exception", class: XidClass::Driver },
-    CatalogEntry { code: 35, name: "Video processor exception", class: XidClass::Driver },
-    CatalogEntry { code: 36, name: "Video processor exception", class: XidClass::Driver },
-    CatalogEntry { code: 37, name: "Driver firmware error", class: XidClass::Driver },
-    CatalogEntry { code: 38, name: "Driver firmware error", class: XidClass::Driver },
-    CatalogEntry { code: 42, name: "Video processor exception", class: XidClass::Driver },
-    CatalogEntry { code: 43, name: "GPU stopped processing (reset channel verification)", class: XidClass::Application },
-    CatalogEntry { code: 44, name: "Graphics Engine fault during context switch", class: XidClass::Driver },
-    CatalogEntry { code: 45, name: "Preemptive cleanup, due to previous errors", class: XidClass::Application },
-    CatalogEntry { code: 46, name: "GPU stopped processing", class: XidClass::Driver },
-    CatalogEntry { code: 47, name: "Video processor exception", class: XidClass::Driver },
-    CatalogEntry { code: 48, name: "Double Bit ECC Error", class: XidClass::Memory },
-    CatalogEntry { code: 54, name: "Auxiliary power is not connected to the GPU board", class: XidClass::Hardware },
-    CatalogEntry { code: 56, name: "Display Engine error", class: XidClass::Driver },
-    CatalogEntry { code: 57, name: "Error programming video memory interface", class: XidClass::Memory },
-    CatalogEntry { code: 58, name: "Unstable video memory interface detected", class: XidClass::Memory },
-    CatalogEntry { code: 59, name: "Internal micro-controller error", class: XidClass::Hardware },
-    CatalogEntry { code: 60, name: "Video processor exception", class: XidClass::Driver },
-    CatalogEntry { code: 61, name: "Internal micro-controller breakpoint/warning", class: XidClass::Informational },
-    CatalogEntry { code: 62, name: "Internal micro-controller halt", class: XidClass::Hardware },
-    CatalogEntry { code: 63, name: "ECC page retirement or row remapping recording event", class: XidClass::Memory },
-    CatalogEntry { code: 64, name: "ECC page retirement or row remapper recording failure", class: XidClass::Memory },
-    CatalogEntry { code: 65, name: "Video processor exception", class: XidClass::Driver },
-    CatalogEntry { code: 66, name: "Illegal access by driver", class: XidClass::Driver },
-    CatalogEntry { code: 67, name: "Illegal access by driver", class: XidClass::Driver },
-    CatalogEntry { code: 68, name: "NVDEC0 Exception", class: XidClass::Hardware },
-    CatalogEntry { code: 69, name: "Graphics Engine class error", class: XidClass::Hardware },
-    CatalogEntry { code: 70, name: "CE3: Unknown Error", class: XidClass::Hardware },
-    CatalogEntry { code: 71, name: "CE4: Unknown Error", class: XidClass::Hardware },
-    CatalogEntry { code: 72, name: "CE5: Unknown Error", class: XidClass::Hardware },
-    CatalogEntry { code: 73, name: "NVENC2 Error", class: XidClass::Hardware },
-    CatalogEntry { code: 74, name: "NVLink Error", class: XidClass::Interconnect },
-    CatalogEntry { code: 79, name: "GPU has fallen off the bus", class: XidClass::Hardware },
-    CatalogEntry { code: 80, name: "Corrupted data sent to GPU", class: XidClass::Driver },
-    CatalogEntry { code: 81, name: "VGA Subsystem Error", class: XidClass::Hardware },
-    CatalogEntry { code: 82, name: "NVJPG0 Error", class: XidClass::Hardware },
-    CatalogEntry { code: 83, name: "NVDEC1 Error", class: XidClass::Hardware },
-    CatalogEntry { code: 84, name: "NVDEC2 Error", class: XidClass::Hardware },
-    CatalogEntry { code: 85, name: "CE6: Unknown Error", class: XidClass::Hardware },
-    CatalogEntry { code: 86, name: "CE7: Unknown Error", class: XidClass::Hardware },
-    CatalogEntry { code: 87, name: "CE8: Unknown Error", class: XidClass::Hardware },
-    CatalogEntry { code: 88, name: "NVDEC3 Error", class: XidClass::Hardware },
-    CatalogEntry { code: 89, name: "NVDEC4 Error", class: XidClass::Hardware },
-    CatalogEntry { code: 92, name: "High single-bit ECC error rate", class: XidClass::Memory },
-    CatalogEntry { code: 94, name: "Contained ECC error", class: XidClass::Memory },
-    CatalogEntry { code: 95, name: "Uncontained ECC error", class: XidClass::Memory },
-    CatalogEntry { code: 96, name: "NVDEC5 Error", class: XidClass::Hardware },
-    CatalogEntry { code: 97, name: "NVDEC6 Error", class: XidClass::Hardware },
-    CatalogEntry { code: 98, name: "NVDEC7 Error", class: XidClass::Hardware },
-    CatalogEntry { code: 99, name: "NVJPG1 Error", class: XidClass::Hardware },
-    CatalogEntry { code: 100, name: "NVJPG2 Error", class: XidClass::Hardware },
-    CatalogEntry { code: 101, name: "NVJPG3 Error", class: XidClass::Hardware },
-    CatalogEntry { code: 102, name: "NVJPG4 Error", class: XidClass::Hardware },
-    CatalogEntry { code: 103, name: "NVJPG5 Error", class: XidClass::Hardware },
-    CatalogEntry { code: 104, name: "NVJPG6 Error", class: XidClass::Hardware },
-    CatalogEntry { code: 105, name: "NVJPG7 Error", class: XidClass::Hardware },
-    CatalogEntry { code: 106, name: "SMBPBI Test Message", class: XidClass::Informational },
-    CatalogEntry { code: 107, name: "SMBPBI Test Message Silent", class: XidClass::Informational },
-    CatalogEntry { code: 109, name: "Context Switch Timeout Error", class: XidClass::Application },
-    CatalogEntry { code: 110, name: "Security Fault Error", class: XidClass::Hardware },
-    CatalogEntry { code: 111, name: "Display Bundle Error Event", class: XidClass::Driver },
-    CatalogEntry { code: 112, name: "Display Supervisor Error", class: XidClass::Driver },
-    CatalogEntry { code: 113, name: "DP Link Training Error", class: XidClass::Driver },
-    CatalogEntry { code: 114, name: "Display Pipeline Underflow Error", class: XidClass::Driver },
-    CatalogEntry { code: 115, name: "Display Core Channel Error", class: XidClass::Driver },
-    CatalogEntry { code: 116, name: "Display Window Channel Error", class: XidClass::Driver },
-    CatalogEntry { code: 117, name: "Display Cursor Channel Error", class: XidClass::Driver },
-    CatalogEntry { code: 118, name: "Display Pixel Pipeline Error", class: XidClass::Driver },
-    CatalogEntry { code: 119, name: "GSP RPC Timeout", class: XidClass::Hardware },
-    CatalogEntry { code: 120, name: "GSP Error", class: XidClass::Hardware },
-    CatalogEntry { code: 121, name: "C2C Link Error", class: XidClass::Interconnect },
-    CatalogEntry { code: 122, name: "SPI PMU RPC Read Failure", class: XidClass::Hardware },
-    CatalogEntry { code: 123, name: "SPI PMU RPC Write Failure", class: XidClass::Hardware },
-    CatalogEntry { code: 124, name: "SPI PMU RPC Erase Failure", class: XidClass::Hardware },
-    CatalogEntry { code: 125, name: "Inforom FS Failure", class: XidClass::Hardware },
-    CatalogEntry { code: 140, name: "Unrecovered ECC Error", class: XidClass::Memory },
+    CatalogEntry {
+        code: 1,
+        name: "Invalid or corrupted push buffer stream",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 2,
+        name: "Invalid or corrupted push buffer stream",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 3,
+        name: "Invalid or corrupted push buffer stream",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 4,
+        name: "Invalid or corrupted push buffer stream / GPU semaphore timeout",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 6,
+        name: "Invalid or corrupted push buffer stream",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 7,
+        name: "Invalid or corrupted push buffer address",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 8,
+        name: "GPU stopped processing",
+        class: XidClass::Application,
+    },
+    CatalogEntry {
+        code: 9,
+        name: "Driver error programming GPU",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 11,
+        name: "Invalid or corrupted push buffer stream",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 12,
+        name: "Driver error handling GPU exception",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 13,
+        name: "Graphics Engine Exception",
+        class: XidClass::Application,
+    },
+    CatalogEntry {
+        code: 16,
+        name: "Display engine hung",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 18,
+        name: "Bus mastering disabled in PCI Config Space",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 19,
+        name: "Display Engine error",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 20,
+        name: "Invalid or corrupted Mpeg push buffer",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 21,
+        name: "Invalid or corrupted Motion Estimation push buffer",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 22,
+        name: "Invalid or corrupted Video Processor push buffer",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 24,
+        name: "GPU semaphore timeout",
+        class: XidClass::Application,
+    },
+    CatalogEntry {
+        code: 25,
+        name: "Invalid or illegal push buffer stream",
+        class: XidClass::Application,
+    },
+    CatalogEntry {
+        code: 26,
+        name: "Framebuffer timeout",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 27,
+        name: "Video processor exception",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 28,
+        name: "Video processor exception",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 29,
+        name: "Video processor exception",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 30,
+        name: "GPU semaphore access error",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 31,
+        name: "GPU memory page fault",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 32,
+        name: "Invalid or corrupted push buffer stream (PBDMA)",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 33,
+        name: "Internal micro-controller error",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 34,
+        name: "Video processor exception",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 35,
+        name: "Video processor exception",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 36,
+        name: "Video processor exception",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 37,
+        name: "Driver firmware error",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 38,
+        name: "Driver firmware error",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 42,
+        name: "Video processor exception",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 43,
+        name: "GPU stopped processing (reset channel verification)",
+        class: XidClass::Application,
+    },
+    CatalogEntry {
+        code: 44,
+        name: "Graphics Engine fault during context switch",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 45,
+        name: "Preemptive cleanup, due to previous errors",
+        class: XidClass::Application,
+    },
+    CatalogEntry {
+        code: 46,
+        name: "GPU stopped processing",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 47,
+        name: "Video processor exception",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 48,
+        name: "Double Bit ECC Error",
+        class: XidClass::Memory,
+    },
+    CatalogEntry {
+        code: 54,
+        name: "Auxiliary power is not connected to the GPU board",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 56,
+        name: "Display Engine error",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 57,
+        name: "Error programming video memory interface",
+        class: XidClass::Memory,
+    },
+    CatalogEntry {
+        code: 58,
+        name: "Unstable video memory interface detected",
+        class: XidClass::Memory,
+    },
+    CatalogEntry {
+        code: 59,
+        name: "Internal micro-controller error",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 60,
+        name: "Video processor exception",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 61,
+        name: "Internal micro-controller breakpoint/warning",
+        class: XidClass::Informational,
+    },
+    CatalogEntry {
+        code: 62,
+        name: "Internal micro-controller halt",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 63,
+        name: "ECC page retirement or row remapping recording event",
+        class: XidClass::Memory,
+    },
+    CatalogEntry {
+        code: 64,
+        name: "ECC page retirement or row remapper recording failure",
+        class: XidClass::Memory,
+    },
+    CatalogEntry {
+        code: 65,
+        name: "Video processor exception",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 66,
+        name: "Illegal access by driver",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 67,
+        name: "Illegal access by driver",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 68,
+        name: "NVDEC0 Exception",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 69,
+        name: "Graphics Engine class error",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 70,
+        name: "CE3: Unknown Error",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 71,
+        name: "CE4: Unknown Error",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 72,
+        name: "CE5: Unknown Error",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 73,
+        name: "NVENC2 Error",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 74,
+        name: "NVLink Error",
+        class: XidClass::Interconnect,
+    },
+    CatalogEntry {
+        code: 79,
+        name: "GPU has fallen off the bus",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 80,
+        name: "Corrupted data sent to GPU",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 81,
+        name: "VGA Subsystem Error",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 82,
+        name: "NVJPG0 Error",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 83,
+        name: "NVDEC1 Error",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 84,
+        name: "NVDEC2 Error",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 85,
+        name: "CE6: Unknown Error",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 86,
+        name: "CE7: Unknown Error",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 87,
+        name: "CE8: Unknown Error",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 88,
+        name: "NVDEC3 Error",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 89,
+        name: "NVDEC4 Error",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 92,
+        name: "High single-bit ECC error rate",
+        class: XidClass::Memory,
+    },
+    CatalogEntry {
+        code: 94,
+        name: "Contained ECC error",
+        class: XidClass::Memory,
+    },
+    CatalogEntry {
+        code: 95,
+        name: "Uncontained ECC error",
+        class: XidClass::Memory,
+    },
+    CatalogEntry {
+        code: 96,
+        name: "NVDEC5 Error",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 97,
+        name: "NVDEC6 Error",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 98,
+        name: "NVDEC7 Error",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 99,
+        name: "NVJPG1 Error",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 100,
+        name: "NVJPG2 Error",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 101,
+        name: "NVJPG3 Error",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 102,
+        name: "NVJPG4 Error",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 103,
+        name: "NVJPG5 Error",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 104,
+        name: "NVJPG6 Error",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 105,
+        name: "NVJPG7 Error",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 106,
+        name: "SMBPBI Test Message",
+        class: XidClass::Informational,
+    },
+    CatalogEntry {
+        code: 107,
+        name: "SMBPBI Test Message Silent",
+        class: XidClass::Informational,
+    },
+    CatalogEntry {
+        code: 109,
+        name: "Context Switch Timeout Error",
+        class: XidClass::Application,
+    },
+    CatalogEntry {
+        code: 110,
+        name: "Security Fault Error",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 111,
+        name: "Display Bundle Error Event",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 112,
+        name: "Display Supervisor Error",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 113,
+        name: "DP Link Training Error",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 114,
+        name: "Display Pipeline Underflow Error",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 115,
+        name: "Display Core Channel Error",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 116,
+        name: "Display Window Channel Error",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 117,
+        name: "Display Cursor Channel Error",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 118,
+        name: "Display Pixel Pipeline Error",
+        class: XidClass::Driver,
+    },
+    CatalogEntry {
+        code: 119,
+        name: "GSP RPC Timeout",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 120,
+        name: "GSP Error",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 121,
+        name: "C2C Link Error",
+        class: XidClass::Interconnect,
+    },
+    CatalogEntry {
+        code: 122,
+        name: "SPI PMU RPC Read Failure",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 123,
+        name: "SPI PMU RPC Write Failure",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 124,
+        name: "SPI PMU RPC Erase Failure",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 125,
+        name: "Inforom FS Failure",
+        class: XidClass::Hardware,
+    },
+    CatalogEntry {
+        code: 140,
+        name: "Unrecovered ECC Error",
+        class: XidClass::Memory,
+    },
 ];
 
 /// Looks up a code in the catalog.
@@ -194,7 +606,12 @@ mod tests {
     #[test]
     fn catalog_is_sorted_and_unique() {
         for pair in CATALOG.windows(2) {
-            assert!(pair[0].code < pair[1].code, "{} vs {}", pair[0].code, pair[1].code);
+            assert!(
+                pair[0].code < pair[1].code,
+                "{} vs {}",
+                pair[0].code,
+                pair[1].code
+            );
         }
     }
 
@@ -219,19 +636,26 @@ mod tests {
                     Category::Hardware => entry.class == XidClass::Hardware,
                     Category::Memory => entry.class == XidClass::Memory,
                     Category::Interconnect => entry.class == XidClass::Interconnect,
-                    Category::Software => matches!(
-                        entry.class,
-                        XidClass::Application | XidClass::Driver
-                    ),
+                    Category::Software => {
+                        matches!(entry.class, XidClass::Application | XidClass::Driver)
+                    }
                 };
-                assert!(compatible, "XID {code}: {:?} vs {:?}", entry.class, kind.category());
+                assert!(
+                    compatible,
+                    "XID {code}: {:?} vs {:?}",
+                    entry.class,
+                    kind.category()
+                );
             }
         }
     }
 
     #[test]
     fn lookup_hits_and_misses() {
-        assert_eq!(lookup(XidCode::new(79)).unwrap().name, "GPU has fallen off the bus");
+        assert_eq!(
+            lookup(XidCode::new(79)).unwrap().name,
+            "GPU has fallen off the bus"
+        );
         assert_eq!(lookup(XidCode::new(119)).unwrap().name, "GSP RPC Timeout");
         assert!(lookup(XidCode::new(999)).is_none());
         assert!(lookup(XidCode::new(0)).is_none());
@@ -245,8 +669,14 @@ mod tests {
 
     #[test]
     fn excluded_codes_are_application_class() {
-        assert_eq!(lookup(XidCode::new(13)).unwrap().class, XidClass::Application);
-        assert_eq!(lookup(XidCode::new(43)).unwrap().class, XidClass::Application);
+        assert_eq!(
+            lookup(XidCode::new(13)).unwrap().class,
+            XidClass::Application
+        );
+        assert_eq!(
+            lookup(XidCode::new(43)).unwrap().class,
+            XidClass::Application
+        );
     }
 
     #[test]

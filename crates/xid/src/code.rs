@@ -91,7 +91,11 @@ pub struct ParseXidCodeError {
 
 impl fmt::Display for ParseXidCodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid XID code {:?}: expected a decimal integer in 0..=65535", self.input)
+        write!(
+            f,
+            "invalid XID code {:?}: expected a decimal integer in 0..=65535",
+            self.input
+        )
     }
 }
 
@@ -104,7 +108,9 @@ impl FromStr for XidCode {
         s.trim()
             .parse::<u16>()
             .map(XidCode)
-            .map_err(|_| ParseXidCodeError { input: s.to_owned() })
+            .map_err(|_| ParseXidCodeError {
+                input: s.to_owned(),
+            })
     }
 }
 

@@ -185,9 +185,7 @@ impl ErrorKind {
             ErrorKind::ContainedMemoryError => {
                 "uncorrectable ECC error contained by terminating affected processes"
             }
-            ErrorKind::UncontainedMemoryError => {
-                "uncorrectable ECC error that escaped containment"
-            }
+            ErrorKind::UncontainedMemoryError => "uncorrectable ECC error that escaped containment",
             ErrorKind::GspError => "GPU System Processor (GSP) error or RPC timeout",
             ErrorKind::PmuSpiError => "PMU SPI RPC failure: communication with the PMU failed",
             ErrorKind::GpuSoftware => "application-triggered graphics engine exception",
@@ -269,7 +267,10 @@ mod tests {
 
     #[test]
     fn abbreviations_are_unique_among_studied() {
-        let mut abbrs: Vec<&str> = ErrorKind::STUDIED.iter().map(|k| k.abbreviation()).collect();
+        let mut abbrs: Vec<&str> = ErrorKind::STUDIED
+            .iter()
+            .map(|k| k.abbreviation())
+            .collect();
         abbrs.sort_unstable();
         let before = abbrs.len();
         abbrs.dedup();

@@ -21,7 +21,10 @@ fn main() {
     pipeline.periods = campaign.config.periods;
     let analysed = pipeline.run(&campaign.archive, &[], &[], &[]);
 
-    println!("FLEET HEALTH REPORT — {} GPUs", campaign.config.spec.gpu_count());
+    println!(
+        "FLEET HEALTH REPORT — {} GPUs",
+        campaign.config.spec.gpu_count()
+    );
     println!(
         "window: {} .. {}\n",
         campaign.config.periods.pre_op.start, campaign.config.periods.op.end

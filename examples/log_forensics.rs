@@ -37,7 +37,11 @@ fn main() {
     // 1. Cheap pre-filter: which lines even mention an XID?
     let filter = FilterSet::compile(&["*NVRM: Xid*"]).expect("static pattern compiles");
     let xid_lines = DAY_LOG.lines().filter(|l| filter.matches(l)).count();
-    println!("{} of {} lines are XID reports", xid_lines, DAY_LOG.lines().count());
+    println!(
+        "{} of {} lines are XID reports",
+        xid_lines,
+        DAY_LOG.lines().count()
+    );
 
     // 2. Typed extraction with a capture pattern, for ad-hoc inspection.
     let probe = Pattern::compile("*Xid (PCI:{w}): {d},*").expect("static pattern compiles");
@@ -49,7 +53,10 @@ fn main() {
 
     // 3. The real pipeline: parse -> extract (study filter on) -> coalesce.
     let mut extractor = XidExtractor::studied_only(2024);
-    let events: Vec<_> = DAY_LOG.lines().filter_map(|l| extractor.extract_raw(l)).collect();
+    let events: Vec<_> = DAY_LOG
+        .lines()
+        .filter_map(|l| extractor.extract_raw(l))
+        .collect();
     let stats = extractor.stats();
     println!(
         "\nextraction: {} XID lines, {} events kept, {} excluded (app-triggered XID 13/43)",
@@ -63,7 +70,10 @@ fn main() {
     let mut per_gpu: BTreeMap<(String, u8), Vec<ErrorKind>> = BTreeMap::new();
     for e in &errors {
         let gpu = e.gpu_index().unwrap_or(255);
-        per_gpu.entry((e.host.clone(), gpu)).or_default().push(e.kind);
+        per_gpu
+            .entry((e.host.clone(), gpu))
+            .or_default()
+            .push(e.kind);
     }
     for ((host, gpu), kinds) in &per_gpu {
         let worst = kinds.iter().map(|k| k.recovery()).max().unwrap_or_default();

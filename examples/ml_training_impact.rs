@@ -31,14 +31,23 @@ fn main() {
     let outcome =
         Simulation::new(&cluster, workload, 2).run(&campaign.ground_truth, &campaign.holds);
 
-    let trained: Vec<_> = outcome.jobs.iter().filter(|j| !j.nodes.is_empty()).collect();
-    let failed_by_gpu: Vec<_> =
-        trained.iter().filter(|j| j.state == JobState::NodeFail).collect();
+    let trained: Vec<_> = outcome
+        .jobs
+        .iter()
+        .filter(|j| !j.nodes.is_empty())
+        .collect();
+    let failed_by_gpu: Vec<_> = trained
+        .iter()
+        .filter(|j| j.state == JobState::NodeFail)
+        .collect();
     let gpu_hours: f64 = trained.iter().map(|j| j.gpu_hours()).sum();
     let lost_hours: f64 = failed_by_gpu.iter().map(|j| j.gpu_hours()).sum();
     let weeks = campaign.config.periods.op.days() / 7.0;
 
-    println!("quarter-long campaign, {} training runs scheduled", trained.len());
+    println!(
+        "quarter-long campaign, {} training runs scheduled",
+        trained.len()
+    );
     println!(
         "GPU-error casualties: {} runs ({:.1} per week)",
         failed_by_gpu.len(),
@@ -71,7 +80,8 @@ fn main() {
         // job's GPUs at the moment the job ended.
         if let Some(ev) = campaign
             .ground_truth
-            .iter().rfind(|e| e.time == job.end && job.gpu_ids.iter().any(|g| g.node == e.gpu.node))
+            .iter()
+            .rfind(|e| e.time == job.end && job.gpu_ids.iter().any(|g| g.node == e.gpu.node))
         {
             *per_kind.entry(ev.kind).or_default() += 1;
         }

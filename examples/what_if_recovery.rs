@@ -49,9 +49,18 @@ fn scenarios() -> Vec<Scenario> {
     gsp_fixed.rates.gsp_per_gpu_hour.1 /= faultsim::rates::GSP_CYCLES_MEAN;
 
     vec![
-        Scenario { name: "baseline (as measured)", config: baseline },
-        Scenario { name: "fast-repair (4x faster reboot)", config: fast },
-        Scenario { name: "gsp-fixed (no GSP flapping)", config: gsp_fixed },
+        Scenario {
+            name: "baseline (as measured)",
+            config: baseline,
+        },
+        Scenario {
+            name: "fast-repair (4x faster reboot)",
+            config: fast,
+        },
+        Scenario {
+            name: "gsp-fixed (no GSP flapping)",
+            config: gsp_fixed,
+        },
     ]
 }
 

@@ -95,7 +95,10 @@ fn parse_flags(args: &[String], value_flags: &[&str]) -> Result<Flags, String> {
             positionals.push(arg.clone());
         }
     }
-    Ok(Flags { positionals, options })
+    Ok(Flags {
+        positionals,
+        options,
+    })
 }
 
 impl Flags {
@@ -122,8 +125,7 @@ fn collect_log_files(paths: &[String]) -> Result<Vec<PathBuf>, String> {
     for p in paths {
         let path = Path::new(p);
         if path.is_dir() {
-            let entries =
-                std::fs::read_dir(path).map_err(|e| format!("reading dir {p}: {e}"))?;
+            let entries = std::fs::read_dir(path).map_err(|e| format!("reading dir {p}: {e}"))?;
             for entry in entries {
                 let entry = entry.map_err(|e| format!("reading dir {p}: {e}"))?;
                 if entry.path().is_file() {
@@ -187,8 +189,8 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     match flags.value("periods").unwrap_or("delta") {
         "delta" => {}
         "auto" => {
-            pipeline.periods = infer_periods(&archive, &gpu_jobs)
-                .ok_or("cannot infer periods from empty data")?;
+            pipeline.periods =
+                infer_periods(&archive, &gpu_jobs).ok_or("cannot infer periods from empty data")?;
             println!(
                 "inferred calendar: pre-op {} .. op {} .. {}",
                 pipeline.periods.pre_op.start, pipeline.periods.op.start, pipeline.periods.op.end
@@ -269,15 +271,28 @@ fn infer_periods(
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args, &["scale", "seed", "out"])?;
-    let scale: f64 = flags.value("scale").unwrap_or("0.05").parse().map_err(|_| "bad --scale")?;
+    let scale: f64 = flags
+        .value("scale")
+        .unwrap_or("0.05")
+        .parse()
+        .map_err(|_| "bad --scale")?;
     if !(0.0..=1.0).contains(&scale) || scale == 0.0 {
         return Err("--scale must be in (0, 1]".into());
     }
-    let seed: u64 = flags.value("seed").unwrap_or("911706").parse().map_err(|_| "bad --seed")?;
+    let seed: u64 = flags
+        .value("seed")
+        .unwrap_or("911706")
+        .parse()
+        .map_err(|_| "bad --seed")?;
     let out_dir = PathBuf::from(flags.value("out").ok_or("simulate needs --out DIR")?);
-    std::fs::create_dir_all(out_dir.join("logs")).map_err(|e| format!("creating {out_dir:?}: {e}"))?;
+    std::fs::create_dir_all(out_dir.join("logs"))
+        .map_err(|e| format!("creating {out_dir:?}: {e}"))?;
 
-    let mut config = if scale >= 1.0 { FaultConfig::delta() } else { FaultConfig::delta_scaled(scale) };
+    let mut config = if scale >= 1.0 {
+        FaultConfig::delta()
+    } else {
+        FaultConfig::delta_scaled(scale)
+    };
     config.seed = seed;
     let campaign = Campaign::new(config).run();
     let cluster = Cluster::new(campaign.config.spec);
@@ -295,7 +310,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         let text = campaign.archive.render_day(day).expect("day exists");
         let date = Timestamp::from_unix(day * 86_400);
         let (y, m, d) = date.ymd();
-        let path = out_dir.join("logs").join(format!("syslog-{y:04}{m:02}{d:02}.log"));
+        let path = out_dir
+            .join("logs")
+            .join(format!("syslog-{y:04}{m:02}{d:02}.log"));
         std::fs::write(&path, text).map_err(|e| format!("writing {path:?}: {e}"))?;
         days += 1;
     }
@@ -384,8 +401,7 @@ mod tests {
 
     #[test]
     fn later_values_win() {
-        let flags =
-            parse_flags(&args(&["--seed", "1", "--seed", "2"]), &["seed"]).unwrap();
+        let flags = parse_flags(&args(&["--seed", "1", "--seed", "2"]), &["seed"]).unwrap();
         assert_eq!(flags.value("seed"), Some("2"));
     }
 
@@ -405,8 +421,14 @@ mod tests {
 
     #[test]
     fn year_from_filename_variants() {
-        assert_eq!(year_from_filename(Path::new("syslog-20220105.log")), Some(2022));
-        assert_eq!(year_from_filename(Path::new("logs/node-20251231-full.log")), Some(2025));
+        assert_eq!(
+            year_from_filename(Path::new("syslog-20220105.log")),
+            Some(2022)
+        );
+        assert_eq!(
+            year_from_filename(Path::new("logs/node-20251231-full.log")),
+            Some(2025)
+        );
         assert_eq!(year_from_filename(Path::new("messages.log")), None);
         assert_eq!(year_from_filename(Path::new("build-12345678.log")), None); // year 1234 out of range
     }

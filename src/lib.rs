@@ -67,7 +67,9 @@ pub mod prelude {
     pub use faultsim::{Campaign, CampaignOutput, FaultConfig, StormConfig};
     pub use resilience::findings::Findings;
     pub use resilience::report;
-    pub use resilience::{AccountedJob, OutageRecord, Pipeline, StudyReport};
+    pub use resilience::{
+        AccountedJob, Caveat, OutageRecord, Pipeline, PipelineError, QuarantineReport, StudyReport,
+    };
     pub use simrng::Rng;
     pub use simtime::{Duration, Period, Phase, StudyPeriods, Timestamp};
     pub use slurmsim::{JobRecord, JobState, KillModel, Simulation, WorkloadConfig};
@@ -142,14 +144,21 @@ mod tests {
         let job = bridge::job(&record);
         assert_eq!(job.id, 7);
         assert!(job.completed);
-        assert_eq!(job.gpu_slots, vec![("gpub005".to_owned(), 0), ("gpub005".to_owned(), 3)]);
+        assert_eq!(
+            job.gpu_slots,
+            vec![("gpub005".to_owned(), 0), ("gpub005".to_owned(), 3)]
+        );
         assert!(job.is_ml());
     }
 
     #[test]
     fn failed_states_map_to_not_completed() {
-        for state in [JobState::Failed, JobState::Cancelled, JobState::Timeout, JobState::NodeFail]
-        {
+        for state in [
+            JobState::Failed,
+            JobState::Cancelled,
+            JobState::Timeout,
+            JobState::NodeFail,
+        ] {
             let record = JobRecord {
                 id: JobId(1),
                 name: "x".to_owned(),

@@ -30,14 +30,18 @@ fn analysis_recovers_injected_error_counts() {
     // The pipeline reads only rendered log text, yet its per-kind counts
     // must track the injector's ground truth. Coalescing merges genuine
     // short bursts (MMU, PMU followers), so allow headroom on those.
-    for kind in [ErrorKind::GspError, ErrorKind::NvlinkError, ErrorKind::FallenOffBus] {
+    for kind in [
+        ErrorKind::GspError,
+        ErrorKind::NvlinkError,
+        ErrorKind::FallenOffBus,
+    ] {
         let truth = campaign
             .ground_truth
             .iter()
             .filter(|e| e.kind == kind)
             .count() as i64;
-        let analysed = (report.stats.count(kind, Phase::PreOp)
-            + report.stats.count(kind, Phase::Op)) as i64;
+        let analysed =
+            (report.stats.count(kind, Phase::PreOp) + report.stats.count(kind, Phase::Op)) as i64;
         assert!(
             (truth - analysed).abs() <= truth / 5 + 2,
             "{kind}: truth {truth} vs analysed {analysed}"
@@ -54,7 +58,10 @@ fn coalescing_compresses_duplicates() {
     assert!(report.coalesce_summary.raw_lines > report.coalesce_summary.errors);
     let ratio = report.coalesce_summary.ratio();
     assert!((1.5..40.0).contains(&ratio), "dedup ratio {ratio}");
-    assert_eq!(report.coalesce_summary.raw_lines, campaign.stats.raw_lines());
+    assert_eq!(
+        report.coalesce_summary.raw_lines,
+        campaign.stats.raw_lines()
+    );
     // Coalescing must recover the injected error count closely: duplicates
     // merge, real errors survive.
     let truth = campaign.ground_truth.len() as f64;
@@ -63,20 +70,30 @@ fn coalescing_compresses_duplicates() {
         - report.stats_raw.uncorrectable_count(Phase::PreOp) as f64
         - report.stats_raw.uncorrectable_count(Phase::Op) as f64;
     let rel = (analysed - truth).abs() / truth;
-    assert!(rel < 0.12, "analysed {analysed} vs truth {truth} (rel {rel:.3})");
+    assert!(
+        rel < 0.12,
+        "analysed {analysed} vs truth {truth} (rel {rel:.3})"
+    );
 }
 
 #[test]
 fn storm_is_detected_and_excluded() {
     let (campaign, report) = run_study(0.05, 13);
-    let storm = campaign.config.storm.expect("scaled delta config keeps the storm");
+    let storm = campaign
+        .config
+        .storm
+        .expect("scaled delta config keeps the storm");
     let outlier = report.outlier().expect("storm must trip the outlier rule");
     assert_eq!(outlier.host, storm.gpu.node.hostname());
     assert_eq!(outlier.kind, ErrorKind::UncontainedMemoryError);
     assert!(outlier.excluded_errors > 100);
     // Raw stats keep the storm; headline stats drop it.
-    let raw = report.stats_raw.count(ErrorKind::UncontainedMemoryError, Phase::PreOp);
-    let clean = report.stats.count(ErrorKind::UncontainedMemoryError, Phase::PreOp);
+    let raw = report
+        .stats_raw
+        .count(ErrorKind::UncontainedMemoryError, Phase::PreOp);
+    let clean = report
+        .stats
+        .count(ErrorKind::UncontainedMemoryError, Phase::PreOp);
     assert!(raw > clean + 100, "raw {raw} clean {clean}");
 }
 
@@ -86,7 +103,10 @@ fn mtbe_matches_calibration_within_noise() {
     // GSP op per-node MTBE calibrates to ~590 h (Table I). Small scaled
     // samples are noisy; require the right decade.
     if let Some(mtbe) = report.stats.mtbe_per_node(ErrorKind::GspError, Phase::Op) {
-        assert!((250.0..1400.0).contains(&mtbe), "GSP op per-node MTBE {mtbe}");
+        assert!(
+            (250.0..1400.0).contains(&mtbe),
+            "GSP op per-node MTBE {mtbe}"
+        );
     }
     // NVLink op system-wide MTBE calibrates to ~11 h.
     if let Some(mtbe) = report.stats.mtbe_system(ErrorKind::NvlinkError, Phase::Op) {
@@ -98,11 +118,22 @@ fn mtbe_matches_calibration_within_noise() {
 fn job_impact_has_paper_shape() {
     let (_, report) = run_study(0.08, 15);
     let mmu = report.impact.kind(ErrorKind::MmuError);
-    assert!(mmu.encountered > 50, "need MMU sample, got {}", mmu.encountered);
+    assert!(
+        mmu.encountered > 50,
+        "need MMU sample, got {}",
+        mmu.encountered
+    );
     let p_mmu = mmu.failure_probability().unwrap();
     assert!((0.75..0.97).contains(&p_mmu), "P(fail|MMU) {p_mmu}");
-    if let Some(p_nvl) = report.impact.kind(ErrorKind::NvlinkError).failure_probability() {
-        assert!(p_nvl < p_mmu, "NVLink {p_nvl} must be more survivable than MMU {p_mmu}");
+    if let Some(p_nvl) = report
+        .impact
+        .kind(ErrorKind::NvlinkError)
+        .failure_probability()
+    {
+        assert!(
+            p_nvl < p_mmu,
+            "NVLink {p_nvl} must be more survivable than MMU {p_mmu}"
+        );
     }
 }
 
