@@ -1,0 +1,263 @@
+//! E12 parallel ingest sweep: Stage-I throughput across a threads ×
+//! archive-size grid, against the serial baseline, with the determinism
+//! contract asserted at every cell.
+//!
+//! One campaign is rendered once; day-prefix subsets of its archive give
+//! the size axis. For every (size, threads) cell the sharded extractor
+//! ([`resilience::parallel::parallel_extract`]) is timed against the
+//! serial Stage-I scan, and its output — events *and* counters — must be
+//! identical to the serial path's. The full-pipeline render (`report::full`
+//! plus the markdown tables) is then compared byte-for-byte at every
+//! thread count.
+//!
+//! ```text
+//! cargo run --release -p bench --bin par_sweep [--smoke] [SCALE] [SEED]
+//! ```
+//!
+//! `--smoke` runs a small fixed grid and asserts a machine-scaled
+//! throughput floor (CI keeps it honest without assuming core counts).
+
+use bench::{banner, run_study, RunOptions, DEFAULT_SEED};
+use delta_gpu_resilience::bridge;
+use hpclog::archive::Archive;
+use hpclog::extract::XidExtractor;
+use hpclog::shard;
+use resilience::parallel::parallel_extract;
+use resilience::{markdown, report, Pipeline};
+use std::time::Instant;
+
+/// Worker counts swept (the grid's thread axis).
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The scaled calendar starts Jan 1 2022; at scale ≤ 0.25 it ends before
+/// New Year, so one fixed year resolves every year-less syslog stamp.
+const LOG_YEAR: i32 = 2022;
+
+fn main() {
+    let (smoke, options) = parse_args();
+    banner("Parallel ingest sweep (E12)", options);
+    let study = run_study(options, true);
+    let archive = &study.campaign.archive;
+    println!(
+        "archive: {} lines over {} days",
+        archive.line_count(),
+        archive.day_count()
+    );
+
+    let fractions: &[f64] = if smoke { &[1.0] } else { &[0.25, 0.5, 1.0] };
+    let iters = if smoke { 3 } else { 5 };
+    let mut smoke_ratio: Option<f64> = None;
+
+    println!(
+        "\nStage I (extract + canonical order), median of {iters} iters:\n\
+         {:>10} {:>8} {:>12} {:>14} {:>9}",
+        "lines", "threads", "median ms", "lines/s", "speedup"
+    );
+    for &frac in fractions {
+        let sub = day_prefix(archive, frac);
+        let lines = sub.line_count() as u64;
+        let serial = median_secs(iters, || serial_extract(&sub));
+        print_row(lines, 0, serial, 1.0);
+        let (expect_events, expect_stats) = serial_extract(&sub);
+        for t in THREADS {
+            let (events, stats) = parallel_extract(&sub, t);
+            assert_eq!(events, expect_events, "threads={t}: event stream differs");
+            assert_eq!(stats, expect_stats, "threads={t}: counters differ");
+            let par = median_secs(iters, || parallel_extract(&sub, t));
+            let speedup = serial / par;
+            print_row(lines, t, par, speedup);
+            if smoke && frac == 1.0 && t == 4 {
+                smoke_ratio = Some(speedup);
+            }
+        }
+    }
+
+    // Full-pipeline determinism: byte-identical renders at every thread
+    // count, on both the strict-archive and the lenient byte-stream path.
+    let gpu_jobs = bridge::jobs(&study.outcome.jobs);
+    let cpu_jobs = bridge::jobs(&study.outcome.cpu_jobs);
+    let outages = bridge::outages(study.campaign.ledger.outages());
+    let mut pipeline = Pipeline::delta();
+    pipeline.periods = study.campaign.config.periods;
+
+    let serial_report = pipeline.run(archive, &gpu_jobs, &cpu_jobs, &outages);
+    let serial_render = render_all(&serial_report);
+    let serial_secs = median_secs(iters, || {
+        pipeline.run(archive, &gpu_jobs, &cpu_jobs, &outages)
+    });
+    println!("\nfull pipeline, median of {iters} iters:");
+    println!("  serial      {:>10.2} ms", serial_secs * 1e3);
+    for t in THREADS {
+        let par = pipeline.run_parallel(archive, &gpu_jobs, &cpu_jobs, &outages, t);
+        assert_eq!(
+            render_all(&par),
+            serial_render,
+            "threads={t}: full render differs from serial"
+        );
+        let par_secs = median_secs(iters, || {
+            pipeline.run_parallel(archive, &gpu_jobs, &cpu_jobs, &outages, t)
+        });
+        println!(
+            "  threads={t}   {:>10.2} ms   {:.2}x   render byte-identical",
+            par_secs * 1e3,
+            serial_secs / par_secs
+        );
+    }
+
+    // Lenient path: identical ledger at every thread count.
+    let log = render_log(archive);
+    let gpu_csv = resilience::csvio::render_jobs(&gpu_jobs);
+    let cpu_csv = resilience::csvio::render_jobs(&cpu_jobs);
+    let out_csv = resilience::csvio::render_outages(&outages);
+    let (lenient_report, lenient_q) =
+        pipeline.run_lenient(log.as_slice(), LOG_YEAR, &gpu_csv, &cpu_csv, &out_csv);
+    let lenient_render = render_all(&lenient_report);
+    for t in THREADS {
+        let (r, q) = pipeline.run_lenient_parallel(
+            log.as_slice(),
+            LOG_YEAR,
+            &gpu_csv,
+            &cpu_csv,
+            &out_csv,
+            t,
+        );
+        assert_eq!(
+            render_all(&r),
+            lenient_render,
+            "threads={t}: lenient render"
+        );
+        assert_eq!(q.ledger.counts(), lenient_q.ledger.counts(), "threads={t}");
+        assert_eq!(
+            q.ledger.exemplars(),
+            lenient_q.ledger.exemplars(),
+            "threads={t}: lenient exemplars"
+        );
+    }
+    println!("lenient path: ledger + render identical at threads {THREADS:?}");
+
+    if let Some(ratio) = smoke_ratio {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        // The floor scales with the machine: with real cores, 4 workers
+        // must at least match serial; starved of cores, the shard/merge
+        // overhead may cost up to half.
+        let floor = if cores >= 4 {
+            1.0
+        } else if cores >= 2 {
+            0.8
+        } else {
+            0.5
+        };
+        assert!(
+            ratio >= floor,
+            "smoke: 4-thread ingest ran {ratio:.2}x serial, below the \
+             {floor:.1}x floor for {cores} cores"
+        );
+        println!(
+            "smoke: 4-thread ingest {ratio:.2}x serial (floor {floor:.1}x, {cores} cores) — ok"
+        );
+    }
+    println!("\nE12 complete: every cell byte-identical to serial.");
+}
+
+/// Parses `[--smoke] [SCALE] [SEED]` (RunOptions::from_args cannot eat the
+/// flag). Defaults: scale 0.05 full grid, 0.02 smoke.
+fn parse_args() -> (bool, RunOptions) {
+    let mut smoke = false;
+    let mut positional: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            positional.push(arg);
+        }
+    }
+    let scale = positional
+        .first()
+        .map(|a| {
+            a.parse::<f64>()
+                .unwrap_or_else(|_| panic!("bad SCALE {a:?}"))
+        })
+        .unwrap_or(if smoke { 0.02 } else { 0.05 });
+    assert!(scale > 0.0 && scale <= 0.25, "SCALE must be in (0, 0.25]");
+    let seed = positional
+        .get(1)
+        .map(|a| {
+            a.parse::<u64>()
+                .unwrap_or_else(|_| panic!("bad SEED {a:?}"))
+        })
+        .unwrap_or(DEFAULT_SEED);
+    (smoke, RunOptions { scale, seed })
+}
+
+/// The serial Stage-I reference: exactly what `Pipeline::run` does before
+/// `run_events`, plus the canonical sort both paths share.
+fn serial_extract(archive: &Archive) -> (Vec<hpclog::XidEvent>, hpclog::extract::ExtractStats) {
+    let mut ex = XidExtractor::studied_only(2024);
+    let mut events: Vec<hpclog::XidEvent> = archive.iter().filter_map(|l| ex.extract(l)).collect();
+    shard::canonical_sort(&mut events);
+    (events, ex.stats())
+}
+
+/// The first `frac` of the archive's days, as its own archive.
+fn day_prefix(archive: &Archive, frac: f64) -> Archive {
+    let keep = ((archive.day_count() as f64 * frac).ceil() as usize).max(1);
+    let mut out = Archive::new();
+    for (_, lines) in archive.days().take(keep) {
+        for line in lines {
+            out.push(line.clone());
+        }
+    }
+    out
+}
+
+fn median_secs<T>(iters: u32, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f());
+    let mut samples: Vec<f64> = (0..iters.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn print_row(lines: u64, threads: usize, secs: f64, speedup: f64) {
+    let label = if threads == 0 {
+        "serial".to_owned()
+    } else {
+        threads.to_string()
+    };
+    println!(
+        "{:>10} {:>8} {:>12.2} {:>14.0} {:>8.2}x",
+        lines,
+        label,
+        secs * 1e3,
+        lines as f64 / secs.max(1e-12),
+        speedup
+    );
+}
+
+/// Every deterministic render surface the study report exposes: the full
+/// ASCII report plus the three markdown tables and Fig. 2.
+fn render_all(r: &resilience::StudyReport) -> String {
+    format!(
+        "{}\n{}\n{}\n{}\n{}\n{:?}",
+        report::full(r),
+        markdown::table1_md(r),
+        markdown::table2_md(r),
+        markdown::table3_md(r),
+        report::figure2(r),
+        r.availability_estimate()
+    )
+}
+
+fn render_log(archive: &Archive) -> Vec<u8> {
+    let mut out = Vec::new();
+    for line in archive.iter() {
+        out.extend_from_slice(line.to_string().as_bytes());
+        out.push(b'\n');
+    }
+    out
+}

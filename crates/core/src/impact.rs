@@ -312,6 +312,84 @@ mod tests {
     }
 
     #[test]
+    fn attribution_at_exact_window_boundary() {
+        // §V-B's window is inclusive: a job failing *exactly* 20 s after
+        // the error is attributed; one second later is not.
+        let at_boundary = [job(1, "n1", 0, 100, 220, false)];
+        let impact =
+            JobImpact::compute(&at_boundary, &[error("n1", 0, 200, ErrorKind::GspError)], W);
+        let k = impact.kind(ErrorKind::GspError);
+        assert_eq!((k.encountered, k.failed), (1, 1));
+
+        let past_boundary = [job(1, "n1", 0, 100, 221, false)];
+        let impact = JobImpact::compute(
+            &past_boundary,
+            &[error("n1", 0, 200, ErrorKind::GspError)],
+            W,
+        );
+        let k = impact.kind(ErrorKind::GspError);
+        assert_eq!((k.encountered, k.failed), (1, 0));
+        assert_eq!(impact.gpu_failed_jobs(), 0);
+    }
+
+    #[test]
+    fn job_ending_in_the_same_tick_as_the_error() {
+        // A job killed by the error terminates at the error's own
+        // timestamp: occupancy is (start, end], so end == error time is
+        // still an encounter, and the 0 s gap attributes.
+        let jobs = [job(1, "n1", 0, 100, 200, false)];
+        let impact = JobImpact::compute(&jobs, &[error("n1", 0, 200, ErrorKind::MmuError)], W);
+        let k = impact.kind(ErrorKind::MmuError);
+        assert_eq!((k.encountered, k.failed), (1, 1));
+
+        // The successor backfilled onto the freed GPU in the same second
+        // starts *at* the error time: occupancy excludes the start
+        // instant, so it never saw the error.
+        let jobs = [
+            job(1, "n1", 0, 100, 200, false),
+            job(2, "n1", 0, 200, 300, false),
+        ];
+        let impact = JobImpact::compute(&jobs, &[error("n1", 0, 200, ErrorKind::MmuError)], W);
+        let k = impact.kind(ErrorKind::MmuError);
+        assert_eq!((k.encountered, k.failed), (1, 1));
+        assert_eq!(impact.gpu_failed_jobs(), 1);
+    }
+
+    #[test]
+    fn multi_gpu_job_ignores_non_allocated_gpu_errors() {
+        // A 2-GPU job on GPUs 0 and 1 of n1: an error on GPU 5 of the
+        // same node is not an encounter (GPU scope, not node scope), but
+        // errors on either held slot are.
+        let mut wide = job(1, "n1", 0, 100, 210, false);
+        wide.gpus = 2;
+        wide.gpu_slots = vec![("n1".to_owned(), 0), ("n1".to_owned(), 1)];
+        let jobs = [wide];
+
+        let impact = JobImpact::compute(&jobs, &[error("n1", 5, 200, ErrorKind::MmuError)], W);
+        assert_eq!(impact.kind(ErrorKind::MmuError).encountered, 0);
+        assert_eq!(impact.gpu_failed_jobs(), 0);
+
+        for held in [0u8, 1] {
+            let impact =
+                JobImpact::compute(&jobs, &[error("n1", held, 200, ErrorKind::MmuError)], W);
+            let k = impact.kind(ErrorKind::MmuError);
+            assert_eq!((k.encountered, k.failed), (1, 1), "gpu {held}");
+        }
+
+        // Errors on both held GPUs still count the job once per kind.
+        let impact = JobImpact::compute(
+            &jobs,
+            &[
+                error("n1", 0, 200, ErrorKind::MmuError),
+                error("n1", 1, 201, ErrorKind::MmuError),
+            ],
+            W,
+        );
+        assert_eq!(impact.kind(ErrorKind::MmuError).encountered, 1);
+        assert_eq!(impact.gpu_failed_jobs(), 1);
+    }
+
+    #[test]
     fn multiple_kinds_all_attributed() {
         // PMU then MMU both within 20 s of the failure: both attributed,
         // mirroring §V-B's multiple-contributor rule.

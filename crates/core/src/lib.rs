@@ -78,6 +78,7 @@ pub mod histogram;
 pub mod impact;
 pub mod job;
 pub mod markdown;
+pub mod parallel;
 pub mod pipeline;
 pub mod report;
 pub mod spatial;

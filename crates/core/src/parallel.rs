@@ -1,0 +1,179 @@
+//! Parallel Stage-I drivers with a determinism guarantee.
+//!
+//! [`Pipeline::run_parallel`] and
+//! [`Pipeline::run_lenient_parallel`] are drop-in replacements for
+//! [`Pipeline::run`] and [`Pipeline::run_lenient`] that scan Stage I on a
+//! scoped worker pool ([`hpclog::shard`]). The contract is strict: at
+//! **any** thread count, including one, the [`StudyReport`] is
+//! byte-identical to the serial path's — same aggregate numbers, same
+//! event listing order, same rendered tables — and a lenient run's
+//! [`QuarantineReport`] carries the same counts *and* the same
+//! reservoir-sampled exemplars. The differential suite
+//! (`tests/parallel_equivalence.rs`) and the property layer
+//! (`crates/hpclog/tests/properties.rs`) hold the pipeline to that
+//! contract on every CI run.
+//!
+//! Only Stage I parallelises. Coalescing, statistics, impact and
+//! availability all run in well under a millisecond on three years of
+//! coalesced errors; the archive scan is where the >1M-line storm lives.
+
+use crate::csvio;
+use crate::job::{AccountedJob, OutageRecord};
+use crate::pipeline::{Pipeline, QuarantineReport, StudyReport};
+use hpclog::archive::Archive;
+use hpclog::extract::{ExtractStats, XidExtractor};
+use hpclog::quarantine::QuarantineLedger;
+use hpclog::XidEvent;
+
+/// Extracts the studied events from `archive` on `threads` workers,
+/// returning the canonically ordered stream and merged counters.
+///
+/// Exposed for benchmarks (E12 times this stage in isolation); pipeline
+/// callers should use [`Pipeline::run_parallel`].
+pub fn parallel_extract(archive: &Archive, threads: usize) -> (Vec<XidEvent>, ExtractStats) {
+    let template = XidExtractor::studied_only(2024);
+    hpclog::shard::extract_sharded(archive, &template, threads)
+}
+
+impl Pipeline {
+    /// [`run`](Self::run) with Stage I sharded by host across `threads`
+    /// scoped workers.
+    ///
+    /// Byte-identical to [`run`](Self::run) at every thread count: both
+    /// paths canonicalise the event order (see
+    /// [`run_events`](Self::run_events)), and per-shard extraction
+    /// counters merge by order-insensitive sums.
+    pub fn run_parallel(
+        &self,
+        archive: &Archive,
+        gpu_jobs: &[AccountedJob],
+        cpu_jobs: &[AccountedJob],
+        outages: &[OutageRecord],
+        threads: usize,
+    ) -> StudyReport {
+        let (events, stats) = parallel_extract(archive, threads);
+        self.run_events(events, Some(stats), gpu_jobs, cpu_jobs, outages)
+    }
+
+    /// [`run_lenient`](Self::run_lenient) with the log scan's
+    /// classification phase parallelised across `threads` workers.
+    ///
+    /// Identical results to the serial lenient path — including ledger
+    /// exemplars, which are reservoir-sampled in record order — because
+    /// only the order-free classification work is parallel; every
+    /// order-dependent effect replays serially (see
+    /// [`XidExtractor::scan_reader_lenient_sharded`]).
+    pub fn run_lenient_parallel<R: std::io::Read>(
+        &self,
+        log: R,
+        log_year: i32,
+        gpu_jobs_csv: &str,
+        cpu_jobs_csv: &str,
+        outages_csv: &str,
+        threads: usize,
+    ) -> (StudyReport, QuarantineReport) {
+        let mut ledger = QuarantineLedger::new();
+        let mut extractor = XidExtractor::studied_only(log_year);
+        let events = extractor.scan_reader_lenient_sharded(log, &mut ledger, threads);
+        let extract_stats = extractor.stats();
+        let gpu_jobs = csvio::parse_jobs_lenient(gpu_jobs_csv, &mut ledger);
+        let cpu_jobs = csvio::parse_jobs_lenient(cpu_jobs_csv, &mut ledger);
+        let outages = csvio::parse_outages_lenient(outages_csv, &mut ledger);
+        let report = self.run_events(events, Some(extract_stats), &gpu_jobs, &cpu_jobs, &outages);
+        let quarantine = QuarantineReport::from_scan(ledger, extract_stats);
+        (report, quarantine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpclog::{LogLine, PciAddr, Timestamp};
+    use simtime::{Duration, StudyPeriods};
+    use xid::XidCode;
+
+    fn op_time(secs: u64) -> Timestamp {
+        StudyPeriods::delta().op.start + Duration::from_secs(secs)
+    }
+
+    fn sample_archive() -> Archive {
+        let mut archive = Archive::new();
+        for (i, host) in ["gpub001", "gpub002", "gpub003"].iter().enumerate() {
+            for d in 0..40u64 {
+                archive.push(
+                    XidEvent::new(
+                        op_time(1000 + d * 60),
+                        *host,
+                        PciAddr::for_gpu_index((i % 8) as u8),
+                        if d % 3 == 0 {
+                            XidCode::GSP_ERROR
+                        } else {
+                            XidCode::UNCONTAINED_ECC
+                        },
+                        "detail",
+                    )
+                    .to_log_line(),
+                );
+            }
+            archive.push(LogLine::new(
+                op_time(500),
+                *host,
+                "kernel",
+                "usb 1-1 connected",
+            ));
+        }
+        archive
+    }
+
+    #[test]
+    fn run_parallel_matches_run() {
+        let archive = sample_archive();
+        let pipeline = Pipeline::delta();
+        let serial = pipeline.run(&archive, &[], &[], &[]);
+        for threads in [1, 2, 4, 8] {
+            let par = pipeline.run_parallel(&archive, &[], &[], &[], threads);
+            assert_eq!(par.errors, serial.errors, "threads={threads}");
+            assert_eq!(par.extract_stats, serial.extract_stats, "threads={threads}");
+            assert_eq!(
+                crate::report::full(&par),
+                crate::report::full(&serial),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_lenient_parallel_matches_run_lenient() {
+        let archive = sample_archive();
+        let mut log = Vec::new();
+        for line in archive.iter() {
+            log.extend_from_slice(line.to_string().as_bytes());
+            log.push(b'\n');
+        }
+        // A little corruption so the ledger is non-trivial.
+        log.extend_from_slice(b"\xFF\xFE not a line\nMar 14 03:2\n");
+        let pipeline = Pipeline::delta();
+        let (serial, serial_q) = pipeline.run_lenient(log.as_slice(), 2024, "", "", "");
+        for threads in [1, 2, 4, 8] {
+            let (par, par_q) =
+                pipeline.run_lenient_parallel(log.as_slice(), 2024, "", "", "", threads);
+            assert_eq!(par.errors, serial.errors, "threads={threads}");
+            assert_eq!(
+                crate::report::full(&par),
+                crate::report::full(&serial),
+                "threads={threads}"
+            );
+            assert_eq!(
+                par_q.ledger.counts(),
+                serial_q.ledger.counts(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                par_q.ledger.exemplars(),
+                serial_q.ledger.exemplars(),
+                "threads={threads}"
+            );
+            assert_eq!(par_q.caveats, serial_q.caveats, "threads={threads}");
+        }
+    }
+}

@@ -148,14 +148,22 @@ impl Pipeline {
 
     /// Runs the pipeline from already-extracted events (Stage I done
     /// elsewhere, e.g. when replaying a pre-parsed export).
+    ///
+    /// Events are first put into the canonical `(time, host, seq)` order
+    /// (see [`hpclog::shard`]): a stable sort that every entry path —
+    /// serial, streaming, or [`run_parallel`](Self::run_parallel) at any
+    /// thread count — funnels through, so equal inputs always produce
+    /// byte-identical reports. Coalescing never merges across hosts, so
+    /// the sort cannot change any aggregate number.
     pub fn run_events(
         &self,
-        events: Vec<XidEvent>,
+        mut events: Vec<XidEvent>,
         extract_stats: Option<ExtractStats>,
         gpu_jobs: &[AccountedJob],
         cpu_jobs: &[AccountedJob],
         outages: &[OutageRecord],
     ) -> StudyReport {
+        hpclog::shard::canonical_sort(&mut events);
         let errors = coalesce(events, self.coalesce_window);
         let coalesce_summary = CoalesceSummary::of(&errors);
         let stats_raw = ErrorStats::compute(&errors, self.periods, self.node_count);
@@ -306,7 +314,7 @@ impl QuarantineReport {
     /// Reject fraction above which [`Caveat::HighRejectRate`] is raised.
     pub const HIGH_REJECT_RATE: f64 = 0.05;
 
-    fn from_scan(ledger: QuarantineLedger, stats: ExtractStats) -> Self {
+    pub(crate) fn from_scan(ledger: QuarantineLedger, stats: ExtractStats) -> Self {
         let mut caveats = Vec::new();
         if ledger.io_errors() > 0 {
             caveats.push(Caveat::InputIoError);

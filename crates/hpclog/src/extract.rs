@@ -30,6 +30,22 @@ pub struct ExtractStats {
     pub quarantined: QuarantineCounts,
 }
 
+impl ExtractStats {
+    /// Folds another extractor's counters into this one.
+    ///
+    /// Every field is a plain sum, so merging per-shard stats in any order
+    /// reproduces the counters a single serial scan would have produced —
+    /// the property `hpclog::shard` relies on.
+    pub fn merge(&mut self, other: &ExtractStats) {
+        self.lines_seen += other.lines_seen;
+        self.xid_lines += other.xid_lines;
+        self.malformed += other.malformed;
+        self.extracted += other.extracted;
+        self.excluded += other.excluded;
+        self.quarantined.merge(&other.quarantined);
+    }
+}
+
 /// Extracts structured XID events from log lines.
 ///
 /// # Example
@@ -46,9 +62,9 @@ pub struct ExtractStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct XidExtractor {
-    year: i32,
-    studied_only: bool,
-    stats: ExtractStats,
+    pub(crate) year: i32,
+    pub(crate) studied_only: bool,
+    pub(crate) stats: ExtractStats,
 }
 
 impl XidExtractor {
@@ -273,7 +289,7 @@ impl XidExtractor {
         events
     }
 
-    fn quarantine(
+    pub(crate) fn quarantine(
         &mut self,
         ledger: &mut QuarantineLedger,
         category: QuarantineCategory,

@@ -25,6 +25,8 @@
 //! * [`archive`] — per-day log consolidation, mirroring Delta's collection.
 //! * [`quarantine`] — the reject ledger lenient readers feed: per-category
 //!   counts plus a bounded reservoir of exemplar bad lines.
+//! * [`shard`] — host-sharded parallel extraction with a deterministic
+//!   k-way merge back into the canonical `(time, host, seq)` order.
 //! * [`chaos`] — seeded corruption injection for resilience testing:
 //!   truncation, invalid UTF-8, clock skew, interleaving, duplication.
 //!
@@ -53,6 +55,7 @@ mod line;
 pub mod nvrm;
 pub mod pattern;
 pub mod quarantine;
+pub mod shard;
 
 pub use line::{LogLine, LogLineErrorKind, ParseLogLineError};
 pub use nvrm::{PciAddr, XidEvent};

@@ -102,6 +102,14 @@ impl QuarantineCounts {
         self.counts.iter().sum()
     }
 
+    /// Adds another counter set into this one (order-insensitive sums, so
+    /// per-shard counts merge to exactly the serial totals).
+    pub fn merge(&mut self, other: &QuarantineCounts) {
+        for (slot, add) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *slot += add;
+        }
+    }
+
     /// Iterates `(category, count)` pairs with non-zero counts.
     pub fn iter(&self) -> impl Iterator<Item = (QuarantineCategory, u64)> + '_ {
         QuarantineCategory::ALL

@@ -1,10 +1,14 @@
 //! Property tests: log line and NVRM body round trips, pattern-engine
-//! invariants, archive conservation — on the in-repo `propcheck` harness.
+//! invariants, archive conservation, and the shard/merge determinism
+//! contract — on the in-repo `propcheck` harness.
 
 use hpclog::archive::Archive;
+use hpclog::extract::XidExtractor;
 use hpclog::pattern::Pattern;
-use hpclog::{LogLine, PciAddr, Timestamp, XidEvent};
-use propcheck::{run, Gen};
+use hpclog::quarantine::QuarantineLedger;
+use hpclog::shard;
+use hpclog::{Duration, LogLine, PciAddr, Timestamp, XidEvent};
+use propcheck::{run, run_shrinking, shrink_vec, Gen};
 use xid::XidCode;
 
 const ALNUM: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
@@ -126,6 +130,193 @@ fn archive_conserves_lines() {
         let mut sorted = replayed.clone();
         sorted.sort();
         assert_eq!(replayed, sorted);
+    });
+}
+
+/// Generates one adversarial archive's worth of lines: a handful of hosts
+/// (few enough that cross-host timestamp ties are common), a mix of noise,
+/// studied XIDs and study-excluded XIDs, error bursts, exact duplicate
+/// lines, and a push order scrambled away from time order — the regimes
+/// that stress the shard boundary and the canonical merge.
+fn gen_lines(g: &mut Gen) -> Vec<LogLine> {
+    let hosts: Vec<String> = (1..=g.usize_in(1, 5)).map(|_| hostname(g)).collect();
+    let mut t = study_time(g);
+    let mut lines = Vec::new();
+    for _ in 0..g.usize_in(0, 50) {
+        // Zero advances keep same-second collisions (including across
+        // hosts) common; larger jumps cross coalescing windows.
+        t = t + Duration::from_secs(g.u64_below(90));
+        let host = hosts[g.usize_in(0, hosts.len())].clone();
+        let gpu = g.u8_in(0, 8);
+        let line = match g.u8_in(0, 4) {
+            0 => LogLine::new(t, &host, "kernel", "usb 3-2: new high-speed USB device"),
+            1 => {
+                // Study-excluded application XIDs (13, 43).
+                let code = g.choose(&[13u16, 43]);
+                XidEvent::new(
+                    t,
+                    &host,
+                    PciAddr::for_gpu_index(gpu),
+                    XidCode::new(code),
+                    "app fault",
+                )
+                .to_log_line()
+            }
+            _ => {
+                let code = g.choose(&[31u16, 63, 64, 74, 79, 92, 95, 119, 120]);
+                XidEvent::new(
+                    t,
+                    &host,
+                    PciAddr::for_gpu_index(gpu),
+                    XidCode::new(code),
+                    "pid=9, detail",
+                )
+                .to_log_line()
+            }
+        };
+        // Bursts: the same line repeated at second offsets (the duplicate
+        // storm regime).
+        if g.bool_with(0.2) {
+            for k in 1..=g.u64_in(1, 4) {
+                let mut burst = line.clone();
+                burst.time = t + Duration::from_secs(k);
+                lines.push(burst);
+            }
+        }
+        // Exact duplicates (identical bytes, identical second).
+        if g.bool_with(0.15) {
+            lines.push(line.clone());
+        }
+        lines.push(line);
+    }
+    // Scramble the push order: the archive's replay order (time, then
+    // insertion index) must absorb out-of-order arrival.
+    for _ in 0..g.usize_in(0, 10) {
+        if lines.len() >= 2 {
+            let i = g.usize_in(0, lines.len());
+            let j = g.usize_in(0, lines.len());
+            lines.swap(i, j);
+        }
+    }
+    lines
+}
+
+fn build_archive(lines: &[LogLine]) -> Archive {
+    let mut archive = Archive::new();
+    for line in lines {
+        archive.push(line.clone());
+    }
+    archive
+}
+
+/// The shard-merge determinism property: for any generated archive,
+/// `merge(extract(shards(archive))) == canonical_sort(extract(archive))`,
+/// with identical extraction counters, at every thread count. On failure
+/// the line set shrinks to a minimal counterexample.
+#[test]
+fn shard_merge_equals_sorted_serial_extract() {
+    run_shrinking(
+        "shard_merge_equals_sorted_serial_extract",
+        200,
+        gen_lines,
+        |lines| shrink_vec(lines),
+        |lines| {
+            let archive = build_archive(lines);
+            let mut serial = XidExtractor::studied_only(2024);
+            let mut expect: Vec<XidEvent> =
+                archive.iter().filter_map(|l| serial.extract(l)).collect();
+            shard::canonical_sort(&mut expect);
+            let template = XidExtractor::studied_only(2024);
+            for threads in [1, 2, 4, 8] {
+                let (events, stats) = shard::extract_sharded(&archive, &template, threads);
+                if events != expect {
+                    return Err(format!(
+                        "threads={threads}: merged {} events != serial {}",
+                        events.len(),
+                        expect.len()
+                    ));
+                }
+                if stats != serial.stats() {
+                    return Err(format!(
+                        "threads={threads}: stats {stats:?} != {:?}",
+                        serial.stats()
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Sharding is an exact partition: every replay index appears in exactly
+/// one shard, shard hostnames are unique and sorted, and per-shard indices
+/// strictly increase (replay order is preserved inside a shard).
+#[test]
+fn shard_partition_is_exact() {
+    run("shard_partition_is_exact", 200, |g| {
+        let archive = build_archive(&gen_lines(g));
+        let shards = shard::shard_by_host(&archive);
+        let mut seqs: Vec<u64> = Vec::new();
+        for pair in shards.windows(2) {
+            assert!(pair[0].host < pair[1].host);
+        }
+        for s in &shards {
+            assert!(s.lines.iter().all(|(_, l)| l.host == s.host));
+            assert!(s.lines.windows(2).all(|w| w[0].0 < w[1].0));
+            seqs.extend(s.lines.iter().map(|&(seq, _)| seq));
+        }
+        seqs.sort_unstable();
+        let expect: Vec<u64> = (0..archive.line_count() as u64).collect();
+        assert_eq!(seqs, expect);
+    });
+}
+
+/// The k-way merge is independent of the order in which shard streams are
+/// supplied: any permutation of the inputs yields the same output.
+#[test]
+fn merge_is_stream_order_invariant() {
+    run("merge_is_stream_order_invariant", 200, |g| {
+        let archive = build_archive(&gen_lines(g));
+        let shards = shard::shard_by_host(&archive);
+        let mut streams: Vec<Vec<shard::SeqEvent>> = shards
+            .iter()
+            .map(|s| {
+                let mut ex = XidExtractor::studied_only(2024);
+                shard::extract_shard(s, &mut ex)
+            })
+            .collect();
+        let forward = shard::merge_events(streams.clone());
+        // A seeded Fisher-Yates permutation of the stream list.
+        for i in (1..streams.len()).rev() {
+            let j = g.usize_in(0, i + 1);
+            streams.swap(i, j);
+        }
+        assert_eq!(shard::merge_events(streams), forward);
+    });
+}
+
+/// The chunk-parallel lenient scan is observationally identical to the
+/// serial one under generated corruption: same events, same counters,
+/// same ledger counts, same reservoir exemplars.
+#[test]
+fn sharded_lenient_scan_matches_serial() {
+    run("sharded_lenient_scan_matches_serial", 64, |g| {
+        use hpclog::chaos::{ChaosConfig, ChaosInjector};
+        let archive = build_archive(&gen_lines(g));
+        let rate = g.f64_in(0.0, 0.3);
+        let mut chaos = ChaosInjector::new(ChaosConfig::uniform(rate, g.u64()));
+        let corrupt = chaos.corrupt_archive(&archive);
+        let mut serial = XidExtractor::studied_only(2024);
+        let mut serial_ledger = QuarantineLedger::new();
+        let expect = serial.scan_reader_lenient(corrupt.as_slice(), &mut serial_ledger);
+        let threads = g.usize_in(2, 9);
+        let mut sharded = XidExtractor::studied_only(2024);
+        let mut ledger = QuarantineLedger::new();
+        let events = sharded.scan_reader_lenient_sharded(corrupt.as_slice(), &mut ledger, threads);
+        assert_eq!(events, expect, "threads={threads}");
+        assert_eq!(sharded.stats(), serial.stats());
+        assert_eq!(ledger.counts(), serial_ledger.counts());
+        assert_eq!(ledger.exemplars(), serial_ledger.exemplars());
     });
 }
 

@@ -194,6 +194,91 @@ pub fn run(name: &str, cases: u32, mut property: impl FnMut(&mut Gen)) {
     }
 }
 
+/// How many failing shrink candidates [`run_shrinking`] will evaluate
+/// before reporting the smallest counterexample found so far.
+pub const MAX_SHRINK_STEPS: usize = 1000;
+
+/// Runs a property over explicit generated values, and on failure
+/// greedily shrinks the counterexample before reporting it.
+///
+/// Unlike [`run`], the case value is reified: `generate` draws a `T` from
+/// the case's stream, `property` judges it, and `shrink` proposes smaller
+/// variants of a failing value (return an empty vector when the value is
+/// minimal). Shrinking is QuickCheck-style greedy descent: the first
+/// still-failing candidate at each step becomes the new counterexample,
+/// until no candidate fails or [`MAX_SHRINK_STEPS`] candidates have been
+/// tried. Determinism is preserved — generation draws from the same
+/// per-case forked streams as [`run`], and shrinking is a pure function
+/// of the failing value.
+///
+/// # Panics
+///
+/// Panics with the *shrunk* counterexample (plus the case index and seed
+/// needed to replay the original) when any case fails.
+pub fn run_shrinking<T: std::fmt::Debug>(
+    name: &str,
+    cases: u32,
+    mut generate: impl FnMut(&mut Gen) -> T,
+    mut shrink: impl FnMut(&T) -> Vec<T>,
+    mut property: impl FnMut(&T) -> Result<(), String>,
+) {
+    let seed = root_seed();
+    let scaled = ((cases as u64 * case_multiplier() as u64) / 100).max(1);
+    for case in 0..scaled {
+        let mut gen = Gen::new(case_stream(seed, name, case));
+        let value = generate(&mut gen);
+        let Err(first_failure) = property(&value) else {
+            continue;
+        };
+        let mut smallest = value;
+        let mut failure = first_failure;
+        let mut steps = 0usize;
+        'descend: while steps < MAX_SHRINK_STEPS {
+            for candidate in shrink(&smallest) {
+                steps += 1;
+                if let Err(msg) = property(&candidate) {
+                    smallest = candidate;
+                    failure = msg;
+                    continue 'descend;
+                }
+                if steps >= MAX_SHRINK_STEPS {
+                    break;
+                }
+            }
+            break; // every candidate passed: `smallest` is locally minimal
+        }
+        panic!(
+            "property {name:?} failed at case {case}/{scaled} \
+             (replay: propcheck::run_case({name:?}, {case}, ...) with \
+             PROPCHECK_SEED={seed}): {failure}\n\
+             shrunk counterexample ({steps} candidates tried): {smallest:#?}"
+        );
+    }
+}
+
+/// Standard shrink candidates for a sequence: drop the first/second half,
+/// then drop each element individually. Greedy descent over these reaches
+/// a locally 1-minimal subsequence quickly (halves first gives the
+/// logarithmic descent, single removals polish the result).
+pub fn shrink_vec<T: Clone>(v: &[T]) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    if v.is_empty() {
+        return out;
+    }
+    let mid = v.len() / 2;
+    if mid > 0 {
+        out.push(v[mid..].to_vec());
+        out.push(v[..mid].to_vec());
+    }
+    for i in 0..v.len() {
+        let mut shorter = Vec::with_capacity(v.len() - 1);
+        shorter.extend_from_slice(&v[..i]);
+        shorter.extend_from_slice(&v[i + 1..]);
+        out.push(shorter);
+    }
+    out
+}
+
 /// Replays exactly one case of a property (used to debug a failure
 /// reported by [`run`]).
 pub fn run_case(name: &str, case: u64, mut property: impl FnMut(&mut Gen)) {
@@ -278,6 +363,75 @@ mod tests {
             assert!(v.len() < 4);
             assert!(v.iter().all(|&x| (5..9).contains(&x)));
         });
+    }
+
+    #[test]
+    fn shrinking_finds_a_minimal_counterexample() {
+        // Property: no vector contains a value >= 1000. The generator
+        // plants violations; the shrinker should strip everything else.
+        let result = std::panic::catch_unwind(|| {
+            run_shrinking(
+                "shrink-to-one",
+                20,
+                |g| {
+                    let mut v = g.vec_u64(0, 10, 0, 500);
+                    if g.bool_with(0.7) {
+                        v.push(g.u64_in(1000, 2000));
+                    }
+                    v
+                },
+                |v| shrink_vec(v),
+                |v| {
+                    if v.iter().any(|&x| x >= 1000) {
+                        Err(format!("contains a big value: {v:?}"))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        });
+        let payload = result.expect_err("generator plants failures");
+        let msg = payload.downcast_ref::<String>().expect("formatted message");
+        // The shrunk vector should be exactly one offending element.
+        assert!(msg.contains("shrunk counterexample"), "{msg}");
+        let tail = msg.split("shrunk counterexample").nth(1).unwrap();
+        let ones = tail.matches("1").count();
+        assert!(ones >= 1, "{msg}");
+        assert!(
+            tail.lines().filter(|l| l.trim().ends_with(',')).count() <= 1,
+            "shrunk vector should have at most one element: {msg}"
+        );
+    }
+
+    #[test]
+    fn shrinking_passes_clean_properties() {
+        run_shrinking(
+            "shrink-clean",
+            16,
+            |g| g.vec_u64(0, 8, 0, 100),
+            |v| shrink_vec(v),
+            |v| {
+                if v.iter().all(|&x| x < 100) {
+                    Ok(())
+                } else {
+                    Err("out of range".to_owned())
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn shrink_vec_proposes_halves_and_removals() {
+        let v = vec![1, 2, 3, 4];
+        let candidates = shrink_vec(&v);
+        assert!(candidates.contains(&vec![3, 4]));
+        assert!(candidates.contains(&vec![1, 2]));
+        assert!(candidates.contains(&vec![2, 3, 4]));
+        assert!(candidates.contains(&vec![1, 2, 3]));
+        assert!(candidates.iter().all(|c| c.len() < v.len()));
+        assert!(shrink_vec(&Vec::<u8>::new()).is_empty());
+        // A singleton can still shrink to empty.
+        assert_eq!(shrink_vec(&[7]), vec![Vec::<i32>::new()]);
     }
 
     #[test]

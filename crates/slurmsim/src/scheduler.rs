@@ -923,4 +923,97 @@ mod tests {
         let outcome = Simulation::new(&cluster, workload, 7).run(&errors, &[]);
         assert_eq!(outcome.stats.errors_on_idle, 1);
     }
+
+    /// One handcrafted 2-GPU job (node 0 first-fit ⇒ GPUs 0 and 1),
+    /// driven through the private [`Engine`] against a given error
+    /// timeline. Deterministic kinds only (kill probability 0 or 1).
+    fn run_two_gpu_job(
+        duration_secs: u64,
+        errors: &[GpuErrorEvent],
+    ) -> (JobRecord, SchedulerStats) {
+        let cluster = tiny_cluster();
+        let specs = [JobSpec {
+            submit: Timestamp::from_unix(1_000),
+            name: "edge".to_owned(),
+            gpus: 2,
+            duration: Duration::from_secs(duration_secs),
+            baseline_state: JobState::Completed,
+        }];
+        let mut engine = Engine::new(
+            &cluster,
+            specs.len(),
+            KillModel::delta(),
+            RequeuePolicy::none(),
+            Rng::seed_from(7),
+        );
+        engine.run(&specs, errors, &[]);
+        let stats = engine.stats;
+        let mut records = engine.into_records(&specs);
+        (records.remove(0), stats)
+    }
+
+    fn contained_error_at(secs: u64, gpu_index: u8) -> GpuErrorEvent {
+        GpuErrorEvent::new(
+            Timestamp::from_unix(secs),
+            GpuId::new(NodeId::new(0), gpu_index),
+            ErrorKind::ContainedMemoryError,
+            IncidentId(0),
+        )
+    }
+
+    #[test]
+    fn gpu_scope_error_on_non_allocated_gpu_spares_multi_gpu_job() {
+        // The job holds GPUs 0 and 1 of node 0; the contained-memory error
+        // (GPU blast radius, kill probability 1.0) lands on GPU 3 of the
+        // same node, which the job does not hold. The job must survive and
+        // the error must count as landing on an idle GPU.
+        let (rec, stats) = run_two_gpu_job(10_000, &[contained_error_at(2_000, 3)]);
+        assert_eq!(rec.state, JobState::Completed, "{rec:?}");
+        assert_eq!(rec.end, Timestamp::from_unix(11_000));
+        assert_eq!(rec.gpus, 2);
+        assert_eq!(stats.error_kills, 0);
+        assert_eq!(stats.errors_on_idle, 1);
+
+        // Control: the same error on an allocated GPU kills the job.
+        let (rec, stats) = run_two_gpu_job(10_000, &[contained_error_at(2_000, 1)]);
+        assert_eq!(rec.state, JobState::NodeFail, "{rec:?}");
+        assert_eq!(rec.end, Timestamp::from_unix(2_000));
+        assert_eq!(stats.error_kills, 1);
+        assert_eq!(stats.errors_on_idle, 0);
+    }
+
+    #[test]
+    fn node_scope_error_kills_multi_gpu_job_from_any_gpu_index() {
+        // GSP errors wedge the whole node's driver: even fired on GPU 3 —
+        // which the job does not hold — every resident job is exposed.
+        let errors = [GpuErrorEvent::new(
+            Timestamp::from_unix(2_000),
+            GpuId::new(NodeId::new(0), 3),
+            ErrorKind::GspError,
+            IncidentId(0),
+        )];
+        let (rec, stats) = run_two_gpu_job(10_000, &errors);
+        assert_eq!(rec.state, JobState::NodeFail, "{rec:?}");
+        assert_eq!(rec.end, Timestamp::from_unix(2_000));
+        assert_eq!(stats.error_kills, 1);
+    }
+
+    #[test]
+    fn job_finishing_in_the_same_tick_as_the_error_completes() {
+        // Finish and error collide at t = 2000. The event loop drains
+        // finishes before errors at equal timestamps (a job that ends as
+        // the error arrives was not running when it landed), so the job
+        // keeps its baseline state and the error counts as idle.
+        let (rec, stats) = run_two_gpu_job(1_000, &[contained_error_at(2_000, 0)]);
+        assert_eq!(rec.state, JobState::Completed, "{rec:?}");
+        assert_eq!(rec.end, Timestamp::from_unix(2_000));
+        assert_eq!(stats.error_kills, 0);
+        assert_eq!(stats.errors_on_idle, 1);
+
+        // One second earlier the job is still running and dies.
+        let (rec, stats) = run_two_gpu_job(1_000, &[contained_error_at(1_999, 0)]);
+        assert_eq!(rec.state, JobState::NodeFail, "{rec:?}");
+        assert_eq!(rec.end, Timestamp::from_unix(1_999));
+        assert_eq!(stats.error_kills, 1);
+    }
 }

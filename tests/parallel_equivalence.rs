@@ -1,0 +1,203 @@
+//! The differential suite behind the parallel pipeline's determinism
+//! contract: a full rendered Delta campaign, analysed serially and via
+//! `Pipeline::run_parallel` / `run_lenient_parallel` at threads ∈
+//! {1, 2, 4, 8}, under 0% and 5% chaos corruption. Every rendered surface
+//! — Table I/II/III markdown, the ASCII tables, Fig. 2, the availability
+//! numbers — must be byte-identical across all runs, and the lenient
+//! ledgers must match down to the reservoir-sampled exemplars.
+
+use delta_gpu_resilience::prelude::*;
+use hpclog::chaos::{ChaosConfig, ChaosInjector};
+use resilience::{csvio, markdown};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Scaled calendars start Jan 1 2022 and (at this scale) end before New
+/// Year, so one fixed year resolves every year-less syslog stamp.
+const LOG_YEAR: i32 = 2022;
+
+/// Everything a study renders deterministically, concatenated: byte
+/// equality of this string is the suite's equivalence relation.
+fn render_all(r: &StudyReport) -> String {
+    format!(
+        "{}\n{}\n{}\n{}\n{}\n{}\n{}\n{}\navail_emp={:.12}\navail_est={:?}\nmttf={:?}",
+        markdown::table1_md(r),
+        markdown::table2_md(r),
+        markdown::table3_md(r),
+        report::table1(r),
+        report::table2(r),
+        report::table3(r),
+        report::figure2(r),
+        report::full(r),
+        r.availability.availability_empirical(),
+        r.availability_estimate(),
+        r.mttf_hours,
+    )
+}
+
+struct Rendered {
+    campaign: CampaignOutput,
+    pipeline: Pipeline,
+    gpu_csv: String,
+    cpu_csv: String,
+    outages_csv: String,
+    gpu_jobs: Vec<AccountedJob>,
+    cpu_jobs: Vec<AccountedJob>,
+    outages: Vec<OutageRecord>,
+}
+
+/// Renders one campaign (logs + accounting CSVs) for the suite to chew on.
+fn rendered_campaign(scale: f64, seed: u64) -> Rendered {
+    let mut config = FaultConfig::delta_scaled(scale);
+    config.seed = seed;
+    let campaign = Campaign::new(config).run();
+    let cluster = Cluster::new(campaign.config.spec);
+    let workload = WorkloadConfig::delta_scaled(scale);
+    let outcome =
+        Simulation::new(&cluster, workload, seed).run(&campaign.ground_truth, &campaign.holds);
+    let gpu_jobs = bridge::jobs(&outcome.jobs);
+    let cpu_jobs = bridge::jobs(&outcome.cpu_jobs);
+    let outages = bridge::outages(campaign.ledger.outages());
+    let mut pipeline = Pipeline::delta();
+    pipeline.periods = campaign.config.periods;
+    Rendered {
+        pipeline,
+        gpu_csv: csvio::render_jobs(&gpu_jobs),
+        cpu_csv: csvio::render_jobs(&cpu_jobs),
+        outages_csv: csvio::render_outages(&outages),
+        gpu_jobs,
+        cpu_jobs,
+        outages,
+        campaign,
+    }
+}
+
+fn render_log(archive: &hpclog::archive::Archive) -> Vec<u8> {
+    let mut out = Vec::new();
+    for line in archive.iter() {
+        out.extend_from_slice(line.to_string().as_bytes());
+        out.push(b'\n');
+    }
+    out
+}
+
+#[test]
+fn strict_path_is_byte_identical_at_every_thread_count() {
+    let rc = rendered_campaign(0.02, 0xD1FF);
+    let serial = rc.pipeline.run(
+        &rc.campaign.archive,
+        &rc.gpu_jobs,
+        &rc.cpu_jobs,
+        &rc.outages,
+    );
+    let expect = render_all(&serial);
+    assert!(
+        serial.coalesce_summary.errors > 0,
+        "campaign produced no errors; the comparison would be vacuous"
+    );
+    for t in THREADS {
+        let par = rc.pipeline.run_parallel(
+            &rc.campaign.archive,
+            &rc.gpu_jobs,
+            &rc.cpu_jobs,
+            &rc.outages,
+            t,
+        );
+        assert_eq!(par.extract_stats, serial.extract_stats, "threads={t}");
+        assert_eq!(par.errors, serial.errors, "threads={t}");
+        assert_eq!(render_all(&par), expect, "threads={t}: render differs");
+    }
+}
+
+#[test]
+fn lenient_path_is_byte_identical_under_corruption() {
+    let rc = rendered_campaign(0.02, 0xD1FF);
+    let clean = render_log(&rc.campaign.archive);
+    for rate in [0.0, 0.05] {
+        let bytes = if rate == 0.0 {
+            clean.clone()
+        } else {
+            let mut chaos = ChaosInjector::new(ChaosConfig::uniform(rate, 0xD1FF ^ 0xE12));
+            chaos.corrupt_archive(&rc.campaign.archive)
+        };
+        let (serial, serial_q) = rc.pipeline.run_lenient(
+            bytes.as_slice(),
+            LOG_YEAR,
+            &rc.gpu_csv,
+            &rc.cpu_csv,
+            &rc.outages_csv,
+        );
+        let expect = render_all(&serial);
+        if rate > 0.0 {
+            assert!(
+                serial_q.ledger.total() > 0,
+                "5% chaos quarantined nothing; the corrupt leg is vacuous"
+            );
+        }
+        for t in THREADS {
+            let (par, par_q) = rc.pipeline.run_lenient_parallel(
+                bytes.as_slice(),
+                LOG_YEAR,
+                &rc.gpu_csv,
+                &rc.cpu_csv,
+                &rc.outages_csv,
+                t,
+            );
+            assert_eq!(
+                render_all(&par),
+                expect,
+                "rate={rate} threads={t}: render differs"
+            );
+            assert_eq!(
+                par_q.ledger.counts(),
+                serial_q.ledger.counts(),
+                "rate={rate} threads={t}: ledger counts differ"
+            );
+            assert_eq!(
+                par_q.ledger.exemplars(),
+                serial_q.ledger.exemplars(),
+                "rate={rate} threads={t}: exemplars differ"
+            );
+            assert_eq!(
+                par_q.ledger.io_errors(),
+                serial_q.ledger.io_errors(),
+                "rate={rate} threads={t}"
+            );
+            assert_eq!(par_q.caveats, serial_q.caveats, "rate={rate} threads={t}");
+        }
+    }
+}
+
+#[test]
+fn strict_and_lenient_agree_on_clean_bytes() {
+    // Cross-path anchor: on a clean rendered archive, the lenient byte
+    // path and the strict archive path must agree on every aggregate the
+    // renders show (the canonical event order makes them byte-identical).
+    let rc = rendered_campaign(0.02, 0xFEED);
+    let strict = rc.pipeline.run(
+        &rc.campaign.archive,
+        &rc.gpu_jobs,
+        &rc.cpu_jobs,
+        &rc.outages,
+    );
+    let log = render_log(&rc.campaign.archive);
+    let (lenient, q) = rc.pipeline.run_lenient_parallel(
+        log.as_slice(),
+        LOG_YEAR,
+        &rc.gpu_csv,
+        &rc.cpu_csv,
+        &rc.outages_csv,
+        4,
+    );
+    assert!(q.is_clean(), "{:?}", q.ledger.counts());
+    assert_eq!(
+        lenient.coalesce_summary.errors,
+        strict.coalesce_summary.errors
+    );
+    assert_eq!(markdown::table1_md(&lenient), markdown::table1_md(&strict));
+    assert_eq!(markdown::table2_md(&lenient), markdown::table2_md(&strict));
+    assert_eq!(
+        lenient.availability.availability_empirical(),
+        strict.availability.availability_empirical()
+    );
+}
