@@ -1,0 +1,442 @@
+//! Versioned binary checkpoints for the incremental pipeline.
+//!
+//! The workspace builds with zero external crates, so there is no serde to
+//! lean on; instead checkpoints use a deliberately boring hand-rolled wire
+//! format: a magic prefix, a format version, little-endian fixed-width
+//! integers, length-prefixed byte strings, and a trailing end marker. The
+//! codec's one hard rule is that *no input can make the decoder panic*:
+//! every read is bounds-checked and every structural defect surfaces as a
+//! typed [`CheckpointError`]. Truncate a snapshot at any byte, flip any
+//! byte — loading returns an error, never UB and never a `panic!`.
+//!
+//! The encoding of the pipeline state itself lives with the state, in
+//! [`crate::incremental`]; this module owns the container format and the
+//! primitive readers/writers.
+
+use std::fmt;
+
+/// A serialized [`StreamingPipeline`](crate::incremental::StreamingPipeline)
+/// state: an opaque, versioned byte blob.
+///
+/// Produced by
+/// [`StreamingPipeline::checkpoint`](crate::incremental::StreamingPipeline::checkpoint)
+/// and consumed by
+/// [`StreamingPipeline::restore`](crate::incremental::StreamingPipeline::restore).
+/// [`from_bytes`](Checkpoint::from_bytes) validates the container header
+/// (magic and version); full structural validation happens at restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    bytes: Vec<u8>,
+}
+
+impl Checkpoint {
+    /// Leading magic bytes of every checkpoint.
+    pub const MAGIC: [u8; 8] = *b"DGR-CKPT";
+    /// Current format version. Bumped on any wire-format change; older
+    /// readers reject newer snapshots with
+    /// [`CheckpointError::UnsupportedVersion`] instead of misparsing them.
+    pub const VERSION: u32 = 1;
+    /// Trailing end marker, guarding against silent truncation at a field
+    /// boundary.
+    pub(crate) const END_MARKER: u32 = 0x444E_4521; // "END!"
+
+    /// Wraps freshly encoded bytes (encoder-side constructor).
+    pub(crate) fn from_encoder(bytes: Vec<u8>) -> Self {
+        Checkpoint { bytes }
+    }
+
+    /// Adopts bytes read back from storage, verifying the container
+    /// header.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Truncated`] when shorter than a header,
+    /// [`CheckpointError::BadMagic`] or
+    /// [`CheckpointError::UnsupportedVersion`] when the header is wrong.
+    pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Result<Self, CheckpointError> {
+        let bytes = bytes.into();
+        let mut dec = Decoder::new(&bytes);
+        dec.header()?;
+        Ok(Checkpoint { bytes })
+    }
+
+    /// The serialized form, ready to write to storage.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the checkpoint, yielding its bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// The format version recorded in the header.
+    pub fn version(&self) -> u32 {
+        // from_bytes/from_encoder guarantee a well-formed header.
+        let mut v = [0u8; 4];
+        v.copy_from_slice(&self.bytes[Self::MAGIC.len()..Self::MAGIC.len() + 4]);
+        u32::from_le_bytes(v)
+    }
+}
+
+/// Why a checkpoint could not be loaded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// The blob does not start with [`Checkpoint::MAGIC`] — not a
+    /// checkpoint at all.
+    BadMagic,
+    /// The blob is a checkpoint, but from a format this build cannot read.
+    UnsupportedVersion(u32),
+    /// The blob ends mid-field; `offset` is where the decoder ran dry.
+    Truncated {
+        /// Byte offset at which more input was needed.
+        offset: usize,
+    },
+    /// Bytes remain after the end marker — the blob was concatenated or
+    /// padded.
+    TrailingBytes {
+        /// How many bytes follow the end marker.
+        extra: usize,
+    },
+    /// A field decoded but its value is structurally impossible; `what`
+    /// names the field.
+    Invalid {
+        /// Which field was rejected.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a checkpoint (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {v} (this build reads {})",
+                    Checkpoint::VERSION
+                )
+            }
+            CheckpointError::Truncated { offset } => {
+                write!(f, "checkpoint truncated at byte {offset}")
+            }
+            CheckpointError::TrailingBytes { extra } => {
+                write!(
+                    f,
+                    "{extra} unexpected bytes after the checkpoint end marker"
+                )
+            }
+            CheckpointError::Invalid { what } => {
+                write!(f, "checkpoint field {what:?} has an impossible value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Little-endian primitive writer backing the checkpoint encoder.
+#[derive(Debug, Default)]
+pub(crate) struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// A new encoder with the container header already written.
+    pub(crate) fn new() -> Self {
+        let mut enc = Encoder { buf: Vec::new() };
+        enc.buf.extend_from_slice(&Checkpoint::MAGIC);
+        enc.u32(Checkpoint::VERSION);
+        enc
+    }
+
+    /// Writes the end marker and seals the checkpoint.
+    pub(crate) fn finish(mut self) -> Checkpoint {
+        self.u32(Checkpoint::END_MARKER);
+        Checkpoint::from_encoder(self.buf)
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn i64(&mut self, v: i64) {
+        self.u64(v as u64);
+    }
+
+    pub(crate) fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    pub(crate) fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    pub(crate) fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.u8(0),
+            Some(v) => {
+                self.u8(1);
+                self.u64(v);
+            }
+        }
+    }
+
+    pub(crate) fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    pub(crate) fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+}
+
+/// Bounds-checked little-endian reader: the decoding dual of [`Encoder`].
+///
+/// Every method returns `Err` instead of panicking when the input runs
+/// out or a value is malformed.
+#[derive(Debug)]
+pub(crate) struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Validates magic + version, leaving the cursor at the first body
+    /// field.
+    pub(crate) fn header(&mut self) -> Result<(), CheckpointError> {
+        let magic = self.take(Checkpoint::MAGIC.len())?;
+        if magic != Checkpoint::MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = self.u32()?;
+        if version != Checkpoint::VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        Ok(())
+    }
+
+    /// Consumes the end marker and requires the input to end with it.
+    pub(crate) fn finish(&mut self) -> Result<(), CheckpointError> {
+        let marker = self.u32()?;
+        if marker != Checkpoint::END_MARKER {
+            return Err(CheckpointError::Invalid { what: "end marker" });
+        }
+        let extra = self.buf.len() - self.pos;
+        if extra > 0 {
+            return Err(CheckpointError::TrailingBytes { extra });
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or(CheckpointError::Truncated { offset: self.pos })?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, CheckpointError> {
+        let mut v = [0u8; 2];
+        v.copy_from_slice(self.take(2)?);
+        Ok(u16::from_le_bytes(v))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, CheckpointError> {
+        let mut v = [0u8; 4];
+        v.copy_from_slice(self.take(4)?);
+        Ok(u32::from_le_bytes(v))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, CheckpointError> {
+        let mut v = [0u8; 8];
+        v.copy_from_slice(self.take(8)?);
+        Ok(u64::from_le_bytes(v))
+    }
+
+    pub(crate) fn i64(&mut self) -> Result<i64, CheckpointError> {
+        Ok(self.u64()? as i64)
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn bool(&mut self, what: &'static str) -> Result<bool, CheckpointError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CheckpointError::Invalid { what }),
+        }
+    }
+
+    pub(crate) fn opt_u64(&mut self, what: &'static str) -> Result<Option<u64>, CheckpointError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            _ => Err(CheckpointError::Invalid { what }),
+        }
+    }
+
+    /// A length usable for pre-allocation: decoded, converted to `usize`,
+    /// and sanity-bounded by the bytes actually remaining (each encoded
+    /// element costs ≥ 1 byte, so a count beyond that is corruption — this
+    /// keeps a flipped length byte from demanding a huge allocation).
+    pub(crate) fn len(&mut self, what: &'static str) -> Result<usize, CheckpointError> {
+        let n = self.u64()?;
+        let n = usize::try_from(n).map_err(|_| CheckpointError::Invalid { what })?;
+        if n > self.buf.len() - self.pos {
+            return Err(CheckpointError::Invalid { what });
+        }
+        Ok(n)
+    }
+
+    pub(crate) fn bytes(&mut self, what: &'static str) -> Result<Vec<u8>, CheckpointError> {
+        let n = self.len(what)?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    pub(crate) fn str(&mut self, what: &'static str) -> Result<String, CheckpointError> {
+        let raw = self.bytes(what)?;
+        String::from_utf8(raw).map_err(|_| CheckpointError::Invalid { what })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let mut enc = Encoder::new();
+        enc.u64(42);
+        enc.str("hello");
+        enc.opt_u64(Some(7));
+        enc.bool(true);
+        enc.f64(0.5);
+        enc.finish()
+    }
+
+    #[test]
+    fn round_trip() {
+        let ck = sample();
+        let loaded = Checkpoint::from_bytes(ck.as_bytes().to_vec()).unwrap();
+        assert_eq!(loaded, ck);
+        assert_eq!(loaded.version(), Checkpoint::VERSION);
+        let mut dec = Decoder::new(loaded.as_bytes());
+        dec.header().unwrap();
+        assert_eq!(dec.u64().unwrap(), 42);
+        assert_eq!(dec.str("s").unwrap(), "hello");
+        assert_eq!(dec.opt_u64("o").unwrap(), Some(7));
+        assert!(dec.bool("b").unwrap());
+        assert_eq!(dec.f64().unwrap(), 0.5);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn every_strict_prefix_is_a_typed_error() {
+        let ck = sample();
+        let bytes = ck.as_bytes();
+        for cut in 0..bytes.len() {
+            let prefix = &bytes[..cut];
+            // Either the container header already fails, or the body
+            // decode must fail — never a success, never a panic.
+            let mut dec = Decoder::new(prefix);
+            let result = dec.header().and_then(|()| {
+                dec.u64()?;
+                dec.str("s")?;
+                dec.opt_u64("o")?;
+                dec.bool("b")?;
+                dec.f64()?;
+                dec.finish()
+            });
+            assert!(result.is_err(), "prefix of {cut} bytes decoded");
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_distinguished() {
+        let mut bytes = sample().into_bytes();
+        bytes[0] ^= 0xFF;
+        assert_eq!(
+            Checkpoint::from_bytes(bytes).unwrap_err(),
+            CheckpointError::BadMagic
+        );
+
+        let mut bytes = sample().into_bytes();
+        bytes[Checkpoint::MAGIC.len()] = 99;
+        assert_eq!(
+            Checkpoint::from_bytes(bytes).unwrap_err(),
+            CheckpointError::UnsupportedVersion(99)
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = sample().into_bytes();
+        bytes.push(0);
+        let ck = Checkpoint::from_bytes(bytes).unwrap(); // header is fine
+        let mut dec = Decoder::new(ck.as_bytes());
+        dec.header().unwrap();
+        dec.u64().unwrap();
+        dec.str("s").unwrap();
+        dec.opt_u64("o").unwrap();
+        dec.bool("b").unwrap();
+        dec.f64().unwrap();
+        assert_eq!(
+            dec.finish().unwrap_err(),
+            CheckpointError::TrailingBytes { extra: 1 }
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_invalid_not_oom() {
+        let mut enc = Encoder::new();
+        enc.u64(u64::MAX); // a length prefix promising 2^64 bytes
+        let bytes = enc.finish().into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        dec.header().unwrap();
+        assert_eq!(
+            dec.bytes("blob").unwrap_err(),
+            CheckpointError::Invalid { what: "blob" }
+        );
+    }
+
+    #[test]
+    fn errors_render_for_humans() {
+        for err in [
+            CheckpointError::BadMagic,
+            CheckpointError::UnsupportedVersion(9),
+            CheckpointError::Truncated { offset: 3 },
+            CheckpointError::TrailingBytes { extra: 2 },
+            CheckpointError::Invalid { what: "field" },
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

@@ -47,6 +47,10 @@ impl CoalescedError {
 /// order events are still handled correctly for keys whose anchor is in the
 /// past, but windows only ever look backwards.
 ///
+/// This is a fold over [`Coalescer::push`], so the batch path and the
+/// incremental engine (`core::incremental`) share one set of window
+/// semantics by construction.
+///
 /// # Example
 ///
 /// See the [crate-level example](crate).
@@ -54,38 +58,129 @@ pub fn coalesce<I>(events: I, window: Duration) -> Vec<CoalescedError>
 where
     I: IntoIterator<Item = XidEvent>,
 {
-    let mut out: Vec<CoalescedError> = Vec::new();
+    let mut coalescer = Coalescer::new(window);
+    for ev in events {
+        coalescer.push(ev);
+    }
+    coalescer.into_errors()
+}
+
+/// What [`Coalescer::push`] did with an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pushed {
+    /// The event started a new coalesced error at this index.
+    Started(usize),
+    /// The event merged into the existing error at this index.
+    Merged(usize),
+}
+
+/// The coalescing fold as a long-lived state machine.
+///
+/// Holds the growing list of coalesced errors plus, per `(host, pci,
+/// kind)` key, the index of the current *anchor* error — the one a
+/// same-key event within `window` merges into. Pushing events one at a
+/// time yields exactly what [`coalesce`] yields on the whole stream.
+///
+/// The anchor table is fully reconstructible from the error list (the
+/// anchor for a key is simply the *last* error of that key, since anchors
+/// only move when a new error starts), which is what lets a checkpoint
+/// serialise only the errors; see [`Coalescer::from_errors`].
+#[derive(Debug, Clone)]
+pub struct Coalescer {
+    window: Duration,
+    out: Vec<CoalescedError>,
     // host -> (pci, kind) -> index into `out` of the current anchor. The
     // nested shape lets the hot path probe with `&str`, so the hostname is
     // cloned only when a key is first seen — not once per raw line.
-    let mut anchors: HashMap<String, HashMap<(PciAddr, ErrorKind), usize>> = HashMap::new();
-    for ev in events {
+    anchors: HashMap<String, HashMap<(PciAddr, ErrorKind), usize>>,
+}
+
+impl Coalescer {
+    /// An empty coalescer with the given window Δt.
+    pub fn new(window: Duration) -> Self {
+        Coalescer {
+            window,
+            out: Vec::new(),
+            anchors: HashMap::new(),
+        }
+    }
+
+    /// Rebuilds a coalescer whose future behaviour is identical to one
+    /// that produced `errors` by a sequence of pushes (used when restoring
+    /// a checkpoint). The anchor table is replayed from the error list:
+    /// last error per key wins, matching how pushes assign anchors.
+    pub fn from_errors(window: Duration, errors: Vec<CoalescedError>) -> Self {
+        let mut anchors: HashMap<String, HashMap<(PciAddr, ErrorKind), usize>> = HashMap::new();
+        for (idx, err) in errors.iter().enumerate() {
+            let inner = match anchors.get_mut(err.host.as_str()) {
+                Some(inner) => inner,
+                None => anchors.entry(err.host.clone()).or_default(),
+            };
+            inner.insert((err.pci, err.kind), idx);
+        }
+        Coalescer {
+            window,
+            out: errors,
+            anchors,
+        }
+    }
+
+    /// The window Δt this coalescer merges within.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// Folds one event in, merging it into its key's anchor error when
+    /// within the window, else starting (and anchoring) a new error.
+    pub fn push(&mut self, ev: XidEvent) -> Pushed {
         let kind = ev.kind();
-        match anchors
+        match self
+            .anchors
             .get_mut(ev.host.as_str())
             .and_then(|inner| inner.get(&(ev.pci, kind)).copied())
         {
-            Some(idx) if ev.time.abs_diff(out[idx].time) <= window => {
-                out[idx].merged_lines += 1;
+            Some(idx) if ev.time.abs_diff(self.out[idx].time) <= self.window => {
+                self.out[idx].merged_lines += 1;
+                Pushed::Merged(idx)
             }
             _ => {
-                let idx = out.len();
-                let inner = match anchors.get_mut(ev.host.as_str()) {
+                let idx = self.out.len();
+                let inner = match self.anchors.get_mut(ev.host.as_str()) {
                     Some(inner) => inner,
-                    None => anchors.entry(ev.host.clone()).or_default(),
+                    None => self.anchors.entry(ev.host.clone()).or_default(),
                 };
                 inner.insert((ev.pci, kind), idx);
-                out.push(CoalescedError {
+                self.out.push(CoalescedError {
                     time: ev.time,
                     host: ev.host,
                     pci: ev.pci,
                     kind,
                     merged_lines: 1,
                 });
+                Pushed::Started(idx)
             }
         }
     }
-    out
+
+    /// The coalesced errors so far, in first-occurrence order.
+    pub fn errors(&self) -> &[CoalescedError] {
+        &self.out
+    }
+
+    /// Number of coalesced errors so far.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// True when nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// Consumes the coalescer, yielding the coalesced errors.
+    pub fn into_errors(self) -> Vec<CoalescedError> {
+        self.out
+    }
 }
 
 /// Summary of a coalescing pass: how much the log shrank.
@@ -254,5 +349,47 @@ mod tests {
     fn gpu_index_passthrough() {
         let merged = coalesce([ev(0, "n1", 3, 79)], W);
         assert_eq!(merged[0].gpu_index(), Some(3));
+    }
+
+    #[test]
+    fn push_reports_started_and_merged_indices() {
+        let mut c = Coalescer::new(W);
+        assert_eq!(c.push(ev(0, "n1", 0, 79)), Pushed::Started(0));
+        assert_eq!(c.push(ev(10, "n1", 0, 79)), Pushed::Merged(0));
+        assert_eq!(c.push(ev(11, "n2", 0, 79)), Pushed::Started(1));
+        assert_eq!(c.push(ev(100, "n1", 0, 79)), Pushed::Started(2));
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert_eq!(c.window(), W);
+        assert_eq!(c.errors()[0].merged_lines, 2);
+    }
+
+    #[test]
+    fn from_errors_resumes_identically_at_any_cut() {
+        // A stream with interleaved keys, duplicate bursts, and events
+        // spaced exactly at the window boundary. Cutting anywhere and
+        // rebuilding from the error list alone must not change the result.
+        let events: Vec<XidEvent> = (0..200u64)
+            .map(|i| {
+                ev(
+                    i * 7,
+                    if i % 3 == 0 { "n1" } else { "n2" },
+                    (i % 2) as u8,
+                    if i % 5 == 0 { 31 } else { 79 },
+                )
+            })
+            .collect();
+        let expect = coalesce(events.clone(), W);
+        for cut in 0..=events.len() {
+            let mut head = Coalescer::new(W);
+            for ev in &events[..cut] {
+                head.push(ev.clone());
+            }
+            let mut resumed = Coalescer::from_errors(W, head.into_errors());
+            for ev in &events[cut..] {
+                resumed.push(ev.clone());
+            }
+            assert_eq!(resumed.into_errors(), expect, "cut={cut}");
+        }
     }
 }

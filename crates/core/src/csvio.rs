@@ -96,7 +96,7 @@ pub fn parse_jobs(text: &str) -> Result<Vec<AccountedJob>, CsvError> {
     Ok(jobs)
 }
 
-fn parse_job_row(raw: &str, line_no: usize) -> Result<AccountedJob, CsvError> {
+pub(crate) fn parse_job_row(raw: &str, line_no: usize) -> Result<AccountedJob, CsvError> {
     let fields: Vec<&str> = raw.split(',').collect();
     if fields.len() != 8 {
         return Err(CsvError::new(
@@ -208,7 +208,7 @@ pub fn parse_outages(text: &str) -> Result<Vec<OutageRecord>, CsvError> {
     Ok(outages)
 }
 
-fn parse_outage_row(raw: &str, line_no: usize) -> Result<OutageRecord, CsvError> {
+pub(crate) fn parse_outage_row(raw: &str, line_no: usize) -> Result<OutageRecord, CsvError> {
     let fields: Vec<&str> = raw.split(',').collect();
     if fields.len() != 3 {
         return Err(CsvError::new(

@@ -39,6 +39,13 @@
 //!   plus job and outage records in, a [`pipeline::StudyReport`] out. The
 //!   lenient entry point ([`Pipeline::run_lenient`]) never panics or
 //!   aborts: defective input lands in a [`pipeline::QuarantineReport`].
+//! * [`incremental`] — the streaming twin of [`pipeline`]: log bytes and
+//!   job records in arbitrary-sized batches, bounded live state, and
+//!   versioned checkpoint/restore — proven byte-equivalent to the batch
+//!   path at every batching and cut point by the differential test layer.
+//! * [`checkpoint`] — the hand-rolled versioned snapshot container the
+//!   streaming engine serializes into (magic, version, typed decode
+//!   errors; no external serialization crates).
 //! * [`error`] — the typed failure taxonomy the strict entry points
 //!   return instead of `Box<dyn Error>`.
 //! * [`findings`] — programmatic checks of the paper's headline findings
@@ -69,6 +76,7 @@
 
 pub mod availability;
 pub mod burst;
+pub mod checkpoint;
 pub mod coalesce;
 pub mod correlate;
 pub mod csvio;
@@ -76,6 +84,7 @@ pub mod error;
 pub mod findings;
 pub mod histogram;
 pub mod impact;
+pub mod incremental;
 pub mod job;
 pub mod markdown;
 pub mod parallel;
@@ -86,7 +95,9 @@ pub mod stats;
 pub mod survival;
 pub mod timeseries;
 
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use coalesce::{coalesce, CoalescedError};
 pub use error::PipelineError;
+pub use incremental::StreamingPipeline;
 pub use job::{AccountedJob, OutageRecord};
 pub use pipeline::{Caveat, Pipeline, QuarantineReport, StudyReport};

@@ -165,6 +165,24 @@ impl Pipeline {
     ) -> StudyReport {
         hpclog::shard::canonical_sort(&mut events);
         let errors = coalesce(events, self.coalesce_window);
+        self.assemble(errors, extract_stats, gpu_jobs, cpu_jobs, outages)
+    }
+
+    /// Stages iii–v on an already-coalesced, canonically ordered error set.
+    ///
+    /// Shared tail of [`run_events`](Self::run_events) and the incremental
+    /// engine's materialization (`core::incremental`): both paths produce
+    /// their coalesced errors differently but must assemble the
+    /// [`StudyReport`] through the one code path, so equivalence reduces to
+    /// the error sets being equal.
+    pub(crate) fn assemble(
+        &self,
+        errors: Vec<CoalescedError>,
+        extract_stats: Option<ExtractStats>,
+        gpu_jobs: &[AccountedJob],
+        cpu_jobs: &[AccountedJob],
+        outages: &[OutageRecord],
+    ) -> StudyReport {
         let coalesce_summary = CoalesceSummary::of(&errors);
         let stats_raw = ErrorStats::compute(&errors, self.periods, self.node_count);
 

@@ -1,0 +1,223 @@
+//! Property layer for the streaming pipeline: randomized logs (duplicate
+//! bursts, exact Δt = 20 s gaps, clock regressions, garbage bytes) are
+//! streamed with checkpoint/restore at random cut points and random batch
+//! partitions, and must always equal the uncut batch run — with shrinking
+//! to a minimal counterexample on failure. Truncated and bit-flipped
+//! snapshots must always come back as typed errors, never panics.
+
+use hpclog::{PciAddr, XidEvent};
+use propcheck::{run, run_shrinking, shrink_vec, Gen};
+use resilience::checkpoint::Checkpoint;
+use resilience::incremental::StreamingPipeline;
+use resilience::{report, Pipeline, QuarantineReport, StudyReport};
+use simtime::{Duration, StudyPeriods, Timestamp};
+use xid::XidCode;
+
+const LOG_YEAR: i32 = 2024;
+
+fn base() -> Timestamp {
+    StudyPeriods::delta().op.start
+}
+
+fn xid_line(t: Timestamp, host: &str, gpu: u8, code: u16) -> Vec<u8> {
+    let mut line = XidEvent::new(
+        t,
+        host,
+        PciAddr::for_gpu_index(gpu),
+        XidCode::new(code),
+        "d",
+    )
+    .to_log_line()
+    .to_string()
+    .into_bytes();
+    line.push(b'\n');
+    line
+}
+
+/// Random log lines biased toward the hazards that make streaming hard:
+/// duplicate bursts (Δ = 0), exact coalescing-boundary gaps (Δ = 20 s),
+/// just-past-boundary gaps (21 s), clock regressions (quarantined as
+/// out-of-order) and structurally broken lines.
+fn gen_lines(g: &mut Gen) -> Vec<Vec<u8>> {
+    let mut t: u64 = 0;
+    g.vec_with(1, 60, |g| {
+        let roll = g.u64_below(100);
+        if roll < 70 {
+            t += g.choose(&[0u64, 0, 0, 1, 5, 19, 20, 20, 21, 100]);
+            let host = format!("gpub00{}", g.u8_in(1, 3));
+            let code = g.choose(&[31u16, 48, 63, 74, 79, 94, 119, 122]);
+            xid_line(base() + Duration::from_secs(t), &host, g.u8_in(0, 1), code)
+        } else if roll < 80 {
+            // A clock regression: the scan must reject it without
+            // advancing the order anchor.
+            let back = g.u64_in(1, 50).min(t);
+            xid_line(base() + Duration::from_secs(t - back), "gpub001", 0, 79)
+        } else if roll < 87 {
+            b"Mar 1\n".to_vec() // truncated stamp
+        } else if roll < 94 {
+            b"\xFF\xFE not utf8 at all\n".to_vec()
+        } else {
+            b"plain noise without structure\n".to_vec()
+        }
+    })
+}
+
+fn concat(lines: &[Vec<u8>]) -> Vec<u8> {
+    lines.iter().flatten().copied().collect()
+}
+
+fn batch(log: &[u8]) -> (StudyReport, QuarantineReport) {
+    Pipeline::delta().run_lenient(log, LOG_YEAR, "", "", "")
+}
+
+fn compare(
+    what: &str,
+    (r, q): (StudyReport, QuarantineReport),
+    (br, bq): &(StudyReport, QuarantineReport),
+) -> Result<(), String> {
+    if r.errors != br.errors {
+        return Err(format!("{what}: coalesced errors diverged"));
+    }
+    if report::full(&r) != report::full(br) {
+        return Err(format!("{what}: rendered report diverged"));
+    }
+    if q.ledger.counts() != bq.ledger.counts() {
+        return Err(format!("{what}: ledger counts diverged"));
+    }
+    if q.ledger.exemplars() != bq.ledger.exemplars() {
+        return Err(format!("{what}: reservoir exemplars diverged"));
+    }
+    if q.caveats != bq.caveats {
+        return Err(format!("{what}: caveats diverged"));
+    }
+    Ok(())
+}
+
+/// THE tentpole property: cut the stream at a random byte, checkpoint,
+/// serialize, restore, continue — equals the uncut batch run. Cut points
+/// land inside duplicate bursts, exactly on Δt = 20 s boundaries, inside
+/// partial lines and inside garbage, because the generator emits all of
+/// those and the cut is uniform over the bytes.
+#[test]
+fn checkpointed_run_equals_uncut_run() {
+    run_shrinking(
+        "checkpointed_run_equals_uncut_run",
+        200,
+        |g| (gen_lines(g), g.u64()),
+        |(lines, cut_seed)| {
+            shrink_vec(lines)
+                .into_iter()
+                .map(|l| (l, *cut_seed))
+                .collect()
+        },
+        |(lines, cut_seed)| {
+            let log = concat(lines);
+            let cut = (cut_seed % (log.len() as u64 + 1)) as usize;
+            let oracle = batch(&log);
+
+            let mut first = StreamingPipeline::new(Pipeline::delta(), LOG_YEAR);
+            first.push_log(&log[..cut]);
+            let loaded = Checkpoint::from_bytes(first.checkpoint().into_bytes())
+                .map_err(|e| format!("own snapshot rejected: {e}"))?;
+            let mut resumed = StreamingPipeline::restore(&loaded)
+                .map_err(|e| format!("own snapshot failed to restore: {e}"))?;
+            if resumed.log_bytes_fed() != cut as u64 {
+                return Err(format!(
+                    "resume offset {} != cut {cut}",
+                    resumed.log_bytes_fed()
+                ));
+            }
+            resumed.push_log(&log[cut..]);
+            compare(&format!("cut at byte {cut}"), resumed.finalize(), &oracle)
+        },
+    );
+}
+
+/// Any batch partition — with snapshot/restore cycles sprinkled between
+/// chunks — equals the batch run. This is the "any batching, any number
+/// of checkpoint cuts" closure of the single-cut property.
+#[test]
+fn any_partition_with_restarts_equals_batch() {
+    run("any_partition_with_restarts_equals_batch", 100, |g| {
+        let lines = gen_lines(g);
+        let log = concat(&lines);
+        let oracle = batch(&log);
+        let mut engine = StreamingPipeline::new(Pipeline::delta(), LOG_YEAR);
+        let mut pos = 0;
+        while pos < log.len() {
+            let remaining = log.len() - pos;
+            let step = if remaining == 1 {
+                1
+            } else {
+                g.usize_in(1, remaining)
+            };
+            engine.push_log(&log[pos..pos + step]);
+            pos += step;
+            if g.bool_with(0.3) {
+                let loaded = Checkpoint::from_bytes(engine.checkpoint().into_bytes())
+                    .expect("own snapshot reads back");
+                engine = StreamingPipeline::restore(&loaded).expect("own snapshot restores");
+            }
+        }
+        if let Err(msg) = compare("partitioned run", engine.finalize(), &oracle) {
+            panic!("{msg}");
+        }
+    });
+}
+
+/// Materializing mid-stream is a pure read: the result equals the batch
+/// run over the prefix, and the stream continues unperturbed.
+#[test]
+fn materialize_is_effect_free_at_any_point() {
+    run("materialize_is_effect_free_at_any_point", 60, |g| {
+        let lines = gen_lines(g);
+        let log = concat(&lines);
+        let cut = g.usize_in(0, log.len());
+        let mut engine = StreamingPipeline::new(Pipeline::delta(), LOG_YEAR);
+        engine.push_log(&log[..cut]);
+        let (mid_r, mid_q) = engine.materialize_full();
+        if let Err(msg) = compare("mid-stream view", (mid_r, mid_q), &batch(&log[..cut])) {
+            panic!("{msg}");
+        }
+        engine.push_log(&log[cut..]);
+        if let Err(msg) = compare("continued after view", engine.finalize(), &batch(&log)) {
+            panic!("{msg}");
+        }
+    });
+}
+
+/// Every strict prefix of a snapshot, and every single-byte corruption of
+/// one, either fails the container check or restores to a typed error /
+/// a structurally valid engine — never a panic. (Panics would escape the
+/// harness and fail the test.)
+#[test]
+fn damaged_snapshots_are_typed_errors_never_panics() {
+    run("damaged_snapshots_are_typed_errors_never_panics", 40, |g| {
+        let lines = gen_lines(g);
+        let log = concat(&lines);
+        let cut = g.usize_in(0, log.len());
+        let mut engine = StreamingPipeline::new(Pipeline::delta(), LOG_YEAR);
+        engine.push_log(&log[..cut]);
+        let bytes = engine.checkpoint().into_bytes();
+
+        for _ in 0..8 {
+            let prefix = g.usize_in(0, bytes.len() - 1);
+            if let Ok(ck) = Checkpoint::from_bytes(bytes[..prefix].to_vec()) {
+                assert!(
+                    StreamingPipeline::restore(&ck).is_err(),
+                    "strict prefix of {prefix} bytes restored successfully"
+                );
+            }
+        }
+        for _ in 0..8 {
+            let i = g.usize_in(0, bytes.len() - 1);
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= g.u8_in(1, 255);
+            if let Ok(ck) = Checkpoint::from_bytes(corrupt) {
+                // A flip in a free-form counter can decode; the contract
+                // is only "no panic, structural damage is typed".
+                let _ = StreamingPipeline::restore(&ck);
+            }
+        }
+    });
+}

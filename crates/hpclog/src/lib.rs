@@ -27,6 +27,9 @@
 //!   counts plus a bounded reservoir of exemplar bad lines.
 //! * [`shard`] — host-sharded parallel extraction with a deterministic
 //!   k-way merge back into the canonical `(time, host, seq)` order.
+//! * [`stream`] — the resumable lenient scanner: the same classification as
+//!   [`extract`], fed in arbitrary-sized byte chunks, with snapshotable
+//!   cross-line state (partial-line carry, line counter, order anchor).
 //! * [`chaos`] — seeded corruption injection for resilience testing:
 //!   truncation, invalid UTF-8, clock skew, interleaving, duplication.
 //!
@@ -56,6 +59,7 @@ pub mod nvrm;
 pub mod pattern;
 pub mod quarantine;
 pub mod shard;
+pub mod stream;
 
 pub use line::{LogLine, LogLineErrorKind, ParseLogLineError};
 pub use nvrm::{PciAddr, XidEvent};

@@ -72,6 +72,13 @@ impl QuarantineCategory {
             .position(|&c| c == self)
             .expect("ALL enumerates every category") // by construction above
     }
+
+    /// The category at position `index` of [`ALL`](Self::ALL), or `None`
+    /// when out of range. Inverse of the `ALL` ordering; used when decoding
+    /// checkpointed exemplars.
+    pub fn from_index(index: usize) -> Option<Self> {
+        QuarantineCategory::ALL.get(index).copied()
+    }
 }
 
 impl fmt::Display for QuarantineCategory {
@@ -108,6 +115,18 @@ impl QuarantineCounts {
         for (slot, add) in self.counts.iter_mut().zip(other.counts.iter()) {
             *slot += add;
         }
+    }
+
+    /// The raw per-category counters, indexed in [`QuarantineCategory::ALL`]
+    /// order (for checkpointing).
+    pub fn to_array(&self) -> [u64; QuarantineCategory::ALL.len()] {
+        self.counts
+    }
+
+    /// Rebuilds counters from values captured with
+    /// [`QuarantineCounts::to_array`].
+    pub fn from_array(counts: [u64; QuarantineCategory::ALL.len()]) -> Self {
+        QuarantineCounts { counts }
     }
 
     /// Iterates `(category, count)` pairs with non-zero counts.
@@ -266,6 +285,43 @@ impl QuarantineLedger {
         self.max_line_bytes
     }
 
+    /// Captures the ledger's complete state — counters, exemplars, limits
+    /// and the reservoir RNG — as plain data for checkpointing.
+    pub fn snapshot(&self) -> LedgerSnapshot {
+        LedgerSnapshot {
+            counts: self.counts.to_array(),
+            exemplars: self.exemplars.clone(),
+            max_exemplars: self.max_exemplars,
+            max_snippet_bytes: self.max_snippet_bytes,
+            max_line_bytes: self.max_line_bytes,
+            io_errors: self.io_errors,
+            rng_state: self.rng.state(),
+        }
+    }
+
+    /// Rebuilds a ledger from a [`snapshot`](Self::snapshot).
+    ///
+    /// The restored ledger continues reservoir sampling exactly where the
+    /// captured one left off, so a checkpointed run retains the same
+    /// exemplars as an uncut one. Returns `None` when the snapshot is
+    /// internally inconsistent: an unreachable all-zero RNG state, or more
+    /// exemplars than the stated cap.
+    pub fn from_snapshot(snapshot: LedgerSnapshot) -> Option<Self> {
+        let rng = Rng::from_state(snapshot.rng_state)?;
+        if snapshot.exemplars.len() > snapshot.max_exemplars {
+            return None;
+        }
+        Some(QuarantineLedger {
+            counts: QuarantineCounts::from_array(snapshot.counts),
+            exemplars: snapshot.exemplars,
+            max_exemplars: snapshot.max_exemplars,
+            max_snippet_bytes: snapshot.max_snippet_bytes,
+            max_line_bytes: snapshot.max_line_bytes,
+            io_errors: snapshot.io_errors,
+            rng,
+        })
+    }
+
     fn snip(&self, raw: &[u8]) -> String {
         let text = String::from_utf8_lossy(raw);
         let mut out = String::with_capacity(text.len().min(self.max_snippet_bytes));
@@ -283,6 +339,30 @@ impl Default for QuarantineLedger {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// Plain-data image of a [`QuarantineLedger`], produced by
+/// [`QuarantineLedger::snapshot`] and consumed by
+/// [`QuarantineLedger::from_snapshot`].
+///
+/// Every field is public so checkpoint codecs in downstream crates can
+/// serialise it without this crate committing to a wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerSnapshot {
+    /// Per-category reject counters in [`QuarantineCategory::ALL`] order.
+    pub counts: [u64; QuarantineCategory::ALL.len()],
+    /// The retained exemplars, in reservoir order.
+    pub exemplars: Vec<Exemplar>,
+    /// Cap on retained exemplars.
+    pub max_exemplars: usize,
+    /// Cap on each exemplar snippet, in bytes.
+    pub max_snippet_bytes: usize,
+    /// Published per-line byte cap.
+    pub max_line_bytes: usize,
+    /// Stream-level I/O failures observed.
+    pub io_errors: u64,
+    /// The reservoir RNG's internal state mid-stream.
+    pub rng_state: [u64; 4],
 }
 
 impl fmt::Display for QuarantineLedger {
@@ -380,6 +460,54 @@ mod tests {
         let s = ledger.to_string();
         assert!(s.contains("1 rejects"));
         assert!(s.contains("out-of-order"));
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_reservoir_stream() {
+        // Feed half the rejects, snapshot, then race the restored ledger
+        // against the original over the second half: counts, exemplars and
+        // future reservoir decisions must all coincide.
+        let mut ledger = QuarantineLedger::with_limits(3, 32, 8192, 42);
+        for i in 0..100u64 {
+            ledger.record(QuarantineCategory::BadXid, i, format!("x{i}").as_bytes());
+        }
+        let mut restored = QuarantineLedger::from_snapshot(ledger.snapshot()).unwrap();
+        for i in 100..300u64 {
+            ledger.record(QuarantineCategory::Truncated, i, format!("y{i}").as_bytes());
+            restored.record(QuarantineCategory::Truncated, i, format!("y{i}").as_bytes());
+        }
+        assert_eq!(restored.counts(), ledger.counts());
+        assert_eq!(restored.exemplars(), ledger.exemplars());
+        assert_eq!(restored.io_errors(), ledger.io_errors());
+        assert_eq!(restored.max_line_bytes(), ledger.max_line_bytes());
+    }
+
+    #[test]
+    fn from_snapshot_rejects_inconsistent_state() {
+        let ledger = QuarantineLedger::new();
+        let mut zeroed = ledger.snapshot();
+        zeroed.rng_state = [0; 4];
+        assert!(QuarantineLedger::from_snapshot(zeroed).is_none());
+
+        let mut overfull = ledger.snapshot();
+        overfull.max_exemplars = 0;
+        overfull.exemplars.push(Exemplar {
+            category: QuarantineCategory::Truncated,
+            line_no: 1,
+            snippet: "x".into(),
+        });
+        assert!(QuarantineLedger::from_snapshot(overfull).is_none());
+    }
+
+    #[test]
+    fn category_index_round_trips() {
+        for (i, cat) in QuarantineCategory::ALL.into_iter().enumerate() {
+            assert_eq!(QuarantineCategory::from_index(i), Some(cat));
+        }
+        assert_eq!(
+            QuarantineCategory::from_index(QuarantineCategory::ALL.len()),
+            None
+        );
     }
 
     #[test]

@@ -1,0 +1,375 @@
+//! Resumable Stage-I scanning for live log tails.
+//!
+//! [`XidExtractor::scan_reader_lenient`] consumes a whole reader in one
+//! call; a production ingester instead receives the same bytes in
+//! arbitrary-sized chunks — a `tail -f` pipe, a socket, a page of a
+//! memory-mapped day file — and must survive process restarts between
+//! chunks. [`LenientScan`] is that shape: feed it byte slices in any
+//! batching and it produces exactly the events, counters, and quarantine
+//! records the one-shot scan would have produced on the concatenated
+//! stream. All cross-line state — the partial-line carry, the physical
+//! line counter, and the out-of-order anchor — lives in the scanner and
+//! can be captured as a plain-data [`ScanSnapshot`] for checkpointing.
+//!
+//! Equivalence with the batch scan is the contract, not an aspiration:
+//! `core`'s differential suite replays full campaigns through this type at
+//! batch sizes from one byte upward and byte-compares every surface.
+
+use crate::extract::{ExtractStats, XidExtractor};
+use crate::line::{LogLine, LogLineErrorKind};
+use crate::nvrm::XidEvent;
+use crate::quarantine::{QuarantineCategory, QuarantineLedger};
+use simtime::Timestamp;
+
+/// Incremental, restartable equivalent of
+/// [`XidExtractor::scan_reader_lenient`].
+///
+/// # Example
+///
+/// ```
+/// use hpclog::quarantine::QuarantineLedger;
+/// use hpclog::stream::LenientScan;
+///
+/// let line = "Mar 14 03:22:07 gpub042 kernel: NVRM: Xid (PCI:0000:27:00): 79, GPU has fallen off the bus.\n";
+/// let mut scan = LenientScan::studied_only(2024);
+/// let mut ledger = QuarantineLedger::new();
+/// let mut events = Vec::new();
+/// // Feed the line one byte at a time: same result as one call.
+/// for b in line.as_bytes() {
+///     scan.feed(std::slice::from_ref(b), &mut ledger, &mut events);
+/// }
+/// scan.finish(&mut ledger, &mut events);
+/// assert_eq!(events.len(), 1);
+/// assert_eq!(scan.stats().extracted, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LenientScan {
+    extractor: XidExtractor,
+    /// Bytes of the current, not-yet-terminated line.
+    carry: Vec<u8>,
+    /// Physical lines completed so far (1-based numbering of the next line
+    /// is `line_no + 1`).
+    line_no: u64,
+    /// The monotonicity anchor: timestamp of the last accepted line.
+    prev_accepted: Option<Timestamp>,
+    /// Total bytes fed, including the carry (lets a resuming caller seek).
+    bytes_fed: u64,
+}
+
+/// Plain-data image of a [`LenientScan`] mid-stream, for checkpointing.
+///
+/// Fields are public so downstream checkpoint codecs can serialise them
+/// without this crate committing to a wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanSnapshot {
+    /// Year used to resolve year-less syslog stamps.
+    pub year: i32,
+    /// Whether the study-inclusion filter is applied.
+    pub studied_only: bool,
+    /// Extraction counters accumulated so far.
+    pub stats: ExtractStats,
+    /// Bytes of the current partial line.
+    pub carry: Vec<u8>,
+    /// Physical lines completed so far.
+    pub line_no: u64,
+    /// The out-of-order anchor (last accepted timestamp).
+    pub prev_accepted: Option<Timestamp>,
+    /// Total bytes fed so far.
+    pub bytes_fed: u64,
+}
+
+impl LenientScan {
+    /// A scanner keeping every XID code (no study filter).
+    pub fn new(year: i32) -> Self {
+        Self::with_extractor(XidExtractor::new(year))
+    }
+
+    /// A scanner applying the study-inclusion rule, like the pipeline's
+    /// batch path.
+    pub fn studied_only(year: i32) -> Self {
+        Self::with_extractor(XidExtractor::studied_only(year))
+    }
+
+    fn with_extractor(extractor: XidExtractor) -> Self {
+        LenientScan {
+            extractor,
+            carry: Vec::new(),
+            line_no: 0,
+            prev_accepted: None,
+            bytes_fed: 0,
+        }
+    }
+
+    /// Counters accumulated so far (the carry is not yet counted).
+    pub fn stats(&self) -> ExtractStats {
+        self.extractor.stats()
+    }
+
+    /// Total bytes fed so far. A resuming caller can seek its source here
+    /// and continue feeding.
+    pub fn bytes_fed(&self) -> u64 {
+        self.bytes_fed
+    }
+
+    /// Feeds the next chunk of the byte stream, in any size down to a
+    /// single byte. Completed lines are classified exactly as
+    /// [`XidExtractor::scan_reader_lenient`] classifies them; accepted
+    /// events are appended to `events` and rejects recorded in `ledger`.
+    /// Bytes after the last newline are carried until the next call (or
+    /// [`finish`](Self::finish)).
+    pub fn feed(
+        &mut self,
+        bytes: &[u8],
+        ledger: &mut QuarantineLedger,
+        events: &mut Vec<XidEvent>,
+    ) {
+        self.bytes_fed += bytes.len() as u64;
+        let mut rest = bytes;
+        while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
+            if self.carry.is_empty() {
+                // Fast path: the whole line sits in this chunk.
+                let mut line = rest[..pos].to_vec();
+                self.process_line(&mut line, ledger, events);
+            } else {
+                self.carry.extend_from_slice(&rest[..pos]);
+                let mut line = std::mem::take(&mut self.carry);
+                self.process_line(&mut line, ledger, events);
+            }
+            rest = &rest[pos + 1..];
+        }
+        self.carry.extend_from_slice(rest);
+    }
+
+    /// Flushes the trailing partial line, mirroring how the batch scan
+    /// processes a final line with no terminator at end of file. Safe to
+    /// call when the carry is empty (no-op), and feeding may continue
+    /// afterwards — the stream then behaves like two concatenated files.
+    pub fn finish(&mut self, ledger: &mut QuarantineLedger, events: &mut Vec<XidEvent>) {
+        if self.carry.is_empty() {
+            return;
+        }
+        let mut line = std::mem::take(&mut self.carry);
+        self.process_line(&mut line, ledger, events);
+    }
+
+    /// One physical line, classified with the exact rules (and rule order)
+    /// of [`XidExtractor::scan_reader_lenient`]. `line` excludes the
+    /// terminating `\n` but may end in `\r`s, which are trimmed here like
+    /// the batch scan trims them.
+    fn process_line(
+        &mut self,
+        raw: &mut Vec<u8>,
+        ledger: &mut QuarantineLedger,
+        events: &mut Vec<XidEvent>,
+    ) {
+        self.line_no += 1;
+        let line_no = self.line_no;
+        while raw.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
+            raw.pop();
+        }
+        if raw.is_empty() {
+            return;
+        }
+        self.extractor.stats.lines_seen += 1;
+        if raw.len() > ledger.max_line_bytes() {
+            self.extractor
+                .quarantine(ledger, QuarantineCategory::OversizedLine, line_no, raw);
+            return;
+        }
+        let text = match std::str::from_utf8(raw) {
+            Ok(t) => t,
+            Err(_) => {
+                self.extractor
+                    .quarantine(ledger, QuarantineCategory::Encoding, line_no, raw);
+                return;
+            }
+        };
+        let line = match LogLine::parse_with_year(text, self.extractor.year) {
+            Ok(line) => line,
+            Err(err) => {
+                let category = match err.kind() {
+                    LogLineErrorKind::MissingField => QuarantineCategory::Truncated,
+                    LogLineErrorKind::BadTimestamp => QuarantineCategory::MalformedTimestamp,
+                };
+                self.extractor.quarantine(ledger, category, line_no, raw);
+                return;
+            }
+        };
+        let xid = match XidEvent::parse_body(line.time, &line.host, &line.body) {
+            Some(Ok(ev)) => {
+                self.extractor.stats.xid_lines += 1;
+                Some(ev)
+            }
+            Some(Err(_)) => {
+                self.extractor.stats.xid_lines += 1;
+                self.extractor.stats.malformed += 1;
+                self.extractor
+                    .quarantine(ledger, QuarantineCategory::BadXid, line_no, raw);
+                return;
+            }
+            None => None,
+        };
+        if self.prev_accepted.is_some_and(|prev| line.time < prev) {
+            self.extractor
+                .quarantine(ledger, QuarantineCategory::OutOfOrder, line_no, raw);
+            return;
+        }
+        self.prev_accepted = Some(line.time);
+        if let Some(ev) = xid {
+            if self.extractor.studied_only && !ev.kind().is_studied() {
+                self.extractor.stats.excluded += 1;
+            } else {
+                self.extractor.stats.extracted += 1;
+                events.push(ev);
+            }
+        }
+    }
+
+    /// Captures the scanner's complete cross-line state as plain data.
+    pub fn snapshot(&self) -> ScanSnapshot {
+        ScanSnapshot {
+            year: self.extractor.year,
+            studied_only: self.extractor.studied_only,
+            stats: self.extractor.stats,
+            carry: self.carry.clone(),
+            line_no: self.line_no,
+            prev_accepted: self.prev_accepted,
+            bytes_fed: self.bytes_fed,
+        }
+    }
+
+    /// Rebuilds a scanner from a [`snapshot`](Self::snapshot); it continues
+    /// the stream exactly where the captured one left off.
+    pub fn from_snapshot(snapshot: ScanSnapshot) -> Self {
+        LenientScan {
+            extractor: XidExtractor {
+                year: snapshot.year,
+                studied_only: snapshot.studied_only,
+                stats: snapshot.stats,
+            },
+            carry: snapshot.carry,
+            line_no: snapshot.line_no,
+            prev_accepted: snapshot.prev_accepted,
+            bytes_fed: snapshot.bytes_fed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const XID_LINE: &str =
+        "Mar 14 03:22:07 gpub042 kernel: NVRM: Xid (PCI:0000:27:00): 79, pid=1234, GPU has fallen off the bus.";
+    const NOISE: &str = "Mar 14 03:22:08 gpub042 kernel: usb 3-2: new high-speed USB device";
+    const SOFTWARE_XID: &str =
+        "Mar 14 03:22:09 gpub042 kernel: NVRM: Xid (PCI:0000:27:00): 13, Graphics Exception";
+    const REGRESSED: &str = "Mar 13 01:00:00 gpub042 kernel: late arrival";
+
+    /// A stream exercising every classification outcome, with Windows line
+    /// endings, blank lines, and a terminator-less final line.
+    fn messy_stream() -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(XID_LINE.as_bytes());
+        out.extend_from_slice(b"\r\n\n");
+        out.extend_from_slice(NOISE.as_bytes());
+        out.push(b'\n');
+        out.extend_from_slice(SOFTWARE_XID.as_bytes());
+        out.push(b'\n');
+        out.extend_from_slice("Mar 14 03:2".as_bytes());
+        out.push(b'\n');
+        out.extend_from_slice(b"Mar 14 03:22:10 gpub042 kernel: bad \xFF utf8\n");
+        out.extend_from_slice(REGRESSED.as_bytes());
+        out.push(b'\n');
+        // Final line without a newline: the batch scan still processes it.
+        out.extend_from_slice(XID_LINE.as_bytes());
+        out
+    }
+
+    fn batch_scan(input: &[u8]) -> (Vec<XidEvent>, ExtractStats, QuarantineLedger) {
+        let mut ex = XidExtractor::studied_only(2024);
+        let mut ledger = QuarantineLedger::new();
+        let events = ex.scan_reader_lenient(input, &mut ledger);
+        (events, ex.stats(), ledger)
+    }
+
+    fn streamed_scan(
+        input: &[u8],
+        chunk: usize,
+    ) -> (Vec<XidEvent>, ExtractStats, QuarantineLedger) {
+        let mut scan = LenientScan::studied_only(2024);
+        let mut ledger = QuarantineLedger::new();
+        let mut events = Vec::new();
+        for piece in input.chunks(chunk.max(1)) {
+            scan.feed(piece, &mut ledger, &mut events);
+        }
+        scan.finish(&mut ledger, &mut events);
+        assert_eq!(scan.bytes_fed(), input.len() as u64);
+        (events, scan.stats(), ledger)
+    }
+
+    #[test]
+    fn any_chunking_matches_the_batch_scan() {
+        let input = messy_stream();
+        let expect = batch_scan(&input);
+        for chunk in [1, 2, 3, 7, 16, 64, input.len()] {
+            let got = streamed_scan(&input, chunk);
+            assert_eq!(got.0, expect.0, "chunk={chunk}: events");
+            assert_eq!(got.1, expect.1, "chunk={chunk}: stats");
+            assert_eq!(got.2.counts(), expect.2.counts(), "chunk={chunk}: counts");
+            assert_eq!(
+                got.2.exemplars(),
+                expect.2.exemplars(),
+                "chunk={chunk}: exemplars"
+            );
+        }
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_optional_on_terminated_streams() {
+        let mut scan = LenientScan::studied_only(2024);
+        let mut ledger = QuarantineLedger::new();
+        let mut events = Vec::new();
+        scan.feed(format!("{XID_LINE}\n").as_bytes(), &mut ledger, &mut events);
+        scan.finish(&mut ledger, &mut events);
+        scan.finish(&mut ledger, &mut events);
+        assert_eq!(events.len(), 1);
+        assert_eq!(scan.stats().lines_seen, 1);
+    }
+
+    #[test]
+    fn snapshot_round_trip_mid_line_continues_exactly() {
+        let input = messy_stream();
+        let expect = batch_scan(&input);
+        // Cut at every byte offset, including mid-line and mid-UTF-8.
+        for cut in 0..=input.len() {
+            let mut scan = LenientScan::studied_only(2024);
+            let mut ledger = QuarantineLedger::new();
+            let mut events = Vec::new();
+            scan.feed(&input[..cut], &mut ledger, &mut events);
+            let mut resumed = LenientScan::from_snapshot(scan.snapshot());
+            assert_eq!(resumed.bytes_fed(), cut as u64);
+            resumed.feed(&input[cut..], &mut ledger, &mut events);
+            resumed.finish(&mut ledger, &mut events);
+            assert_eq!(events, expect.0, "cut={cut}: events");
+            assert_eq!(resumed.stats(), expect.1, "cut={cut}: stats");
+            assert_eq!(ledger.counts(), expect.2.counts(), "cut={cut}: counts");
+        }
+    }
+
+    #[test]
+    fn out_of_order_anchor_survives_the_snapshot() {
+        let mut scan = LenientScan::studied_only(2024);
+        let mut ledger = QuarantineLedger::new();
+        let mut events = Vec::new();
+        scan.feed(format!("{NOISE}\n").as_bytes(), &mut ledger, &mut events);
+        let mut resumed = LenientScan::from_snapshot(scan.snapshot());
+        // A regressed line right after restore must still be caught.
+        resumed.feed(
+            format!("{REGRESSED}\n").as_bytes(),
+            &mut ledger,
+            &mut events,
+        );
+        assert_eq!(ledger.counts().get(QuarantineCategory::OutOfOrder), 1);
+    }
+}

@@ -1,0 +1,301 @@
+//! `stream-study` — the streaming face of the analysis pipeline.
+//!
+//! ```text
+//! stream-study <LOG>... [--jobs FILE] [--cpu-jobs FILE] [--outages FILE]
+//!              [--year N] [--window SECS] [--chunk BYTES]
+//!              [--checkpoint FILE] [--resume FILE]
+//! ```
+//!
+//! Feeds the same inputs `delta-cli analyze` reads through
+//! [`resilience::incremental::StreamingPipeline`] in bounded-size chunks,
+//! checkpointing along the way. Interrupt the run, pass the snapshot back
+//! with `--resume`, and the report comes out byte-identical to the
+//! uninterrupted (and to the batch) run — that equivalence is what the
+//! differential test layer proves.
+//!
+//! * `--chunk BYTES`    feed granularity for log bytes (default 1 MiB)
+//! * `--checkpoint F`   write a snapshot to `F` after every log file
+//! * `--resume F`       restore from `F`; already-ingested log bytes are
+//!   skipped by offset (the snapshot remembers how many were fed)
+
+use delta_gpu_resilience::prelude::*;
+use resilience::checkpoint::Checkpoint;
+use resilience::incremental::StreamingPipeline;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const USAGE: &str = "\
+stream-study — incremental A100 resilience analysis with checkpoint/restore
+
+USAGE:
+  stream-study <LOG>... [--jobs FILE] [--cpu-jobs FILE] [--outages FILE]
+               [--year N] [--window SECS] [--chunk BYTES]
+               [--checkpoint FILE] [--resume FILE]
+
+  <LOG>...          per-day syslog files (or directories of them)
+  --jobs FILE       GPU job export (CSV: id,name,submit,start,end,gpus,gpu_slots,state)
+  --cpu-jobs FILE   CPU job export (same schema, gpus=0)
+  --outages FILE    outage export (CSV: host,start,duration_secs)
+  --year N          year for year-less syslog stamps (default: from the
+                    first filename's YYYYMMDD, else 2024)
+  --window SECS     coalescing window Δt (default 20; ignored with --resume)
+  --chunk BYTES     log feed granularity (default 1048576)
+  --checkpoint FILE write a snapshot after each log file
+  --resume FILE     restore from a snapshot and continue
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if matches!(args.first().map(String::as_str), Some("--help" | "-h")) {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Flags {
+    positionals: Vec<String>,
+    options: Vec<(String, Option<String>)>,
+}
+
+fn parse_flags(args: &[String], value_flags: &[&str]) -> Result<Flags, String> {
+    let mut positionals = Vec::new();
+    let mut options = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            if value_flags.contains(&name) {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{name} needs a value"))?
+                    .clone();
+                options.push((name.to_owned(), Some(value)));
+            } else {
+                options.push((name.to_owned(), None));
+            }
+        } else {
+            positionals.push(arg.clone());
+        }
+    }
+    Ok(Flags {
+        positionals,
+        options,
+    })
+}
+
+impl Flags {
+    fn value(&self, name: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+}
+
+fn collect_log_files(paths: &[String]) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    for p in paths {
+        let path = Path::new(p);
+        if path.is_dir() {
+            let entries = std::fs::read_dir(path).map_err(|e| format!("reading dir {p}: {e}"))?;
+            for entry in entries {
+                let entry = entry.map_err(|e| format!("reading dir {p}: {e}"))?;
+                if entry.path().is_file() {
+                    files.push(entry.path());
+                }
+            }
+        } else if path.is_file() {
+            files.push(path.to_path_buf());
+        } else {
+            return Err(format!("{p}: no such file or directory"));
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn year_from_filename(path: &Path) -> Option<i32> {
+    let name = path.file_stem()?.to_str()?;
+    name.split(|c: char| !c.is_ascii_digit())
+        .filter(|chunk| chunk.len() == 8)
+        .find_map(|chunk| {
+            let year: i32 = chunk[..4].parse().ok()?;
+            (1970..=2100).contains(&year).then_some(year)
+        })
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(
+        args,
+        &[
+            "jobs",
+            "cpu-jobs",
+            "outages",
+            "year",
+            "window",
+            "chunk",
+            "checkpoint",
+            "resume",
+        ],
+    )?;
+    if flags.positionals.is_empty() {
+        return Err(format!("stream-study needs at least one log file\n{USAGE}"));
+    }
+    let files = collect_log_files(&flags.positionals)?;
+    let chunk: usize = flags
+        .value("chunk")
+        .unwrap_or("1048576")
+        .parse()
+        .map_err(|_| "bad --chunk")?;
+    if chunk == 0 {
+        return Err("--chunk must be positive".into());
+    }
+
+    let mut engine = match flags.value("resume") {
+        Some(path) => {
+            let bytes =
+                std::fs::read(path).map_err(|e| format!("reading checkpoint {path}: {e}"))?;
+            let checkpoint = Checkpoint::from_bytes(bytes)
+                .map_err(|e| format!("loading checkpoint {path}: {e}"))?;
+            let engine = StreamingPipeline::restore(&checkpoint)
+                .map_err(|e| format!("restoring checkpoint {path}: {e}"))?;
+            println!(
+                "resumed from {path}: {} log bytes already ingested, state {} bytes",
+                engine.log_bytes_fed(),
+                checkpoint.as_bytes().len()
+            );
+            engine
+        }
+        None => {
+            let year = match flags.value("year") {
+                Some(y) => y.parse().map_err(|_| format!("bad --year {y:?}"))?,
+                None => files
+                    .first()
+                    .and_then(|f| year_from_filename(f))
+                    .unwrap_or(2024),
+            };
+            let mut pipeline = Pipeline::delta();
+            if let Some(w) = flags.value("window") {
+                let secs: u64 = w.parse().map_err(|_| format!("bad --window {w:?}"))?;
+                pipeline.coalesce_window = Duration::from_secs(secs);
+            }
+            StreamingPipeline::new(pipeline, year)
+        }
+    };
+
+    // Feed the logs chunk by chunk, skipping what a resumed snapshot has
+    // already seen. Offsets index the concatenation of the sorted files,
+    // which is exactly the byte stream the original run fed.
+    let started = Instant::now();
+    let mut offset: u64 = 0;
+    let mut fed: u64 = 0;
+    for file in &files {
+        let text = std::fs::read(file).map_err(|e| format!("reading {}: {e}", file.display()))?;
+        let len = text.len() as u64;
+        let done = engine.log_bytes_fed();
+        if offset + len <= done {
+            offset += len;
+            continue; // this file is fully inside the snapshot
+        }
+        let skip = done.saturating_sub(offset) as usize;
+        for piece in text[skip..].chunks(chunk) {
+            engine.push_log(piece);
+            fed += piece.len() as u64;
+        }
+        offset += len;
+        if let Some(path) = flags.value("checkpoint") {
+            let snapshot = engine.checkpoint();
+            std::fs::write(path, snapshot.as_bytes())
+                .map_err(|e| format!("writing checkpoint {path}: {e}"))?;
+            println!(
+                "checkpoint after {}: {} log bytes in, state {} bytes",
+                file.display(),
+                engine.log_bytes_fed(),
+                snapshot.as_bytes().len()
+            );
+        }
+    }
+    engine.finish_log();
+    let elapsed = started.elapsed().as_secs_f64();
+    let stats = engine.scan_stats();
+    println!(
+        "scanned {} lines ({} new bytes) in {:.2}s — {} events extracted, live errors {}",
+        stats.lines_seen,
+        fed,
+        elapsed,
+        stats.extracted,
+        engine.live().total_errors()
+    );
+
+    // Accounting inputs, in the batch path's canonical feed order.
+    if let Some(path) = flags.value("jobs") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        engine.push_gpu_jobs_csv(&text);
+    }
+    if let Some(path) = flags.value("cpu-jobs") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        engine.push_cpu_jobs_csv(&text);
+    }
+    if let Some(path) = flags.value("outages") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        engine.push_outages_csv(&text);
+    }
+
+    let (report_out, quarantine) = engine.finalize();
+    println!("\n=== Table I ===\n{}", report::table1(&report_out));
+    println!("=== Table II ===\n{}", report::table2(&report_out));
+    println!("=== Table III ===\n{}", report::table3(&report_out));
+    println!("=== Figure 2 ===\n{}", report::figure2(&report_out));
+    println!("=== Findings ===\n{}", Findings::evaluate(&report_out));
+    if !quarantine.is_clean() {
+        println!("\n=== Quarantine ===\n{}", quarantine.ledger);
+        for caveat in &quarantine.caveats {
+            println!("caveat: {caveat}");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_values_and_positionals() {
+        let flags = parse_flags(
+            &args(&["logs", "--chunk", "64", "--resume", "ck.bin"]),
+            &["chunk", "resume"],
+        )
+        .unwrap();
+        assert_eq!(flags.positionals, vec!["logs"]);
+        assert_eq!(flags.value("chunk"), Some("64"));
+        assert_eq!(flags.value("resume"), Some("ck.bin"));
+        assert_eq!(flags.value("jobs"), None);
+    }
+
+    #[test]
+    fn value_flag_without_value_errors() {
+        assert!(parse_flags(&args(&["--chunk"]), &["chunk"]).is_err());
+    }
+
+    #[test]
+    fn year_is_read_from_filenames() {
+        assert_eq!(
+            year_from_filename(Path::new("syslog-20220105.log")),
+            Some(2022)
+        );
+        assert_eq!(year_from_filename(Path::new("messages.log")), None);
+    }
+}
