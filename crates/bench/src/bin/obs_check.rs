@@ -1,0 +1,98 @@
+//! Exposition gate for the `obs` smoke leg: validates metrics files the
+//! CLI binaries wrote and asserts expected metric families are present.
+//!
+//! ```text
+//! cargo run --release -p bench --bin obs_check -- \
+//!     [--require PREFIX]... FILE...
+//! ```
+//!
+//! Files ending in `.json` are checked as JSON documents; everything else
+//! is checked as Prometheus text exposition (parse, unique series, finite
+//! values, non-negative counters, monotone cumulative histogram buckets —
+//! see [`obs::check`]). Each `--require PREFIX` must match at least one
+//! metric name across the *union* of all files, so one invocation can
+//! gate "the run covered all four layers".
+//!
+//! Exits non-zero with a diagnostic on the first violation.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("obs_check: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let mut requires: Vec<String> = Vec::new();
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--require" => requires.push(
+                it.next()
+                    .ok_or_else(|| "--require needs a value".to_owned())?
+                    .clone(),
+            ),
+            "--help" | "-h" => {
+                return Ok("usage: obs_check [--require PREFIX]... FILE...".to_owned())
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?}"));
+            }
+            other => files.push(other.to_owned()),
+        }
+    }
+    if files.is_empty() {
+        return Err("no files given (usage: obs_check [--require PREFIX]... FILE...)".to_owned());
+    }
+
+    let mut lines = Vec::new();
+    let mut names: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut json_bodies = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+        if file.ends_with(".json") {
+            obs::check::validate_json(&text).map_err(|e| format!("{file}: {e}"))?;
+            lines.push(format!("{file}: valid JSON ({} bytes)", text.len()));
+            json_bodies.push(text);
+        } else {
+            let summary =
+                obs::check::validate_prometheus(&text).map_err(|e| format!("{file}: {e}"))?;
+            lines.push(format!(
+                "{file}: valid Prometheus exposition ({} samples, {} metric names)",
+                summary.samples,
+                summary.names.len()
+            ));
+            names.extend(summary.names);
+        }
+    }
+
+    for prefix in &requires {
+        let in_prom = names.iter().any(|n| n.starts_with(prefix.as_str()));
+        // The JSON document quotes metric names; a prefix is present iff
+        // some quoted name starts with it.
+        let needle = format!("\"name\": \"{prefix}");
+        let in_json = json_bodies.iter().any(|t| t.contains(&needle));
+        if !in_prom && !in_json {
+            return Err(format!(
+                "required metric family {prefix:?} missing from {}",
+                files.join(", ")
+            ));
+        }
+    }
+    lines.push(format!(
+        "{} file(s) valid, {} required famil{} present",
+        files.len(),
+        requires.len(),
+        if requires.len() == 1 { "y" } else { "ies" }
+    ));
+    Ok(lines.join("\n"))
+}

@@ -115,6 +115,9 @@ impl JobImpact {
                 )
             })
             .collect();
+        if obs::is_enabled() {
+            obs::counter("core_attribution_window_hits_total", &[]).add(gpu_failed.len() as u64);
+        }
         JobImpact {
             per_kind,
             gpu_failed_jobs: gpu_failed.len() as u64,

@@ -296,6 +296,28 @@ pub struct StreamingPipeline {
     gpu_jobs: Vec<AccountedJob>,
     cpu_jobs: Vec<AccountedJob>,
     outages: Vec<OutageRecord>,
+    metrics: StreamObs,
+}
+
+/// Cached global-registry handles for the streaming hot path, so the
+/// per-event cost is one relaxed atomic op instead of a registry
+/// lookup. Never serialized: checkpoints restore fresh handles to the
+/// same process-wide cells. Write-only, like all instrumentation.
+#[derive(Debug, Clone)]
+struct StreamObs {
+    tie_high_water: obs::Gauge,
+    events: obs::Counter,
+    merges: obs::Counter,
+}
+
+impl StreamObs {
+    fn new() -> Self {
+        StreamObs {
+            tie_high_water: obs::gauge("core_tie_buffer_high_water", &[]),
+            events: obs::counter("core_events_coalesced_total", &[]),
+            merges: obs::counter("core_coalesce_merges_total", &[]),
+        }
+    }
 }
 
 impl StreamingPipeline {
@@ -316,6 +338,7 @@ impl StreamingPipeline {
             gpu_jobs: Vec::new(),
             cpu_jobs: Vec::new(),
             outages: Vec::new(),
+            metrics: StreamObs::new(),
         }
     }
 
@@ -412,6 +435,9 @@ impl StreamingPipeline {
             None => self.pending_time = Some(ev.time),
         }
         self.pending.push(ev);
+        self.metrics
+            .tie_high_water
+            .set_max(self.pending.len() as u64);
     }
 
     /// Flushes the tie buffer into the coalescer in canonical order: a
@@ -420,6 +446,8 @@ impl StreamingPipeline {
     fn flush_pending(&mut self) {
         let mut batch = std::mem::take(&mut self.pending);
         batch.sort_by(|a, b| a.host.cmp(&b.host));
+        let batch_len = batch.len() as u64;
+        let mut merged = 0u64;
         for ev in batch {
             match self.coalescer.push(ev) {
                 Pushed::Started(idx) => {
@@ -427,10 +455,15 @@ impl StreamingPipeline {
                     self.live.on_started(err);
                 }
                 Pushed::Merged(idx) => {
+                    merged += 1;
                     let err = &self.coalescer.errors()[idx];
                     self.live.on_merged(err);
                 }
             }
+        }
+        if batch_len > 0 {
+            self.metrics.events.add(batch_len);
+            self.metrics.merges.add(merged);
         }
     }
 
@@ -530,6 +563,7 @@ impl StreamingPipeline {
     /// reservoir-sampling decisions. Can be taken at any point — mid-line,
     /// mid-burst, mid-CSV-row.
     pub fn checkpoint(&self) -> Checkpoint {
+        let started = std::time::Instant::now();
         let mut enc = Encoder::new();
 
         // Config.
@@ -613,7 +647,23 @@ impl StreamingPipeline {
             enc.u64(o.duration.as_secs());
         }
 
-        enc.finish()
+        let checkpoint = enc.finish();
+        if obs::is_enabled() {
+            obs::counter("core_checkpoint_encodes_total", &[]).inc();
+            obs::histogram(
+                "core_checkpoint_encode_us",
+                &[],
+                obs::registry::DURATION_US_BUCKETS,
+            )
+            .observe_duration(started.elapsed());
+            obs::histogram(
+                "core_checkpoint_bytes",
+                &[],
+                obs::registry::SIZE_BYTES_BUCKETS,
+            )
+            .observe(checkpoint.as_bytes().len() as u64);
+        }
+        checkpoint
     }
 
     /// Rebuilds an engine from a [`Checkpoint`].
@@ -623,6 +673,7 @@ impl StreamingPipeline {
     /// Any structural defect — truncation, bit flips, impossible values —
     /// returns a typed [`CheckpointError`]; no input panics.
     pub fn restore(checkpoint: &Checkpoint) -> Result<Self, CheckpointError> {
+        let started = std::time::Instant::now();
         let mut dec = Decoder::new(checkpoint.as_bytes());
         dec.header()?;
 
@@ -782,6 +833,15 @@ impl StreamingPipeline {
         }
 
         dec.finish()?;
+        if obs::is_enabled() {
+            obs::counter("core_checkpoint_decodes_total", &[]).inc();
+            obs::histogram(
+                "core_checkpoint_decode_us",
+                &[],
+                obs::registry::DURATION_US_BUCKETS,
+            )
+            .observe_duration(started.elapsed());
+        }
         Ok(StreamingPipeline {
             config,
             scan,
@@ -796,6 +856,7 @@ impl StreamingPipeline {
             gpu_jobs,
             cpu_jobs,
             outages,
+            metrics: StreamObs::new(),
         })
     }
 }

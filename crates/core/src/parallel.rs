@@ -31,6 +31,10 @@ use hpclog::XidEvent;
 /// Exposed for benchmarks (E12 times this stage in isolation); pipeline
 /// callers should use [`Pipeline::run_parallel`].
 pub fn parallel_extract(archive: &Archive, threads: usize) -> (Vec<XidEvent>, ExtractStats) {
+    if obs::is_enabled() {
+        let label = threads.to_string();
+        obs::counter("core_parallel_extracts_total", &[("threads", &label)]).inc();
+    }
     let template = XidExtractor::studied_only(2024);
     hpclog::shard::extract_sharded(archive, &template, threads)
 }

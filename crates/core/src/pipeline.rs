@@ -65,10 +65,16 @@ impl Pipeline {
         outages: &[OutageRecord],
     ) -> StudyReport {
         let mut extractor = XidExtractor::studied_only(2024);
-        let events: Vec<XidEvent> = archive
-            .iter()
-            .filter_map(|line| extractor.extract(line))
-            .collect();
+        let events: Vec<XidEvent> = {
+            let mut span = obs::span("stage_extract");
+            let events = archive
+                .iter()
+                .filter_map(|line| extractor.extract(line))
+                .collect();
+            span.add_items(extractor.stats().lines_seen);
+            events
+        };
+        hpclog::extract::record_scan_metrics(&ExtractStats::default(), &extractor.stats());
         self.run_events(events, Some(extractor.stats()), gpu_jobs, cpu_jobs, outages)
     }
 
@@ -164,7 +170,16 @@ impl Pipeline {
         outages: &[OutageRecord],
     ) -> StudyReport {
         hpclog::shard::canonical_sort(&mut events);
-        let errors = coalesce(events, self.coalesce_window);
+        let events_in = events.len() as u64;
+        let errors = {
+            let mut span = obs::span("stage_coalesce");
+            span.add_items(events_in);
+            coalesce(events, self.coalesce_window)
+        };
+        if obs::is_enabled() {
+            obs::counter("core_events_coalesced_total", &[]).add(events_in);
+            obs::counter("core_coalesce_merges_total", &[]).add(events_in - errors.len() as u64);
+        }
         self.assemble(errors, extract_stats, gpu_jobs, cpu_jobs, outages)
     }
 
@@ -183,6 +198,12 @@ impl Pipeline {
         cpu_jobs: &[AccountedJob],
         outages: &[OutageRecord],
     ) -> StudyReport {
+        let mut span = obs::span("stage_assemble");
+        span.add_items(errors.len() as u64);
+        if obs::is_enabled() {
+            obs::counter("core_errors_total", &[]).add(errors.len() as u64);
+            obs::counter("core_reports_assembled_total", &[]).inc();
+        }
         let coalesce_summary = CoalesceSummary::of(&errors);
         let stats_raw = ErrorStats::compute(&errors, self.periods, self.node_count);
 

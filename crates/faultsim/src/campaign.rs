@@ -199,8 +199,40 @@ impl Campaign {
 
     /// Runs the campaign to completion.
     pub fn run(&self) -> CampaignOutput {
-        Engine::new(self.config.clone()).run()
+        let mut span = obs::span("stage_campaign");
+        let output = Engine::new(self.config.clone()).run();
+        span.add_items(output.stats.raw_lines() + output.stats.noise_lines());
+        record_campaign_metrics(&output.stats);
+        output
     }
+}
+
+/// Publishes a finished campaign's ground-truth tallies — per hazard
+/// class and phase — to the global metrics registry. Write-only.
+fn record_campaign_metrics(stats: &CampaignStats) {
+    if !obs::is_enabled() {
+        return;
+    }
+    for phase in [Phase::PreOp, Phase::Op] {
+        let phase_label = match phase {
+            Phase::PreOp => "pre_op",
+            Phase::Op => "op",
+        };
+        for kind in ErrorKind::STUDIED {
+            let count = stats.count(kind, phase);
+            if count > 0 {
+                obs::counter(
+                    "faultsim_events_total",
+                    &[("kind", kind.abbreviation()), ("phase", phase_label)],
+                )
+                .add(count);
+            }
+        }
+    }
+    obs::counter("faultsim_incidents_total", &[]).add(stats.incidents());
+    obs::counter("faultsim_raw_lines_total", &[]).add(stats.raw_lines());
+    obs::counter("faultsim_noise_lines_total", &[]).add(stats.noise_lines());
+    obs::counter("faultsim_replacements_total", &[]).add(stats.replacements());
 }
 
 /// Internal mutable engine state.

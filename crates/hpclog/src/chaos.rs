@@ -241,10 +241,19 @@ impl ChaosInjector {
     /// Renders an archive (in its global time order) through the injector,
     /// returning the corrupted byte stream.
     pub fn corrupt_archive(&mut self, archive: &Archive) -> Vec<u8> {
+        let before = self.stats;
+        let mut span = obs::span("stage_chaos");
         let mut out = Vec::new();
         for line in archive.iter() {
             let rendered = line.to_string();
             self.corrupt_line(line.time, &rendered, &mut out);
+        }
+        span.add_items(self.stats.lines_in - before.lines_in);
+        if obs::is_enabled() {
+            obs::counter("hpclog_chaos_lines_corrupted_total", &[])
+                .add(self.stats.mutated() - before.mutated());
+            obs::counter("hpclog_chaos_duplicates_total", &[])
+                .add(self.stats.duplicates_added - before.duplicates_added);
         }
         out
     }

@@ -175,6 +175,8 @@ impl XidExtractor {
     /// lost (re-run from a clean extractor after fixing the source).
     pub fn scan_reader<R: std::io::Read>(&mut self, reader: R) -> std::io::Result<Vec<XidEvent>> {
         use std::io::BufRead;
+        let before = self.stats;
+        let mut span = obs::span("stage_scan");
         let mut events = Vec::new();
         let buffered = std::io::BufReader::new(reader);
         for line in buffered.lines() {
@@ -182,6 +184,8 @@ impl XidExtractor {
                 events.push(ev);
             }
         }
+        span.add_items(self.stats.lines_seen - before.lines_seen);
+        record_scan_metrics(&before, &self.stats);
         Ok(events)
     }
 
@@ -213,6 +217,8 @@ impl XidExtractor {
         ledger: &mut QuarantineLedger,
     ) -> Vec<XidEvent> {
         use std::io::BufRead;
+        let before = self.stats;
+        let mut span = obs::span("stage_scan");
         let mut events = Vec::new();
         let mut buffered = std::io::BufReader::new(reader);
         let mut raw = Vec::new();
@@ -286,6 +292,8 @@ impl XidExtractor {
                 }
             }
         }
+        span.add_items(self.stats.lines_seen - before.lines_seen);
+        record_scan_metrics(&before, &self.stats);
         events
     }
 
@@ -298,6 +306,38 @@ impl XidExtractor {
     ) {
         self.stats.quarantined.add(category);
         ledger.record(category, line_no, raw);
+    }
+}
+
+/// Publishes the delta between two extractor-stats snapshots to the
+/// global metrics registry.
+///
+/// Strictly write-only (nothing here feeds back into extraction), and
+/// purely additive: every scan path — serial, sharded, streaming —
+/// emits its deltas through this one function, so the totals agree
+/// across execution modes whenever the scanned bytes do.
+pub fn record_scan_metrics(before: &ExtractStats, after: &ExtractStats) {
+    if !obs::is_enabled() {
+        return;
+    }
+    let d = |a: u64, b: u64| a.saturating_sub(b);
+    obs::counter("hpclog_lines_scanned_total", &[]).add(d(after.lines_seen, before.lines_seen));
+    obs::counter("hpclog_xid_lines_total", &[]).add(d(after.xid_lines, before.xid_lines));
+    obs::counter("hpclog_lines_malformed_total", &[]).add(d(after.malformed, before.malformed));
+    obs::counter("hpclog_events_extracted_total", &[]).add(d(after.extracted, before.extracted));
+    obs::counter("hpclog_events_excluded_total", &[]).add(d(after.excluded, before.excluded));
+    for category in QuarantineCategory::ALL {
+        let delta = d(
+            after.quarantined.get(category),
+            before.quarantined.get(category),
+        );
+        if delta > 0 {
+            obs::counter(
+                "hpclog_lines_quarantined_total",
+                &[("category", category.label())],
+            )
+            .add(delta);
+        }
     }
 }
 

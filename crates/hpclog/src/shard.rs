@@ -182,6 +182,7 @@ pub fn extract_sharded(
     template: &XidExtractor,
     threads: usize,
 ) -> (Vec<XidEvent>, ExtractStats) {
+    let mut span = obs::span("stage_shard_extract");
     let shards = shard_by_host(archive);
     let workers = threads.max(1).min(shards.len().max(1));
     let mut results: Vec<(Vec<SeqEvent>, ExtractStats)> = if workers <= 1 {
@@ -233,6 +234,12 @@ pub fn extract_sharded(
     for (events, shard_stats) in results.drain(..) {
         stats.merge(&shard_stats);
         streams.push(events);
+    }
+    span.add_items(stats.lines_seen);
+    if obs::is_enabled() {
+        obs::counter("hpclog_shards_extracted_total", &[]).add(streams.len() as u64);
+        obs::gauge("hpclog_shard_merge_depth", &[]).set_max(streams.len() as u64);
+        crate::extract::record_scan_metrics(&ExtractStats::default(), &stats);
     }
     (merge_events(streams), stats)
 }
@@ -363,6 +370,8 @@ impl XidExtractor {
         ledger: &mut QuarantineLedger,
         threads: usize,
     ) -> Vec<XidEvent> {
+        let before = self.stats;
+        let mut stage = obs::span("stage_scan");
         let buf = read_all_lenient(reader, ledger);
         let spans = split_lines(&buf);
         let year = self.year;
@@ -454,6 +463,8 @@ impl XidExtractor {
                 }
             }
         }
+        stage.add_items(self.stats.lines_seen - before.lines_seen);
+        crate::extract::record_scan_metrics(&before, &self.stats);
         events
     }
 }

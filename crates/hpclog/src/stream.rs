@@ -123,6 +123,7 @@ impl LenientScan {
         ledger: &mut QuarantineLedger,
         events: &mut Vec<XidEvent>,
     ) {
+        let before = self.extractor.stats();
         self.bytes_fed += bytes.len() as u64;
         let mut rest = bytes;
         while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
@@ -138,6 +139,11 @@ impl LenientScan {
             rest = &rest[pos + 1..];
         }
         self.carry.extend_from_slice(rest);
+        if obs::is_enabled() {
+            obs::counter("hpclog_stream_chunks_total", &[]).inc();
+            obs::counter("hpclog_stream_bytes_total", &[]).add(bytes.len() as u64);
+            crate::extract::record_scan_metrics(&before, &self.extractor.stats());
+        }
     }
 
     /// Flushes the trailing partial line, mirroring how the batch scan
@@ -148,8 +154,10 @@ impl LenientScan {
         if self.carry.is_empty() {
             return;
         }
+        let before = self.extractor.stats();
         let mut line = std::mem::take(&mut self.carry);
         self.process_line(&mut line, ledger, events);
+        crate::extract::record_scan_metrics(&before, &self.extractor.stats());
     }
 
     /// One physical line, classified with the exact rules (and rule order)

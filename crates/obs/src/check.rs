@@ -1,0 +1,492 @@
+//! Self-checks for the exposition formats, used by the `obs_check`
+//! smoke gate and the crate's own tests.
+//!
+//! [`validate_prometheus`] enforces what the smoke leg promises: every
+//! line parses, `(name, labels)` sample keys are unique, no value is
+//! NaN or infinite, counters are non-negative, and histogram buckets
+//! are cumulative (monotone in `le`, `+Inf` equal to `_count`).
+//! [`validate_json`] is a small recursive-descent JSON syntax checker.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What a successfully validated Prometheus file contained.
+#[derive(Debug, Clone, Default)]
+pub struct PromSummary {
+    /// Number of sample lines.
+    pub samples: usize,
+    /// Distinct metric names seen (base names; `_bucket`/`_sum`/`_count`
+    /// suffixes are kept as written).
+    pub names: BTreeSet<String>,
+}
+
+impl PromSummary {
+    /// Whether any metric name starts with `prefix`.
+    pub fn has_prefix(&self, prefix: &str) -> bool {
+        self.names.iter().any(|n| n.starts_with(prefix))
+    }
+}
+
+fn is_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Splits `name{labels} value` into parts, validating label syntax.
+/// Returns `(name, sorted-label-string, le-label, value)`.
+fn parse_sample(line: &str) -> Result<(String, String, Option<String>, f64), String> {
+    let (ident, value_str) = match line.find('}') {
+        Some(close) => {
+            let rest = line
+                .get(close + 1..)
+                .ok_or_else(|| format!("truncated sample: {line}"))?;
+            (line.get(..close + 1).unwrap_or(""), rest.trim())
+        }
+        None => {
+            let mut it = line.splitn(2, ' ');
+            let name = it.next().unwrap_or("");
+            (name, it.next().unwrap_or("").trim())
+        }
+    };
+    let (name, label_block) = match ident.find('{') {
+        Some(open) => {
+            let inner = ident
+                .get(open + 1..ident.len().saturating_sub(1))
+                .ok_or_else(|| format!("bad label block: {line}"))?;
+            (ident.get(..open).unwrap_or(""), Some(inner))
+        }
+        None => (ident, None),
+    };
+    if !is_name(name) {
+        return Err(format!("bad metric name {name:?} in: {line}"));
+    }
+    let mut labels: Vec<(String, String)> = Vec::new();
+    if let Some(block) = label_block {
+        let mut rest = block.trim();
+        while !rest.is_empty() {
+            let eq = rest
+                .find('=')
+                .ok_or_else(|| format!("label without '=' in: {line}"))?;
+            let key = rest.get(..eq).unwrap_or("").trim().to_owned();
+            if !is_name(&key) {
+                return Err(format!("bad label name {key:?} in: {line}"));
+            }
+            let after = rest.get(eq + 1..).unwrap_or("").trim_start();
+            if !after.starts_with('"') {
+                return Err(format!("unquoted label value in: {line}"));
+            }
+            // Scan the quoted value, honouring backslash escapes.
+            let mut end = None;
+            let mut escaped = false;
+            for (i, c) in after.char_indices().skip(1) {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    end = Some(i);
+                    break;
+                }
+            }
+            let end = end.ok_or_else(|| format!("unterminated label value in: {line}"))?;
+            let value = after.get(1..end).unwrap_or("").to_owned();
+            labels.push((key, value));
+            rest = after.get(end + 1..).unwrap_or("").trim_start();
+            rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+        }
+    }
+    labels.sort();
+    let le = labels
+        .iter()
+        .find(|(k, _)| k == "le")
+        .map(|(_, v)| v.clone());
+    let label_key = labels
+        .iter()
+        .map(|(k, v)| format!("{k}={v:?}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let value: f64 = value_str
+        .parse()
+        .map_err(|_| format!("bad sample value {value_str:?} in: {line}"))?;
+    Ok((name.to_owned(), label_key, le, value))
+}
+
+/// Validates a Prometheus text-format exposition. See module docs for
+/// the exact guarantees.
+pub fn validate_prometheus(text: &str) -> Result<PromSummary, String> {
+    let mut summary = PromSummary::default();
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
+    // (base name, labels-minus-le) -> cumulative bucket trail
+    let mut buckets: BTreeMap<(String, String), Vec<(f64, f64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<(String, String), f64> = BTreeMap::new();
+
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut it = comment.split_whitespace();
+            if it.next() == Some("TYPE") {
+                let name = it.next().ok_or_else(|| format!("bad TYPE line: {line}"))?;
+                let kind = it.next().ok_or_else(|| format!("bad TYPE line: {line}"))?;
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("unknown metric type {kind:?} in: {line}"));
+                }
+                if types.insert(name.to_owned(), kind.to_owned()).is_some() {
+                    return Err(format!("duplicate TYPE for {name}"));
+                }
+            }
+            continue;
+        }
+        let (name, label_key, le, value) = parse_sample(line)?;
+        if !value.is_finite() {
+            return Err(format!("non-finite sample value in: {line}"));
+        }
+        if !seen.insert((name.clone(), label_key.clone())) {
+            return Err(format!("duplicate sample {name}{{{label_key}}}"));
+        }
+        summary.samples += 1;
+        summary.names.insert(name.clone());
+
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .unwrap_or(&name)
+            .to_owned();
+        let declared = types.get(&name).or_else(|| types.get(&base));
+        let is_counter = declared.map(String::as_str) == Some("counter")
+            || (declared.is_none() && name.ends_with("_total"));
+        if is_counter && value < 0.0 {
+            return Err(format!("negative counter in: {line}"));
+        }
+        if types.get(&base).map(String::as_str) == Some("histogram") {
+            if let Some(le) = le {
+                let le_value = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse()
+                        .map_err(|_| format!("bad le value {le:?} in: {line}"))?
+                };
+                let key_no_le = label_key
+                    .split(',')
+                    .filter(|part| !part.starts_with("le="))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                buckets
+                    .entry((base, key_no_le))
+                    .or_default()
+                    .push((le_value, value));
+            } else if name.ends_with("_count") {
+                let key = label_key.clone();
+                counts.insert((base, key), value);
+            }
+        }
+    }
+
+    for ((base, labels), mut trail) in buckets {
+        trail.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut last = -1.0f64;
+        for (le, cumulative) in &trail {
+            if *cumulative < last {
+                return Err(format!(
+                    "histogram {base}{{{labels}}} bucket le={le} not monotone"
+                ));
+            }
+            last = *cumulative;
+        }
+        match trail.last() {
+            Some((le, top)) if le.is_infinite() => {
+                if let Some(count) = counts.get(&(base.clone(), labels.clone())) {
+                    if count != top {
+                        return Err(format!(
+                            "histogram {base}{{{labels}}}: +Inf bucket {top} != _count {count}"
+                        ));
+                    }
+                }
+            }
+            _ => return Err(format!("histogram {base}{{{labels}}} missing +Inf bucket")),
+        }
+    }
+    if summary.samples == 0 {
+        return Err("no samples in exposition".to_owned());
+    }
+    Ok(summary)
+}
+
+/// Validates JSON syntax (objects, arrays, strings with escapes,
+/// numbers, literals); rejects trailing garbage.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let mut p = JsonParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(())
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                byte as char,
+                self.pos,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        while let Some(c) = self.peek() {
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(()),
+                b'\\' => match self.peek() {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => self.pos += 1,
+                    Some(b'u') => {
+                        self.pos += 1;
+                        for _ in 0..4 {
+                            match self.peek() {
+                                Some(h) if h.is_ascii_hexdigit() => self.pos += 1,
+                                _ => return Err(format!("bad \\u escape at byte {}", self.pos)),
+                            }
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {}", self.pos)),
+                },
+                c if c < 0x20 => {
+                    return Err(format!("raw control char in string at byte {}", self.pos))
+                }
+                _ => {}
+            }
+        }
+        Err("unterminated string".to_owned())
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut digits = 0;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err(format!("bad number at byte {start}"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let mut frac = 0;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return Err(format!("bad fraction at byte {start}"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let mut exp = 0;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return Err(format!("bad exponent at byte {start}"));
+            }
+        }
+        Ok(())
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_well_formed_exposition() {
+        let text = "\
+# TYPE a_total counter
+a_total 3
+a_total{kind=\"mmu\"} 1
+# TYPE h histogram
+h_bucket{le=\"10\"} 1
+h_bucket{le=\"+Inf\"} 2
+h_sum 12
+h_count 2
+# TYPE g gauge
+g 5
+";
+        let summary = validate_prometheus(text).unwrap();
+        assert_eq!(summary.samples, 7);
+        assert!(summary.has_prefix("a_"));
+        assert!(!summary.has_prefix("zzz"));
+    }
+
+    #[test]
+    fn rejects_duplicates_nan_negative_counters_and_broken_buckets() {
+        assert!(validate_prometheus("a_total 1\na_total 2\n")
+            .unwrap_err()
+            .contains("duplicate"));
+        assert!(validate_prometheus("a_total NaN\n")
+            .unwrap_err()
+            .contains("non-finite"));
+        assert!(validate_prometheus("a_total -1\n")
+            .unwrap_err()
+            .contains("negative counter"));
+        let shrinking = "\
+# TYPE h histogram
+h_bucket{le=\"10\"} 5
+h_bucket{le=\"+Inf\"} 3
+h_count 3
+";
+        assert!(validate_prometheus(shrinking)
+            .unwrap_err()
+            .contains("not monotone"));
+        let no_inf = "\
+# TYPE h histogram
+h_bucket{le=\"10\"} 1
+h_count 1
+";
+        assert!(validate_prometheus(no_inf)
+            .unwrap_err()
+            .contains("missing +Inf"));
+        let inconsistent = "\
+# TYPE h histogram
+h_bucket{le=\"+Inf\"} 2
+h_count 3
+";
+        assert!(validate_prometheus(inconsistent)
+            .unwrap_err()
+            .contains("!= _count"));
+        assert!(validate_prometheus("").is_err());
+        assert!(validate_prometheus("9bad_name 1\n").is_err());
+    }
+
+    #[test]
+    fn json_validator_accepts_and_rejects() {
+        validate_json("{\"a\": [1, 2.5, -3e2, \"x\\n\", true, null], \"b\": {}}").unwrap();
+        validate_json("[]").unwrap();
+        assert!(validate_json("{\"a\": }").is_err());
+        assert!(validate_json("{\"a\": 1,}").is_err());
+        assert!(validate_json("{'a': 1}").is_err());
+        assert!(validate_json("{\"a\": 01e}").is_err());
+        assert!(validate_json("{} trailing").is_err());
+        assert!(validate_json("\"unterminated").is_err());
+        assert!(validate_json("{\"bad\\q\": 1}").is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Zero-dependency observability for the resilience pipeline.
+//!
+//! Three pieces, all `std`-only:
+//!
+//! * [`registry`] — a metrics registry of atomic counters, gauges and
+//!   fixed-bucket histograms, keyed by static metric names plus label
+//!   sets. Registration interns the `(name, labels)` key behind a mutex;
+//!   the returned handles are `Arc`-shared atomics, so the hot path is a
+//!   single relaxed atomic op with no locking.
+//! * [`span`] — RAII span guards (`obs::span("stage_scan")`) recording
+//!   per-stage wall time, thread ordinal and item counts into a bounded
+//!   ring buffer, plus a post-run timeline rendering.
+//! * [`expose`] — [`ObsReport`](expose::ObsReport): a point-in-time
+//!   snapshot of the registry and tracer, rendered as Prometheus text
+//!   exposition format or JSON. [`check`] validates those renderings
+//!   (used by the `obs_check` smoke gate).
+//!
+//! # The write-only invariant
+//!
+//! Pipeline code only ever *writes* to the registry and tracer; nothing
+//! in any analysis path reads a metric back. Instrumentation therefore
+//! cannot perturb study outputs — they stay byte-identical with obs
+//! enabled, disabled, or absent, at any thread count or chunking
+//! (`tests/obs_equivalence.rs` proves it). Exposition is the only
+//! reader, and it runs after the pipeline has produced its report.
+//!
+//! # Naming convention
+//!
+//! `<layer>_<noun>[_<unit>][_total]` with layer one of `faultsim`,
+//! `hpclog`, `core`, `slurmsim` or `obs` itself. Counters end in
+//! `_total`; histograms carry an explicit unit (`_us`, `_bytes`);
+//! gauges are plain nouns (`core_tie_buffer_high_water`). Labels are
+//! reserved for low-cardinality dimensions (hazard class, thread
+//! count), never per-item data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod check;
+pub mod expose;
+pub mod registry;
+pub mod span;
+
+pub use expose::ObsReport;
+pub use registry::{Counter, Gauge, Histogram, Registry};
+pub use span::{Span, SpanRecord, Tracer};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A registry plus a tracer sharing one enable flag: the unit every
+/// instrumented layer writes into, and exposition reads from.
+#[derive(Debug)]
+pub struct Obs {
+    enabled: Arc<AtomicBool>,
+    registry: Registry,
+    tracer: Tracer,
+}
+
+impl Obs {
+    /// Default capacity of the span ring buffer.
+    pub const DEFAULT_SPAN_CAPACITY: usize = 4096;
+
+    /// Creates an enabled instance with the default span capacity.
+    pub fn new() -> Self {
+        Self::with_span_capacity(Self::DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// Creates an enabled instance whose span ring holds `capacity`
+    /// records before dropping the oldest.
+    pub fn with_span_capacity(capacity: usize) -> Self {
+        let enabled = Arc::new(AtomicBool::new(true));
+        Obs {
+            registry: Registry::new(Arc::clone(&enabled)),
+            tracer: Tracer::new(capacity, Arc::clone(&enabled)),
+            enabled,
+        }
+    }
+
+    /// Turns recording on or off. Handles stay valid either way; while
+    /// disabled every record operation is a single relaxed load.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether recording is currently on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The span tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Snapshots registry and tracer into an exposable report.
+    pub fn report(&self) -> ObsReport {
+        ObsReport::gather(self)
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The process-wide instance every instrumented layer writes to.
+pub fn global() -> &'static Obs {
+    static GLOBAL: OnceLock<Obs> = OnceLock::new();
+    GLOBAL.get_or_init(Obs::new)
+}
+
+/// Enables or disables recording on the global instance.
+pub fn set_enabled(on: bool) {
+    global().set_enabled(on);
+}
+
+/// Whether the global instance is recording.
+pub fn is_enabled() -> bool {
+    global().is_enabled()
+}
+
+/// Registers (or finds) a counter on the global registry.
+pub fn counter(name: &'static str, labels: &[(&'static str, &str)]) -> Counter {
+    global().registry().counter(name, labels)
+}
+
+/// Registers (or finds) a gauge on the global registry.
+pub fn gauge(name: &'static str, labels: &[(&'static str, &str)]) -> Gauge {
+    global().registry().gauge(name, labels)
+}
+
+/// Registers (or finds) a histogram on the global registry.
+pub fn histogram(
+    name: &'static str,
+    labels: &[(&'static str, &str)],
+    buckets: &'static [u64],
+) -> Histogram {
+    global().registry().histogram(name, labels, buckets)
+}
+
+/// Opens a span on the global tracer; it records itself when dropped.
+pub fn span(name: &'static str) -> Span<'static> {
+    global().tracer().span(name)
+}

@@ -1,0 +1,461 @@
+//! Lock-free metrics: atomic counters, gauges and fixed-bucket
+//! histograms behind an interning registry.
+//!
+//! Registration takes a short-lived mutex to intern the
+//! `(name, label-set)` key; the handles it returns are `Arc`-shared
+//! atomics, so every record operation on the hot path is one relaxed
+//! load (the enable flag) plus one relaxed read-modify-write. Handles
+//! are cheap to clone and safe to share across the worker pool.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Bucket upper bounds (µs) for stage/IO latencies: 50µs .. 4s.
+pub const DURATION_US_BUCKETS: &[u64] = &[
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000,
+    4_000_000,
+];
+
+/// Bucket upper bounds (bytes) for payload sizes: 256B .. 16MiB.
+pub const SIZE_BYTES_BUCKETS: &[u64] = &[
+    256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304, 16_777_216,
+];
+
+/// An interned label set: keys are static, values owned, sorted by key.
+pub type LabelSet = Vec<(&'static str, String)>;
+
+fn intern_labels(labels: &[(&'static str, &str)]) -> LabelSet {
+    let mut set: LabelSet = labels.iter().map(|&(k, v)| (k, v.to_owned())).collect();
+    set.sort_by_key(|&(k, _)| k);
+    set.dedup_by_key(|&mut (k, _)| k);
+    set
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    fn detached(enabled: Arc<AtomicBool>) -> Self {
+        Counter {
+            enabled,
+            cell: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (exposition/tests only — pipeline code never reads).
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// Whether two handles update the same underlying cell (interning).
+    pub fn same_cell(&self, other: &Counter) -> bool {
+        Arc::ptr_eq(&self.cell, &other.cell)
+    }
+}
+
+/// A gauge: an instantaneous value, settable or raised to a maximum.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    fn detached(enabled: Arc<AtomicBool>) -> Self {
+        Gauge {
+            enabled,
+            cell: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the value to `v` if it is higher (high-water marks).
+    pub fn set_max(&self, v: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (exposition/tests only).
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Ascending inclusive upper bounds; the implicit last bucket is +Inf.
+    bounds: &'static [u64],
+    /// `bounds.len() + 1` cells, the last one the +Inf overflow bucket.
+    counts: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram over `u64` observations (µs, bytes, ...).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    enabled: Arc<AtomicBool>,
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    fn detached(enabled: Arc<AtomicBool>, bounds: &'static [u64]) -> Self {
+        let counts: Vec<AtomicU64> = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            enabled,
+            core: Arc::new(HistogramCore {
+                bounds,
+                counts: counts.into_boxed_slice(),
+                sum: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation. A value equal to a bound lands in that
+    /// bound's bucket (`v <= bound`, Prometheus `le` semantics).
+    pub fn observe(&self, v: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let idx = self
+            .core
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.core.bounds.len());
+        if let Some(cell) = self.core.counts.get(idx) {
+            cell.fetch_add(1, Ordering::Relaxed);
+        }
+        self.core.sum.fetch_add(v, Ordering::Relaxed);
+        self.core.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a duration as microseconds.
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// The configured bucket bounds.
+    pub fn bounds(&self) -> &'static [u64] {
+        self.core.bounds
+    }
+
+    /// Snapshot of the per-bucket counts (exposition/tests only).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.core.bounds,
+            counts: self
+                .core
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.core.sum.load(Ordering::Relaxed),
+            count: self.core.count.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether two handles update the same underlying cells (interning).
+    pub fn same_cell(&self, other: &Histogram) -> bool {
+        Arc::ptr_eq(&self.core, &other.core)
+    }
+}
+
+/// Point-in-time histogram state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Ascending inclusive upper bounds (the +Inf bucket is implicit).
+    pub bounds: &'static [u64],
+    /// Per-bucket (non-cumulative) counts, `bounds.len() + 1` entries.
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A metric's identity and current value, as captured by
+/// [`Registry::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSnapshot {
+    /// Metric name.
+    pub name: &'static str,
+    /// Sorted label set.
+    pub labels: LabelSet,
+    /// Value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// The value half of a [`MetricSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// The interning registry. Cheap to share behind an `Arc`; handles it
+/// hands out stay valid for the life of the process.
+pub struct Registry {
+    enabled: Arc<AtomicBool>,
+    inner: Mutex<BTreeMap<(&'static str, LabelSet), Metric>>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry").finish_non_exhaustive()
+    }
+}
+
+impl Registry {
+    pub(crate) fn new(enabled: Arc<AtomicBool>) -> Self {
+        Registry {
+            enabled,
+            inner: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<(&'static str, LabelSet), Metric>> {
+        // A poisoned mutex only means another thread panicked mid-insert;
+        // the map itself is still structurally sound, so keep going.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers (or finds) the counter `name{labels}`. If the key is
+    /// already registered as a different metric type the call returns a
+    /// detached handle that records nowhere visible — never a panic.
+    pub fn counter(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Counter {
+        let key = (name, intern_labels(labels));
+        let mut map = self.lock();
+        match map
+            .entry(key)
+            .or_insert_with(|| Metric::Counter(Counter::detached(Arc::clone(&self.enabled))))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => Counter::detached(Arc::clone(&self.enabled)),
+        }
+    }
+
+    /// Registers (or finds) the gauge `name{labels}`; type conflicts
+    /// yield a detached handle, as with [`Registry::counter`].
+    pub fn gauge(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Gauge {
+        let key = (name, intern_labels(labels));
+        let mut map = self.lock();
+        match map
+            .entry(key)
+            .or_insert_with(|| Metric::Gauge(Gauge::detached(Arc::clone(&self.enabled))))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => Gauge::detached(Arc::clone(&self.enabled)),
+        }
+    }
+
+    /// Registers (or finds) the histogram `name{labels}` with the given
+    /// bucket bounds. A key registered with different bounds (or as a
+    /// different type) yields a detached handle.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        bounds: &'static [u64],
+    ) -> Histogram {
+        let key = (name, intern_labels(labels));
+        let mut map = self.lock();
+        match map.entry(key).or_insert_with(|| {
+            Metric::Histogram(Histogram::detached(Arc::clone(&self.enabled), bounds))
+        }) {
+            Metric::Histogram(h) if h.bounds() == bounds => h.clone(),
+            _ => Histogram::detached(Arc::clone(&self.enabled), bounds),
+        }
+    }
+
+    /// Captures every registered metric, sorted by `(name, labels)`.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let map = self.lock();
+        map.iter()
+            .map(|((name, labels), metric)| MetricSnapshot {
+                name,
+                labels: labels.clone(),
+                value: match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect()
+    }
+}
+
+/// Sums every counter named `name` across its label sets in `snapshot`.
+/// The helper tests and benches use to diff registry snapshots.
+pub fn counter_total(snapshot: &[MetricSnapshot], name: &str) -> u64 {
+    snapshot
+        .iter()
+        .filter(|m| m.name == name)
+        .map(|m| match &m.value {
+            MetricValue::Counter(v) => *v,
+            _ => 0,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn registry() -> Registry {
+        Registry::new(Arc::new(AtomicBool::new(true)))
+    }
+
+    #[test]
+    fn counters_accumulate_and_intern() {
+        let r = registry();
+        let a = r.counter("x_total", &[("k", "v")]);
+        let b = r.counter("x_total", &[("k", "v")]);
+        assert!(a.same_cell(&b), "same (name, labels) must intern");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        let other = r.counter("x_total", &[("k", "w")]);
+        assert!(!a.same_cell(&other), "different labels are distinct");
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let r = registry();
+        let a = r.counter("y_total", &[("b", "2"), ("a", "1")]);
+        let b = r.counter("y_total", &[("a", "1"), ("b", "2")]);
+        assert!(a.same_cell(&b), "label sets are sorted before interning");
+    }
+
+    #[test]
+    fn type_conflicts_detach_instead_of_panicking() {
+        let r = registry();
+        let c = r.counter("z", &[]);
+        let g = r.gauge("z", &[]);
+        g.set(7);
+        c.inc();
+        assert_eq!(c.get(), 1);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].value, MetricValue::Counter(1));
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_le() {
+        let r = registry();
+        static BOUNDS: &[u64] = &[10, 100, 1000];
+        let h = r.histogram("lat_us", &[], BOUNDS);
+        // Exactly on a bound goes into that bound's bucket.
+        h.observe(10);
+        h.observe(11);
+        h.observe(100);
+        h.observe(1000);
+        h.observe(1001);
+        h.observe(0);
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 2, 1, 1]); // [<=10, <=100, <=1000, +Inf]
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 10 + 11 + 100 + 1000 + 1001);
+    }
+
+    #[test]
+    fn histogram_bound_mismatch_detaches() {
+        let r = registry();
+        static A: &[u64] = &[1, 2];
+        static B: &[u64] = &[3, 4];
+        let h1 = r.histogram("h", &[], A);
+        let h2 = r.histogram("h", &[], B);
+        assert!(!h1.same_cell(&h2));
+        h2.observe(1); // goes nowhere visible
+        assert_eq!(h1.snapshot().count, 0);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let enabled = Arc::new(AtomicBool::new(false));
+        let r = Registry::new(Arc::clone(&enabled));
+        let c = r.counter("c_total", &[]);
+        let g = r.gauge("g", &[]);
+        let h = r.histogram("h_us", &[], DURATION_US_BUCKETS);
+        c.add(5);
+        g.set_max(9);
+        h.observe(42);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0);
+        assert_eq!(h.snapshot().count, 0);
+        enabled.store(true, Ordering::Relaxed);
+        c.add(5);
+        assert_eq!(c.get(), 5, "handles work again once re-enabled");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_counter_total_sums_labels() {
+        let r = registry();
+        r.counter("b_total", &[("t", "1")]).add(1);
+        r.counter("b_total", &[("t", "2")]).add(2);
+        r.counter("a_total", &[]).add(4);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.iter().map(|m| m.name).collect();
+        assert_eq!(names, vec!["a_total", "b_total", "b_total"]);
+        assert_eq!(counter_total(&snap, "b_total"), 3);
+        assert_eq!(counter_total(&snap, "a_total"), 4);
+        assert_eq!(counter_total(&snap, "missing"), 0);
+    }
+
+    #[test]
+    fn handles_share_across_threads() {
+        let r = Arc::new(registry());
+        let c = r.counter("threads_total", &[]);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 4000);
+    }
+}

@@ -217,6 +217,7 @@ impl<'c> Simulation<'c> {
     /// the campaign's merged unschedulable windows. Events outside the
     /// workload window are ignored harmlessly.
     pub fn run(&self, errors: &[GpuErrorEvent], holds: &[Outage]) -> SimulationOutcome {
+        let mut span = obs::span("stage_schedule");
         let root = Rng::seed_from(self.seed);
         let specs = self.workload.generate(&mut root.fork(1));
         let cpu_specs = self.workload.generate_cpu(&mut root.fork(2));
@@ -245,12 +246,31 @@ impl<'c> Simulation<'c> {
                 state: s.baseline_state,
             })
             .collect();
-        SimulationOutcome {
+        let outcome = SimulationOutcome {
             jobs,
             cpu_jobs,
             stats,
-        }
+        };
+        span.add_items(outcome.jobs.len() as u64 + outcome.cpu_jobs.len() as u64);
+        record_scheduler_metrics(&outcome);
+        outcome
     }
+}
+
+/// Publishes a finished simulation's scheduling tallies to the global
+/// metrics registry. Write-only.
+fn record_scheduler_metrics(outcome: &SimulationOutcome) {
+    if !obs::is_enabled() {
+        return;
+    }
+    obs::counter("slurmsim_jobs_scheduled_total", &[("pool", "gpu")])
+        .add(outcome.jobs.len() as u64);
+    obs::counter("slurmsim_jobs_scheduled_total", &[("pool", "cpu")])
+        .add(outcome.cpu_jobs.len() as u64);
+    obs::counter("slurmsim_jobs_killed_total", &[]).add(outcome.stats.error_kills);
+    obs::counter("slurmsim_errors_on_idle_total", &[]).add(outcome.stats.errors_on_idle);
+    obs::counter("slurmsim_requeues_total", &[]).add(outcome.stats.requeues);
+    obs::gauge("slurmsim_peak_queue_depth", &[]).set_max(outcome.stats.peak_queue as u64);
 }
 
 /// A started job's live state.

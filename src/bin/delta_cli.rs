@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! delta-cli analyze  <LOG>... [--jobs FILE] [--cpu-jobs FILE] [--outages FILE]
-//!                    [--window SECS] [--deep]
-//! delta-cli simulate [--scale F] [--seed N] --out DIR
+//!                    [--window SECS] [--deep] [--metrics-out FILE]
+//! delta-cli simulate [--scale F] [--seed N] --out DIR [--metrics-out FILE]
 //! delta-cli taxonomy
 //! ```
 //!
@@ -16,10 +16,18 @@
 //!   self-contained synthetic dataset for the `analyze` path or external
 //!   tools.
 //! * `taxonomy` prints the XID reference table.
+//!
+//! Both workloads accept `--metrics-out FILE` (with optional
+//! `--metrics-format prom|json`, defaulting by extension): the run then
+//! records stage metrics and spans into the `obs` registry and writes the
+//! exposition on exit. Shared plumbing and the error taxonomy live in
+//! [`delta_gpu_resilience::cli`].
 
+use delta_gpu_resilience::cli::{self, parse_flags, CliError, MetricsSink};
 use delta_gpu_resilience::prelude::*;
 use resilience::csvio;
-use std::path::{Path, PathBuf};
+use resilience::error::CsvInput;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -32,12 +40,15 @@ fn main() -> ExitCode {
             print!("{USAGE}");
             Ok(())
         }
-        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+        Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
+        Err(err) => {
+            eprintln!("error: {err}");
+            if matches!(err, CliError::Usage(_)) {
+                eprint!("{USAGE}");
+            }
             ExitCode::FAILURE
         }
     }
@@ -48,8 +59,8 @@ delta-cli — A100 GPU resilience analysis (DSN'25 reproduction)
 
 USAGE:
   delta-cli analyze <LOG>... [--jobs FILE] [--cpu-jobs FILE] [--outages FILE]
-                    [--window SECS] [--deep]
-  delta-cli simulate [--scale F] [--seed N] --out DIR
+                    [--window SECS] [--deep] [--metrics-out FILE]
+  delta-cli simulate [--scale F] [--seed N] --out DIR [--metrics-out FILE]
   delta-cli taxonomy
 
 ANALYZE
@@ -67,86 +78,32 @@ SIMULATE
   --scale F       calendar scale in (0,1], default 0.05
   --seed N        campaign seed, default 0xDE17A
   --out DIR       output directory (created if missing)
+
+METRICS (both analyze and simulate)
+  --metrics-out FILE    record stage metrics + spans, write exposition here
+  --metrics-format FMT  'prom' (Prometheus text) or 'json'
+                        (default: by FILE extension, .json means json)
 ";
 
-/// Minimal flag parser: positionals plus `--flag value` / `--flag`.
-#[derive(Debug)]
-struct Flags {
-    positionals: Vec<String>,
-    options: Vec<(String, Option<String>)>,
-}
-
-fn parse_flags(args: &[String], value_flags: &[&str]) -> Result<Flags, String> {
-    let mut positionals = Vec::new();
-    let mut options = Vec::new();
-    let mut it = args.iter().peekable();
-    while let Some(arg) = it.next() {
-        if let Some(name) = arg.strip_prefix("--") {
-            if value_flags.contains(&name) {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("--{name} needs a value"))?
-                    .clone();
-                options.push((name.to_owned(), Some(value)));
-            } else {
-                options.push((name.to_owned(), None));
-            }
-        } else {
-            positionals.push(arg.clone());
-        }
-    }
-    Ok(Flags {
-        positionals,
-        options,
-    })
-}
-
-impl Flags {
-    fn value(&self, name: &str) -> Option<&str> {
-        self.options
-            .iter()
-            .rev()
-            .find(|(n, _)| n == name)
-            .and_then(|(_, v)| v.as_deref())
-    }
-
-    fn has(&self, name: &str) -> bool {
-        self.options.iter().any(|(n, _)| n == name)
-    }
-}
-
-fn read_file(path: &str) -> Result<String, String> {
-    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
-}
-
-/// Collects log files from file and directory arguments.
-fn collect_log_files(paths: &[String]) -> Result<Vec<PathBuf>, String> {
-    let mut files = Vec::new();
-    for p in paths {
-        let path = Path::new(p);
-        if path.is_dir() {
-            let entries = std::fs::read_dir(path).map_err(|e| format!("reading dir {p}: {e}"))?;
-            for entry in entries {
-                let entry = entry.map_err(|e| format!("reading dir {p}: {e}"))?;
-                if entry.path().is_file() {
-                    files.push(entry.path());
-                }
-            }
-        } else if path.is_file() {
-            files.push(path.to_path_buf());
-        } else {
-            return Err(format!("{p}: no such file or directory"));
-        }
-    }
-    files.sort();
-    Ok(files)
-}
-
-fn cmd_analyze(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["jobs", "cpu-jobs", "outages", "window", "periods"])?;
+fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
+    let flags = parse_flags(
+        args,
+        &[
+            "jobs",
+            "cpu-jobs",
+            "outages",
+            "window",
+            "periods",
+            "metrics-out",
+            "metrics-format",
+        ],
+    )?;
     if flags.positionals.is_empty() {
-        return Err(format!("analyze needs at least one log file\n{USAGE}"));
+        return Err(CliError::Usage(
+            "analyze needs at least one log file".to_owned(),
+        ));
     }
+    let metrics = MetricsSink::from_flags(&flags)?;
 
     // Ingest logs. Syslog lines carry no year, so resolve it per file:
     // prefer a `...YYYYMMDD...` date in the filename (what `simulate`
@@ -155,11 +112,15 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     // parsed exactly once.
     let mut archive = hpclog::archive::Archive::new();
     let mut skipped_total = 0;
-    for file in collect_log_files(&flags.positionals)? {
-        let text = read_file(&file.display().to_string())?;
-        let year = year_from_filename(&file).unwrap_or_else(|| probe_year(&text));
-        let (_, skipped) = archive.ingest_day(&text, year);
-        skipped_total += skipped;
+    {
+        let mut span = obs::span("stage_ingest");
+        for file in cli::collect_log_files(&flags.positionals)? {
+            let text = cli::read_to_string(&file)?;
+            let year = cli::year_from_filename(&file).unwrap_or_else(|| probe_year(&text));
+            let (_, skipped) = archive.ingest_day(&text, year);
+            skipped_total += skipped;
+        }
+        span.add_items(archive.line_count() as u64);
     }
     println!(
         "ingested {} lines over {} days ({} unparseable lines skipped)",
@@ -169,34 +130,41 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     );
 
     let gpu_jobs = match flags.value("jobs") {
-        Some(path) => csvio::parse_jobs(&read_file(path)?).map_err(|e| e.to_string())?,
+        Some(path) => cli::parse_jobs_csv(&cli::read_to_string(path)?, CsvInput::GpuJobs)?,
         None => Vec::new(),
     };
     let cpu_jobs = match flags.value("cpu-jobs") {
-        Some(path) => csvio::parse_jobs(&read_file(path)?).map_err(|e| e.to_string())?,
+        Some(path) => cli::parse_jobs_csv(&cli::read_to_string(path)?, CsvInput::CpuJobs)?,
         None => Vec::new(),
     };
     let outages = match flags.value("outages") {
-        Some(path) => csvio::parse_outages(&read_file(path)?).map_err(|e| e.to_string())?,
+        Some(path) => cli::parse_outages_csv(&cli::read_to_string(path)?)?,
         None => Vec::new(),
     };
 
     let mut pipeline = Pipeline::delta();
     if let Some(w) = flags.value("window") {
-        let secs: u64 = w.parse().map_err(|_| format!("bad --window {w:?}"))?;
+        let secs: u64 = w
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad --window {w:?}")))?;
         pipeline.coalesce_window = Duration::from_secs(secs);
     }
     match flags.value("periods").unwrap_or("delta") {
         "delta" => {}
         "auto" => {
-            pipeline.periods =
-                infer_periods(&archive, &gpu_jobs).ok_or("cannot infer periods from empty data")?;
+            pipeline.periods = infer_periods(&archive, &gpu_jobs).ok_or_else(|| {
+                CliError::Invalid("cannot infer periods from empty data".to_owned())
+            })?;
             println!(
                 "inferred calendar: pre-op {} .. op {} .. {}",
                 pipeline.periods.pre_op.start, pipeline.periods.op.start, pipeline.periods.op.end
             );
         }
-        other => return Err(format!("bad --periods {other:?} (expected delta|auto)")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "bad --periods {other:?} (expected delta|auto)"
+            )))
+        }
     }
     let report_out = pipeline.run(&archive, &gpu_jobs, &cpu_jobs, &outages);
 
@@ -213,23 +181,11 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     if flags.has("deep") {
         println!("\n=== Deep analyses ===\n{}", report::deep(&report_out));
     }
-    Ok(())
-}
-
-/// Extracts a plausible year from a `...YYYYMMDD...` filename component.
-fn year_from_filename(path: &Path) -> Option<i32> {
-    let name = path.file_stem()?.to_str()?;
-    let digits: Vec<&str> = name
-        .split(|c: char| !c.is_ascii_digit())
-        .filter(|chunk| chunk.len() == 8)
-        .collect();
-    for chunk in digits {
-        let year: i32 = chunk[..4].parse().ok()?;
-        if (1970..=2100).contains(&year) {
-            return Some(year);
-        }
+    if let Some(sink) = &metrics {
+        sink.write()?;
+        println!("metrics written to {}", sink.path.display());
     }
-    None
+    Ok(())
 }
 
 /// Picks the year under which a sample of the file's lines parses with the
@@ -269,24 +225,36 @@ fn infer_periods(
     })
 }
 
-fn cmd_simulate(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["scale", "seed", "out"])?;
+fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
+    let flags = parse_flags(
+        args,
+        &["scale", "seed", "out", "metrics-out", "metrics-format"],
+    )?;
+    let metrics = MetricsSink::from_flags(&flags)?;
     let scale: f64 = flags
         .value("scale")
         .unwrap_or("0.05")
         .parse()
-        .map_err(|_| "bad --scale")?;
+        .map_err(|_| CliError::Usage("bad --scale".to_owned()))?;
     if !(0.0..=1.0).contains(&scale) || scale == 0.0 {
-        return Err("--scale must be in (0, 1]".into());
+        return Err(CliError::Usage("--scale must be in (0, 1]".to_owned()));
     }
     let seed: u64 = flags
         .value("seed")
         .unwrap_or("911706")
         .parse()
-        .map_err(|_| "bad --seed")?;
-    let out_dir = PathBuf::from(flags.value("out").ok_or("simulate needs --out DIR")?);
-    std::fs::create_dir_all(out_dir.join("logs"))
-        .map_err(|e| format!("creating {out_dir:?}: {e}"))?;
+        .map_err(|_| CliError::Usage("bad --seed".to_owned()))?;
+    let out_dir = PathBuf::from(
+        flags
+            .value("out")
+            .ok_or_else(|| CliError::Usage("simulate needs --out DIR".to_owned()))?,
+    );
+    let logs_dir = out_dir.join("logs");
+    std::fs::create_dir_all(&logs_dir).map_err(|source| CliError::Io {
+        action: "creating",
+        path: logs_dir.clone(),
+        source,
+    })?;
 
     let mut config = if scale >= 1.0 {
         FaultConfig::delta()
@@ -304,25 +272,30 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let outcome =
         Simulation::new(&cluster, workload, seed).run(&campaign.ground_truth, &campaign.holds);
 
-    // Per-day log files.
+    // Per-day log files. `days()` yields exactly the keys `render_day`
+    // accepts, so a miss is a bug in `Archive` — report it, don't panic.
     let mut days = 0;
-    for (day, _) in campaign.archive.days() {
-        let text = campaign.archive.render_day(day).expect("day exists");
-        let date = Timestamp::from_unix(day * 86_400);
-        let (y, m, d) = date.ymd();
-        let path = out_dir
-            .join("logs")
-            .join(format!("syslog-{y:04}{m:02}{d:02}.log"));
-        std::fs::write(&path, text).map_err(|e| format!("writing {path:?}: {e}"))?;
-        days += 1;
+    {
+        let mut span = obs::span("stage_write_artifacts");
+        for (day, _) in campaign.archive.days() {
+            let text = campaign.archive.render_day(day).ok_or_else(|| {
+                CliError::Invalid(format!("archive listed day {day} but cannot render it"))
+            })?;
+            let date = Timestamp::from_unix(day * 86_400);
+            let (y, m, d) = date.ymd();
+            let path = logs_dir.join(format!("syslog-{y:04}{m:02}{d:02}.log"));
+            cli::write_file(&path, text, "writing")?;
+            days += 1;
+        }
+        // Job + outage CSVs.
+        let jobs_csv = csvio::render_jobs(&bridge::jobs(&outcome.jobs));
+        cli::write_file(out_dir.join("gpu_jobs.csv"), jobs_csv, "writing")?;
+        let cpu_csv = csvio::render_jobs(&bridge::jobs(&outcome.cpu_jobs));
+        cli::write_file(out_dir.join("cpu_jobs.csv"), cpu_csv, "writing")?;
+        let outage_csv = csvio::render_outages(&bridge::outages(campaign.ledger.outages()));
+        cli::write_file(out_dir.join("outages.csv"), outage_csv, "writing")?;
+        span.add_items(days + 3);
     }
-    // Job + outage CSVs.
-    let jobs_csv = csvio::render_jobs(&bridge::jobs(&outcome.jobs));
-    std::fs::write(out_dir.join("gpu_jobs.csv"), jobs_csv).map_err(|e| e.to_string())?;
-    let cpu_csv = csvio::render_jobs(&bridge::jobs(&outcome.cpu_jobs));
-    std::fs::write(out_dir.join("cpu_jobs.csv"), cpu_csv).map_err(|e| e.to_string())?;
-    let outage_csv = csvio::render_outages(&bridge::outages(campaign.ledger.outages()));
-    std::fs::write(out_dir.join("outages.csv"), outage_csv).map_err(|e| e.to_string())?;
 
     println!(
         "wrote {days} log days, {} GPU jobs, {} CPU jobs, {} outages to {}",
@@ -338,10 +311,14 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         out_dir.display(),
         out_dir.display()
     );
+    if let Some(sink) = &metrics {
+        sink.write()?;
+        println!("metrics written to {}", sink.path.display());
+    }
     Ok(())
 }
 
-fn cmd_taxonomy() -> Result<(), String> {
+fn cmd_taxonomy() -> Result<(), CliError> {
     println!(
         "{:<10} {:<26} {:<13} {:<17} Description",
         "XID", "Event", "Category", "Recovery"
@@ -375,36 +352,6 @@ fn cmd_taxonomy() -> Result<(), String> {
 mod tests {
     use super::*;
 
-    fn args(list: &[&str]) -> Vec<String> {
-        list.iter().map(|s| s.to_string()).collect()
-    }
-
-    #[test]
-    fn flags_parse_positionals_and_options() {
-        let flags = parse_flags(
-            &args(&["logs/a.log", "--jobs", "j.csv", "--deep", "logs/b.log"]),
-            &["jobs"],
-        )
-        .unwrap();
-        assert_eq!(flags.positionals, vec!["logs/a.log", "logs/b.log"]);
-        assert_eq!(flags.value("jobs"), Some("j.csv"));
-        assert!(flags.has("deep"));
-        assert!(!flags.has("jobs") || flags.value("jobs").is_some());
-        assert_eq!(flags.value("missing"), None);
-    }
-
-    #[test]
-    fn value_flag_without_value_errors() {
-        let err = parse_flags(&args(&["--jobs"]), &["jobs"]).unwrap_err();
-        assert!(err.contains("--jobs"));
-    }
-
-    #[test]
-    fn later_values_win() {
-        let flags = parse_flags(&args(&["--seed", "1", "--seed", "2"]), &["seed"]).unwrap();
-        assert_eq!(flags.value("seed"), Some("2"));
-    }
-
     #[test]
     fn infer_periods_keeps_delta_ratio() {
         let mut archive = hpclog::archive::Archive::new();
@@ -420,20 +367,6 @@ mod tests {
     }
 
     #[test]
-    fn year_from_filename_variants() {
-        assert_eq!(
-            year_from_filename(Path::new("syslog-20220105.log")),
-            Some(2022)
-        );
-        assert_eq!(
-            year_from_filename(Path::new("logs/node-20251231-full.log")),
-            Some(2025)
-        );
-        assert_eq!(year_from_filename(Path::new("messages.log")), None);
-        assert_eq!(year_from_filename(Path::new("build-12345678.log")), None); // year 1234 out of range
-    }
-
-    #[test]
     fn probe_year_prefers_parseable_year() {
         // Feb 29 only parses in 2024 among the candidates.
         let text = "Feb 29 12:00:00 gpub001 kernel: leap day\n";
@@ -444,5 +377,12 @@ mod tests {
     fn infer_periods_empty_is_none() {
         let archive = hpclog::archive::Archive::new();
         assert!(infer_periods(&archive, &[]).is_none());
+    }
+
+    #[test]
+    fn unknown_flags_still_parse_as_boolean() {
+        let args: Vec<String> = vec!["--deep".to_owned()];
+        let flags = parse_flags(&args, &["jobs"]).unwrap();
+        assert!(flags.has("deep"));
     }
 }

@@ -3,7 +3,8 @@
 //! ```text
 //! stream-study <LOG>... [--jobs FILE] [--cpu-jobs FILE] [--outages FILE]
 //!              [--year N] [--window SECS] [--chunk BYTES]
-//!              [--checkpoint FILE] [--resume FILE]
+//!              [--checkpoint FILE] [--resume FILE] [--progress]
+//!              [--metrics-out FILE] [--metrics-format FMT]
 //! ```
 //!
 //! Feeds the same inputs `delta-cli analyze` reads through
@@ -17,11 +18,18 @@
 //! * `--checkpoint F`   write a snapshot to `F` after every log file
 //! * `--resume F`       restore from `F`; already-ingested log bytes are
 //!   skipped by offset (the snapshot remembers how many were fed)
+//! * `--progress`       force the once-a-second live counters line on
+//!   stderr (on by default when stderr is a terminal)
+//! * `--metrics-out F`  record stage metrics + spans into the `obs`
+//!   registry and write the exposition to `F` on exit
+//!
+//! Shared plumbing and the error taxonomy live in
+//! [`delta_gpu_resilience::cli`].
 
+use delta_gpu_resilience::cli::{self, parse_flags, CliError, MetricsSink, Progress};
 use delta_gpu_resilience::prelude::*;
 use resilience::checkpoint::Checkpoint;
 use resilience::incremental::StreamingPipeline;
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -31,7 +39,8 @@ stream-study — incremental A100 resilience analysis with checkpoint/restore
 USAGE:
   stream-study <LOG>... [--jobs FILE] [--cpu-jobs FILE] [--outages FILE]
                [--year N] [--window SECS] [--chunk BYTES]
-               [--checkpoint FILE] [--resume FILE]
+               [--checkpoint FILE] [--resume FILE] [--progress]
+               [--metrics-out FILE] [--metrics-format FMT]
 
   <LOG>...          per-day syslog files (or directories of them)
   --jobs FILE       GPU job export (CSV: id,name,submit,start,end,gpus,gpu_slots,state)
@@ -43,6 +52,11 @@ USAGE:
   --chunk BYTES     log feed granularity (default 1048576)
   --checkpoint FILE write a snapshot after each log file
   --resume FILE     restore from a snapshot and continue
+  --progress        force the live-counters stderr line (default: only
+                    when stderr is a terminal)
+  --metrics-out FILE    record stage metrics + spans, write exposition here
+  --metrics-format FMT  'prom' (Prometheus text) or 'json'
+                        (default: by FILE extension, .json means json)
 ";
 
 fn main() -> ExitCode {
@@ -53,86 +67,17 @@ fn main() -> ExitCode {
     }
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
+        Err(err) => {
+            eprintln!("error: {err}");
+            if matches!(err, CliError::Usage(_)) {
+                eprint!("{USAGE}");
+            }
             ExitCode::FAILURE
         }
     }
 }
 
-struct Flags {
-    positionals: Vec<String>,
-    options: Vec<(String, Option<String>)>,
-}
-
-fn parse_flags(args: &[String], value_flags: &[&str]) -> Result<Flags, String> {
-    let mut positionals = Vec::new();
-    let mut options = Vec::new();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        if let Some(name) = arg.strip_prefix("--") {
-            if value_flags.contains(&name) {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("--{name} needs a value"))?
-                    .clone();
-                options.push((name.to_owned(), Some(value)));
-            } else {
-                options.push((name.to_owned(), None));
-            }
-        } else {
-            positionals.push(arg.clone());
-        }
-    }
-    Ok(Flags {
-        positionals,
-        options,
-    })
-}
-
-impl Flags {
-    fn value(&self, name: &str) -> Option<&str> {
-        self.options
-            .iter()
-            .rev()
-            .find(|(n, _)| n == name)
-            .and_then(|(_, v)| v.as_deref())
-    }
-}
-
-fn collect_log_files(paths: &[String]) -> Result<Vec<PathBuf>, String> {
-    let mut files = Vec::new();
-    for p in paths {
-        let path = Path::new(p);
-        if path.is_dir() {
-            let entries = std::fs::read_dir(path).map_err(|e| format!("reading dir {p}: {e}"))?;
-            for entry in entries {
-                let entry = entry.map_err(|e| format!("reading dir {p}: {e}"))?;
-                if entry.path().is_file() {
-                    files.push(entry.path());
-                }
-            }
-        } else if path.is_file() {
-            files.push(path.to_path_buf());
-        } else {
-            return Err(format!("{p}: no such file or directory"));
-        }
-    }
-    files.sort();
-    Ok(files)
-}
-
-fn year_from_filename(path: &Path) -> Option<i32> {
-    let name = path.file_stem()?.to_str()?;
-    name.split(|c: char| !c.is_ascii_digit())
-        .filter(|chunk| chunk.len() == 8)
-        .find_map(|chunk| {
-            let year: i32 = chunk[..4].parse().ok()?;
-            (1970..=2100).contains(&year).then_some(year)
-        })
-}
-
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let flags = parse_flags(
         args,
         &[
@@ -144,47 +89,54 @@ fn run(args: &[String]) -> Result<(), String> {
             "chunk",
             "checkpoint",
             "resume",
+            "metrics-out",
+            "metrics-format",
         ],
     )?;
     if flags.positionals.is_empty() {
-        return Err(format!("stream-study needs at least one log file\n{USAGE}"));
+        return Err(CliError::Usage(
+            "stream-study needs at least one log file".to_owned(),
+        ));
     }
-    let files = collect_log_files(&flags.positionals)?;
+    let metrics = MetricsSink::from_flags(&flags)?;
+    let files = cli::collect_log_files(&flags.positionals)?;
     let chunk: usize = flags
         .value("chunk")
         .unwrap_or("1048576")
         .parse()
-        .map_err(|_| "bad --chunk")?;
+        .map_err(|_| CliError::Usage("bad --chunk".to_owned()))?;
     if chunk == 0 {
-        return Err("--chunk must be positive".into());
+        return Err(CliError::Usage("--chunk must be positive".to_owned()));
     }
 
     let mut engine = match flags.value("resume") {
         Some(path) => {
-            let bytes =
-                std::fs::read(path).map_err(|e| format!("reading checkpoint {path}: {e}"))?;
-            let checkpoint = Checkpoint::from_bytes(bytes)
-                .map_err(|e| format!("loading checkpoint {path}: {e}"))?;
-            let engine = StreamingPipeline::restore(&checkpoint)
-                .map_err(|e| format!("restoring checkpoint {path}: {e}"))?;
+            let bytes = cli::read_bytes(path)?;
+            let checkpoint = Checkpoint::from_bytes(bytes)?;
+            let state_bytes = checkpoint.as_bytes().len();
+            let engine = StreamingPipeline::restore(&checkpoint)?;
             println!(
                 "resumed from {path}: {} log bytes already ingested, state {} bytes",
                 engine.log_bytes_fed(),
-                checkpoint.as_bytes().len()
+                state_bytes
             );
             engine
         }
         None => {
             let year = match flags.value("year") {
-                Some(y) => y.parse().map_err(|_| format!("bad --year {y:?}"))?,
+                Some(y) => y
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --year {y:?}")))?,
                 None => files
                     .first()
-                    .and_then(|f| year_from_filename(f))
+                    .and_then(|f| cli::year_from_filename(f))
                     .unwrap_or(2024),
             };
             let mut pipeline = Pipeline::delta();
             if let Some(w) = flags.value("window") {
-                let secs: u64 = w.parse().map_err(|_| format!("bad --window {w:?}"))?;
+                let secs: u64 = w
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --window {w:?}")))?;
                 pipeline.coalesce_window = Duration::from_secs(secs);
             }
             StreamingPipeline::new(pipeline, year)
@@ -195,10 +147,11 @@ fn run(args: &[String]) -> Result<(), String> {
     // already seen. Offsets index the concatenation of the sorted files,
     // which is exactly the byte stream the original run fed.
     let started = Instant::now();
+    let mut progress = Progress::new(flags.has("progress"));
     let mut offset: u64 = 0;
     let mut fed: u64 = 0;
     for file in &files {
-        let text = std::fs::read(file).map_err(|e| format!("reading {}: {e}", file.display()))?;
+        let text = cli::read_bytes(file)?;
         let len = text.len() as u64;
         let done = engine.log_bytes_fed();
         if offset + len <= done {
@@ -209,12 +162,23 @@ fn run(args: &[String]) -> Result<(), String> {
         for piece in text[skip..].chunks(chunk) {
             engine.push_log(piece);
             fed += piece.len() as u64;
+            progress.tick(|| {
+                let stats = engine.scan_stats();
+                format!(
+                    "[{:7.1}s] {} lines | {} fed bytes | {} extracted | {} quarantined | {} live errors",
+                    started.elapsed().as_secs_f64(),
+                    stats.lines_seen,
+                    fed,
+                    stats.extracted,
+                    stats.quarantined.total(),
+                    engine.live().total_errors(),
+                )
+            });
         }
         offset += len;
         if let Some(path) = flags.value("checkpoint") {
             let snapshot = engine.checkpoint();
-            std::fs::write(path, snapshot.as_bytes())
-                .map_err(|e| format!("writing checkpoint {path}: {e}"))?;
+            cli::write_file(path, snapshot.as_bytes(), "writing checkpoint to")?;
             println!(
                 "checkpoint after {}: {} log bytes in, state {} bytes",
                 file.display(),
@@ -226,6 +190,14 @@ fn run(args: &[String]) -> Result<(), String> {
     engine.finish_log();
     let elapsed = started.elapsed().as_secs_f64();
     let stats = engine.scan_stats();
+    if progress.printed() {
+        progress.finish(|| {
+            format!(
+                "[{elapsed:7.1}s] scan complete: {} lines, {} events extracted",
+                stats.lines_seen, stats.extracted
+            )
+        });
+    }
     println!(
         "scanned {} lines ({} new bytes) in {:.2}s — {} events extracted, live errors {}",
         stats.lines_seen,
@@ -237,16 +209,13 @@ fn run(args: &[String]) -> Result<(), String> {
 
     // Accounting inputs, in the batch path's canonical feed order.
     if let Some(path) = flags.value("jobs") {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        engine.push_gpu_jobs_csv(&text);
+        engine.push_gpu_jobs_csv(&cli::read_to_string(path)?);
     }
     if let Some(path) = flags.value("cpu-jobs") {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        engine.push_cpu_jobs_csv(&text);
+        engine.push_cpu_jobs_csv(&cli::read_to_string(path)?);
     }
     if let Some(path) = flags.value("outages") {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        engine.push_outages_csv(&text);
+        engine.push_outages_csv(&cli::read_to_string(path)?);
     }
 
     let (report_out, quarantine) = engine.finalize();
@@ -261,41 +230,9 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("caveat: {caveat}");
         }
     }
+    if let Some(sink) = &metrics {
+        sink.write()?;
+        println!("metrics written to {}", sink.path.display());
+    }
     Ok(())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn args(list: &[&str]) -> Vec<String> {
-        list.iter().map(|s| s.to_string()).collect()
-    }
-
-    #[test]
-    fn flags_parse_values_and_positionals() {
-        let flags = parse_flags(
-            &args(&["logs", "--chunk", "64", "--resume", "ck.bin"]),
-            &["chunk", "resume"],
-        )
-        .unwrap();
-        assert_eq!(flags.positionals, vec!["logs"]);
-        assert_eq!(flags.value("chunk"), Some("64"));
-        assert_eq!(flags.value("resume"), Some("ck.bin"));
-        assert_eq!(flags.value("jobs"), None);
-    }
-
-    #[test]
-    fn value_flag_without_value_errors() {
-        assert!(parse_flags(&args(&["--chunk"]), &["chunk"]).is_err());
-    }
-
-    #[test]
-    fn year_is_read_from_filenames() {
-        assert_eq!(
-            year_from_filename(Path::new("syslog-20220105.log")),
-            Some(2022)
-        );
-        assert_eq!(year_from_filename(Path::new("messages.log")), None);
-    }
 }

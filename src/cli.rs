@@ -1,0 +1,510 @@
+//! Shared command-line infrastructure for `delta_cli` and `stream_study`.
+//!
+//! Both binaries historically carried private copies of flag parsing, log
+//! collection and file I/O, each reporting failures as bare `String`s.
+//! This module is the single home for that plumbing, built around a typed
+//! error taxonomy ([`CliError`]) so every failure path — a missing file, a
+//! malformed CSV, an unwritable `--metrics-out` target — reports cleanly
+//! instead of panicking or stringifying early.
+//!
+//! It also owns the observability surface of the binaries:
+//! [`MetricsSink`] interprets the `--metrics-out` / `--metrics-format`
+//! flags, enables the global [`obs`] registry for the run, and renders the
+//! final [`obs::ObsReport`] as Prometheus text or JSON; [`Progress`] is
+//! the `LiveCounters`-style periodic stderr line for streaming mode.
+
+use resilience::error::{CsvInput, PipelineError};
+use resilience::CheckpointError;
+use std::fmt;
+use std::io::{self, IsTerminal};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Everything that can go wrong between `main()` and the pipeline.
+///
+/// The taxonomy separates *how the user invoked us* ([`Usage`]) from *what
+/// the filesystem did* ([`Io`]) from *what the data contained*
+/// ([`Invalid`], [`Pipeline`], [`Checkpoint`]), so callers can decide
+/// whether to print usage help and exit codes stay honest.
+///
+/// [`Usage`]: CliError::Usage
+/// [`Io`]: CliError::Io
+/// [`Invalid`]: CliError::Invalid
+/// [`Pipeline`]: CliError::Pipeline
+/// [`Checkpoint`]: CliError::Checkpoint
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line itself was malformed (unknown flag shape, missing
+    /// value, missing required argument). `main` prints usage after these.
+    Usage(String),
+    /// A filesystem operation failed, with the verb and path that failed.
+    Io {
+        /// What we were doing, e.g. `"reading"` or `"writing metrics to"`.
+        action: &'static str,
+        /// The path the operation targeted.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// An input file was read fine but its contents were invalid.
+    Invalid(String),
+    /// The analysis pipeline rejected its inputs (CSV schema errors carry
+    /// the offending export and line number).
+    Pipeline(PipelineError),
+    /// A checkpoint snapshot failed to load or validate.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io {
+                action,
+                path,
+                source,
+            } => write!(f, "{action} {}: {source}", path.display()),
+            CliError::Invalid(msg) => write!(f, "{msg}"),
+            CliError::Pipeline(e) => write!(f, "{e}"),
+            CliError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Io { source, .. } => Some(source),
+            CliError::Pipeline(e) => Some(e),
+            CliError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PipelineError> for CliError {
+    fn from(e: PipelineError) -> Self {
+        CliError::Pipeline(e)
+    }
+}
+
+impl From<CheckpointError> for CliError {
+    fn from(e: CheckpointError) -> Self {
+        CliError::Checkpoint(e)
+    }
+}
+
+/// Minimal flag parser output: positionals plus `--flag value` / `--flag`.
+#[derive(Debug)]
+pub struct Flags {
+    /// Non-flag arguments, in order.
+    pub positionals: Vec<String>,
+    options: Vec<(String, Option<String>)>,
+}
+
+/// Parses `args` into [`Flags`]. Flags listed in `value_flags` consume the
+/// following argument as their value; all other `--flags` are boolean.
+pub fn parse_flags(args: &[String], value_flags: &[&str]) -> Result<Flags, CliError> {
+    let mut positionals = Vec::new();
+    let mut options = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            if value_flags.contains(&name) {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage(format!("--{name} needs a value")))?
+                    .clone();
+                options.push((name.to_owned(), Some(value)));
+            } else {
+                options.push((name.to_owned(), None));
+            }
+        } else {
+            positionals.push(arg.clone());
+        }
+    }
+    Ok(Flags {
+        positionals,
+        options,
+    })
+}
+
+impl Flags {
+    /// The last value given for `--name`, if any (later values win).
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// Whether `--name` appeared at all.
+    pub fn has(&self, name: &str) -> bool {
+        self.options.iter().any(|(n, _)| n == name)
+    }
+}
+
+/// Reads a whole file as UTF-8 text.
+pub fn read_to_string(path: impl AsRef<Path>) -> Result<String, CliError> {
+    let path = path.as_ref();
+    std::fs::read_to_string(path).map_err(|source| CliError::Io {
+        action: "reading",
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+/// Reads a whole file as raw bytes.
+pub fn read_bytes(path: impl AsRef<Path>) -> Result<Vec<u8>, CliError> {
+    let path = path.as_ref();
+    std::fs::read(path).map_err(|source| CliError::Io {
+        action: "reading",
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+/// Writes `contents` to `path`, reporting `action` on failure.
+pub fn write_file(
+    path: impl AsRef<Path>,
+    contents: impl AsRef<[u8]>,
+    action: &'static str,
+) -> Result<(), CliError> {
+    let path = path.as_ref();
+    std::fs::write(path, contents).map_err(|source| CliError::Io {
+        action,
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+/// Parses a CSV job export, tagging schema errors with which export they
+/// came from.
+pub fn parse_jobs_csv(
+    text: &str,
+    input: CsvInput,
+) -> Result<Vec<resilience::AccountedJob>, CliError> {
+    resilience::csvio::parse_jobs(text)
+        .map_err(|e| CliError::Pipeline(PipelineError::csv(input, e)))
+}
+
+/// Parses a CSV outage export with the same error tagging.
+pub fn parse_outages_csv(text: &str) -> Result<Vec<resilience::OutageRecord>, CliError> {
+    resilience::csvio::parse_outages(text)
+        .map_err(|e| CliError::Pipeline(PipelineError::csv(CsvInput::Outages, e)))
+}
+
+/// Collects log files from file and directory arguments, sorted by path.
+pub fn collect_log_files(paths: &[String]) -> Result<Vec<PathBuf>, CliError> {
+    let mut files = Vec::new();
+    for p in paths {
+        let path = Path::new(p);
+        if path.is_dir() {
+            let dir_err = |source| CliError::Io {
+                action: "reading dir",
+                path: path.to_path_buf(),
+                source,
+            };
+            for entry in std::fs::read_dir(path).map_err(dir_err)? {
+                let entry = entry.map_err(dir_err)?;
+                if entry.path().is_file() {
+                    files.push(entry.path());
+                }
+            }
+        } else if path.is_file() {
+            files.push(path.to_path_buf());
+        } else {
+            return Err(CliError::Usage(format!("{p}: no such file or directory")));
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Extracts a plausible year from a `...YYYYMMDD...` filename component.
+pub fn year_from_filename(path: &Path) -> Option<i32> {
+    let name = path.file_stem()?.to_str()?;
+    name.split(|c: char| !c.is_ascii_digit())
+        .filter(|chunk| chunk.len() == 8)
+        .find_map(|chunk| {
+            let year: i32 = chunk[..4].parse().ok()?;
+            (1970..=2100).contains(&year).then_some(year)
+        })
+}
+
+/// Output encodings for `--metrics-out`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Prometheus text exposition format.
+    Prometheus,
+    /// A single JSON document (see [`obs::ObsReport::to_json`]).
+    Json,
+}
+
+/// A resolved `--metrics-out` request: where to write and in what format.
+///
+/// Constructing one (via [`MetricsSink::from_flags`]) flips the global
+/// [`obs`] switch on, so every stage the run subsequently executes records
+/// into the registry; [`write`](MetricsSink::write) gathers and renders
+/// the report at the end.
+#[derive(Debug)]
+pub struct MetricsSink {
+    /// Destination path.
+    pub path: PathBuf,
+    /// Chosen encoding.
+    pub format: MetricsFormat,
+}
+
+impl MetricsSink {
+    /// Interprets `--metrics-out PATH` and `--metrics-format FMT`.
+    ///
+    /// Returns `Ok(None)` when no `--metrics-out` was given (and leaves
+    /// the registry disabled — the zero-overhead default). The format
+    /// defaults by extension: `.json` means JSON, anything else means
+    /// Prometheus text.
+    pub fn from_flags(flags: &Flags) -> Result<Option<MetricsSink>, CliError> {
+        let Some(path) = flags.value("metrics-out") else {
+            if flags.value("metrics-format").is_some() {
+                return Err(CliError::Usage(
+                    "--metrics-format needs --metrics-out".to_owned(),
+                ));
+            }
+            return Ok(None);
+        };
+        let path = PathBuf::from(path);
+        let format = match flags.value("metrics-format") {
+            Some("prom" | "prometheus" | "text") => MetricsFormat::Prometheus,
+            Some("json") => MetricsFormat::Json,
+            Some(other) => {
+                return Err(CliError::Usage(format!(
+                    "bad --metrics-format {other:?} (expected prom|json)"
+                )))
+            }
+            None => match path.extension().and_then(|e| e.to_str()) {
+                Some("json") => MetricsFormat::Json,
+                _ => MetricsFormat::Prometheus,
+            },
+        };
+        obs::set_enabled(true);
+        Ok(Some(MetricsSink { path, format }))
+    }
+
+    /// Gathers the global registry and tracer and writes the report.
+    pub fn write(&self) -> Result<(), CliError> {
+        let report = obs::global().report();
+        let text = match self.format {
+            MetricsFormat::Prometheus => report.to_prometheus(),
+            MetricsFormat::Json => report.to_json(),
+        };
+        write_file(&self.path, text, "writing metrics to")
+    }
+}
+
+/// A `LiveCounters`-style periodic progress line on stderr.
+///
+/// Rate-limited to one line per second so the hot streaming loop can call
+/// [`tick`](Progress::tick) per chunk without flooding the terminal. Off
+/// by default when stderr is not a terminal (CI logs stay clean); forced
+/// on with `--progress`.
+#[derive(Debug)]
+pub struct Progress {
+    enabled: bool,
+    last: Instant,
+    interval: Duration,
+    printed: bool,
+}
+
+impl Progress {
+    /// Creates the reporter: enabled when `force` is set or stderr is a
+    /// terminal.
+    pub fn new(force: bool) -> Progress {
+        Progress {
+            enabled: force || io::stderr().is_terminal(),
+            last: Instant::now(),
+            interval: Duration::from_secs(1),
+            printed: false,
+        }
+    }
+
+    /// Emits `line()` to stderr if enough time has passed since the last
+    /// emission. The closure only runs when a line will actually print.
+    pub fn tick(&mut self, line: impl FnOnce() -> String) {
+        if !self.enabled || self.last.elapsed() < self.interval {
+            return;
+        }
+        self.last = Instant::now();
+        self.printed = true;
+        eprintln!("{}", line());
+    }
+
+    /// Emits a final line unconditionally (when enabled), so short runs
+    /// that never crossed the interval still report once.
+    pub fn finish(&mut self, line: impl FnOnce() -> String) {
+        if self.enabled {
+            eprintln!("{}", line());
+            self.printed = true;
+        }
+    }
+
+    /// Whether any line has been printed so far.
+    pub fn printed(&self) -> bool {
+        self.printed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_positionals_and_options() {
+        let flags = parse_flags(
+            &args(&["logs/a.log", "--jobs", "j.csv", "--deep", "logs/b.log"]),
+            &["jobs"],
+        )
+        .unwrap();
+        assert_eq!(flags.positionals, vec!["logs/a.log", "logs/b.log"]);
+        assert_eq!(flags.value("jobs"), Some("j.csv"));
+        assert!(flags.has("deep"));
+        assert_eq!(flags.value("missing"), None);
+    }
+
+    #[test]
+    fn value_flag_without_value_is_usage_error() {
+        let err = parse_flags(&args(&["--jobs"]), &["jobs"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+        assert!(err.to_string().contains("--jobs"));
+    }
+
+    #[test]
+    fn later_values_win() {
+        let flags = parse_flags(&args(&["--seed", "1", "--seed", "2"]), &["seed"]).unwrap();
+        assert_eq!(flags.value("seed"), Some("2"));
+    }
+
+    #[test]
+    fn year_from_filename_variants() {
+        assert_eq!(
+            year_from_filename(Path::new("syslog-20220105.log")),
+            Some(2022)
+        );
+        assert_eq!(
+            year_from_filename(Path::new("logs/node-20251231-full.log")),
+            Some(2025)
+        );
+        assert_eq!(year_from_filename(Path::new("messages.log")), None);
+        assert_eq!(year_from_filename(Path::new("build-12345678.log")), None); // year 1234 out of range
+    }
+
+    #[test]
+    fn metrics_format_defaults_by_extension() {
+        let flags = parse_flags(&args(&["--metrics-out", "m.json"]), &["metrics-out"]).unwrap();
+        let sink = MetricsSink::from_flags(&flags).unwrap().unwrap();
+        assert_eq!(sink.format, MetricsFormat::Json);
+
+        let flags = parse_flags(&args(&["--metrics-out", "m.prom"]), &["metrics-out"]).unwrap();
+        let sink = MetricsSink::from_flags(&flags).unwrap().unwrap();
+        assert_eq!(sink.format, MetricsFormat::Prometheus);
+    }
+
+    #[test]
+    fn metrics_format_flag_overrides_extension() {
+        let flags = parse_flags(
+            &args(&["--metrics-out", "m.txt", "--metrics-format", "json"]),
+            &["metrics-out", "metrics-format"],
+        )
+        .unwrap();
+        let sink = MetricsSink::from_flags(&flags).unwrap().unwrap();
+        assert_eq!(sink.format, MetricsFormat::Json);
+    }
+
+    #[test]
+    fn bad_metrics_format_is_usage_error() {
+        let flags = parse_flags(
+            &args(&["--metrics-out", "m", "--metrics-format", "xml"]),
+            &["metrics-out", "metrics-format"],
+        )
+        .unwrap();
+        assert!(matches!(
+            MetricsSink::from_flags(&flags),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn metrics_format_without_out_is_usage_error() {
+        let flags = parse_flags(
+            &args(&["--metrics-format", "json"]),
+            &["metrics-out", "metrics-format"],
+        )
+        .unwrap();
+        assert!(matches!(
+            MetricsSink::from_flags(&flags),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn no_metrics_flags_means_no_sink() {
+        let flags = parse_flags(&args(&[]), &["metrics-out"]).unwrap();
+        assert!(MetricsSink::from_flags(&flags).unwrap().is_none());
+    }
+
+    #[test]
+    fn sink_write_reports_bad_path_cleanly() {
+        let sink = MetricsSink {
+            path: PathBuf::from("/nonexistent-dir-for-test/m.prom"),
+            format: MetricsFormat::Prometheus,
+        };
+        let err = sink.write().unwrap_err();
+        assert!(matches!(err, CliError::Io { .. }), "{err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("writing metrics to"), "{msg}");
+        assert!(msg.contains("/nonexistent-dir-for-test/m.prom"), "{msg}");
+    }
+
+    #[test]
+    fn io_error_display_names_action_and_path() {
+        let err = read_to_string("/no/such/file/here.txt").unwrap_err();
+        assert!(err.to_string().starts_with("reading /no/such/file"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn csv_errors_carry_the_input_name() {
+        let err = parse_jobs_csv("not,a,header\n", CsvInput::GpuJobs).unwrap_err();
+        assert!(err.to_string().contains("gpu-jobs"), "{err}");
+    }
+
+    #[test]
+    fn progress_rate_limits_and_finishes() {
+        let mut progress = Progress {
+            enabled: true,
+            last: Instant::now(),
+            interval: Duration::from_secs(3600),
+            printed: false,
+        };
+        progress.tick(|| unreachable!("inside the rate-limit window"));
+        assert!(!progress.printed());
+        progress.finish(|| "done".to_owned());
+        assert!(progress.printed());
+    }
+
+    #[test]
+    fn disabled_progress_stays_silent() {
+        let mut progress = Progress {
+            enabled: false,
+            last: Instant::now() - Duration::from_secs(10),
+            interval: Duration::from_secs(1),
+            printed: false,
+        };
+        progress.tick(|| unreachable!("disabled"));
+        progress.finish(|| unreachable!("disabled"));
+        assert!(!progress.printed());
+    }
+}

@@ -54,11 +54,14 @@
 pub use clustersim;
 pub use faultsim;
 pub use hpclog;
+pub use obs;
 pub use resilience;
 pub use simrng;
 pub use simtime;
 pub use slurmsim;
 pub use xid;
+
+pub mod cli;
 
 /// The common imports for examples and tests.
 pub mod prelude {
