@@ -1,0 +1,258 @@
+//! E15 servd load generator: throughput and tail latency of the HTTP
+//! query subsystem under concurrent keep-alive clients.
+//!
+//! One campaign is simulated, its report is frozen into the `servd`
+//! columnar store, and a server is started on an ephemeral loopback
+//! port. `C` client threads then each issue `R` pipelined-keep-alive
+//! requests round-robining over the full endpoint surface (tables,
+//! figure, filtered error queries, MTBE slices, impact, availability,
+//! metadata). Every response must come back `200 OK` with a complete
+//! `Content-Length`-framed body — a single error fails the run.
+//!
+//! ```text
+//! cargo run --release -p bench --bin loadgen [--smoke] [SCALE] [SEED]
+//! ```
+//!
+//! `--smoke` serves a reduced request count (still ≥ 1000 requests over
+//! ≥ 8 connections, the CI gate) and asserts a conservative
+//! machine-scaled throughput floor.
+
+use bench::{banner, run_study, RunOptions, DEFAULT_SEED};
+use servd::{ServerConfig, StoreHandle, StudyStore};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The request mix: every public endpoint, weighted equally. Filter
+/// queries use hosts/kinds that exist in every Delta campaign.
+const ENDPOINTS: &[&str] = &[
+    "/tables/1",
+    "/tables/2",
+    "/tables/3",
+    "/fig2",
+    "/errors",
+    "/errors?host=gpub001",
+    "/errors?xid=74",
+    "/mtbe",
+    "/mtbe?xid=119",
+    "/jobs/impact",
+    "/availability",
+    "/snapshot",
+    "/healthz",
+];
+
+fn main() {
+    let (smoke, options) = parse_args();
+    banner("servd load generator (E15)", options);
+
+    // Build the store once from a simulated study; serving never
+    // re-runs analysis, so `emit_logs` can stay off (statistics path).
+    let study = run_study(options, false);
+    println!(
+        "store: {} coalesced errors, {} GPU jobs, {} outages",
+        study.report.errors.len(),
+        study.report.impact.gpu_failed_jobs(),
+        study.report.availability.outage_count()
+    );
+    let store = Arc::new(StoreHandle::new(StudyStore::build(study.report, None)));
+
+    let (conns, per_conn) = if smoke { (8, 160) } else { (16, 1500) };
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        // Every client pins one keep-alive connection (and its worker)
+        // for the whole run, so the pool must admit the full fleet —
+        // fewer workers would strand queued connections until the
+        // clients time out.
+        max_queue: conns + 8,
+        workers: conns,
+        ..ServerConfig::default()
+    };
+    let workers = config.workers;
+    let server = servd::start(config, Arc::clone(&store)).unwrap_or_else(|e| {
+        panic!("failed to start server: {e}");
+    });
+    let addr = server.addr().to_string();
+    println!("serving on {addr}: {conns} connections x {per_conn} requests, {workers} workers");
+
+    let wall = Instant::now();
+    let handles: Vec<_> = (0..conns)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || client_run(&addr, c, per_conn))
+        })
+        .collect();
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(conns * per_conn);
+    let mut errors = 0usize;
+    for handle in handles {
+        let outcome = handle.join().unwrap_or_else(|_| {
+            panic!("client thread panicked");
+        });
+        latencies_ns.extend(outcome.latencies_ns);
+        errors += outcome.errors;
+    }
+    let wall_secs = wall.elapsed().as_secs_f64();
+    server.shutdown();
+
+    let total = latencies_ns.len() + errors;
+    latencies_ns.sort_unstable();
+    let rate = latencies_ns.len() as f64 / wall_secs.max(1e-12);
+    println!(
+        "\n{} requests in {:.2} s over {conns} connections: {:.0} req/s, {errors} errors",
+        total, wall_secs, rate
+    );
+    println!(
+        "latency: p50 {}  p90 {}  p99 {}  max {}",
+        human_ns(percentile(&latencies_ns, 50)),
+        human_ns(percentile(&latencies_ns, 90)),
+        human_ns(percentile(&latencies_ns, 99)),
+        human_ns(latencies_ns.last().copied().unwrap_or(0)),
+    );
+
+    assert_eq!(errors, 0, "load run saw {errors} failed requests");
+    assert!(
+        total >= 1000 && conns >= 8,
+        "gate needs >=1000 requests over >=8 connections, got {total} over {conns}"
+    );
+    if smoke {
+        // Conservative machine-scaled floor: loopback keep-alive against
+        // a warm response cache clears this by orders of magnitude.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let floor = (150 * cores.min(8)) as f64;
+        assert!(
+            rate >= floor,
+            "smoke throughput {rate:.0} req/s below machine floor {floor:.0}"
+        );
+        println!("smoke floor {floor:.0} req/s on {cores} cores — ok");
+    }
+    println!(
+        "E15 complete: {total} requests, 0 errors, {:.0} req/s, p99 {}",
+        rate,
+        human_ns(percentile(&latencies_ns, 99))
+    );
+    println!(
+        "\nReading: all endpoints are pre-rendered or index-backed, so a\n\
+         request is a cache probe plus one write — throughput is bounded\n\
+         by loopback syscalls, not by analysis. The zero-error assert is\n\
+         the point: framing, keep-alive and the connection queue hold up\n\
+         under a saturating concurrent fleet."
+    );
+}
+
+/// Per-client result: one latency sample per successful request.
+struct ClientOutcome {
+    latencies_ns: Vec<u64>,
+    errors: usize,
+}
+
+/// Runs one keep-alive connection for `count` requests, rotating
+/// through [`ENDPOINTS`] with a per-client phase so the instantaneous
+/// mix differs across connections.
+fn client_run(addr: &str, client: usize, count: usize) -> ClientOutcome {
+    let mut outcome = ClientOutcome {
+        latencies_ns: Vec::with_capacity(count),
+        errors: 0,
+    };
+    let mut conn = match TcpStream::connect(addr) {
+        Ok(conn) => conn,
+        Err(_) => {
+            outcome.errors = count;
+            return outcome;
+        }
+    };
+    conn.set_nodelay(true).ok();
+    for i in 0..count {
+        let path = ENDPOINTS[(client + i) % ENDPOINTS.len()];
+        let start = Instant::now();
+        match fetch(&mut conn, path) {
+            Ok(200) => outcome.latencies_ns.push(start.elapsed().as_nanos() as u64),
+            Ok(_) | Err(_) => outcome.errors += 1,
+        }
+    }
+    outcome
+}
+
+/// Issues one keep-alive GET and reads the complete framed response.
+/// Returns the status code; any framing violation is an error.
+fn fetch(conn: &mut TcpStream, path: &str) -> std::io::Result<u16> {
+    conn.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\nConnection: keep-alive\r\n\r\n")
+            .as_bytes(),
+    )?;
+    // Head: byte-at-a-time until the blank line (heads are tiny and the
+    // client is not what's being measured for CPU).
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() > 16 * 1024 {
+            return Err(std::io::Error::other("oversized response head"));
+        }
+        conn.read_exact(&mut byte)?;
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8_lossy(&head);
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other("bad status line"))?;
+    let length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
+        })
+        .ok_or_else(|| std::io::Error::other("missing content-length"))?;
+    let mut body = vec![0u8; length];
+    conn.read_exact(&mut body)?;
+    if status == 200 && body.is_empty() {
+        return Err(std::io::Error::other("empty 200 body"));
+    }
+    Ok(status)
+}
+
+fn percentile(sorted_ns: &[u64], pct: usize) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let rank = (sorted_ns.len() * pct).div_ceil(100);
+    sorted_ns[rank.saturating_sub(1).min(sorted_ns.len() - 1)]
+}
+
+fn human_ns(ns: u64) -> String {
+    let us = ns as f64 / 1e3;
+    if us >= 1e3 {
+        format!("{:.2} ms", us / 1e3)
+    } else {
+        format!("{us:.0} us")
+    }
+}
+
+fn parse_args() -> (bool, RunOptions) {
+    let mut smoke = false;
+    let mut positional: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            positional.push(arg);
+        }
+    }
+    let scale = positional
+        .first()
+        .map(|a| {
+            a.parse::<f64>()
+                .unwrap_or_else(|_| panic!("bad SCALE {a:?}"))
+        })
+        .unwrap_or(if smoke { 0.02 } else { 0.05 });
+    assert!(scale > 0.0 && scale <= 0.25, "SCALE must be in (0, 0.25]");
+    let seed = positional
+        .get(1)
+        .map(|a| {
+            a.parse::<u64>()
+                .unwrap_or_else(|_| panic!("bad SEED {a:?}"))
+        })
+        .unwrap_or(DEFAULT_SEED);
+    (smoke, RunOptions { scale, seed })
+}

@@ -1,0 +1,123 @@
+//! The response cache: canonical-query keys, snapshot-scoped lifetime.
+//!
+//! Rendering a filtered `/errors` slice or a paper table is cheap but not
+//! free, and dashboards poll the same handful of queries. The cache
+//! memoizes rendered [`Response`]s keyed on `path?canonical-query` — the
+//! query pairs sorted, so `?host=h&xid=74` and `?xid=74&host=h` are one
+//! entry. Every entry belongs to exactly one snapshot id: a lookup under
+//! a different id clears the whole map first, so a swap invalidates
+//! everything at once and a cached body can never outlive the store it
+//! was rendered from.
+
+use crate::http::Response;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Upper bound on cached entries; at most this many distinct canonical
+/// queries are retained per snapshot (inserts beyond it are dropped, not
+/// evicted — the working set of a dashboard is far below this).
+const MAX_ENTRIES: usize = 4096;
+
+/// A snapshot-scoped memo of rendered responses.
+#[derive(Debug, Default)]
+pub struct ResponseCache {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    snapshot: u64,
+    map: HashMap<String, Response>,
+}
+
+impl ResponseCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ResponseCache::default()
+    }
+
+    /// The cache key for a request.
+    pub fn key(path: &str, canonical_query: &str) -> String {
+        format!("{path}?{canonical_query}")
+    }
+
+    /// Looks up `key` *as of* `snapshot`. A mismatched snapshot id clears
+    /// the map (the old store is gone) and misses.
+    pub fn get(&self, snapshot: u64, key: &str) -> Option<Response> {
+        let mut inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if inner.snapshot != snapshot {
+            inner.map.clear();
+            inner.snapshot = snapshot;
+            return None;
+        }
+        inner.map.get(key).cloned()
+    }
+
+    /// Stores a rendered response under `key` for `snapshot`. Ignored if
+    /// the cache has moved on to a newer snapshot — a late insert from a
+    /// request that raced a swap must not resurrect stale bytes.
+    pub fn put(&self, snapshot: u64, key: String, response: Response) {
+        let mut inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if inner.snapshot == snapshot && inner.map.len() < MAX_ENTRIES {
+            inner.map.insert(key, response);
+        }
+    }
+
+    /// Entries currently held (test/metrics hook).
+    pub fn len(&self) -> usize {
+        match self.inner.lock() {
+            Ok(g) => g.map.len(),
+            Err(poisoned) => poisoned.into_inner().map.len(),
+        }
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_put_same_snapshot() {
+        let cache = ResponseCache::new();
+        let key = ResponseCache::key("/errors", "host=h");
+        assert!(cache.get(1, &key).is_none());
+        cache.put(1, key.clone(), Response::text(200, "body"));
+        assert_eq!(cache.get(1, &key).unwrap().body, "body");
+    }
+
+    #[test]
+    fn snapshot_swap_invalidates_everything() {
+        let cache = ResponseCache::new();
+        let key = ResponseCache::key("/errors", "");
+        cache.put(1, key.clone(), Response::text(200, "old"));
+        assert!(cache.get(2, &key).is_none(), "new snapshot must miss");
+        assert!(cache.is_empty(), "swap clears the map");
+        cache.put(1, key.clone(), Response::text(200, "stale"));
+        assert!(
+            cache.get(2, &key).is_none(),
+            "late insert for an old snapshot is dropped"
+        );
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let cache = ResponseCache::new();
+        cache.get(1, "warm");
+        for i in 0..MAX_ENTRIES + 10 {
+            cache.put(1, format!("k{i}"), Response::text(200, ""));
+        }
+        assert_eq!(cache.len(), MAX_ENTRIES);
+    }
+}

@@ -1,0 +1,420 @@
+//! A minimal, defensive HTTP/1.1 reader/writer over `std::net` streams.
+//!
+//! Only what the serving subsystem needs: `GET`/`HEAD` requests with a
+//! path and query string, keep-alive, and fixed-`Content-Length`
+//! responses. Everything is bounded — the request head is read through a
+//! hard byte cap, so a client feeding an endless header section costs at
+//! most [`ServerConfig::max_request_bytes`](crate::server::ServerConfig)
+//! of buffer, and socket read/write timeouts (set by the listener) turn a
+//! stalled peer into a clean close instead of a stuck worker.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+
+/// Why reading a request off a connection stopped.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete, well-formed request head.
+    Request(Request),
+    /// The peer closed before sending anything; close quietly.
+    Closed,
+    /// The head exceeded the size cap — answer `413` and close.
+    TooLarge,
+    /// The socket read timed out mid-request — answer `408` and close.
+    TimedOut,
+    /// Bytes arrived but they are not HTTP we accept — answer `400`.
+    Malformed(&'static str),
+}
+
+/// One parsed request head.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET` or `HEAD` (anything else is rejected at parse time with
+    /// [`ReadOutcome::Malformed`] — the router answers `405` for methods
+    /// it can name, so those pass through as literal strings).
+    pub method: String,
+    /// The decoded path, without the query string.
+    pub path: String,
+    /// Decoded `key=value` query pairs, in arrival order.
+    pub query: Vec<(String, String)>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// The canonical form of the query string: pairs sorted by key then
+    /// value, re-encoded. Two requests naming the same slice in different
+    /// parameter orders canonicalize identically — this is the response
+    /// cache key (joined with the path by the cache itself).
+    pub fn canonical_query(&self) -> String {
+        let mut pairs: Vec<&(String, String)> = self.query.iter().collect();
+        pairs.sort();
+        let mut out = String::new();
+        for (k, v) in pairs {
+            if !out.is_empty() {
+                out.push('&');
+            }
+            out.push_str(k);
+            out.push('=');
+            out.push_str(v);
+        }
+        out
+    }
+
+    /// The last value given for query key `k`, if any.
+    pub fn query_value(&self, k: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .rev()
+            .find(|(key, _)| key == k)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one request head (through the blank line) from `stream`,
+/// enforcing the `max_bytes` cap. Never reads past the head: requests
+/// with bodies are rejected, so the next head starts at the current
+/// stream position.
+pub fn read_request(stream: &mut impl Read, max_bytes: usize) -> ReadOutcome {
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    ReadOutcome::Closed
+                } else {
+                    ReadOutcome::Malformed("connection closed mid-request")
+                };
+            }
+            Ok(_) => {
+                buf.push(byte[0]);
+                if buf.len() > max_bytes {
+                    return ReadOutcome::TooLarge;
+                }
+                if buf.ends_with(b"\r\n\r\n") || buf.ends_with(b"\n\n") {
+                    return parse_head(&buf);
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return if buf.is_empty() {
+                    ReadOutcome::Closed
+                } else {
+                    ReadOutcome::TimedOut
+                };
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Closed,
+        }
+    }
+}
+
+fn parse_head(head: &[u8]) -> ReadOutcome {
+    let Ok(text) = std::str::from_utf8(head) else {
+        return ReadOutcome::Malformed("request head is not UTF-8");
+    };
+    let mut lines = text.split("\r\n").flat_map(|l| l.split('\n'));
+    let Some(request_line) = lines.next() else {
+        return ReadOutcome::Malformed("empty request");
+    };
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return ReadOutcome::Malformed("bad request line");
+    };
+    if !version.starts_with("HTTP/1.") {
+        return ReadOutcome::Malformed("unsupported HTTP version");
+    }
+
+    let mut headers: BTreeMap<String, String> = BTreeMap::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_owned());
+        }
+    }
+    if headers
+        .get("content-length")
+        .is_some_and(|v| v.trim() != "0")
+        || headers.contains_key("transfer-encoding")
+    {
+        return ReadOutcome::Malformed("request bodies are not accepted");
+    }
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let Some(path) = percent_decode(raw_path) else {
+        return ReadOutcome::Malformed("bad percent-encoding in path");
+    };
+    let mut query = Vec::new();
+    for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        let (Some(k), Some(v)) = (percent_decode(k), percent_decode(v)) else {
+            return ReadOutcome::Malformed("bad percent-encoding in query");
+        };
+        query.push((k, v));
+    }
+
+    let keep_alive = match headers.get("connection").map(String::as_str) {
+        Some(c) if c.eq_ignore_ascii_case("close") => false,
+        Some(c) if c.eq_ignore_ascii_case("keep-alive") => true,
+        _ => version != "HTTP/1.0",
+    };
+
+    ReadOutcome::Request(Request {
+        method: method.to_owned(),
+        path,
+        query,
+        keep_alive,
+    })
+}
+
+/// Decodes `%XX` escapes and `+`-as-space; `None` on truncated or
+/// non-hex escapes.
+pub fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hi = hex_val(*bytes.get(i + 1)?)?;
+                let lo = hex_val(*bytes.get(i + 2)?)?;
+                out.push(hi * 16 + lo);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// A response ready to serialize: status, body, and any extra headers
+/// (`X-Snapshot`, `X-Cache`). `Content-Length` is always emitted so
+/// clients on keep-alive connections know exactly where the body ends.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// The body bytes (suppressed on the wire for `HEAD`).
+    pub body: String,
+    /// Extra `(name, value)` headers.
+    pub extra: Vec<(&'static str, String)>,
+}
+
+impl Response {
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// A CSV response.
+    pub fn csv(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/csv; charset=utf-8",
+            body: body.into(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Adds an extra header, builder-style.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.extra.push((name, value.into()));
+        self
+    }
+
+    /// The standard reason phrase for the status codes this server emits.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Content Too Large",
+            503 => "Service Unavailable",
+            _ => "Internal Server Error",
+        }
+    }
+}
+
+/// Serializes `response` onto `stream`. `head_only` suppresses the body
+/// (HEAD requests) while keeping the headers — including the true
+/// `Content-Length` — identical to the GET form.
+pub fn write_response(
+    stream: &mut impl Write,
+    response: &Response,
+    keep_alive: bool,
+    head_only: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        response.status,
+        response.reason(),
+        response.content_type,
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in &response.extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    if !head_only {
+        stream.write_all(response.body.as_bytes())?;
+    }
+    stream.flush()
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> ReadOutcome {
+        read_request(&mut raw.as_bytes(), 8192)
+    }
+
+    fn request(raw: &str) -> Request {
+        match parse(raw) {
+            ReadOutcome::Request(r) => r,
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_simple_get() {
+        let r = request("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert!(r.query.is_empty());
+        assert!(r.keep_alive);
+    }
+
+    #[test]
+    fn parses_query_pairs_and_percent_escapes() {
+        let r = request("GET /errors?host=gpub%30%31&xid=74&from=1+2 HTTP/1.1\r\n\r\n");
+        assert_eq!(r.query_value("host"), Some("gpub01"));
+        assert_eq!(r.query_value("xid"), Some("74"));
+        assert_eq!(r.query_value("from"), Some("1 2"));
+    }
+
+    #[test]
+    fn canonical_query_sorts_pairs() {
+        let a = request("GET /errors?xid=74&host=h HTTP/1.1\r\n\r\n");
+        let b = request("GET /errors?host=h&xid=74 HTTP/1.1\r\n\r\n");
+        assert_eq!(a.canonical_query(), b.canonical_query());
+        assert_eq!(a.canonical_query(), "host=h&xid=74");
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        assert!(!request("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive);
+        assert!(!request("GET / HTTP/1.0\r\n\r\n").keep_alive);
+        assert!(request("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").keep_alive);
+    }
+
+    #[test]
+    fn oversized_head_is_too_large() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(100));
+        assert!(matches!(
+            read_request(&mut raw.as_bytes(), 64),
+            ReadOutcome::TooLarge
+        ));
+    }
+
+    #[test]
+    fn empty_stream_is_closed_truncated_is_malformed() {
+        assert!(matches!(parse(""), ReadOutcome::Closed));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\n"),
+            ReadOutcome::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn bodies_and_bad_escapes_are_rejected() {
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\n"),
+            ReadOutcome::Malformed(_)
+        ));
+        assert!(matches!(
+            parse("GET /%zz HTTP/1.1\r\n\r\n"),
+            ReadOutcome::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn percent_decode_edge_cases() {
+        assert_eq!(percent_decode("a%20b"), Some("a b".to_owned()));
+        assert_eq!(percent_decode("a%2"), None);
+        assert_eq!(percent_decode("a%gg"), None);
+        assert_eq!(percent_decode("plain"), Some("plain".to_owned()));
+    }
+
+    #[test]
+    fn response_serialization_sets_length_and_connection() {
+        let mut out = Vec::new();
+        let resp = Response::text(200, "hello").with_header("X-Snapshot", "3");
+        write_response(&mut out, &resp, true, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.contains("X-Snapshot: 3\r\n"));
+        assert!(text.ends_with("\r\n\r\nhello"));
+    }
+
+    #[test]
+    fn head_suppresses_body_but_keeps_length() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::text(200, "hello"), false, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
+    }
+}

@@ -1,0 +1,59 @@
+//! `servd` — the query/serving subsystem over a finished (or still
+//! streaming) GPU-resilience study.
+//!
+//! Four PRs of pipeline produce a [`StudyReport`](resilience::StudyReport)
+//! and render it once to stdout; this crate makes the same results
+//! *queryable*: an immutable, columnar [`StudyStore`] behind a
+//! hand-rolled HTTP/1.1 listener, in the workspace's zero-external-crates
+//! discipline (everything is `std`).
+//!
+//! # Architecture
+//!
+//! ```text
+//!  Pipeline / StreamingPipeline
+//!        │ publish (SnapshotSink)
+//!        ▼
+//!  StoreHandle ── RwLock<Arc<Published{id, StudyStore}>> ── atomic swap
+//!        │ current(): Arc clone                │
+//!        ▼                                     ▼
+//!  router ── ResponseCache (keyed on canonical query, scoped to id)
+//!        ▲
+//!  server ── accept thread ─ bounded queue ─ worker pool ─ keep-alive HTTP
+//! ```
+//!
+//! * [`store`] — the columnar snapshot: pre-rendered paper surfaces plus
+//!   sorted column vectors and posting-list indexes answering filtered
+//!   queries by binary search, and the [`StoreHandle`](store::StoreHandle)
+//!   swap point implementing the core pipeline's
+//!   [`SnapshotSink`](resilience::incremental::SnapshotSink).
+//! * [`router`] — path/query dispatch: `/tables/{1,2,3}`, `/fig2`
+//!   (byte-identical to the offline renderers), `/errors`, `/mtbe`,
+//!   `/jobs/impact`, `/availability`, `/snapshot`, `/healthz`, and
+//!   `/metrics` (the `obs` Prometheus exposition).
+//! * [`cache`] — snapshot-scoped response memo, invalidated wholesale on
+//!   swap.
+//! * [`http`] — bounded request parsing and fixed-length responses.
+//! * [`server`] — the listener: bounded queue, worker pool, timeouts,
+//!   `503` load shedding, graceful drain.
+//! * [`signal`] — SIGINT/SIGTERM → atomic flag (the crate's one `unsafe`
+//!   seam, a direct `signal(2)` binding).
+//!
+//! The differential suite (`tests/serve_equivalence.rs` at the workspace
+//! root) proves every endpoint byte-identical to the offline oracle over
+//! clean and corrupted inputs, and that concurrent snapshot swaps never
+//! produce a torn response.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod cache;
+pub mod http;
+pub mod router;
+pub mod server;
+pub mod signal;
+pub mod store;
+
+pub use cache::ResponseCache;
+pub use server::{start, RunningServer, ServeError, ServerConfig};
+pub use store::{ErrorFilter, StoreHandle, StudyStore};

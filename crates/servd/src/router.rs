@@ -1,0 +1,241 @@
+//! Request routing: path + query → rendered [`Response`].
+//!
+//! The router is a pure function of `(request, snapshot, cache)`; the
+//! snapshot is pinned by cloning the handle's `Arc` **once** at the top,
+//! so every byte of a response comes from a single store no matter how
+//! many swaps land mid-request. Store-derived endpoints carry an
+//! `X-Snapshot` header naming that snapshot and an `X-Cache: hit|miss`
+//! header, giving tests a deterministic view of cache behavior without
+//! reading global metrics.
+
+use crate::cache::ResponseCache;
+use crate::http::{Request, Response};
+use crate::store::{parse_time, parse_xid, ErrorFilter, StoreHandle};
+use obs::registry::DURATION_US_BUCKETS;
+use std::time::Instant;
+
+/// Routes one request against the current snapshot.
+pub fn handle(req: &Request, store: &StoreHandle, cache: &ResponseCache) -> Response {
+    let started = Instant::now();
+    let response = dispatch(req, store, cache);
+    if obs::is_enabled() {
+        obs::counter(
+            "servd_requests_total",
+            &[("endpoint", endpoint_label(&req.path))],
+        )
+        .inc();
+        let code = response.status.to_string();
+        obs::counter("servd_responses_total", &[("code", &code)]).inc();
+        obs::histogram("servd_request_duration_us", &[], DURATION_US_BUCKETS)
+            .observe(started.elapsed().as_micros() as u64);
+    }
+    response
+}
+
+/// Collapses paths to a bounded label set so the metric cardinality
+/// cannot be driven by request spam.
+fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "healthz",
+        "/metrics" => "metrics",
+        "/snapshot" => "snapshot",
+        "/fig2" => "fig2",
+        "/errors" => "errors",
+        "/mtbe" => "mtbe",
+        "/jobs/impact" => "jobs_impact",
+        "/availability" => "availability",
+        p if p.starts_with("/tables/") => "tables",
+        _ => "other",
+    }
+}
+
+fn dispatch(req: &Request, store: &StoreHandle, cache: &ResponseCache) -> Response {
+    if req.method != "GET" && req.method != "HEAD" {
+        return Response::text(405, "only GET and HEAD are supported\n");
+    }
+
+    // Uncached, snapshot-independent endpoints first.
+    match req.path.as_str() {
+        "/healthz" => return Response::text(200, "ok\n"),
+        "/metrics" => {
+            return Response::text(200, obs::global().report().to_prometheus());
+        }
+        _ => {}
+    }
+
+    // Everything else reads the store: pin one snapshot for the whole
+    // request.
+    let published = store.current();
+    let key = ResponseCache::key(&req.path, &req.canonical_query());
+    if let Some(cached) = cache.get(published.id, &key) {
+        if obs::is_enabled() {
+            obs::counter("servd_cache_hits_total", &[]).inc();
+        }
+        return cached
+            .with_header("X-Snapshot", published.id.to_string())
+            .with_header("X-Cache", "hit");
+    }
+    if obs::is_enabled() {
+        obs::counter("servd_cache_misses_total", &[]).inc();
+    }
+
+    let s = &published.store;
+    let response = match req.path.as_str() {
+        "/tables/1" => Response::text(200, s.table1()),
+        "/tables/2" => Response::text(200, s.table2()),
+        "/tables/3" => Response::text(200, s.table3()),
+        "/fig2" => Response::text(200, s.fig2()),
+        "/errors" => match error_filter(req) {
+            Ok(filter) => Response::csv(200, s.errors_csv(&filter)),
+            Err(msg) => Response::text(400, msg),
+        },
+        "/mtbe" => match req.query_value("xid").map(parse_xid).transpose() {
+            Ok(kind) => Response::csv(200, s.mtbe_csv(kind)),
+            Err(msg) => Response::text(400, format!("{msg}\n")),
+        },
+        "/jobs/impact" => Response::csv(200, s.jobs_impact_csv()),
+        "/availability" => Response::json(200, s.availability_json()),
+        "/snapshot" => Response::text(200, s.snapshot_info(published.id)),
+        _ => Response::text(404, "no such endpoint\n"),
+    };
+
+    if response.status == 200 {
+        cache.put(published.id, key, response.clone());
+    }
+    response
+        .with_header("X-Snapshot", published.id.to_string())
+        .with_header("X-Cache", "miss")
+}
+
+/// Builds the `/errors` filter from the query, rejecting unknown keys so
+/// a typo (`?hots=`) fails loudly instead of silently returning the
+/// unfiltered set.
+fn error_filter(req: &Request) -> Result<ErrorFilter, String> {
+    let mut filter = ErrorFilter::default();
+    for (k, v) in &req.query {
+        match k.as_str() {
+            "host" => filter.host = Some(v.clone()),
+            "xid" => filter.kind = Some(parse_xid(v)?),
+            "from" => filter.from = Some(parse_time(v)?),
+            "to" => filter.to = Some(parse_time(v)?),
+            other => return Err(format!("unknown query parameter {other:?}\n")),
+        }
+    }
+    Ok(filter)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::store::StudyStore;
+    use resilience::Pipeline;
+
+    fn empty_handle() -> StoreHandle {
+        let report = Pipeline::delta().run_events(Vec::new(), None, &[], &[], &[]);
+        StoreHandle::new(StudyStore::build(report, None))
+    }
+
+    fn get(path: &str, query: &[(&str, &str)]) -> Request {
+        Request {
+            method: "GET".to_owned(),
+            path: path.to_owned(),
+            query: query
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect(),
+            keep_alive: true,
+        }
+    }
+
+    fn header<'a>(resp: &'a Response, name: &str) -> Option<&'a str> {
+        resp.extra
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    #[test]
+    fn routes_every_endpoint() {
+        let store = empty_handle();
+        let cache = ResponseCache::new();
+        for path in [
+            "/healthz",
+            "/metrics",
+            "/tables/1",
+            "/tables/2",
+            "/tables/3",
+            "/fig2",
+            "/errors",
+            "/mtbe",
+            "/jobs/impact",
+            "/availability",
+            "/snapshot",
+        ] {
+            let resp = handle(&get(path, &[]), &store, &cache);
+            assert_eq!(resp.status, 200, "{path}");
+        }
+        assert_eq!(handle(&get("/nope", &[]), &store, &cache).status, 404);
+    }
+
+    #[test]
+    fn non_get_is_405() {
+        let store = empty_handle();
+        let cache = ResponseCache::new();
+        let mut req = get("/healthz", &[]);
+        req.method = "DELETE".to_owned();
+        assert_eq!(handle(&req, &store, &cache).status, 405);
+    }
+
+    #[test]
+    fn bad_queries_are_400() {
+        let store = empty_handle();
+        let cache = ResponseCache::new();
+        for (path, query) in [
+            ("/errors", [("xid", "13")]),
+            ("/errors", [("from", "whenever")]),
+            ("/errors", [("bogus", "1")]),
+            ("/mtbe", [("xid", "abc")]),
+        ] {
+            let resp = handle(&get(path, &query), &store, &cache);
+            assert_eq!(resp.status, 400, "{path}?{query:?}");
+        }
+    }
+
+    #[test]
+    fn cache_hits_on_reordered_params_and_misses_after_swap() {
+        let store = empty_handle();
+        let cache = ResponseCache::new();
+        let a = handle(
+            &get("/errors", &[("host", "h"), ("from", "5")]),
+            &store,
+            &cache,
+        );
+        assert_eq!(header(&a, "X-Cache"), Some("miss"));
+        let b = handle(
+            &get("/errors", &[("from", "5"), ("host", "h")]),
+            &store,
+            &cache,
+        );
+        assert_eq!(header(&b, "X-Cache"), Some("hit"));
+        assert_eq!(a.body, b.body);
+
+        let report = Pipeline::delta().run_events(Vec::new(), None, &[], &[], &[]);
+        store.publish(StudyStore::build(report, None));
+        let c = handle(
+            &get("/errors", &[("host", "h"), ("from", "5")]),
+            &store,
+            &cache,
+        );
+        assert_eq!(header(&c, "X-Cache"), Some("miss"), "swap invalidates");
+        assert_eq!(header(&c, "X-Snapshot"), Some("2"));
+    }
+
+    #[test]
+    fn error_responses_are_not_cached() {
+        let store = empty_handle();
+        let cache = ResponseCache::new();
+        handle(&get("/errors", &[("xid", "13")]), &store, &cache);
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,499 @@
+//! The listener: a bounded worker pool over `std::net::TcpListener`.
+//!
+//! One accept thread feeds a bounded connection queue; a fixed pool of
+//! worker threads drains it, each running a keep-alive request loop
+//! against the shared [`StoreHandle`] and [`ResponseCache`]. Every
+//! resource is capped — queue depth, worker count, request-head bytes,
+//! per-socket read/write time — so no client behavior can grow server
+//! state without bound. When the queue is full the accept thread answers
+//! `503` and closes, which is the whole load-shedding story: better an
+//! honest rejection in one round-trip than an unbounded backlog.
+//!
+//! Shutdown (from [`RunningServer::shutdown`] or a process signal
+//! observed by the bin) drains in order: stop accepting, let workers
+//! finish queued connections, join everything. The accept thread is
+//! unblocked by a self-connection, a trick that keeps the loop a plain
+//! blocking `accept()` with no platform poll machinery.
+
+use crate::cache::ResponseCache;
+use crate::http::{read_request, write_response, ReadOutcome, Response};
+use crate::router;
+use crate::store::StoreHandle;
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Listener tunables. The defaults suit a local query server; tests
+/// shrink them to exercise the rejection and timeout paths.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7171` (`:0` for an ephemeral port).
+    pub addr: String,
+    /// Worker threads draining the connection queue.
+    pub workers: usize,
+    /// Connection queue depth; an accept beyond it is answered `503`.
+    pub max_queue: usize,
+    /// Request-head byte cap; beyond it the request is answered `413`.
+    pub max_request_bytes: usize,
+    /// Per-socket read timeout (a stalled sender gets `408`, then close).
+    pub read_timeout: Duration,
+    /// Per-socket write timeout (a stalled reader gets dropped).
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            max_queue: 64,
+            max_request_bytes: 8 * 1024,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Why the server could not start.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Binding the listen address failed.
+    Bind {
+        /// The address that was requested.
+        addr: String,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Bind { addr, source } => {
+                write!(f, "failed to bind {addr}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Bind { source, .. } => Some(source),
+        }
+    }
+}
+
+/// The bounded handoff between the accept thread and the workers.
+#[derive(Debug)]
+struct ConnQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    cap: usize,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    conns: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new(cap: usize) -> Self {
+        ConnQueue {
+            state: Mutex::new(QueueState {
+                conns: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Enqueues a connection, or returns it when the queue is full or
+    /// closed (the caller sheds it with a `503`).
+    fn push(&self, conn: TcpStream) -> Result<(), TcpStream> {
+        let mut state = self.lock();
+        if state.closed || state.conns.len() >= self.cap {
+            return Err(conn);
+        }
+        state.conns.push_back(conn);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next connection; `None` once closed *and* drained —
+    /// queued clients are served even after shutdown begins.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.lock();
+        loop {
+            if let Some(conn) = state.conns.pop_front() {
+                return Some(conn);
+            }
+            if state.closed {
+                return None;
+            }
+            state = match self.ready.wait(state) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// A started server: the bound address plus the thread handles needed to
+/// drain it.
+#[derive(Debug)]
+pub struct RunningServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    queue: Arc<ConnQueue>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl RunningServer {
+    /// The actual bound address (resolves `:0` to the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, serve what is already queued,
+    /// join every thread. Idempotent via `Drop` (a second call finds the
+    /// handles already taken).
+    pub fn shutdown(mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept() call; the loop re-checks the flag before
+        // touching the connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+/// Binds and starts serving `store` under `config`.
+///
+/// # Errors
+///
+/// [`ServeError::Bind`] when the listen address cannot be bound.
+pub fn start(config: ServerConfig, store: Arc<StoreHandle>) -> Result<RunningServer, ServeError> {
+    let listener = TcpListener::bind(&config.addr).map_err(|source| ServeError::Bind {
+        addr: config.addr.clone(),
+        source,
+    })?;
+    let addr = listener.local_addr().map_err(|source| ServeError::Bind {
+        addr: config.addr.clone(),
+        source,
+    })?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let queue = Arc::new(ConnQueue::new(config.max_queue));
+    let cache = Arc::new(ResponseCache::new());
+
+    let mut workers = Vec::with_capacity(config.workers.max(1));
+    for _ in 0..config.workers.max(1) {
+        let queue = Arc::clone(&queue);
+        let store = Arc::clone(&store);
+        let cache = Arc::clone(&cache);
+        let config = config.clone();
+        workers.push(std::thread::spawn(move || {
+            while let Some(conn) = queue.pop() {
+                serve_connection(conn, &config, &store, &cache);
+            }
+        }));
+    }
+
+    let acceptor = {
+        let stop = Arc::clone(&stop);
+        let queue = Arc::clone(&queue);
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop.load(Ordering::SeqCst) || crate::signal::shutdown_requested() {
+                    break;
+                }
+                let Ok(conn) = conn else { continue };
+                if let Err(rejected) = queue.push(conn) {
+                    shed(rejected);
+                }
+            }
+        })
+    };
+
+    Ok(RunningServer {
+        addr,
+        stop,
+        queue,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+/// Answers a connection the queue could not take with a one-shot `503`.
+fn shed(mut conn: TcpStream) {
+    if obs::is_enabled() {
+        obs::counter("servd_connections_rejected_total", &[]).inc();
+    }
+    let _ = conn.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = conn.write_all(
+        b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 9\r\nConnection: close\r\n\r\noverload\n",
+    );
+}
+
+/// The per-connection keep-alive loop.
+fn serve_connection(
+    mut conn: TcpStream,
+    config: &ServerConfig,
+    store: &StoreHandle,
+    cache: &ResponseCache,
+) {
+    if obs::is_enabled() {
+        obs::counter("servd_connections_total", &[]).inc();
+    }
+    let _ = conn.set_read_timeout(Some(config.read_timeout));
+    let _ = conn.set_write_timeout(Some(config.write_timeout));
+    let _ = conn.set_nodelay(true);
+
+    loop {
+        let outcome = read_request(&mut conn, config.max_request_bytes);
+        let (response, keep_alive, head_only) = match &outcome {
+            ReadOutcome::Request(req) => {
+                let head_only = req.method == "HEAD";
+                let response = router::handle(req, store, cache);
+                (response, req.keep_alive, head_only)
+            }
+            ReadOutcome::Closed => return,
+            ReadOutcome::TooLarge => (Response::text(413, "request too large\n"), false, false),
+            ReadOutcome::TimedOut => (Response::text(408, "request timed out\n"), false, false),
+            ReadOutcome::Malformed(why) => (Response::text(400, format!("{why}\n")), false, false),
+        };
+        let wrote = write_response(&mut conn, &response, keep_alive, head_only);
+        if !matches!(outcome, ReadOutcome::Request(_)) {
+            // Error path: the peer may still have unread request bytes in
+            // flight; closing now would RST and can clip the response we
+            // just wrote. Discard a bounded amount first so the close is
+            // a clean FIN.
+            drain_input(&mut conn);
+        }
+        if wrote.is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Best-effort discard of pending request bytes before an error close,
+/// bounded in both bytes and time.
+fn drain_input(conn: &mut TcpStream) {
+    use std::io::Read;
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut discarded = 0usize;
+    let mut buf = [0u8; 4096];
+    while discarded < 64 * 1024 {
+        match conn.read(&mut buf) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => discarded += n,
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::store::StudyStore;
+    use resilience::Pipeline;
+    use std::io::Read;
+    use std::net::Shutdown;
+
+    fn handle() -> Arc<StoreHandle> {
+        let report = Pipeline::delta().run_events(Vec::new(), None, &[], &[], &[]);
+        Arc::new(StoreHandle::new(StudyStore::build(report, None)))
+    }
+
+    fn test_config() -> ServerConfig {
+        ServerConfig {
+            read_timeout: Duration::from_millis(400),
+            write_timeout: Duration::from_millis(400),
+            ..ServerConfig::default()
+        }
+    }
+
+    fn get(addr: SocketAddr, target: &str) -> String {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(conn, "GET {target} HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        let mut out = String::new();
+        conn.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    /// Reads exactly one response (headers + `Content-Length` body) off a
+    /// keep-alive connection; a single `read` may return a partial write.
+    fn read_one_response(conn: &mut TcpStream) -> String {
+        let mut buf = Vec::new();
+        let mut byte = [0u8; 1];
+        while !buf.ends_with(b"\r\n\r\n") {
+            assert_eq!(conn.read(&mut byte).unwrap(), 1, "EOF mid-headers");
+            buf.push(byte[0]);
+        }
+        let head = String::from_utf8(buf.clone()).unwrap();
+        let length: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        let mut body = vec![0u8; length];
+        conn.read_exact(&mut body).unwrap();
+        buf.extend_from_slice(&body);
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn serves_healthz_end_to_end() {
+        let server = start(test_config(), handle()).unwrap();
+        let resp = get(server.addr(), "/healthz");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        assert!(resp.ends_with("ok\n"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_connection() {
+        let server = start(test_config(), handle()).unwrap();
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        for _ in 0..3 {
+            write!(conn, "GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+            let text = read_one_response(&mut conn);
+            assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+            assert!(text.contains("Connection: keep-alive"));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_head_gets_413() {
+        let config = ServerConfig {
+            max_request_bytes: 128,
+            ..test_config()
+        };
+        let server = start(config, handle()).unwrap();
+        let resp = get(server.addr(), &format!("/{}", "x".repeat(500)));
+        assert!(resp.starts_with("HTTP/1.1 413"), "{resp}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stalled_sender_gets_408_not_a_stuck_worker() {
+        let server = start(test_config(), handle()).unwrap();
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Half a request, then silence longer than the read timeout.
+        write!(conn, "GET /healthz HT").unwrap();
+        let mut out = String::new();
+        conn.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 408"), "{out}");
+    }
+
+    #[test]
+    fn queue_overflow_is_shed_with_503() {
+        // One worker wedged on a held-open connection, queue depth 1:
+        // the third concurrent connection must be rejected, not queued.
+        let config = ServerConfig {
+            workers: 1,
+            max_queue: 1,
+            read_timeout: Duration::from_secs(2),
+            ..test_config()
+        };
+        let server = start(config, handle()).unwrap();
+        let wedge = TcpStream::connect(server.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(150)); // worker pops it, blocks
+        let queued = TcpStream::connect(server.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(150)); // sits in the queue
+        let mut shed_conn = TcpStream::connect(server.addr()).unwrap();
+        shed_conn
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut out = String::new();
+        shed_conn.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 503"), "{out}");
+        drop(wedge);
+        drop(queued);
+        server.shutdown();
+    }
+
+    #[test]
+    fn graceful_shutdown_joins_and_refuses_new_connections() {
+        let server = start(test_config(), handle()).unwrap();
+        let addr = server.addr();
+        assert!(get(addr, "/healthz").contains("200 OK"));
+        server.shutdown();
+        // The listener is gone: either the connect fails outright or the
+        // accepted-then-dropped socket yields no bytes.
+        match TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(mut conn) => {
+                conn.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+                let _ = write!(conn, "GET /healthz HTTP/1.1\r\n\r\n");
+                let _ = conn.shutdown(Shutdown::Write);
+                let mut out = Vec::new();
+                let _ = conn.read_to_end(&mut out);
+                assert!(out.is_empty(), "served after shutdown");
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_request_gets_400_and_close() {
+        let server = start(test_config(), handle()).unwrap();
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(conn, "BLETCH\r\n\r\n").unwrap();
+        let mut out = String::new();
+        conn.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+        assert!(out.contains("Connection: close"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn queue_basics() {
+        let q = ConnQueue::new(1);
+        q.close();
+        assert!(q.pop().is_none(), "closed empty queue pops None");
+    }
+}

@@ -1,0 +1,86 @@
+//! Process shutdown signals, without a signal-handling crate.
+//!
+//! The only thing a handler may safely do is flip an atomic, so that is
+//! all this module does: [`install`] registers a handler for `SIGINT`
+//! and `SIGTERM` that sets a process-global flag, and
+//! [`shutdown_requested`] reads it. The server's accept loop polls the
+//! flag between connections (and is woken by a self-connect from
+//! [`RunningServer::shutdown`](crate::server::RunningServer::shutdown)),
+//! turning ctrl-c into a graceful drain instead of a hard kill.
+//!
+//! This is the crate's single unsafe seam: the raw `signal(2)` binding
+//! below is the minimal FFI needed, declared directly because the
+//! workspace links no external crates (std already links libc). On
+//! non-Unix targets installation is a no-op and only the in-process
+//! [`request_shutdown`] path can set the flag.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Whether a shutdown signal (or [`request_shutdown`]) has been seen.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Sets the shutdown flag from inside the process (tests, the bin's
+/// orderly-exit path).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Clears the flag — test isolation only; a real process shuts down once.
+#[doc(hidden)]
+pub fn reset_for_tests() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod unix {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Storing to an atomic is async-signal-safe; nothing else here is
+        // allowed to allocate, lock, or call into std I/O.
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal(2)` with a handler that only touches an atomic;
+        // both arguments are valid for the whole process lifetime.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+/// Installs the `SIGINT`/`SIGTERM` handler (no-op off Unix). Idempotent.
+pub fn install() {
+    #[cfg(unix)]
+    unix::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trips() {
+        install();
+        reset_for_tests();
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+        reset_for_tests();
+    }
+}

@@ -1,0 +1,616 @@
+//! The immutable columnar study store and its atomic snapshot handle.
+//!
+//! A [`StudyStore`] is built once from a finished pipeline run (a
+//! [`StudyReport`] plus, optionally, its [`QuarantineReport`]) and never
+//! mutated afterwards. Construction decomposes the coalesced error set
+//! into parallel column vectors in the canonical `(time, host)` order the
+//! pipeline already guarantees, pre-renders every paper surface, and
+//! builds sorted secondary indexes (per-host and per-kind posting lists,
+//! themselves in time order). Query endpoints slice those columns with
+//! binary searches — a filtered `/errors` request never scans rows
+//! outside the narrowest applicable index.
+//!
+//! Serving threads never see a store mid-build: a [`StoreHandle`] holds
+//! the current store behind an `Arc` and swaps it atomically on
+//! [`publish`](StoreHandle::publish). Readers take the lock only long
+//! enough to clone the `Arc` (two atomic ops); they never wait on store
+//! construction, and a request that started on the old snapshot finishes
+//! on the old snapshot — responses are never torn across a swap. The
+//! streaming pipeline feeds live updates through the
+//! [`SnapshotSink`](resilience::incremental::SnapshotSink) impl.
+
+use resilience::incremental::SnapshotSink;
+use resilience::report;
+use resilience::{QuarantineReport, StudyReport};
+use simtime::{Phase, Timestamp};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use xid::{ErrorKind, XidCode};
+
+/// A filter over the coalesced error columns (the `/errors` query).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ErrorFilter {
+    /// Restrict to one host.
+    pub host: Option<String>,
+    /// Restrict to one error kind (resolved from a raw XID code).
+    pub kind: Option<ErrorKind>,
+    /// Inclusive lower time bound.
+    pub from: Option<Timestamp>,
+    /// Inclusive upper time bound.
+    pub to: Option<Timestamp>,
+}
+
+/// The immutable, columnar serving snapshot of one study.
+///
+/// Everything a request can ask for is either pre-rendered at build time
+/// (the paper surfaces, which must be byte-identical to the offline
+/// renderers) or answered from the sorted columns below.
+#[derive(Debug)]
+pub struct StudyStore {
+    report: StudyReport,
+    caveat_count: usize,
+    // Pre-rendered paper surfaces (byte-identical to `resilience::report`).
+    table1: String,
+    table2: String,
+    table3: String,
+    fig2: String,
+    // Column vectors over the coalesced, outlier-filtered error set, in
+    // the pipeline's canonical (time, host) order — `times` is sorted.
+    times: Vec<u64>,
+    host_ids: Vec<u32>,
+    pcis: Vec<String>,
+    kinds: Vec<ErrorKind>,
+    merged: Vec<u64>,
+    // Host dictionary (sorted, deduplicated) and the per-host / per-kind
+    // posting lists. Row ids inside a posting list ascend, so each list
+    // is itself in time order and admits the same binary searches the
+    // global `times` column does.
+    hosts: Vec<String>,
+    by_host: Vec<Vec<u32>>,
+    by_kind: BTreeMap<ErrorKind, Vec<u32>>,
+}
+
+impl StudyStore {
+    /// Builds the store from a finished run. `quarantine` carries the
+    /// lenient run's trust qualifiers into `/snapshot`; pass `None` for
+    /// strict runs.
+    pub fn build(report: StudyReport, quarantine: Option<&QuarantineReport>) -> Self {
+        let mut span = obs::span("servd_store_build");
+        span.add_items(report.errors.len() as u64);
+
+        let table1 = report::table1(&report);
+        let table2 = report::table2(&report);
+        let table3 = report::table3(&report);
+        let fig2 = report::figure2(&report);
+
+        let mut hosts: Vec<String> = report.errors.iter().map(|e| e.host.clone()).collect();
+        hosts.sort();
+        hosts.dedup();
+
+        let n = report.errors.len();
+        let mut times = Vec::with_capacity(n);
+        let mut host_ids = Vec::with_capacity(n);
+        let mut pcis = Vec::with_capacity(n);
+        let mut kinds = Vec::with_capacity(n);
+        let mut merged = Vec::with_capacity(n);
+        let mut by_host: Vec<Vec<u32>> = vec![Vec::new(); hosts.len()];
+        let mut by_kind: BTreeMap<ErrorKind, Vec<u32>> = BTreeMap::new();
+        for (row, e) in report.errors.iter().enumerate() {
+            let host_id = match hosts.binary_search(&e.host) {
+                Ok(i) => i as u32,
+                // Unreachable (the dictionary was built from these rows),
+                // but a wrong id is strictly worse than a skipped row.
+                Err(_) => continue,
+            };
+            times.push(e.time.unix());
+            host_ids.push(host_id);
+            pcis.push(e.pci.to_string());
+            kinds.push(e.kind);
+            merged.push(e.merged_lines);
+            by_host[host_id as usize].push(row as u32);
+            by_kind.entry(e.kind).or_default().push(row as u32);
+        }
+
+        StudyStore {
+            caveat_count: quarantine.map_or(0, |q| q.caveats.len()),
+            report,
+            table1,
+            table2,
+            table3,
+            fig2,
+            times,
+            host_ids,
+            pcis,
+            kinds,
+            merged,
+            hosts,
+            by_host,
+            by_kind,
+        }
+    }
+
+    /// The report the store was built from.
+    pub fn report(&self) -> &StudyReport {
+        &self.report
+    }
+
+    /// Number of coalesced error rows stored.
+    pub fn error_rows(&self) -> usize {
+        self.times.len()
+    }
+
+    /// The pre-rendered Table I (byte-identical to [`report::table1`]).
+    pub fn table1(&self) -> &str {
+        &self.table1
+    }
+
+    /// The pre-rendered Table II (byte-identical to [`report::table2`]).
+    pub fn table2(&self) -> &str {
+        &self.table2
+    }
+
+    /// The pre-rendered Table III (byte-identical to [`report::table3`]).
+    pub fn table3(&self) -> &str {
+        &self.table3
+    }
+
+    /// The pre-rendered Figure 2 (byte-identical to [`report::figure2`]).
+    pub fn fig2(&self) -> &str {
+        &self.fig2
+    }
+
+    /// The row ids matching `filter`, ascending (= time order).
+    ///
+    /// Index selection: with a host filter the per-host posting list is
+    /// sliced; with only a kind filter the per-kind list is sliced; with
+    /// neither the global time column is sliced. In every case the time
+    /// bounds are located by binary search, so work is proportional to
+    /// the *narrowest* index slice, never the full store.
+    fn select(&self, filter: &ErrorFilter) -> Vec<u32> {
+        let rows: &[u32] = match (&filter.host, filter.kind) {
+            (Some(host), _) => match self.hosts.binary_search_by(|h| h.as_str().cmp(host)) {
+                Ok(i) => &self.by_host[i],
+                Err(_) => &[],
+            },
+            (None, Some(kind)) => self.by_kind.get(&kind).map_or(&[][..], Vec::as_slice),
+            (None, None) => return self.select_global(filter),
+        };
+        let slice = self.time_slice(rows, filter);
+        match filter.kind {
+            // Residual predicate, applied only when both host and kind
+            // were given: the slice is already host- and time-bounded.
+            Some(kind) if filter.host.is_some() => slice
+                .iter()
+                .copied()
+                .filter(|&r| self.kinds[r as usize] == kind)
+                .collect(),
+            _ => slice.to_vec(),
+        }
+    }
+
+    /// The unfiltered case: binary-search the global sorted time column.
+    fn select_global(&self, filter: &ErrorFilter) -> Vec<u32> {
+        let lo = filter
+            .from
+            .map_or(0, |t| self.times.partition_point(|&time| time < t.unix()));
+        let hi = filter.to.map_or(self.times.len(), |t| {
+            self.times.partition_point(|&time| time <= t.unix())
+        });
+        (lo as u32..hi as u32).collect()
+    }
+
+    /// Slices a time-ordered posting list to the filter's time bounds by
+    /// binary search.
+    fn time_slice<'a>(&self, rows: &'a [u32], filter: &ErrorFilter) -> &'a [u32] {
+        let lo = filter.from.map_or(0, |t| {
+            rows.partition_point(|&r| self.times[r as usize] < t.unix())
+        });
+        let hi = filter.to.map_or(rows.len(), |t| {
+            rows.partition_point(|&r| self.times[r as usize] <= t.unix())
+        });
+        &rows[lo..hi]
+    }
+
+    /// Renders the `/errors` slice as CSV:
+    /// `time,host,pci,xid,kind,merged_lines`, rows in canonical order.
+    pub fn errors_csv(&self, filter: &ErrorFilter) -> String {
+        let rows = self.select(filter);
+        let mut out = String::from("time,host,pci,xid,kind,merged_lines\n");
+        for &r in &rows {
+            let r = r as usize;
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{}",
+                Timestamp::from_unix(self.times[r]),
+                self.hosts[self.host_ids[r] as usize],
+                self.pcis[r],
+                self.kinds[r].primary_code(),
+                self.kinds[r].abbreviation(),
+                self.merged[r]
+            );
+        }
+        out
+    }
+
+    /// Renders `/mtbe` as CSV, one row per `(kind, phase)`:
+    /// `xid,kind,phase,count,mtbe_system_h,mtbe_node_h`. With `kind`
+    /// given, only that kind's rows.
+    pub fn mtbe_csv(&self, kind: Option<ErrorKind>) -> String {
+        let mut out = String::from("xid,kind,phase,count,mtbe_system_h,mtbe_node_h\n");
+        let kinds: Vec<ErrorKind> = match kind {
+            Some(k) => vec![k],
+            None => ErrorKind::STUDIED.to_vec(),
+        };
+        let stats = &self.report.stats;
+        for k in kinds {
+            for (phase, label) in [(Phase::PreOp, "pre_op"), (Phase::Op, "op")] {
+                let _ = writeln!(
+                    out,
+                    "{},{},{label},{},{},{}",
+                    k.primary_code(),
+                    k.abbreviation(),
+                    stats.count(k, phase),
+                    fmt_cell(stats.mtbe_system(k, phase)),
+                    fmt_cell(stats.mtbe_per_node(k, phase)),
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders `/jobs/impact`: the Table II join as CSV plus the total
+    /// GPU-failed-jobs line.
+    pub fn jobs_impact_csv(&self) -> String {
+        let mut out = report::table2_csv(&self.report);
+        let _ = writeln!(
+            out,
+            "total_gpu_failed_jobs,{}",
+            self.report.impact.gpu_failed_jobs()
+        );
+        out
+    }
+
+    /// Renders `/availability` as a deterministic JSON object.
+    pub fn availability_json(&self) -> String {
+        let a = &self.report.availability;
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"outages\": {},", a.outage_count());
+        let _ = writeln!(out, "  \"mttr_hours\": {},", fmt_json(a.mttr_hours()));
+        let _ = writeln!(
+            out,
+            "  \"total_downtime_node_hours\": {},",
+            fmt_json(Some(a.total_downtime_node_hours()))
+        );
+        let _ = writeln!(
+            out,
+            "  \"mttf_hours\": {},",
+            fmt_json(self.report.mttf_hours)
+        );
+        let _ = writeln!(
+            out,
+            "  \"availability\": {},",
+            fmt_json(self.report.availability_estimate())
+        );
+        let _ = writeln!(
+            out,
+            "  \"availability_empirical\": {}",
+            fmt_json(Some(a.availability_empirical()))
+        );
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders `/snapshot` metadata for a snapshot id assigned by the
+    /// handle.
+    pub fn snapshot_info(&self, id: u64) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "snapshot: {id}");
+        let _ = writeln!(out, "errors: {}", self.error_rows());
+        let _ = writeln!(out, "hosts: {}", self.hosts.len());
+        let _ = writeln!(
+            out,
+            "gpu_jobs_failed: {}",
+            self.report.impact.gpu_failed_jobs()
+        );
+        let _ = writeln!(out, "outages: {}", self.report.availability.outage_count());
+        let _ = writeln!(out, "caveats: {}", self.caveat_count);
+        out
+    }
+}
+
+/// Resolves a raw XID code string from a query into a studied kind.
+///
+/// # Errors
+///
+/// A human-readable message when the code is not a number or maps to a
+/// kind the study excludes (XID 13/43, unknown codes).
+pub fn parse_xid(raw: &str) -> Result<ErrorKind, String> {
+    let code: u16 = raw
+        .parse()
+        .map_err(|_| format!("bad xid {raw:?}: expected a numeric XID code"))?;
+    let kind = ErrorKind::from_code(XidCode::new(code));
+    if kind.is_studied() {
+        Ok(kind)
+    } else {
+        Err(format!("xid {code} is not a studied error kind"))
+    }
+}
+
+/// Parses a query time bound: either raw Unix seconds or ISO-8601
+/// `YYYY-MM-DDTHH:MM:SSZ` (the `Timestamp` display format).
+///
+/// # Errors
+///
+/// A human-readable message when neither form parses.
+pub fn parse_time(raw: &str) -> Result<Timestamp, String> {
+    if raw.bytes().all(|b| b.is_ascii_digit()) && !raw.is_empty() {
+        return raw
+            .parse::<u64>()
+            .map(Timestamp::from_unix)
+            .map_err(|_| format!("bad time {raw:?}"));
+    }
+    let digits: Vec<u64> = raw
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().unwrap_or(u64::MAX))
+        .collect();
+    if let [y, mo, d, h, mi, s] = digits[..] {
+        if let Ok(t) =
+            Timestamp::from_ymd_hms(y as i32, mo as u32, d as u32, h as u32, mi as u32, s as u32)
+        {
+            return Ok(t);
+        }
+    }
+    Err(format!(
+        "bad time {raw:?}: expected Unix seconds or YYYY-MM-DDTHH:MM:SSZ"
+    ))
+}
+
+fn fmt_cell(v: Option<f64>) -> String {
+    v.map_or(String::new(), |v| format!("{v:.3}"))
+}
+
+fn fmt_json(v: Option<f64>) -> String {
+    match v {
+        // `+ 0.0` folds IEEE negative zero into plain zero for display.
+        Some(v) if v.is_finite() => format!("{:.6}", v + 0.0),
+        _ => "null".to_owned(),
+    }
+}
+
+/// One published snapshot: a store plus the monotone id the handle
+/// assigned at publish time (surfaced as the `X-Snapshot` header).
+#[derive(Debug)]
+pub struct Published {
+    /// Monotone snapshot id, starting at 1.
+    pub id: u64,
+    /// The immutable store.
+    pub store: StudyStore,
+}
+
+/// The swap point between the pipeline and the serving threads.
+///
+/// Writers build a complete [`StudyStore`] *outside* the lock and then
+/// [`publish`](StoreHandle::publish) it; readers
+/// [`current`](StoreHandle::current) an `Arc` clone and keep serving from
+/// that snapshot no matter how many swaps happen behind them. The lock is
+/// held only for the pointer exchange, never during store construction or
+/// rendering, so readers are wait-free in all but the swap instant.
+#[derive(Debug)]
+pub struct StoreHandle {
+    current: RwLock<Arc<Published>>,
+    next_id: AtomicU64,
+}
+
+impl StoreHandle {
+    /// Creates the handle with an initial store (snapshot id 1).
+    pub fn new(store: StudyStore) -> Self {
+        StoreHandle {
+            current: RwLock::new(Arc::new(Published { id: 1, store })),
+            next_id: AtomicU64::new(2),
+        }
+    }
+
+    /// Atomically replaces the served snapshot; returns the new id.
+    /// Requests already holding the old `Arc` finish on the old snapshot.
+    pub fn publish(&self, store: StudyStore) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let published = Arc::new(Published { id, store });
+        match self.current.write() {
+            Ok(mut guard) => *guard = published,
+            // A poisoned lock only means a reader panicked while cloning
+            // the Arc; the data is an Arc swap away from consistent.
+            Err(poisoned) => *poisoned.into_inner() = published,
+        }
+        if obs::is_enabled() {
+            obs::counter("servd_snapshot_swaps_total", &[]).inc();
+        }
+        id
+    }
+
+    /// The snapshot to serve this request from.
+    pub fn current(&self) -> Arc<Published> {
+        match self.current.read() {
+            Ok(guard) => Arc::clone(&guard),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
+    }
+}
+
+impl SnapshotSink for StoreHandle {
+    /// The streaming pipeline's live-update path: materialized snapshots
+    /// land here and become the served store.
+    fn publish(&self, report: StudyReport, quarantine: QuarantineReport) {
+        StoreHandle::publish(self, StudyStore::build(report, Some(&quarantine)));
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use hpclog::{PciAddr, XidEvent};
+    use resilience::Pipeline;
+    use simtime::{Duration, StudyPeriods};
+
+    fn op_time(secs: u64) -> Timestamp {
+        StudyPeriods::delta().op.start + Duration::from_secs(secs)
+    }
+
+    fn sample_report() -> StudyReport {
+        let mk = |secs: u64, host: &str, gpu: u8, code: u16| {
+            XidEvent::new(
+                op_time(secs),
+                host,
+                PciAddr::for_gpu_index(gpu),
+                XidCode::new(code),
+                "",
+            )
+        };
+        let events = vec![
+            mk(100, "gpub001", 0, 119),
+            mk(200, "gpub002", 1, 74),
+            mk(5000, "gpub001", 0, 31),
+            mk(9000, "gpub003", 2, 119),
+            mk(12_000, "gpub001", 3, 63),
+        ];
+        Pipeline::delta().run_events(events, None, &[], &[], &[])
+    }
+
+    fn store() -> StudyStore {
+        StudyStore::build(sample_report(), None)
+    }
+
+    #[test]
+    fn surfaces_match_offline_renderers() {
+        let report = sample_report();
+        let s = StudyStore::build(report.clone(), None);
+        assert_eq!(s.table1(), report::table1(&report));
+        assert_eq!(s.table2(), report::table2(&report));
+        assert_eq!(s.table3(), report::table3(&report));
+        assert_eq!(s.fig2(), report::figure2(&report));
+    }
+
+    #[test]
+    fn unfiltered_errors_list_everything_in_order() {
+        let s = store();
+        let csv = s.errors_csv(&ErrorFilter::default());
+        assert_eq!(csv.lines().count(), 1 + 5);
+        let times: Vec<&str> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').next().unwrap())
+            .collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn host_filter_slices_by_posting_list() {
+        let s = store();
+        let csv = s.errors_csv(&ErrorFilter {
+            host: Some("gpub001".to_owned()),
+            ..ErrorFilter::default()
+        });
+        assert_eq!(csv.lines().count(), 1 + 3);
+        assert!(csv.lines().skip(1).all(|l| l.contains("gpub001")));
+    }
+
+    #[test]
+    fn combined_filters_intersect() {
+        let s = store();
+        let filter = ErrorFilter {
+            host: Some("gpub001".to_owned()),
+            kind: Some(ErrorKind::GspError),
+            from: Some(op_time(0)),
+            to: Some(op_time(10_000)),
+        };
+        let csv = s.errors_csv(&filter);
+        let rows: Vec<&str> = csv.lines().skip(1).collect();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].contains("gpub001") && rows[0].contains("GSP"));
+    }
+
+    #[test]
+    fn time_bounds_are_inclusive_and_binary_searched() {
+        let s = store();
+        let csv = s.errors_csv(&ErrorFilter {
+            from: Some(op_time(200)),
+            to: Some(op_time(9000)),
+            ..ErrorFilter::default()
+        });
+        assert_eq!(csv.lines().count(), 1 + 3); // 200, 5000, 9000
+    }
+
+    #[test]
+    fn unknown_host_yields_empty_slice() {
+        let s = store();
+        let csv = s.errors_csv(&ErrorFilter {
+            host: Some("nosuchhost".to_owned()),
+            ..ErrorFilter::default()
+        });
+        assert_eq!(csv.lines().count(), 1);
+    }
+
+    #[test]
+    fn mtbe_rows_match_stats() {
+        let report = sample_report();
+        let s = StudyStore::build(report.clone(), None);
+        let csv = s.mtbe_csv(Some(ErrorKind::GspError));
+        let op_row = csv.lines().find(|l| l.contains(",op,")).unwrap();
+        let count = report.stats.count(ErrorKind::GspError, Phase::Op);
+        assert!(op_row.starts_with(&format!("119,GSP Error,op,{count},")));
+        let all = s.mtbe_csv(None);
+        assert_eq!(all.lines().count(), 1 + 2 * ErrorKind::STUDIED.len());
+    }
+
+    #[test]
+    fn parse_xid_accepts_studied_rejects_excluded() {
+        assert_eq!(parse_xid("119").unwrap(), ErrorKind::GspError);
+        assert_eq!(parse_xid("120").unwrap(), ErrorKind::GspError);
+        assert!(parse_xid("13").is_err());
+        assert!(parse_xid("9999").is_err());
+        assert!(parse_xid("abc").is_err());
+    }
+
+    #[test]
+    fn parse_time_accepts_unix_and_iso() {
+        assert_eq!(parse_time("1000").unwrap(), Timestamp::from_unix(1000));
+        let iso = op_time(0).to_string();
+        assert_eq!(parse_time(&iso).unwrap(), op_time(0));
+        assert!(parse_time("not-a-time").is_err());
+    }
+
+    #[test]
+    fn availability_json_is_deterministic() {
+        let s = store();
+        assert_eq!(s.availability_json(), s.availability_json());
+        assert!(s.availability_json().contains("\"outages\": 0"));
+    }
+
+    #[test]
+    fn handle_swaps_atomically_and_monotonically() {
+        let handle = StoreHandle::new(store());
+        assert_eq!(handle.current().id, 1);
+        let held = handle.current();
+        let id = handle.publish(store());
+        assert_eq!(id, 2);
+        assert_eq!(handle.current().id, 2);
+        // A reader that grabbed the old snapshot keeps it intact.
+        assert_eq!(held.id, 1);
+        assert_eq!(held.store.error_rows(), 5);
+    }
+
+    #[test]
+    fn snapshot_sink_publishes_materialized_reports() {
+        let handle = StoreHandle::new(store());
+        let mut engine = resilience::StreamingPipeline::new(Pipeline::delta(), 2022);
+        engine.push_log(b"");
+        engine.publish_snapshot(&handle);
+        assert_eq!(handle.current().id, 2);
+        assert_eq!(handle.current().store.error_rows(), 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! `delta-serve` — serve a computed study over HTTP.
+//!
+//! ```text
+//! delta-serve <LOG>... [--jobs FILE] [--cpu-jobs FILE] [--outages FILE]
+//!             [--addr HOST:PORT] [--threads N] [--max-conns N] [--window SECS]
+//! ```
+//!
+//! Ingests the same inputs as `delta-cli analyze` (per-day syslog files
+//! plus optional job/outage CSV exports), runs the lenient pipeline once,
+//! builds the `servd` columnar store, and serves it until SIGINT/SIGTERM:
+//!
+//! ```text
+//! GET /tables/1 /tables/2 /tables/3 /fig2   the paper surfaces
+//! GET /errors?host=&xid=&from=&to=          filtered coalesced errors (CSV)
+//! GET /mtbe[?xid=]                          per-kind MTBE rows (CSV)
+//! GET /jobs/impact                          Table II + failed-job total (CSV)
+//! GET /availability                         §V-C summary (JSON)
+//! GET /snapshot /healthz /metrics           serving metadata + Prometheus
+//! ```
+//!
+//! Metrics are always on for a server (the registry powers `/metrics`).
+//! Shared plumbing and the error taxonomy live in
+//! [`delta_gpu_resilience::cli`].
+
+use delta_gpu_resilience::cli::{self, parse_flags, CliError};
+use delta_gpu_resilience::prelude::*;
+use resilience::error::CsvInput;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration as StdDuration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if matches!(args.first().map(String::as_str), Some("--help" | "-h")) {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            if matches!(err, CliError::Usage(_)) {
+                eprint!("{USAGE}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+delta-serve — HTTP query server over a GPU resilience study
+
+USAGE:
+  delta-serve <LOG>... [--jobs FILE] [--cpu-jobs FILE] [--outages FILE]
+              [--addr HOST:PORT] [--threads N] [--max-conns N] [--window SECS]
+
+INPUTS (as in delta-cli analyze)
+  <LOG>...        per-day syslog files (or directories of them)
+  --jobs FILE     GPU job export CSV
+  --cpu-jobs FILE CPU job export CSV
+  --outages FILE  outage export CSV
+  --window SECS   coalescing window Δt (default 20)
+
+SERVER
+  --addr A        listen address (default 127.0.0.1:7171; use :0 for ephemeral)
+  --threads N     worker threads (default 4)
+  --max-conns N   connection queue depth; beyond it requests get 503 (default 64)
+
+ENDPOINTS
+  /tables/1 /tables/2 /tables/3 /fig2 /errors /mtbe /jobs/impact
+  /availability /snapshot /healthz /metrics
+";
+
+fn run(args: &[String]) -> Result<(), CliError> {
+    let flags = parse_flags(
+        args,
+        &[
+            "jobs",
+            "cpu-jobs",
+            "outages",
+            "addr",
+            "threads",
+            "max-conns",
+            "window",
+        ],
+    )?;
+    if flags.positionals.is_empty() {
+        return Err(CliError::Usage(
+            "serve needs at least one log file".to_owned(),
+        ));
+    }
+
+    // The registry backs /metrics and the request/cache counters; a
+    // server run is always instrumented.
+    obs::set_enabled(true);
+
+    // Ingest per-day logs exactly as `delta-cli analyze` does: year from
+    // the filename when present, otherwise probed from a line sample.
+    let mut log = Vec::new();
+    let mut year = None;
+    {
+        let mut span = obs::span("stage_ingest");
+        let files = cli::collect_log_files(&flags.positionals)?;
+        for file in &files {
+            let bytes = cli::read_bytes(file)?;
+            if year.is_none() {
+                year = cli::year_from_filename(file);
+            }
+            log.extend_from_slice(&bytes);
+            if !log.ends_with(b"\n") {
+                log.push(b'\n');
+            }
+        }
+        span.add_items(files.len() as u64);
+    }
+    let year = year.unwrap_or_else(|| probe_year(&log));
+
+    let gpu_csv = match flags.value("jobs") {
+        Some(path) => cli::read_to_string(path)?,
+        None => String::new(),
+    };
+    let cpu_csv = match flags.value("cpu-jobs") {
+        Some(path) => cli::read_to_string(path)?,
+        None => String::new(),
+    };
+    let out_csv = match flags.value("outages") {
+        Some(path) => cli::read_to_string(path)?,
+        None => String::new(),
+    };
+    // Strict-parse the CSVs first so schema errors surface as clean CLI
+    // errors instead of silent quarantine rows.
+    if !gpu_csv.is_empty() {
+        cli::parse_jobs_csv(&gpu_csv, CsvInput::GpuJobs)?;
+    }
+    if !cpu_csv.is_empty() {
+        cli::parse_jobs_csv(&cpu_csv, CsvInput::CpuJobs)?;
+    }
+    if !out_csv.is_empty() {
+        cli::parse_outages_csv(&out_csv)?;
+    }
+
+    let mut pipeline = Pipeline::delta();
+    if let Some(w) = flags.value("window") {
+        let secs: u64 = w
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad --window {w:?}")))?;
+        pipeline.coalesce_window = Duration::from_secs(secs);
+    }
+    let (report, quarantine) =
+        pipeline.run_lenient(log.as_slice(), year, &gpu_csv, &cpu_csv, &out_csv);
+    for caveat in &quarantine.caveats {
+        eprintln!("caveat: {caveat:?}");
+    }
+    println!(
+        "study ready: {} coalesced errors, {} GPU jobs joined, {} outages",
+        report.errors.len(),
+        report.impact.gpu_failed_jobs(),
+        report.availability.outage_count()
+    );
+
+    let store = Arc::new(servd::StoreHandle::new(servd::StudyStore::build(
+        report,
+        Some(&quarantine),
+    )));
+
+    let mut config = servd::ServerConfig {
+        addr: flags.value("addr").unwrap_or("127.0.0.1:7171").to_owned(),
+        ..servd::ServerConfig::default()
+    };
+    if let Some(n) = flags.value("threads") {
+        config.workers = n
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad --threads {n:?}")))?;
+    }
+    if let Some(n) = flags.value("max-conns") {
+        config.max_queue = n
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad --max-conns {n:?}")))?;
+    }
+
+    servd::signal::install();
+    let server = servd::start(config, store)?;
+    println!(
+        "serving on http://{}  (SIGINT/SIGTERM to stop)",
+        server.addr()
+    );
+
+    while !servd::signal::shutdown_requested() {
+        std::thread::sleep(StdDuration::from_millis(100));
+    }
+    eprintln!("shutting down");
+    server.shutdown();
+    Ok(())
+}
+
+/// Picks the year under which a sample of the log's lines parses with the
+/// fewest losses (same heuristic as `delta-cli analyze`).
+fn probe_year(log: &[u8]) -> i32 {
+    let text = String::from_utf8_lossy(log);
+    let sample: Vec<&str> = text.lines().take(500).collect();
+    let mut best = (usize::MAX, 2024);
+    for year in 2022..=2026 {
+        let mut probe = hpclog::archive::Archive::new();
+        let (_, skipped) = probe.ingest_day(&sample.join("\n"), year);
+        if skipped < best.0 {
+            best = (skipped, year);
+        }
+    }
+    best.1
+}

@@ -53,6 +53,8 @@ pub enum CliError {
     Pipeline(PipelineError),
     /// A checkpoint snapshot failed to load or validate.
     Checkpoint(CheckpointError),
+    /// The serving subsystem failed to start (bind errors and friends).
+    Serve(servd::ServeError),
 }
 
 impl fmt::Display for CliError {
@@ -67,6 +69,7 @@ impl fmt::Display for CliError {
             CliError::Invalid(msg) => write!(f, "{msg}"),
             CliError::Pipeline(e) => write!(f, "{e}"),
             CliError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            CliError::Serve(e) => write!(f, "serve: {e}"),
         }
     }
 }
@@ -77,6 +80,7 @@ impl std::error::Error for CliError {
             CliError::Io { source, .. } => Some(source),
             CliError::Pipeline(e) => Some(e),
             CliError::Checkpoint(e) => Some(e),
+            CliError::Serve(e) => Some(e),
             _ => None,
         }
     }
@@ -91,6 +95,12 @@ impl From<PipelineError> for CliError {
 impl From<CheckpointError> for CliError {
     fn from(e: CheckpointError) -> Self {
         CliError::Checkpoint(e)
+    }
+}
+
+impl From<servd::ServeError> for CliError {
+    fn from(e: servd::ServeError) -> Self {
+        CliError::Serve(e)
     }
 }
 

@@ -19,6 +19,7 @@
 //! | [`faultsim`] | calibrated discrete-event fault injection |
 //! | [`slurmsim`] | workload generation + scheduling + error co-simulation |
 //! | [`resilience`] | the paper's analysis pipeline |
+//! | [`servd`] | HTTP query/serving subsystem over finished studies |
 //!
 //! # Quickstart
 //!
@@ -56,6 +57,7 @@ pub use faultsim;
 pub use hpclog;
 pub use obs;
 pub use resilience;
+pub use servd;
 pub use simrng;
 pub use simtime;
 pub use slurmsim;
