@@ -1,0 +1,440 @@
+//! E16 live-ingest load generator: sustained `POST /ingest/*` throughput
+//! with concurrent query load, plus the backpressure contract under
+//! deliberate overload.
+//!
+//! One campaign is simulated and its rendered syslog is POSTed chunk by
+//! chunk (with `?seq=` exactly-once bookkeeping) to a live-ingest servd
+//! instance while reader threads hammer `/tables/1`. Three phases:
+//!
+//! 1. **Idle baseline** — read latency with no ingest running.
+//! 2. **Sustained ingest** — writer feeds the whole corpus; readers run
+//!    concurrently. Gates: the final surfaces are byte-identical to the
+//!    batch-analysis study, and read p99 stays within 2× the idle p99
+//!    (with a small absolute floor for timer noise).
+//! 3. **Shed probe** — a queue of capacity 2 with no worker: every offer
+//!    past the queue must come back `429` *immediately* (load shedding,
+//!    not blocking) while reads keep flowing.
+//!
+//! ```text
+//! cargo run --release -p bench --bin ingest_loadgen [--smoke] [SCALE] [SEED]
+//! ```
+
+use bench::{banner, run_study, RunOptions, DEFAULT_SEED};
+use delta_gpu_resilience::bridge;
+use resilience::csvio;
+use servd::{IngestConfig, ServerConfig, StoreHandle, StudyStore};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let (smoke, options) = parse_args();
+    banner("live ingest load generator (E16)", options);
+
+    let study = run_study(options, true);
+    let mut log = Vec::new();
+    for line in study.campaign.archive.iter() {
+        log.extend_from_slice(line.to_string().as_bytes());
+        log.push(b'\n');
+    }
+    let gpu_csv = csvio::render_jobs(&bridge::jobs(&study.outcome.jobs));
+    let cpu_csv = csvio::render_jobs(&bridge::jobs(&study.outcome.cpu_jobs));
+    let out_csv = csvio::render_outages(&bridge::outages(study.campaign.ledger.outages()));
+    println!(
+        "corpus: {} log bytes, {} GPU jobs, {} outages",
+        log.len(),
+        study.report.impact.gpu_failed_jobs(),
+        study.report.availability.outage_count()
+    );
+
+    let dir = scratch("e16");
+    let mut ingest_config = IngestConfig::new(&dir);
+    ingest_config.queue_capacity = 256;
+    ingest_config.publish_every_events = 20_000;
+    ingest_config.publish_every = Duration::from_secs(1);
+    let mut pipeline = resilience::Pipeline::delta();
+    pipeline.periods = study.campaign.config.periods;
+    let recovered = servd::ingest::recover(ingest_config, pipeline, 2022)
+        .unwrap_or_else(|e| panic!("recover failed: {e}"));
+    let (report, quarantine) = recovered.engine.materialize_full();
+    let store = Arc::new(StoreHandle::new(StudyStore::build(
+        report,
+        Some(&quarantine),
+    )));
+    let worker = servd::ingest::spawn_worker(
+        recovered.engine,
+        Arc::clone(&recovered.handle),
+        Arc::clone(&store),
+    );
+    let server = servd::start_with_ingest(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 8,
+            max_queue: 16,
+            ..ServerConfig::default()
+        },
+        Arc::clone(&store),
+        Some(Arc::clone(&recovered.handle)),
+    )
+    .unwrap_or_else(|e| panic!("failed to start server: {e}"));
+    let addr = server.addr().to_string();
+
+    // Phase 1 — idle read baseline.
+    let idle_reads = if smoke { 400 } else { 2000 };
+    let idle = read_phase(&addr, idle_reads);
+    println!(
+        "idle reads: {} requests, p50 {}  p99 {}",
+        idle.len(),
+        human_ns(percentile(&idle, 50)),
+        human_ns(percentile(&idle, 99)),
+    );
+    let idle_p99 = percentile(&idle, 99);
+
+    // Phase 2 — sustained ingest with concurrent readers.
+    let chunk = if smoke { 16 * 1024 } else { 4 * 1024 };
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut conn = connect(&addr);
+                let mut latencies = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let started = Instant::now();
+                    let (status, _, _) = request_on(&mut conn, "GET", "/tables/1", &[]);
+                    assert_eq!(status, 200, "read failed during ingest");
+                    latencies.push(started.elapsed().as_nanos() as u64);
+                }
+                latencies
+            })
+        })
+        .collect();
+
+    let ingest_started = Instant::now();
+    let mut writer = connect(&addr);
+    let mut shed_429 = 0u64;
+    let mut posted = 0u64;
+    for (i, piece) in log.chunks(chunk).enumerate() {
+        shed_429 += post_chunk(&mut writer, "logs", i as u64, piece);
+        posted += 1;
+    }
+    for (stream, csv) in [
+        ("jobs", &gpu_csv),
+        ("cpu-jobs", &cpu_csv),
+        ("outages", &out_csv),
+    ] {
+        for (i, piece) in csv.as_bytes().chunks(chunk).enumerate() {
+            shed_429 += post_chunk(&mut writer, stream, i as u64, piece);
+            posted += 1;
+        }
+    }
+    let (status, _, flush_body) = request_on(&mut writer, "POST", "/ingest/flush", &[]);
+    assert_eq!(status, 200, "flush failed: {flush_body}");
+    let ingest_secs = ingest_started.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let mut under_ingest: Vec<u64> = Vec::new();
+    for reader in readers {
+        under_ingest.extend(reader.join().unwrap_or_else(|_| {
+            panic!("reader thread panicked");
+        }));
+    }
+    under_ingest.sort_unstable();
+    let ingest_p99 = percentile(&under_ingest, 99);
+    let applied_chunks = recovered.handle.applied().iter().sum::<u64>();
+    println!(
+        "sustained ingest: {} chunks ({} bytes) in {:.2} s — {:.0} chunks/s, {:.1} MiB/s, {} shed (429)",
+        posted,
+        log.len() + gpu_csv.len() + cpu_csv.len() + out_csv.len(),
+        ingest_secs,
+        posted as f64 / ingest_secs.max(1e-12),
+        (log.len() + gpu_csv.len() + cpu_csv.len() + out_csv.len()) as f64
+            / 1048576.0
+            / ingest_secs.max(1e-12),
+        shed_429,
+    );
+    println!(
+        "reads under ingest: {} requests, p50 {}  p99 {}  (idle p99 {})",
+        under_ingest.len(),
+        human_ns(percentile(&under_ingest, 50)),
+        human_ns(ingest_p99),
+        human_ns(idle_p99),
+    );
+    assert_eq!(
+        applied_chunks, posted,
+        "applied chunk count drifted from posted"
+    );
+
+    // Convergence gate: the live-ingested study serves the identical
+    // bytes the batch analysis produced (the archive-vs-rendered-bytes
+    // equality behind this is asserted by E11's cross-check).
+    let mut conn = connect(&addr);
+    for (path, expected) in [
+        ("/tables/1", resilience::report::table1(&study.report)),
+        ("/tables/2", resilience::report::table2(&study.report)),
+        ("/tables/3", resilience::report::table3(&study.report)),
+        ("/fig2", resilience::report::figure2(&study.report)),
+    ] {
+        let (status, _, body) = request_on(&mut conn, "GET", path, &[]);
+        assert_eq!(status, 200, "{path}");
+        assert_eq!(body, expected, "{path} diverged from the batch study");
+    }
+    println!("convergence: /tables/1-3 and /fig2 byte-identical to the batch study");
+
+    // Tail-latency gate: ingest must not stall readers. The floor
+    // absorbs timer noise on very fast idle baselines.
+    let floor_ns = 25_000_000u64; // 25 ms
+    let budget = (2 * idle_p99).max(floor_ns);
+    assert!(
+        ingest_p99 <= budget,
+        "read p99 under ingest {} exceeds budget {} (2x idle p99 {}, floor {})",
+        human_ns(ingest_p99),
+        human_ns(budget),
+        human_ns(idle_p99),
+        human_ns(floor_ns),
+    );
+    println!(
+        "tail gate: p99 under ingest {} <= budget {} — ok",
+        human_ns(ingest_p99),
+        human_ns(budget)
+    );
+    server.shutdown();
+    worker.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Phase 3 — shed probe: a tiny queue with no worker must shed
+    // instantly with 429 + Retry-After while reads keep flowing.
+    let dir = scratch("e16-shed");
+    let mut shed_config = IngestConfig::new(&dir);
+    shed_config.queue_capacity = 2;
+    let recovered = servd::ingest::recover(shed_config, resilience::Pipeline::delta(), 2022)
+        .unwrap_or_else(|e| panic!("shed recover failed: {e}"));
+    let (report, quarantine) = recovered.engine.materialize_full();
+    let store = Arc::new(StoreHandle::new(StudyStore::build(
+        report,
+        Some(&quarantine),
+    )));
+    let server = servd::start_with_ingest(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            ..ServerConfig::default()
+        },
+        store,
+        Some(Arc::clone(&recovered.handle)),
+    )
+    .unwrap_or_else(|e| panic!("failed to start shed server: {e}"));
+    let addr = server.addr().to_string();
+    let mut writer = connect(&addr);
+    let mut reader = connect(&addr);
+    for seq in 0..2u64 {
+        let (status, _, _) = request_on(
+            &mut writer,
+            "POST",
+            &format!("/ingest/logs?seq={seq}"),
+            b"x\n",
+        );
+        assert_eq!(status, 200, "within-capacity offer rejected");
+    }
+    let probes = if smoke { 50 } else { 200 };
+    let mut worst_shed = 0u64;
+    let mut worst_read = 0u64;
+    for _ in 0..probes {
+        let started = Instant::now();
+        let (status, headers, _) = request_on(&mut writer, "POST", "/ingest/logs?seq=2", b"x\n");
+        let shed_ns = started.elapsed().as_nanos() as u64;
+        assert_eq!(status, 429, "over-capacity offer must shed");
+        assert!(
+            header(&headers, "Retry-After").is_some(),
+            "429 without Retry-After"
+        );
+        worst_shed = worst_shed.max(shed_ns);
+
+        let started = Instant::now();
+        let (status, _, _) = request_on(&mut reader, "GET", "/tables/1", &[]);
+        assert_eq!(status, 200, "read failed during shedding");
+        worst_read = worst_read.max(started.elapsed().as_nanos() as u64);
+    }
+    assert!(
+        worst_shed < 1_000_000_000,
+        "shedding blocked for {} — not load shedding",
+        human_ns(worst_shed)
+    );
+    println!(
+        "shed probe: {probes} over-capacity offers all 429 (worst {}), reads alive (worst {})",
+        human_ns(worst_shed),
+        human_ns(worst_read)
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "\nE16 complete: {posted} chunks ingested, {shed_429} shed during sustain, read p99 {} (idle {})",
+        human_ns(ingest_p99),
+        human_ns(idle_p99)
+    );
+    println!(
+        "\nReading: admission is a queue push behind a WAL append, so the\n\
+         write path costs the server a memcpy and a buffered write per\n\
+         chunk; materialization happens on the worker's cadence, off the\n\
+         request path. That is why reader tail latency holds within its\n\
+         budget while the full corpus streams in, and why overload turns\n\
+         into immediate 429s instead of queueing delay."
+    );
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ingest-loadgen-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("scratch dir: {e}"));
+    dir
+}
+
+fn connect(addr: &str) -> TcpStream {
+    let conn = TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect {addr}: {e}"));
+    conn.set_nodelay(true).ok();
+    conn
+}
+
+/// Measures `count` sequential idle GETs of `/tables/1`; returns sorted
+/// per-request latencies in nanoseconds.
+fn read_phase(addr: &str, count: usize) -> Vec<u64> {
+    let mut conn = connect(addr);
+    let mut latencies = Vec::with_capacity(count);
+    for _ in 0..count {
+        let started = Instant::now();
+        let (status, _, _) = request_on(&mut conn, "GET", "/tables/1", &[]);
+        assert_eq!(status, 200, "idle read failed");
+        latencies.push(started.elapsed().as_nanos() as u64);
+    }
+    latencies.sort_unstable();
+    latencies
+}
+
+/// POSTs one chunk with retry-through-429; returns how many 429s were
+/// absorbed along the way.
+fn post_chunk(conn: &mut TcpStream, stream: &str, seq: u64, payload: &[u8]) -> u64 {
+    let mut shed = 0u64;
+    loop {
+        let (status, _, body) = request_on(
+            conn,
+            "POST",
+            &format!("/ingest/{stream}?seq={seq}"),
+            payload,
+        );
+        match status {
+            200 => return shed,
+            429 => {
+                shed += 1;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            other => panic!("POST /ingest/{stream}?seq={seq} -> {other}: {body}"),
+        }
+        if shed > 100_000 {
+            panic!("chunk {stream}/{seq} never accepted");
+        }
+    }
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+/// One keep-alive request with a framed response (status, headers, body).
+fn request_on(
+    conn: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> (u16, Vec<(String, String)>, String) {
+    conn.write_all(
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: loadgen\r\nConnection: keep-alive\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    )
+    .unwrap_or_else(|e| panic!("request write: {e}"));
+    conn.write_all(body)
+        .unwrap_or_else(|e| panic!("body write: {e}"));
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() > 16 * 1024 {
+            panic!("oversized response head");
+        }
+        conn.read_exact(&mut byte)
+            .unwrap_or_else(|e| panic!("response read: {e}"));
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line"));
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_owned(), v.trim().to_owned()))
+        .collect();
+    let length: usize = headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or_else(|| panic!("missing content-length"));
+    let mut body = vec![0u8; length];
+    conn.read_exact(&mut body)
+        .unwrap_or_else(|e| panic!("framed body: {e}"));
+    (status, headers, String::from_utf8_lossy(&body).into_owned())
+}
+
+fn percentile(sorted_ns: &[u64], pct: usize) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let rank = (sorted_ns.len() * pct).div_ceil(100);
+    sorted_ns[rank.saturating_sub(1).min(sorted_ns.len() - 1)]
+}
+
+fn human_ns(ns: u64) -> String {
+    let us = ns as f64 / 1e3;
+    if us >= 1e3 {
+        format!("{:.2} ms", us / 1e3)
+    } else {
+        format!("{us:.0} us")
+    }
+}
+
+fn parse_args() -> (bool, RunOptions) {
+    let mut smoke = false;
+    let mut positional: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            positional.push(arg);
+        }
+    }
+    let scale = positional
+        .first()
+        .map(|a| {
+            a.parse::<f64>()
+                .unwrap_or_else(|_| panic!("bad SCALE {a:?}"))
+        })
+        .unwrap_or(if smoke { 0.02 } else { 0.05 });
+    assert!(scale > 0.0 && scale <= 0.25, "SCALE must be in (0, 0.25]");
+    let seed = positional
+        .get(1)
+        .map(|a| {
+            a.parse::<u64>()
+                .unwrap_or_else(|_| panic!("bad SEED {a:?}"))
+        })
+        .unwrap_or(DEFAULT_SEED);
+    (smoke, RunOptions { scale, seed })
+}

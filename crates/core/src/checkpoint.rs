@@ -11,9 +11,20 @@
 //!
 //! The encoding of the pipeline state itself lives with the state, in
 //! [`crate::incremental`]; this module owns the container format and the
-//! primitive readers/writers.
+//! primitive readers/writers. The [`Encoder`]/[`Decoder`] pair is public
+//! so downstream subsystems (the `servd` ingest tier wraps an engine
+//! checkpoint in its own envelope) can speak the same wire discipline
+//! instead of inventing a second codec.
+//!
+//! [`write_atomic`] is the one blessed way to put a checkpoint (or any
+//! snapshot-like artifact, e.g. the ingest write-ahead segment) on disk:
+//! temp file in the same directory, flush, fsync, atomic rename. A crash
+//! at any instant leaves either the previous complete file or the new
+//! complete file — never a torn hybrid.
 
 use std::fmt;
+use std::io::{self, Write as _};
+use std::path::Path;
 
 /// A serialized [`StreamingPipeline`](crate::incremental::StreamingPipeline)
 /// state: an opaque, versioned byte blob.
@@ -136,15 +147,42 @@ impl fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
+/// Writes `bytes` to `path` atomically: a `<name>.tmp` sibling in the
+/// same directory is written, flushed, fsynced and then renamed over the
+/// target. A crash at any point leaves either the previous complete file
+/// or the new complete file — the torn-checkpoint failure mode cannot
+/// occur. Both `stream_study --checkpoint` and the `servd` ingest tier
+/// route their snapshot writes through here.
+///
+/// # Errors
+///
+/// Any underlying filesystem error (create, write, sync, rename).
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.flush()?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
 /// Little-endian primitive writer backing the checkpoint encoder.
+///
+/// Public so sibling subsystems (the `servd` ingest envelope) extend the
+/// checkpoint format with the same primitives instead of a second codec.
 #[derive(Debug, Default)]
-pub(crate) struct Encoder {
+pub struct Encoder {
     buf: Vec<u8>,
 }
 
 impl Encoder {
     /// A new encoder with the container header already written.
-    pub(crate) fn new() -> Self {
+    pub fn new() -> Self {
         let mut enc = Encoder { buf: Vec::new() };
         enc.buf.extend_from_slice(&Checkpoint::MAGIC);
         enc.u32(Checkpoint::VERSION);
@@ -152,40 +190,48 @@ impl Encoder {
     }
 
     /// Writes the end marker and seals the checkpoint.
-    pub(crate) fn finish(mut self) -> Checkpoint {
+    pub fn finish(mut self) -> Checkpoint {
         self.u32(Checkpoint::END_MARKER);
         Checkpoint::from_encoder(self.buf)
     }
 
-    pub(crate) fn u8(&mut self, v: u8) {
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    pub(crate) fn u16(&mut self, v: u16) {
+    /// Writes a `u16`, little-endian.
+    pub fn u16(&mut self, v: u16) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(crate) fn u32(&mut self, v: u32) {
+    /// Writes a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(crate) fn u64(&mut self, v: u64) {
+    /// Writes a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(crate) fn i64(&mut self, v: i64) {
+    /// Writes an `i64` (two's-complement, little-endian).
+    pub fn i64(&mut self, v: i64) {
         self.u64(v as u64);
     }
 
-    pub(crate) fn f64(&mut self, v: f64) {
+    /// Writes an `f64` as its IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
     }
 
-    pub(crate) fn bool(&mut self, v: bool) {
+    /// Writes a boolean as one byte (0/1).
+    pub fn bool(&mut self, v: bool) {
         self.u8(v as u8);
     }
 
-    pub(crate) fn opt_u64(&mut self, v: Option<u64>) {
+    /// Writes an optional `u64` as a presence byte plus the value.
+    pub fn opt_u64(&mut self, v: Option<u64>) {
         match v {
             None => self.u8(0),
             Some(v) => {
@@ -195,12 +241,14 @@ impl Encoder {
         }
     }
 
-    pub(crate) fn bytes(&mut self, v: &[u8]) {
+    /// Writes a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
         self.u64(v.len() as u64);
         self.buf.extend_from_slice(v);
     }
 
-    pub(crate) fn str(&mut self, v: &str) {
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
         self.bytes(v.as_bytes());
     }
 }
@@ -210,19 +258,25 @@ impl Encoder {
 /// Every method returns `Err` instead of panicking when the input runs
 /// out or a value is malformed.
 #[derive(Debug)]
-pub(crate) struct Decoder<'a> {
+pub struct Decoder<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Decoder<'a> {
-    pub(crate) fn new(buf: &'a [u8]) -> Self {
+    /// A decoder positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
         Decoder { buf, pos: 0 }
     }
 
     /// Validates magic + version, leaving the cursor at the first body
     /// field.
-    pub(crate) fn header(&mut self) -> Result<(), CheckpointError> {
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::BadMagic`] / [`CheckpointError::UnsupportedVersion`]
+    /// on a wrong header, [`CheckpointError::Truncated`] when too short.
+    pub fn header(&mut self) -> Result<(), CheckpointError> {
         let magic = self.take(Checkpoint::MAGIC.len())?;
         if magic != Checkpoint::MAGIC {
             return Err(CheckpointError::BadMagic);
@@ -235,7 +289,12 @@ impl<'a> Decoder<'a> {
     }
 
     /// Consumes the end marker and requires the input to end with it.
-    pub(crate) fn finish(&mut self) -> Result<(), CheckpointError> {
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Invalid`] on a wrong marker,
+    /// [`CheckpointError::TrailingBytes`] when bytes follow it.
+    pub fn finish(&mut self) -> Result<(), CheckpointError> {
         let marker = self.u32()?;
         if marker != Checkpoint::END_MARKER {
             return Err(CheckpointError::Invalid { what: "end marker" });
@@ -258,37 +317,73 @@ impl<'a> Decoder<'a> {
         Ok(slice)
     }
 
-    pub(crate) fn u8(&mut self) -> Result<u8, CheckpointError> {
+    /// Decodes one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Truncated`] past the end of input (likewise for
+    /// every fixed-width decode below).
+    pub fn u8(&mut self) -> Result<u8, CheckpointError> {
         Ok(self.take(1)?[0])
     }
 
-    pub(crate) fn u16(&mut self) -> Result<u16, CheckpointError> {
+    /// Decodes a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Truncated`] past the end of input.
+    pub fn u16(&mut self) -> Result<u16, CheckpointError> {
         let mut v = [0u8; 2];
         v.copy_from_slice(self.take(2)?);
         Ok(u16::from_le_bytes(v))
     }
 
-    pub(crate) fn u32(&mut self) -> Result<u32, CheckpointError> {
+    /// Decodes a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Truncated`] past the end of input.
+    pub fn u32(&mut self) -> Result<u32, CheckpointError> {
         let mut v = [0u8; 4];
         v.copy_from_slice(self.take(4)?);
         Ok(u32::from_le_bytes(v))
     }
 
-    pub(crate) fn u64(&mut self) -> Result<u64, CheckpointError> {
+    /// Decodes a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Truncated`] past the end of input.
+    pub fn u64(&mut self) -> Result<u64, CheckpointError> {
         let mut v = [0u8; 8];
         v.copy_from_slice(self.take(8)?);
         Ok(u64::from_le_bytes(v))
     }
 
-    pub(crate) fn i64(&mut self) -> Result<i64, CheckpointError> {
+    /// Decodes an `i64` (two's complement over the `u64` encoding).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Truncated`] past the end of input.
+    pub fn i64(&mut self) -> Result<i64, CheckpointError> {
         Ok(self.u64()? as i64)
     }
 
-    pub(crate) fn f64(&mut self) -> Result<f64, CheckpointError> {
+    /// Decodes an `f64` from its IEEE-754 bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Truncated`] past the end of input.
+    pub fn f64(&mut self) -> Result<f64, CheckpointError> {
         Ok(f64::from_bits(self.u64()?))
     }
 
-    pub(crate) fn bool(&mut self, what: &'static str) -> Result<bool, CheckpointError> {
+    /// Decodes a bool, rejecting anything but 0/1.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Invalid`] (tagged `what`) on other byte values.
+    pub fn bool(&mut self, what: &'static str) -> Result<bool, CheckpointError> {
         match self.u8()? {
             0 => Ok(false),
             1 => Ok(true),
@@ -296,7 +391,12 @@ impl<'a> Decoder<'a> {
         }
     }
 
-    pub(crate) fn opt_u64(&mut self, what: &'static str) -> Result<Option<u64>, CheckpointError> {
+    /// Decodes an `Option<u64>` (presence byte + value).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Invalid`] (tagged `what`) on a bad presence byte.
+    pub fn opt_u64(&mut self, what: &'static str) -> Result<Option<u64>, CheckpointError> {
         match self.u8()? {
             0 => Ok(None),
             1 => Ok(Some(self.u64()?)),
@@ -308,7 +408,11 @@ impl<'a> Decoder<'a> {
     /// and sanity-bounded by the bytes actually remaining (each encoded
     /// element costs ≥ 1 byte, so a count beyond that is corruption — this
     /// keeps a flipped length byte from demanding a huge allocation).
-    pub(crate) fn len(&mut self, what: &'static str) -> Result<usize, CheckpointError> {
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Invalid`] (tagged `what`) on an oversized count.
+    pub fn len(&mut self, what: &'static str) -> Result<usize, CheckpointError> {
         let n = self.u64()?;
         let n = usize::try_from(n).map_err(|_| CheckpointError::Invalid { what })?;
         if n > self.buf.len() - self.pos {
@@ -317,12 +421,23 @@ impl<'a> Decoder<'a> {
         Ok(n)
     }
 
-    pub(crate) fn bytes(&mut self, what: &'static str) -> Result<Vec<u8>, CheckpointError> {
+    /// Decodes a length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Invalid`] / [`CheckpointError::Truncated`] on a
+    /// bad length or short input.
+    pub fn bytes(&mut self, what: &'static str) -> Result<Vec<u8>, CheckpointError> {
         let n = self.len(what)?;
         Ok(self.take(n)?.to_vec())
     }
 
-    pub(crate) fn str(&mut self, what: &'static str) -> Result<String, CheckpointError> {
+    /// Decodes a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Invalid`] (tagged `what`) on non-UTF-8 bytes.
+    pub fn str(&mut self, what: &'static str) -> Result<String, CheckpointError> {
         let raw = self.bytes(what)?;
         String::from_utf8(raw).map_err(|_| CheckpointError::Invalid { what })
     }
@@ -438,5 +553,45 @@ mod tests {
         ] {
             assert!(!err.to_string().is_empty());
         }
+    }
+
+    /// Regression for the torn-checkpoint failure mode `write_atomic`
+    /// exists to rule out: a crash mid-rewrite must never leave a
+    /// truncated file at the live path. The crash is simulated at its
+    /// worst point — partial bytes staged in the `.tmp` sibling, rename
+    /// never issued — and the live file must still load in full.
+    #[test]
+    fn write_atomic_never_exposes_a_truncated_tail() {
+        let dir = std::env::temp_dir().join(format!("ckpt-atomic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.ckpt");
+
+        // A good (large) checkpoint is on disk.
+        let mut enc = Encoder::new();
+        for i in 0..4096u64 {
+            enc.u64(i);
+        }
+        let big = enc.finish();
+        write_atomic(&path, big.as_bytes()).unwrap();
+
+        // A later rewrite dies mid-write: torn bytes exist only in the
+        // staging sibling, exactly where write_atomic puts them.
+        let small = sample();
+        let torn = &small.as_bytes()[..13];
+        std::fs::write(dir.join("state.ckpt.tmp"), torn).unwrap();
+        let loaded = Checkpoint::from_bytes(std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(loaded, big, "live checkpoint was disturbed by the crash");
+
+        // The next successful write replaces the file wholesale — a
+        // smaller payload must not leave any stale tail behind — and
+        // consumes the stale staging file.
+        write_atomic(&path, small.as_bytes()).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), small.as_bytes());
+        assert!(
+            !dir.join("state.ckpt.tmp").exists(),
+            "staging file must be renamed away"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -507,6 +507,18 @@ impl StreamingPipeline {
         self.scan.bytes_fed()
     }
 
+    /// Total input lines consumed across every stream: completed log
+    /// lines plus completed rows of each CSV feed. This is the "events"
+    /// axis of the `servd` ingest publish cadence (publish every N events
+    /// or T seconds) — a cheap monotone counter that advances for every
+    /// kind of input, not just XID-bearing log lines.
+    pub fn ingested_lines(&self) -> u64 {
+        self.scan.stats().lines_seen
+            + self.gpu_feed.line_no
+            + self.cpu_feed.line_no
+            + self.outage_feed.line_no
+    }
+
     /// Serialized size of the current state in bytes — the "resident
     /// state" metric E13 tracks. O(state) to compute.
     pub fn state_size_bytes(&self) -> usize {

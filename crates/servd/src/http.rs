@@ -1,42 +1,79 @@
 //! A minimal, defensive HTTP/1.1 reader/writer over `std::net` streams.
 //!
-//! Only what the serving subsystem needs: `GET`/`HEAD` requests with a
-//! path and query string, keep-alive, and fixed-`Content-Length`
-//! responses. Everything is bounded — the request head is read through a
-//! hard byte cap, so a client feeding an endless header section costs at
-//! most [`ServerConfig::max_request_bytes`](crate::server::ServerConfig)
-//! of buffer, and socket read/write timeouts (set by the listener) turn a
-//! stalled peer into a clean close instead of a stuck worker.
+//! Only what the serving subsystem needs: `GET`/`HEAD` queries, `POST`
+//! ingest uploads with an exact `Content-Length` body, keep-alive, and
+//! fixed-`Content-Length` responses. Everything is bounded — the request
+//! head is read through a hard byte cap, `POST` bodies through their own
+//! cap ([`RequestLimits::max_body_bytes`], answered `413` *before* any
+//! body byte is read), and body reads carry a total time budget so a
+//! slowloris dripping its body one byte per socket-timeout cannot hold a
+//! worker past [`RequestLimits::body_timeout`]. `POST` without a
+//! `Content-Length` is `411`; a non-numeric length is `400`;
+//! `Transfer-Encoding` (chunked or otherwise) is never accepted.
 
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
 
 /// Why reading a request off a connection stopped.
 #[derive(Debug)]
 pub enum ReadOutcome {
-    /// A complete, well-formed request head.
+    /// A complete, well-formed request (head plus any declared body).
     Request(Request),
     /// The peer closed before sending anything; close quietly.
     Closed,
     /// The head exceeded the size cap — answer `413` and close.
     TooLarge,
-    /// The socket read timed out mid-request — answer `408` and close.
+    /// The declared body exceeds the body cap — answer `413` and close
+    /// (the body is never read).
+    BodyTooLarge,
+    /// A `POST` without a `Content-Length` — answer `411` and close.
+    LengthRequired,
+    /// The socket read timed out mid-request, or the body read exceeded
+    /// its total time budget — answer `408` and close.
     TimedOut,
     /// Bytes arrived but they are not HTTP we accept — answer `400`.
     Malformed(&'static str),
 }
 
-/// One parsed request head.
+/// Read caps for one request: head bytes, body bytes, and the total time
+/// budget for reading the body.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestLimits {
+    /// Request-head byte cap (`413` beyond it).
+    pub max_head_bytes: usize,
+    /// `POST` body byte cap (`413` beyond it, checked against the
+    /// declared `Content-Length` before reading).
+    pub max_body_bytes: usize,
+    /// Wall-clock budget for reading the complete body across however
+    /// many socket reads it takes (`408` beyond it). `None` disables the
+    /// budget (unit tests); the per-read socket timeout still applies.
+    pub body_timeout: Option<Duration>,
+}
+
+impl RequestLimits {
+    /// Limits for in-memory parsing: generous caps, no clock.
+    pub fn unbounded() -> Self {
+        RequestLimits {
+            max_head_bytes: 64 * 1024,
+            max_body_bytes: 64 * 1024 * 1024,
+            body_timeout: None,
+        }
+    }
+}
+
+/// One parsed request.
 #[derive(Debug, Clone)]
 pub struct Request {
-    /// `GET` or `HEAD` (anything else is rejected at parse time with
-    /// [`ReadOutcome::Malformed`] — the router answers `405` for methods
-    /// it can name, so those pass through as literal strings).
+    /// `GET`, `HEAD`, or `POST` (other methods parse — the router answers
+    /// `405` — but may not carry a body).
     pub method: String,
     /// The decoded path, without the query string.
     pub path: String,
     /// Decoded `key=value` query pairs, in arrival order.
     pub query: Vec<(String, String)>,
+    /// The request body (`POST` only; empty otherwise).
+    pub body: Vec<u8>,
     /// Whether the connection should stay open after the response.
     pub keep_alive: bool,
 }
@@ -71,11 +108,11 @@ impl Request {
     }
 }
 
-/// Reads one request head (through the blank line) from `stream`,
-/// enforcing the `max_bytes` cap. Never reads past the head: requests
-/// with bodies are rejected, so the next head starts at the current
-/// stream position.
-pub fn read_request(stream: &mut impl Read, max_bytes: usize) -> ReadOutcome {
+/// Reads one request (head through the blank line, then exactly the
+/// declared body for `POST`) from `stream` under `limits`. Reads exactly
+/// to the end of the request, so the next head starts at the current
+/// stream position on keep-alive connections.
+pub fn read_request(stream: &mut impl Read, limits: &RequestLimits) -> ReadOutcome {
     let mut buf: Vec<u8> = Vec::with_capacity(512);
     let mut byte = [0u8; 1];
     loop {
@@ -89,11 +126,24 @@ pub fn read_request(stream: &mut impl Read, max_bytes: usize) -> ReadOutcome {
             }
             Ok(_) => {
                 buf.push(byte[0]);
-                if buf.len() > max_bytes {
+                if buf.len() > limits.max_head_bytes {
                     return ReadOutcome::TooLarge;
                 }
                 if buf.ends_with(b"\r\n\r\n") || buf.ends_with(b"\n\n") {
-                    return parse_head(&buf);
+                    let (mut request, body_len) = match parse_head(&buf) {
+                        Ok(parsed) => parsed,
+                        Err(outcome) => return outcome,
+                    };
+                    if body_len > limits.max_body_bytes {
+                        return ReadOutcome::BodyTooLarge;
+                    }
+                    if body_len > 0 {
+                        match read_body(stream, body_len, limits.body_timeout) {
+                            Ok(body) => request.body = body,
+                            Err(outcome) => return outcome,
+                        }
+                    }
+                    return ReadOutcome::Request(request);
                 }
             }
             Err(e)
@@ -111,21 +161,53 @@ pub fn read_request(stream: &mut impl Read, max_bytes: usize) -> ReadOutcome {
     }
 }
 
-fn parse_head(head: &[u8]) -> ReadOutcome {
+/// Reads exactly `len` body bytes, charging every read against one total
+/// wall-clock `budget` — the per-read socket timeout alone would let a
+/// peer drip one byte per timeout forever.
+fn read_body(
+    stream: &mut impl Read,
+    len: usize,
+    budget: Option<Duration>,
+) -> Result<Vec<u8>, ReadOutcome> {
+    let started = Instant::now();
+    let mut body = vec![0u8; len];
+    let mut filled = 0usize;
+    while filled < len {
+        if budget.is_some_and(|b| started.elapsed() > b) {
+            return Err(ReadOutcome::TimedOut);
+        }
+        match stream.read(&mut body[filled..]) {
+            Ok(0) => return Err(ReadOutcome::Malformed("connection closed mid-body")),
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(ReadOutcome::TimedOut);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Err(ReadOutcome::Malformed("connection error mid-body")),
+        }
+    }
+    Ok(body)
+}
+
+/// Parses a complete head, yielding the request plus how many body bytes
+/// follow it on the wire.
+fn parse_head(head: &[u8]) -> Result<(Request, usize), ReadOutcome> {
     let Ok(text) = std::str::from_utf8(head) else {
-        return ReadOutcome::Malformed("request head is not UTF-8");
+        return Err(ReadOutcome::Malformed("request head is not UTF-8"));
     };
     let mut lines = text.split("\r\n").flat_map(|l| l.split('\n'));
     let Some(request_line) = lines.next() else {
-        return ReadOutcome::Malformed("empty request");
+        return Err(ReadOutcome::Malformed("empty request"));
     };
     let mut parts = request_line.split(' ');
     let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
     else {
-        return ReadOutcome::Malformed("bad request line");
+        return Err(ReadOutcome::Malformed("bad request line"));
     };
     if !version.starts_with("HTTP/1.") {
-        return ReadOutcome::Malformed("unsupported HTTP version");
+        return Err(ReadOutcome::Malformed("unsupported HTTP version"));
     }
 
     let mut headers: BTreeMap<String, String> = BTreeMap::new();
@@ -137,26 +219,44 @@ fn parse_head(head: &[u8]) -> ReadOutcome {
             headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_owned());
         }
     }
-    if headers
-        .get("content-length")
-        .is_some_and(|v| v.trim() != "0")
-        || headers.contains_key("transfer-encoding")
-    {
-        return ReadOutcome::Malformed("request bodies are not accepted");
+    // Body framing: only an exact Content-Length, and only on POST.
+    if headers.contains_key("transfer-encoding") {
+        return Err(ReadOutcome::Malformed(
+            "transfer encodings are not accepted",
+        ));
     }
+    let body_len = if method == "POST" {
+        match headers.get("content-length") {
+            None => return Err(ReadOutcome::LengthRequired),
+            Some(v) => match v.trim().parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => return Err(ReadOutcome::Malformed("invalid Content-Length")),
+            },
+        }
+    } else {
+        if headers
+            .get("content-length")
+            .is_some_and(|v| v.trim() != "0")
+        {
+            return Err(ReadOutcome::Malformed(
+                "request bodies are only accepted on POST",
+            ));
+        }
+        0
+    };
 
     let (raw_path, raw_query) = match target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (target, ""),
     };
     let Some(path) = percent_decode(raw_path) else {
-        return ReadOutcome::Malformed("bad percent-encoding in path");
+        return Err(ReadOutcome::Malformed("bad percent-encoding in path"));
     };
     let mut query = Vec::new();
     for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
         let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
         let (Some(k), Some(v)) = (percent_decode(k), percent_decode(v)) else {
-            return ReadOutcome::Malformed("bad percent-encoding in query");
+            return Err(ReadOutcome::Malformed("bad percent-encoding in query"));
         };
         query.push((k, v));
     }
@@ -167,12 +267,16 @@ fn parse_head(head: &[u8]) -> ReadOutcome {
         _ => version != "HTTP/1.0",
     };
 
-    ReadOutcome::Request(Request {
-        method: method.to_owned(),
-        path,
-        query,
-        keep_alive,
-    })
+    Ok((
+        Request {
+            method: method.to_owned(),
+            path,
+            query,
+            body: Vec::new(),
+            keep_alive,
+        },
+        body_len,
+    ))
 }
 
 /// Decodes `%XX` escapes and `+`-as-space; `None` on truncated or
@@ -271,7 +375,10 @@ impl Response {
             404 => "Not Found",
             405 => "Method Not Allowed",
             408 => "Request Timeout",
+            409 => "Conflict",
+            411 => "Length Required",
             413 => "Content Too Large",
+            429 => "Too Many Requests",
             503 => "Service Unavailable",
             _ => "Internal Server Error",
         }
@@ -315,7 +422,7 @@ mod tests {
     use super::*;
 
     fn parse(raw: &str) -> ReadOutcome {
-        read_request(&mut raw.as_bytes(), 8192)
+        read_request(&mut raw.as_bytes(), &RequestLimits::unbounded())
     }
 
     fn request(raw: &str) -> Request {
@@ -360,8 +467,12 @@ mod tests {
     #[test]
     fn oversized_head_is_too_large() {
         let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(100));
+        let limits = RequestLimits {
+            max_head_bytes: 64,
+            ..RequestLimits::unbounded()
+        };
         assert!(matches!(
-            read_request(&mut raw.as_bytes(), 64),
+            read_request(&mut raw.as_bytes(), &limits),
             ReadOutcome::TooLarge
         ));
     }
@@ -376,15 +487,167 @@ mod tests {
     }
 
     #[test]
-    fn bodies_and_bad_escapes_are_rejected() {
+    fn bodies_on_get_and_bad_escapes_are_rejected() {
         assert!(matches!(
-            parse("POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\n"),
+            parse("GET / HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc"),
             ReadOutcome::Malformed(_)
         ));
         assert!(matches!(
             parse("GET /%zz HTTP/1.1\r\n\r\n"),
             ReadOutcome::Malformed(_)
         ));
+    }
+
+    #[test]
+    fn post_reads_exact_body() {
+        let r = request("POST /ingest/logs?seq=0 HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"hello");
+        assert_eq!(r.query_value("seq"), Some("0"));
+    }
+
+    #[test]
+    fn post_body_stops_at_declared_length_for_keep_alive() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\nabGET /y HTTP/1.1\r\n\r\n";
+        let mut stream = &raw[..];
+        let limits = RequestLimits::unbounded();
+        match read_request(&mut stream, &limits) {
+            ReadOutcome::Request(r) => assert_eq!(r.body, b"ab"),
+            other => panic!("expected request, got {other:?}"),
+        }
+        // The next request head begins exactly where the body ended.
+        match read_request(&mut stream, &limits) {
+            ReadOutcome::Request(r) => assert_eq!(r.path, "/y"),
+            other => panic!("expected second request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn post_without_content_length_is_411() {
+        assert!(matches!(
+            parse("POST /ingest/logs HTTP/1.1\r\n\r\n"),
+            ReadOutcome::LengthRequired
+        ));
+    }
+
+    #[test]
+    fn post_with_invalid_content_length_is_malformed() {
+        for bad in ["abc", "-1", "3.5", ""] {
+            let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {bad}\r\n\r\n");
+            assert!(
+                matches!(parse(&raw), ReadOutcome::Malformed(_)),
+                "Content-Length: {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn transfer_encoding_is_always_rejected() {
+        for head in [
+            "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            "GET /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        ] {
+            assert!(matches!(parse(head), ReadOutcome::Malformed(_)), "{head}");
+        }
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected_before_reading() {
+        let limits = RequestLimits {
+            max_body_bytes: 8,
+            ..RequestLimits::unbounded()
+        };
+        // Only the head is on the wire; the verdict must not wait for
+        // body bytes that will never arrive.
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut &raw[..], &limits),
+            ReadOutcome::BodyTooLarge
+        ));
+    }
+
+    #[test]
+    fn body_at_the_cap_is_accepted() {
+        let limits = RequestLimits {
+            max_body_bytes: 4,
+            ..RequestLimits::unbounded()
+        };
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+        assert!(matches!(
+            read_request(&mut &raw[..], &limits),
+            ReadOutcome::Request(_)
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_malformed() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(matches!(
+            read_request(&mut &raw[..], &RequestLimits::unbounded()),
+            ReadOutcome::Malformed(_)
+        ));
+    }
+
+    /// A reader that yields the head at once, then drips body bytes with
+    /// a delay — the slowloris-on-body shape.
+    struct DripBody {
+        head: Vec<u8>,
+        pos: usize,
+        delay: Duration,
+    }
+
+    impl Read for DripBody {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos < self.head.len() {
+                let n = buf.len().min(self.head.len() - self.pos);
+                buf[..n].copy_from_slice(&self.head[self.pos..self.pos + n]);
+                self.pos += n;
+                return Ok(n);
+            }
+            std::thread::sleep(self.delay);
+            buf[0] = b'x';
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn slow_body_exceeding_the_budget_times_out() {
+        let mut stream = DripBody {
+            head: b"POST /x HTTP/1.1\r\nContent-Length: 1000\r\n\r\n".to_vec(),
+            pos: 0,
+            delay: Duration::from_millis(20),
+        };
+        let limits = RequestLimits {
+            body_timeout: Some(Duration::from_millis(60)),
+            ..RequestLimits::unbounded()
+        };
+        let started = Instant::now();
+        assert!(matches!(
+            read_request(&mut stream, &limits),
+            ReadOutcome::TimedOut
+        ));
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "budget cut the drip short"
+        );
+    }
+
+    #[test]
+    fn reason_phrases_cover_every_emitted_status() {
+        for (status, phrase) in [
+            (200, "OK"),
+            (400, "Bad Request"),
+            (404, "Not Found"),
+            (405, "Method Not Allowed"),
+            (408, "Request Timeout"),
+            (409, "Conflict"),
+            (411, "Length Required"),
+            (413, "Content Too Large"),
+            (429, "Too Many Requests"),
+            (503, "Service Unavailable"),
+        ] {
+            assert_eq!(Response::text(status, "").reason(), phrase);
+        }
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //! # Architecture
 //!
 //! ```text
-//!  Pipeline / StreamingPipeline
+//!  POST /ingest/* ─ IngestHandle ─ bounded queue + WAL ─ ingest worker
+//!        (429 on overflow)                                   │ cadence
+//!                                                            ▼
+//!  Pipeline / StreamingPipeline ──────────────── materialize + checkpoint
 //!        │ publish (SnapshotSink)
 //!        ▼
 //!  StoreHandle ── RwLock<Arc<Published{id, StudyStore}>> ── atomic swap
@@ -32,7 +35,13 @@
 //!   `/metrics` (the `obs` Prometheus exposition).
 //! * [`cache`] — snapshot-scoped response memo, invalidated wholesale on
 //!   swap.
-//! * [`http`] — bounded request parsing and fixed-length responses.
+//! * [`ingest`] — the write path: `POST /ingest/*` admission behind a
+//!   bounded queue (`429` + `Retry-After` on overflow), a checksummed
+//!   write-ahead log so an acknowledged chunk survives SIGKILL, a single
+//!   worker driving the streaming pipeline on a publish cadence, and
+//!   [`ingest::recover`] replaying WAL + checkpoint on restart.
+//! * [`http`] — bounded request parsing (including capped, time-budgeted
+//!   `POST` bodies) and fixed-length responses.
 //! * [`server`] — the listener: bounded queue, worker pool, timeouts,
 //!   `503` load shedding, graceful drain.
 //! * [`signal`] — SIGINT/SIGTERM → atomic flag (the crate's one `unsafe`
@@ -49,11 +58,13 @@
 
 pub mod cache;
 pub mod http;
+pub mod ingest;
 pub mod router;
 pub mod server;
 pub mod signal;
 pub mod store;
 
 pub use cache::ResponseCache;
-pub use server::{start, RunningServer, ServeError, ServerConfig};
+pub use ingest::{IngestConfig, IngestError, IngestHandle, IngestStream, IngestWorker};
+pub use server::{start, start_with_ingest, RunningServer, ServeError, ServerConfig};
 pub use store::{ErrorFilter, StoreHandle, StudyStore};

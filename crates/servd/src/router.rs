@@ -10,14 +10,22 @@
 
 use crate::cache::ResponseCache;
 use crate::http::{Request, Response};
+use crate::ingest::{IngestHandle, IngestStream, Offer};
 use crate::store::{parse_time, parse_xid, ErrorFilter, StoreHandle};
 use obs::registry::DURATION_US_BUCKETS;
 use std::time::Instant;
 
-/// Routes one request against the current snapshot.
-pub fn handle(req: &Request, store: &StoreHandle, cache: &ResponseCache) -> Response {
+/// Routes one request against the current snapshot. `ingest` is the
+/// write path (`None` on a read-only server — `/ingest/*` then answers
+/// `404`).
+pub fn handle(
+    req: &Request,
+    store: &StoreHandle,
+    cache: &ResponseCache,
+    ingest: Option<&IngestHandle>,
+) -> Response {
     let started = Instant::now();
-    let response = dispatch(req, store, cache);
+    let response = dispatch(req, store, cache, ingest);
     if obs::is_enabled() {
         obs::counter(
             "servd_requests_total",
@@ -44,14 +52,28 @@ fn endpoint_label(path: &str) -> &'static str {
         "/mtbe" => "mtbe",
         "/jobs/impact" => "jobs_impact",
         "/availability" => "availability",
+        "/ingest/logs" => "ingest_logs",
+        "/ingest/jobs" => "ingest_jobs",
+        "/ingest/cpu-jobs" => "ingest_cpu_jobs",
+        "/ingest/outages" => "ingest_outages",
+        "/ingest/status" => "ingest_status",
+        "/ingest/flush" => "ingest_flush",
         p if p.starts_with("/tables/") => "tables",
         _ => "other",
     }
 }
 
-fn dispatch(req: &Request, store: &StoreHandle, cache: &ResponseCache) -> Response {
+fn dispatch(
+    req: &Request,
+    store: &StoreHandle,
+    cache: &ResponseCache,
+    ingest: Option<&IngestHandle>,
+) -> Response {
+    if let Some(segment) = req.path.strip_prefix("/ingest/") {
+        return dispatch_ingest(req, segment, ingest);
+    }
     if req.method != "GET" && req.method != "HEAD" {
-        return Response::text(405, "only GET and HEAD are supported\n");
+        return Response::text(405, "only GET and HEAD are supported here\n");
     }
 
     // Uncached, snapshot-independent endpoints first.
@@ -107,6 +129,82 @@ fn dispatch(req: &Request, store: &StoreHandle, cache: &ResponseCache) -> Respon
         .with_header("X-Cache", "miss")
 }
 
+/// The write path: `POST /ingest/{logs,jobs,cpu-jobs,outages}[?seq=N]`,
+/// `POST /ingest/flush`, `GET /ingest/status`. Responses are JSON and
+/// never cached (they are not snapshot-scoped).
+fn dispatch_ingest(req: &Request, segment: &str, ingest: Option<&IngestHandle>) -> Response {
+    let Some(ingest) = ingest else {
+        return Response::text(404, "live ingest is not enabled on this server\n");
+    };
+    match segment {
+        "status" => {
+            if req.method != "GET" && req.method != "HEAD" {
+                return Response::text(405, "use GET for /ingest/status\n");
+            }
+            return Response::json(200, ingest.status_json());
+        }
+        "flush" => {
+            if req.method != "POST" {
+                return Response::text(405, "use POST for /ingest/flush\n");
+            }
+            return match ingest.flush() {
+                Ok(info) => Response::json(
+                    200,
+                    format!("{{\"flushed\":true,\"snapshot\":{}}}\n", info.snapshot),
+                ),
+                Err(why) => Response::text(503, format!("flush failed: {why}\n")),
+            };
+        }
+        _ => {}
+    }
+    let Some(stream) = IngestStream::from_segment(segment) else {
+        return Response::text(404, "no such ingest stream\n");
+    };
+    if req.method != "POST" {
+        return Response::text(405, "use POST to ingest\n");
+    }
+    let seq = match req.query_value("seq") {
+        None => None,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => return Response::text(400, format!("bad seq {raw:?}\n")),
+        },
+    };
+    match ingest.offer(stream, seq, &req.body) {
+        Offer::Accepted { seq } => Response::json(
+            200,
+            format!(
+                "{{\"stream\":\"{}\",\"seq\":{seq},\"accepted\":{}}}\n",
+                stream.name(),
+                seq + 1
+            ),
+        ),
+        Offer::Duplicate { accepted } => Response::json(
+            200,
+            format!(
+                "{{\"stream\":\"{}\",\"duplicate\":true,\"accepted\":{accepted}}}\n",
+                stream.name()
+            ),
+        ),
+        Offer::Gap { expected } => Response::json(
+            409,
+            format!(
+                "{{\"stream\":\"{}\",\"error\":\"sequence gap\",\"expected\":{expected}}}\n",
+                stream.name()
+            ),
+        ),
+        Offer::Overloaded { retry_after_secs } => Response::text(
+            429,
+            "ingest queue is full; retry after the indicated delay\n",
+        )
+        .with_header("Retry-After", retry_after_secs.to_string()),
+        Offer::Unavailable => Response::text(503, "ingest is shutting down\n"),
+        Offer::WalFailed(why) => {
+            Response::text(503, format!("ingest write-ahead log failed: {why}\n"))
+        }
+    }
+}
+
 /// Builds the `/errors` filter from the query, rejecting unknown keys so
 /// a typo (`?hots=`) fails loudly instead of silently returning the
 /// unfiltered set.
@@ -144,7 +242,16 @@ mod tests {
                 .iter()
                 .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
                 .collect(),
+            body: Vec::new(),
             keep_alive: true,
+        }
+    }
+
+    fn post(path: &str, query: &[(&str, &str)], body: &[u8]) -> Request {
+        Request {
+            body: body.to_vec(),
+            method: "POST".to_owned(),
+            ..get(path, query)
         }
     }
 
@@ -172,10 +279,10 @@ mod tests {
             "/availability",
             "/snapshot",
         ] {
-            let resp = handle(&get(path, &[]), &store, &cache);
+            let resp = handle(&get(path, &[]), &store, &cache, None);
             assert_eq!(resp.status, 200, "{path}");
         }
-        assert_eq!(handle(&get("/nope", &[]), &store, &cache).status, 404);
+        assert_eq!(handle(&get("/nope", &[]), &store, &cache, None).status, 404);
     }
 
     #[test]
@@ -184,7 +291,7 @@ mod tests {
         let cache = ResponseCache::new();
         let mut req = get("/healthz", &[]);
         req.method = "DELETE".to_owned();
-        assert_eq!(handle(&req, &store, &cache).status, 405);
+        assert_eq!(handle(&req, &store, &cache, None).status, 405);
     }
 
     #[test]
@@ -197,7 +304,7 @@ mod tests {
             ("/errors", [("bogus", "1")]),
             ("/mtbe", [("xid", "abc")]),
         ] {
-            let resp = handle(&get(path, &query), &store, &cache);
+            let resp = handle(&get(path, &query), &store, &cache, None);
             assert_eq!(resp.status, 400, "{path}?{query:?}");
         }
     }
@@ -210,12 +317,14 @@ mod tests {
             &get("/errors", &[("host", "h"), ("from", "5")]),
             &store,
             &cache,
+            None,
         );
         assert_eq!(header(&a, "X-Cache"), Some("miss"));
         let b = handle(
             &get("/errors", &[("from", "5"), ("host", "h")]),
             &store,
             &cache,
+            None,
         );
         assert_eq!(header(&b, "X-Cache"), Some("hit"));
         assert_eq!(a.body, b.body);
@@ -226,6 +335,7 @@ mod tests {
             &get("/errors", &[("host", "h"), ("from", "5")]),
             &store,
             &cache,
+            None,
         );
         assert_eq!(header(&c, "X-Cache"), Some("miss"), "swap invalidates");
         assert_eq!(header(&c, "X-Snapshot"), Some("2"));
@@ -235,7 +345,126 @@ mod tests {
     fn error_responses_are_not_cached() {
         let store = empty_handle();
         let cache = ResponseCache::new();
-        handle(&get("/errors", &[("xid", "13")]), &store, &cache);
+        handle(&get("/errors", &[("xid", "13")]), &store, &cache, None);
         assert!(cache.is_empty());
+    }
+
+    // ---- ingest routing ---------------------------------------------
+
+    use crate::ingest::{recover, IngestConfig};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn ingest_dir() -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "servd-router-ingest-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn ingest_endpoints_404_when_disabled() {
+        let store = empty_handle();
+        let cache = ResponseCache::new();
+        for path in ["/ingest/logs", "/ingest/status", "/ingest/flush"] {
+            let resp = handle(&post(path, &[], b"x"), &store, &cache, None);
+            assert_eq!(resp.status, 404, "{path}");
+        }
+    }
+
+    #[test]
+    fn ingest_post_accepts_dedups_and_rejects() {
+        let dir = ingest_dir();
+        let rec = recover(
+            IngestConfig {
+                queue_capacity: 2,
+                ..IngestConfig::new(&dir)
+            },
+            Pipeline::delta(),
+            2023,
+        )
+        .unwrap();
+        let ingest = Some(&*rec.handle);
+        let store = empty_handle();
+        let cache = ResponseCache::new();
+
+        let ok = handle(
+            &post("/ingest/logs", &[("seq", "0")], b"line\n"),
+            &store,
+            &cache,
+            ingest,
+        );
+        assert_eq!(ok.status, 200);
+        assert!(ok.body.contains("\"seq\":0"), "{}", ok.body);
+
+        let dup = handle(
+            &post("/ingest/logs", &[("seq", "0")], b"line\n"),
+            &store,
+            &cache,
+            ingest,
+        );
+        assert_eq!(dup.status, 200);
+        assert!(dup.body.contains("duplicate"), "{}", dup.body);
+
+        let gap = handle(
+            &post("/ingest/logs", &[("seq", "7")], b"line\n"),
+            &store,
+            &cache,
+            ingest,
+        );
+        assert_eq!(gap.status, 409);
+        assert!(gap.body.contains("\"expected\":1"), "{}", gap.body);
+
+        let bad = handle(
+            &post("/ingest/logs", &[("seq", "banana")], b"line\n"),
+            &store,
+            &cache,
+            ingest,
+        );
+        assert_eq!(bad.status, 400);
+
+        // Fill the 2-slot queue (one slot already used by seq 0).
+        handle(
+            &post("/ingest/logs", &[], b"more\n"),
+            &store,
+            &cache,
+            ingest,
+        );
+        let shed = handle(
+            &post("/ingest/logs", &[], b"more\n"),
+            &store,
+            &cache,
+            ingest,
+        );
+        assert_eq!(shed.status, 429);
+        assert_eq!(header(&shed, "Retry-After"), Some("1"));
+
+        // GET on an ingest stream, POST on status: 405 both ways.
+        assert_eq!(
+            handle(&get("/ingest/logs", &[]), &store, &cache, ingest).status,
+            405
+        );
+        assert_eq!(
+            handle(&post("/ingest/status", &[], b""), &store, &cache, ingest).status,
+            405
+        );
+        // Unknown stream.
+        assert_eq!(
+            handle(&post("/ingest/nope", &[], b""), &store, &cache, ingest).status,
+            404
+        );
+
+        let status = handle(&get("/ingest/status", &[]), &store, &cache, ingest);
+        assert_eq!(status.status, 200);
+        assert!(status.body.contains("\"accepted\":2"), "{}", status.body);
+
+        // No worker: flush must fail loudly, not hang.
+        let flush = handle(&post("/ingest/flush", &[], b""), &store, &cache, ingest);
+        assert_eq!(flush.status, 503);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -16,7 +16,8 @@
 //! blocking `accept()` with no platform poll machinery.
 
 use crate::cache::ResponseCache;
-use crate::http::{read_request, write_response, ReadOutcome, Response};
+use crate::http::{read_request, write_response, ReadOutcome, RequestLimits, Response};
+use crate::ingest::IngestHandle;
 use crate::router;
 use crate::store::StoreHandle;
 use std::collections::VecDeque;
@@ -40,7 +41,12 @@ pub struct ServerConfig {
     pub max_queue: usize,
     /// Request-head byte cap; beyond it the request is answered `413`.
     pub max_request_bytes: usize,
+    /// `POST` body byte cap; a larger declared `Content-Length` is
+    /// answered `413` without reading the body.
+    pub max_body_bytes: usize,
     /// Per-socket read timeout (a stalled sender gets `408`, then close).
+    /// Also the total wall-clock budget for reading one request body, so
+    /// a body dripped one byte per timeout still ends in `408`.
     pub read_timeout: Duration,
     /// Per-socket write timeout (a stalled reader gets dropped).
     pub write_timeout: Duration,
@@ -53,6 +59,7 @@ impl Default for ServerConfig {
             workers: 4,
             max_queue: 64,
             max_request_bytes: 8 * 1024,
+            max_body_bytes: 8 * 1024 * 1024,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
         }
@@ -204,12 +211,28 @@ impl Drop for RunningServer {
     }
 }
 
-/// Binds and starts serving `store` under `config`.
+/// Binds and starts serving `store` under `config`, read-only
+/// (`/ingest/*` answers `404`).
 ///
 /// # Errors
 ///
 /// [`ServeError::Bind`] when the listen address cannot be bound.
 pub fn start(config: ServerConfig, store: Arc<StoreHandle>) -> Result<RunningServer, ServeError> {
+    start_with_ingest(config, store, None)
+}
+
+/// Binds and starts serving `store` under `config`, with the live ingest
+/// write path attached when `ingest` is given (the handle should already
+/// have a worker via [`crate::ingest::spawn_worker`]).
+///
+/// # Errors
+///
+/// [`ServeError::Bind`] when the listen address cannot be bound.
+pub fn start_with_ingest(
+    config: ServerConfig,
+    store: Arc<StoreHandle>,
+    ingest: Option<Arc<IngestHandle>>,
+) -> Result<RunningServer, ServeError> {
     let listener = TcpListener::bind(&config.addr).map_err(|source| ServeError::Bind {
         addr: config.addr.clone(),
         source,
@@ -228,10 +251,11 @@ pub fn start(config: ServerConfig, store: Arc<StoreHandle>) -> Result<RunningSer
         let queue = Arc::clone(&queue);
         let store = Arc::clone(&store);
         let cache = Arc::clone(&cache);
+        let ingest = ingest.clone();
         let config = config.clone();
         workers.push(std::thread::spawn(move || {
             while let Some(conn) = queue.pop() {
-                serve_connection(conn, &config, &store, &cache);
+                serve_connection(conn, &config, &store, &cache, ingest.as_deref());
             }
         }));
     }
@@ -278,6 +302,7 @@ fn serve_connection(
     config: &ServerConfig,
     store: &StoreHandle,
     cache: &ResponseCache,
+    ingest: Option<&IngestHandle>,
 ) {
     if obs::is_enabled() {
         obs::counter("servd_connections_total", &[]).inc();
@@ -286,16 +311,31 @@ fn serve_connection(
     let _ = conn.set_write_timeout(Some(config.write_timeout));
     let _ = conn.set_nodelay(true);
 
+    let limits = RequestLimits {
+        max_head_bytes: config.max_request_bytes,
+        max_body_bytes: config.max_body_bytes,
+        body_timeout: Some(config.read_timeout),
+    };
     loop {
-        let outcome = read_request(&mut conn, config.max_request_bytes);
+        let outcome = read_request(&mut conn, &limits);
         let (response, keep_alive, head_only) = match &outcome {
             ReadOutcome::Request(req) => {
                 let head_only = req.method == "HEAD";
-                let response = router::handle(req, store, cache);
+                let response = router::handle(req, store, cache, ingest);
                 (response, req.keep_alive, head_only)
             }
             ReadOutcome::Closed => return,
             ReadOutcome::TooLarge => (Response::text(413, "request too large\n"), false, false),
+            ReadOutcome::BodyTooLarge => (
+                Response::text(413, "request body too large\n"),
+                false,
+                false,
+            ),
+            ReadOutcome::LengthRequired => (
+                Response::text(411, "POST requires a Content-Length\n"),
+                false,
+                false,
+            ),
             ReadOutcome::TimedOut => (Response::text(408, "request timed out\n"), false, false),
             ReadOutcome::Malformed(why) => (Response::text(400, format!("{why}\n")), false, false),
         };

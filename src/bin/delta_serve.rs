@@ -3,11 +3,33 @@
 //! ```text
 //! delta-serve <LOG>... [--jobs FILE] [--cpu-jobs FILE] [--outages FILE]
 //!             [--addr HOST:PORT] [--threads N] [--max-conns N] [--window SECS]
+//! delta-serve --ingest-dir DIR [--year N] [--ingest-queue N]
+//!             [--publish-events N] [--publish-secs S] [--addr HOST:PORT] ...
 //! ```
 //!
-//! Ingests the same inputs as `delta-cli analyze` (per-day syslog files
-//! plus optional job/outage CSV exports), runs the lenient pipeline once,
-//! builds the `servd` columnar store, and serves it until SIGINT/SIGTERM:
+//! **Batch mode** ingests the same inputs as `delta-cli analyze` (per-day
+//! syslog files plus optional job/outage CSV exports), runs the lenient
+//! pipeline once, builds the `servd` columnar store, and serves it until
+//! SIGINT/SIGTERM.
+//!
+//! **Live-ingest mode** (`--ingest-dir`) starts with an empty study — or
+//! the recovered state of a previous run of the same directory — and
+//! accepts the corpus over HTTP instead:
+//!
+//! ```text
+//! POST /ingest/logs?seq=N      raw syslog bytes, chunked any way you like
+//! POST /ingest/jobs?seq=N      GPU job CSV rows
+//! POST /ingest/cpu-jobs?seq=N  CPU job CSV rows
+//! POST /ingest/outages?seq=N   outage CSV rows
+//! POST /ingest/flush           publish + checkpoint now (barrier)
+//! GET  /ingest/status          accepted/applied counts for resync
+//! ```
+//!
+//! Every acknowledged (`200`) chunk is on disk in a write-ahead segment
+//! before the response is sent, so a SIGKILL mid-ingest loses nothing: on
+//! restart the checkpoint is restored and the WAL tail replayed. When the
+//! bounded admission queue is full the server sheds load with `429` +
+//! `Retry-After` instead of stalling readers.
 //!
 //! ```text
 //! GET /tables/1 /tables/2 /tables/3 /fig2   the paper surfaces
@@ -22,7 +44,7 @@
 //! Shared plumbing and the error taxonomy live in
 //! [`delta_gpu_resilience::cli`].
 
-use delta_gpu_resilience::cli::{self, parse_flags, CliError};
+use delta_gpu_resilience::cli::{self, parse_flags, CliError, Flags};
 use delta_gpu_resilience::prelude::*;
 use resilience::error::CsvInput;
 use std::process::ExitCode;
@@ -53,15 +75,27 @@ delta-serve — HTTP query server over a GPU resilience study
 USAGE:
   delta-serve <LOG>... [--jobs FILE] [--cpu-jobs FILE] [--outages FILE]
               [--addr HOST:PORT] [--threads N] [--max-conns N] [--window SECS]
+  delta-serve --ingest-dir DIR [--year N] [--ingest-queue N]
+              [--publish-events N] [--publish-secs S]
+              [--addr HOST:PORT] [--threads N] [--max-conns N] [--window SECS]
 
-INPUTS (as in delta-cli analyze)
+BATCH INPUTS (as in delta-cli analyze; exclusive with --ingest-dir)
   <LOG>...        per-day syslog files (or directories of them)
   --jobs FILE     GPU job export CSV
   --cpu-jobs FILE CPU job export CSV
   --outages FILE  outage export CSV
-  --window SECS   coalescing window Δt (default 20)
+
+LIVE INGEST (accept the corpus over POST /ingest/*)
+  --ingest-dir DIR    durable state directory (WAL + checkpoint); restarting
+                      on the same DIR recovers every acknowledged chunk
+  --year N            year for year-less syslog stamps on a fresh DIR
+                      (default 2024; a recovered checkpoint wins)
+  --ingest-queue N    admission queue depth; beyond it POSTs get 429 (default 256)
+  --publish-events N  publish a fresh snapshot every N ingested lines (default 5000)
+  --publish-secs S    ... or after S seconds, whichever comes first (default 2)
 
 SERVER
+  --window SECS   coalescing window Δt (default 20)
   --addr A        listen address (default 127.0.0.1:7171; use :0 for ephemeral)
   --threads N     worker threads (default 4)
   --max-conns N   connection queue depth; beyond it requests get 503 (default 64)
@@ -69,6 +103,8 @@ SERVER
 ENDPOINTS
   /tables/1 /tables/2 /tables/3 /fig2 /errors /mtbe /jobs/impact
   /availability /snapshot /healthz /metrics
+  POST /ingest/{logs,jobs,cpu-jobs,outages}[?seq=N]  (with --ingest-dir)
+  POST /ingest/flush    GET /ingest/status
 ";
 
 fn run(args: &[String]) -> Result<(), CliError> {
@@ -82,17 +118,26 @@ fn run(args: &[String]) -> Result<(), CliError> {
             "threads",
             "max-conns",
             "window",
+            "ingest-dir",
+            "year",
+            "ingest-queue",
+            "publish-events",
+            "publish-secs",
         ],
     )?;
-    if flags.positionals.is_empty() {
-        return Err(CliError::Usage(
-            "serve needs at least one log file".to_owned(),
-        ));
-    }
 
     // The registry backs /metrics and the request/cache counters; a
     // server run is always instrumented.
     obs::set_enabled(true);
+
+    if flags.value("ingest-dir").is_some() {
+        return run_live(&flags);
+    }
+    if flags.positionals.is_empty() {
+        return Err(CliError::Usage(
+            "serve needs at least one log file (or --ingest-dir for live mode)".to_owned(),
+        ));
+    }
 
     // Ingest per-day logs exactly as `delta-cli analyze` does: year from
     // the filename when present, otherwise probed from a line sample.
@@ -139,13 +184,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         cli::parse_outages_csv(&out_csv)?;
     }
 
-    let mut pipeline = Pipeline::delta();
-    if let Some(w) = flags.value("window") {
-        let secs: u64 = w
-            .parse()
-            .map_err(|_| CliError::Usage(format!("bad --window {w:?}")))?;
-        pipeline.coalesce_window = Duration::from_secs(secs);
-    }
+    let pipeline = pipeline_from_flags(&flags)?;
     let (report, quarantine) =
         pipeline.run_lenient(log.as_slice(), year, &gpu_csv, &cpu_csv, &out_csv);
     for caveat in &quarantine.caveats {
@@ -163,6 +202,133 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some(&quarantine),
     )));
 
+    let config = server_config_from_flags(&flags)?;
+    servd::signal::install();
+    let server = servd::start(config, store)?;
+    println!(
+        "serving on http://{}  (SIGINT/SIGTERM to stop)",
+        server.addr()
+    );
+
+    while !servd::signal::shutdown_requested() {
+        std::thread::sleep(StdDuration::from_millis(100));
+    }
+    eprintln!("shutting down");
+    server.shutdown();
+    Ok(())
+}
+
+/// Live-ingest mode: recover (or initialize) the durable ingest state,
+/// serve the recovered snapshot immediately, and accept new chunks over
+/// `POST /ingest/*` until SIGINT/SIGTERM.
+fn run_live(flags: &Flags) -> Result<(), CliError> {
+    if !flags.positionals.is_empty() {
+        return Err(CliError::Usage(
+            "--ingest-dir is exclusive with log file arguments (POST them to /ingest/logs)"
+                .to_owned(),
+        ));
+    }
+    for batch_only in ["jobs", "cpu-jobs", "outages"] {
+        if flags.value(batch_only).is_some() {
+            return Err(CliError::Usage(format!(
+                "--ingest-dir is exclusive with --{batch_only} (POST rows to the ingest endpoints)"
+            )));
+        }
+    }
+
+    let dir = flags.value("ingest-dir").unwrap_or_default();
+    let mut ingest_config = servd::IngestConfig::new(dir);
+    if let Some(n) = flags.value("ingest-queue") {
+        ingest_config.queue_capacity = n
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad --ingest-queue {n:?}")))?;
+        if ingest_config.queue_capacity == 0 {
+            return Err(CliError::Usage(
+                "--ingest-queue must be positive".to_owned(),
+            ));
+        }
+    }
+    if let Some(n) = flags.value("publish-events") {
+        ingest_config.publish_every_events = n
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad --publish-events {n:?}")))?;
+    }
+    if let Some(s) = flags.value("publish-secs") {
+        let secs: u64 = s
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad --publish-secs {s:?}")))?;
+        ingest_config.publish_every = StdDuration::from_secs(secs);
+    }
+    let year: i32 = match flags.value("year") {
+        Some(y) => y
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad --year {y:?}")))?,
+        None => 2024,
+    };
+
+    let pipeline = pipeline_from_flags(flags)?;
+    let recovered = servd::ingest::recover(ingest_config, pipeline, year)?;
+    let accepted = recovered.accepted;
+    println!(
+        "ingest state recovered: logs={} jobs={} cpu-jobs={} outages={} chunks accepted, {} replayed from WAL",
+        accepted[0], accepted[1], accepted[2], accepted[3], recovered.replayed
+    );
+
+    // Serve what survived the restart immediately; the worker republishes
+    // on its cadence as new chunks land.
+    let (report, quarantine) = recovered.engine.materialize_full();
+    println!(
+        "study ready: {} coalesced errors, {} GPU jobs joined, {} outages",
+        report.errors.len(),
+        report.impact.gpu_failed_jobs(),
+        report.availability.outage_count()
+    );
+    let store = Arc::new(servd::StoreHandle::new(servd::StudyStore::build(
+        report,
+        Some(&quarantine),
+    )));
+
+    let worker = servd::ingest::spawn_worker(
+        recovered.engine,
+        Arc::clone(&recovered.handle),
+        Arc::clone(&store),
+    );
+
+    let config = server_config_from_flags(flags)?;
+    servd::signal::install();
+    let server = servd::start_with_ingest(config, store, Some(Arc::clone(&recovered.handle)))?;
+    println!(
+        "serving on http://{}  (live ingest on /ingest/*; SIGINT/SIGTERM to stop)",
+        server.addr()
+    );
+
+    while !servd::signal::shutdown_requested() {
+        std::thread::sleep(StdDuration::from_millis(100));
+    }
+    eprintln!("shutting down");
+    // Stop accepting HTTP first, then drain the queue so everything
+    // acknowledged is applied, published, and checkpointed before exit.
+    server.shutdown();
+    worker.stop();
+    Ok(())
+}
+
+/// Shared pipeline construction: the `--window` flag applies in both
+/// modes (in live mode, only to a fresh directory — a recovered
+/// checkpoint carries its own configuration).
+fn pipeline_from_flags(flags: &Flags) -> Result<Pipeline, CliError> {
+    let mut pipeline = Pipeline::delta();
+    if let Some(w) = flags.value("window") {
+        let secs: u64 = w
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad --window {w:?}")))?;
+        pipeline.coalesce_window = Duration::from_secs(secs);
+    }
+    Ok(pipeline)
+}
+
+/// Shared server flag parsing (`--addr`, `--threads`, `--max-conns`).
+fn server_config_from_flags(flags: &Flags) -> Result<servd::ServerConfig, CliError> {
     let mut config = servd::ServerConfig {
         addr: flags.value("addr").unwrap_or("127.0.0.1:7171").to_owned(),
         ..servd::ServerConfig::default()
@@ -177,20 +343,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
             .parse()
             .map_err(|_| CliError::Usage(format!("bad --max-conns {n:?}")))?;
     }
-
-    servd::signal::install();
-    let server = servd::start(config, store)?;
-    println!(
-        "serving on http://{}  (SIGINT/SIGTERM to stop)",
-        server.addr()
-    );
-
-    while !servd::signal::shutdown_requested() {
-        std::thread::sleep(StdDuration::from_millis(100));
-    }
-    eprintln!("shutting down");
-    server.shutdown();
-    Ok(())
+    Ok(config)
 }
 
 /// Picks the year under which a sample of the log's lines parses with the

@@ -178,7 +178,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         offset += len;
         if let Some(path) = flags.value("checkpoint") {
             let snapshot = engine.checkpoint();
-            cli::write_file(path, snapshot.as_bytes(), "writing checkpoint to")?;
+            cli::write_file_atomic(path, snapshot.as_bytes(), "writing checkpoint to")?;
             println!(
                 "checkpoint after {}: {} log bytes in, state {} bytes",
                 file.display(),

@@ -55,6 +55,8 @@ pub enum CliError {
     Checkpoint(CheckpointError),
     /// The serving subsystem failed to start (bind errors and friends).
     Serve(servd::ServeError),
+    /// The live-ingest subsystem failed to recover or persist its state.
+    Ingest(servd::IngestError),
 }
 
 impl fmt::Display for CliError {
@@ -70,6 +72,7 @@ impl fmt::Display for CliError {
             CliError::Pipeline(e) => write!(f, "{e}"),
             CliError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
             CliError::Serve(e) => write!(f, "serve: {e}"),
+            CliError::Ingest(e) => write!(f, "ingest: {e}"),
         }
     }
 }
@@ -81,6 +84,7 @@ impl std::error::Error for CliError {
             CliError::Pipeline(e) => Some(e),
             CliError::Checkpoint(e) => Some(e),
             CliError::Serve(e) => Some(e),
+            CliError::Ingest(e) => Some(e),
             _ => None,
         }
     }
@@ -101,6 +105,12 @@ impl From<CheckpointError> for CliError {
 impl From<servd::ServeError> for CliError {
     fn from(e: servd::ServeError) -> Self {
         CliError::Serve(e)
+    }
+}
+
+impl From<servd::IngestError> for CliError {
+    fn from(e: servd::IngestError) -> Self {
+        CliError::Ingest(e)
     }
 }
 
@@ -183,6 +193,23 @@ pub fn write_file(
 ) -> Result<(), CliError> {
     let path = path.as_ref();
     std::fs::write(path, contents).map_err(|source| CliError::Io {
+        action,
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+/// Writes `contents` to `path` via temp-file + atomic rename
+/// ([`resilience::checkpoint::write_atomic`]), so a crash mid-write can
+/// never leave a torn file — the write path for checkpoints and anything
+/// else a restart must be able to trust.
+pub fn write_file_atomic(
+    path: impl AsRef<Path>,
+    contents: impl AsRef<[u8]>,
+    action: &'static str,
+) -> Result<(), CliError> {
+    let path = path.as_ref();
+    resilience::checkpoint::write_atomic(path, contents.as_ref()).map_err(|source| CliError::Io {
         action,
         path: path.to_path_buf(),
         source,

@@ -1,0 +1,245 @@
+//! Backpressure contract for `/ingest/*`: a full admission queue sheds
+//! load with `429` + `Retry-After` — it never blocks the caller and
+//! never stalls concurrent readers — and once a worker drains the
+//! queue, every accepted chunk is applied with zero loss, with the
+//! `obs` counters agreeing with the client's own bookkeeping.
+//!
+//! Everything runs as ONE test function: the `obs` registry is a
+//! process-wide singleton, so the counter assertions must not race
+//! another test in this binary.
+
+use servd::{IngestConfig, ServerConfig, StoreHandle, StudyStore};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Minimal framed-response client (same shape as the other suites).
+fn request_on(
+    conn: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> (u16, Vec<(String, String)>, String) {
+    // One write for head + body: two small writes trip Nagle against the
+    // server's delayed ACK and cost ~40 ms per request.
+    let mut request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: keep-alive\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    request.extend_from_slice(body);
+    conn.write_all(&request).expect("request written");
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        assert!(head.len() < 64 * 1024, "unterminated response head");
+        conn.read_exact(&mut byte).expect("response head byte");
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8(head).expect("ASCII head");
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_owned(), v.trim().to_owned()))
+        .collect();
+    let length: usize = headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.parse().ok())
+        .expect("content-length");
+    let mut body = vec![0u8; length];
+    conn.read_exact(&mut body).expect("framed body");
+    (
+        status,
+        headers,
+        String::from_utf8(body).expect("UTF-8 body"),
+    )
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+/// Reads one counter value out of the Prometheus exposition served at
+/// `/metrics`; `series` is the full `name{labels}` prefix.
+fn counter_value(metrics: &str, series: &str) -> u64 {
+    metrics
+        .lines()
+        .find(|l| l.starts_with(series))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse::<f64>().ok())
+        .map(|v| v as u64)
+        .unwrap_or(0)
+}
+
+/// One syslog line the pipeline will parse into a real event, so the
+/// drained study is observably non-empty.
+const LOG_CHUNK: &[u8] = b"Mar 10 04:00:00 gpub001 kernel: NVRM: Xid (PCI:0000:07:00): 119, pid=1234, Timeout waiting for RPC from GSP\n";
+
+#[test]
+fn full_queue_sheds_with_429_without_stalling_reads_then_drains_lossless() {
+    obs::set_enabled(true);
+    let dir = std::env::temp_dir().join(format!("ingest-bp-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    const QUEUE: usize = 4;
+    let mut config = IngestConfig::new(&dir);
+    config.queue_capacity = QUEUE;
+    let recovered =
+        servd::ingest::recover(config, resilience::Pipeline::delta(), 2024).expect("recover");
+    let (report, quarantine) = recovered.engine.materialize_full();
+    let store = Arc::new(StoreHandle::new(StudyStore::build(
+        report,
+        Some(&quarantine),
+    )));
+    let server = servd::start_with_ingest(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            ..ServerConfig::default()
+        },
+        Arc::clone(&store),
+        Some(Arc::clone(&recovered.handle)),
+    )
+    .expect("server starts");
+    let mut writer = TcpStream::connect(server.addr()).expect("writer connects");
+    writer.set_nodelay(true).expect("nodelay");
+    let mut reader = TcpStream::connect(server.addr()).expect("reader connects");
+    reader.set_nodelay(true).expect("nodelay");
+
+    // Baseline read latency while the system is idle.
+    let idle_started = Instant::now();
+    for _ in 0..20 {
+        let (status, _, _) = request_on(&mut reader, "GET", "/tables/1", &[]);
+        assert_eq!(status, 200);
+    }
+    let idle_per_get = idle_started.elapsed() / 20;
+
+    // Phase 1 — no worker is running, so the queue fills and stays
+    // full: exactly QUEUE chunks are admitted (each durable in the WAL
+    // before its 200), then the server starts shedding.
+    for seq in 0..QUEUE as u64 {
+        let (status, _, _) = request_on(
+            &mut writer,
+            "POST",
+            &format!("/ingest/logs?seq={seq}"),
+            LOG_CHUNK,
+        );
+        assert_eq!(status, 200, "chunk {seq} within capacity must be accepted");
+    }
+    let mut rejections = 0u64;
+    for _ in 0..5 {
+        let shed_started = Instant::now();
+        let (status, headers, _) = request_on(
+            &mut writer,
+            "POST",
+            &format!("/ingest/logs?seq={QUEUE}"),
+            LOG_CHUNK,
+        );
+        assert_eq!(status, 429, "an offer beyond capacity must be shed");
+        // Load shedding, not blocking: the rejection is immediate.
+        assert!(
+            shed_started.elapsed() < Duration::from_secs(1),
+            "429 took {:?} — the server blocked instead of shedding",
+            shed_started.elapsed()
+        );
+        let retry: u64 = header(&headers, "Retry-After")
+            .and_then(|v| v.parse().ok())
+            .expect("429 must carry a parseable Retry-After");
+        assert!(
+            (1..=60).contains(&retry),
+            "Retry-After {retry}s is not a sane backoff hint"
+        );
+        rejections += 1;
+
+        // Readers are not starved while the write path sheds.
+        let read_started = Instant::now();
+        let (status, _, _) = request_on(&mut reader, "GET", "/tables/1", &[]);
+        assert_eq!(status, 200, "GET failed while ingest was shedding");
+        assert!(
+            read_started.elapsed() < Duration::from_millis(500).max(idle_per_get * 20),
+            "GET stalled to {:?} (idle {:?}) while ingest was shedding",
+            read_started.elapsed(),
+            idle_per_get
+        );
+    }
+
+    // Phase 2 — a worker drains the queue; the shed chunk is re-sent
+    // and everything accepted is applied: zero loss.
+    let worker = servd::ingest::spawn_worker(
+        recovered.engine,
+        Arc::clone(&recovered.handle),
+        Arc::clone(&store),
+    );
+    let accepted_late;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, _, _) = request_on(
+            &mut writer,
+            "POST",
+            &format!("/ingest/logs?seq={QUEUE}"),
+            LOG_CHUNK,
+        );
+        if status == 200 {
+            accepted_late = 1u64;
+            break;
+        }
+        assert_eq!(status, 429);
+        assert!(
+            Instant::now() < deadline,
+            "worker never drained a queue slot"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (status, _, flush_body) = request_on(&mut writer, "POST", "/ingest/flush", &[]);
+    assert_eq!(status, 200, "flush failed: {flush_body}");
+
+    let total = QUEUE as u64 + accepted_late;
+    assert_eq!(recovered.handle.accepted()[0], total, "accepted drifted");
+    assert_eq!(
+        recovered.handle.applied()[0],
+        total,
+        "drain lost an accepted chunk"
+    );
+
+    // The obs counters must tell the same story as the client's own
+    // bookkeeping: every 200 counted once, every 429 counted once.
+    let (status, _, metrics) = request_on(&mut reader, "GET", "/metrics", &[]);
+    assert_eq!(status, 200);
+    assert_eq!(
+        counter_value(&metrics, "servd_ingest_accepted_total{stream=\"logs\"}"),
+        total,
+        "accepted counter disagrees with the client"
+    );
+    assert_eq!(
+        counter_value(&metrics, "servd_ingest_applied_total{stream=\"logs\"}"),
+        total,
+        "applied counter disagrees with the client"
+    );
+    assert!(
+        counter_value(&metrics, "servd_ingest_rejected_total{reason=\"overload\"}") >= rejections,
+        "overload rejections under-counted"
+    );
+
+    // The drained, published study actually contains the ingested
+    // events — loss would be visible as an empty error list.
+    let (status, _, errors) = request_on(&mut reader, "GET", "/errors", &[]);
+    assert_eq!(status, 200);
+    assert!(
+        errors.lines().count() > 1,
+        "published study is empty after drain: {errors}"
+    );
+
+    server.shutdown();
+    worker.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,309 @@
+//! Kill/restart harness for live ingest: a real `delta-serve` process is
+//! SIGKILLed mid-ingest — no drain, no atexit, no final checkpoint — and
+//! restarted on the same `--ingest-dir`. The contract under test is the
+//! ack durability invariant: **no chunk that got a `200` is ever lost**,
+//! however rude the crash. The restarted server reports every
+//! acknowledged chunk in `/ingest/status`, absorbs the client's re-sent
+//! duplicates, accepts the rest of the corpus, and converges to the
+//! byte-identical surfaces of an offline `run_lenient` oracle over the
+//! whole corpus.
+//!
+//! The first server run gets an effectively infinite publish cadence, so
+//! at kill time nothing has been checkpointed: recovery must come
+//! entirely from the write-ahead log.
+
+use delta_gpu_resilience::prelude::*;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::Duration;
+
+const YEAR: i32 = 2023;
+
+/// A deterministic synthetic corpus: a few hundred parseable Xid lines
+/// across hosts, codes, and timestamps inside the Delta op period, plus
+/// enough junk to keep the quarantine path honest.
+fn corpus() -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut state = 0x2545F4914F6CDD1Du64;
+    let mut next = move |modulus: u64| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) % modulus
+    };
+    let codes = [119u64, 74, 31, 63, 79, 48, 94, 95];
+    // Timestamps advance monotonically (as a real syslog does); the
+    // irregular stride keeps most events outside each other's 20 s
+    // coalescing window while still exercising the occasional merge.
+    let mut clock = 0u64; // seconds since Jun 1 00:00:00
+    for i in 0..240u64 {
+        clock += 7 + next(3600);
+        let day = 1 + clock / 86_400;
+        let hour = (clock % 86_400) / 3_600;
+        let minute = (clock % 3_600) / 60;
+        let second = clock % 60;
+        let host = 1 + next(24);
+        let gpu = next(4);
+        let code = codes[next(codes.len() as u64) as usize];
+        let line = format!(
+            "Jun {day:2} {hour:02}:{minute:02}:{second:02} gpub{host:03} kernel: NVRM: Xid (PCI:0000:{:02x}:00): {code}, synthetic event {i}\n",
+            0x07 + gpu * 0x20,
+        );
+        out.extend_from_slice(line.as_bytes());
+        if i % 17 == 0 {
+            out.extend_from_slice(b"Jun  3 12:00:00 gpub001 kernel: unrelated chatter line\n");
+        }
+        if i % 41 == 0 {
+            out.extend_from_slice(b"!!corrupt<<>>line not syslog at all\n");
+        }
+    }
+    out
+}
+
+fn jobs_csv() -> String {
+    "id,name,submit,start,end,gpus,gpu_slots,state\n\
+     1001,train-a,2023-06-01T00:00:00,2023-06-01T01:00:00,2023-06-02T01:00:00,4,gpub001:0;gpub001:1;gpub001:2;gpub001:3,COMPLETED\n\
+     1002,train-b,2023-06-03T00:00:00,2023-06-03T01:00:00,2023-06-03T09:00:00,2,gpub002:0;gpub003:1,FAILED\n\
+     1003,infer-c,2023-06-10T00:00:00,2023-06-10T00:10:00,2023-06-10T02:10:00,1,gpub004:0,COMPLETED\n"
+        .to_owned()
+}
+
+// ------------------------------------------------------- process harness
+
+/// A spawned `delta-serve --ingest-dir` child plus the address it
+/// printed. Killed (SIGKILL) or gracefully dropped by the test.
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+fn spawn_server(dir: &Path, publish_events: &str, publish_secs: &str) -> Server {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_delta_serve"))
+        .args([
+            "--ingest-dir",
+            dir.to_str().expect("utf-8 scratch path"),
+            "--addr",
+            "127.0.0.1:0",
+            "--year",
+            &YEAR.to_string(),
+            "--publish-events",
+            publish_events,
+            "--publish-secs",
+            publish_secs,
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("delta-serve spawns");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        for line in BufReader::new(stdout).lines() {
+            match line {
+                Ok(line) => {
+                    if tx.send(line).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    });
+    let addr = loop {
+        let line = rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("delta-serve printed its address before the deadline");
+        if let Some(rest) = line.split("serving on http://").nth(1) {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("address after scheme")
+                .to_owned();
+        }
+    };
+    Server { child, addr }
+}
+
+impl Server {
+    fn connect(&self) -> TcpStream {
+        // The listener is up before the address is printed, but be
+        // forgiving about scheduler hiccups around process start.
+        for _ in 0..50 {
+            if let Ok(conn) = TcpStream::connect(&self.addr) {
+                conn.set_nodelay(true).expect("nodelay");
+                return conn;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        panic!("could not connect to {}", self.addr);
+    }
+
+    fn kill(mut self) {
+        self.child.kill().expect("SIGKILL delivered");
+        self.child.wait().expect("child reaped");
+    }
+}
+
+// ------------------------------------------------------- tiny HTTP client
+
+fn request_on(conn: &mut TcpStream, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+    // One write for head + body: two small writes trip Nagle against the
+    // server's delayed ACK and cost ~40 ms per request.
+    let mut request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: keep-alive\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    request.extend_from_slice(body);
+    conn.write_all(&request).expect("request written");
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        assert!(head.len() < 64 * 1024, "unterminated response head");
+        conn.read_exact(&mut byte).expect("response head byte");
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8(head).expect("ASCII head");
+    let status: u16 = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let length: usize = head
+        .lines()
+        .filter_map(|l| l.split_once(':'))
+        .find(|(n, _)| n.trim().eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse().ok())
+        .expect("content-length");
+    let mut body = vec![0u8; length];
+    conn.read_exact(&mut body).expect("framed body");
+    (status, String::from_utf8(body).expect("UTF-8 body"))
+}
+
+/// POSTs one chunk, retrying through `429` shedding; `200` (fresh or
+/// duplicate) is success.
+fn post_chunk(conn: &mut TcpStream, stream: &str, seq: u64, payload: &[u8]) {
+    for _ in 0..10_000 {
+        let (status, body) = request_on(
+            conn,
+            "POST",
+            &format!("/ingest/{stream}?seq={seq}"),
+            payload,
+        );
+        match status {
+            200 => return,
+            429 => std::thread::sleep(Duration::from_millis(2)),
+            other => panic!("POST /ingest/{stream}?seq={seq} -> {other}: {body}"),
+        }
+    }
+    panic!("chunk {stream}/{seq} never accepted");
+}
+
+/// Extracts one stream's accepted count from the `/ingest/status` JSON.
+fn accepted_of(status_json: &str, stream: &str) -> u64 {
+    let key = format!("\"{stream}\":{{\"accepted\":");
+    let at = status_json
+        .find(&key)
+        .unwrap_or_else(|| panic!("stream {stream} missing from {status_json}"));
+    status_json[at + key.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("numeric accepted count")
+}
+
+// ---------------------------------------------------------------- test
+
+#[test]
+fn sigkill_mid_ingest_loses_no_acknowledged_chunk() {
+    let log = corpus();
+    let jobs = jobs_csv();
+    let chunks: Vec<&[u8]> = log.chunks(256).collect();
+    let dir = std::env::temp_dir().join(format!("ingest-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    // Run 1: infinite cadence — nothing will be checkpointed, so the
+    // crash leaves recovery entirely to the WAL.
+    let server = spawn_server(&dir, "1000000000", "1000000");
+    let mut conn = server.connect();
+    let kill_at = chunks.len() / 2;
+    let mut acked = 0u64;
+    for (i, piece) in chunks.iter().enumerate().take(kill_at) {
+        post_chunk(&mut conn, "logs", i as u64, piece);
+        acked = i as u64 + 1;
+    }
+    assert!(acked >= 40, "corpus too small to crash mid-ingest");
+    // SIGKILL with acknowledged records still queued/unpublished.
+    server.kill();
+
+    // Run 2: same directory, normal cadence. Every acknowledged chunk
+    // must have survived.
+    let server = spawn_server(&dir, "5000", "2");
+    let mut conn = server.connect();
+    let (status, status_body) = request_on(&mut conn, "GET", "/ingest/status", &[]);
+    assert_eq!(status, 200);
+    let recovered = accepted_of(&status_body, "logs");
+    assert_eq!(
+        recovered, acked,
+        "restart lost acknowledged chunks: acked {acked}, recovered {recovered} ({status_body})"
+    );
+
+    // The client lost its own bookkeeping in the crash too: it re-sends
+    // from a few chunks back. The duplicates are absorbed.
+    for i in (acked.saturating_sub(4))..acked {
+        post_chunk(&mut conn, "logs", i, chunks[i as usize]);
+    }
+    // Rest of the corpus, plus the jobs stream, then a publish barrier.
+    for (i, piece) in chunks.iter().enumerate().skip(acked as usize) {
+        post_chunk(&mut conn, "logs", i as u64, piece);
+    }
+    for (i, piece) in jobs.as_bytes().chunks(128).enumerate() {
+        post_chunk(&mut conn, "jobs", i as u64, piece);
+    }
+    let (status, flush_body) = request_on(&mut conn, "POST", "/ingest/flush", &[]);
+    assert_eq!(status, 200, "flush failed: {flush_body}");
+
+    // Converged: byte-identical to the offline oracle over the whole
+    // corpus, crash or no crash.
+    let (oracle, _) = Pipeline::delta().run_lenient(log.as_slice(), YEAR, &jobs, "", "");
+    assert!(
+        oracle.errors.len() > 50,
+        "oracle too small to be meaningful: {} errors",
+        oracle.errors.len()
+    );
+    for (path, expected) in [
+        ("/tables/1", report::table1(&oracle)),
+        ("/tables/2", report::table2(&oracle)),
+        ("/tables/3", report::table3(&oracle)),
+        ("/fig2", report::figure2(&oracle)),
+    ] {
+        let (status, body) = request_on(&mut conn, "GET", path, &[]);
+        assert_eq!(status, 200, "{path}");
+        assert_eq!(body, expected, "{path} diverged after crash recovery");
+    }
+
+    // A second SIGKILL after the flush: now everything lives in the
+    // checkpoint, and a third server must serve the identical surfaces
+    // with no new ingest at all.
+    server.kill();
+    let server = spawn_server(&dir, "5000", "2");
+    let mut conn = server.connect();
+    let (status, status_body) = request_on(&mut conn, "GET", "/ingest/status", &[]);
+    assert_eq!(status, 200);
+    assert_eq!(accepted_of(&status_body, "logs"), chunks.len() as u64);
+    let (status, body) = request_on(&mut conn, "GET", "/tables/1", &[]);
+    assert_eq!(status, 200);
+    assert_eq!(
+        body,
+        report::table1(&oracle),
+        "/tables/1 diverged after the second crash"
+    );
+    server.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+}
