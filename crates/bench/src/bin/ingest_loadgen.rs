@@ -22,8 +22,8 @@
 use bench::{banner, run_study, RunOptions, DEFAULT_SEED};
 use delta_gpu_resilience::bridge;
 use resilience::csvio;
+use servd::testutil;
 use servd::{IngestConfig, ServerConfig, StoreHandle, StudyStore};
-use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -293,9 +293,7 @@ fn scratch(tag: &str) -> PathBuf {
 }
 
 fn connect(addr: &str) -> TcpStream {
-    let conn = TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect {addr}: {e}"));
-    conn.set_nodelay(true).ok();
-    conn
+    testutil::connect(addr)
 }
 
 /// Measures `count` sequential idle GETs of `/tables/1`; returns sorted
@@ -345,53 +343,18 @@ fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
         .map(|(_, v)| v.as_str())
 }
 
-/// One keep-alive request with a framed response (status, headers, body).
+/// One keep-alive request with a framed response (status, headers,
+/// body) — the shared `servd::testutil` one-write client, reshaped to
+/// the tuple the call sites below destructure.
 fn request_on(
     conn: &mut TcpStream,
     method: &str,
     path: &str,
     body: &[u8],
 ) -> (u16, Vec<(String, String)>, String) {
-    conn.write_all(
-        format!(
-            "{method} {path} HTTP/1.1\r\nHost: loadgen\r\nConnection: keep-alive\r\nContent-Length: {}\r\n\r\n",
-            body.len()
-        )
-        .as_bytes(),
-    )
-    .unwrap_or_else(|e| panic!("request write: {e}"));
-    conn.write_all(body)
-        .unwrap_or_else(|e| panic!("body write: {e}"));
-    let mut head = Vec::with_capacity(256);
-    let mut byte = [0u8; 1];
-    while !head.ends_with(b"\r\n\r\n") {
-        if head.len() > 16 * 1024 {
-            panic!("oversized response head");
-        }
-        conn.read_exact(&mut byte)
-            .unwrap_or_else(|e| panic!("response read: {e}"));
-        head.push(byte[0]);
-    }
-    let head = String::from_utf8_lossy(&head);
-    let mut lines = head.lines();
-    let status: u16 = lines
-        .next()
-        .and_then(|l| l.split_whitespace().nth(1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| panic!("bad status line"));
-    let headers: Vec<(String, String)> = lines
-        .filter_map(|l| l.split_once(':'))
-        .map(|(n, v)| (n.trim().to_owned(), v.trim().to_owned()))
-        .collect();
-    let length: usize = headers
-        .iter()
-        .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
-        .and_then(|(_, v)| v.parse().ok())
-        .unwrap_or_else(|| panic!("missing content-length"));
-    let mut body = vec![0u8; length];
-    conn.read_exact(&mut body)
-        .unwrap_or_else(|e| panic!("framed body: {e}"));
-    (status, headers, String::from_utf8_lossy(&body).into_owned())
+    let resp = testutil::request_on(conn, method, path, body);
+    let text = resp.text();
+    (resp.status, resp.headers, text)
 }
 
 fn percentile(sorted_ns: &[u64], pct: usize) -> u64 {

@@ -89,71 +89,100 @@ pub fn extract_shard(shard: &HostShard<'_>, extractor: &mut XidExtractor) -> Vec
         .collect()
 }
 
-/// One stream's head, queued for the k-way merge.
-///
-/// Ordered by the canonical `(time, host, seq)` triple. `host` lives on
-/// the event itself, so no keys are cloned and events move through the
-/// heap by value.
-struct Pending {
-    ev: XidEvent,
-    seq: u64,
+/// One stream's head, queued for the generic k-way merge. Ordered by the
+/// caller's comparator, ties broken by stream index so the merge is a
+/// deterministic function of the input streams.
+struct Pending<'c, T, C: Fn(&T, &T) -> std::cmp::Ordering> {
+    item: T,
     stream: usize,
+    cmp: &'c C,
 }
 
-impl Pending {
-    fn key(&self) -> (Timestamp, &str, u64) {
-        (self.ev.time, self.ev.host.as_str(), self.seq)
+impl<T, C: Fn(&T, &T) -> std::cmp::Ordering> Pending<'_, T, C> {
+    fn order(&self, other: &Self) -> std::cmp::Ordering {
+        (self.cmp)(&self.item, &other.item).then(self.stream.cmp(&other.stream))
     }
 }
 
-impl PartialEq for Pending {
+impl<T, C: Fn(&T, &T) -> std::cmp::Ordering> PartialEq for Pending<'_, T, C> {
     fn eq(&self, other: &Self) -> bool {
-        self.key() == other.key()
+        self.order(other) == std::cmp::Ordering::Equal
     }
 }
-impl Eq for Pending {}
-impl PartialOrd for Pending {
+impl<T, C: Fn(&T, &T) -> std::cmp::Ordering> Eq for Pending<'_, T, C> {}
+impl<T, C: Fn(&T, &T) -> std::cmp::Ordering> PartialOrd for Pending<'_, T, C> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for Pending {
+impl<T, C: Fn(&T, &T) -> std::cmp::Ordering> Ord for Pending<'_, T, C> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key().cmp(&other.key())
+        self.order(other)
     }
+}
+
+/// K-way merges streams that are each already sorted under `cmp` into one
+/// stream sorted under `cmp`.
+///
+/// The heap holds at most one head per stream, so the merge is
+/// O(n log k) with no element clones. Elements that compare equal come
+/// out in stream-index order, so the result is a deterministic function
+/// of the inputs (and, when the merge key is unique across streams — the
+/// pipeline's `(time, host, seq)` triple, the serving store's global row
+/// id — independent of how items are distributed over streams).
+///
+/// This is the one merge kernel in the workspace: the sharded ingest
+/// pipeline merges per-host event streams through it, and `servd`'s
+/// scatter-gather store merges per-shard query slices with the same
+/// machinery.
+pub fn merge_sorted_by<T, C: Fn(&T, &T) -> std::cmp::Ordering>(
+    streams: Vec<Vec<T>>,
+    cmp: C,
+) -> Vec<T> {
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut heap: BinaryHeap<Reverse<Pending<'_, T, C>>> = BinaryHeap::with_capacity(streams.len());
+    let mut tails: Vec<std::vec::IntoIter<T>> = Vec::with_capacity(streams.len());
+    for (stream, items) in streams.into_iter().enumerate() {
+        let mut iter = items.into_iter();
+        if let Some(item) = iter.next() {
+            heap.push(Reverse(Pending {
+                item,
+                stream,
+                cmp: &cmp,
+            }));
+        }
+        tails.push(iter);
+    }
+    while let Some(Reverse(head)) = heap.pop() {
+        if let Some(item) = tails[head.stream].next() {
+            heap.push(Reverse(Pending {
+                item,
+                stream: head.stream,
+                cmp: &cmp,
+            }));
+        }
+        out.push(head.item);
+    }
+    out
 }
 
 /// K-way merges per-shard event streams into canonical
 /// `(time, host, seq)` order.
 ///
 /// Each input stream must itself be sorted by that key — which every
-/// stream produced by [`extract_shard`] is (see the module docs). The
-/// heap holds at most one head per stream, so the merge is
-/// O(n log k) with no event clones. The result is independent of the
-/// order in which the streams are supplied.
+/// stream produced by [`extract_shard`] is (see the module docs). A thin
+/// wrapper over [`merge_sorted_by`]; the result is independent of the
+/// order in which the streams are supplied because the triple is unique.
 pub fn merge_events(streams: Vec<Vec<SeqEvent>>) -> Vec<XidEvent> {
-    let total: usize = streams.iter().map(Vec::len).sum();
-    let mut out = Vec::with_capacity(total);
-    let mut heap: BinaryHeap<Reverse<Pending>> = BinaryHeap::with_capacity(streams.len());
-    let mut tails: Vec<std::vec::IntoIter<SeqEvent>> = Vec::with_capacity(streams.len());
-    for (stream, events) in streams.into_iter().enumerate() {
-        let mut iter = events.into_iter();
-        if let Some((seq, ev)) = iter.next() {
-            heap.push(Reverse(Pending { ev, seq, stream }));
-        }
-        tails.push(iter);
-    }
-    while let Some(Reverse(head)) = heap.pop() {
-        if let Some((seq, ev)) = tails[head.stream].next() {
-            heap.push(Reverse(Pending {
-                ev,
-                seq,
-                stream: head.stream,
-            }));
-        }
-        out.push(head.ev);
-    }
-    out
+    merge_sorted_by(streams, |a: &SeqEvent, b: &SeqEvent| {
+        let ka: (Timestamp, &str, u64) = (a.1.time, a.1.host.as_str(), a.0);
+        let kb: (Timestamp, &str, u64) = (b.1.time, b.1.host.as_str(), b.0);
+        ka.cmp(&kb)
+    })
+    .into_iter()
+    .map(|(_, ev)| ev)
+    .collect()
 }
 
 /// Stable-sorts events into canonical order.

@@ -416,6 +416,198 @@ pub fn write_response(
     stream.flush()
 }
 
+// ------------------------------------------------------ incremental parser
+
+/// What [`Parser::poll`] learned from the bytes pushed so far.
+#[derive(Debug)]
+pub enum ParseProgress {
+    /// Not enough bytes yet — push more (or let a deadline fire).
+    NeedMore,
+    /// One complete request; any trailing bytes stay buffered for the
+    /// next (pipelined) request.
+    Done(Request),
+    /// The request is unacceptable. Carries the same [`ReadOutcome`]
+    /// variant the one-shot [`read_request`] would have returned
+    /// (`TooLarge`, `BodyTooLarge`, `LengthRequired`, `TimedOut`,
+    /// `Malformed`) so the status-code mapping is shared.
+    Fail(ReadOutcome),
+}
+
+/// Body phase bookkeeping: the parsed head waiting for its body.
+#[derive(Debug)]
+struct PendingBody {
+    request: Request,
+    body_len: usize,
+    started: Option<Instant>,
+}
+
+/// An incremental HTTP/1.1 request parser for non-blocking connections.
+///
+/// [`Parser::push`] buffers whatever bytes the socket produced;
+/// [`Parser::poll`] advances the state machine and yields
+/// [`ParseProgress`]. The grammar, caps, and error taxonomy are
+/// deliberately a second implementation of exactly what the blocking
+/// [`read_request`] accepts — byte-for-byte the same verdicts however
+/// the input is split — and `tests/parser_fuzz.rs` holds the two
+/// implementations against each other across every split schedule.
+///
+/// Per-byte accounting mirrors the one-shot reader: each head byte is
+/// charged against `max_head_bytes` *before* the terminator test, so a
+/// head whose final `\n` lands one past the cap is `TooLarge` even
+/// though it terminates; the declared `Content-Length` is checked
+/// against `max_body_bytes` before any body byte is consumed; and the
+/// body's wall-clock budget starts when the head completes.
+#[derive(Debug)]
+pub struct Parser {
+    limits: RequestLimits,
+    buf: Vec<u8>,
+    /// How many bytes of `buf` have already been tested for the head
+    /// terminator — keeps repeated polls linear, not quadratic.
+    scanned: usize,
+    pending: Option<PendingBody>,
+    failed: bool,
+}
+
+impl Parser {
+    /// A parser enforcing `limits` for every request on the connection.
+    pub fn new(limits: RequestLimits) -> Parser {
+        Parser {
+            limits,
+            buf: Vec::with_capacity(512),
+            scanned: 0,
+            pending: None,
+            failed: false,
+        }
+    }
+
+    /// Buffers socket bytes. Call [`Parser::poll`] afterwards.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// True when nothing of a request has arrived — the connection is
+    /// idle between requests (keep-alive timeout closes it silently
+    /// rather than answering `408`).
+    pub fn is_idle(&self) -> bool {
+        self.buf.is_empty() && self.pending.is_none() && !self.failed
+    }
+
+    /// True while a request head or body is partially buffered.
+    pub fn mid_request(&self) -> bool {
+        !self.is_idle()
+    }
+
+    /// When the in-flight body started arriving, if the parser is in the
+    /// body phase (used by the caller's timer wheel).
+    pub fn body_started(&self) -> Option<Instant> {
+        self.pending.as_ref().and_then(|p| p.started)
+    }
+
+    /// Advances the state machine. `now` feeds the body wall-clock
+    /// budget; pass `None` to skip clock checks (differential tests).
+    ///
+    /// After a `Fail` the parser is poisoned — every later poll repeats
+    /// a failure — because the connection is about to close anyway.
+    pub fn poll(&mut self, now: Option<Instant>) -> ParseProgress {
+        if self.failed {
+            return ParseProgress::Fail(ReadOutcome::Malformed("parser already failed"));
+        }
+        if self.pending.is_none() {
+            match self.scan_head() {
+                HeadScan::NeedMore => return ParseProgress::NeedMore,
+                HeadScan::Fail(outcome) => {
+                    self.failed = true;
+                    return ParseProgress::Fail(outcome);
+                }
+                HeadScan::Complete => {
+                    if let Some(p) = self.pending.as_mut() {
+                        p.started = now;
+                    }
+                }
+            }
+        }
+        // Body phase (scan_head either returned above or left a parsed
+        // head in `pending`; zero-length bodies complete inside
+        // scan_head's caller below).
+        let Some(pending) = self.pending.as_ref() else {
+            return ParseProgress::NeedMore;
+        };
+        if let (Some(started), Some(budget), Some(clock)) =
+            (pending.started, self.limits.body_timeout, now)
+        {
+            if clock.duration_since(started) > budget {
+                self.failed = true;
+                return ParseProgress::Fail(ReadOutcome::TimedOut);
+            }
+        }
+        if self.buf.len() < pending.body_len {
+            return ParseProgress::NeedMore;
+        }
+        let Some(mut pending) = self.pending.take() else {
+            return ParseProgress::NeedMore;
+        };
+        pending.request.body = self.buf[..pending.body_len].to_vec();
+        self.buf.drain(..pending.body_len);
+        self.scanned = 0;
+        ParseProgress::Done(pending.request)
+    }
+
+    /// Looks for the head terminator in the unscanned tail of `buf`,
+    /// charging each byte against the head cap exactly like the one-shot
+    /// reader (cap check first, terminator test second). On success the
+    /// head bytes are drained and the parsed request parked in
+    /// `pending`; a zero-length body short-circuits to `pending` with
+    /// `body_len == 0`, completed by the caller.
+    fn scan_head(&mut self) -> HeadScan {
+        while self.scanned < self.buf.len() {
+            let len = self.scanned + 1;
+            self.scanned = len;
+            if len > self.limits.max_head_bytes {
+                return HeadScan::Fail(ReadOutcome::TooLarge);
+            }
+            let head = &self.buf[..len];
+            if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+                let (request, body_len) = match parse_head(head) {
+                    Ok(parsed) => parsed,
+                    Err(outcome) => return HeadScan::Fail(outcome),
+                };
+                if body_len > self.limits.max_body_bytes {
+                    return HeadScan::Fail(ReadOutcome::BodyTooLarge);
+                }
+                self.buf.drain(..len);
+                self.scanned = 0;
+                self.pending = Some(PendingBody {
+                    request,
+                    body_len,
+                    started: None,
+                });
+                return HeadScan::Complete;
+            }
+        }
+        HeadScan::NeedMore
+    }
+
+    /// The peer closed its write side (read returned 0). Maps buffered
+    /// state to the same verdicts the one-shot reader gives at EOF.
+    pub fn close(&mut self) -> Option<ReadOutcome> {
+        self.failed = true;
+        if self.pending.is_some() {
+            Some(ReadOutcome::Malformed("connection closed mid-body"))
+        } else if self.buf.is_empty() {
+            None
+        } else {
+            Some(ReadOutcome::Malformed("connection closed mid-request"))
+        }
+    }
+}
+
+/// Result of one head-scanning pass.
+enum HeadScan {
+    NeedMore,
+    Complete,
+    Fail(ReadOutcome),
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
@@ -679,5 +871,109 @@ mod tests {
         assert!(text.contains("Content-Length: 5\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n"));
+    }
+
+    // ------------------------------------------- incremental parser
+
+    #[test]
+    fn incremental_parser_completes_byte_by_byte() {
+        let raw = b"POST /ingest/logs?seq=3 HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let mut parser = Parser::new(RequestLimits::unbounded());
+        for (i, b) in raw.iter().enumerate() {
+            parser.push(std::slice::from_ref(b));
+            match parser.poll(None) {
+                ParseProgress::NeedMore => assert!(i + 1 < raw.len(), "never completed"),
+                ParseProgress::Done(r) => {
+                    assert_eq!(i + 1, raw.len(), "completed early at byte {i}");
+                    assert_eq!(r.body, b"hello");
+                    assert_eq!(r.query_value("seq"), Some("3"));
+                }
+                ParseProgress::Fail(o) => panic!("failed at byte {i}: {o:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_parser_keeps_pipelined_leftovers() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\nabGET /y HTTP/1.1\r\n\r\n";
+        let mut parser = Parser::new(RequestLimits::unbounded());
+        parser.push(raw);
+        match parser.poll(None) {
+            ParseProgress::Done(r) => assert_eq!(r.body, b"ab"),
+            other => panic!("first request: {other:?}"),
+        }
+        match parser.poll(None) {
+            ParseProgress::Done(r) => assert_eq!(r.path, "/y"),
+            other => panic!("second request: {other:?}"),
+        }
+        assert!(parser.is_idle());
+    }
+
+    #[test]
+    fn incremental_parser_matches_one_shot_cap_accounting() {
+        // A head whose terminating newline lands one byte past the cap
+        // must be TooLarge, exactly like the one-shot reader.
+        let raw = b"GET /aaaa HTTP/1.1\r\n\r\n";
+        let limits = RequestLimits {
+            max_head_bytes: raw.len() - 1,
+            ..RequestLimits::unbounded()
+        };
+        let mut parser = Parser::new(limits);
+        parser.push(raw);
+        assert!(matches!(
+            parser.poll(None),
+            ParseProgress::Fail(ReadOutcome::TooLarge)
+        ));
+        // And at exactly the cap it parses.
+        let mut parser = Parser::new(RequestLimits {
+            max_head_bytes: raw.len(),
+            ..RequestLimits::unbounded()
+        });
+        parser.push(raw);
+        assert!(matches!(parser.poll(None), ParseProgress::Done(_)));
+    }
+
+    #[test]
+    fn incremental_parser_times_out_dripping_body() {
+        let limits = RequestLimits {
+            body_timeout: Some(Duration::from_millis(50)),
+            ..RequestLimits::unbounded()
+        };
+        let mut parser = Parser::new(limits);
+        parser.push(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\n");
+        let t0 = Instant::now();
+        assert!(matches!(parser.poll(Some(t0)), ParseProgress::NeedMore));
+        parser.push(b"a");
+        assert!(matches!(
+            parser.poll(Some(t0 + Duration::from_millis(30))),
+            ParseProgress::NeedMore
+        ));
+        parser.push(b"b");
+        assert!(matches!(
+            parser.poll(Some(t0 + Duration::from_millis(80))),
+            ParseProgress::Fail(ReadOutcome::TimedOut)
+        ));
+    }
+
+    #[test]
+    fn incremental_parser_close_matches_eof_verdicts() {
+        let mut idle = Parser::new(RequestLimits::unbounded());
+        assert!(idle.close().is_none(), "clean EOF between requests");
+
+        let mut mid_head = Parser::new(RequestLimits::unbounded());
+        mid_head.push(b"GET /healthz HT");
+        let _ = mid_head.poll(None);
+        assert!(matches!(
+            mid_head.close(),
+            Some(ReadOutcome::Malformed("connection closed mid-request"))
+        ));
+
+        let mut mid_body = Parser::new(RequestLimits::unbounded());
+        mid_body.push(b"POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\nabc");
+        let _ = mid_body.poll(None);
+        assert!(matches!(
+            mid_body.close(),
+            Some(ReadOutcome::Malformed("connection closed mid-body"))
+        ));
     }
 }

@@ -17,11 +17,11 @@
 //!        │ publish (SnapshotSink)
 //!        ▼
 //!  StoreHandle ── RwLock<Arc<Published{id, StudyStore}>> ── atomic swap
-//!        │ current(): Arc clone                │
-//!        ▼                                     ▼
-//!  router ── ResponseCache (keyed on canonical query, scoped to id)
+//!        │ current(): Arc clone     │ StudyStore = host-range shards
+//!        ▼                          ▼
+//!  router ── ResponseCache ── ScanPool scatter ─ k-way merge (hpclog)
 //!        ▲
-//!  server ── accept thread ─ bounded queue ─ worker pool ─ keep-alive HTTP
+//!  server ── epoll event loops ─ conn state machines ─ timer wheel
 //! ```
 //!
 //! * [`store`] — the columnar snapshot: pre-rendered paper surfaces plus
@@ -40,12 +40,17 @@
 //!   write-ahead log so an acknowledged chunk survives SIGKILL, a single
 //!   worker driving the streaming pipeline on a publish cadence, and
 //!   [`ingest::recover`] replaying WAL + checkpoint on restart.
-//! * [`http`] — bounded request parsing (including capped, time-budgeted
-//!   `POST` bodies) and fixed-length responses.
-//! * [`server`] — the listener: bounded queue, worker pool, timeouts,
-//!   `503` load shedding, graceful drain.
-//! * [`signal`] — SIGINT/SIGTERM → atomic flag (the crate's one `unsafe`
-//!   seam, a direct `signal(2)` binding).
+//! * [`http`] — bounded request parsing (one-shot and incremental — the
+//!   two implementations are held byte-equivalent by
+//!   `tests/parser_fuzz.rs`) and fixed-length responses.
+//! * [`server`] — the listener: epoll event loops with per-connection
+//!   state machines, a timer wheel of deadlines, `503` load shedding
+//!   over the connection cap, graceful drain.
+//! * [`epoll`] — the thin epoll/eventfd FFI under the event loops.
+//! * [`wheel`] — the hashed timer wheel arming connection deadlines.
+//! * [`pool`] — the scan pool that shard-parallel queries scatter over.
+//! * [`signal`] — SIGINT/SIGTERM → atomic flag (with [`epoll`], the
+//!   crate's only `unsafe` seams: direct libc bindings).
 //!
 //! The differential suite (`tests/serve_equivalence.rs` at the workspace
 //! root) proves every endpoint byte-identical to the offline oracle over
@@ -57,12 +62,17 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod cache;
+pub mod epoll;
 pub mod http;
 pub mod ingest;
+pub mod pool;
 pub mod router;
 pub mod server;
 pub mod signal;
 pub mod store;
+#[cfg(any(test, feature = "testutil"))]
+pub mod testutil;
+pub mod wheel;
 
 pub use cache::ResponseCache;
 pub use ingest::{IngestConfig, IngestError, IngestHandle, IngestStream, IngestWorker};

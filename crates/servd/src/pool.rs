@@ -1,0 +1,208 @@
+//! The scan pool: fixed threads that shard-parallel queries scatter
+//! over.
+//!
+//! A [`ScanPool`] is owned by the [`crate::store::StoreHandle`] and
+//! shared by every event loop, so one big `/errors` scan fans its
+//! per-shard slices across cores instead of monopolizing the loop it
+//! arrived on. Jobs are pure functions of index → result (they capture
+//! an `Arc` of the published snapshot), which keeps the failure story
+//! simple: if a worker dies or a result goes missing, the caller
+//! recomputes that index inline — correctness never depends on the
+//! pool.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send>;
+
+/// A fixed-size worker pool executing indexed scatter jobs.
+#[derive(Debug)]
+pub struct ScanPool {
+    submit: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// If a scattered job's result has not arrived after this long, the
+/// caller stops waiting and recomputes inline (the job's worker
+/// panicked, or the machine is beyond saving anyway).
+const STRAGGLER_TIMEOUT: Duration = Duration::from_secs(30);
+
+impl ScanPool {
+    /// A pool of `threads` workers; `0` means every `run` call computes
+    /// inline on the calling thread.
+    pub fn new(threads: usize) -> ScanPool {
+        let (submit, jobs) = channel::<Job>();
+        let jobs = Arc::new(Mutex::new(jobs));
+        let workers = (0..threads)
+            .map(|_| {
+                let jobs: Arc<Mutex<Receiver<Job>>> = Arc::clone(&jobs);
+                std::thread::spawn(move || loop {
+                    let job = {
+                        let guard = match jobs.lock() {
+                            Ok(g) => g,
+                            Err(poisoned) => poisoned.into_inner(),
+                        };
+                        guard.recv()
+                    };
+                    match job {
+                        // A panicking job must not take the worker (or
+                        // the other queued jobs) with it.
+                        Ok(job) => {
+                            let _ = catch_unwind(AssertUnwindSafe(job));
+                        }
+                        Err(_) => break,
+                    }
+                })
+            })
+            .collect();
+        ScanPool {
+            submit: Some(submit),
+            workers,
+        }
+    }
+
+    /// A pool sized for the machine: one worker per core, capped at 8
+    /// (scatter widths beyond that stop paying on the stores we build).
+    pub fn for_machine() -> ScanPool {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        ScanPool::new(cores.min(8))
+    }
+
+    /// How many workers the pool runs (0 = inline execution).
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Evaluates `make(i)` for every `i in 0..n`, scattering across the
+    /// workers, and returns results in index order. Falls back to
+    /// inline evaluation for any index whose result does not come back
+    /// (no workers, a panicked job, a saturated queue) — `make` must be
+    /// a pure function of its index.
+    pub fn run<T: Send + 'static>(
+        &self,
+        n: usize,
+        make: Arc<dyn Fn(usize) -> T + Send + Sync>,
+    ) -> Vec<T> {
+        if n == 0 {
+            return Vec::new();
+        }
+        // One job stays on the calling thread: with n <= threads + 1
+        // every job runs immediately somewhere, and the caller is never
+        // idle while workers compute.
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut scattered = 0usize;
+        let (results_tx, results_rx) = channel::<(usize, T)>();
+        if self.threads() > 0 {
+            if let Some(submit) = &self.submit {
+                for i in 1..n {
+                    let make = Arc::clone(&make);
+                    let tx = results_tx.clone();
+                    let job: Job = Box::new(move || {
+                        let _ = tx.send((i, make(i)));
+                    });
+                    if submit.send(job).is_err() {
+                        break;
+                    }
+                    scattered += 1;
+                }
+            }
+        }
+        drop(results_tx);
+        out[0] = Some(make(0));
+        let mut received = 0usize;
+        while received < scattered {
+            match results_rx.recv_timeout(STRAGGLER_TIMEOUT) {
+                Ok((i, value)) => {
+                    if out[i].is_none() {
+                        received += 1;
+                    }
+                    out[i] = Some(value);
+                }
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        out.into_iter()
+            .enumerate()
+            .map(|(i, slot)| slot.unwrap_or_else(|| make(i)))
+            .collect()
+    }
+}
+
+impl Drop for ScanPool {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker's recv loop.
+        self.submit.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let pool = ScanPool::new(4);
+        let out = pool.run(
+            16,
+            Arc::new(|i| {
+                // Uneven job durations scramble completion order.
+                std::thread::sleep(Duration::from_millis(((16 - i) % 5) as u64));
+                i * 10
+            }),
+        );
+        assert_eq!(out, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_thread_pool_computes_inline() {
+        let pool = ScanPool::new(0);
+        let calls = Arc::new(AtomicUsize::new(0));
+        let counted = Arc::clone(&calls);
+        let out = pool.run(
+            5,
+            Arc::new(move |i| {
+                counted.fetch_add(1, Ordering::SeqCst);
+                i
+            }),
+        );
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert_eq!(calls.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn panicked_job_is_recomputed_inline() {
+        let pool = ScanPool::new(2);
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let counted = Arc::clone(&attempts);
+        let out = pool.run(
+            4,
+            Arc::new(move |i| {
+                // Index 2 panics on its first attempt only; the retry
+                // (the caller's inline recompute) succeeds.
+                if i == 2 && counted.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("flaky job");
+                }
+                i + 100
+            }),
+        );
+        assert_eq!(out, vec![100, 101, 102, 103]);
+        // The pool survives for later queries.
+        let again = pool.run(3, Arc::new(|i| i));
+        assert_eq!(again, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_run_is_empty() {
+        let pool = ScanPool::new(2);
+        let out: Vec<u64> = pool.run(0, Arc::new(|i| i as u64));
+        assert!(out.is_empty());
+    }
+}

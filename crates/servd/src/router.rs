@@ -11,7 +11,9 @@
 use crate::cache::ResponseCache;
 use crate::http::{Request, Response};
 use crate::ingest::{IngestHandle, IngestStream, Offer};
-use crate::store::{parse_time, parse_xid, ErrorFilter, StoreHandle};
+use crate::store::{
+    errors_csv_scattered, mtbe_csv_scattered, parse_time, parse_xid, ErrorFilter, StoreHandle,
+};
 use obs::registry::DURATION_US_BUCKETS;
 use std::time::Instant;
 
@@ -108,11 +110,14 @@ fn dispatch(
         "/tables/3" => Response::text(200, s.table3()),
         "/fig2" => Response::text(200, s.fig2()),
         "/errors" => match error_filter(req) {
-            Ok(filter) => Response::csv(200, s.errors_csv(&filter)),
+            Ok(filter) => Response::csv(
+                200,
+                errors_csv_scattered(&published, &filter, store.scan_pool()),
+            ),
             Err(msg) => Response::text(400, msg),
         },
         "/mtbe" => match req.query_value("xid").map(parse_xid).transpose() {
-            Ok(kind) => Response::csv(200, s.mtbe_csv(kind)),
+            Ok(kind) => Response::csv(200, mtbe_csv_scattered(&published, kind, store.scan_pool())),
             Err(msg) => Response::text(400, format!("{msg}\n")),
         },
         "/jobs/impact" => Response::csv(200, s.jobs_impact_csv()),

@@ -1,33 +1,49 @@
-//! The listener: a bounded worker pool over `std::net::TcpListener`.
+//! The listener: a non-blocking epoll event loop core.
 //!
-//! One accept thread feeds a bounded connection queue; a fixed pool of
-//! worker threads drains it, each running a keep-alive request loop
-//! against the shared [`StoreHandle`] and [`ResponseCache`]. Every
-//! resource is capped — queue depth, worker count, request-head bytes,
-//! per-socket read/write time — so no client behavior can grow server
-//! state without bound. When the queue is full the accept thread answers
-//! `503` and closes, which is the whole load-shedding story: better an
-//! honest rejection in one round-trip than an unbounded backlog.
+//! `workers` event-loop threads each own an epoll instance
+//! ([`crate::epoll::Poller`]), a clone of the shared non-blocking
+//! listener (level-triggered shared accept — no dedicated acceptor
+//! thread), a [`crate::wheel::TimerWheel`] of connection deadlines, and
+//! the connections accepted on that loop. Each connection is a small
+//! state machine: socket reads feed the incremental
+//! [`crate::http::Parser`], completed requests are dispatched inline to
+//! [`router::handle`] (handlers are pre-rendered or index-backed; large
+//! scans scatter across the store's own scan pool), and responses drain
+//! through a buffered non-blocking write with `EPOLLOUT` armed only
+//! while bytes are pending.
 //!
-//! Shutdown (from [`RunningServer::shutdown`] or a process signal
-//! observed by the bin) drains in order: stop accepting, let workers
-//! finish queued connections, join everything. The accept thread is
-//! unblocked by a self-connection, a trick that keeps the loop a plain
-//! blocking `accept()` with no platform poll machinery.
+//! Every resource stays capped, exactly as in the thread-pool
+//! predecessor: concurrent connections (`workers + max_queue`; one past
+//! the cap is answered `503` in one round-trip), request-head bytes
+//! (`413`), declared body bytes (`413` before the body is read), time to
+//! deliver a request (`408` via the timer wheel — covers both a stalled
+//! head and a slowloris body drip), time to drain a response (stalled
+//! readers are dropped), and idle keep-alive lifetime (closed silently).
+//! After an error response the connection lingers briefly discarding
+//! request bytes (bounded in bytes and time) so the close is a clean FIN
+//! and never an RST that clips the response.
+//!
+//! Shutdown ([`RunningServer::shutdown`], `Drop`, or a process signal)
+//! drains: deregister the listener, close idle connections immediately,
+//! let in-flight requests finish with `Connection: close`, and join the
+//! loops under a bounded grace period.
 
 use crate::cache::ResponseCache;
-use crate::http::{read_request, write_response, ReadOutcome, RequestLimits, Response};
+use crate::epoll::{Event, Interest, Poller, Waker};
+use crate::http::{write_response, ParseProgress, Parser, ReadOutcome, RequestLimits, Response};
 use crate::ingest::IngestHandle;
 use crate::router;
 use crate::store::StoreHandle;
-use std::collections::VecDeque;
+use crate::wheel::TimerWheel;
+use std::collections::HashMap;
 use std::fmt;
-use std::io::{self, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Listener tunables. The defaults suit a local query server; tests
 /// shrink them to exercise the rejection and timeout paths.
@@ -35,20 +51,24 @@ use std::time::Duration;
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:7171` (`:0` for an ephemeral port).
     pub addr: String,
-    /// Worker threads draining the connection queue.
+    /// Event-loop threads sharing the listener.
     pub workers: usize,
-    /// Connection queue depth; an accept beyond it is answered `503`.
+    /// Connection headroom beyond one-per-worker: the concurrent
+    /// connection cap is `workers + max_queue`, and a connection beyond
+    /// it is answered `503` (the name survives from the thread-pool
+    /// core, where this was the accept-queue depth).
     pub max_queue: usize,
     /// Request-head byte cap; beyond it the request is answered `413`.
     pub max_request_bytes: usize,
     /// `POST` body byte cap; a larger declared `Content-Length` is
     /// answered `413` without reading the body.
     pub max_body_bytes: usize,
-    /// Per-socket read timeout (a stalled sender gets `408`, then close).
-    /// Also the total wall-clock budget for reading one request body, so
-    /// a body dripped one byte per timeout still ends in `408`.
+    /// Time budget for receiving a request (a stalled or dripping
+    /// sender gets `408`, then close) and for an idle keep-alive
+    /// connection (closed silently).
     pub read_timeout: Duration,
-    /// Per-socket write timeout (a stalled reader gets dropped).
+    /// Time budget for draining a response (a stalled reader gets
+    /// dropped).
     pub write_timeout: Duration,
 }
 
@@ -76,6 +96,12 @@ pub enum ServeError {
         /// The underlying I/O error.
         source: io::Error,
     },
+    /// Creating the event-loop machinery (epoll instance, wakeup
+    /// eventfd, listener clone) failed.
+    EventLoop {
+        /// The underlying I/O error.
+        source: io::Error,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -83,6 +109,9 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Bind { addr, source } => {
                 write!(f, "failed to bind {addr}: {source}")
+            }
+            ServeError::EventLoop { source } => {
+                write!(f, "failed to start event loop: {source}")
             }
         }
     }
@@ -92,89 +121,19 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Bind { source, .. } => Some(source),
+            ServeError::EventLoop { source } => Some(source),
         }
     }
 }
 
-/// The bounded handoff between the accept thread and the workers.
-#[derive(Debug)]
-struct ConnQueue {
-    state: Mutex<QueueState>,
-    ready: Condvar,
-    cap: usize,
-}
-
-#[derive(Debug)]
-struct QueueState {
-    conns: VecDeque<TcpStream>,
-    closed: bool,
-}
-
-impl ConnQueue {
-    fn new(cap: usize) -> Self {
-        ConnQueue {
-            state: Mutex::new(QueueState {
-                conns: VecDeque::new(),
-                closed: false,
-            }),
-            ready: Condvar::new(),
-            cap: cap.max(1),
-        }
-    }
-
-    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
-        match self.state.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        }
-    }
-
-    /// Enqueues a connection, or returns it when the queue is full or
-    /// closed (the caller sheds it with a `503`).
-    fn push(&self, conn: TcpStream) -> Result<(), TcpStream> {
-        let mut state = self.lock();
-        if state.closed || state.conns.len() >= self.cap {
-            return Err(conn);
-        }
-        state.conns.push_back(conn);
-        drop(state);
-        self.ready.notify_one();
-        Ok(())
-    }
-
-    /// Dequeues the next connection; `None` once closed *and* drained —
-    /// queued clients are served even after shutdown begins.
-    fn pop(&self) -> Option<TcpStream> {
-        let mut state = self.lock();
-        loop {
-            if let Some(conn) = state.conns.pop_front() {
-                return Some(conn);
-            }
-            if state.closed {
-                return None;
-            }
-            state = match self.ready.wait(state) {
-                Ok(g) => g,
-                Err(poisoned) => poisoned.into_inner(),
-            };
-        }
-    }
-
-    fn close(&self) {
-        self.lock().closed = true;
-        self.ready.notify_all();
-    }
-}
-
-/// A started server: the bound address plus the thread handles needed to
-/// drain it.
+/// A started server: the bound address plus the handles needed to drain
+/// its event loops.
 #[derive(Debug)]
 pub struct RunningServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    queue: Arc<ConnQueue>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    wakers: Vec<Arc<Waker>>,
+    loops: Vec<JoinHandle<()>>,
 }
 
 impl RunningServer {
@@ -183,23 +142,19 @@ impl RunningServer {
         self.addr
     }
 
-    /// Graceful shutdown: stop accepting, serve what is already queued,
-    /// join every thread. Idempotent via `Drop` (a second call finds the
-    /// handles already taken).
+    /// Graceful shutdown: stop accepting, finish in-flight requests
+    /// under a bounded grace period, join every loop. Idempotent via
+    /// `Drop` (a second call finds the handles already taken).
     pub fn shutdown(mut self) {
         self.drain();
     }
 
     fn drain(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept() call; the loop re-checks the flag before
-        // touching the connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.acceptor.take() {
-            let _ = handle.join();
+        for waker in &self.wakers {
+            waker.wake();
         }
-        self.queue.close();
-        for handle in self.workers.drain(..) {
+        for handle in self.loops.drain(..) {
             let _ = handle.join();
         }
     }
@@ -216,7 +171,8 @@ impl Drop for RunningServer {
 ///
 /// # Errors
 ///
-/// [`ServeError::Bind`] when the listen address cannot be bound.
+/// [`ServeError::Bind`] when the listen address cannot be bound;
+/// [`ServeError::EventLoop`] when the epoll machinery cannot start.
 pub fn start(config: ServerConfig, store: Arc<StoreHandle>) -> Result<RunningServer, ServeError> {
     start_with_ingest(config, store, None)
 }
@@ -227,7 +183,8 @@ pub fn start(config: ServerConfig, store: Arc<StoreHandle>) -> Result<RunningSer
 ///
 /// # Errors
 ///
-/// [`ServeError::Bind`] when the listen address cannot be bound.
+/// [`ServeError::Bind`] when the listen address cannot be bound;
+/// [`ServeError::EventLoop`] when the epoll machinery cannot start.
 pub fn start_with_ingest(
     config: ServerConfig,
     store: Arc<StoreHandle>,
@@ -241,51 +198,54 @@ pub fn start_with_ingest(
         addr: config.addr.clone(),
         source,
     })?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|source| ServeError::EventLoop { source })?;
 
     let stop = Arc::new(AtomicBool::new(false));
-    let queue = Arc::new(ConnQueue::new(config.max_queue));
+    let conns_open = Arc::new(AtomicUsize::new(0));
     let cache = Arc::new(ResponseCache::new());
+    let capacity = config.workers.max(1) + config.max_queue.max(1);
 
-    let mut workers = Vec::with_capacity(config.workers.max(1));
-    for _ in 0..config.workers.max(1) {
-        let queue = Arc::clone(&queue);
-        let store = Arc::clone(&store);
-        let cache = Arc::clone(&cache);
-        let ingest = ingest.clone();
-        let config = config.clone();
-        workers.push(std::thread::spawn(move || {
-            while let Some(conn) = queue.pop() {
-                serve_connection(conn, &config, &store, &cache, ingest.as_deref());
-            }
-        }));
+    let nloops = config.workers.max(1);
+    let mut wakers = Vec::with_capacity(nloops);
+    let mut loops = Vec::with_capacity(nloops);
+    for _ in 0..nloops {
+        // Every loop gets its own clone of the shared listening socket;
+        // the original drops when this function returns, and the socket
+        // closes when the last loop exits.
+        let listener = listener
+            .try_clone()
+            .map_err(|source| ServeError::EventLoop { source })?;
+        let poller = Poller::new().map_err(|source| ServeError::EventLoop { source })?;
+        let waker = Arc::new(Waker::new().map_err(|source| ServeError::EventLoop { source })?);
+        wakers.push(Arc::clone(&waker));
+        let event_loop = EventLoop::new(
+            poller,
+            listener,
+            waker,
+            config.clone(),
+            Arc::clone(&store),
+            Arc::clone(&cache),
+            ingest.clone(),
+            Arc::clone(&stop),
+            Arc::clone(&conns_open),
+            capacity,
+        );
+        loops.push(std::thread::spawn(move || event_loop.run()));
     }
-
-    let acceptor = {
-        let stop = Arc::clone(&stop);
-        let queue = Arc::clone(&queue);
-        std::thread::spawn(move || {
-            for conn in listener.incoming() {
-                if stop.load(Ordering::SeqCst) || crate::signal::shutdown_requested() {
-                    break;
-                }
-                let Ok(conn) = conn else { continue };
-                if let Err(rejected) = queue.push(conn) {
-                    shed(rejected);
-                }
-            }
-        })
-    };
 
     Ok(RunningServer {
         addr,
         stop,
-        queue,
-        acceptor: Some(acceptor),
-        workers,
+        wakers,
+        loops,
     })
 }
 
-/// Answers a connection the queue could not take with a one-shot `503`.
+/// Answers a connection over the capacity cap with a one-shot `503`.
+/// The freshly accepted socket is still blocking with an empty send
+/// buffer, so the write completes in one syscall.
 fn shed(mut conn: TcpStream) {
     if obs::is_enabled() {
         obs::counter("servd_connections_rejected_total", &[]).inc();
@@ -296,74 +256,575 @@ fn shed(mut conn: TcpStream) {
     );
 }
 
-/// The per-connection keep-alive loop.
-fn serve_connection(
-    mut conn: TcpStream,
-    config: &ServerConfig,
-    store: &StoreHandle,
-    cache: &ResponseCache,
-    ingest: Option<&IngestHandle>,
-) {
-    if obs::is_enabled() {
-        obs::counter("servd_connections_total", &[]).inc();
-    }
-    let _ = conn.set_read_timeout(Some(config.read_timeout));
-    let _ = conn.set_write_timeout(Some(config.write_timeout));
-    let _ = conn.set_nodelay(true);
+// --------------------------------------------------------- event loop
 
-    let limits = RequestLimits {
-        max_head_bytes: config.max_request_bytes,
-        max_body_bytes: config.max_body_bytes,
-        body_timeout: Some(config.read_timeout),
-    };
-    loop {
-        let outcome = read_request(&mut conn, &limits);
-        let (response, keep_alive, head_only) = match &outcome {
-            ReadOutcome::Request(req) => {
-                let head_only = req.method == "HEAD";
-                let response = router::handle(req, store, cache, ingest);
-                (response, req.keep_alive, head_only)
-            }
-            ReadOutcome::Closed => return,
-            ReadOutcome::TooLarge => (Response::text(413, "request too large\n"), false, false),
-            ReadOutcome::BodyTooLarge => (
-                Response::text(413, "request body too large\n"),
-                false,
-                false,
-            ),
-            ReadOutcome::LengthRequired => (
-                Response::text(411, "POST requires a Content-Length\n"),
-                false,
-                false,
-            ),
-            ReadOutcome::TimedOut => (Response::text(408, "request timed out\n"), false, false),
-            ReadOutcome::Malformed(why) => (Response::text(400, format!("{why}\n")), false, false),
-        };
-        let wrote = write_response(&mut conn, &response, keep_alive, head_only);
-        if !matches!(outcome, ReadOutcome::Request(_)) {
-            // Error path: the peer may still have unread request bytes in
-            // flight; closing now would RST and can clip the response we
-            // just wrote. Discard a bounded amount first so the close is
-            // a clean FIN.
-            drain_input(&mut conn);
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const TOKEN_BASE: u64 = 2;
+
+/// Timer-wheel tick width: deadlines are second-scale, so ±10 ms of
+/// quantization is invisible.
+const WHEEL_TICK: Duration = Duration::from_millis(10);
+const WHEEL_SLOTS: usize = 1024;
+
+/// How long the loop sleeps with nothing armed — bounds the latency of
+/// noticing the stop flag or a process signal.
+const STOP_POLL: Duration = Duration::from_millis(500);
+
+/// Post-error linger caps, matching the old `drain_input`: discard at
+/// most this many request bytes / this much time before closing, so the
+/// FIN is clean but a firehose cannot hold the connection.
+const DRAIN_BYTE_CAP: usize = 64 * 1024;
+const DRAIN_TIME_CAP: Duration = Duration::from_millis(250);
+
+/// Per-readable-event read cap, so one firehose connection cannot
+/// starve its loop; level triggering re-arms the leftover immediately.
+const READ_BURST: usize = 64 * 1024;
+
+/// Which deadline a connection currently has armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DeadlineKind {
+    /// Idle keep-alive expiry — close silently.
+    IdleClose,
+    /// A request started arriving but has not completed — answer `408`.
+    Request408,
+    /// Queued response bytes are not draining — drop the connection.
+    WriteStall,
+    /// Post-error linger elapsed — close.
+    DrainOver,
+}
+
+/// Connection lifecycle phase.
+#[derive(Debug)]
+enum Phase {
+    /// Parsing requests and writing responses.
+    Serving,
+    /// An error response was queued; discard request bytes (bounded)
+    /// until the linger ends, then close.
+    Draining { since: Instant, discarded: usize },
+}
+
+/// One connection's state machine.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    parser: Parser,
+    phase: Phase,
+    /// Buffered response bytes not yet written.
+    out: Vec<u8>,
+    written: usize,
+    /// Close once `out` drains (Connection: close, or peer EOF).
+    closing: bool,
+    /// Fatal socket error — close unconditionally.
+    dead: bool,
+    /// The peer closed its write side; stop reading.
+    peer_closed: bool,
+    /// When the connection last became idle (accept, or last response
+    /// of a completed request) — anchors the keep-alive deadline.
+    idle_since: Instant,
+    /// When the first byte of the in-flight request arrived.
+    req_started: Option<Instant>,
+    /// When `out` last became non-empty — anchors the write deadline.
+    write_started: Option<Instant>,
+    /// Interest currently registered with the poller.
+    registered: Interest,
+    /// Deadline currently armed (lazily cancelled via `gen`).
+    armed: Option<(DeadlineKind, Instant)>,
+    gen: u64,
+    read_timeout: Duration,
+    write_timeout: Duration,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, limits: RequestLimits, config: &ServerConfig, now: Instant) -> Conn {
+        Conn {
+            stream,
+            parser: Parser::new(limits),
+            phase: Phase::Serving,
+            out: Vec::new(),
+            written: 0,
+            closing: false,
+            dead: false,
+            peer_closed: false,
+            idle_since: now,
+            req_started: None,
+            write_started: None,
+            registered: Interest::READ,
+            armed: None,
+            gen: 0,
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
         }
-        if wrote.is_err() || !keep_alive {
+    }
+
+    fn out_done(&self) -> bool {
+        self.written == self.out.len()
+    }
+
+    /// Reads whatever the socket has (up to [`READ_BURST`]), feeding the
+    /// parser (serving) or the void (draining).
+    fn fill(&mut self, now: Instant) {
+        if self.peer_closed || self.dead {
             return;
         }
+        let mut buf = [0u8; 16 * 1024];
+        let mut taken = 0usize;
+        loop {
+            if taken >= READ_BURST {
+                return; // level triggering will re-deliver the rest
+            }
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.peer_closed = true;
+                    match self.phase {
+                        Phase::Serving => match self.parser.close() {
+                            None => self.closing = true,
+                            Some(outcome) => self.fail(&outcome, now),
+                        },
+                        Phase::Draining { .. } => {}
+                    }
+                    return;
+                }
+                Ok(n) => {
+                    taken += n;
+                    match &mut self.phase {
+                        Phase::Serving => {
+                            if self.closing {
+                                // Response with Connection: close already
+                                // queued; ignore pipelined leftovers.
+                                continue;
+                            }
+                            self.parser.push(&buf[..n]);
+                            if self.req_started.is_none() && self.parser.mid_request() {
+                                self.req_started = Some(now);
+                            }
+                        }
+                        Phase::Draining { discarded, .. } => {
+                            *discarded += n;
+                            if *discarded >= DRAIN_BYTE_CAP {
+                                return;
+                            }
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Runs the parser over buffered bytes and dispatches every
+    /// completed request (inline — handlers are index reads or
+    /// pool-scattered scans).
+    fn advance(
+        &mut self,
+        now: Instant,
+        store: &StoreHandle,
+        cache: &ResponseCache,
+        ingest: Option<&IngestHandle>,
+        server_draining: bool,
+    ) {
+        while matches!(self.phase, Phase::Serving) && !self.closing && !self.dead {
+            match self.parser.poll(Some(now)) {
+                ParseProgress::NeedMore => break,
+                ParseProgress::Done(req) => {
+                    let head_only = req.method == "HEAD";
+                    let keep = req.keep_alive && !server_draining;
+                    let response = router::handle(&req, store, cache, ingest);
+                    self.queue_response(&response, keep, head_only, now);
+                    if !keep {
+                        self.closing = true;
+                    }
+                    self.req_started = if self.parser.mid_request() {
+                        Some(now)
+                    } else {
+                        self.idle_since = now;
+                        None
+                    };
+                }
+                ParseProgress::Fail(outcome) => {
+                    self.fail(&outcome, now);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Queues the error response for a parse failure and enters the
+    /// post-error linger. [`ReadOutcome::Closed`] never reaches here
+    /// (EOF with an empty parser closes quietly in `fill`).
+    fn fail(&mut self, outcome: &ReadOutcome, now: Instant) {
+        let response = match outcome {
+            ReadOutcome::Request(_) | ReadOutcome::Closed => return,
+            ReadOutcome::TooLarge => Response::text(413, "request too large\n"),
+            ReadOutcome::BodyTooLarge => Response::text(413, "request body too large\n"),
+            ReadOutcome::LengthRequired => Response::text(411, "POST requires a Content-Length\n"),
+            ReadOutcome::TimedOut => Response::text(408, "request timed out\n"),
+            ReadOutcome::Malformed(why) => Response::text(400, format!("{why}\n")),
+        };
+        self.queue_response(&response, false, false, now);
+        self.closing = true;
+        self.phase = Phase::Draining {
+            since: now,
+            discarded: 0,
+        };
+    }
+
+    fn queue_response(
+        &mut self,
+        response: &Response,
+        keep_alive: bool,
+        head_only: bool,
+        now: Instant,
+    ) {
+        if self.out_done() {
+            self.out.clear();
+            self.written = 0;
+        }
+        if self.out.is_empty() {
+            self.write_started = Some(now);
+        }
+        // Writing into a Vec is infallible.
+        let _ = write_response(&mut self.out, response, keep_alive, head_only);
+    }
+
+    /// Writes queued response bytes until the socket would block.
+    fn flush(&mut self) {
+        while self.written < self.out.len() && !self.dead {
+            match self.stream.write(&self.out[self.written..]) {
+                Ok(0) => {
+                    self.dead = true;
+                }
+                Ok(n) => self.written += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => self.dead = true,
+            }
+        }
+        if self.out_done() && !self.out.is_empty() {
+            self.out.clear();
+            self.written = 0;
+            self.write_started = None;
+        }
+    }
+
+    fn should_close(&self, now: Instant) -> bool {
+        if self.dead {
+            return true;
+        }
+        if !self.out_done() {
+            return false;
+        }
+        match &self.phase {
+            Phase::Serving => self.closing,
+            Phase::Draining { since, discarded } => {
+                self.peer_closed
+                    || *discarded >= DRAIN_BYTE_CAP
+                    || now.saturating_duration_since(*since) >= DRAIN_TIME_CAP
+            }
+        }
+    }
+
+    fn desired_interest(&self) -> Interest {
+        let readable = !self.peer_closed
+            && match &self.phase {
+                Phase::Serving => !self.closing,
+                Phase::Draining { discarded, .. } => *discarded < DRAIN_BYTE_CAP,
+            };
+        Interest {
+            readable,
+            writable: !self.out_done(),
+        }
+    }
+
+    fn desired_deadline(&self) -> (DeadlineKind, Instant) {
+        if let Phase::Draining { since, .. } = &self.phase {
+            return (DeadlineKind::DrainOver, *since + DRAIN_TIME_CAP);
+        }
+        if let Some(started) = self.write_started {
+            if !self.out_done() {
+                return (DeadlineKind::WriteStall, started + self.write_timeout);
+            }
+        }
+        if self.parser.mid_request() {
+            // The body phase re-anchors the budget at its own start,
+            // like the one-shot reader's body clock did; the parser's
+            // internal budget handles drip-feeding, this wheel deadline
+            // handles total silence.
+            let anchor = self
+                .parser
+                .body_started()
+                .or(self.req_started)
+                .unwrap_or(self.idle_since);
+            return (DeadlineKind::Request408, anchor + self.read_timeout);
+        }
+        (DeadlineKind::IdleClose, self.idle_since + self.read_timeout)
     }
 }
 
-/// Best-effort discard of pending request bytes before an error close,
-/// bounded in both bytes and time.
-fn drain_input(conn: &mut TcpStream) {
-    use std::io::Read;
-    let _ = conn.set_read_timeout(Some(Duration::from_millis(250)));
-    let mut discarded = 0usize;
-    let mut buf = [0u8; 4096];
-    while discarded < 64 * 1024 {
-        match conn.read(&mut buf) {
-            Ok(0) | Err(_) => return,
-            Ok(n) => discarded += n,
+/// One event-loop thread: poller, listener clone, timer wheel, and the
+/// connections accepted here.
+struct EventLoop {
+    poller: Poller,
+    listener: TcpListener,
+    waker: Arc<Waker>,
+    config: ServerConfig,
+    limits: RequestLimits,
+    store: Arc<StoreHandle>,
+    cache: Arc<ResponseCache>,
+    ingest: Option<Arc<IngestHandle>>,
+    stop: Arc<AtomicBool>,
+    conns_open: Arc<AtomicUsize>,
+    capacity: usize,
+    conns: HashMap<u64, Conn>,
+    wheel: TimerWheel,
+    next_token: u64,
+    draining: bool,
+    drain_deadline: Option<Instant>,
+}
+
+impl EventLoop {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        poller: Poller,
+        listener: TcpListener,
+        waker: Arc<Waker>,
+        config: ServerConfig,
+        store: Arc<StoreHandle>,
+        cache: Arc<ResponseCache>,
+        ingest: Option<Arc<IngestHandle>>,
+        stop: Arc<AtomicBool>,
+        conns_open: Arc<AtomicUsize>,
+        capacity: usize,
+    ) -> EventLoop {
+        let limits = RequestLimits {
+            max_head_bytes: config.max_request_bytes,
+            max_body_bytes: config.max_body_bytes,
+            body_timeout: Some(config.read_timeout),
+        };
+        EventLoop {
+            poller,
+            listener,
+            waker,
+            config,
+            limits,
+            store,
+            cache,
+            ingest,
+            stop,
+            conns_open,
+            capacity,
+            conns: HashMap::new(),
+            wheel: TimerWheel::new(Instant::now(), WHEEL_TICK, WHEEL_SLOTS),
+            next_token: TOKEN_BASE,
+            draining: false,
+            drain_deadline: None,
+        }
+    }
+
+    fn run(mut self) {
+        if self
+            .poller
+            .add(self.listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)
+            .is_err()
+        {
+            return;
+        }
+        if self
+            .poller
+            .add(self.waker.fd(), TOKEN_WAKER, Interest::READ)
+            .is_err()
+        {
+            return;
+        }
+        let mut events: Vec<Event> = Vec::new();
+        let mut expired: Vec<(u64, u64)> = Vec::new();
+        loop {
+            let now = Instant::now();
+            if !self.draining
+                && (self.stop.load(Ordering::SeqCst) || crate::signal::shutdown_requested())
+            {
+                self.begin_drain(now);
+            }
+            if self.draining
+                && (self.conns.is_empty() || self.drain_deadline.is_some_and(|d| now >= d))
+            {
+                break;
+            }
+            let timeout = self.wait_timeout(now);
+            if self.poller.wait(&mut events, Some(timeout)).is_err() {
+                break;
+            }
+            let now = Instant::now();
+            for &event in &events {
+                match event.token {
+                    TOKEN_LISTENER => self.accept_ready(now),
+                    TOKEN_WAKER => self.waker.drain(),
+                    token => self.conn_event(token, event.readable, event.writable, now),
+                }
+            }
+            expired.clear();
+            self.wheel.expire(now, &mut expired);
+            for &(token, gen) in &expired {
+                self.deadline_fired(token, gen, now);
+            }
+        }
+        // Teardown: whatever is still open closes with the loop.
+        let remaining = self.conns.len();
+        self.conns.clear();
+        self.conns_open.fetch_sub(remaining, Ordering::SeqCst);
+    }
+
+    fn wait_timeout(&self, now: Instant) -> Duration {
+        let mut timeout = STOP_POLL;
+        if let Some(next) = self.wheel.next_wakeup(now) {
+            timeout = timeout.min(next);
+        }
+        if let Some(deadline) = self.drain_deadline {
+            timeout = timeout.min(deadline.saturating_duration_since(now));
+        }
+        timeout.max(Duration::from_millis(1))
+    }
+
+    fn begin_drain(&mut self, now: Instant) {
+        self.draining = true;
+        self.drain_deadline =
+            Some(now + self.config.read_timeout.max(self.config.write_timeout) + STOP_POLL);
+        let _ = self.poller.remove(self.listener.as_raw_fd());
+        // Idle connections close immediately; busy ones finish their
+        // in-flight request with Connection: close.
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.parser.is_idle() && c.out_done())
+            .map(|(t, _)| *t)
+            .collect();
+        for token in idle {
+            self.close_conn(token);
+        }
+    }
+
+    fn accept_ready(&mut self, _now: Instant) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.draining {
+                        continue; // drop: we are on the way out
+                    }
+                    let prev = self.conns_open.fetch_add(1, Ordering::SeqCst);
+                    if prev >= self.capacity {
+                        self.conns_open.fetch_sub(1, Ordering::SeqCst);
+                        shed(stream);
+                        continue;
+                    }
+                    if obs::is_enabled() {
+                        obs::counter("servd_connections_total", &[]).inc();
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        self.conns_open.fetch_sub(1, Ordering::SeqCst);
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let now = Instant::now();
+                    if self
+                        .poller
+                        .add(stream.as_raw_fd(), token, Interest::READ)
+                        .is_err()
+                    {
+                        self.conns_open.fetch_sub(1, Ordering::SeqCst);
+                        continue;
+                    }
+                    let conn = Conn::new(stream, self.limits, &self.config, now);
+                    self.conns.insert(token, conn);
+                    self.after_io(token, now);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn conn_event(&mut self, token: u64, readable: bool, writable: bool, now: Instant) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if writable {
+            conn.flush();
+        }
+        if readable {
+            conn.fill(now);
+        }
+        conn.advance(
+            now,
+            &self.store,
+            &self.cache,
+            self.ingest.as_deref(),
+            self.draining,
+        );
+        conn.flush();
+        self.after_io(token, now);
+    }
+
+    fn deadline_fired(&mut self, token: u64, gen: u64, now: Instant) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.gen != gen {
+            return; // stale entry, lazily cancelled
+        }
+        let Some((kind, _)) = conn.armed else {
+            return;
+        };
+        match kind {
+            DeadlineKind::IdleClose | DeadlineKind::WriteStall | DeadlineKind::DrainOver => {
+                self.close_conn(token);
+            }
+            DeadlineKind::Request408 => {
+                conn.fail(&ReadOutcome::TimedOut, now);
+                conn.flush();
+                self.after_io(token, now);
+            }
+        }
+    }
+
+    /// Post-I/O bookkeeping: close, or converge epoll interest and the
+    /// armed deadline with the connection's current state.
+    fn after_io(&mut self, token: u64, now: Instant) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.should_close(now) {
+            self.close_conn(token);
+            return;
+        }
+        let interest = conn.desired_interest();
+        if interest != conn.registered
+            && self
+                .poller
+                .modify(conn.stream.as_raw_fd(), token, interest)
+                .is_ok()
+        {
+            conn.registered = interest;
+        }
+        let desired = conn.desired_deadline();
+        if conn.armed != Some(desired) {
+            conn.gen += 1;
+            conn.armed = Some(desired);
+            self.wheel.schedule(token, conn.gen, desired.1);
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.remove(conn.stream.as_raw_fd());
+            self.conns_open.fetch_sub(1, Ordering::SeqCst);
         }
     }
 }
@@ -374,7 +835,6 @@ mod tests {
     use super::*;
     use crate::store::StudyStore;
     use resilience::Pipeline;
-    use std::io::Read;
     use std::net::Shutdown;
 
     fn handle() -> Arc<StoreHandle> {
@@ -446,6 +906,27 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_requests_answer_in_order() {
+        let server = start(test_config(), handle()).unwrap();
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Two requests in one segment: responses come back in order on
+        // the same connection.
+        write!(
+            conn,
+            "GET /healthz HTTP/1.1\r\n\r\nGET /snapshot HTTP/1.1\r\n\r\n"
+        )
+        .unwrap();
+        let first = read_one_response(&mut conn);
+        assert!(first.starts_with("HTTP/1.1 200 OK"), "{first}");
+        assert!(first.ends_with("ok\n"), "{first}");
+        let second = read_one_response(&mut conn);
+        assert!(second.starts_with("HTTP/1.1 200 OK"), "{second}");
+        assert!(second.contains("snapshot: 1"), "{second}");
+        server.shutdown();
+    }
+
+    #[test]
     fn oversized_request_head_gets_413() {
         let config = ServerConfig {
             max_request_bytes: 128,
@@ -458,7 +939,7 @@ mod tests {
     }
 
     #[test]
-    fn stalled_sender_gets_408_not_a_stuck_worker() {
+    fn stalled_sender_gets_408_not_a_stuck_loop() {
         let server = start(test_config(), handle()).unwrap();
         let mut conn = TcpStream::connect(server.addr()).unwrap();
         conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
@@ -470,9 +951,9 @@ mod tests {
     }
 
     #[test]
-    fn queue_overflow_is_shed_with_503() {
-        // One worker wedged on a held-open connection, queue depth 1:
-        // the third concurrent connection must be rejected, not queued.
+    fn connections_over_capacity_are_shed_with_503() {
+        // Capacity is workers + max_queue = 2 here: the third concurrent
+        // connection must be rejected in one round-trip, not parked.
         let config = ServerConfig {
             workers: 1,
             max_queue: 1,
@@ -481,9 +962,9 @@ mod tests {
         };
         let server = start(config, handle()).unwrap();
         let wedge = TcpStream::connect(server.addr()).unwrap();
-        std::thread::sleep(Duration::from_millis(150)); // worker pops it, blocks
-        let queued = TcpStream::connect(server.addr()).unwrap();
-        std::thread::sleep(Duration::from_millis(150)); // sits in the queue
+        std::thread::sleep(Duration::from_millis(150));
+        let parked = TcpStream::connect(server.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(150));
         let mut shed_conn = TcpStream::connect(server.addr()).unwrap();
         shed_conn
             .set_read_timeout(Some(Duration::from_secs(5)))
@@ -492,7 +973,27 @@ mod tests {
         shed_conn.read_to_string(&mut out).unwrap();
         assert!(out.starts_with("HTTP/1.1 503"), "{out}");
         drop(wedge);
-        drop(queued);
+        drop(parked);
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_keep_alive_connection_is_closed_silently() {
+        let server = start(test_config(), handle()).unwrap();
+        let mut conn = TcpStream::connect(server.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(conn, "GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        let first = read_one_response(&mut conn);
+        assert!(first.starts_with("HTTP/1.1 200 OK"), "{first}");
+        // Send nothing: past the idle timeout the server closes with no
+        // status line (it would be 408 only mid-request).
+        let mut rest = Vec::new();
+        conn.read_to_end(&mut rest).unwrap();
+        assert!(
+            rest.is_empty(),
+            "idle close leaked bytes: {:?}",
+            String::from_utf8_lossy(&rest)
+        );
         server.shutdown();
     }
 
@@ -503,7 +1004,7 @@ mod tests {
         assert!(get(addr, "/healthz").contains("200 OK"));
         server.shutdown();
         // The listener is gone: either the connect fails outright or the
-        // accepted-then-dropped socket yields no bytes.
+        // backlogged-then-dropped socket yields no bytes.
         match TcpStream::connect(addr) {
             Err(_) => {}
             Ok(mut conn) => {
@@ -528,12 +1029,5 @@ mod tests {
         assert!(out.starts_with("HTTP/1.1 400"), "{out}");
         assert!(out.contains("Connection: close"));
         server.shutdown();
-    }
-
-    #[test]
-    fn queue_basics() {
-        let q = ConnQueue::new(1);
-        q.close();
-        assert!(q.pop().is_none(), "closed empty queue pops None");
     }
 }

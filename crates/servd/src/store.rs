@@ -1,14 +1,25 @@
-//! The immutable columnar study store and its atomic snapshot handle.
+//! The immutable columnar study store — sharded by host range — and its
+//! atomic snapshot handle.
 //!
 //! A [`StudyStore`] is built once from a finished pipeline run (a
 //! [`StudyReport`] plus, optionally, its [`QuarantineReport`]) and never
 //! mutated afterwards. Construction decomposes the coalesced error set
-//! into parallel column vectors in the canonical `(time, host)` order the
-//! pipeline already guarantees, pre-renders every paper surface, and
-//! builds sorted secondary indexes (per-host and per-kind posting lists,
-//! themselves in time order). Query endpoints slice those columns with
-//! binary searches — a filtered `/errors` request never scans rows
-//! outside the narrowest applicable index.
+//! into one or more host-range *shards* — contiguous ranges of the
+//! sorted host dictionary, balanced by row count — each holding its rows'
+//! column vectors in the canonical `(time, host)` order plus sorted
+//! secondary indexes (per-host and per-kind posting lists). Every shard
+//! also keeps its rows' *global row ids*: because shards partition the
+//! canonical row sequence, k-way merging per-shard result streams by
+//! global row id (the same [`hpclog::shard::merge_sorted_by`] kernel the
+//! ingest pipeline uses) reconstructs exactly the single-store row
+//! order, so a scattered scan renders byte-identical to the unsharded
+//! renderer. `tests/shard_equivalence.rs` holds that invariant across
+//! shard counts and chaos rates.
+//!
+//! Query endpoints slice shard columns with binary searches — a filtered
+//! `/errors` request never scans rows outside the narrowest applicable
+//! index — and multi-shard scans scatter across the handle's
+//! [`ScanPool`] before merging.
 //!
 //! Serving threads never see a store mid-build: a [`StoreHandle`] holds
 //! the current store behind an `Arc` and swaps it atomically on
@@ -17,15 +28,17 @@
 //! construction, and a request that started on the old snapshot finishes
 //! on the old snapshot — responses are never torn across a swap. The
 //! streaming pipeline feeds live updates through the
-//! [`SnapshotSink`](resilience::incremental::SnapshotSink) impl.
+//! [`SnapshotSink`](resilience::incremental::SnapshotSink) impl,
+//! rebuilding with the same shard count the handle was seeded with.
 
+use crate::pool::ScanPool;
 use resilience::incremental::SnapshotSink;
 use resilience::report;
 use resilience::{QuarantineReport, StudyReport};
 use simtime::{Phase, Timestamp};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 use xid::{ErrorKind, XidCode};
 
@@ -42,11 +55,79 @@ pub struct ErrorFilter {
     pub to: Option<Timestamp>,
 }
 
+/// One host-range shard: the columns, indexes, and global row ids of a
+/// contiguous slice of the host dictionary.
+///
+/// Rows appear in canonical global order restricted to this shard's
+/// hosts; a subsequence of a `(time, host)`-sorted sequence is still
+/// time-sorted, so `times` is sorted and every posting list (ascending
+/// local row ids) is in time order, admitting the same binary searches
+/// the unsharded store used.
+#[derive(Debug, Default)]
+struct Shard {
+    /// Global row ids, ascending — the merge key for scatter-gather.
+    rows: Vec<u32>,
+    times: Vec<u64>,
+    /// Global host ids (indexes into the store-wide dictionary).
+    host_ids: Vec<u32>,
+    pcis: Vec<String>,
+    kinds: Vec<ErrorKind>,
+    merged: Vec<u64>,
+    /// Global host id → local row indexes, ascending.
+    by_host: BTreeMap<u32, Vec<u32>>,
+    /// Kind → local row indexes, ascending.
+    by_kind: BTreeMap<ErrorKind, Vec<u32>>,
+}
+
+impl Shard {
+    /// Local row indexes matching the filter, ascending (= time order).
+    /// `host_id` is pre-resolved against the global dictionary.
+    fn select(&self, host_id: Option<u32>, filter: &ErrorFilter) -> Vec<u32> {
+        let rows: &[u32] = match (host_id, filter.kind) {
+            (Some(id), _) => self.by_host.get(&id).map_or(&[][..], Vec::as_slice),
+            (None, Some(kind)) => self.by_kind.get(&kind).map_or(&[][..], Vec::as_slice),
+            (None, None) => {
+                let lo = filter
+                    .from
+                    .map_or(0, |t| self.times.partition_point(|&time| time < t.unix()));
+                let hi = filter.to.map_or(self.times.len(), |t| {
+                    self.times.partition_point(|&time| time <= t.unix())
+                });
+                return (lo as u32..hi as u32).collect();
+            }
+        };
+        let slice = self.time_slice(rows, filter);
+        match filter.kind {
+            // Residual predicate, applied only when both host and kind
+            // were given: the slice is already host- and time-bounded.
+            Some(kind) if host_id.is_some() => slice
+                .iter()
+                .copied()
+                .filter(|&r| self.kinds[r as usize] == kind)
+                .collect(),
+            _ => slice.to_vec(),
+        }
+    }
+
+    /// Slices a time-ordered posting list to the filter's time bounds by
+    /// binary search.
+    fn time_slice<'a>(&self, rows: &'a [u32], filter: &ErrorFilter) -> &'a [u32] {
+        let lo = filter.from.map_or(0, |t| {
+            rows.partition_point(|&r| self.times[r as usize] < t.unix())
+        });
+        let hi = filter.to.map_or(rows.len(), |t| {
+            rows.partition_point(|&r| self.times[r as usize] <= t.unix())
+        });
+        &rows[lo..hi]
+    }
+}
+
 /// The immutable, columnar serving snapshot of one study.
 ///
 /// Everything a request can ask for is either pre-rendered at build time
-/// (the paper surfaces, which must be byte-identical to the offline
-/// renderers) or answered from the sorted columns below.
+/// (the paper surfaces, `/jobs/impact`, `/availability` — all of which
+/// must be byte-identical to the offline renderers) or answered from the
+/// shard columns.
 #[derive(Debug)]
 pub struct StudyStore {
     report: StudyReport,
@@ -56,27 +137,33 @@ pub struct StudyStore {
     table2: String,
     table3: String,
     fig2: String,
-    // Column vectors over the coalesced, outlier-filtered error set, in
-    // the pipeline's canonical (time, host) order — `times` is sorted.
-    times: Vec<u64>,
-    host_ids: Vec<u32>,
-    pcis: Vec<String>,
-    kinds: Vec<ErrorKind>,
-    merged: Vec<u64>,
-    // Host dictionary (sorted, deduplicated) and the per-host / per-kind
-    // posting lists. Row ids inside a posting list ascend, so each list
-    // is itself in time order and admits the same binary searches the
-    // global `times` column does.
+    jobs_impact: String,
+    availability: String,
+    // Host dictionary (sorted, deduplicated), the host → shard map, and
+    // the host-range shards.
     hosts: Vec<String>,
-    by_host: Vec<Vec<u32>>,
-    by_kind: BTreeMap<ErrorKind, Vec<u32>>,
+    shard_of_host: Vec<u32>,
+    shards: Vec<Shard>,
+    rows_total: usize,
 }
 
 impl StudyStore {
-    /// Builds the store from a finished run. `quarantine` carries the
-    /// lenient run's trust qualifiers into `/snapshot`; pass `None` for
-    /// strict runs.
+    /// Builds an unsharded (single-shard) store from a finished run.
+    /// `quarantine` carries the lenient run's trust qualifiers into
+    /// `/snapshot`; pass `None` for strict runs.
     pub fn build(report: StudyReport, quarantine: Option<&QuarantineReport>) -> Self {
+        Self::build_sharded(report, quarantine, 1)
+    }
+
+    /// Builds the store split into `shards` host-range shards (clamped
+    /// to at least 1), balanced by row count. Shard count is a pure
+    /// layout choice: every rendered surface is byte-identical across
+    /// counts.
+    pub fn build_sharded(
+        report: StudyReport,
+        quarantine: Option<&QuarantineReport>,
+        shards: usize,
+    ) -> Self {
         let mut span = obs::span("servd_store_build");
         span.add_items(report.errors.len() as u64);
 
@@ -89,14 +176,17 @@ impl StudyStore {
         hosts.sort();
         hosts.dedup();
 
-        let n = report.errors.len();
-        let mut times = Vec::with_capacity(n);
-        let mut host_ids = Vec::with_capacity(n);
-        let mut pcis = Vec::with_capacity(n);
-        let mut kinds = Vec::with_capacity(n);
-        let mut merged = Vec::with_capacity(n);
-        let mut by_host: Vec<Vec<u32>> = vec![Vec::new(); hosts.len()];
-        let mut by_kind: BTreeMap<ErrorKind, Vec<u32>> = BTreeMap::new();
+        // Host-range partition balanced by row count.
+        let mut rows_per_host = vec![0usize; hosts.len()];
+        for e in &report.errors {
+            if let Ok(i) = hosts.binary_search(&e.host) {
+                rows_per_host[i] += 1;
+            }
+        }
+        let nshards = shards.max(1);
+        let shard_of_host = partition_by_weight(&rows_per_host, nshards);
+        let mut built: Vec<Shard> = (0..nshards).map(|_| Shard::default()).collect();
+
         for (row, e) in report.errors.iter().enumerate() {
             let host_id = match hosts.binary_search(&e.host) {
                 Ok(i) => i as u32,
@@ -104,15 +194,21 @@ impl StudyStore {
                 // but a wrong id is strictly worse than a skipped row.
                 Err(_) => continue,
             };
-            times.push(e.time.unix());
-            host_ids.push(host_id);
-            pcis.push(e.pci.to_string());
-            kinds.push(e.kind);
-            merged.push(e.merged_lines);
-            by_host[host_id as usize].push(row as u32);
-            by_kind.entry(e.kind).or_default().push(row as u32);
+            let shard = &mut built[shard_of_host[host_id as usize] as usize];
+            let local = shard.rows.len() as u32;
+            shard.rows.push(row as u32);
+            shard.times.push(e.time.unix());
+            shard.host_ids.push(host_id);
+            shard.pcis.push(e.pci.to_string());
+            shard.kinds.push(e.kind);
+            shard.merged.push(e.merged_lines);
+            shard.by_host.entry(host_id).or_default().push(local);
+            shard.by_kind.entry(e.kind).or_default().push(local);
         }
 
+        let rows_total = report.errors.len();
+        let jobs_impact = render_jobs_impact(&report);
+        let availability = render_availability(&report);
         StudyStore {
             caveat_count: quarantine.map_or(0, |q| q.caveats.len()),
             report,
@@ -120,14 +216,12 @@ impl StudyStore {
             table2,
             table3,
             fig2,
-            times,
-            host_ids,
-            pcis,
-            kinds,
-            merged,
+            jobs_impact,
+            availability,
             hosts,
-            by_host,
-            by_kind,
+            shard_of_host,
+            shards: built,
+            rows_total,
         }
     }
 
@@ -138,7 +232,12 @@ impl StudyStore {
 
     /// Number of coalesced error rows stored.
     pub fn error_rows(&self) -> usize {
-        self.times.len()
+        self.rows_total
+    }
+
+    /// How many host-range shards the store was built with.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// The pre-rendered Table I (byte-identical to [`report::table1`]).
@@ -161,74 +260,104 @@ impl StudyStore {
         &self.fig2
     }
 
-    /// The row ids matching `filter`, ascending (= time order).
-    ///
-    /// Index selection: with a host filter the per-host posting list is
-    /// sliced; with only a kind filter the per-kind list is sliced; with
-    /// neither the global time column is sliced. In every case the time
-    /// bounds are located by binary search, so work is proportional to
-    /// the *narrowest* index slice, never the full store.
-    fn select(&self, filter: &ErrorFilter) -> Vec<u32> {
-        let rows: &[u32] = match (&filter.host, filter.kind) {
-            (Some(host), _) => match self.hosts.binary_search_by(|h| h.as_str().cmp(host)) {
-                Ok(i) => &self.by_host[i],
-                Err(_) => &[],
+    /// Which shards a filter can touch: one for a host filter, all
+    /// otherwise (an unknown host touches none).
+    fn shards_for(&self, filter: &ErrorFilter) -> Vec<usize> {
+        match &filter.host {
+            Some(host) => match self.hosts.binary_search_by(|h| h.as_str().cmp(host)) {
+                Ok(i) => vec![self.shard_of_host[i] as usize],
+                Err(_) => Vec::new(),
             },
-            (None, Some(kind)) => self.by_kind.get(&kind).map_or(&[][..], Vec::as_slice),
-            (None, None) => return self.select_global(filter),
-        };
-        let slice = self.time_slice(rows, filter);
-        match filter.kind {
-            // Residual predicate, applied only when both host and kind
-            // were given: the slice is already host- and time-bounded.
-            Some(kind) if filter.host.is_some() => slice
-                .iter()
-                .copied()
-                .filter(|&r| self.kinds[r as usize] == kind)
-                .collect(),
-            _ => slice.to_vec(),
+            None => (0..self.shards.len()).collect(),
         }
     }
 
-    /// The unfiltered case: binary-search the global sorted time column.
-    fn select_global(&self, filter: &ErrorFilter) -> Vec<u32> {
-        let lo = filter
-            .from
-            .map_or(0, |t| self.times.partition_point(|&time| time < t.unix()));
-        let hi = filter.to.map_or(self.times.len(), |t| {
-            self.times.partition_point(|&time| time <= t.unix())
-        });
-        (lo as u32..hi as u32).collect()
+    /// Resolves the filter's host against the dictionary.
+    fn host_id(&self, filter: &ErrorFilter) -> Option<u32> {
+        filter.host.as_ref().and_then(|host| {
+            self.hosts
+                .binary_search_by(|h| h.as_str().cmp(host))
+                .ok()
+                .map(|i| i as u32)
+        })
     }
 
-    /// Slices a time-ordered posting list to the filter's time bounds by
-    /// binary search.
-    fn time_slice<'a>(&self, rows: &'a [u32], filter: &ErrorFilter) -> &'a [u32] {
-        let lo = filter.from.map_or(0, |t| {
-            rows.partition_point(|&r| self.times[r as usize] < t.unix())
-        });
-        let hi = filter.to.map_or(rows.len(), |t| {
-            rows.partition_point(|&r| self.times[r as usize] <= t.unix())
-        });
-        &rows[lo..hi]
+    /// One shard's `/errors` slice as `(global_row, csv_line)` pairs,
+    /// ascending by global row — the scatter unit and merge input.
+    fn shard_errors(&self, shard: usize, filter: &ErrorFilter) -> Vec<(u32, String)> {
+        let s = &self.shards[shard];
+        let host_id = self.host_id(filter);
+        s.select(host_id, filter)
+            .into_iter()
+            .map(|local| {
+                let r = local as usize;
+                let line = format!(
+                    "{},{},{},{},{},{}",
+                    Timestamp::from_unix(s.times[r]),
+                    self.hosts[s.host_ids[r] as usize],
+                    s.pcis[r],
+                    s.kinds[r].primary_code(),
+                    s.kinds[r].abbreviation(),
+                    s.merged[r]
+                );
+                (s.rows[r], line)
+            })
+            .collect()
+    }
+
+    /// Assembles per-shard `/errors` streams into the final CSV: k-way
+    /// merge by global row id (unique across shards), which provably
+    /// reconstructs the canonical single-store row order.
+    fn assemble_errors(streams: Vec<Vec<(u32, String)>>) -> String {
+        let mut out = String::from("time,host,pci,xid,kind,merged_lines\n");
+        if streams.len() == 1 {
+            if let Some(stream) = streams.into_iter().next() {
+                for (_, line) in stream {
+                    out.push_str(&line);
+                    out.push('\n');
+                }
+            }
+            return out;
+        }
+        for (_, line) in
+            hpclog::shard::merge_sorted_by(streams, |a: &(u32, String), b| a.0.cmp(&b.0))
+        {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
     }
 
     /// Renders the `/errors` slice as CSV:
     /// `time,host,pci,xid,kind,merged_lines`, rows in canonical order.
+    /// Serial path — scans shards on the calling thread; the scattered
+    /// path ([`errors_csv_scattered`]) produces identical bytes.
     pub fn errors_csv(&self, filter: &ErrorFilter) -> String {
-        let rows = self.select(filter);
-        let mut out = String::from("time,host,pci,xid,kind,merged_lines\n");
-        for &r in &rows {
-            let r = r as usize;
+        let streams: Vec<Vec<(u32, String)>> = self
+            .shards_for(filter)
+            .into_iter()
+            .map(|i| self.shard_errors(i, filter))
+            .collect();
+        if streams.is_empty() {
+            return String::from("time,host,pci,xid,kind,merged_lines\n");
+        }
+        Self::assemble_errors(streams)
+    }
+
+    /// The two `/mtbe` rows (`pre_op`, `op`) for one kind — the per-kind
+    /// scatter unit.
+    fn mtbe_kind_block(&self, k: ErrorKind) -> String {
+        let stats = &self.report.stats;
+        let mut out = String::new();
+        for (phase, label) in [(Phase::PreOp, "pre_op"), (Phase::Op, "op")] {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{}",
-                Timestamp::from_unix(self.times[r]),
-                self.hosts[self.host_ids[r] as usize],
-                self.pcis[r],
-                self.kinds[r].primary_code(),
-                self.kinds[r].abbreviation(),
-                self.merged[r]
+                "{},{},{label},{},{},{}",
+                k.primary_code(),
+                k.abbreviation(),
+                stats.count(k, phase),
+                fmt_cell(stats.mtbe_system(k, phase)),
+                fmt_cell(stats.mtbe_per_node(k, phase)),
             );
         }
         out
@@ -243,63 +372,22 @@ impl StudyStore {
             Some(k) => vec![k],
             None => ErrorKind::STUDIED.to_vec(),
         };
-        let stats = &self.report.stats;
         for k in kinds {
-            for (phase, label) in [(Phase::PreOp, "pre_op"), (Phase::Op, "op")] {
-                let _ = writeln!(
-                    out,
-                    "{},{},{label},{},{},{}",
-                    k.primary_code(),
-                    k.abbreviation(),
-                    stats.count(k, phase),
-                    fmt_cell(stats.mtbe_system(k, phase)),
-                    fmt_cell(stats.mtbe_per_node(k, phase)),
-                );
-            }
+            out.push_str(&self.mtbe_kind_block(k));
         }
         out
     }
 
     /// Renders `/jobs/impact`: the Table II join as CSV plus the total
-    /// GPU-failed-jobs line.
+    /// GPU-failed-jobs line (pre-rendered at build/publish time).
     pub fn jobs_impact_csv(&self) -> String {
-        let mut out = report::table2_csv(&self.report);
-        let _ = writeln!(
-            out,
-            "total_gpu_failed_jobs,{}",
-            self.report.impact.gpu_failed_jobs()
-        );
-        out
+        self.jobs_impact.clone()
     }
 
-    /// Renders `/availability` as a deterministic JSON object.
+    /// Renders `/availability` as a deterministic JSON object
+    /// (pre-rendered at build/publish time).
     pub fn availability_json(&self) -> String {
-        let a = &self.report.availability;
-        let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"outages\": {},", a.outage_count());
-        let _ = writeln!(out, "  \"mttr_hours\": {},", fmt_json(a.mttr_hours()));
-        let _ = writeln!(
-            out,
-            "  \"total_downtime_node_hours\": {},",
-            fmt_json(Some(a.total_downtime_node_hours()))
-        );
-        let _ = writeln!(
-            out,
-            "  \"mttf_hours\": {},",
-            fmt_json(self.report.mttf_hours)
-        );
-        let _ = writeln!(
-            out,
-            "  \"availability\": {},",
-            fmt_json(self.report.availability_estimate())
-        );
-        let _ = writeln!(
-            out,
-            "  \"availability_empirical\": {}",
-            fmt_json(Some(a.availability_empirical()))
-        );
-        out.push_str("}\n");
-        out
+        self.availability.clone()
     }
 
     /// Renders `/snapshot` metadata for a snapshot id assigned by the
@@ -318,6 +406,122 @@ impl StudyStore {
         let _ = writeln!(out, "caveats: {}", self.caveat_count);
         out
     }
+}
+
+/// Splits `weights` (rows per host, host-dictionary order) into `n`
+/// contiguous ranges with roughly equal weight; returns the host → range
+/// map. Greedy front-to-back: each range takes hosts until it reaches
+/// its fair share of what remains. Ranges may be empty when there are
+/// fewer hosts than shards.
+fn partition_by_weight(weights: &[usize], n: usize) -> Vec<u32> {
+    let mut assignment = vec![0u32; weights.len()];
+    let total: usize = weights.iter().sum();
+    let mut remaining = total;
+    let mut shard = 0usize;
+    let mut in_shard = 0usize;
+    for (host, &w) in weights.iter().enumerate() {
+        let shards_left = n - shard;
+        let target = remaining.div_ceil(shards_left.max(1));
+        if in_shard > 0 && in_shard + w > target && shard + 1 < n {
+            shard += 1;
+            in_shard = 0;
+        }
+        assignment[host] = shard as u32;
+        in_shard += w;
+        remaining -= w;
+    }
+    assignment
+}
+
+// ------------------------------------------------- scattered renderers
+
+/// The scattered `/errors` renderer: fans the involved shards across
+/// `pool`, then k-way merges the streams by global row id. Byte-identical
+/// to [`StudyStore::errors_csv`] by construction (same per-shard slices,
+/// same merge kernel) — an invariant `tests/shard_equivalence.rs` pins.
+pub fn errors_csv_scattered(
+    published: &Arc<Published>,
+    filter: &ErrorFilter,
+    pool: &ScanPool,
+) -> String {
+    let store = &published.store;
+    let involved = store.shards_for(filter);
+    if involved.len() <= 1 || pool.threads() == 0 {
+        return store.errors_csv(filter);
+    }
+    if obs::is_enabled() {
+        obs::counter("servd_scatter_queries_total", &[("endpoint", "errors")]).inc();
+        obs::counter("servd_scatter_shard_scans_total", &[]).add(involved.len() as u64);
+    }
+    let snapshot = Arc::clone(published);
+    let query = filter.clone();
+    let shard_ids = involved.clone();
+    let streams = pool.run(
+        involved.len(),
+        Arc::new(move |i| snapshot.store.shard_errors(shard_ids[i], &query)),
+    );
+    StudyStore::assemble_errors(streams)
+}
+
+/// The scattered `/mtbe` renderer: one pool job per studied kind, blocks
+/// concatenated in the fixed `ErrorKind::STUDIED` order. Byte-identical
+/// to [`StudyStore::mtbe_csv`].
+pub fn mtbe_csv_scattered(
+    published: &Arc<Published>,
+    kind: Option<ErrorKind>,
+    pool: &ScanPool,
+) -> String {
+    if kind.is_some() || pool.threads() == 0 {
+        return published.store.mtbe_csv(kind);
+    }
+    if obs::is_enabled() {
+        obs::counter("servd_scatter_queries_total", &[("endpoint", "mtbe")]).inc();
+    }
+    let snapshot = Arc::clone(published);
+    let blocks = pool.run(
+        ErrorKind::STUDIED.len(),
+        Arc::new(move |i| snapshot.store.mtbe_kind_block(ErrorKind::STUDIED[i])),
+    );
+    let mut out = String::from("xid,kind,phase,count,mtbe_system_h,mtbe_node_h\n");
+    for block in blocks {
+        out.push_str(&block);
+    }
+    out
+}
+
+fn render_jobs_impact(report: &StudyReport) -> String {
+    let mut out = report::table2_csv(report);
+    let _ = writeln!(
+        out,
+        "total_gpu_failed_jobs,{}",
+        report.impact.gpu_failed_jobs()
+    );
+    out
+}
+
+fn render_availability(report: &StudyReport) -> String {
+    let a = &report.availability;
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"outages\": {},", a.outage_count());
+    let _ = writeln!(out, "  \"mttr_hours\": {},", fmt_json(a.mttr_hours()));
+    let _ = writeln!(
+        out,
+        "  \"total_downtime_node_hours\": {},",
+        fmt_json(Some(a.total_downtime_node_hours()))
+    );
+    let _ = writeln!(out, "  \"mttf_hours\": {},", fmt_json(report.mttf_hours));
+    let _ = writeln!(
+        out,
+        "  \"availability\": {},",
+        fmt_json(report.availability_estimate())
+    );
+    let _ = writeln!(
+        out,
+        "  \"availability_empirical\": {}",
+        fmt_json(Some(a.availability_empirical()))
+    );
+    out.push_str("}\n");
+    out
 }
 
 /// Resolves a raw XID code string from a query into a studied kind.
@@ -398,18 +602,29 @@ pub struct Published {
 /// that snapshot no matter how many swaps happen behind them. The lock is
 /// held only for the pointer exchange, never during store construction or
 /// rendering, so readers are wait-free in all but the swap instant.
+///
+/// The handle also owns the [`ScanPool`] shard-parallel queries scatter
+/// over, and remembers the initial store's shard count so snapshots
+/// published through the [`SnapshotSink`] path keep the same layout.
 #[derive(Debug)]
 pub struct StoreHandle {
     current: RwLock<Arc<Published>>,
     next_id: AtomicU64,
+    pool: ScanPool,
+    publish_shards: AtomicUsize,
 }
 
 impl StoreHandle {
-    /// Creates the handle with an initial store (snapshot id 1).
+    /// Creates the handle with an initial store (snapshot id 1) and a
+    /// machine-sized scan pool. Later [`SnapshotSink`] publishes rebuild
+    /// with the initial store's shard count.
     pub fn new(store: StudyStore) -> Self {
+        let shards = store.shard_count();
         StoreHandle {
             current: RwLock::new(Arc::new(Published { id: 1, store })),
             next_id: AtomicU64::new(2),
+            pool: ScanPool::for_machine(),
+            publish_shards: AtomicUsize::new(shards),
         }
     }
 
@@ -437,13 +652,27 @@ impl StoreHandle {
             Err(poisoned) => Arc::clone(&poisoned.into_inner()),
         }
     }
+
+    /// The pool shard-parallel scans scatter over.
+    pub fn scan_pool(&self) -> &ScanPool {
+        &self.pool
+    }
+
+    /// The shard count used for snapshots published via [`SnapshotSink`].
+    pub fn publish_shards(&self) -> usize {
+        self.publish_shards.load(Ordering::Relaxed).max(1)
+    }
 }
 
 impl SnapshotSink for StoreHandle {
     /// The streaming pipeline's live-update path: materialized snapshots
-    /// land here and become the served store.
+    /// land here and become the served store, sharded like the initial
+    /// store.
     fn publish(&self, report: StudyReport, quarantine: QuarantineReport) {
-        StoreHandle::publish(self, StudyStore::build(report, Some(&quarantine)));
+        StoreHandle::publish(
+            self,
+            StudyStore::build_sharded(report, Some(&quarantine), self.publish_shards()),
+        );
     }
 }
 
@@ -556,6 +785,89 @@ mod tests {
     }
 
     #[test]
+    fn every_shard_count_renders_identical_surfaces() {
+        let report = sample_report();
+        let baseline = StudyStore::build(report.clone(), None);
+        let filters = [
+            ErrorFilter::default(),
+            ErrorFilter {
+                host: Some("gpub001".to_owned()),
+                ..ErrorFilter::default()
+            },
+            ErrorFilter {
+                kind: Some(ErrorKind::GspError),
+                ..ErrorFilter::default()
+            },
+            ErrorFilter {
+                from: Some(op_time(200)),
+                to: Some(op_time(9000)),
+                ..ErrorFilter::default()
+            },
+        ];
+        for n in [1usize, 2, 3, 4, 8, 16] {
+            let sharded = StudyStore::build_sharded(report.clone(), None, n);
+            assert_eq!(sharded.shard_count(), n);
+            for filter in &filters {
+                assert_eq!(
+                    sharded.errors_csv(filter),
+                    baseline.errors_csv(filter),
+                    "shards={n} filter={filter:?}"
+                );
+            }
+            assert_eq!(sharded.mtbe_csv(None), baseline.mtbe_csv(None));
+            assert_eq!(sharded.jobs_impact_csv(), baseline.jobs_impact_csv());
+            assert_eq!(sharded.availability_json(), baseline.availability_json());
+        }
+    }
+
+    #[test]
+    fn scattered_renderers_match_serial_ones() {
+        let report = sample_report();
+        let pool = ScanPool::new(4);
+        for n in [1usize, 2, 4, 8] {
+            let published = Arc::new(Published {
+                id: 1,
+                store: StudyStore::build_sharded(report.clone(), None, n),
+            });
+            for filter in [
+                ErrorFilter::default(),
+                ErrorFilter {
+                    host: Some("gpub001".to_owned()),
+                    ..ErrorFilter::default()
+                },
+                ErrorFilter {
+                    kind: Some(ErrorKind::NvlinkError),
+                    ..ErrorFilter::default()
+                },
+            ] {
+                assert_eq!(
+                    errors_csv_scattered(&published, &filter, &pool),
+                    published.store.errors_csv(&filter),
+                    "shards={n} filter={filter:?}"
+                );
+            }
+            assert_eq!(
+                mtbe_csv_scattered(&published, None, &pool),
+                published.store.mtbe_csv(None)
+            );
+        }
+    }
+
+    #[test]
+    fn weight_partition_is_contiguous_and_covers_all_hosts() {
+        let weights = [5usize, 1, 1, 1, 8, 2, 2, 4];
+        for n in [1usize, 2, 3, 4, 8, 12] {
+            let map = partition_by_weight(&weights, n);
+            assert_eq!(map.len(), weights.len());
+            // Contiguous, non-decreasing shard ids within range.
+            for pair in map.windows(2) {
+                assert!(pair[0] <= pair[1], "non-contiguous: {map:?}");
+            }
+            assert!(map.iter().all(|&s| (s as usize) < n), "{map:?}");
+        }
+    }
+
+    #[test]
     fn mtbe_rows_match_stats() {
         let report = sample_report();
         let s = StudyStore::build(report.clone(), None);
@@ -602,6 +914,18 @@ mod tests {
         // A reader that grabbed the old snapshot keeps it intact.
         assert_eq!(held.id, 1);
         assert_eq!(held.store.error_rows(), 5);
+    }
+
+    #[test]
+    fn snapshot_sink_preserves_the_shard_layout() {
+        let sharded = StudyStore::build_sharded(sample_report(), None, 4);
+        let handle = StoreHandle::new(sharded);
+        assert_eq!(handle.publish_shards(), 4);
+        let mut engine = resilience::StreamingPipeline::new(Pipeline::delta(), 2022);
+        engine.push_log(b"");
+        engine.publish_snapshot(&handle);
+        assert_eq!(handle.current().id, 2);
+        assert_eq!(handle.current().store.shard_count(), 4);
     }
 
     #[test]

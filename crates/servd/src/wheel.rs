@@ -1,0 +1,243 @@
+//! A hashed timer wheel for connection deadlines.
+//!
+//! The event loop arms at most one deadline per connection (idle
+//! keep-alive, request-head `408`, body budget, write stall, drain
+//! grace). Deadlines are coarse — tens of milliseconds of slack is
+//! fine — so a classic hashed wheel fits: O(1) insert, O(slots) sweep,
+//! no allocation on re-arm beyond the slot `Vec`s.
+//!
+//! Cancellation is lazy, via generations: each connection carries a
+//! monotonically increasing `gen`, bumped on every re-arm or close.
+//! Stale wheel entries (an older `gen`, or a token whose connection is
+//! gone) fall out during the sweep without being hunted down at
+//! cancel time. [`TimerWheel::expire`] therefore yields *candidates*:
+//! the caller must check the entry's `(token, gen)` against the live
+//! connection before acting.
+
+use std::time::{Duration, Instant};
+
+/// One armed deadline: which connection (`token`), which arming of that
+/// connection (`gen`), and the absolute tick it matures at.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    token: u64,
+    gen: u64,
+    at: u64,
+}
+
+/// The wheel. Ticks are fixed-width; a deadline lands in slot
+/// `at % slots` with its absolute tick kept alongside, so deadlines
+/// beyond one revolution simply survive extra sweeps of their slot.
+#[derive(Debug)]
+pub struct TimerWheel {
+    base: Instant,
+    tick: Duration,
+    slots: Vec<Vec<Entry>>,
+    /// The next tick the sweep will process.
+    cursor: u64,
+    /// Live (scheduled, not yet expired) entry count, including stale
+    /// generations — only used to skip the sweep entirely when zero.
+    armed: usize,
+}
+
+impl TimerWheel {
+    /// A wheel of `slots` ticks of width `tick`, anchored at `base`.
+    pub fn new(base: Instant, tick: Duration, slots: usize) -> TimerWheel {
+        TimerWheel {
+            base,
+            tick,
+            slots: (0..slots.max(1)).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            armed: 0,
+        }
+    }
+
+    /// Deadlines round *up* to a tick, the current time rounds *down*
+    /// ([`TimerWheel::now_tick`]): together a deadline can mature up to
+    /// one tick late but never early.
+    fn tick_of(&self, at: Instant) -> u64 {
+        let nanos = at.saturating_duration_since(self.base).as_nanos();
+        let width = self.tick.as_nanos().max(1);
+        (nanos.div_ceil(width)).min(u64::MAX as u128) as u64
+    }
+
+    fn now_tick(&self, now: Instant) -> u64 {
+        let nanos = now.saturating_duration_since(self.base).as_nanos();
+        let width = self.tick.as_nanos().max(1);
+        ((nanos / width).min(u64::MAX as u128)) as u64
+    }
+
+    /// Arms `(token, gen)` to mature at `deadline`. Re-arming is just
+    /// scheduling with a bumped `gen`; the old entry goes stale.
+    pub fn schedule(&mut self, token: u64, gen: u64, deadline: Instant) {
+        let at = self.tick_of(deadline).max(self.cursor);
+        let slot = (at % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Entry { token, gen, at });
+        self.armed += 1;
+    }
+
+    /// How long the event loop may sleep before the next possible
+    /// expiry. `None` when nothing is armed. Coarse on purpose: it
+    /// reports the gap to the next *occupied* slot within one
+    /// revolution, not the exact nearest deadline, so a sweep may find
+    /// only future-revolution entries and yield nothing — harmless.
+    pub fn next_wakeup(&self, now: Instant) -> Option<Duration> {
+        if self.armed == 0 {
+            return None;
+        }
+        let now_tick = self.now_tick(now);
+        let len = self.slots.len() as u64;
+        for step in 0..len {
+            let t = self.cursor.saturating_add(step);
+            if !self.slots[(t % len) as usize].is_empty() {
+                if t <= now_tick {
+                    return Some(Duration::ZERO);
+                }
+                let gap = self
+                    .tick
+                    .saturating_mul(u32::try_from(t - now_tick).unwrap_or(u32::MAX));
+                return Some(gap);
+            }
+        }
+        // Occupied slots exist beyond one revolution; wake once per
+        // revolution and let the sweep carry them forward.
+        Some(
+            self.tick
+                .saturating_mul(u32::try_from(len).unwrap_or(u32::MAX)),
+        )
+    }
+
+    /// Sweeps every tick up to `now`, appending matured `(token, gen)`
+    /// candidates to `expired`. Entries scheduled for a later
+    /// revolution of their slot are retained.
+    pub fn expire(&mut self, now: Instant, expired: &mut Vec<(u64, u64)>) {
+        if self.armed == 0 {
+            self.cursor = self.now_tick(now);
+            return;
+        }
+        let now_tick = self.now_tick(now);
+        let len = self.slots.len() as u64;
+        // Each slot needs at most one visit per sweep, however far the
+        // cursor lags.
+        let span = (now_tick.saturating_sub(self.cursor) + 1).min(len);
+        for step in 0..span {
+            let slot = ((self.cursor + step) % len) as usize;
+            let entries = &mut self.slots[slot];
+            let mut i = 0;
+            while i < entries.len() {
+                if entries[i].at <= now_tick {
+                    let e = entries.swap_remove(i);
+                    expired.push((e.token, e.gen));
+                    self.armed -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.cursor = now_tick + 1;
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    const TICK: Duration = Duration::from_millis(10);
+
+    fn wheel() -> (TimerWheel, Instant) {
+        let base = Instant::now();
+        (TimerWheel::new(base, TICK, 8), base)
+    }
+
+    fn expired_at(wheel: &mut TimerWheel, now: Instant) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        wheel.expire(now, &mut out);
+        out
+    }
+
+    #[test]
+    fn deadline_fires_at_or_after_maturity_never_before() {
+        let (mut w, base) = wheel();
+        w.schedule(1, 0, base + Duration::from_millis(25));
+        assert!(expired_at(&mut w, base + Duration::from_millis(20)).is_empty());
+        assert_eq!(
+            expired_at(&mut w, base + Duration::from_millis(31)),
+            vec![(1, 0)]
+        );
+    }
+
+    #[test]
+    fn entries_beyond_one_revolution_survive_sweeps() {
+        let (mut w, base) = wheel();
+        // 8 slots × 10ms per revolution; 200ms is 2.5 revolutions out.
+        w.schedule(9, 3, base + Duration::from_millis(200));
+        assert!(expired_at(&mut w, base + Duration::from_millis(100)).is_empty());
+        assert!(expired_at(&mut w, base + Duration::from_millis(150)).is_empty());
+        assert_eq!(
+            expired_at(&mut w, base + Duration::from_millis(210)),
+            vec![(9, 3)]
+        );
+    }
+
+    #[test]
+    fn rearm_leaves_a_stale_generation_behind() {
+        let (mut w, base) = wheel();
+        w.schedule(5, 1, base + Duration::from_millis(20));
+        w.schedule(5, 2, base + Duration::from_millis(60));
+        let first = expired_at(&mut w, base + Duration::from_millis(30));
+        // The stale gen-1 entry matures — the caller's gen check drops it.
+        assert_eq!(first, vec![(5, 1)]);
+        assert_eq!(
+            expired_at(&mut w, base + Duration::from_millis(70)),
+            vec![(5, 2)]
+        );
+    }
+
+    #[test]
+    fn next_wakeup_tracks_the_earliest_occupied_slot() {
+        let (mut w, base) = wheel();
+        assert!(w.next_wakeup(base).is_none(), "empty wheel never wakes");
+        w.schedule(1, 0, base + Duration::from_millis(40));
+        let gap = w.next_wakeup(base).expect("armed wheel wakes");
+        assert!(
+            gap >= Duration::from_millis(20) && gap <= Duration::from_millis(60),
+            "gap {gap:?} far from the 40ms deadline"
+        );
+        let _ = expired_at(&mut w, base + Duration::from_millis(50));
+        assert!(w.next_wakeup(base).is_none(), "fired entries disarm");
+    }
+
+    #[test]
+    fn past_deadlines_mature_on_the_next_sweep() {
+        let (mut w, base) = wheel();
+        let _ = expired_at(&mut w, base + Duration::from_millis(50));
+        w.schedule(2, 0, base); // already past
+        assert_eq!(
+            w.next_wakeup(base + Duration::from_millis(50)),
+            Some(Duration::ZERO)
+        );
+        assert_eq!(
+            expired_at(&mut w, base + Duration::from_millis(51)),
+            vec![(2, 0)]
+        );
+    }
+
+    #[test]
+    fn many_tokens_in_one_slot_all_mature() {
+        let (mut w, base) = wheel();
+        for t in 0..100u64 {
+            // All land on ticks ≡ 2 (mod 8) — the same slot.
+            w.schedule(
+                t,
+                0,
+                base + Duration::from_millis(20) + TICK * 8 * (t as u32 % 3),
+            );
+        }
+        let mut all = Vec::new();
+        w.expire(base + Duration::from_millis(400), &mut all);
+        let mut tokens: Vec<u64> = all.iter().map(|(t, _)| *t).collect();
+        tokens.sort_unstable();
+        assert_eq!(tokens, (0..100).collect::<Vec<u64>>());
+    }
+}

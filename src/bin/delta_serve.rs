@@ -97,8 +97,10 @@ LIVE INGEST (accept the corpus over POST /ingest/*)
 SERVER
   --window SECS   coalescing window Δt (default 20)
   --addr A        listen address (default 127.0.0.1:7171; use :0 for ephemeral)
-  --threads N     worker threads (default 4)
-  --max-conns N   connection queue depth; beyond it requests get 503 (default 64)
+  --threads N     event-loop threads (default 4)
+  --max-conns N   connection headroom beyond the loops; over it: 503 (default 64)
+  --shards N      host-range store shards for scatter-gather scans
+                  (default: CPU cores, capped at 8; 1 disables scatter)
 
 ENDPOINTS
   /tables/1 /tables/2 /tables/3 /fig2 /errors /mtbe /jobs/impact
@@ -118,6 +120,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
             "threads",
             "max-conns",
             "window",
+            "shards",
             "ingest-dir",
             "year",
             "ingest-queue",
@@ -197,9 +200,10 @@ fn run(args: &[String]) -> Result<(), CliError> {
         report.availability.outage_count()
     );
 
-    let store = Arc::new(servd::StoreHandle::new(servd::StudyStore::build(
+    let store = Arc::new(servd::StoreHandle::new(servd::StudyStore::build_sharded(
         report,
         Some(&quarantine),
+        shards_from_flags(&flags)?,
     )));
 
     let config = server_config_from_flags(&flags)?;
@@ -283,9 +287,12 @@ fn run_live(flags: &Flags) -> Result<(), CliError> {
         report.impact.gpu_failed_jobs(),
         report.availability.outage_count()
     );
-    let store = Arc::new(servd::StoreHandle::new(servd::StudyStore::build(
+    // The handle remembers this shard count; every snapshot the ingest
+    // worker publishes keeps the same layout.
+    let store = Arc::new(servd::StoreHandle::new(servd::StudyStore::build_sharded(
         report,
         Some(&quarantine),
+        shards_from_flags(flags)?,
     )));
 
     let worker = servd::ingest::spawn_worker(
@@ -325,6 +332,26 @@ fn pipeline_from_flags(flags: &Flags) -> Result<Pipeline, CliError> {
         pipeline.coalesce_window = Duration::from_secs(secs);
     }
     Ok(pipeline)
+}
+
+/// How many host-range shards each published store is split into.
+/// Defaults to the core count (capped at 8, like the scan pool): more
+/// shards than workers only adds merge overhead.
+fn shards_from_flags(flags: &Flags) -> Result<usize, CliError> {
+    match flags.value("shards") {
+        Some(n) => {
+            let shards: usize = n
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad --shards {n:?}")))?;
+            if shards == 0 {
+                return Err(CliError::Usage("--shards must be positive".to_owned()));
+            }
+            Ok(shards)
+        }
+        None => Ok(std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(8)),
+    }
 }
 
 /// Shared server flag parsing (`--addr`, `--threads`, `--max-conns`).

@@ -8,66 +8,10 @@
 //! process-wide singleton, so the counter assertions must not race
 //! another test in this binary.
 
+use servd::testutil::{connect, request_on};
 use servd::{IngestConfig, ServerConfig, StoreHandle, StudyStore};
-use std::io::{Read, Write};
-use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// Minimal framed-response client (same shape as the other suites).
-fn request_on(
-    conn: &mut TcpStream,
-    method: &str,
-    path: &str,
-    body: &[u8],
-) -> (u16, Vec<(String, String)>, String) {
-    // One write for head + body: two small writes trip Nagle against the
-    // server's delayed ACK and cost ~40 ms per request.
-    let mut request = format!(
-        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: keep-alive\r\nContent-Length: {}\r\n\r\n",
-        body.len()
-    )
-    .into_bytes();
-    request.extend_from_slice(body);
-    conn.write_all(&request).expect("request written");
-    let mut head = Vec::new();
-    let mut byte = [0u8; 1];
-    while !head.ends_with(b"\r\n\r\n") {
-        assert!(head.len() < 64 * 1024, "unterminated response head");
-        conn.read_exact(&mut byte).expect("response head byte");
-        head.push(byte[0]);
-    }
-    let head = String::from_utf8(head).expect("ASCII head");
-    let mut lines = head.lines();
-    let status: u16 = lines
-        .next()
-        .and_then(|l| l.split_whitespace().nth(1))
-        .and_then(|s| s.parse().ok())
-        .expect("status line");
-    let headers: Vec<(String, String)> = lines
-        .filter_map(|l| l.split_once(':'))
-        .map(|(n, v)| (n.trim().to_owned(), v.trim().to_owned()))
-        .collect();
-    let length: usize = headers
-        .iter()
-        .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
-        .and_then(|(_, v)| v.parse().ok())
-        .expect("content-length");
-    let mut body = vec![0u8; length];
-    conn.read_exact(&mut body).expect("framed body");
-    (
-        status,
-        headers,
-        String::from_utf8(body).expect("UTF-8 body"),
-    )
-}
-
-fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
-    headers
-        .iter()
-        .find(|(n, _)| n.eq_ignore_ascii_case(name))
-        .map(|(_, v)| v.as_str())
-}
 
 /// Reads one counter value out of the Prometheus exposition served at
 /// `/metrics`; `series` is the full `name{labels}` prefix.
@@ -111,16 +55,14 @@ fn full_queue_sheds_with_429_without_stalling_reads_then_drains_lossless() {
         Some(Arc::clone(&recovered.handle)),
     )
     .expect("server starts");
-    let mut writer = TcpStream::connect(server.addr()).expect("writer connects");
-    writer.set_nodelay(true).expect("nodelay");
-    let mut reader = TcpStream::connect(server.addr()).expect("reader connects");
-    reader.set_nodelay(true).expect("nodelay");
+    let mut writer = connect(server.addr());
+    let mut reader = connect(server.addr());
 
     // Baseline read latency while the system is idle.
     let idle_started = Instant::now();
     for _ in 0..20 {
-        let (status, _, _) = request_on(&mut reader, "GET", "/tables/1", &[]);
-        assert_eq!(status, 200);
+        let resp = request_on(&mut reader, "GET", "/tables/1", &[]);
+        assert_eq!(resp.status, 200);
     }
     let idle_per_get = idle_started.elapsed() / 20;
 
@@ -128,31 +70,35 @@ fn full_queue_sheds_with_429_without_stalling_reads_then_drains_lossless() {
     // full: exactly QUEUE chunks are admitted (each durable in the WAL
     // before its 200), then the server starts shedding.
     for seq in 0..QUEUE as u64 {
-        let (status, _, _) = request_on(
+        let resp = request_on(
             &mut writer,
             "POST",
             &format!("/ingest/logs?seq={seq}"),
             LOG_CHUNK,
         );
-        assert_eq!(status, 200, "chunk {seq} within capacity must be accepted");
+        assert_eq!(
+            resp.status, 200,
+            "chunk {seq} within capacity must be accepted"
+        );
     }
     let mut rejections = 0u64;
     for _ in 0..5 {
         let shed_started = Instant::now();
-        let (status, headers, _) = request_on(
+        let resp = request_on(
             &mut writer,
             "POST",
             &format!("/ingest/logs?seq={QUEUE}"),
             LOG_CHUNK,
         );
-        assert_eq!(status, 429, "an offer beyond capacity must be shed");
+        assert_eq!(resp.status, 429, "an offer beyond capacity must be shed");
         // Load shedding, not blocking: the rejection is immediate.
         assert!(
             shed_started.elapsed() < Duration::from_secs(1),
             "429 took {:?} — the server blocked instead of shedding",
             shed_started.elapsed()
         );
-        let retry: u64 = header(&headers, "Retry-After")
+        let retry: u64 = resp
+            .header("Retry-After")
             .and_then(|v| v.parse().ok())
             .expect("429 must carry a parseable Retry-After");
         assert!(
@@ -163,8 +109,8 @@ fn full_queue_sheds_with_429_without_stalling_reads_then_drains_lossless() {
 
         // Readers are not starved while the write path sheds.
         let read_started = Instant::now();
-        let (status, _, _) = request_on(&mut reader, "GET", "/tables/1", &[]);
-        assert_eq!(status, 200, "GET failed while ingest was shedding");
+        let read = request_on(&mut reader, "GET", "/tables/1", &[]);
+        assert_eq!(read.status, 200, "GET failed while ingest was shedding");
         assert!(
             read_started.elapsed() < Duration::from_millis(500).max(idle_per_get * 20),
             "GET stalled to {:?} (idle {:?}) while ingest was shedding",
@@ -183,25 +129,25 @@ fn full_queue_sheds_with_429_without_stalling_reads_then_drains_lossless() {
     let accepted_late;
     let deadline = Instant::now() + Duration::from_secs(30);
     loop {
-        let (status, _, _) = request_on(
+        let resp = request_on(
             &mut writer,
             "POST",
             &format!("/ingest/logs?seq={QUEUE}"),
             LOG_CHUNK,
         );
-        if status == 200 {
+        if resp.status == 200 {
             accepted_late = 1u64;
             break;
         }
-        assert_eq!(status, 429);
+        assert_eq!(resp.status, 429);
         assert!(
             Instant::now() < deadline,
             "worker never drained a queue slot"
         );
         std::thread::sleep(Duration::from_millis(5));
     }
-    let (status, _, flush_body) = request_on(&mut writer, "POST", "/ingest/flush", &[]);
-    assert_eq!(status, 200, "flush failed: {flush_body}");
+    let flush = request_on(&mut writer, "POST", "/ingest/flush", &[]);
+    assert_eq!(flush.status, 200, "flush failed: {}", flush.text());
 
     let total = QUEUE as u64 + accepted_late;
     assert_eq!(recovered.handle.accepted()[0], total, "accepted drifted");
@@ -213,8 +159,9 @@ fn full_queue_sheds_with_429_without_stalling_reads_then_drains_lossless() {
 
     // The obs counters must tell the same story as the client's own
     // bookkeeping: every 200 counted once, every 429 counted once.
-    let (status, _, metrics) = request_on(&mut reader, "GET", "/metrics", &[]);
-    assert_eq!(status, 200);
+    let scrape = request_on(&mut reader, "GET", "/metrics", &[]);
+    assert_eq!(scrape.status, 200);
+    let metrics = scrape.text();
     assert_eq!(
         counter_value(&metrics, "servd_ingest_accepted_total{stream=\"logs\"}"),
         total,
@@ -232,11 +179,12 @@ fn full_queue_sheds_with_429_without_stalling_reads_then_drains_lossless() {
 
     // The drained, published study actually contains the ingested
     // events — loss would be visible as an empty error list.
-    let (status, _, errors) = request_on(&mut reader, "GET", "/errors", &[]);
-    assert_eq!(status, 200);
+    let errors = request_on(&mut reader, "GET", "/errors", &[]);
+    assert_eq!(errors.status, 200);
     assert!(
-        errors.lines().count() > 1,
-        "published study is empty after drain: {errors}"
+        errors.text().lines().count() > 1,
+        "published study is empty after drain: {}",
+        errors.text()
     );
 
     server.shutdown();

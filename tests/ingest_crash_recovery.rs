@@ -13,7 +13,8 @@
 //! entirely from the write-ahead log.
 
 use delta_gpu_resilience::prelude::*;
-use std::io::{BufRead, BufReader, Read, Write};
+use servd::testutil;
+use std::io::{BufRead, BufReader};
 use std::net::TcpStream;
 use std::path::Path;
 use std::process::{Child, Command, Stdio};
@@ -132,9 +133,8 @@ impl Server {
         // The listener is up before the address is printed, but be
         // forgiving about scheduler hiccups around process start.
         for _ in 0..50 {
-            if let Ok(conn) = TcpStream::connect(&self.addr) {
-                conn.set_nodelay(true).expect("nodelay");
-                return conn;
+            if TcpStream::connect(&self.addr).is_ok() {
+                return testutil::connect(&*self.addr);
             }
             std::thread::sleep(Duration::from_millis(20));
         }
@@ -148,40 +148,14 @@ impl Server {
 }
 
 // ------------------------------------------------------- tiny HTTP client
+//
+// The one-write keep-alive client lives in `servd::testutil` (shared by
+// every server suite); this wrapper keeps the `(status, body)` shape the
+// assertions below read naturally.
 
 fn request_on(conn: &mut TcpStream, method: &str, path: &str, body: &[u8]) -> (u16, String) {
-    // One write for head + body: two small writes trip Nagle against the
-    // server's delayed ACK and cost ~40 ms per request.
-    let mut request = format!(
-        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: keep-alive\r\nContent-Length: {}\r\n\r\n",
-        body.len()
-    )
-    .into_bytes();
-    request.extend_from_slice(body);
-    conn.write_all(&request).expect("request written");
-    let mut head = Vec::new();
-    let mut byte = [0u8; 1];
-    while !head.ends_with(b"\r\n\r\n") {
-        assert!(head.len() < 64 * 1024, "unterminated response head");
-        conn.read_exact(&mut byte).expect("response head byte");
-        head.push(byte[0]);
-    }
-    let head = String::from_utf8(head).expect("ASCII head");
-    let status: u16 = head
-        .lines()
-        .next()
-        .and_then(|l| l.split_whitespace().nth(1))
-        .and_then(|s| s.parse().ok())
-        .expect("status line");
-    let length: usize = head
-        .lines()
-        .filter_map(|l| l.split_once(':'))
-        .find(|(n, _)| n.trim().eq_ignore_ascii_case("content-length"))
-        .and_then(|(_, v)| v.trim().parse().ok())
-        .expect("content-length");
-    let mut body = vec![0u8; length];
-    conn.read_exact(&mut body).expect("framed body");
-    (status, String::from_utf8(body).expect("UTF-8 body"))
+    let resp = testutil::request_on(conn, method, path, body);
+    (resp.status, resp.text())
 }
 
 /// POSTs one chunk, retrying through `429` shedding; `200` (fresh or

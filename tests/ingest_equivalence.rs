@@ -23,7 +23,6 @@ use delta_gpu_resilience::prelude::*;
 use hpclog::chaos::{ChaosConfig, ChaosInjector};
 use resilience::csvio;
 use servd::{IngestConfig, ServerConfig, StoreHandle, StudyStore};
-use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -93,70 +92,11 @@ fn scratch(tag: &str) -> PathBuf {
 }
 
 // ------------------------------------------------------- tiny HTTP client
+//
+// The one-write keep-alive client lives in `servd::testutil` (shared by
+// every server suite); only the 429-aware chunk POST is local.
 
-struct HttpResponse {
-    status: u16,
-    headers: Vec<(String, String)>,
-    body: String,
-}
-
-impl HttpResponse {
-    fn header(&self, name: &str) -> Option<&str> {
-        self.headers
-            .iter()
-            .find(|(n, _)| n.eq_ignore_ascii_case(name))
-            .map(|(_, v)| v.as_str())
-    }
-}
-
-/// Issues one request on an existing keep-alive connection and reads the
-/// complete `Content-Length`-framed response.
-fn request_on(conn: &mut TcpStream, method: &str, path: &str, body: &[u8]) -> HttpResponse {
-    // Head and body go out in ONE write: split across two small writes,
-    // Nagle holds the body until the delayed ACK for the head arrives
-    // (~40 ms per request — it turns the suite glacial).
-    let mut request = format!(
-        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: keep-alive\r\nContent-Length: {}\r\n\r\n",
-        body.len()
-    )
-    .into_bytes();
-    request.extend_from_slice(body);
-    conn.write_all(&request).expect("request written");
-    let mut head = Vec::new();
-    let mut byte = [0u8; 1];
-    while !head.ends_with(b"\r\n\r\n") {
-        assert!(head.len() < 64 * 1024, "unterminated response head");
-        conn.read_exact(&mut byte).expect("response head byte");
-        head.push(byte[0]);
-    }
-    let head = String::from_utf8(head).expect("ASCII head");
-    let mut lines = head.lines();
-    let status: u16 = lines
-        .next()
-        .and_then(|l| l.split_whitespace().nth(1))
-        .and_then(|s| s.parse().ok())
-        .expect("status line");
-    let headers: Vec<(String, String)> = lines
-        .filter_map(|l| l.split_once(':'))
-        .map(|(n, v)| (n.trim().to_owned(), v.trim().to_owned()))
-        .collect();
-    let length: usize = headers
-        .iter()
-        .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
-        .and_then(|(_, v)| v.parse().ok())
-        .expect("content-length");
-    let mut body = vec![0u8; length];
-    conn.read_exact(&mut body).expect("framed body");
-    HttpResponse {
-        status,
-        headers,
-        body: String::from_utf8(body).expect("UTF-8 body"),
-    }
-}
-
-fn get_on(conn: &mut TcpStream, path: &str) -> HttpResponse {
-    request_on(conn, "GET", path, &[])
-}
+use servd::testutil::{connect, get_on, request_on};
 
 /// POSTs one chunk with its sequence number, honouring `429` shedding by
 /// backing off and retrying until the server accepts (or the attempt
@@ -183,7 +123,10 @@ fn post_chunk(conn: &mut TcpStream, stream: &str, seq: u64, payload: &[u8]) {
                 // drain a slot.
                 std::thread::sleep(std::time::Duration::from_millis(2));
             }
-            other => panic!("POST /ingest/{stream}?seq={seq} -> {other}: {}", resp.body),
+            other => panic!(
+                "POST /ingest/{stream}?seq={seq} -> {other}: {}",
+                resp.text()
+            ),
         }
     }
     panic!("chunk {stream}/{seq} never accepted after 10000 attempts");
@@ -249,9 +192,7 @@ impl Live {
     }
 
     fn connect(&self) -> TcpStream {
-        let conn = TcpStream::connect(self.server.addr()).expect("connect");
-        conn.set_nodelay(true).expect("nodelay");
-        conn
+        connect(self.server.addr())
     }
 
     /// Graceful stop: HTTP first, then drain + final checkpoint.
@@ -333,15 +274,17 @@ fn post_corpus(conn: &mut TcpStream, d: &Dataset, log: &[u8], chunk: usize) {
 fn assert_converged(conn: &mut TcpStream, expected: &[(&'static str, String)], context: &str) {
     let flushed = request_on(conn, "POST", "/ingest/flush", &[]);
     assert_eq!(
-        flushed.status, 200,
+        flushed.status,
+        200,
         "{context}: flush failed: {}",
-        flushed.body
+        flushed.text()
     );
     for (path, body) in expected {
         let resp = get_on(conn, path);
         assert_eq!(resp.status, 200, "{context} {path}");
         assert_eq!(
-            &resp.body, body,
+            &resp.text(),
+            body,
             "{context} {path} diverged from the oracle"
         );
     }
@@ -447,8 +390,7 @@ fn acknowledged_chunks_survive_a_restart_and_duplicates_are_absorbed() {
             Some(Arc::clone(&recovered.handle)),
         )
         .expect("server starts");
-        let mut conn = TcpStream::connect(server.addr()).expect("connect");
-        conn.set_nodelay(true).expect("nodelay");
+        let mut conn = connect(server.addr());
         for (i, piece) in chunks.iter().enumerate().take(40) {
             let resp = request_on(&mut conn, "POST", &format!("/ingest/logs?seq={i}"), piece);
             assert_eq!(resp.status, 200, "phase A chunk {i}");
@@ -465,9 +407,9 @@ fn acknowledged_chunks_survive_a_restart_and_duplicates_are_absorbed() {
     let mut conn = live.connect();
     let status = get_on(&mut conn, "/ingest/status");
     assert!(
-        status.body.contains(&format!("\"accepted\":{acked}")),
+        status.text().contains(&format!("\"accepted\":{acked}")),
         "restart lost acknowledged chunks: {}",
-        status.body
+        status.text()
     );
 
     // A client that never saw the acks re-sends from an earlier seq; the

@@ -1,0 +1,389 @@
+//! Byte-split fuzz battery for the incremental HTTP parser.
+//!
+//! `servd::http` deliberately carries two implementations of the same
+//! request grammar: the blocking one-shot [`servd::http::read_request`]
+//! (the oracle — simple, linear, battle-tested by every integration
+//! suite) and the incremental [`servd::http::Parser`] the epoll event
+//! loop feeds from non-blocking sockets. The event loop sees requests
+//! arbitrarily fragmented by the kernel, so the property that matters
+//! is: **for every request byte string and every way of splitting it,
+//! the incremental parser reaches exactly the verdicts the one-shot
+//! reader reaches on the whole string** — same accepted requests
+//! (method, path, query, body, keep-alive), same rejection taxonomy
+//! (and therefore the same status codes), same end-of-stream behaviour,
+//! same pipelining.
+//!
+//! Three split regimes: every single-cut boundary (exhaustive), one
+//! byte per push (maximal fragmentation), and random multi-cut
+//! schedules drawn and shrunk by `propcheck`. The corpus is the
+//! serve-equivalence request surface plus every rejection path the
+//! grammar documents. Slowloris legs exercise the parser's body
+//! wall-clock budget with a synthetic clock and the idle/mid-request
+//! distinction the event loop's timer wheel keys on.
+
+use servd::http::{read_request, ParseProgress, Parser, ReadOutcome, Request, RequestLimits};
+use std::time::{Duration, Instant};
+
+// ------------------------------------------------------------- corpus
+
+/// Every request shape the serving surface accepts, plus every
+/// rejection path `parse_head` documents. Each entry is a complete
+/// connection transcript (possibly pipelined, possibly truncated).
+fn corpus() -> Vec<Vec<u8>> {
+    let mut c: Vec<Vec<u8>> = vec![
+        // The full GET surface, as the integration suites send it.
+        b"GET /healthz HTTP/1.1\r\n\r\n".to_vec(),
+        b"GET /errors HTTP/1.1\r\nHost: x\r\nConnection: keep-alive\r\n\r\n".to_vec(),
+        b"GET /errors?host=gpub001&xid=79&from=100&to=2000 HTTP/1.1\r\nHost: x\r\n\r\n".to_vec(),
+        b"GET /errors?host=gpub%30%31&xid=74&from=1+2 HTTP/1.1\r\n\r\n".to_vec(),
+        b"GET /mtbe?kind=xid_79 HTTP/1.1\r\n\r\n".to_vec(),
+        b"GET /tables/1 HTTP/1.1\r\nConnection: close\r\n\r\n".to_vec(),
+        b"GET /tables/2 HTTP/1.0\r\n\r\n".to_vec(),
+        b"GET /tables/3 HTTP/1.0\r\nConnection: keep-alive\r\n\r\n".to_vec(),
+        b"GET /fig2 HTTP/1.1\r\n\r\n".to_vec(),
+        b"GET /jobs/impact HTTP/1.1\r\n\r\n".to_vec(),
+        b"GET /availability HTTP/1.1\r\n\r\n".to_vec(),
+        b"GET /snapshot HTTP/1.1\r\n\r\n".to_vec(),
+        b"GET /metrics HTTP/1.1\r\n\r\n".to_vec(),
+        b"HEAD /errors HTTP/1.1\r\n\r\n".to_vec(),
+        // Bare-LF head terminator (the grammar accepts both).
+        b"GET /healthz HTTP/1.1\n\n".to_vec(),
+        b"GET /errors?xid=48 HTTP/1.1\nHost: y\n\n".to_vec(),
+        // POST ingest with a real body, zero-length body, and flush.
+        post("/ingest/logs?seq=0", SYSLOG_LINE),
+        post("/ingest/jobs?seq=3", b"1,2,3\n4,5,6\n"),
+        post("/ingest/flush", b""),
+        // Rejection taxonomy: each maps to a distinct ReadOutcome.
+        b"POST /ingest/logs HTTP/1.1\r\n\r\n".to_vec(), // LengthRequired
+        b"POST /ingest/logs HTTP/1.1\r\nContent-Length: abc\r\n\r\n".to_vec(),
+        b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n".to_vec(),
+        b"GET /errors HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello".to_vec(),
+        b"GET /errors HTTP/2.0\r\n\r\n".to_vec(),
+        b"GET /healthz\r\n\r\n".to_vec(), // no version: bad request line
+        b"GET /%zz HTTP/1.1\r\n\r\n".to_vec(),
+        b"GET /errors?host=%4 HTTP/1.1\r\n\r\n".to_vec(),
+        b"GET /\xff\xfe HTTP/1.1\r\n\r\n".to_vec(), // non-UTF-8 head
+        // Truncated transcripts: mid-head and mid-body EOF.
+        b"GET /errors?host=gp".to_vec(),
+        b"POST /ingest/logs HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort".to_vec(),
+        // Empty connection: open, never write, close.
+        Vec::new(),
+    ];
+    // Pipelined transcripts: several requests back to back on one
+    // buffer, including a POST in the middle.
+    let mut pipelined = Vec::new();
+    pipelined.extend_from_slice(b"GET /healthz HTTP/1.1\r\n\r\n");
+    pipelined.extend_from_slice(b"GET /errors?xid=79 HTTP/1.1\r\n\r\n");
+    pipelined.extend_from_slice(b"GET /snapshot HTTP/1.1\r\nConnection: close\r\n\r\n");
+    c.push(pipelined);
+    let mut mixed = Vec::new();
+    mixed.extend_from_slice(b"GET /tables/1 HTTP/1.1\r\n\r\n");
+    mixed.extend_from_slice(&post("/ingest/logs?seq=1", SYSLOG_LINE));
+    mixed.extend_from_slice(b"GET /snapshot HTTP/1.1\r\n\r\n");
+    c.push(mixed);
+    c
+}
+
+const SYSLOG_LINE: &[u8] = b"Mar 10 04:00:00 gpub001 kernel: NVRM: Xid (PCI:0000:07:00): 79, pid=1234, GPU has fallen off the bus.\n";
+
+fn post(path: &str, body: &[u8]) -> Vec<u8> {
+    let mut raw = Vec::new();
+    raw.extend_from_slice(
+        format!(
+            "POST {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    );
+    raw.extend_from_slice(body);
+    raw
+}
+
+// ---------------------------------------------------------- verdicts
+
+/// A comparable rendering of one parse verdict. Requests flatten to
+/// their full observable content; failures keep the variant *and* the
+/// status code the server maps it to, so a taxonomy drift between the
+/// two implementations shows up even where the message text agrees.
+fn outcome_verdict(o: &ReadOutcome) -> String {
+    match o {
+        ReadOutcome::Request(r) => request_verdict(r),
+        ReadOutcome::Closed => "Closed".to_owned(),
+        ReadOutcome::TooLarge => "TooLarge(413)".to_owned(),
+        ReadOutcome::BodyTooLarge => "BodyTooLarge(413)".to_owned(),
+        ReadOutcome::LengthRequired => "LengthRequired(411)".to_owned(),
+        ReadOutcome::TimedOut => "TimedOut(408)".to_owned(),
+        ReadOutcome::Malformed(why) => format!("Malformed(400, {why})"),
+    }
+}
+
+fn request_verdict(r: &Request) -> String {
+    format!(
+        "Request({} {} ? {:?} body={:?} keep_alive={})",
+        r.method, r.path, r.query, r.body, r.keep_alive
+    )
+}
+
+/// The oracle: run the one-shot blocking reader over the whole
+/// transcript (a byte slice is a `Read` that EOFs at its end),
+/// draining request after request until a non-request verdict, exactly
+/// as the blocking accept loop would on a keep-alive connection.
+fn oracle_verdicts(raw: &[u8], limits: &RequestLimits) -> Vec<String> {
+    let mut cursor = raw;
+    let mut out = Vec::new();
+    loop {
+        let outcome = read_request(&mut cursor, limits);
+        let done = !matches!(outcome, ReadOutcome::Request(_));
+        out.push(outcome_verdict(&outcome));
+        if done {
+            return out;
+        }
+    }
+}
+
+/// The subject: feed the same transcript through the incremental
+/// parser in segments cut at `cuts` (sorted positions into `raw`),
+/// polling after every push as the event loop does, then signal EOF
+/// via `close()` and map it to the oracle's end-of-stream verdicts.
+fn incremental_verdicts(raw: &[u8], cuts: &[usize], limits: &RequestLimits) -> Vec<String> {
+    let mut parser = Parser::new(*limits);
+    let mut out = Vec::new();
+    let mut prev = 0usize;
+    let mut segments: Vec<&[u8]> = Vec::new();
+    for &cut in cuts {
+        segments.push(&raw[prev..cut]);
+        prev = cut;
+    }
+    segments.push(&raw[prev..]);
+    for segment in segments {
+        parser.push(segment);
+        loop {
+            match parser.poll(None) {
+                ParseProgress::NeedMore => break,
+                ParseProgress::Done(r) => out.push(request_verdict(&r)),
+                ParseProgress::Fail(outcome) => {
+                    out.push(outcome_verdict(&outcome));
+                    return out;
+                }
+            }
+        }
+    }
+    match parser.close() {
+        None => out.push("Closed".to_owned()),
+        Some(outcome) => out.push(outcome_verdict(&outcome)),
+    }
+    out
+}
+
+/// Asserts one transcript parses identically under one split schedule.
+fn assert_equivalent(raw: &[u8], cuts: &[usize], limits: &RequestLimits) {
+    let expected = oracle_verdicts(raw, limits);
+    let actual = incremental_verdicts(raw, cuts, limits);
+    assert_eq!(
+        actual,
+        expected,
+        "split schedule {cuts:?} over {:?} diverged from the one-shot reader",
+        String::from_utf8_lossy(raw)
+    );
+}
+
+// ------------------------------------------------------ split regimes
+
+/// Exhaustive single-cut sweep: every transcript, split at every byte
+/// boundary (plus the no-cut whole-buffer case), must parse exactly as
+/// the oracle parses the whole transcript.
+#[test]
+fn every_single_byte_boundary_is_equivalent() {
+    let limits = RequestLimits::unbounded();
+    for raw in corpus() {
+        assert_equivalent(&raw, &[], &limits);
+        for cut in 1..raw.len() {
+            assert_equivalent(&raw, &[cut], &limits);
+        }
+    }
+}
+
+/// Maximal fragmentation: one byte per push — the worst case a
+/// non-blocking socket can produce.
+#[test]
+fn one_byte_per_push_is_equivalent() {
+    let limits = RequestLimits::unbounded();
+    for raw in corpus() {
+        let cuts: Vec<usize> = (1..raw.len()).collect();
+        assert_equivalent(&raw, &cuts, &limits);
+    }
+}
+
+/// Random multi-cut schedules, shrunk on failure: propcheck draws a
+/// corpus entry and a random set of cut positions; a diverging
+/// schedule is reported as its locally minimal cut set.
+#[test]
+fn random_split_schedules_are_equivalent() {
+    let corpus = corpus();
+    let limits = RequestLimits::unbounded();
+    propcheck::run_shrinking(
+        "parser_fuzz::random_split_schedules",
+        300,
+        |g| {
+            // Gen ranges are half-open [lo, hi).
+            let which = g.usize_in(0, corpus.len());
+            let len = corpus[which].len();
+            let n_cuts = g.usize_in(0, 13.min(len + 1));
+            let mut cuts: Vec<usize> = if len > 1 {
+                (0..n_cuts).map(|_| g.usize_in(1, len)).collect()
+            } else {
+                Vec::new()
+            };
+            cuts.sort_unstable();
+            cuts.dedup();
+            (which, cuts)
+        },
+        |(which, cuts)| {
+            // Shrink only the schedule; the corpus entry is the case.
+            propcheck::shrink_vec(cuts)
+                .into_iter()
+                .map(|c| (*which, c))
+                .collect()
+        },
+        |(which, cuts)| {
+            let raw = &corpus[*which];
+            let expected = oracle_verdicts(raw, &RequestLimits::unbounded());
+            let actual = incremental_verdicts(raw, cuts, &RequestLimits::unbounded());
+            if actual == expected {
+                Ok(())
+            } else {
+                Err(format!(
+                    "corpus[{which}] {:?}: oracle {expected:?} vs incremental {actual:?}",
+                    String::from_utf8_lossy(raw)
+                ))
+            }
+        },
+    );
+    // The limits binding documents intent for the exhaustive legs; the
+    // property builds its own copy per case.
+    let _ = limits;
+}
+
+/// The byte caps must fire identically however the input is split: a
+/// head one byte over the cap is `TooLarge` even though it terminates,
+/// and an oversized declared body is `BodyTooLarge` before any body
+/// byte is consumed.
+#[test]
+fn caps_fire_identically_across_splits() {
+    let tight = RequestLimits {
+        max_head_bytes: 32,
+        max_body_bytes: 8,
+        body_timeout: None,
+    };
+    let cases: Vec<Vec<u8>> = vec![
+        b"GET /healthz HTTP/1.1\r\n\r\n".to_vec(), // 25 bytes: fits
+        b"GET /errors?host=gpub001 HTTP/1.1\r\n\r\n".to_vec(), // over the head cap
+        post("/i", b"12345678"),                   // body exactly at cap
+        post("/i", b"123456789"),                  // body one over cap
+    ];
+    for raw in cases {
+        assert_equivalent(&raw, &[], &tight);
+        for cut in 1..raw.len() {
+            assert_equivalent(&raw, &[cut], &tight);
+        }
+        let every: Vec<usize> = (1..raw.len()).collect();
+        assert_equivalent(&raw, &every, &tight);
+    }
+}
+
+// -------------------------------------------------- slowloris timeouts
+
+/// A slowloris dripping its *body* exhausts the parser's wall-clock
+/// budget: the poll after the budget elapses fails `TimedOut` (→ 408)
+/// even though bytes are still trickling in.
+#[test]
+fn body_slowloris_times_out_at_the_budget() {
+    let limits = RequestLimits {
+        body_timeout: Some(Duration::from_millis(50)),
+        ..RequestLimits::unbounded()
+    };
+    let raw = post("/ingest/logs?seq=0", b"0123456789");
+    let head_len = raw.len() - 10;
+    let t0 = Instant::now();
+
+    let mut parser = Parser::new(limits);
+    parser.push(&raw[..head_len]);
+    assert!(
+        matches!(parser.poll(Some(t0)), ParseProgress::NeedMore),
+        "head alone must not complete a POST"
+    );
+    // One body byte per poll, well inside the budget: still waiting.
+    parser.push(&raw[head_len..head_len + 1]);
+    let within = t0 + Duration::from_millis(10);
+    assert!(matches!(parser.poll(Some(within)), ParseProgress::NeedMore));
+    assert!(
+        parser.body_started().is_some(),
+        "body phase must expose its start for the timer wheel"
+    );
+    // The next drip lands past the budget: 408, and the parser stays
+    // poisoned afterwards (the connection is closing anyway).
+    parser.push(&raw[head_len + 1..head_len + 2]);
+    let beyond = t0 + Duration::from_millis(60);
+    assert!(
+        matches!(
+            parser.poll(Some(beyond)),
+            ParseProgress::Fail(ReadOutcome::TimedOut)
+        ),
+        "body read past its wall-clock budget must map to 408"
+    );
+    assert!(matches!(parser.poll(Some(beyond)), ParseProgress::Fail(_)));
+
+    // Control: the same drip schedule with the clock held inside the
+    // budget completes normally.
+    let mut patient = Parser::new(limits);
+    patient.push(&raw[..head_len]);
+    let _ = patient.poll(Some(t0));
+    for (i, b) in raw[head_len..].iter().enumerate() {
+        patient.push(std::slice::from_ref(b));
+        let now = t0 + Duration::from_millis(i as u64); // ≤ 9ms < 50ms
+        match patient.poll(Some(now)) {
+            ParseProgress::NeedMore => assert!(i + 1 < 10),
+            ParseProgress::Done(r) => {
+                assert_eq!(i + 1, 10, "completed before the body was whole");
+                assert_eq!(r.body, b"0123456789");
+            }
+            ParseProgress::Fail(o) => panic!("in-budget drip failed: {o:?}"),
+        }
+    }
+}
+
+/// A slowloris stalling mid-*head* never reaches the body budget — the
+/// event loop's request deadline covers it — but the parser must
+/// expose the idle/mid-request distinction that deadline keys on: an
+/// idle keep-alive connection closes silently, a stalled head answers
+/// 408. EOF mid-head maps to the same `Malformed` the oracle gives.
+#[test]
+fn head_slowloris_is_mid_request_not_idle() {
+    let mut parser = Parser::new(RequestLimits::unbounded());
+    assert!(parser.is_idle(), "fresh connection is idle");
+    assert!(!parser.mid_request());
+
+    parser.push(b"GET /err");
+    assert!(matches!(parser.poll(None), ParseProgress::NeedMore));
+    assert!(
+        parser.mid_request() && !parser.is_idle(),
+        "a partial head must count as mid-request so the request \
+         deadline answers 408 instead of closing silently"
+    );
+    assert!(
+        parser.body_started().is_none(),
+        "no body budget before the head completes"
+    );
+
+    // The peer gives up: EOF mid-head is the oracle's mid-request
+    // malformed close, not a quiet Closed.
+    let at_eof = parser.close();
+    assert!(
+        matches!(at_eof, Some(ReadOutcome::Malformed(_))),
+        "EOF mid-head must be Malformed, got {at_eof:?}"
+    );
+
+    // And the idle path: a parser that saw nothing closes quietly.
+    let mut idle = Parser::new(RequestLimits::unbounded());
+    assert!(idle.close().is_none(), "idle EOF closes without a verdict");
+}

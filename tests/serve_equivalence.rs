@@ -17,8 +17,6 @@ use hpclog::{PciAddr, XidEvent};
 use resilience::csvio;
 use servd::{ServerConfig, StoreHandle, StudyStore};
 use std::fmt::Write as _;
-use std::io::{Read, Write};
-use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use xid::XidCode;
@@ -73,60 +71,11 @@ fn dataset(chaos_rate: f64) -> Dataset {
 }
 
 // ------------------------------------------------------- tiny HTTP client
+//
+// The one-write keep-alive client lives in `servd::testutil` (shared by
+// every server suite); this file only aliases the GET helper.
 
-struct HttpResponse {
-    status: u16,
-    headers: Vec<(String, String)>,
-    body: String,
-}
-
-impl HttpResponse {
-    fn header(&self, name: &str) -> Option<&str> {
-        self.headers
-            .iter()
-            .find(|(n, _)| n.eq_ignore_ascii_case(name))
-            .map(|(_, v)| v.as_str())
-    }
-}
-
-/// Issues one GET on an existing keep-alive connection and reads the
-/// complete `Content-Length`-framed response.
-fn get_on(conn: &mut TcpStream, path: &str) -> HttpResponse {
-    conn.write_all(
-        format!("GET {path} HTTP/1.1\r\nHost: test\r\nConnection: keep-alive\r\n\r\n").as_bytes(),
-    )
-    .expect("request written");
-    let mut head = Vec::new();
-    let mut byte = [0u8; 1];
-    while !head.ends_with(b"\r\n\r\n") {
-        assert!(head.len() < 64 * 1024, "unterminated response head");
-        conn.read_exact(&mut byte).expect("response head byte");
-        head.push(byte[0]);
-    }
-    let head = String::from_utf8(head).expect("ASCII head");
-    let mut lines = head.lines();
-    let status: u16 = lines
-        .next()
-        .and_then(|l| l.split_whitespace().nth(1))
-        .and_then(|s| s.parse().ok())
-        .expect("status line");
-    let headers: Vec<(String, String)> = lines
-        .filter_map(|l| l.split_once(':'))
-        .map(|(n, v)| (n.trim().to_owned(), v.trim().to_owned()))
-        .collect();
-    let length: usize = headers
-        .iter()
-        .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
-        .and_then(|(_, v)| v.parse().ok())
-        .expect("content-length");
-    let mut body = vec![0u8; length];
-    conn.read_exact(&mut body).expect("framed body");
-    HttpResponse {
-        status,
-        headers,
-        body: String::from_utf8(body).expect("UTF-8 body"),
-    }
-}
+use servd::testutil::{connect, get_on};
 
 fn serve(handle: Arc<StoreHandle>) -> servd::RunningServer {
     servd::start(
@@ -238,7 +187,7 @@ fn every_endpoint_is_byte_identical_to_the_offline_oracle() {
         let handle = Arc::new(StoreHandle::new(store));
         let server = serve(Arc::clone(&handle));
         let addr = server.addr();
-        let mut conn = TcpStream::connect(addr).expect("connect");
+        let mut conn = connect(addr);
 
         // The paper surfaces, byte-for-byte against the offline renderers.
         for (path, expected) in [
@@ -249,7 +198,7 @@ fn every_endpoint_is_byte_identical_to_the_offline_oracle() {
         ] {
             let resp = get_on(&mut conn, path);
             assert_eq!(resp.status, 200, "chaos={chaos_rate} {path}");
-            assert_eq!(resp.body, expected, "chaos={chaos_rate} {path}");
+            assert_eq!(resp.text(), expected, "chaos={chaos_rate} {path}");
             assert_eq!(resp.header("X-Snapshot"), Some("1"));
         }
 
@@ -261,13 +210,13 @@ fn every_endpoint_is_byte_identical_to_the_offline_oracle() {
             "total_gpu_failed_jobs,{}",
             oracle.impact.gpu_failed_jobs()
         );
-        assert_eq!(resp.body, expected, "chaos={chaos_rate} /jobs/impact");
+        assert_eq!(resp.text(), expected, "chaos={chaos_rate} /jobs/impact");
         assert_eq!(resp.header("Content-Type"), Some("text/csv; charset=utf-8"));
 
         // Availability JSON.
         let resp = get_on(&mut conn, "/availability");
         assert_eq!(
-            resp.body,
+            resp.text(),
             brute_force_availability(&oracle),
             "chaos={chaos_rate} /availability"
         );
@@ -275,12 +224,12 @@ fn every_endpoint_is_byte_identical_to_the_offline_oracle() {
 
         // MTBE rows, full and restricted.
         assert_eq!(
-            get_on(&mut conn, "/mtbe").body,
+            get_on(&mut conn, "/mtbe").text(),
             brute_force_mtbe(&oracle, None),
             "chaos={chaos_rate} /mtbe"
         );
         assert_eq!(
-            get_on(&mut conn, "/mtbe?xid=119").body,
+            get_on(&mut conn, "/mtbe?xid=119").text(),
             brute_force_mtbe(&oracle, Some(ErrorKind::GspError)),
             "chaos={chaos_rate} /mtbe?xid=119"
         );
@@ -331,7 +280,7 @@ fn every_endpoint_is_byte_identical_to_the_offline_oracle() {
         for (path, expected) in &legs {
             let resp = get_on(&mut conn, path);
             assert_eq!(resp.status, 200, "chaos={chaos_rate} {path}");
-            assert_eq!(&resp.body, expected, "chaos={chaos_rate} {path}");
+            assert_eq!(&resp.text(), expected, "chaos={chaos_rate} {path}");
         }
         // The non-trivial legs must actually select something.
         assert!(legs[1].1.lines().count() > 1, "host leg selected nothing");
@@ -396,7 +345,7 @@ fn no_reader_observes_a_torn_response_across_snapshot_swaps() {
             let body_a = body_a.clone();
             let body_b = body_b.clone();
             std::thread::spawn(move || {
-                let mut conn = TcpStream::connect(addr).expect("reader connects");
+                let mut conn = connect(addr);
                 let (mut served, mut saw_b) = (0u64, 0u64);
                 while !stop.load(Ordering::Relaxed) {
                     let resp = get_on(&mut conn, "/errors");
@@ -410,7 +359,8 @@ fn no_reader_observes_a_torn_response_across_snapshot_swaps() {
                     // a mix and never a partial write.
                     let expected = if id % 2 == 1 { &body_a } else { &body_b };
                     assert_eq!(
-                        &resp.body, expected,
+                        &resp.text(),
+                        expected,
                         "snapshot {id} served the wrong or a torn body"
                     );
                     served += 1;
@@ -447,7 +397,7 @@ fn cache_hits_reordered_queries_and_invalidates_on_publish() {
     let report = synthetic_report(0);
     let handle = Arc::new(StoreHandle::new(StudyStore::build(report.clone(), None)));
     let server = serve(Arc::clone(&handle));
-    let mut conn = TcpStream::connect(server.addr()).expect("connect");
+    let mut conn = connect(server.addr());
 
     let miss = get_on(&mut conn, "/errors?host=gpub001&xid=119");
     assert_eq!(miss.header("X-Cache"), Some("miss"));
@@ -467,7 +417,7 @@ fn cache_hits_reordered_queries_and_invalidates_on_publish() {
     // Snapshot-independent endpoints never carry cache headers.
     let health = get_on(&mut conn, "/healthz");
     assert_eq!(health.header("X-Cache"), None);
-    assert_eq!(health.body, "ok\n");
+    assert_eq!(health.text(), "ok\n");
     server.shutdown();
 }
 
@@ -480,7 +430,7 @@ fn streaming_publishes_feed_the_server_live() {
         None,
     )));
     let server = serve(Arc::clone(&handle));
-    let mut conn = TcpStream::connect(server.addr()).expect("connect");
+    let mut conn = connect(server.addr());
     assert_eq!(
         get_on(&mut conn, "/snapshot").header("X-Snapshot"),
         Some("1")
@@ -501,9 +451,12 @@ fn streaming_publishes_feed_the_server_live() {
     let resp = get_on(&mut conn, "/errors");
     assert_eq!(resp.header("X-Snapshot"), Some("2"));
     assert_eq!(
-        resp.body,
+        resp.text(),
         brute_force_errors(&oracle, None, None, None, None)
     );
-    assert_eq!(get_on(&mut conn, "/tables/1").body, report::table1(&oracle));
+    assert_eq!(
+        get_on(&mut conn, "/tables/1").text(),
+        report::table1(&oracle)
+    );
     server.shutdown();
 }
