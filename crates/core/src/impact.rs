@@ -13,7 +13,7 @@
 use crate::coalesce::CoalescedError;
 use crate::histogram::{mean, percentile_sorted};
 use crate::job::AccountedJob;
-use simtime::Duration;
+use simtime::{Duration, Timestamp};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use xid::ErrorKind;
 
@@ -46,6 +46,12 @@ impl KindImpact {
 pub struct JobImpact {
     per_kind: BTreeMap<ErrorKind, KindImpact>,
     gpu_failed_jobs: u64,
+    /// Distinct GPU-failed jobs as `(termination instant, job id)`,
+    /// ascending by job id — the impact rollup buckets these.
+    failed_ends: Vec<(Timestamp, u64)>,
+    /// One entry per attributed `(kind, job)` pair as
+    /// `(termination instant, kind, job id)`, kind-major order.
+    attributions: Vec<(Timestamp, ErrorKind, u64)>,
 }
 
 impl JobImpact {
@@ -67,9 +73,8 @@ impl JobImpact {
             list.sort_by_key(|&i| jobs[i].start);
         }
 
-        let mut encountered: BTreeMap<ErrorKind, BTreeSet<u64>> = BTreeMap::new();
-        let mut failed: BTreeMap<ErrorKind, BTreeSet<u64>> = BTreeMap::new();
-        let mut gpu_failed: BTreeSet<u64> = BTreeSet::new();
+        let mut enc_events: Vec<(ErrorKind, u64)> = Vec::new();
+        let mut fail_events: Vec<(ErrorKind, u64, Timestamp)> = Vec::new();
         for err in errors {
             let Some(gpu_index) = err.gpu_index() else {
                 continue;
@@ -94,12 +99,35 @@ impl JobImpact {
                 if job.end < err.time {
                     break;
                 }
-                encountered.entry(err.kind).or_default().insert(job.id);
+                enc_events.push((err.kind, job.id));
                 if !job.completed && job.end - err.time <= window {
-                    failed.entry(err.kind).or_default().insert(job.id);
-                    gpu_failed.insert(job.id);
+                    fail_events.push((err.kind, job.id, job.end));
                 }
             }
+        }
+
+        // The Table II tallies are instantiations of the shared
+        // aggregation kernel: group the encounter/attribution event
+        // streams by kind, folding distinct job sets. The attribution
+        // fold keeps each job's termination instant so the rollup layer
+        // can re-bucket the same events by civil time.
+        let encountered: BTreeMap<ErrorKind, BTreeSet<u64>> = crate::rollup::group_fold(
+            enc_events,
+            |&(kind, _)| Some(kind),
+            |jobs: &mut BTreeSet<u64>, (_, id)| {
+                jobs.insert(id);
+            },
+        );
+        let failed: BTreeMap<ErrorKind, BTreeMap<u64, Timestamp>> = crate::rollup::group_fold(
+            fail_events.iter().copied(),
+            |&(kind, _, _)| Some(kind),
+            |jobs: &mut BTreeMap<u64, Timestamp>, (_, id, end)| {
+                jobs.insert(id, end);
+            },
+        );
+        let mut gpu_failed: BTreeMap<u64, Timestamp> = BTreeMap::new();
+        for &(_, id, end) in &fail_events {
+            gpu_failed.insert(id, end);
         }
 
         let kinds: BTreeSet<ErrorKind> = encountered.keys().chain(failed.keys()).copied().collect();
@@ -110,7 +138,7 @@ impl JobImpact {
                     k,
                     KindImpact {
                         encountered: encountered.get(&k).map_or(0, BTreeSet::len) as u64,
-                        failed: failed.get(&k).map_or(0, BTreeSet::len) as u64,
+                        failed: failed.get(&k).map_or(0, BTreeMap::len) as u64,
                     },
                 )
             })
@@ -118,9 +146,15 @@ impl JobImpact {
         if obs::is_enabled() {
             obs::counter("core_attribution_window_hits_total", &[]).add(gpu_failed.len() as u64);
         }
+        let attributions = failed
+            .iter()
+            .flat_map(|(&kind, jobs)| jobs.iter().map(move |(&id, &end)| (end, kind, id)))
+            .collect();
         JobImpact {
             per_kind,
             gpu_failed_jobs: gpu_failed.len() as u64,
+            failed_ends: gpu_failed.iter().map(|(&id, &end)| (end, id)).collect(),
+            attributions,
         }
     }
 
@@ -137,6 +171,19 @@ impl JobImpact {
     /// Total distinct GPU-failed jobs (the paper reports 3,285).
     pub fn gpu_failed_jobs(&self) -> u64 {
         self.gpu_failed_jobs
+    }
+
+    /// Distinct GPU-failed jobs as `(termination instant, job id)` —
+    /// the events the impact rollup buckets by civil time.
+    pub fn failed_job_ends(&self) -> impl Iterator<Item = (Timestamp, u64)> + '_ {
+        self.failed_ends.iter().copied()
+    }
+
+    /// Attributed `(kind, job)` pairs as `(termination instant, kind,
+    /// job id)`. A job attributed to several kinds appears once per
+    /// kind, matching the Table II per-kind `failed` counts.
+    pub fn attributions(&self) -> impl Iterator<Item = (Timestamp, ErrorKind, u64)> + '_ {
+        self.attributions.iter().copied()
     }
 }
 
@@ -183,13 +230,23 @@ pub const MIX_BUCKETS: [(u32, u32, &str); 8] = [
 pub fn job_mix(jobs: &[AccountedJob]) -> Vec<JobMixRow> {
     let gpu_jobs: Vec<&AccountedJob> = jobs.iter().filter(|j| j.gpus > 0).collect();
     let total = gpu_jobs.len().max(1) as f64;
+    // Table III through the shared aggregation kernel: group GPU jobs by
+    // mix-bucket index (the buckets are disjoint, so the first match is
+    // the only match), preserving input order within each group.
+    let grouped: BTreeMap<usize, Vec<&AccountedJob>> = crate::rollup::group_fold(
+        gpu_jobs.iter().copied(),
+        |j| {
+            MIX_BUCKETS
+                .iter()
+                .position(|&(lo, hi, _)| j.gpus >= lo && j.gpus <= hi)
+        },
+        |group: &mut Vec<&AccountedJob>, j| group.push(j),
+    );
     MIX_BUCKETS
         .iter()
-        .map(|&(lo, hi, label)| {
-            let bucket: Vec<&&AccountedJob> = gpu_jobs
-                .iter()
-                .filter(|j| j.gpus >= lo && j.gpus <= hi)
-                .collect();
+        .enumerate()
+        .map(|(index, &(lo, hi, label))| {
+            let bucket: &[&AccountedJob] = grouped.get(&index).map_or(&[], Vec::as_slice);
             let mut mins: Vec<f64> = bucket.iter().map(|j| j.elapsed().as_mins_f64()).collect();
             mins.sort_by(f64::total_cmp);
             let (ml, non_ml) = bucket.iter().fold((0.0, 0.0), |(ml, non), j| {

@@ -29,6 +29,10 @@
 //!   distribution.
 //! * [`histogram`] — fixed-bin histograms and percentiles used by both.
 //! * [`report`] — ASCII and CSV renderers for every table and figure.
+//! * [`rollup`] — the shared grouped-fold aggregation kernel the table
+//!   computations route through, plus DST-correct civil-time rollup
+//!   cubes (errors, impact, availability) built per store shard and
+//!   k-way merged for the serving layer.
 //! * [`survival`] — Kaplan–Meier time-to-first-error analysis (the Titan
 //!   survival-analysis lens from the paper's related work).
 //! * [`spatial`] — per-GPU error concentration: top-k shares, Gini
@@ -90,6 +94,7 @@ pub mod markdown;
 pub mod parallel;
 pub mod pipeline;
 pub mod report;
+pub mod rollup;
 pub mod spatial;
 pub mod stats;
 pub mod survival;

@@ -244,6 +244,7 @@ impl Pipeline {
             gpu_success: success_rate(gpu_jobs),
             cpu_success: success_rate(cpu_jobs),
             availability,
+            op_outages,
             mttf_hours,
         }
     }
@@ -284,6 +285,10 @@ pub struct StudyReport {
     pub cpu_success: Option<f64>,
     /// §V-C availability analysis over the operational period.
     pub availability: Availability,
+    /// The operational-period outages the availability analysis was
+    /// computed from — retained so the serving layer can re-bucket
+    /// downtime by civil time (the availability rollup).
+    pub op_outages: Vec<OutageRecord>,
     /// MTTF estimate (overall operational per-node MTBE), the paper's
     /// conservative every-error-interrupts assumption.
     pub mttf_hours: Option<f64>,

@@ -45,18 +45,17 @@ impl ErrorStats {
     /// Panics if `node_count` is zero.
     pub fn compute(errors: &[CoalescedError], periods: StudyPeriods, node_count: usize) -> Self {
         assert!(node_count > 0, "node_count must be positive");
-        let mut counts: BTreeMap<ErrorKind, (u64, u64)> = BTreeMap::new();
-        for e in errors {
-            if !e.kind.is_studied() {
-                continue;
-            }
-            let entry = counts.entry(e.kind).or_insert((0, 0));
-            match periods.period_of(e.time) {
+        // Table I is one instantiation of the shared aggregation kernel:
+        // group by kind, fold phase membership into (pre_op, op) counts.
+        let counts = crate::rollup::group_fold(
+            errors.iter().filter(|e| e.kind.is_studied()),
+            |e| Some(e.kind),
+            |entry: &mut (u64, u64), e| match periods.period_of(e.time) {
                 Some(Phase::PreOp) => entry.0 += 1,
                 Some(Phase::Op) => entry.1 += 1,
                 None => {}
-            }
-        }
+            },
+        );
         ErrorStats {
             periods,
             node_count,

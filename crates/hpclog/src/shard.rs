@@ -132,9 +132,11 @@ impl<T, C: Fn(&T, &T) -> std::cmp::Ordering> Ord for Pending<'_, T, C> {
 /// id — independent of how items are distributed over streams).
 ///
 /// This is the one merge kernel in the workspace: the sharded ingest
-/// pipeline merges per-host event streams through it, and `servd`'s
+/// pipeline merges per-host event streams through it, `servd`'s
 /// scatter-gather store merges per-shard query slices with the same
-/// machinery.
+/// machinery, and the rollup layer merges per-shard cube cells by bucket
+/// start (summing equal starts afterwards) — which is why a rollup cube
+/// is byte-identical whether the store was built with 1 shard or 8.
 pub fn merge_sorted_by<T, C: Fn(&T, &T) -> std::cmp::Ordering>(
     streams: Vec<Vec<T>>,
     cmp: C,

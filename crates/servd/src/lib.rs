@@ -77,4 +77,4 @@ pub mod wheel;
 pub use cache::ResponseCache;
 pub use ingest::{IngestConfig, IngestError, IngestHandle, IngestStream, IngestWorker};
 pub use server::{start, start_with_ingest, RunningServer, ServeError, ServerConfig};
-pub use store::{ErrorFilter, StoreHandle, StudyStore};
+pub use store::{ErrorFilter, RollupMetric, RollupQuery, StoreHandle, StudyStore};

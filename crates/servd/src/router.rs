@@ -12,9 +12,11 @@ use crate::cache::ResponseCache;
 use crate::http::{Request, Response};
 use crate::ingest::{IngestHandle, IngestStream, Offer};
 use crate::store::{
-    errors_csv_scattered, mtbe_csv_scattered, parse_time, parse_xid, ErrorFilter, StoreHandle,
+    errors_csv_scattered, mtbe_csv_scattered, parse_time, parse_xid, ErrorFilter, RollupMetric,
+    RollupQuery, StoreHandle,
 };
 use obs::registry::DURATION_US_BUCKETS;
+use simtime::civiltime::ParseCivilError;
 use std::time::Instant;
 
 /// Routes one request against the current snapshot. `ingest` is the
@@ -52,6 +54,7 @@ fn endpoint_label(path: &str) -> &'static str {
         "/fig2" => "fig2",
         "/errors" => "errors",
         "/mtbe" => "mtbe",
+        "/rollup" => "rollup",
         "/jobs/impact" => "jobs_impact",
         "/availability" => "availability",
         "/ingest/logs" => "ingest_logs",
@@ -118,6 +121,10 @@ fn dispatch(
         },
         "/mtbe" => match req.query_value("xid").map(parse_xid).transpose() {
             Ok(kind) => Response::csv(200, mtbe_csv_scattered(&published, kind, store.scan_pool())),
+            Err(msg) => Response::text(400, format!("{msg}\n")),
+        },
+        "/rollup" => match rollup_query(req).and_then(|q| s.rollup_csv(&q)) {
+            Ok(csv) => Response::csv(200, csv),
             Err(msg) => Response::text(400, format!("{msg}\n")),
         },
         "/jobs/impact" => Response::csv(200, s.jobs_impact_csv()),
@@ -225,6 +232,34 @@ fn error_filter(req: &Request) -> Result<ErrorFilter, String> {
         }
     }
     Ok(filter)
+}
+
+/// Builds the `/rollup` query: `metric` is required, `bucket` defaults
+/// to `day` and `tz` to `UTC`, and unknown keys fail loudly like
+/// [`error_filter`]. Filter applicability (host is errors-only, xid
+/// never applies to availability) is checked by the store renderer.
+fn rollup_query(req: &Request) -> Result<RollupQuery, String> {
+    let mut metric = None;
+    let mut query = RollupQuery::for_metric(RollupMetric::Errors);
+    for (k, v) in &req.query {
+        match k.as_str() {
+            "metric" => metric = Some(RollupMetric::parse(v)?),
+            "bucket" => query.bucket = v.parse().map_err(|e: ParseCivilError| e.to_string())?,
+            "tz" => query.tz = v.clone(),
+            "host" => query.host = Some(v.clone()),
+            "xid" => query.kind = Some(parse_xid(v)?),
+            "from" => query.from = Some(parse_time(v)?),
+            "to" => query.to = Some(parse_time(v)?),
+            other => return Err(format!("unknown query parameter {other:?}")),
+        }
+    }
+    match metric {
+        Some(metric) => {
+            query.metric = metric;
+            Ok(query)
+        }
+        None => Err("missing required parameter metric=errors|mtbe|impact|availability".to_owned()),
+    }
 }
 
 #[cfg(test)]
@@ -344,6 +379,49 @@ mod tests {
         );
         assert_eq!(header(&c, "X-Cache"), Some("miss"), "swap invalidates");
         assert_eq!(header(&c, "X-Snapshot"), Some("2"));
+    }
+
+    #[test]
+    fn rollup_routes_and_validates() {
+        let store = empty_handle();
+        let cache = ResponseCache::new();
+        let ok = handle(
+            &get("/rollup", &[("metric", "errors")]),
+            &store,
+            &cache,
+            None,
+        );
+        assert_eq!(ok.status, 200);
+        assert!(ok.body.starts_with("bucket,start,end,count"), "{}", ok.body);
+        let full = handle(
+            &get(
+                "/rollup",
+                &[
+                    ("metric", "mtbe"),
+                    ("bucket", "week"),
+                    ("tz", "America/Chicago"),
+                    ("xid", "119"),
+                    ("from", "0"),
+                    ("to", "99999999999"),
+                ],
+            ),
+            &store,
+            &cache,
+            None,
+        );
+        assert_eq!(full.status, 200, "{}", full.body);
+        for query in [
+            vec![],
+            vec![("metric", "bogus")],
+            vec![("metric", "errors"), ("bucket", "decade")],
+            vec![("metric", "errors"), ("tz", "Mars/Olympus")],
+            vec![("metric", "mtbe"), ("host", "gpub001")],
+            vec![("metric", "availability"), ("xid", "119")],
+            vec![("metric", "errors"), ("bogus", "1")],
+        ] {
+            let resp = handle(&get("/rollup", &query), &store, &cache, None);
+            assert_eq!(resp.status, 400, "{query:?}");
+        }
     }
 
     #[test]

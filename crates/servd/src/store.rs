@@ -34,8 +34,9 @@
 use crate::pool::ScanPool;
 use resilience::incremental::SnapshotSink;
 use resilience::report;
+use resilience::rollup::{self, AvailabilityCell, ImpactCell, RollupCube};
 use resilience::{QuarantineReport, StudyReport};
-use simtime::{Phase, Timestamp};
+use simtime::{Bucket, Phase, Timestamp, Tz};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -51,7 +52,10 @@ pub struct ErrorFilter {
     pub kind: Option<ErrorKind>,
     /// Inclusive lower time bound.
     pub from: Option<Timestamp>,
-    /// Inclusive upper time bound.
+    /// Exclusive upper time bound: a row at exactly `to` is *not*
+    /// returned, so adjacent `[from, to)` windows tile the timeline
+    /// without double-counting — the same contract `/rollup` applies to
+    /// bucket starts.
     pub to: Option<Timestamp>,
 }
 
@@ -91,7 +95,7 @@ impl Shard {
                     .from
                     .map_or(0, |t| self.times.partition_point(|&time| time < t.unix()));
                 let hi = filter.to.map_or(self.times.len(), |t| {
-                    self.times.partition_point(|&time| time <= t.unix())
+                    self.times.partition_point(|&time| time < t.unix())
                 });
                 return (lo as u32..hi as u32).collect();
             }
@@ -116,10 +120,95 @@ impl Shard {
             rows.partition_point(|&r| self.times[r as usize] < t.unix())
         });
         let hi = filter.to.map_or(rows.len(), |t| {
-            rows.partition_point(|&r| self.times[r as usize] <= t.unix())
+            rows.partition_point(|&r| self.times[r as usize] < t.unix())
         });
         &rows[lo..hi]
     }
+}
+
+/// Which pre-aggregated surface a `/rollup` request reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RollupMetric {
+    /// Coalesced error counts per bucket (total or one studied kind).
+    Errors,
+    /// Error counts plus the MTBE the bucket's span implies.
+    Mtbe,
+    /// Distinct GPU-failed jobs per bucket of their termination instant.
+    Impact,
+    /// Node-outage downtime hours apportioned to each bucket.
+    Availability,
+}
+
+impl RollupMetric {
+    /// Parses the `metric=` query value.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message listing the accepted values.
+    pub fn parse(raw: &str) -> Result<RollupMetric, String> {
+        match raw {
+            "errors" => Ok(RollupMetric::Errors),
+            "mtbe" => Ok(RollupMetric::Mtbe),
+            "impact" => Ok(RollupMetric::Impact),
+            "availability" => Ok(RollupMetric::Availability),
+            other => Err(format!(
+                "unknown metric {other:?}: expected errors|mtbe|impact|availability"
+            )),
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            RollupMetric::Errors => "errors",
+            RollupMetric::Mtbe => "mtbe",
+            RollupMetric::Impact => "impact",
+            RollupMetric::Availability => "availability",
+        }
+    }
+}
+
+/// A parsed `/rollup` query. `from` is inclusive and `to` exclusive on
+/// the *bucket start* — the same `[from, to)` contract as `/errors`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RollupQuery {
+    /// Which surface to read.
+    pub metric: RollupMetric,
+    /// Bucket granularity (default `day`).
+    pub bucket: Bucket,
+    /// Builtin timezone name (default `UTC`).
+    pub tz: String,
+    /// Restrict to one host (metric=errors only).
+    pub host: Option<String>,
+    /// Restrict counts to one studied kind (not with availability).
+    pub kind: Option<ErrorKind>,
+    /// Keep buckets whose start is `>= from`.
+    pub from: Option<Timestamp>,
+    /// Keep buckets whose start is `< to`.
+    pub to: Option<Timestamp>,
+}
+
+impl RollupQuery {
+    /// The default query for a metric: day buckets in UTC, no filters.
+    pub fn for_metric(metric: RollupMetric) -> Self {
+        RollupQuery {
+            metric,
+            bucket: Bucket::Day,
+            tz: "UTC".to_owned(),
+            host: None,
+            kind: None,
+            from: None,
+            to: None,
+        }
+    }
+}
+
+/// The pre-aggregated `/rollup` surfaces for one `(timezone, bucket)`
+/// pair, built at store-construction time.
+#[derive(Debug)]
+struct RollupSet {
+    errors: RollupCube,
+    impact: Vec<ImpactCell>,
+    availability: Vec<AvailabilityCell>,
 }
 
 /// The immutable, columnar serving snapshot of one study.
@@ -145,6 +234,8 @@ pub struct StudyStore {
     shard_of_host: Vec<u32>,
     shards: Vec<Shard>,
     rows_total: usize,
+    // Pre-aggregated `/rollup` cubes, one set per (builtin tz, bucket).
+    rollups: BTreeMap<(String, Bucket), RollupSet>,
 }
 
 impl StudyStore {
@@ -206,6 +297,38 @@ impl StudyStore {
             shard.by_kind.entry(e.kind).or_default().push(local);
         }
 
+        // Pre-aggregate every `/rollup` surface: per-shard error cubes
+        // k-way merged through the same kernel the scatter-gather read
+        // path uses (serial ≡ sharded by construction), plus global
+        // impact and availability cells, for each builtin tz × bucket.
+        let mut rollups = BTreeMap::new();
+        for name in Tz::BUILTIN {
+            let Ok(tz) = Tz::by_name(name) else { continue };
+            for bucket in Bucket::ALL {
+                let per_shard: Vec<RollupCube> = built
+                    .iter()
+                    .map(|s| {
+                        RollupCube::build(
+                            &tz,
+                            bucket,
+                            s.times
+                                .iter()
+                                .zip(&s.kinds)
+                                .map(|(&t, &k)| (Timestamp::from_unix(t), k)),
+                        )
+                    })
+                    .collect();
+                rollups.insert(
+                    (name.to_owned(), bucket),
+                    RollupSet {
+                        errors: RollupCube::merge(per_shard),
+                        impact: rollup::impact_cells(&tz, bucket, &report.impact),
+                        availability: rollup::availability_cells(&tz, bucket, &report.op_outages),
+                    },
+                );
+            }
+        }
+
         let rows_total = report.errors.len();
         let jobs_impact = render_jobs_impact(&report);
         let availability = render_availability(&report);
@@ -222,6 +345,7 @@ impl StudyStore {
             shard_of_host,
             shards: built,
             rows_total,
+            rollups,
         }
     }
 
@@ -405,6 +529,152 @@ impl StudyStore {
         let _ = writeln!(out, "outages: {}", self.report.availability.outage_count());
         let _ = writeln!(out, "caveats: {}", self.caveat_count);
         out
+    }
+
+    /// One host's `(time, kind)` events in time order — the on-the-fly
+    /// cube input for host-scoped `/rollup` queries. An unknown host
+    /// yields no events (and therefore an empty cube), matching the
+    /// `/errors` contract.
+    fn host_events(&self, host: &str) -> Vec<(Timestamp, ErrorKind)> {
+        let Ok(i) = self.hosts.binary_search_by(|h| h.as_str().cmp(host)) else {
+            return Vec::new();
+        };
+        let s = &self.shards[self.shard_of_host[i] as usize];
+        s.by_host
+            .get(&(i as u32))
+            .map_or(&[][..], Vec::as_slice)
+            .iter()
+            .map(|&r| {
+                (
+                    Timestamp::from_unix(s.times[r as usize]),
+                    s.kinds[r as usize],
+                )
+            })
+            .collect()
+    }
+
+    /// Renders a `/rollup` query as CSV from the pre-aggregated cubes.
+    /// Rows are sparse (buckets with a zero value are omitted), ascending
+    /// by bucket start, and sliced to `[from, to)` on the bucket *start*.
+    /// Each row leads with the DST-disambiguated civil label of its
+    /// bucket and carries the bucket's UTC span.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the timezone is not a builtin or a
+    /// filter does not apply to the metric (host is errors-only, xid
+    /// never applies to availability).
+    pub fn rollup_csv(&self, q: &RollupQuery) -> Result<String, String> {
+        let tz = Tz::by_name(&q.tz).map_err(|e| e.to_string())?;
+        if q.host.is_some() && q.metric != RollupMetric::Errors {
+            return Err("host filter applies to metric=errors only".to_owned());
+        }
+        if q.kind.is_some() && q.metric == RollupMetric::Availability {
+            return Err("xid filter does not apply to metric=availability".to_owned());
+        }
+        let set = self
+            .rollups
+            .get(&(q.tz.clone(), q.bucket))
+            .ok_or_else(|| format!("no rollup cube for tz {:?}", q.tz))?;
+        let in_window =
+            |start: Timestamp| q.from.is_none_or(|f| start >= f) && q.to.is_none_or(|t| start < t);
+        let kind_column = q.kind.and_then(rollup::kind_index);
+        let mut rendered = 0u64;
+
+        let mut out = String::new();
+        match q.metric {
+            RollupMetric::Errors | RollupMetric::Mtbe => {
+                // A host filter folds that host's posting list into a
+                // fresh cube; the common unfiltered path reads the
+                // pre-merged one.
+                let host_cube = q
+                    .host
+                    .as_ref()
+                    .map(|host| RollupCube::build(&tz, q.bucket, self.host_events(host)));
+                let cube = host_cube.as_ref().unwrap_or(&set.errors);
+                let mtbe = q.metric == RollupMetric::Mtbe;
+                out.push_str(if mtbe {
+                    "bucket,start,end,count,mtbe_system_h,mtbe_node_h\n"
+                } else {
+                    "bucket,start,end,count\n"
+                });
+                let nodes = self.report.stats.node_count() as f64;
+                for cell in cube.cells() {
+                    if !in_window(cell.start) {
+                        continue;
+                    }
+                    let count = kind_column.map_or(cell.total, |i| cell.by_kind[i]);
+                    if count == 0 {
+                        continue;
+                    }
+                    rendered += 1;
+                    let label = tz.bucket_label(q.bucket, cell.start);
+                    if mtbe {
+                        let span_h = (cell.end.unix() - cell.start.unix()) as f64 / 3600.0;
+                        let system = span_h / count as f64;
+                        let _ = writeln!(
+                            out,
+                            "{label},{},{},{count},{},{}",
+                            cell.start,
+                            cell.end,
+                            fmt_cell(Some(system)),
+                            fmt_cell(Some(system * nodes)),
+                        );
+                    } else {
+                        let _ = writeln!(out, "{label},{},{},{count}", cell.start, cell.end);
+                    }
+                }
+            }
+            RollupMetric::Impact => {
+                out.push_str("bucket,start,end,failed_jobs\n");
+                for cell in &set.impact {
+                    if !in_window(cell.start) {
+                        continue;
+                    }
+                    let count = kind_column.map_or(cell.failed_jobs, |i| cell.failed_by_kind[i]);
+                    if count == 0 {
+                        continue;
+                    }
+                    rendered += 1;
+                    let _ = writeln!(
+                        out,
+                        "{},{},{},{count}",
+                        tz.bucket_label(q.bucket, cell.start),
+                        cell.start,
+                        cell.end,
+                    );
+                }
+            }
+            RollupMetric::Availability => {
+                out.push_str("bucket,start,end,downtime_node_hours\n");
+                for cell in &set.availability {
+                    if !in_window(cell.start) {
+                        continue;
+                    }
+                    if cell.downtime_node_secs == 0 {
+                        continue;
+                    }
+                    rendered += 1;
+                    let _ = writeln!(
+                        out,
+                        "{},{},{},{}",
+                        tz.bucket_label(q.bucket, cell.start),
+                        cell.start,
+                        cell.end,
+                        fmt_cell(Some(cell.downtime_node_secs as f64 / 3600.0)),
+                    );
+                }
+            }
+        }
+        if obs::is_enabled() {
+            obs::counter(
+                "servd_rollup_queries_total",
+                &[("metric", q.metric.label())],
+            )
+            .inc();
+            obs::counter("servd_rollup_cells_rendered_total", &[]).add(rendered);
+        }
+        Ok(out)
     }
 }
 
@@ -764,14 +1034,31 @@ mod tests {
     }
 
     #[test]
-    fn time_bounds_are_inclusive_and_binary_searched() {
+    fn time_bounds_are_from_inclusive_to_exclusive() {
         let s = store();
         let csv = s.errors_csv(&ErrorFilter {
             from: Some(op_time(200)),
             to: Some(op_time(9000)),
             ..ErrorFilter::default()
         });
-        assert_eq!(csv.lines().count(), 1 + 3); // 200, 5000, 9000
+        // 200 is on the inclusive `from` edge, 9000 on the exclusive
+        // `to` edge: the window keeps 200 and 5000 only.
+        assert_eq!(csv.lines().count(), 1 + 2);
+        // Adjacent windows tile: no row is lost or double-counted.
+        let shifted = s.errors_csv(&ErrorFilter {
+            from: Some(op_time(9000)),
+            to: Some(op_time(20_000)),
+            ..ErrorFilter::default()
+        });
+        assert_eq!(shifted.lines().count(), 1 + 2); // 9000, 12_000
+                                                    // The same edges through the host-filtered (posting-list) path.
+        let hosted = s.errors_csv(&ErrorFilter {
+            host: Some("gpub001".to_owned()),
+            from: Some(op_time(100)),
+            to: Some(op_time(12_000)),
+            ..ErrorFilter::default()
+        });
+        assert_eq!(hosted.lines().count(), 1 + 2); // 100, 5000
     }
 
     #[test]
@@ -926,6 +1213,133 @@ mod tests {
         engine.publish_snapshot(&handle);
         assert_eq!(handle.current().id, 2);
         assert_eq!(handle.current().store.shard_count(), 4);
+    }
+
+    #[test]
+    fn rollup_errors_counts_match_raw_rows() {
+        let s = store();
+        let q = RollupQuery::for_metric(RollupMetric::Errors);
+        let csv = s.rollup_csv(&q).unwrap();
+        // All five events fall on the same UTC day.
+        assert_eq!(csv.lines().count(), 1 + 1, "{csv}");
+        assert!(csv.lines().nth(1).unwrap().ends_with(",5"), "{csv}");
+        // In hour buckets they spread over op-epoch hours 0, 1, 2, 3.
+        let hours = s
+            .rollup_csv(&RollupQuery {
+                bucket: Bucket::Hour,
+                ..q
+            })
+            .unwrap();
+        assert_eq!(hours.lines().count(), 1 + 4, "{hours}");
+    }
+
+    #[test]
+    fn rollup_kind_and_host_filters_restrict_counts() {
+        let s = store();
+        let gsp = s
+            .rollup_csv(&RollupQuery {
+                kind: Some(ErrorKind::GspError),
+                ..RollupQuery::for_metric(RollupMetric::Errors)
+            })
+            .unwrap();
+        assert!(gsp.lines().nth(1).unwrap().ends_with(",2"), "{gsp}");
+        let hosted = s
+            .rollup_csv(&RollupQuery {
+                host: Some("gpub001".to_owned()),
+                ..RollupQuery::for_metric(RollupMetric::Errors)
+            })
+            .unwrap();
+        assert!(hosted.lines().nth(1).unwrap().ends_with(",3"), "{hosted}");
+        let unknown = s
+            .rollup_csv(&RollupQuery {
+                host: Some("nosuchhost".to_owned()),
+                ..RollupQuery::for_metric(RollupMetric::Errors)
+            })
+            .unwrap();
+        assert_eq!(unknown.lines().count(), 1, "{unknown}");
+    }
+
+    #[test]
+    fn rollup_window_slices_on_bucket_start() {
+        let s = store();
+        let hour0 = Tz::utc().bucket_start(Bucket::Hour, op_time(0));
+        let base = RollupQuery {
+            bucket: Bucket::Hour,
+            ..RollupQuery::for_metric(RollupMetric::Errors)
+        };
+        // A window ending exactly on a bucket start excludes that bucket.
+        let empty = s
+            .rollup_csv(&RollupQuery {
+                from: Some(hour0),
+                to: Some(hour0),
+                ..base.clone()
+            })
+            .unwrap();
+        assert_eq!(empty.lines().count(), 1, "{empty}");
+        let first = s
+            .rollup_csv(&RollupQuery {
+                from: Some(hour0),
+                to: Some(hour0 + Duration::from_secs(3600)),
+                ..base
+            })
+            .unwrap();
+        // Only hour 0 (events at +100 s and +200 s) survives.
+        assert_eq!(first.lines().count(), 1 + 1, "{first}");
+        assert!(first.lines().nth(1).unwrap().ends_with(",2"), "{first}");
+    }
+
+    #[test]
+    fn rollup_rejects_bad_tz_and_inapplicable_filters() {
+        let s = store();
+        assert!(s
+            .rollup_csv(&RollupQuery {
+                tz: "Mars/Olympus".to_owned(),
+                ..RollupQuery::for_metric(RollupMetric::Errors)
+            })
+            .is_err());
+        assert!(s
+            .rollup_csv(&RollupQuery {
+                host: Some("gpub001".to_owned()),
+                ..RollupQuery::for_metric(RollupMetric::Mtbe)
+            })
+            .is_err());
+        assert!(s
+            .rollup_csv(&RollupQuery {
+                kind: Some(ErrorKind::GspError),
+                ..RollupQuery::for_metric(RollupMetric::Availability)
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn rollup_is_identical_across_shard_counts() {
+        let report = sample_report();
+        let baseline = StudyStore::build(report.clone(), None);
+        let metrics = [
+            RollupMetric::Errors,
+            RollupMetric::Mtbe,
+            RollupMetric::Impact,
+            RollupMetric::Availability,
+        ];
+        for n in [2usize, 4, 8] {
+            let sharded = StudyStore::build_sharded(report.clone(), None, n);
+            for metric in metrics {
+                for bucket in Bucket::ALL {
+                    for tzname in Tz::BUILTIN {
+                        let q = RollupQuery {
+                            bucket,
+                            tz: tzname.to_owned(),
+                            ..RollupQuery::for_metric(metric)
+                        };
+                        assert_eq!(
+                            sharded.rollup_csv(&q).unwrap(),
+                            baseline.rollup_csv(&q).unwrap(),
+                            "shards={n} {metric:?} {bucket:?} {tzname}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

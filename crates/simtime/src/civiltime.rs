@@ -1,0 +1,572 @@
+//! DST-correct civil-time bucketing over a hand-rolled zoneinfo model.
+//!
+//! The rollup layer asks questions like "errors per *local* day" — and a
+//! local day is not 86,400 UTC seconds when a DST transition falls inside
+//! it (23 h on the spring-forward day, 25 h on the fall-back day). This
+//! module models a timezone as a base UTC offset plus a sorted table of
+//! `(utc_instant, new_offset)` transitions — the same shape real zoneinfo
+//! compiles down to — and derives bucket boundaries from it.
+//!
+//! # The bucketing invariant
+//!
+//! A *bucket* (hour, day, week or month) is a half-open UTC interval
+//! `[start, end)`. Boundaries are, by definition, the union of
+//!
+//! * every UTC instant where the zone's *local* civil hour / day / week /
+//!   month boundary falls **inside** an offset regime, and
+//! * every offset transition instant across which the bucket *key*
+//!   changes — the key is the local civil unit, plus the UTC offset for
+//!   hours (so a fall-back fold splits the repeated hour, while a DST
+//!   shift that stays inside one local day leaves the day bucket whole).
+//!
+//! Within one regime local time is a constant shift of UTC, so buckets
+//! there are exactly the local calendar units; a transition cuts only
+//! the units whose key it changes — which is why the spring-forward day
+//! is one 23-hour bucket, not two fragments either side of the shift.
+//! This definition makes bucketing **total** (every instant
+//! has a bucket containing it), **monotone** (later instants never map to
+//! earlier buckets, even across a fall-back fold where local labels
+//! repeat) and **partition-complete** (consecutive buckets tile the line:
+//! each bucket's end is the next bucket's start) — for *arbitrary*
+//! transition tables, which is what lets the property suite generate
+//! adversarial zones instead of trusting the three built-ins. The
+//! concrete consequences for the two interesting DST cases:
+//!
+//! * **Spring-forward gap** (e.g. America/Chicago 2024-03-10, 02:00 CST →
+//!   03:00 CDT): the skipped local hour simply has no bucket, and the
+//!   local *day* bucket is a 23-hour UTC interval.
+//! * **Fall-back fold** (2024-11-03, 02:00 CDT → 01:00 CST): the repeated
+//!   local hour becomes **two** buckets — one per offset — disambiguated
+//!   in the label by the UTC-offset suffix; the local day is 25 hours.
+//!
+//! Labels render the bucket's local civil start (hours carry the offset
+//! suffix, e.g. `2024-11-03T01:00-06:00`; weeks use the ISO week of the
+//! bucket's local Monday).
+
+use crate::{civil_from_days, days_from_civil, Timestamp};
+use std::fmt;
+use std::str::FromStr;
+
+/// The supported rollup granularities, coarsest-compatible with the civil
+/// calendar of a [`Tz`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Bucket {
+    /// One local clock hour.
+    Hour,
+    /// One local civil day (23–25 h across DST transitions).
+    Day,
+    /// One local ISO week, Monday 00:00 to Monday 00:00.
+    Week,
+    /// One local calendar month.
+    Month,
+}
+
+impl Bucket {
+    /// All granularities, finest first.
+    pub const ALL: [Bucket; 4] = [Bucket::Hour, Bucket::Day, Bucket::Week, Bucket::Month];
+
+    /// The lowercase query-parameter name (`hour|day|week|month`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Bucket::Hour => "hour",
+            Bucket::Day => "day",
+            Bucket::Week => "week",
+            Bucket::Month => "month",
+        }
+    }
+}
+
+impl fmt::Display for Bucket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error returned when a bucket or timezone name does not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCivilError {
+    what: String,
+}
+
+impl fmt::Display for ParseCivilError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.what)
+    }
+}
+
+impl std::error::Error for ParseCivilError {}
+
+impl FromStr for Bucket {
+    type Err = ParseCivilError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "hour" => Ok(Bucket::Hour),
+            "day" => Ok(Bucket::Day),
+            "week" => Ok(Bucket::Week),
+            "month" => Ok(Bucket::Month),
+            other => Err(ParseCivilError {
+                what: format!("unknown bucket {other:?} (expected hour|day|week|month)"),
+            }),
+        }
+    }
+}
+
+/// A timezone: a base UTC offset plus a sorted table of offset
+/// transitions — fixed offsets are the empty-table special case.
+///
+/// Offsets are seconds east of UTC. The model is deliberately the shape
+/// compiled zoneinfo takes (explicit transition instants, not recurrence
+/// rules evaluated on the fly), so the built-in zones enumerate their DST
+/// rules over the study's era and generated zones in the property suite
+/// can be arbitrary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tz {
+    name: String,
+    base_offset: i32,
+    /// `(utc_instant, offset_after)`, strictly ascending by instant.
+    transitions: Vec<(u64, i32)>,
+}
+
+/// The years the built-in zones enumerate DST transitions for — generous
+/// margins around the 2022–2025 study window.
+const BUILTIN_YEARS: std::ops::RangeInclusive<i32> = 2015..=2035;
+
+impl Tz {
+    /// The names [`Tz::by_name`] resolves (the `/rollup?tz=` vocabulary).
+    pub const BUILTIN: [&'static str; 3] = ["UTC", "America/Chicago", "Europe/Berlin"];
+
+    /// A fixed-offset zone with no transitions.
+    pub fn fixed(name: impl Into<String>, offset_secs: i32) -> Self {
+        Tz {
+            name: name.into(),
+            base_offset: offset_secs,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Coordinated Universal Time.
+    pub fn utc() -> Self {
+        Tz::fixed("UTC", 0)
+    }
+
+    /// A zone from an explicit transition table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is not strictly ascending by instant — a
+    /// malformed table would silently mis-bucket, which is strictly worse.
+    pub fn with_transitions(
+        name: impl Into<String>,
+        base_offset: i32,
+        transitions: Vec<(u64, i32)>,
+    ) -> Self {
+        assert!(
+            transitions.windows(2).all(|w| w[0].0 < w[1].0),
+            "transition table must be strictly ascending"
+        );
+        Tz {
+            name: name.into(),
+            base_offset,
+            transitions,
+        }
+    }
+
+    /// Resolves one of the [`Tz::BUILTIN`] names.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message listing the known zones.
+    pub fn by_name(name: &str) -> Result<Tz, ParseCivilError> {
+        match name {
+            "UTC" => Ok(Tz::utc()),
+            "America/Chicago" => Ok(Tz::america_chicago()),
+            "Europe/Berlin" => Ok(Tz::europe_berlin()),
+            other => Err(ParseCivilError {
+                what: format!(
+                    "unknown tz {other:?} (expected one of {})",
+                    Tz::BUILTIN.join("|")
+                ),
+            }),
+        }
+    }
+
+    /// US Central: CST (UTC−6) with CDT (UTC−5) from the second Sunday of
+    /// March 02:00 local standard to the first Sunday of November 02:00
+    /// local daylight, enumerated over the study era.
+    pub fn america_chicago() -> Tz {
+        let mut transitions = Vec::new();
+        for year in BUILTIN_YEARS {
+            // 2nd Sunday of March, 02:00 CST = 08:00 UTC -> CDT.
+            let spring = nth_weekday(year, 3, SUNDAY, 2) as u64 * 86_400 + 8 * 3600;
+            // 1st Sunday of November, 02:00 CDT = 07:00 UTC -> CST.
+            let fall = nth_weekday(year, 11, SUNDAY, 1) as u64 * 86_400 + 7 * 3600;
+            transitions.push((spring, -5 * 3600));
+            transitions.push((fall, -6 * 3600));
+        }
+        Tz::with_transitions("America/Chicago", -6 * 3600, transitions)
+    }
+
+    /// Central European: CET (UTC+1) with CEST (UTC+2) from the last
+    /// Sunday of March to the last Sunday of October, both at 01:00 UTC,
+    /// enumerated over the study era.
+    pub fn europe_berlin() -> Tz {
+        let mut transitions = Vec::new();
+        for year in BUILTIN_YEARS {
+            let spring = last_weekday(year, 3, SUNDAY) as u64 * 86_400 + 3600;
+            let fall = last_weekday(year, 10, SUNDAY) as u64 * 86_400 + 3600;
+            transitions.push((spring, 2 * 3600));
+            transitions.push((fall, 3600));
+        }
+        Tz::with_transitions("Europe/Berlin", 3600, transitions)
+    }
+
+    /// The zone's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The UTC offset (seconds east) in effect at `t`.
+    pub fn offset_at(&self, t: Timestamp) -> i32 {
+        self.regime(t.unix() as i64).1
+    }
+
+    /// The offset regime containing UTC second `u`: `(start, offset,
+    /// end)`, where `start`/`end` are `None` at the open ends of the
+    /// table. Takes an `i64` so regime walks can step before the epoch.
+    fn regime(&self, u: i64) -> (Option<i64>, i32, Option<i64>) {
+        let idx = self.transitions.partition_point(|&(at, _)| at as i64 <= u);
+        let (start, offset) = match idx.checked_sub(1) {
+            Some(i) => (Some(self.transitions[i].0 as i64), self.transitions[i].1),
+            None => (None, self.base_offset),
+        };
+        let end = self.transitions.get(idx).map(|&(at, _)| at as i64);
+        (start, offset, end)
+    }
+
+    /// Whether transition instant `at` is a bucket boundary for
+    /// `bucket` — i.e. whether the bucket key changes across it. Hour
+    /// keys include the offset, so every transition cuts hours; coarser
+    /// keys are the local civil unit alone, so a shift that stays inside
+    /// one local day/week/month does not cut it.
+    fn is_boundary(&self, bucket: Bucket, at: i64) -> bool {
+        if bucket == Bucket::Hour {
+            return true;
+        }
+        let idx = self.transitions.partition_point(|&(t, _)| (t as i64) <= at);
+        debug_assert!(idx > 0 && self.transitions[idx - 1].0 as i64 == at);
+        let after = self.transitions[idx - 1].1;
+        let before = match idx.checked_sub(2) {
+            Some(i) => self.transitions[i].1,
+            None => self.base_offset,
+        };
+        local_floor(bucket, at - 1 + i64::from(before))
+            != local_floor(bucket, at + i64::from(after))
+    }
+
+    /// The UTC start of the bucket containing `t`: the latest bucket
+    /// boundary at or before `t` (saturating at the epoch when a bucket
+    /// opens before it).
+    pub fn bucket_start(&self, bucket: Bucket, t: Timestamp) -> Timestamp {
+        let mut u = t.unix() as i64;
+        loop {
+            let (regime_start, offset, _) = self.regime(u);
+            let candidate = local_floor(bucket, u + i64::from(offset)) - i64::from(offset);
+            match regime_start {
+                Some(rs) if candidate <= rs => {
+                    if self.is_boundary(bucket, rs) {
+                        return Timestamp::from_unix(rs.max(0) as u64);
+                    }
+                    // The key is unchanged across `rs`: the bucket opened
+                    // in an earlier regime. Keep walking left.
+                    u = rs - 1;
+                }
+                _ => return Timestamp::from_unix(candidate.max(0) as u64),
+            }
+        }
+    }
+
+    /// The UTC end of the bucket containing `t` — equivalently, the start
+    /// of the next bucket.
+    pub fn bucket_end(&self, bucket: Bucket, t: Timestamp) -> Timestamp {
+        let mut u = t.unix() as i64;
+        loop {
+            let (_, offset, regime_end) = self.regime(u);
+            let floor = local_floor(bucket, u + i64::from(offset));
+            let candidate = local_next(bucket, floor) - i64::from(offset);
+            match regime_end {
+                Some(re) if candidate >= re => {
+                    if self.is_boundary(bucket, re) {
+                        return Timestamp::from_unix(re.max(0) as u64);
+                    }
+                    // The key survives the transition: the bucket
+                    // continues into the next regime. Keep walking right.
+                    u = re;
+                }
+                _ => return Timestamp::from_unix(candidate.max(0) as u64),
+            }
+        }
+    }
+
+    /// Renders the label of the bucket whose **start instant** is
+    /// `start` (as returned by [`bucket_start`](Self::bucket_start)).
+    ///
+    /// Hour labels carry the UTC-offset suffix so the two buckets of a
+    /// fall-back fold stay distinguishable; day/week/month labels are the
+    /// plain local civil unit.
+    pub fn bucket_label(&self, bucket: Bucket, start: Timestamp) -> String {
+        let offset = self.offset_at(start);
+        let local = start.unix() as i64 + i64::from(offset);
+        let day = local.div_euclid(86_400);
+        let (y, mo, d) = civil_from_days(day);
+        match bucket {
+            Bucket::Hour => {
+                let rem = local.rem_euclid(86_400);
+                let (h, mi) = (rem / 3600, (rem % 3600) / 60);
+                format!("{y:04}-{mo:02}-{d:02}T{h:02}:{mi:02}{}", fmt_offset(offset))
+            }
+            Bucket::Day => format!("{y:04}-{mo:02}-{d:02}"),
+            Bucket::Week => {
+                // ISO week: the week belongs to the year of its Thursday.
+                let monday = day - (day + 3).rem_euclid(7);
+                let thursday = monday + 3;
+                let (iy, _, _) = civil_from_days(thursday);
+                let ordinal = thursday - days_from_civil(iy, 1, 1) + 1;
+                format!("{iy:04}-W{:02}", (ordinal - 1) / 7 + 1)
+            }
+            Bucket::Month => format!("{y:04}-{mo:02}"),
+        }
+    }
+}
+
+/// Renders a UTC offset as `Z` or `±HH:MM`.
+fn fmt_offset(offset: i32) -> String {
+    if offset == 0 {
+        return "Z".to_owned();
+    }
+    let sign = if offset < 0 { '-' } else { '+' };
+    let abs = offset.unsigned_abs();
+    format!("{sign}{:02}:{:02}", abs / 3600, (abs % 3600) / 60)
+}
+
+/// The local-second floor of the bucket containing local second `local`.
+fn local_floor(bucket: Bucket, local: i64) -> i64 {
+    let day = local.div_euclid(86_400);
+    match bucket {
+        Bucket::Hour => local - local.rem_euclid(3600),
+        Bucket::Day => day * 86_400,
+        Bucket::Week => (day - (day + 3).rem_euclid(7)) * 86_400,
+        Bucket::Month => {
+            let (y, m, _) = civil_from_days(day);
+            days_from_civil(y, m, 1) * 86_400
+        }
+    }
+}
+
+/// The local-second start of the bucket after the one flooring at
+/// `floor`.
+fn local_next(bucket: Bucket, floor: i64) -> i64 {
+    match bucket {
+        Bucket::Hour => floor + 3600,
+        Bucket::Day => floor + 86_400,
+        Bucket::Week => floor + 7 * 86_400,
+        Bucket::Month => {
+            let (y, m, _) = civil_from_days(floor.div_euclid(86_400));
+            let (ny, nm) = if m == 12 { (y + 1, 1) } else { (y, m + 1) };
+            days_from_civil(ny, nm, 1) * 86_400
+        }
+    }
+}
+
+/// Day-of-week index with Sunday = 0 (1970-01-01 was a Thursday).
+const SUNDAY: i64 = 0;
+
+fn weekday(day: i64) -> i64 {
+    (day + 4).rem_euclid(7)
+}
+
+/// Epoch day of the `n`-th `target` weekday of `(year, month)`.
+fn nth_weekday(year: i32, month: u32, target: i64, n: i64) -> i64 {
+    let first = days_from_civil(year, month, 1);
+    let shift = (target - weekday(first)).rem_euclid(7);
+    first + shift + (n - 1) * 7
+}
+
+/// Epoch day of the last `target` weekday of `(year, month)`.
+fn last_weekday(year: i32, month: u32, target: i64) -> i64 {
+    let (ny, nm) = if month == 12 {
+        (year + 1, 1)
+    } else {
+        (year, month + 1)
+    };
+    let last = days_from_civil(ny, nm, 1) - 1;
+    last - (weekday(last) - target).rem_euclid(7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(y: i32, mo: u32, d: u32, h: u32, mi: u32, s: u32) -> Timestamp {
+        Timestamp::from_ymd_hms(y, mo, d, h, mi, s).unwrap()
+    }
+
+    #[test]
+    fn utc_buckets_are_plain_calendar_units() {
+        let tz = Tz::utc();
+        let t = ts(2024, 3, 14, 3, 22, 7);
+        assert_eq!(tz.bucket_start(Bucket::Hour, t), ts(2024, 3, 14, 3, 0, 0));
+        assert_eq!(tz.bucket_end(Bucket::Hour, t), ts(2024, 3, 14, 4, 0, 0));
+        assert_eq!(tz.bucket_start(Bucket::Day, t), ts(2024, 3, 14, 0, 0, 0));
+        assert_eq!(tz.bucket_end(Bucket::Day, t), ts(2024, 3, 15, 0, 0, 0));
+        // 2024-03-14 is a Thursday; the week floors to Monday the 11th.
+        assert_eq!(tz.bucket_start(Bucket::Week, t), ts(2024, 3, 11, 0, 0, 0));
+        assert_eq!(tz.bucket_end(Bucket::Week, t), ts(2024, 3, 18, 0, 0, 0));
+        assert_eq!(tz.bucket_start(Bucket::Month, t), ts(2024, 3, 1, 0, 0, 0));
+        assert_eq!(tz.bucket_end(Bucket::Month, t), ts(2024, 4, 1, 0, 0, 0));
+        assert_eq!(
+            tz.bucket_label(Bucket::Hour, ts(2024, 3, 14, 3, 0, 0)),
+            "2024-03-14T03:00Z"
+        );
+        assert_eq!(
+            tz.bucket_label(Bucket::Day, ts(2024, 3, 14, 0, 0, 0)),
+            "2024-03-14"
+        );
+        assert_eq!(
+            tz.bucket_label(Bucket::Week, ts(2024, 3, 11, 0, 0, 0)),
+            "2024-W11"
+        );
+        assert_eq!(
+            tz.bucket_label(Bucket::Month, ts(2024, 3, 1, 0, 0, 0)),
+            "2024-03"
+        );
+    }
+
+    #[test]
+    fn chicago_offsets_across_2024_transitions() {
+        let tz = Tz::america_chicago();
+        // Just before 2024-03-10 08:00 UTC: CST. At and after: CDT.
+        assert_eq!(tz.offset_at(ts(2024, 3, 10, 7, 59, 59)), -6 * 3600);
+        assert_eq!(tz.offset_at(ts(2024, 3, 10, 8, 0, 0)), -5 * 3600);
+        // Fall back at 2024-11-03 07:00 UTC.
+        assert_eq!(tz.offset_at(ts(2024, 11, 3, 6, 59, 59)), -5 * 3600);
+        assert_eq!(tz.offset_at(ts(2024, 11, 3, 7, 0, 0)), -6 * 3600);
+    }
+
+    #[test]
+    fn spring_forward_day_is_23_hours() {
+        let tz = Tz::america_chicago();
+        // Noon local on the 2024 spring-forward day.
+        let t = ts(2024, 3, 10, 18, 0, 0);
+        let start = tz.bucket_start(Bucket::Day, t);
+        let end = tz.bucket_end(Bucket::Day, t);
+        assert_eq!(start, ts(2024, 3, 10, 6, 0, 0));
+        assert_eq!(end, ts(2024, 3, 11, 5, 0, 0));
+        assert_eq!((end - start).as_hours_f64(), 23.0);
+        assert_eq!(tz.bucket_label(Bucket::Day, start), "2024-03-10");
+        // The skipped local hour 02 produces no hour bucket: 01:59:59 CST
+        // is in the 01:00-06:00 bucket, and the next bucket is 03:00-05:00.
+        let before_gap = ts(2024, 3, 10, 7, 59, 59);
+        assert_eq!(
+            tz.bucket_label(Bucket::Hour, tz.bucket_start(Bucket::Hour, before_gap)),
+            "2024-03-10T01:00-06:00"
+        );
+        let after_gap = tz.bucket_end(Bucket::Hour, before_gap);
+        assert_eq!(after_gap, ts(2024, 3, 10, 8, 0, 0));
+        assert_eq!(
+            tz.bucket_label(Bucket::Hour, after_gap),
+            "2024-03-10T03:00-05:00"
+        );
+    }
+
+    #[test]
+    fn fall_back_day_is_25_hours_with_a_folded_hour() {
+        let tz = Tz::america_chicago();
+        let t = ts(2024, 11, 3, 18, 0, 0);
+        let start = tz.bucket_start(Bucket::Day, t);
+        let end = tz.bucket_end(Bucket::Day, t);
+        assert_eq!(start, ts(2024, 11, 3, 5, 0, 0));
+        assert_eq!(end, ts(2024, 11, 4, 6, 0, 0));
+        assert_eq!((end - start).as_hours_f64(), 25.0);
+        // Local 01:30 happens twice; the two instants land in two
+        // distinct buckets whose labels differ only in offset.
+        let first = ts(2024, 11, 3, 6, 30, 0); // 01:30 CDT
+        let second = ts(2024, 11, 3, 7, 30, 0); // 01:30 CST
+        let b1 = tz.bucket_start(Bucket::Hour, first);
+        let b2 = tz.bucket_start(Bucket::Hour, second);
+        assert!(b1 < b2);
+        assert_eq!(tz.bucket_end(Bucket::Hour, first), b2);
+        assert_eq!(tz.bucket_label(Bucket::Hour, b1), "2024-11-03T01:00-05:00");
+        assert_eq!(tz.bucket_label(Bucket::Hour, b2), "2024-11-03T01:00-06:00");
+    }
+
+    #[test]
+    fn berlin_transitions_at_one_am_utc() {
+        let tz = Tz::europe_berlin();
+        // 2022-03-27 and 2022-10-30 are the last Sundays.
+        assert_eq!(tz.offset_at(ts(2022, 3, 27, 0, 59, 59)), 3600);
+        assert_eq!(tz.offset_at(ts(2022, 3, 27, 1, 0, 0)), 2 * 3600);
+        assert_eq!(tz.offset_at(ts(2022, 10, 30, 0, 59, 59)), 2 * 3600);
+        assert_eq!(tz.offset_at(ts(2022, 10, 30, 1, 0, 0)), 3600);
+    }
+
+    #[test]
+    fn week_labels_follow_iso_year_of_thursday() {
+        let tz = Tz::utc();
+        // 2024-12-30 (Monday) starts ISO week 2025-W01.
+        let t = ts(2024, 12, 31, 12, 0, 0);
+        let start = tz.bucket_start(Bucket::Week, t);
+        assert_eq!(start, ts(2024, 12, 30, 0, 0, 0));
+        assert_eq!(tz.bucket_label(Bucket::Week, start), "2025-W01");
+        // 2021-01-01 (Friday) is still 2020-W53.
+        let t = ts(2021, 1, 1, 12, 0, 0);
+        let start = tz.bucket_start(Bucket::Week, t);
+        assert_eq!(tz.bucket_label(Bucket::Week, start), "2020-W53");
+    }
+
+    #[test]
+    fn by_name_resolves_builtins_and_rejects_unknowns() {
+        for name in Tz::BUILTIN {
+            assert_eq!(Tz::by_name(name).unwrap().name(), name);
+        }
+        assert!(Tz::by_name("Mars/Olympus_Mons").is_err());
+    }
+
+    #[test]
+    fn bucket_parses_and_displays() {
+        for b in Bucket::ALL {
+            assert_eq!(b.as_str().parse::<Bucket>().unwrap(), b);
+            assert_eq!(b.to_string(), b.as_str());
+        }
+        assert!("fortnight".parse::<Bucket>().is_err());
+    }
+
+    #[test]
+    fn transitions_must_be_sorted() {
+        let bad = std::panic::catch_unwind(|| {
+            Tz::with_transitions("bad", 0, vec![(100, 60), (100, 120)])
+        });
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn partition_is_complete_across_a_transition() {
+        // Walk buckets across the 2024 Chicago fall-back by repeated
+        // bucket_end and verify each end is exactly the next start.
+        let tz = Tz::america_chicago();
+        for bucket in Bucket::ALL {
+            let mut cursor = ts(2024, 11, 1, 0, 0, 0);
+            let stop = ts(2024, 11, 6, 0, 0, 0);
+            while cursor < stop {
+                let end = tz.bucket_end(bucket, cursor);
+                assert!(end > cursor, "{bucket}: end must advance");
+                assert_eq!(
+                    tz.bucket_start(bucket, end),
+                    end,
+                    "{bucket}: boundary at {end} is not a bucket start"
+                );
+                cursor = end;
+            }
+        }
+    }
+}

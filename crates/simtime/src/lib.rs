@@ -11,8 +11,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod civiltime;
 pub mod periods;
 
+pub use civiltime::{Bucket, Tz};
 pub use periods::{Period, Phase, StudyPeriods};
 
 use std::error::Error;
@@ -397,7 +399,7 @@ fn parse_hms(s: &str) -> Result<(u32, u32, u32), ParseTimestampError> {
 }
 
 /// Whether `year` is a Gregorian leap year.
-fn is_leap(year: i32) -> bool {
+pub(crate) fn is_leap(year: i32) -> bool {
     year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
 }
 
@@ -413,7 +415,7 @@ fn days_in_month(year: i32, month: u32) -> u32 {
 }
 
 /// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm).
-fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+pub(crate) fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
     let y = i64::from(y) - i64::from(m <= 2);
     let era = if y >= 0 { y } else { y - 399 } / 400;
     let yoe = y - era * 400; // [0, 399]
@@ -424,7 +426,7 @@ fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
 }
 
 /// Civil date for days since 1970-01-01 (inverse of [`days_from_civil`]).
-fn civil_from_days(z: i64) -> (i32, u32, u32) {
+pub(crate) fn civil_from_days(z: i64) -> (i32, u32, u32) {
     let z = z + 719_468;
     let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
     let doe = z - era * 146_097; // [0, 146096]

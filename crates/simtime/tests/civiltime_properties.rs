@@ -1,0 +1,269 @@
+//! Property layer for the civil-time bucketing model.
+//!
+//! The rollup cubes assume four structural facts about
+//! `Tz::bucket_start`/`bucket_end`, and these must hold for *arbitrary*
+//! transition tables — not just the three built-ins — because a bug that
+//! only bites on an exotic offset pattern would silently mis-bucket:
+//!
+//! * **totality** — `start <= t < end` for every instant;
+//! * **idempotence** — boundaries map to themselves;
+//! * **partition-completeness** — consecutive buckets tile the line:
+//!   `bucket_start(bucket_end(t)) == bucket_end(t)`, and every sampled
+//!   instant inside `[start, end)` maps to the same bucket;
+//! * **monotonicity** — later instants never map to earlier buckets,
+//!   even across a fall-back fold where local labels repeat.
+//!
+//! Counterexample zones shrink toward fewer/rounder transitions so a
+//! failure prints the smallest adversarial table. Explicit regressions
+//! pin the Chicago 2024 spring-forward gap and fall-back fold.
+
+use propcheck::{run_shrinking, shrink_vec, Gen};
+use simtime::{Bucket, Timestamp, Tz};
+
+/// Instants are generated well above the epoch so a month bucket can
+/// never be clamped at zero (clamping is exercised separately below).
+const T_LO: u64 = 50 * 86_400;
+const T_HI: u64 = 60 * 365 * 86_400;
+
+/// A generated zone plus the probe instant, as one shrinkable value.
+#[derive(Debug, Clone)]
+struct Case {
+    base_offset: i32,
+    /// `(utc_instant, offset_after)`, strictly ascending.
+    transitions: Vec<(u64, i32)>,
+    t: u64,
+}
+
+impl Case {
+    fn tz(&self) -> Tz {
+        Tz::with_transitions("generated", self.base_offset, self.transitions.clone())
+    }
+}
+
+/// Offsets up to ±14 h at minute granularity — wider than any real zone,
+/// so fold/gap geometry is stressed harder than zoneinfo ever would.
+fn gen_offset(g: &mut Gen) -> i32 {
+    let mins = g.u64_in(0, 2 * 14 * 60) as i64 - 14 * 60;
+    (mins * 60) as i32
+}
+
+fn gen_case(g: &mut Gen) -> Case {
+    let base_offset = gen_offset(g);
+    let n = g.usize_in(0, 12);
+    let mut instants: Vec<u64> = (0..n).map(|_| g.u64_in(T_LO / 2, T_HI)).collect();
+    instants.sort_unstable();
+    instants.dedup();
+    let transitions = instants
+        .into_iter()
+        .map(|at| (at, gen_offset(g)))
+        .collect::<Vec<_>>();
+    // Bias the probe toward transition neighborhoods half the time:
+    // the interesting behavior all lives within an offset-width of one.
+    let t = if !transitions.is_empty() && g.bool() {
+        let (at, _) = g.choose(&transitions);
+        let spread = 3 * 86_400;
+        g.u64_in(at.saturating_sub(spread).max(T_LO), at + spread)
+    } else {
+        g.u64_in(T_LO, T_HI)
+    };
+    Case {
+        base_offset,
+        transitions,
+        t,
+    }
+}
+
+/// Shrinks by dropping transitions, then rounding the probe downward.
+fn shrink_case(c: &Case) -> Vec<Case> {
+    let mut out = Vec::new();
+    for transitions in shrink_vec(&c.transitions) {
+        out.push(Case {
+            transitions,
+            ..c.clone()
+        });
+    }
+    if c.base_offset != 0 {
+        out.push(Case {
+            base_offset: 0,
+            ..c.clone()
+        });
+    }
+    for round in [3600, 86_400] {
+        let t = c.t - c.t % round;
+        if t >= T_LO && t != c.t {
+            out.push(Case { t, ..c.clone() });
+        }
+    }
+    out
+}
+
+fn for_each_bucket(mut f: impl FnMut(Bucket) -> Result<(), String>) -> Result<(), String> {
+    for bucket in Bucket::ALL {
+        f(bucket).map_err(|e| format!("{bucket}: {e}"))?;
+    }
+    Ok(())
+}
+
+#[test]
+fn bucketing_is_total_and_idempotent() {
+    run_shrinking(
+        "civiltime_total_idempotent",
+        200,
+        gen_case,
+        shrink_case,
+        |c| {
+            let tz = c.tz();
+            let t = Timestamp::from_unix(c.t);
+            for_each_bucket(|bucket| {
+                let start = tz.bucket_start(bucket, t);
+                let end = tz.bucket_end(bucket, t);
+                if !(start <= t && t < end) {
+                    return Err(format!("not total: [{start:?}, {end:?}) vs {t:?}"));
+                }
+                if tz.bucket_start(bucket, start) != start {
+                    return Err(format!("start {start:?} is not a fixed point"));
+                }
+                if tz.bucket_end(bucket, start) != end {
+                    return Err(format!("end from start {start:?} disagrees with {end:?}"));
+                }
+                Ok(())
+            })
+        },
+    );
+}
+
+#[test]
+fn buckets_tile_the_line() {
+    run_shrinking(
+        "civiltime_partition_complete",
+        200,
+        gen_case,
+        shrink_case,
+        |c| {
+            let tz = c.tz();
+            let t = Timestamp::from_unix(c.t);
+            for_each_bucket(|bucket| {
+                let start = tz.bucket_start(bucket, t);
+                let end = tz.bucket_end(bucket, t);
+                // The end boundary opens the next bucket exactly there.
+                if tz.bucket_start(bucket, end) != end {
+                    return Err(format!("end {end:?} does not start the next bucket"));
+                }
+                // Every second of the bucket belongs to it — sample the
+                // edges plus interior points (buckets can span months).
+                let span = end.unix() - start.unix();
+                for probe in [
+                    start.unix(),
+                    start.unix() + span / 3,
+                    start.unix() + span / 2,
+                    end.unix() - 1,
+                ] {
+                    let p = Timestamp::from_unix(probe);
+                    if tz.bucket_start(bucket, p) != start {
+                        return Err(format!("{p:?} escapes its bucket [{start:?}, {end:?})"));
+                    }
+                }
+                Ok(())
+            })
+        },
+    );
+}
+
+#[test]
+fn bucketing_is_monotone() {
+    run_shrinking(
+        "civiltime_monotone",
+        200,
+        |g| {
+            let c = gen_case(g);
+            let dt = g.u64_in(0, 40 * 86_400);
+            (c, dt)
+        },
+        |(c, dt)| {
+            let mut out: Vec<(Case, u64)> = shrink_case(c).into_iter().map(|c| (c, *dt)).collect();
+            if *dt > 0 {
+                out.push((c.clone(), dt / 2));
+            }
+            out
+        },
+        |(c, dt)| {
+            let tz = c.tz();
+            let a = Timestamp::from_unix(c.t);
+            let b = Timestamp::from_unix(c.t + dt);
+            for_each_bucket(|bucket| {
+                let (sa, sb) = (tz.bucket_start(bucket, a), tz.bucket_start(bucket, b));
+                if sa > sb {
+                    return Err(format!("start went backwards: {sa:?} > {sb:?}"));
+                }
+                let (ea, eb) = (tz.bucket_end(bucket, a), tz.bucket_end(bucket, b));
+                if ea > eb {
+                    return Err(format!("end went backwards: {ea:?} > {eb:?}"));
+                }
+                Ok(())
+            })
+        },
+    );
+}
+
+fn ts(y: i32, mo: u32, d: u32, h: u32, mi: u32, s: u32) -> Timestamp {
+    Timestamp::from_ymd_hms(y, mo, d, h, mi, s).expect("valid civil time")
+}
+
+/// Spring-forward regression: America/Chicago 2024-03-10, 02:00 CST →
+/// 03:00 CDT at 08:00 UTC. The skipped local hour has no bucket and the
+/// local day is a single 23-hour interval.
+#[test]
+fn chicago_spring_forward_gap() {
+    let tz = Tz::america_chicago();
+    let in_gap_utc = ts(2024, 3, 10, 8, 30, 0); // local 03:30 CDT
+    let day_start = tz.bucket_start(Bucket::Day, in_gap_utc);
+    let day_end = tz.bucket_end(Bucket::Day, in_gap_utc);
+    assert_eq!(day_start, ts(2024, 3, 10, 6, 0, 0));
+    assert_eq!(day_end, ts(2024, 3, 11, 5, 0, 0));
+    assert_eq!(day_end.unix() - day_start.unix(), 23 * 3600);
+    // Hour buckets jump 01:00 -> 03:00: no bucket is ever labeled 02:xx.
+    let mut cursor = day_start;
+    let mut labels = Vec::new();
+    while cursor < day_end {
+        labels.push(tz.bucket_label(Bucket::Hour, cursor));
+        cursor = tz.bucket_end(Bucket::Hour, cursor);
+    }
+    assert_eq!(labels.len(), 23);
+    assert!(labels.contains(&"2024-03-10T01:00-06:00".to_owned()));
+    assert!(labels.contains(&"2024-03-10T03:00-05:00".to_owned()));
+    assert!(!labels.iter().any(|l| l.contains("T02:")), "{labels:?}");
+}
+
+/// Fall-back regression: America/Chicago 2024-11-03, 02:00 CDT → 01:00
+/// CST at 07:00 UTC. The repeated local hour is two distinct buckets
+/// disambiguated by offset, and the local day is 25 hours.
+#[test]
+fn chicago_fall_back_fold() {
+    let tz = Tz::america_chicago();
+    let in_fold_first = ts(2024, 11, 3, 6, 30, 0); // local 01:30 CDT
+    let in_fold_second = ts(2024, 11, 3, 7, 30, 0); // local 01:30 CST
+    let b1 = tz.bucket_start(Bucket::Hour, in_fold_first);
+    let b2 = tz.bucket_start(Bucket::Hour, in_fold_second);
+    assert!(b1 < b2, "fold instants must land in distinct buckets");
+    assert_eq!(tz.bucket_end(Bucket::Hour, in_fold_first), b2);
+    assert_eq!(tz.bucket_label(Bucket::Hour, b1), "2024-11-03T01:00-05:00");
+    assert_eq!(tz.bucket_label(Bucket::Hour, b2), "2024-11-03T01:00-06:00");
+    let day_start = tz.bucket_start(Bucket::Day, in_fold_second);
+    let day_end = tz.bucket_end(Bucket::Day, in_fold_second);
+    assert_eq!(day_start, ts(2024, 11, 3, 5, 0, 0));
+    assert_eq!(day_end, ts(2024, 11, 4, 6, 0, 0));
+    assert_eq!(day_end.unix() - day_start.unix(), 25 * 3600);
+    assert_eq!(tz.bucket_label(Bucket::Day, day_start), "2024-11-03");
+}
+
+/// Buckets that would open before the epoch clamp their start at zero
+/// without breaking totality or idempotence.
+#[test]
+fn epoch_clamp_is_idempotent() {
+    let tz = Tz::by_name("Europe/Berlin").expect("builtin");
+    let t = ts(1970, 1, 10, 12, 0, 0);
+    let start = tz.bucket_start(Bucket::Month, t);
+    assert_eq!(start, Timestamp::EPOCH);
+    assert_eq!(tz.bucket_start(Bucket::Month, start), start);
+    assert!(tz.bucket_end(Bucket::Month, t) > t);
+}

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! delta-cli analyze  <LOG>... [--jobs FILE] [--cpu-jobs FILE] [--outages FILE]
-//!                    [--window SECS] [--deep] [--metrics-out FILE]
+//!                    [--window SECS] [--deep] [--rollup BUCKET[@TZ]]
+//!                    [--metrics-out FILE]
 //! delta-cli simulate [--scale F] [--seed N] --out DIR [--metrics-out FILE]
 //! delta-cli taxonomy
 //! ```
@@ -59,7 +60,8 @@ delta-cli — A100 GPU resilience analysis (DSN'25 reproduction)
 
 USAGE:
   delta-cli analyze <LOG>... [--jobs FILE] [--cpu-jobs FILE] [--outages FILE]
-                    [--window SECS] [--deep] [--metrics-out FILE]
+                    [--window SECS] [--deep] [--rollup BUCKET[@TZ]]
+                    [--metrics-out FILE]
   delta-cli simulate [--scale F] [--seed N] --out DIR [--metrics-out FILE]
   delta-cli taxonomy
 
@@ -73,6 +75,10 @@ ANALYZE
                   (infer the window from the data span, keeping Delta's
                   23%/77% pre-op/op split — use for scaled datasets)
   --deep          also run survival / concentration / burstiness analyses
+  --rollup SPEC   also print a calendar-aware error rollup; SPEC is
+                  BUCKET[@TZ] with BUCKET one of hour|day|week|month and
+                  TZ one of UTC|America/Chicago|Europe/Berlin (DST-aware,
+                  default UTC) — e.g. 'day', 'week@America/Chicago'
 
 SIMULATE
   --scale F       calendar scale in (0,1], default 0.05
@@ -94,6 +100,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
             "outages",
             "window",
             "periods",
+            "rollup",
             "metrics-out",
             "metrics-format",
         ],
@@ -177,6 +184,30 @@ fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
         println!("=== Figure 2 ===\n{}", report::figure2(&report_out));
     }
     println!("=== Findings ===\n{}", Findings::evaluate(&report_out));
+
+    if let Some(spec) = flags.value("rollup") {
+        let (bucket, tz) = cli::parse_rollup_spec(spec)?;
+        let cube = resilience::rollup::RollupCube::build(
+            &tz,
+            bucket,
+            report_out.errors.iter().map(|e| (e.time, e.kind)),
+        );
+        println!(
+            "\n=== Error rollup ({} buckets, {}) ===",
+            bucket.as_str(),
+            tz.name()
+        );
+        println!("bucket,start,end,count");
+        for cell in cube.cells() {
+            println!(
+                "{},{},{},{}",
+                tz.bucket_label(bucket, cell.start),
+                cell.start,
+                cell.end,
+                cell.total
+            );
+        }
+    }
 
     if flags.has("deep") {
         println!("\n=== Deep analyses ===\n{}", report::deep(&report_out));

@@ -35,6 +35,7 @@
 //! GET /tables/1 /tables/2 /tables/3 /fig2   the paper surfaces
 //! GET /errors?host=&xid=&from=&to=          filtered coalesced errors (CSV)
 //! GET /mtbe[?xid=]                          per-kind MTBE rows (CSV)
+//! GET /rollup?metric=&bucket=&tz=&...       calendar-aware rollup cubes (CSV)
 //! GET /jobs/impact                          Table II + failed-job total (CSV)
 //! GET /availability                         §V-C summary (JSON)
 //! GET /snapshot /healthz /metrics           serving metadata + Prometheus
@@ -105,6 +106,9 @@ SERVER
 ENDPOINTS
   /tables/1 /tables/2 /tables/3 /fig2 /errors /mtbe /jobs/impact
   /availability /snapshot /healthz /metrics
+  /rollup?metric=errors|mtbe|impact|availability
+         [&bucket=hour|day|week|month] [&tz=UTC|America/Chicago|Europe/Berlin]
+         [&from=] [&to=] [&host=] [&xid=]   pre-aggregated civil-time rollups
   POST /ingest/{logs,jobs,cpu-jobs,outages}[?seq=N]  (with --ingest-dir)
   POST /ingest/flush    GET /ingest/status
 ";

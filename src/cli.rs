@@ -232,6 +232,18 @@ pub fn parse_outages_csv(text: &str) -> Result<Vec<resilience::OutageRecord>, Cl
         .map_err(|e| CliError::Pipeline(PipelineError::csv(CsvInput::Outages, e)))
 }
 
+/// Parses a `--rollup BUCKET[@TZ]` spec (e.g. `day`, `week@UTC`,
+/// `hour@America/Chicago`) into the bucket granularity and builtin
+/// timezone for a civil-time rollup. The timezone defaults to UTC.
+pub fn parse_rollup_spec(raw: &str) -> Result<(simtime::Bucket, simtime::Tz), CliError> {
+    let (bucket_raw, tz_raw) = raw.split_once('@').unwrap_or((raw, "UTC"));
+    let bucket = bucket_raw
+        .parse()
+        .map_err(|e: simtime::civiltime::ParseCivilError| CliError::Usage(e.to_string()))?;
+    let tz = simtime::Tz::by_name(tz_raw).map_err(|e| CliError::Usage(e.to_string()))?;
+    Ok((bucket, tz))
+}
+
 /// Collects log files from file and directory arguments, sorted by path.
 pub fn collect_log_files(paths: &[String]) -> Result<Vec<PathBuf>, CliError> {
     let mut files = Vec::new();
@@ -422,6 +434,18 @@ mod tests {
     fn later_values_win() {
         let flags = parse_flags(&args(&["--seed", "1", "--seed", "2"]), &["seed"]).unwrap();
         assert_eq!(flags.value("seed"), Some("2"));
+    }
+
+    #[test]
+    fn rollup_spec_parses_bucket_and_tz() {
+        let (bucket, tz) = parse_rollup_spec("day").unwrap();
+        assert_eq!(bucket, simtime::Bucket::Day);
+        assert_eq!(tz.name(), "UTC");
+        let (bucket, tz) = parse_rollup_spec("hour@America/Chicago").unwrap();
+        assert_eq!(bucket, simtime::Bucket::Hour);
+        assert_eq!(tz.name(), "America/Chicago");
+        assert!(parse_rollup_spec("decade").is_err());
+        assert!(parse_rollup_spec("day@Mars/Olympus").is_err());
     }
 
     #[test]

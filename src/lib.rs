@@ -76,7 +76,7 @@ pub mod prelude {
         AccountedJob, Caveat, OutageRecord, Pipeline, PipelineError, QuarantineReport, StudyReport,
     };
     pub use simrng::Rng;
-    pub use simtime::{Duration, Period, Phase, StudyPeriods, Timestamp};
+    pub use simtime::{Bucket, Duration, Period, Phase, StudyPeriods, Timestamp, Tz};
     pub use slurmsim::{JobRecord, JobState, KillModel, Simulation, WorkloadConfig};
     pub use xid::{Category, ErrorKind, RecoveryAction, XidCode};
 }

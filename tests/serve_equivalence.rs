@@ -90,8 +90,9 @@ fn serve(handle: Arc<StoreHandle>) -> servd::RunningServer {
 
 // ------------------------------------------------------ oracle rendering
 
-/// Brute-force `/errors` oracle: a linear scan with inclusive time
-/// bounds, written without reference to the store's indexes.
+/// Brute-force `/errors` oracle: a linear scan with `[from, to)` time
+/// bounds (from inclusive, to exclusive), written without reference to
+/// the store's indexes.
 fn brute_force_errors(
     report: &StudyReport,
     host: Option<&str>,
@@ -105,7 +106,7 @@ fn brute_force_errors(
         if host.is_some_and(|h| e.host != h)
             || kind.is_some_and(|k| e.kind != k)
             || from.is_some_and(|t| e.time < t)
-            || to.is_some_and(|t| e.time > t)
+            || to.is_some_and(|t| e.time >= t)
         {
             continue;
         }

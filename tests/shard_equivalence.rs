@@ -79,15 +79,15 @@ fn all_hosts(report: &StudyReport) -> Vec<String> {
 }
 
 /// Independent `/errors` oracle: a brute-force linear scan with
-/// inclusive bounds, sharing no code with the store's posting lists,
-/// time slices, or merge.
+/// `[from, to)` bounds (from inclusive, to exclusive), sharing no code
+/// with the store's posting lists, time slices, or merge.
 fn brute_force_errors(report: &StudyReport, filter: &ErrorFilter) -> String {
     let mut out = String::from("time,host,pci,xid,kind,merged_lines\n");
     for e in &report.errors {
         if filter.host.as_deref().is_some_and(|h| e.host != h)
             || filter.kind.is_some_and(|k| e.kind != k)
             || filter.from.is_some_and(|t| e.time < t)
-            || filter.to.is_some_and(|t| e.time > t)
+            || filter.to.is_some_and(|t| e.time >= t)
         {
             continue;
         }
