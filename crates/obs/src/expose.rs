@@ -76,8 +76,8 @@ impl ObsReport {
         }
         // Tracer-derived series. Gauges, not counters: the ring is
         // bounded, so per-stage totals can shrink as old spans drop.
-        let _ = writeln!(out, "# TYPE obs_spans_dropped_total counter");
-        let _ = writeln!(out, "obs_spans_dropped_total {}", self.spans_dropped);
+        // (obs_spans_dropped_total is a real registry counter now, so
+        // it already rendered in the loop above.)
         if !self.spans.is_empty() {
             let mut spans = self.spans.clone();
             spans.sort_by_key(|a| a.name);
@@ -191,7 +191,10 @@ fn prom_labels(labels: &LabelSet, le: Option<&str>) -> String {
     out
 }
 
-fn escape(s: &str) -> String {
+/// Escapes a string for a Prometheus label value or a JSON string:
+/// backslash, double quote and newline per the text-format spec, any
+/// other control character as `\u00XX` (a superset JSON also accepts).
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -290,5 +293,113 @@ mod tests {
         let report = sample_obs().report();
         crate::check::validate_prometheus(&report.to_prometheus()).unwrap();
         crate::check::validate_json(&report.to_json()).unwrap();
+    }
+
+    /// Reverses [`escape`] per the Prometheus text-format spec: `\\`,
+    /// `\"`, `\n`, plus the `\u00XX` control-char form the writer emits.
+    fn unescape(s: &str) -> String {
+        let mut out = String::new();
+        let mut chars = s.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                Some('u') => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).unwrap();
+                    out.push(char::from_u32(code).unwrap());
+                }
+                other => panic!("unknown escape \\{other:?}"),
+            }
+        }
+        out
+    }
+
+    /// Pulls the quoted value of label `key` out of one sample line,
+    /// escapes intact (closing quote found by skipping escape pairs).
+    fn label_value_on_line<'a>(line: &'a str, key: &str) -> &'a str {
+        let needle = format!("{key}=\"");
+        let start = line.find(&needle).unwrap() + needle.len();
+        let rest = &line[start..];
+        let mut escaped = false;
+        for (i, c) in rest.char_indices() {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                return &rest[..i];
+            }
+        }
+        panic!("unterminated label value in {line}");
+    }
+
+    #[test]
+    fn adversarial_label_values_round_trip_through_the_text_format() {
+        // Every shape the spec calls out: lone and paired backslashes,
+        // embedded quotes, newlines, and the escapes themselves as
+        // literal text — plus tabs/CRs, which the writer hex-escapes.
+        let cases: &[(&'static str, &str)] = &[
+            ("bs", "a\\b"),
+            ("bs2", "trailing\\"),
+            ("bs3", "\\\\double\\\\"),
+            ("quote", "say \"hi\""),
+            ("nl", "line1\nline2\n"),
+            ("mixed", "q=\"\\\n\"; rest"),
+            ("literal", "literal \\n not a newline"),
+            ("ctrl", "tab\tcr\rbell\u{7}"),
+            ("unicode", "µs — naïve ✓"),
+        ];
+        let obs = Obs::new();
+        for (i, (_, value)) in cases.iter().enumerate() {
+            obs.registry()
+                .counter("adv_total", &[("case", &i.to_string()), ("v", value)])
+                .inc();
+        }
+        let text = obs.report().to_prometheus();
+        // The whole exposition still validates (unique keys, parseable
+        // label blocks, finite values) despite the hostile labels.
+        crate::check::validate_prometheus(&text).unwrap();
+        for (i, (name, value)) in cases.iter().enumerate() {
+            let line = text
+                .lines()
+                .find(|l| l.contains(&format!("case=\"{i}\"")))
+                .unwrap_or_else(|| panic!("case {name}: no sample line"));
+            assert!(
+                !line.contains('\r'),
+                "case {name}: escapes must keep the sample on one line"
+            );
+            assert_eq!(
+                unescape(label_value_on_line(line, "v")),
+                **value,
+                "case {name}: label value must round-trip"
+            );
+        }
+        // The JSON rendering of the same registry also stays valid.
+        crate::check::validate_json(&obs.report().to_json()).unwrap();
+    }
+
+    #[test]
+    fn adversarial_span_names_round_trip_in_span_series() {
+        let obs = Obs::new();
+        {
+            // Span names are 'static, but nothing stops a hostile one.
+            let _s = obs.tracer().span("scan \"phase\\1\"\nend");
+        }
+        let text = obs.report().to_prometheus();
+        crate::check::validate_prometheus(&text).unwrap();
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("obs_span_count"))
+            .unwrap();
+        assert_eq!(
+            unescape(label_value_on_line(line, "span")),
+            "scan \"phase\\1\"\nend"
+        );
     }
 }

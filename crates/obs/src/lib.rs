@@ -14,6 +14,14 @@
 //!   snapshot of the registry and tracer, rendered as Prometheus text
 //!   exposition format or JSON. [`check`] validates those renderings
 //!   (used by the `obs_check` smoke gate).
+//! * [`trace`] — request-scoped tracing: a [`FlightRecorder`] mints a
+//!   trace id per request, stages append child spans, and sealed
+//!   traces are retained slowest-N per rolling window plus all error
+//!   traces (the `/debug/traces` substrate).
+//! * [`tsdb`] — a fixed-capacity ring time-series store that absorbs
+//!   registry snapshots on an injected-clock cadence and serves
+//!   downsampled `[from, to)` range queries (the `/metrics/history`
+//!   substrate).
 //!
 //! # The write-only invariant
 //!
@@ -41,10 +49,14 @@ pub mod check;
 pub mod expose;
 pub mod registry;
 pub mod span;
+pub mod trace;
+pub mod tsdb;
 
 pub use expose::ObsReport;
 pub use registry::{Counter, Gauge, Histogram, Registry};
 pub use span::{Span, SpanRecord, Tracer};
+pub use trace::{FlightRecorder, StageGuard, StageRecord, Trace, TraceRecord};
+pub use tsdb::{HistoryQuery, HistoryResult, Tsdb};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -71,9 +83,14 @@ impl Obs {
     /// records before dropping the oldest.
     pub fn with_span_capacity(capacity: usize) -> Self {
         let enabled = Arc::new(AtomicBool::new(true));
+        let registry = Registry::new(Arc::clone(&enabled));
+        // Ring eviction is surfaced as a real registry counter so a
+        // full span ring is visible in every exposition, not just the
+        // tracer's own bookkeeping.
+        let spans_dropped = registry.counter("obs_spans_dropped_total", &[]);
         Obs {
-            registry: Registry::new(Arc::clone(&enabled)),
-            tracer: Tracer::new(capacity, Arc::clone(&enabled)),
+            tracer: Tracer::new(capacity, Arc::clone(&enabled), spans_dropped),
+            registry,
             enabled,
         }
     }

@@ -2,11 +2,14 @@
 //!
 //! `obs::span("stage_scan")` opens a guard; dropping it records the
 //! stage's wall time, thread ordinal and item count. Records land in a
-//! preallocated ring: when full, the oldest record is overwritten and a
-//! drop counter is bumped — the hot path never reallocates and never
-//! panics. [`Tracer::timeline`] renders a post-run per-stage table with
+//! preallocated ring: when full, the oldest record is overwritten, a
+//! drop counter is bumped, and the owning registry's
+//! `obs_spans_dropped_total` counter is incremented — eviction is never
+//! silent, the hot path never reallocates, and nothing panics.
+//! [`Tracer::timeline`] renders a post-run per-stage table with
 //! proportional bars (a text flamegraph, one frame deep).
 
+use crate::registry::Counter;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
@@ -59,14 +62,21 @@ impl Ring {
         }
     }
 
-    fn push(&mut self, record: SpanRecord) {
-        if self.slots.len() < self.capacity {
+    /// Pushes a record; returns `true` when an older record was
+    /// evicted to make room.
+    fn push(&mut self, record: SpanRecord) -> bool {
+        let evicted = if self.slots.len() < self.capacity {
             self.slots.push(record); // within preallocated capacity
-        } else if let Some(slot) = self.slots.get_mut(self.head) {
-            *slot = record; // overwrite the oldest
-        }
+            false
+        } else {
+            if let Some(slot) = self.slots.get_mut(self.head) {
+                *slot = record; // overwrite the oldest
+            }
+            true
+        };
         self.head = (self.head + 1) % self.capacity;
         self.pushed += 1;
+        evicted
     }
 
     fn dropped(&self) -> u64 {
@@ -93,14 +103,18 @@ pub struct Tracer {
     enabled: Arc<AtomicBool>,
     epoch: Instant,
     ring: Mutex<Ring>,
+    /// Bumped once per record evicted from a full ring — the
+    /// `obs_spans_dropped_total` counter on the owning registry.
+    evictions: Counter,
 }
 
 impl Tracer {
-    pub(crate) fn new(capacity: usize, enabled: Arc<AtomicBool>) -> Self {
+    pub(crate) fn new(capacity: usize, enabled: Arc<AtomicBool>, evictions: Counter) -> Self {
         Tracer {
             enabled,
             epoch: Instant::now(),
             ring: Mutex::new(Ring::new(capacity)),
+            evictions,
         }
     }
 
@@ -129,7 +143,9 @@ impl Tracer {
             duration_ns: saturating_ns(start.elapsed().as_nanos()),
             items,
         };
-        self.lock().push(record);
+        if self.lock().push(record) {
+            self.evictions.inc();
+        }
     }
 
     /// Retained records, oldest to newest.
@@ -263,7 +279,13 @@ mod tests {
     use super::*;
 
     fn tracer(capacity: usize) -> Tracer {
-        Tracer::new(capacity, Arc::new(AtomicBool::new(true)))
+        tracer_with_flag(capacity, Arc::new(AtomicBool::new(true)))
+    }
+
+    fn tracer_with_flag(capacity: usize, enabled: Arc<AtomicBool>) -> Tracer {
+        let registry = crate::registry::Registry::new(Arc::clone(&enabled));
+        let evictions = registry.counter("obs_spans_dropped_total", &[]);
+        Tracer::new(capacity, enabled, evictions)
     }
 
     #[test]
@@ -318,11 +340,30 @@ mod tests {
 
     #[test]
     fn disabled_tracer_records_nothing() {
-        let enabled = Arc::new(AtomicBool::new(false));
-        let t = Tracer::new(8, Arc::clone(&enabled));
+        let t = tracer_with_flag(8, Arc::new(AtomicBool::new(false)));
         let _ = t.span("quiet");
         assert!(t.records().is_empty());
         assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn eviction_bumps_the_dropped_counter_in_arrival_order() {
+        // Through a full Obs so the counter under test is the same
+        // obs_spans_dropped_total the exposition renders.
+        let obs = crate::Obs::with_span_capacity(4);
+        for i in 0..10u64 {
+            let mut s = obs.tracer().span("evict");
+            s.add_items(i);
+        }
+        let items: Vec<u64> = obs.tracer().records().iter().map(|r| r.items).collect();
+        assert_eq!(items, vec![6, 7, 8, 9], "oldest evicted first, order kept");
+        let snap = obs.registry().snapshot();
+        assert_eq!(
+            crate::registry::counter_total(&snap, "obs_spans_dropped_total"),
+            6,
+            "one counter increment per evicted span"
+        );
+        assert_eq!(obs.tracer().dropped(), 6, "ring view agrees with counter");
     }
 
     #[test]

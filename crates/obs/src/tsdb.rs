@@ -1,0 +1,494 @@
+//! A fixed-capacity ring time-series store over registry snapshots.
+//!
+//! `/metrics` is a point-in-time exposition; [`Tsdb`] is its memory.
+//! [`Tsdb::scrape`] folds a [`Registry snapshot`](crate::Registry::snapshot)
+//! into per-series rings — counters and gauges keep their value,
+//! histograms explode into `<name>_count` and `<name>_sum` series — at
+//! an *injected* timestamp: the store never reads a clock, so scrape
+//! cadence is deterministic under test and the serving layer owns the
+//! schedule. [`Tsdb::query`] serves `[from, to)` ranges (the same
+//! half-open convention as the rollup layer) with optional step-bucket
+//! downsampling: each `step`-wide bucket reports its last sample,
+//! stamped at the bucket start.
+//!
+//! Bounds: at most `points_per_series` points per series (oldest
+//! evicted first) and at most `max_series` distinct series (new series
+//! beyond the cap are counted, then dropped). Scrapes must be strictly
+//! monotonic in time; a scrape at or before the previous timestamp is
+//! ignored, so restarts of a driving thread cannot corrupt history.
+
+use crate::expose::escape;
+use crate::registry::{MetricSnapshot, MetricValue};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::{Mutex, MutexGuard};
+
+/// A series identity: metric name plus owned, sorted label pairs.
+pub type SeriesKey = (String, Vec<(String, String)>);
+
+/// Parameters of one `/metrics/history` query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryQuery {
+    /// Exact series name (`servd_requests_total`,
+    /// `servd_request_duration_us_count`, ...). All label variants of
+    /// the name are returned.
+    pub name: String,
+    /// Inclusive lower time bound, seconds.
+    pub from: u64,
+    /// Exclusive upper time bound, seconds.
+    pub to: u64,
+    /// Downsampling bucket width in seconds; `0` returns raw points.
+    pub step: u64,
+}
+
+/// One series in a query result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistorySeries {
+    /// The series' label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+    /// `(timestamp_secs, value)` points, time-ascending.
+    pub points: Vec<(u64, u64)>,
+}
+
+/// The result of a [`Tsdb::query`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryResult {
+    /// Echo of the queried name.
+    pub name: String,
+    /// Echo of the query bounds and step.
+    pub from: u64,
+    /// Exclusive upper bound, echoed.
+    pub to: u64,
+    /// Bucket width, echoed (`0` = raw).
+    pub step: u64,
+    /// Total scrapes the store has absorbed (query provenance).
+    pub scrapes: u64,
+    /// Matching series with at least one point in range, in label order.
+    pub series: Vec<HistorySeries>,
+}
+
+/// Occupancy and loss counters, for gauges and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TsdbStats {
+    /// Distinct series currently stored.
+    pub series: usize,
+    /// Points currently stored across all series.
+    pub points: usize,
+    /// Scrapes absorbed (monotonic).
+    pub scrapes: u64,
+    /// Points evicted from full rings.
+    pub points_evicted: u64,
+    /// New series dropped because the series cap was hit.
+    pub series_dropped: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    points_per_series: usize,
+    max_series: usize,
+    series: BTreeMap<SeriesKey, VecDeque<(u64, u64)>>,
+    last_t: Option<u64>,
+    scrapes: u64,
+    points_evicted: u64,
+    series_dropped: u64,
+}
+
+/// The ring time-series store. See the module docs for semantics.
+#[derive(Debug)]
+pub struct Tsdb {
+    inner: Mutex<Inner>,
+}
+
+impl Tsdb {
+    /// Default per-series ring capacity (~17 minutes at 1 s cadence).
+    pub const DEFAULT_POINTS_PER_SERIES: usize = 1024;
+    /// Default cap on distinct series.
+    pub const DEFAULT_MAX_SERIES: usize = 4096;
+
+    /// A store keeping `points_per_series` points per series and the
+    /// default series cap.
+    pub fn new(points_per_series: usize) -> Self {
+        Self::with_limits(points_per_series, Self::DEFAULT_MAX_SERIES)
+    }
+
+    /// As [`Tsdb::new`] with an explicit series cap.
+    pub fn with_limits(points_per_series: usize, max_series: usize) -> Self {
+        Tsdb {
+            inner: Mutex::new(Inner {
+                points_per_series: points_per_series.max(1),
+                max_series: max_series.max(1),
+                series: BTreeMap::new(),
+                last_t: None,
+                scrapes: 0,
+                points_evicted: 0,
+                series_dropped: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Absorbs one registry snapshot at time `t_secs`. Returns `false`
+    /// (and stores nothing) if `t_secs` does not advance past the
+    /// previous scrape.
+    pub fn scrape(&self, t_secs: u64, snapshot: &[MetricSnapshot]) -> bool {
+        let mut g = self.lock();
+        if g.last_t.is_some_and(|last| t_secs <= last) {
+            return false;
+        }
+        g.last_t = Some(t_secs);
+        g.scrapes += 1;
+        for m in snapshot {
+            let labels: Vec<(String, String)> = m
+                .labels
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.clone()))
+                .collect();
+            match &m.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    push_point(&mut g, (m.name.to_owned(), labels), t_secs, *v);
+                }
+                MetricValue::Histogram(h) => {
+                    push_point(
+                        &mut g,
+                        (format!("{}_count", m.name), labels.clone()),
+                        t_secs,
+                        h.count,
+                    );
+                    push_point(&mut g, (format!("{}_sum", m.name), labels), t_secs, h.sum);
+                }
+            }
+        }
+        true
+    }
+
+    /// Serves a `[from, to)` range over every series named
+    /// `query.name`, downsampled when `query.step > 0`.
+    pub fn query(&self, query: &HistoryQuery) -> HistoryResult {
+        let g = self.lock();
+        let mut series = Vec::new();
+        for ((name, labels), ring) in g.series.iter() {
+            if name != &query.name {
+                continue;
+            }
+            let raw: Vec<(u64, u64)> = ring
+                .iter()
+                .copied()
+                .filter(|&(t, _)| t >= query.from && t < query.to)
+                .collect();
+            let points = downsample(&raw, query.from, query.step);
+            if !points.is_empty() {
+                series.push(HistorySeries {
+                    labels: labels.clone(),
+                    points,
+                });
+            }
+        }
+        HistoryResult {
+            name: query.name.clone(),
+            from: query.from,
+            to: query.to,
+            step: query.step,
+            scrapes: g.scrapes,
+            series,
+        }
+    }
+
+    /// [`Tsdb::query`] rendered as the `/metrics/history` JSON body.
+    pub fn query_json(&self, query: &HistoryQuery) -> String {
+        render_history_json(&self.query(query))
+    }
+
+    /// Current occupancy and loss counters.
+    pub fn stats(&self) -> TsdbStats {
+        let g = self.lock();
+        TsdbStats {
+            series: g.series.len(),
+            points: g.series.values().map(VecDeque::len).sum(),
+            scrapes: g.scrapes,
+            points_evicted: g.points_evicted,
+            series_dropped: g.series_dropped,
+        }
+    }
+}
+
+fn push_point(g: &mut Inner, key: SeriesKey, t: u64, v: u64) {
+    if !g.series.contains_key(&key) && g.series.len() >= g.max_series {
+        g.series_dropped += 1;
+        return;
+    }
+    let cap = g.points_per_series;
+    let ring = g.series.entry(key).or_default();
+    ring.push_back((t, v));
+    if ring.len() > cap {
+        ring.pop_front();
+        g.points_evicted += 1;
+    }
+}
+
+/// Step-bucket downsampling: each `step`-wide bucket starting at
+/// `from` reports its last sample, stamped at the bucket start. With
+/// `step == 0` the raw points pass through.
+fn downsample(raw: &[(u64, u64)], from: u64, step: u64) -> Vec<(u64, u64)> {
+    if step == 0 {
+        return raw.to_vec();
+    }
+    let mut out: Vec<(u64, u64)> = Vec::new();
+    for &(t, v) in raw {
+        let bucket = from + ((t - from) / step) * step;
+        match out.last_mut() {
+            Some(last) if last.0 == bucket => last.1 = v,
+            _ => out.push((bucket, v)),
+        }
+    }
+    out
+}
+
+/// Renders a [`HistoryResult`] as the `/metrics/history` JSON body.
+pub fn render_history_json(result: &HistoryResult) -> String {
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\n  \"name\": \"{}\", \"from\": {}, \"to\": {}, \"step\": {}, \"scrapes\": {},",
+        escape(&result.name),
+        result.from,
+        result.to,
+        result.step,
+        result.scrapes,
+    );
+    out.push_str("\n  \"series\": [");
+    for (i, s) in result.series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"labels\": {");
+        for (j, (k, v)) in s.labels.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": \"{}\"", escape(k), escape(v));
+        }
+        out.push_str("}, \"points\": [");
+        for (j, (t, v)) in s.points.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "[{t}, {v}]");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::registry::DURATION_US_BUCKETS;
+    use crate::Obs;
+
+    fn query(name: &str, from: u64, to: u64, step: u64) -> HistoryQuery {
+        HistoryQuery {
+            name: name.to_owned(),
+            from,
+            to,
+            step,
+        }
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate_history() {
+        let obs = Obs::new();
+        let c = obs.registry().counter("req_total", &[("ep", "errors")]);
+        let tsdb = Tsdb::new(16);
+        for t in 1..=5u64 {
+            c.add(10);
+            assert!(tsdb.scrape(t, &obs.registry().snapshot()));
+        }
+        let r = tsdb.query(&query("req_total", 0, u64::MAX, 0));
+        assert_eq!(r.series.len(), 1);
+        assert_eq!(
+            r.series[0].labels,
+            vec![("ep".to_owned(), "errors".to_owned())]
+        );
+        assert_eq!(
+            r.series[0].points,
+            vec![(1, 10), (2, 20), (3, 30), (4, 40), (5, 50)]
+        );
+        assert_eq!(r.scrapes, 5);
+    }
+
+    #[test]
+    fn histograms_explode_into_count_and_sum_series() {
+        let obs = Obs::new();
+        let h = obs.registry().histogram("lat_us", &[], DURATION_US_BUCKETS);
+        let tsdb = Tsdb::new(16);
+        h.observe(100);
+        h.observe(200);
+        tsdb.scrape(1, &obs.registry().snapshot());
+        assert_eq!(
+            tsdb.query(&query("lat_us_count", 0, u64::MAX, 0)).series[0].points,
+            vec![(1, 2)]
+        );
+        assert_eq!(
+            tsdb.query(&query("lat_us_sum", 0, u64::MAX, 0)).series[0].points,
+            vec![(1, 300)]
+        );
+        assert!(tsdb
+            .query(&query("lat_us", 0, u64::MAX, 0))
+            .series
+            .is_empty());
+    }
+
+    /// A registry without the `obs_spans_dropped_total` counter an
+    /// [`Obs`] auto-registers, so capacity expectations stay exact.
+    fn bare_registry() -> crate::Registry {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        crate::registry::Registry::new(Arc::new(AtomicBool::new(true)))
+    }
+
+    #[test]
+    fn rings_evict_oldest_and_count_it() {
+        let reg = bare_registry();
+        let g = reg.gauge("depth", &[]);
+        let tsdb = Tsdb::new(3);
+        for t in 1..=5u64 {
+            g.set(t);
+            tsdb.scrape(t, &reg.snapshot());
+        }
+        let r = tsdb.query(&query("depth", 0, u64::MAX, 0));
+        assert_eq!(r.series[0].points, vec![(3, 3), (4, 4), (5, 5)]);
+        assert_eq!(tsdb.stats().points_evicted, 2);
+    }
+
+    #[test]
+    fn non_monotonic_scrapes_are_ignored() {
+        let obs = Obs::new();
+        obs.registry().counter("c_total", &[]).inc();
+        let tsdb = Tsdb::new(8);
+        assert!(tsdb.scrape(10, &obs.registry().snapshot()));
+        assert!(!tsdb.scrape(10, &obs.registry().snapshot()));
+        assert!(!tsdb.scrape(9, &obs.registry().snapshot()));
+        assert!(tsdb.scrape(11, &obs.registry().snapshot()));
+        assert_eq!(tsdb.stats().scrapes, 2);
+        let r = tsdb.query(&query("c_total", 0, u64::MAX, 0));
+        assert_eq!(r.series[0].points.len(), 2);
+    }
+
+    #[test]
+    fn range_is_half_open_and_step_keeps_last_per_bucket() {
+        let obs = Obs::new();
+        let g = obs.registry().gauge("v", &[]);
+        let tsdb = Tsdb::new(64);
+        for t in 0..20u64 {
+            g.set(t * 100);
+            tsdb.scrape(t + 1, &obs.registry().snapshot());
+        }
+        // [from, to): to=11 excludes t=11.
+        let raw = tsdb.query(&query("v", 5, 11, 0));
+        assert_eq!(
+            raw.series[0].points.iter().map(|p| p.0).collect::<Vec<_>>(),
+            vec![5, 6, 7, 8, 9, 10]
+        );
+        // step=5 from=5: buckets [5,10) and [10,15) clipped at to=11;
+        // each reports its last sample at the bucket start.
+        let ds = tsdb.query(&query("v", 5, 11, 5));
+        assert_eq!(ds.series[0].points, vec![(5, 800), (10, 900)]);
+    }
+
+    #[test]
+    fn series_cap_drops_new_series_and_counts() {
+        let reg = bare_registry();
+        reg.counter("a_total", &[]).inc();
+        reg.counter("b_total", &[]).inc();
+        reg.counter("c_total", &[]).inc();
+        let tsdb = Tsdb::with_limits(8, 2);
+        tsdb.scrape(1, &reg.snapshot());
+        assert_eq!(tsdb.stats().series, 2);
+        assert_eq!(tsdb.stats().series_dropped, 1);
+        // Existing series keep accumulating under the cap.
+        tsdb.scrape(2, &reg.snapshot());
+        assert_eq!(tsdb.stats().series, 2);
+        assert_eq!(tsdb.stats().series_dropped, 2);
+    }
+
+    #[test]
+    fn json_rendering_validates() {
+        let obs = Obs::new();
+        obs.registry().counter("j_total", &[("k", "a\"b")]).add(3);
+        let tsdb = Tsdb::new(8);
+        tsdb.scrape(7, &obs.registry().snapshot());
+        let json = tsdb.query_json(&query("j_total", 0, u64::MAX, 0));
+        crate::check::validate_json(&json).unwrap();
+        assert!(json.contains("\"j_total\""));
+        assert!(json.contains("[7, 3]"));
+        let empty = tsdb.query_json(&query("missing", 0, u64::MAX, 0));
+        crate::check::validate_json(&empty).unwrap();
+        assert!(empty.contains("\"series\": [\n  ]"));
+    }
+
+    #[test]
+    fn query_agrees_with_brute_force_replay() {
+        // Drive deterministic scrapes, keep every snapshot, and check
+        // the store's answer against a naive recomputation.
+        let obs = Obs::new();
+        let c = obs.registry().counter("bf_total", &[("shard", "0")]);
+        let c2 = obs.registry().counter("bf_total", &[("shard", "1")]);
+        let tsdb = Tsdb::new(1024);
+        let mut kept: Vec<(u64, Vec<crate::registry::MetricSnapshot>)> = Vec::new();
+        let mut x = 0x5AADu64;
+        for i in 0..200u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            c.add(x % 17);
+            c2.add(x % 5);
+            let t = 100 + i * 3; // fixed cadence, injected clock
+            let snap = obs.registry().snapshot();
+            assert!(tsdb.scrape(t, &snap));
+            kept.push((t, snap));
+        }
+        for (from, to, step) in [
+            (0u64, u64::MAX, 0u64),
+            (130, 400, 0),
+            (100, 700, 30),
+            (103, 610, 7),
+            (400, 100, 10), // empty range
+        ] {
+            let got = tsdb.query(&query("bf_total", from, to, step));
+            for shard in ["0", "1"] {
+                let raw: Vec<(u64, u64)> = kept
+                    .iter()
+                    .filter(|(t, _)| *t >= from && *t < to)
+                    .map(|(t, snap)| {
+                        let v = snap
+                            .iter()
+                            .find(|m| {
+                                m.name == "bf_total"
+                                    && m.labels == vec![("shard", shard.to_owned())]
+                            })
+                            .map(|m| match &m.value {
+                                crate::registry::MetricValue::Counter(v) => *v,
+                                _ => 0,
+                            })
+                            .unwrap_or(0);
+                        (*t, v)
+                    })
+                    .collect();
+                let want = downsample(&raw, from, step);
+                let got_series = got
+                    .series
+                    .iter()
+                    .find(|s| s.labels == vec![("shard".to_owned(), shard.to_owned())]);
+                match got_series {
+                    Some(s) => assert_eq!(s.points, want, "from={from} to={to} step={step}"),
+                    None => assert!(want.is_empty(), "from={from} to={to} step={step}"),
+                }
+            }
+        }
+    }
+}

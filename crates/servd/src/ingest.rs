@@ -278,6 +278,17 @@ struct State {
     last_error: Option<String>,
 }
 
+/// The write path's health snapshot, as `/readyz` reports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadyStats {
+    /// Accepted-but-unapplied chunks waiting for the worker.
+    pub queue_depth: usize,
+    /// Bytes of WAL not yet folded into a checkpoint.
+    pub wal_bytes: u64,
+    /// Whether the ingest worker thread is alive.
+    pub worker_running: bool,
+}
+
 /// The shared ingest front end: admission control, durability, and the
 /// status surface. Construct via [`recover`], which also replays any
 /// surviving WAL into the engine it returns.
@@ -468,6 +479,17 @@ impl IngestHandle {
         );
         out.push('\n');
         out
+    }
+
+    /// The write path's health snapshot for `/readyz`: queue depth, WAL
+    /// backlog bytes, and whether the ingest worker is alive.
+    pub fn ready_stats(&self) -> ReadyStats {
+        let state = self.lock();
+        ReadyStats {
+            queue_depth: state.queue.len(),
+            wal_bytes: state.wal_bytes,
+            worker_running: state.worker_running,
+        }
     }
 
     /// Per-stream accepted chunk counts (next expected `seq` values).

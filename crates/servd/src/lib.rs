@@ -31,8 +31,10 @@
 //!   [`SnapshotSink`](resilience::incremental::SnapshotSink).
 //! * [`router`] — path/query dispatch: `/tables/{1,2,3}`, `/fig2`
 //!   (byte-identical to the offline renderers), `/errors`, `/mtbe`,
-//!   `/jobs/impact`, `/availability`, `/snapshot`, `/healthz`, and
-//!   `/metrics` (the `obs` Prometheus exposition).
+//!   `/jobs/impact`, `/availability`, `/snapshot`, `/healthz`,
+//!   `/readyz` (snapshot age + ingest backlog), `/metrics` (the `obs`
+//!   Prometheus exposition), `/metrics/history` (self-scraped series
+//!   rings), and `/debug/traces` (the slow-trace flight recorder).
 //! * [`cache`] — snapshot-scoped response memo, invalidated wholesale on
 //!   swap.
 //! * [`ingest`] — the write path: `POST /ingest/*` admission behind a
@@ -45,7 +47,11 @@
 //!   `tests/parser_fuzz.rs`) and fixed-length responses.
 //! * [`server`] — the listener: epoll event loops with per-connection
 //!   state machines, a timer wheel of deadlines, `503` load shedding
-//!   over the connection cap, graceful drain.
+//!   over the connection cap, graceful drain. With tracing enabled it
+//!   mints one [`obs::Trace`] per parsed request (responses answer
+//!   with `X-Trace-Id`), and with scraping enabled it runs the
+//!   `/metrics/history` self-scrape thread and can emit a Common Log
+//!   Format access log to stderr.
 //! * [`epoll`] — the thin epoll/eventfd FFI under the event loops.
 //! * [`wheel`] — the hashed timer wheel arming connection deadlines.
 //! * [`pool`] — the scan pool that shard-parallel queries scatter over.
@@ -75,6 +81,7 @@ pub mod testutil;
 pub mod wheel;
 
 pub use cache::ResponseCache;
-pub use ingest::{IngestConfig, IngestError, IngestHandle, IngestStream, IngestWorker};
+pub use ingest::{IngestConfig, IngestError, IngestHandle, IngestStream, IngestWorker, ReadyStats};
+pub use router::ObsState;
 pub use server::{start, start_with_ingest, RunningServer, ServeError, ServerConfig};
 pub use store::{ErrorFilter, RollupMetric, RollupQuery, StoreHandle, StudyStore};

@@ -16,20 +16,54 @@ use crate::store::{
     RollupQuery, StoreHandle,
 };
 use obs::registry::DURATION_US_BUCKETS;
+use obs::{FlightRecorder, HistoryQuery, Trace, Tsdb};
 use simtime::civiltime::ParseCivilError;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// The serving-side observability handles the router reads from: the
+/// flight recorder behind `/debug/traces` and the self-scraped
+/// time-series store behind `/metrics/history`. Either may be `None`
+/// (the feature is off); the endpoints then answer `404` with a hint,
+/// mirroring how `/ingest/*` behaves on a read-only server.
+#[derive(Debug, Clone, Default)]
+pub struct ObsState {
+    /// Completed-trace retention, when request tracing is enabled.
+    pub recorder: Option<Arc<FlightRecorder>>,
+    /// Metrics history rings, when self-scraping is enabled.
+    pub tsdb: Option<Arc<Tsdb>>,
+}
 
 /// Routes one request against the current snapshot. `ingest` is the
 /// write path (`None` on a read-only server — `/ingest/*` then answers
-/// `404`).
+/// `404`). Untraced compatibility entry point: equivalent to
+/// [`handle_traced`] with observability off.
 pub fn handle(
     req: &Request,
     store: &StoreHandle,
     cache: &ResponseCache,
     ingest: Option<&IngestHandle>,
 ) -> Response {
+    handle_traced(req, store, cache, ingest, &ObsState::default(), None)
+}
+
+/// [`handle`] with the request's trace riding along: the dispatch runs
+/// under a `route` child span, and the response carries an `X-Trace-Id`
+/// header naming the trace. The header is attached *after* the cache
+/// write (like `X-Snapshot`/`X-Cache`), so cached bytes stay
+/// trace-free and responses are byte-identical with tracing on or off.
+pub fn handle_traced(
+    req: &Request,
+    store: &StoreHandle,
+    cache: &ResponseCache,
+    ingest: Option<&IngestHandle>,
+    state: &ObsState,
+    trace: Option<&Arc<Trace>>,
+) -> Response {
     let started = Instant::now();
-    let response = dispatch(req, store, cache, ingest);
+    let route = trace.map(|t| t.stage("route"));
+    let response = dispatch(req, store, cache, ingest, state, trace);
+    drop(route);
     if obs::is_enabled() {
         obs::counter(
             "servd_requests_total",
@@ -41,7 +75,15 @@ pub fn handle(
         obs::histogram("servd_request_duration_us", &[], DURATION_US_BUCKETS)
             .observe(started.elapsed().as_micros() as u64);
     }
-    response
+    // Ablation switch for E19 (EXPERIMENTS.md): suppressing the header
+    // isolates what the wire bytes + the client's parse of them cost
+    // versus span recording and retention. Read once; dormant otherwise.
+    static ABLATE_HEADER: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    let ablate = *ABLATE_HEADER.get_or_init(|| std::env::var("SERVD_ABLATE_HEADER").is_ok());
+    match trace {
+        Some(t) if !ablate => response.with_header("X-Trace-Id", t.id_hex()),
+        _ => response,
+    }
 }
 
 /// Collapses paths to a bounded label set so the metric cardinality
@@ -49,7 +91,10 @@ pub fn handle(
 fn endpoint_label(path: &str) -> &'static str {
     match path {
         "/healthz" => "healthz",
+        "/readyz" => "readyz",
         "/metrics" => "metrics",
+        "/metrics/history" => "metrics_history",
+        "/debug/traces" => "debug_traces",
         "/snapshot" => "snapshot",
         "/fig2" => "fig2",
         "/errors" => "errors",
@@ -73,6 +118,8 @@ fn dispatch(
     store: &StoreHandle,
     cache: &ResponseCache,
     ingest: Option<&IngestHandle>,
+    state: &ObsState,
+    trace: Option<&Arc<Trace>>,
 ) -> Response {
     if let Some(segment) = req.path.strip_prefix("/ingest/") {
         return dispatch_ingest(req, segment, ingest);
@@ -84,9 +131,12 @@ fn dispatch(
     // Uncached, snapshot-independent endpoints first.
     match req.path.as_str() {
         "/healthz" => return Response::text(200, "ok\n"),
+        "/readyz" => return readyz(store, ingest),
         "/metrics" => {
             return Response::text(200, obs::global().report().to_prometheus());
         }
+        "/metrics/history" => return metrics_history(req, state),
+        "/debug/traces" => return debug_traces(req, state),
         _ => {}
     }
 
@@ -94,7 +144,10 @@ fn dispatch(
     // request.
     let published = store.current();
     let key = ResponseCache::key(&req.path, &req.canonical_query());
-    if let Some(cached) = cache.get(published.id, &key) {
+    let lookup = trace.map(|t| t.stage("cache_lookup"));
+    let cached = cache.get(published.id, &key);
+    drop(lookup);
+    if let Some(cached) = cached {
         if obs::is_enabled() {
             obs::counter("servd_cache_hits_total", &[]).inc();
         }
@@ -106,6 +159,7 @@ fn dispatch(
         obs::counter("servd_cache_misses_total", &[]).inc();
     }
 
+    let render = trace.map(|t| t.stage("render"));
     let s = &published.store;
     let response = match req.path.as_str() {
         "/tables/1" => Response::text(200, s.table1()),
@@ -115,12 +169,15 @@ fn dispatch(
         "/errors" => match error_filter(req) {
             Ok(filter) => Response::csv(
                 200,
-                errors_csv_scattered(&published, &filter, store.scan_pool()),
+                errors_csv_scattered(&published, &filter, store.scan_pool(), trace),
             ),
             Err(msg) => Response::text(400, msg),
         },
         "/mtbe" => match req.query_value("xid").map(parse_xid).transpose() {
-            Ok(kind) => Response::csv(200, mtbe_csv_scattered(&published, kind, store.scan_pool())),
+            Ok(kind) => Response::csv(
+                200,
+                mtbe_csv_scattered(&published, kind, store.scan_pool(), trace),
+            ),
             Err(msg) => Response::text(400, format!("{msg}\n")),
         },
         "/rollup" => match rollup_query(req).and_then(|q| s.rollup_csv(&q)) {
@@ -132,6 +189,7 @@ fn dispatch(
         "/snapshot" => Response::text(200, s.snapshot_info(published.id)),
         _ => Response::text(404, "no such endpoint\n"),
     };
+    drop(render);
 
     if response.status == 200 {
         cache.put(published.id, key, response.clone());
@@ -139,6 +197,123 @@ fn dispatch(
     response
         .with_header("X-Snapshot", published.id.to_string())
         .with_header("X-Cache", "miss")
+}
+
+/// `GET /readyz`: the liveness-plus-freshness surface. Always JSON;
+/// `503` when live ingest is configured but its worker has died (the
+/// serving path still works, the data is just going stale). The same
+/// numbers are mirrored as gauges so scrape-based alerting needs no
+/// JSON parsing.
+fn readyz(store: &StoreHandle, ingest: Option<&IngestHandle>) -> Response {
+    let published = store.current();
+    let age_secs = published.at.elapsed().as_secs();
+    let stats = ingest.map(IngestHandle::ready_stats);
+    let ready = stats.is_none_or(|s| s.worker_running);
+    let (queue_depth, wal_bytes) = stats.map_or((0, 0), |s| (s.queue_depth as u64, s.wal_bytes));
+    if obs::is_enabled() {
+        obs::gauge("servd_ready", &[]).set(u64::from(ready));
+        obs::gauge("servd_snapshot_id", &[]).set(published.id);
+        obs::gauge("servd_snapshot_age_secs", &[]).set(age_secs);
+    }
+    let body = format!(
+        "{{\"ready\":{ready},\"snapshot\":{},\"snapshot_age_secs\":{age_secs},\
+         \"ingest_queue_depth\":{queue_depth},\"wal_backlog_bytes\":{wal_bytes},\
+         \"live_ingest\":{}}}\n",
+        published.id,
+        ingest.is_some(),
+    );
+    Response::json(if ready { 200 } else { 503 }, body)
+}
+
+/// `GET /debug/traces`: the flight recorder's JSON dump. `?id=` looks
+/// up one trace by its `X-Trace-Id` hex, `?slowest=N` truncates the
+/// slowest-first listing, `?since=MS` (unix milliseconds) drops traces
+/// started earlier. Unknown keys fail loudly like every other query
+/// surface here.
+fn debug_traces(req: &Request, state: &ObsState) -> Response {
+    let Some(recorder) = state.recorder.as_ref() else {
+        return Response::text(
+            404,
+            "request tracing is not enabled (start with --trace-capacity > 0)\n",
+        );
+    };
+    let mut id = None;
+    let mut slowest = None;
+    let mut since = None;
+    for (k, v) in &req.query {
+        match k.as_str() {
+            "id" => match obs::trace::parse_hex_id(v) {
+                Some(n) => id = Some(n),
+                None => return Response::text(400, format!("bad trace id {v:?}\n")),
+            },
+            "slowest" => match v.parse::<usize>() {
+                Ok(n) => slowest = Some(n),
+                Err(_) => return Response::text(400, format!("bad slowest count {v:?}\n")),
+            },
+            "since" => match v.parse::<u64>() {
+                Ok(n) => since = Some(n),
+                Err(_) => return Response::text(400, format!("bad since timestamp {v:?}\n")),
+            },
+            other => return Response::text(400, format!("unknown query parameter {other:?}\n")),
+        }
+    }
+    if let Some(id) = id {
+        return match recorder.find(id) {
+            Some(record) => Response::json(200, obs::trace::render_traces_json(&[record])),
+            None => Response::text(404, format!("no such trace {id:016x}\n")),
+        };
+    }
+    let mut traces = recorder.snapshot();
+    if let Some(since) = since {
+        traces.retain(|r| r.started_unix_ms >= since);
+    }
+    if let Some(n) = slowest {
+        traces.truncate(n);
+    }
+    Response::json(200, obs::trace::render_traces_json(&traces))
+}
+
+/// `GET /metrics/history`: range queries over the self-scraped series
+/// rings. `name` is required; `from`/`to` bound scrape timestamps as
+/// `[from, to)` unix seconds; `step` downsamples to one point per
+/// bucket (0 = raw).
+fn metrics_history(req: &Request, state: &ObsState) -> Response {
+    let Some(tsdb) = state.tsdb.as_ref() else {
+        return Response::text(
+            404,
+            "metrics history is not enabled (start with --scrape-secs > 0)\n",
+        );
+    };
+    let mut name = None;
+    let (mut from, mut to, mut step) = (0u64, u64::MAX, 0u64);
+    for (k, v) in &req.query {
+        let slot = match k.as_str() {
+            "name" => {
+                name = Some(v.clone());
+                continue;
+            }
+            "from" => &mut from,
+            "to" => &mut to,
+            "step" => &mut step,
+            other => return Response::text(400, format!("unknown query parameter {other:?}\n")),
+        };
+        match v.parse::<u64>() {
+            Ok(n) => *slot = n,
+            Err(_) => return Response::text(400, format!("bad {k} value {v:?}\n")),
+        }
+    }
+    let Some(name) = name else {
+        return Response::text(400, "missing required parameter name=<metric name>\n");
+    };
+    Response::json(
+        200,
+        tsdb.query_json(&HistoryQuery {
+            name,
+            from,
+            to,
+            step,
+        }),
+    )
 }
 
 /// The write path: `POST /ingest/{logs,jobs,cpu-jobs,outages}[?seq=N]`,

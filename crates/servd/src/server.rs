@@ -30,11 +30,14 @@
 
 use crate::cache::ResponseCache;
 use crate::epoll::{Event, Interest, Poller, Waker};
-use crate::http::{write_response, ParseProgress, Parser, ReadOutcome, RequestLimits, Response};
+use crate::http::{
+    write_response, ParseProgress, Parser, ReadOutcome, Request, RequestLimits, Response,
+};
 use crate::ingest::IngestHandle;
-use crate::router;
+use crate::router::{self, ObsState};
 use crate::store::StoreHandle;
 use crate::wheel::TimerWheel;
+use obs::{FlightRecorder, Trace, Tsdb};
 use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -70,6 +73,17 @@ pub struct ServerConfig {
     /// Time budget for draining a response (a stalled reader gets
     /// dropped).
     pub write_timeout: Duration,
+    /// Flight-recorder capacity: how many slowest traces each rolling
+    /// window retains. `0` (the default) disables request tracing —
+    /// no trace ids are minted, responses carry no `X-Trace-Id`, and
+    /// `/debug/traces` answers `404`.
+    pub trace_capacity: usize,
+    /// Self-scrape cadence for `/metrics/history`, in seconds. `0`
+    /// (the default) disables the scraper thread and the endpoint.
+    pub scrape_secs: u64,
+    /// Emit one Common Log Format line per dispatched request to
+    /// stderr.
+    pub access_log: bool,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +96,9 @@ impl Default for ServerConfig {
             max_body_bytes: 8 * 1024 * 1024,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            trace_capacity: 0,
+            scrape_secs: 0,
+            access_log: false,
         }
     }
 }
@@ -134,6 +151,7 @@ pub struct RunningServer {
     stop: Arc<AtomicBool>,
     wakers: Vec<Arc<Waker>>,
     loops: Vec<JoinHandle<()>>,
+    scraper: Option<JoinHandle<()>>,
 }
 
 impl RunningServer {
@@ -155,6 +173,9 @@ impl RunningServer {
             waker.wake();
         }
         for handle in self.loops.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.scraper.take() {
             let _ = handle.join();
         }
     }
@@ -207,6 +228,19 @@ pub fn start_with_ingest(
     let cache = Arc::new(ResponseCache::new());
     let capacity = config.workers.max(1) + config.max_queue.max(1);
 
+    let obs_state = Arc::new(ObsState {
+        recorder: (config.trace_capacity > 0)
+            .then(|| Arc::new(FlightRecorder::new(config.trace_capacity))),
+        tsdb: (config.scrape_secs > 0)
+            .then(|| Arc::new(Tsdb::new(Tsdb::DEFAULT_POINTS_PER_SERIES))),
+    });
+    let scraper = obs_state.tsdb.as_ref().map(|tsdb| {
+        let tsdb = Arc::clone(tsdb);
+        let stop = Arc::clone(&stop);
+        let cadence = Duration::from_secs(config.scrape_secs);
+        std::thread::spawn(move || scrape_loop(&tsdb, &stop, cadence))
+    });
+
     let nloops = config.workers.max(1);
     let mut wakers = Vec::with_capacity(nloops);
     let mut loops = Vec::with_capacity(nloops);
@@ -231,6 +265,7 @@ pub fn start_with_ingest(
             Arc::clone(&stop),
             Arc::clone(&conns_open),
             capacity,
+            Arc::clone(&obs_state),
         );
         loops.push(std::thread::spawn(move || event_loop.run()));
     }
@@ -240,7 +275,37 @@ pub fn start_with_ingest(
         stop,
         wakers,
         loops,
+        scraper,
     })
+}
+
+/// The self-scrape driver: absorbs a registry snapshot into the
+/// time-series rings every `cadence`, stamped with real unix seconds
+/// (the tsdb ignores a scrape whose clock has not advanced, so a
+/// sub-second cadence degrades gracefully to one point per second).
+/// Polls the stop flag at 50 ms so shutdown never waits on a sleep.
+fn scrape_loop(tsdb: &Tsdb, stop: &AtomicBool, cadence: Duration) {
+    scrape_once(tsdb);
+    let mut last = Instant::now();
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+        if last.elapsed() >= cadence {
+            last = Instant::now();
+            scrape_once(tsdb);
+        }
+    }
+}
+
+fn scrape_once(tsdb: &Tsdb) {
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    if tsdb.scrape(t, &obs::global().registry().snapshot()) && obs::is_enabled() {
+        let stats = tsdb.stats();
+        obs::gauge("obs_tsdb_series", &[]).set(stats.series as u64);
+        obs::gauge("obs_tsdb_points", &[]).set(stats.points as u64);
+    }
 }
 
 /// Answers a connection over the capacity cap with a one-shot `503`.
@@ -304,12 +369,44 @@ enum Phase {
     Draining { since: Instant, discarded: usize },
 }
 
+/// A dispatched request whose trace is waiting for its response bytes
+/// to drain before sealing: the flight recorder only admits traces
+/// whose `total_ns` includes the write, so a slow reader shows up as a
+/// slow trace with a long `write` stage.
+#[derive(Debug)]
+struct PendingTrace {
+    trace: Arc<Trace>,
+    /// When the response bytes were queued — start of the write stage.
+    queued: Instant,
+    /// `METHOD /path`, the flight recorder's endpoint key.
+    endpoint: String,
+    status: u16,
+}
+
+/// Everything [`Conn::advance`] needs from its event loop to dispatch a
+/// completed request (bundled so the signature survives clippy's
+/// argument budget as the loop grows context).
+struct Dispatch<'a> {
+    store: &'a StoreHandle,
+    cache: &'a ResponseCache,
+    ingest: Option<&'a IngestHandle>,
+    obs: &'a ObsState,
+    access_log: bool,
+    server_draining: bool,
+}
+
 /// One connection's state machine.
 #[derive(Debug)]
 struct Conn {
     stream: TcpStream,
     parser: Parser,
     phase: Phase,
+    /// Peer address at accept time (for the access log; `None` if the
+    /// accept path could not resolve it).
+    peer: Option<SocketAddr>,
+    /// Traces of dispatched requests whose responses are still
+    /// draining; sealed when `out` empties (or the connection dies).
+    pending: Vec<PendingTrace>,
     /// Buffered response bytes not yet written.
     out: Vec<u8>,
     written: usize,
@@ -336,11 +433,19 @@ struct Conn {
 }
 
 impl Conn {
-    fn new(stream: TcpStream, limits: RequestLimits, config: &ServerConfig, now: Instant) -> Conn {
+    fn new(
+        stream: TcpStream,
+        peer: Option<SocketAddr>,
+        limits: RequestLimits,
+        config: &ServerConfig,
+        now: Instant,
+    ) -> Conn {
         Conn {
             stream,
             parser: Parser::new(limits),
             phase: Phase::Serving,
+            peer,
+            pending: Vec::new(),
             out: Vec::new(),
             written: 0,
             closing: false,
@@ -420,22 +525,55 @@ impl Conn {
     /// Runs the parser over buffered bytes and dispatches every
     /// completed request (inline — handlers are index reads or
     /// pool-scattered scans).
-    fn advance(
-        &mut self,
-        now: Instant,
-        store: &StoreHandle,
-        cache: &ResponseCache,
-        ingest: Option<&IngestHandle>,
-        server_draining: bool,
-    ) {
+    ///
+    /// With tracing on, each completed request mints a [`Trace`] whose
+    /// epoch is the arrival of its first byte: `parse` covers first
+    /// byte → dispatch, `queue_wait` covers the epoll wakeup →
+    /// dispatch (for pipelined requests that includes time spent
+    /// serving earlier requests in the batch), the router records its
+    /// own child stages, and the final `write` stage lands when the
+    /// response bytes drain (see [`EventLoop::after_io`]).
+    fn advance(&mut self, now: Instant, ctx: &Dispatch<'_>) {
         while matches!(self.phase, Phase::Serving) && !self.closing && !self.dead {
             match self.parser.poll(Some(now)) {
                 ParseProgress::NeedMore => break,
                 ParseProgress::Done(req) => {
                     let head_only = req.method == "HEAD";
-                    let keep = req.keep_alive && !server_draining;
-                    let response = router::handle(&req, store, cache, ingest);
+                    let keep = req.keep_alive && !ctx.server_draining;
+                    let dispatch_start = Instant::now();
+                    let trace = ctx.obs.recorder.as_ref().map(|recorder| {
+                        let epoch = self.req_started.unwrap_or(now);
+                        let trace = recorder.begin(epoch, obs::trace::unix_ms_now());
+                        trace.record_span(
+                            "parse",
+                            "",
+                            epoch,
+                            dispatch_start,
+                            req.body.len() as u64,
+                        );
+                        trace.record_span("queue_wait", "", now, dispatch_start, 0);
+                        trace
+                    });
+                    let response = router::handle_traced(
+                        &req,
+                        ctx.store,
+                        ctx.cache,
+                        ctx.ingest,
+                        ctx.obs,
+                        trace.as_ref(),
+                    );
+                    if ctx.access_log {
+                        access_log_line(self.peer, &req, &response);
+                    }
                     self.queue_response(&response, keep, head_only, now);
+                    if let Some(trace) = trace {
+                        self.pending.push(PendingTrace {
+                            trace,
+                            queued: Instant::now(),
+                            endpoint: format!("{} {}", req.method, req.path),
+                            status: response.status,
+                        });
+                    }
                     if !keep {
                         self.closing = true;
                     }
@@ -580,6 +718,7 @@ struct EventLoop {
     stop: Arc<AtomicBool>,
     conns_open: Arc<AtomicUsize>,
     capacity: usize,
+    obs_state: Arc<ObsState>,
     conns: HashMap<u64, Conn>,
     wheel: TimerWheel,
     next_token: u64,
@@ -600,6 +739,7 @@ impl EventLoop {
         stop: Arc<AtomicBool>,
         conns_open: Arc<AtomicUsize>,
         capacity: usize,
+        obs_state: Arc<ObsState>,
     ) -> EventLoop {
         let limits = RequestLimits {
             max_head_bytes: config.max_request_bytes,
@@ -618,6 +758,7 @@ impl EventLoop {
             stop,
             conns_open,
             capacity,
+            obs_state,
             conns: HashMap::new(),
             wheel: TimerWheel::new(Instant::now(), WHEEL_TICK, WHEEL_SLOTS),
             next_token: TOKEN_BASE,
@@ -711,7 +852,7 @@ impl EventLoop {
     fn accept_ready(&mut self, _now: Instant) {
         loop {
             match self.listener.accept() {
-                Ok((stream, _)) => {
+                Ok((stream, peer)) => {
                     if self.draining {
                         continue; // drop: we are on the way out
                     }
@@ -740,7 +881,7 @@ impl EventLoop {
                         self.conns_open.fetch_sub(1, Ordering::SeqCst);
                         continue;
                     }
-                    let conn = Conn::new(stream, self.limits, &self.config, now);
+                    let conn = Conn::new(stream, Some(peer), self.limits, &self.config, now);
                     self.conns.insert(token, conn);
                     self.after_io(token, now);
                 }
@@ -761,13 +902,15 @@ impl EventLoop {
         if readable {
             conn.fill(now);
         }
-        conn.advance(
-            now,
-            &self.store,
-            &self.cache,
-            self.ingest.as_deref(),
-            self.draining,
-        );
+        let ctx = Dispatch {
+            store: &self.store,
+            cache: &self.cache,
+            ingest: self.ingest.as_deref(),
+            obs: &self.obs_state,
+            access_log: self.config.access_log,
+            server_draining: self.draining,
+        };
+        conn.advance(now, &ctx);
         conn.flush();
         self.after_io(token, now);
     }
@@ -795,11 +938,20 @@ impl EventLoop {
     }
 
     /// Post-I/O bookkeeping: close, or converge epoll interest and the
-    /// armed deadline with the connection's current state.
+    /// armed deadline with the connection's current state. Traces of
+    /// fully drained responses seal here — before the close check, so
+    /// a normally completed `Connection: close` request is recorded as
+    /// `write`, never `write_aborted`.
     fn after_io(&mut self, token: u64, now: Instant) {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
+        if conn.out_done() && !conn.pending.is_empty() {
+            // A fresh instant, not the loop's `now`: that was taken
+            // before this cycle dispatched, and the seal must cover
+            // the dispatch and the write that just drained.
+            seal_pending(conn, &self.obs_state, Instant::now(), "write");
+        }
         if conn.should_close(now) {
             self.close_conn(token);
             return;
@@ -822,11 +974,77 @@ impl EventLoop {
     }
 
     fn close_conn(&mut self, token: u64) {
-        if let Some(conn) = self.conns.remove(&token) {
+        if let Some(mut conn) = self.conns.remove(&token) {
+            // Anything still pending here never finished draining
+            // (dead socket, write stall, shutdown teardown): seal it
+            // as an error-shaped trace so the abort is inspectable.
+            if !conn.pending.is_empty() {
+                seal_pending(&mut conn, &self.obs_state, Instant::now(), "write_aborted");
+            }
             let _ = self.poller.remove(conn.stream.as_raw_fd());
             self.conns_open.fetch_sub(1, Ordering::SeqCst);
         }
     }
+}
+
+/// Seals every pending trace on `conn` into the flight recorder: the
+/// terminal stage (`write` or `write_aborted`) spans queue → `now`,
+/// and the trace's total is first byte → `now`.
+fn seal_pending(conn: &mut Conn, obs_state: &ObsState, now: Instant, terminal: &'static str) {
+    let Some(recorder) = obs_state.recorder.as_ref() else {
+        conn.pending.clear();
+        return;
+    };
+    // Ablation switch for E19 (EXPERIMENTS.md): dropping traces here
+    // instead of sealing them isolates what sort + record construction
+    // + slowest-N retention cost. Read once; dormant otherwise.
+    static ABLATE_SEAL: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    if *ABLATE_SEAL.get_or_init(|| std::env::var("SERVD_ABLATE_SEAL").is_ok()) {
+        conn.pending.clear();
+        return;
+    }
+    for p in conn.pending.drain(..) {
+        p.trace.record_span(terminal, "", p.queued, now, 0);
+        let total_ns = now
+            .saturating_duration_since(p.trace.epoch())
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64;
+        recorder.admit(p.trace.seal(p.endpoint, p.status, total_ns));
+    }
+}
+
+/// One NCSA Common Log Format line to stderr:
+/// `peer - - [07/Aug/2026:12:00:00 +0000] "GET /errors?host=h HTTP/1.1" 200 1234`.
+/// The timestamp is wall-clock UTC; the byte count is the body length
+/// (what `Content-Length` declares, also for `HEAD`).
+fn access_log_line(peer: Option<SocketAddr>, req: &Request, response: &Response) {
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let stamp = simtime::Timestamp::from_unix(t);
+    let (y, mo, d) = stamp.ymd();
+    let (h, mi, s) = stamp.hms();
+    const MONTHS: [&str; 12] = [
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    ];
+    let month = MONTHS[(mo as usize - 1).min(11)];
+    let mut target = req.path.clone();
+    for (i, (k, v)) in req.query.iter().enumerate() {
+        target.push(if i == 0 { '?' } else { '&' });
+        target.push_str(k);
+        target.push('=');
+        target.push_str(v);
+    }
+    let peer = peer.map_or_else(|| "-".to_owned(), |p| p.ip().to_string());
+    let mut err = io::stderr().lock();
+    let _ = writeln!(
+        err,
+        "{peer} - - [{d:02}/{month}/{y}:{h:02}:{mi:02}:{s:02} +0000] \"{} {target} HTTP/1.1\" {} {}",
+        req.method,
+        response.status,
+        response.body.len(),
+    );
 }
 
 #[cfg(test)]
@@ -1016,6 +1234,85 @@ mod tests {
                 assert!(out.is_empty(), "served after shutdown");
             }
         }
+    }
+
+    #[test]
+    fn traced_request_resolves_via_debug_traces() {
+        let config = ServerConfig {
+            trace_capacity: 16,
+            ..test_config()
+        };
+        let server = start(config, handle()).unwrap();
+        let resp = get(server.addr(), "/errors");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        let id = resp
+            .lines()
+            .find_map(|l| l.strip_prefix("X-Trace-Id: "))
+            .expect("traced response must carry X-Trace-Id")
+            .trim()
+            .to_owned();
+        // The trace seals when its response bytes drain; that happens
+        // before the connection closes, but poll defensively anyway.
+        let mut lookup = String::new();
+        for _ in 0..100 {
+            lookup = get(server.addr(), &format!("/debug/traces?id={id}"));
+            if lookup.starts_with("HTTP/1.1 200") {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(lookup.starts_with("HTTP/1.1 200"), "{lookup}");
+        for stage in ["\"parse\"", "\"route\"", "\"cache_lookup\"", "\"write\""] {
+            assert!(lookup.contains(stage), "missing {stage} in {lookup}");
+        }
+        assert!(lookup.contains(&format!("\"id\": \"{id}\"")), "{lookup}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn tracing_disabled_by_default_and_debug_traces_404s() {
+        let server = start(test_config(), handle()).unwrap();
+        let resp = get(server.addr(), "/errors");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        assert!(!resp.contains("X-Trace-Id"), "{resp}");
+        let dump = get(server.addr(), "/debug/traces");
+        assert!(dump.starts_with("HTTP/1.1 404"), "{dump}");
+        let history = get(server.addr(), "/metrics/history?name=x");
+        assert!(history.starts_with("HTTP/1.1 404"), "{history}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn readyz_reports_snapshot_and_no_ingest() {
+        let server = start(test_config(), handle()).unwrap();
+        let resp = get(server.addr(), "/readyz");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        assert!(resp.contains("\"ready\":true"), "{resp}");
+        assert!(resp.contains("\"snapshot\":1"), "{resp}");
+        assert!(resp.contains("\"live_ingest\":false"), "{resp}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_history_serves_scraped_points() {
+        let config = ServerConfig {
+            scrape_secs: 1,
+            ..test_config()
+        };
+        let server = start(config, handle()).unwrap();
+        // The scraper takes an immediate first sample; any metric the
+        // registry already holds will have at least one point.
+        let mut resp = String::new();
+        for _ in 0..100 {
+            resp = get(server.addr(), "/metrics/history?name=servd_requests_total");
+            if resp.contains("\"points\": [[") {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        assert!(resp.contains("\"points\": [["), "{resp}");
+        server.shutdown();
     }
 
     #[test]

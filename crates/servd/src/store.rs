@@ -41,6 +41,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
+use std::time::Instant;
 use xid::{ErrorKind, XidCode};
 
 /// A filter over the coalesced error columns (the `/errors` query).
@@ -709,10 +710,16 @@ fn partition_by_weight(weights: &[usize], n: usize) -> Vec<u32> {
 /// `pool`, then k-way merges the streams by global row id. Byte-identical
 /// to [`StudyStore::errors_csv`] by construction (same per-shard slices,
 /// same merge kernel) — an invariant `tests/shard_equivalence.rs` pins.
+///
+/// When a request [`Trace`](obs::Trace) rides along, every shard scan
+/// records a `shard_scan` child span from its pool thread and the k-way
+/// merge records a `merge` span; the serial fallback records nothing
+/// beyond the router's `render` span. Tracing never changes the bytes.
 pub fn errors_csv_scattered(
     published: &Arc<Published>,
     filter: &ErrorFilter,
     pool: &ScanPool,
+    trace: Option<&Arc<obs::Trace>>,
 ) -> String {
     let store = &published.store;
     let involved = store.shards_for(filter);
@@ -726,20 +733,37 @@ pub fn errors_csv_scattered(
     let snapshot = Arc::clone(published);
     let query = filter.clone();
     let shard_ids = involved.clone();
+    let scan_trace = trace.cloned();
     let streams = pool.run(
         involved.len(),
-        Arc::new(move |i| snapshot.store.shard_errors(shard_ids[i], &query)),
+        Arc::new(move |i| {
+            let mut guard = scan_trace.as_ref().map(|t| t.stage("shard_scan"));
+            if let Some(g) = guard.as_mut() {
+                g.set_detail(format!("shard={}", shard_ids[i]));
+            }
+            let stream = snapshot.store.shard_errors(shard_ids[i], &query);
+            if let Some(g) = guard.as_mut() {
+                g.add_items(stream.len() as u64);
+            }
+            stream
+        }),
     );
+    let mut merge = trace.map(|t| t.stage("merge"));
+    if let Some(g) = merge.as_mut() {
+        g.add_items(streams.len() as u64);
+    }
     StudyStore::assemble_errors(streams)
 }
 
 /// The scattered `/mtbe` renderer: one pool job per studied kind, blocks
 /// concatenated in the fixed `ErrorKind::STUDIED` order. Byte-identical
-/// to [`StudyStore::mtbe_csv`].
+/// to [`StudyStore::mtbe_csv`]. Like [`errors_csv_scattered`], each pool
+/// job records a `kind_scan` child span on the riding trace.
 pub fn mtbe_csv_scattered(
     published: &Arc<Published>,
     kind: Option<ErrorKind>,
     pool: &ScanPool,
+    trace: Option<&Arc<obs::Trace>>,
 ) -> String {
     if kind.is_some() || pool.threads() == 0 {
         return published.store.mtbe_csv(kind);
@@ -748,10 +772,24 @@ pub fn mtbe_csv_scattered(
         obs::counter("servd_scatter_queries_total", &[("endpoint", "mtbe")]).inc();
     }
     let snapshot = Arc::clone(published);
+    let scan_trace = trace.cloned();
     let blocks = pool.run(
         ErrorKind::STUDIED.len(),
-        Arc::new(move |i| snapshot.store.mtbe_kind_block(ErrorKind::STUDIED[i])),
+        Arc::new(move |i| {
+            let mut guard = scan_trace.as_ref().map(|t| t.stage("kind_scan"));
+            if let Some(g) = guard.as_mut() {
+                g.set_detail(format!(
+                    "xid={}",
+                    ErrorKind::STUDIED[i].primary_code().value()
+                ));
+            }
+            snapshot.store.mtbe_kind_block(ErrorKind::STUDIED[i])
+        }),
     );
+    let mut merge = trace.map(|t| t.stage("merge"));
+    if let Some(g) = merge.as_mut() {
+        g.add_items(blocks.len() as u64);
+    }
     let mut out = String::from("xid,kind,phase,count,mtbe_system_h,mtbe_node_h\n");
     for block in blocks {
         out.push_str(&block);
@@ -855,11 +893,14 @@ fn fmt_json(v: Option<f64>) -> String {
 }
 
 /// One published snapshot: a store plus the monotone id the handle
-/// assigned at publish time (surfaced as the `X-Snapshot` header).
+/// assigned at publish time (surfaced as the `X-Snapshot` header) and
+/// the publish instant (surfaced as `snapshot_age_secs` in `/readyz`).
 #[derive(Debug)]
 pub struct Published {
     /// Monotone snapshot id, starting at 1.
     pub id: u64,
+    /// When this snapshot became the served one.
+    pub at: Instant,
     /// The immutable store.
     pub store: StudyStore,
 }
@@ -891,7 +932,11 @@ impl StoreHandle {
     pub fn new(store: StudyStore) -> Self {
         let shards = store.shard_count();
         StoreHandle {
-            current: RwLock::new(Arc::new(Published { id: 1, store })),
+            current: RwLock::new(Arc::new(Published {
+                id: 1,
+                at: Instant::now(),
+                store,
+            })),
             next_id: AtomicU64::new(2),
             pool: ScanPool::for_machine(),
             publish_shards: AtomicUsize::new(shards),
@@ -902,7 +947,11 @@ impl StoreHandle {
     /// Requests already holding the old `Arc` finish on the old snapshot.
     pub fn publish(&self, store: StudyStore) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let published = Arc::new(Published { id, store });
+        let published = Arc::new(Published {
+            id,
+            at: Instant::now(),
+            store,
+        });
         match self.current.write() {
             Ok(mut guard) => *guard = published,
             // A poisoned lock only means a reader panicked while cloning
@@ -1114,6 +1163,7 @@ mod tests {
         for n in [1usize, 2, 4, 8] {
             let published = Arc::new(Published {
                 id: 1,
+                at: Instant::now(),
                 store: StudyStore::build_sharded(report.clone(), None, n),
             });
             for filter in [
@@ -1128,13 +1178,13 @@ mod tests {
                 },
             ] {
                 assert_eq!(
-                    errors_csv_scattered(&published, &filter, &pool),
+                    errors_csv_scattered(&published, &filter, &pool, None),
                     published.store.errors_csv(&filter),
                     "shards={n} filter={filter:?}"
                 );
             }
             assert_eq!(
-                mtbe_csv_scattered(&published, None, &pool),
+                mtbe_csv_scattered(&published, None, &pool, None),
                 published.store.mtbe_csv(None)
             );
         }

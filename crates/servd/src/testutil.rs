@@ -89,15 +89,26 @@ pub fn request(addr: impl ToSocketAddrs, method: &str, path: &str, body: &[u8]) 
 /// Reads one `Content-Length`-framed response off the stream. Panics on
 /// EOF mid-response, a head past 64 KiB, or a missing `Content-Length`
 /// (the server always emits one).
+///
+/// The head is read in buffered chunks, not byte-at-a-time: the client
+/// issues one request per read, so every byte a `read` returns belongs
+/// to this response, and a per-byte syscall would make measured
+/// throughput scale with *header length* — a 30-byte `X-Trace-Id`
+/// would read as ~30 extra syscalls of "server overhead" in the
+/// paired-fleet benches.
 pub fn read_response(conn: &mut TcpStream) -> TestResponse {
-    let mut head = Vec::new();
-    let mut byte = [0u8; 1];
-    while !head.ends_with(b"\r\n\r\n") {
-        assert!(head.len() < 64 * 1024, "unterminated response head");
-        conn.read_exact(&mut byte).expect("response head byte");
-        head.push(byte[0]);
-    }
-    let head = String::from_utf8(head).expect("ASCII response head");
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        assert!(buf.len() < 64 * 1024, "unterminated response head");
+        let n = conn.read(&mut chunk).expect("response bytes");
+        assert!(n > 0, "EOF mid-response head");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8(buf[..head_end].to_vec()).expect("ASCII response head");
     let mut lines = head.lines();
     let status: u16 = lines
         .next()
@@ -113,8 +124,16 @@ pub fn read_response(conn: &mut TcpStream) -> TestResponse {
         .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
         .and_then(|(_, v)| v.parse().ok())
         .expect("Content-Length header");
-    let mut body = vec![0u8; length];
-    conn.read_exact(&mut body).expect("framed body");
+    let mut body = buf.split_off(head_end);
+    assert!(
+        body.len() <= length,
+        "server sent {} bytes past the declared Content-Length {length}",
+        body.len() - length
+    );
+    let read_so_far = body.len();
+    body.resize(length, 0);
+    conn.read_exact(&mut body[read_so_far..])
+        .expect("framed body");
     TestResponse {
         status,
         headers,

@@ -39,9 +39,15 @@
 //! GET /jobs/impact                          Table II + failed-job total (CSV)
 //! GET /availability                         §V-C summary (JSON)
 //! GET /snapshot /healthz /metrics           serving metadata + Prometheus
+//! GET /readyz                               snapshot age + ingest backlog (JSON)
+//! GET /debug/traces?id=&slowest=&since=     slow-trace flight recorder (JSON)
+//! GET /metrics/history?name=&from=&to=&step= self-scraped series history (JSON)
 //! ```
 //!
 //! Metrics are always on for a server (the registry powers `/metrics`).
+//! Request tracing is on by default (`--trace-capacity 0` turns it
+//! off): every response names its trace in an `X-Trace-Id` header, and
+//! the slowest/error traces stay inspectable via `/debug/traces`.
 //! Shared plumbing and the error taxonomy live in
 //! [`delta_gpu_resilience::cli`].
 
@@ -103,12 +109,21 @@ SERVER
   --shards N      host-range store shards for scatter-gather scans
                   (default: CPU cores, capped at 8; 1 disables scatter)
 
+OBSERVABILITY
+  --trace-capacity N  slowest traces kept per rolling flight-recorder
+                      window; 0 disables request tracing (default 256)
+  --scrape-secs S     /metrics/history self-scrape cadence in seconds;
+                      0 disables the history store (default 10)
+  --access-log        one Common Log Format line per request to stderr
+
 ENDPOINTS
   /tables/1 /tables/2 /tables/3 /fig2 /errors /mtbe /jobs/impact
-  /availability /snapshot /healthz /metrics
+  /availability /snapshot /healthz /readyz /metrics
   /rollup?metric=errors|mtbe|impact|availability
          [&bucket=hour|day|week|month] [&tz=UTC|America/Chicago|Europe/Berlin]
          [&from=] [&to=] [&host=] [&xid=]   pre-aggregated civil-time rollups
+  /debug/traces[?id=HEX|slowest=N|since=UNIX_MS]   slow/error request traces
+  /metrics/history?name=METRIC[&from=][&to=][&step=]   scraped series history
   POST /ingest/{logs,jobs,cpu-jobs,outages}[?seq=N]  (with --ingest-dir)
   POST /ingest/flush    GET /ingest/status
 ";
@@ -130,6 +145,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
             "ingest-queue",
             "publish-events",
             "publish-secs",
+            "trace-capacity",
+            "scrape-secs",
         ],
     )?;
 
@@ -358,22 +375,20 @@ fn shards_from_flags(flags: &Flags) -> Result<usize, CliError> {
     }
 }
 
-/// Shared server flag parsing (`--addr`, `--threads`, `--max-conns`).
+/// Shared server flag parsing (`--addr`, `--threads`, `--max-conns`,
+/// and the observability trio). Tracing and self-scraping default *on*
+/// for the binary (256 traces, 10 s cadence) — the library default is
+/// off, but a served study should be inspectable out of the box.
 fn server_config_from_flags(flags: &Flags) -> Result<servd::ServerConfig, CliError> {
     let mut config = servd::ServerConfig {
         addr: flags.value("addr").unwrap_or("127.0.0.1:7171").to_owned(),
         ..servd::ServerConfig::default()
     };
-    if let Some(n) = flags.value("threads") {
-        config.workers = n
-            .parse()
-            .map_err(|_| CliError::Usage(format!("bad --threads {n:?}")))?;
-    }
-    if let Some(n) = flags.value("max-conns") {
-        config.max_queue = n
-            .parse()
-            .map_err(|_| CliError::Usage(format!("bad --max-conns {n:?}")))?;
-    }
+    config.workers = cli::parse_num_flag(flags, "threads", config.workers)?;
+    config.max_queue = cli::parse_num_flag(flags, "max-conns", config.max_queue)?;
+    config.trace_capacity = cli::parse_num_flag(flags, "trace-capacity", 256)?;
+    config.scrape_secs = cli::parse_num_flag(flags, "scrape-secs", 10)?;
+    config.access_log = flags.has("access-log");
     Ok(config)
 }
 

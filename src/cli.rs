@@ -165,6 +165,22 @@ impl Flags {
     }
 }
 
+/// Parses `--name`'s value as a number, falling back to `default` when
+/// the flag is absent and reporting a clean usage error when it does
+/// not parse — the shared shape of every numeric server flag.
+pub fn parse_num_flag<T: std::str::FromStr>(
+    flags: &Flags,
+    name: &str,
+    default: T,
+) -> Result<T, CliError> {
+    match flags.value(name) {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad --{name} {raw:?}"))),
+        None => Ok(default),
+    }
+}
+
 /// Reads a whole file as UTF-8 text.
 pub fn read_to_string(path: impl AsRef<Path>) -> Result<String, CliError> {
     let path = path.as_ref();
@@ -434,6 +450,17 @@ mod tests {
     fn later_values_win() {
         let flags = parse_flags(&args(&["--seed", "1", "--seed", "2"]), &["seed"]).unwrap();
         assert_eq!(flags.value("seed"), Some("2"));
+    }
+
+    #[test]
+    fn numeric_flags_default_parse_and_reject() {
+        let flags = parse_flags(&args(&["--depth", "7"]), &["depth", "width"]).unwrap();
+        assert_eq!(parse_num_flag(&flags, "depth", 1usize).unwrap(), 7);
+        assert_eq!(parse_num_flag(&flags, "width", 42u64).unwrap(), 42);
+        let flags = parse_flags(&args(&["--depth", "nope"]), &["depth"]).unwrap();
+        let err = parse_num_flag(&flags, "depth", 1usize).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+        assert!(err.to_string().contains("--depth"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,439 @@
+//! The observability-is-invisible proof: turning on request tracing,
+//! the flight recorder, and the `/metrics/history` self-scrape must
+//! not change a single served byte.
+//!
+//! Three claims, each checked differentially:
+//!
+//! 1. **Byte identity.** Across shard counts {1, 4} × chaos rates
+//!    {0%, 5%}, every query endpoint returns the same status, body,
+//!    `X-Snapshot`, and `X-Cache` header from a traced server as from
+//!    an untraced one — cold and cache-hit alike. The only wire
+//!    difference tracing may make is the presence of `X-Trace-Id`.
+//! 2. **Trace fidelity.** An uncached `/errors` on a 4-shard store
+//!    resolves through `/debug/traces?id=` to a record carrying one
+//!    `shard_scan` span per shard (and a `merge`); `/rollup` resolves
+//!    too, with zero scatter spans (rollups serve pre-merged cubes).
+//!    `/readyz` flips 200 → 503 when the ingest worker dies.
+//! 3. **History fidelity.** [`obs::Tsdb`] answers exactly what a
+//!    brute-force replay of the scrape-time snapshots answers, through
+//!    an independent reimplementation of the bucket downsampling.
+
+use delta_gpu_resilience::prelude::*;
+use hpclog::chaos::{ChaosConfig, ChaosInjector};
+use obs::registry::{MetricSnapshot, MetricValue};
+use obs::{HistoryQuery, Tsdb};
+use resilience::csvio;
+use servd::testutil::{connect, get_on, TestResponse};
+use servd::{IngestConfig, ServerConfig, StoreHandle, StudyStore};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration as StdDuration, Instant};
+
+const SCALE: f64 = 0.02;
+const SEED: u64 = 0x0B5E;
+const LOG_YEAR: i32 = 2022;
+
+/// The endpoint surface compared between the traced and untraced arms:
+/// the full E15 mix plus the rollup cubes.
+const SURFACE: &[&str] = &[
+    "/tables/1",
+    "/tables/2",
+    "/tables/3",
+    "/fig2",
+    "/errors",
+    "/errors?host=gpub001",
+    "/errors?xid=74",
+    "/mtbe",
+    "/mtbe?xid=119",
+    "/jobs/impact",
+    "/availability",
+    "/rollup?metric=errors&bucket=day",
+    "/rollup?metric=mtbe&bucket=week&tz=America/Chicago",
+    "/rollup?metric=availability&bucket=month",
+    "/snapshot",
+    "/healthz",
+];
+
+/// Same campaign construction as the other differential suites.
+fn study(chaos_rate: f64) -> (StudyReport, resilience::QuarantineReport) {
+    let mut config = FaultConfig::delta_scaled(SCALE);
+    config.seed = SEED;
+    config.emit_logs = true;
+    let campaign = Campaign::new(config).run();
+    let cluster = Cluster::new(campaign.config.spec);
+    let workload = WorkloadConfig::delta_scaled(SCALE);
+    let outcome =
+        Simulation::new(&cluster, workload, SEED).run(&campaign.ground_truth, &campaign.holds);
+    let log = if chaos_rate > 0.0 {
+        let mut chaos =
+            ChaosInjector::new(ChaosConfig::uniform_with_duplicates(chaos_rate, 0.02, SEED));
+        chaos.corrupt_archive(&campaign.archive)
+    } else {
+        let mut out = Vec::new();
+        for line in campaign.archive.iter() {
+            out.extend_from_slice(line.to_string().as_bytes());
+            out.push(b'\n');
+        }
+        out
+    };
+    let mut pipeline = Pipeline::delta();
+    pipeline.periods = campaign.config.periods;
+    pipeline.run_lenient(
+        log.as_slice(),
+        LOG_YEAR,
+        &csvio::render_jobs(&bridge::jobs(&outcome.jobs)),
+        &csvio::render_jobs(&bridge::jobs(&outcome.cpu_jobs)),
+        &csvio::render_outages(&bridge::outages(campaign.ledger.outages())),
+    )
+}
+
+fn serve(
+    report: &StudyReport,
+    quarantine: &resilience::QuarantineReport,
+    shards: usize,
+    traced: bool,
+) -> servd::RunningServer {
+    let store = Arc::new(StoreHandle::new(StudyStore::build_sharded(
+        report.clone(),
+        Some(quarantine),
+        shards,
+    )));
+    servd::start(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            trace_capacity: if traced { 256 } else { 0 },
+            scrape_secs: if traced { 1 } else { 0 },
+            ..ServerConfig::default()
+        },
+        store,
+    )
+    .expect("server starts on an ephemeral port")
+}
+
+/// The parts of a response that must not depend on tracing.
+fn comparable(resp: &TestResponse) -> (u16, Option<String>, Option<String>, Vec<u8>) {
+    (
+        resp.status,
+        resp.header("X-Snapshot").map(str::to_owned),
+        resp.header("X-Cache").map(str::to_owned),
+        resp.body.clone(),
+    )
+}
+
+/// Polls `/debug/traces?id=` until the event loop seals and admits the
+/// trace (that happens one cycle after the response drains).
+fn resolve_trace(conn: &mut TcpStream, id: &str) -> String {
+    let deadline = Instant::now() + StdDuration::from_secs(5);
+    loop {
+        let resp = get_on(conn, &format!("/debug/traces?id={id}"));
+        if resp.status == 200 {
+            let body = resp.text();
+            assert!(
+                body.contains(&format!("\"id\": \"{id}\"")),
+                "trace {id} resolved to a different record: {body}"
+            );
+            return body;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "trace {id} never appeared in /debug/traces (last status {})",
+            resp.status
+        );
+        std::thread::sleep(StdDuration::from_millis(20));
+    }
+}
+
+// ------------------------------------------------------------ claim 1
+
+/// Shards {1,4} × chaos {0%,5%}: the traced and untraced arms serve
+/// identical bytes, cold and from cache, and `X-Trace-Id` appears on
+/// exactly one arm.
+#[test]
+fn tracing_never_changes_served_bytes() {
+    for chaos_rate in [0.0, 0.05] {
+        let (report, quarantine) = study(chaos_rate);
+        assert!(
+            report.errors.len() > 100,
+            "chaos={chaos_rate}: dataset too small"
+        );
+        for shards in [1usize, 4] {
+            let plain = serve(&report, &quarantine, shards, false);
+            let traced = serve(&report, &quarantine, shards, true);
+            let mut plain_conn = connect(plain.addr());
+            let mut traced_conn = connect(traced.addr());
+            // Two passes: the first render-misses, the second must hit
+            // the response cache on both arms — byte identity has to
+            // survive the cache round-trip because cached entries are
+            // stored *before* the trace header is applied.
+            for pass in ["cold", "cached"] {
+                for path in SURFACE {
+                    let p = get_on(&mut plain_conn, path);
+                    let t = get_on(&mut traced_conn, path);
+                    assert_eq!(
+                        comparable(&p),
+                        comparable(&t),
+                        "chaos={chaos_rate} shards={shards} {pass} {path}: \
+                         traced arm diverged from plain"
+                    );
+                    assert!(
+                        p.header("X-Trace-Id").is_none(),
+                        "untraced arm leaked X-Trace-Id at {path}"
+                    );
+                    assert!(
+                        t.header("X-Trace-Id").is_some(),
+                        "traced arm missing X-Trace-Id at {path}"
+                    );
+                }
+            }
+            plain.shutdown();
+            traced.shutdown();
+        }
+    }
+}
+
+// ------------------------------------------------------------ claim 2
+
+/// A scatter query's trace names every shard it fanned out to; a
+/// rollup's trace shows none (pre-merged cubes).
+#[test]
+fn trace_spans_mirror_the_scatter_plan() {
+    let (report, quarantine) = study(0.0);
+    let server = serve(&report, &quarantine, 4, true);
+    let mut conn = connect(server.addr());
+
+    let errors = get_on(&mut conn, "/errors");
+    assert_eq!(errors.status, 200);
+    let id = errors
+        .header("X-Trace-Id")
+        .expect("traced /errors carries X-Trace-Id")
+        .to_owned();
+    let doc = resolve_trace(&mut conn, &id);
+    let scans = doc.matches("\"name\": \"shard_scan\"").count();
+    assert_eq!(scans, 4, "one shard_scan per shard, got {scans}: {doc}");
+    assert_eq!(doc.matches("\"name\": \"merge\"").count(), 1, "{doc}");
+    for stage in ["parse", "route", "cache_lookup", "render", "write"] {
+        assert!(
+            doc.contains(&format!("\"name\": \"{stage}\"")),
+            "missing {stage} span: {doc}"
+        );
+    }
+    // Shard details name real shards: `shard=0..3` in some order.
+    for shard in 0..4 {
+        assert!(
+            doc.contains(&format!("\"detail\": \"shard={shard}\"")),
+            "missing shard={shard} detail: {doc}"
+        );
+    }
+
+    let rollup = get_on(&mut conn, "/rollup?metric=errors&bucket=day");
+    assert_eq!(rollup.status, 200);
+    let id = rollup
+        .header("X-Trace-Id")
+        .expect("traced /rollup carries X-Trace-Id")
+        .to_owned();
+    let doc = resolve_trace(&mut conn, &id);
+    assert_eq!(
+        doc.matches("\"name\": \"shard_scan\"").count(),
+        0,
+        "rollups serve pre-merged cubes; no scatter expected: {doc}"
+    );
+    server.shutdown();
+}
+
+/// `/readyz` is 200 with a live worker (and without ingest at all) and
+/// flips to 503 the moment the worker is gone.
+#[test]
+fn readyz_flips_when_the_ingest_worker_dies() {
+    let dir = std::env::temp_dir().join(format!("trace_eq_readyz_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("ingest dir");
+    let recovered = servd::ingest::recover(IngestConfig::new(&dir), Pipeline::delta(), LOG_YEAR)
+        .expect("recover empty dir");
+    let (report, quarantine) = recovered.engine.materialize_full();
+    let store = Arc::new(StoreHandle::new(StudyStore::build(
+        report,
+        Some(&quarantine),
+    )));
+    let worker = servd::ingest::spawn_worker(
+        recovered.engine,
+        Arc::clone(&recovered.handle),
+        Arc::clone(&store),
+    );
+    let server = servd::start_with_ingest(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            ..ServerConfig::default()
+        },
+        store,
+        Some(Arc::clone(&recovered.handle)),
+    )
+    .expect("server starts");
+    let mut conn = connect(server.addr());
+
+    let up = get_on(&mut conn, "/readyz");
+    assert_eq!(up.status, 200, "live worker: {}", up.text());
+    assert!(up.text().contains("\"live_ingest\":true"), "{}", up.text());
+    assert!(up.text().contains("\"ready\":true"), "{}", up.text());
+
+    worker.stop();
+    let down = get_on(&mut conn, "/readyz");
+    assert_eq!(down.status, 503, "dead worker: {}", down.text());
+    assert!(down.text().contains("\"ready\":false"), "{}", down.text());
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ------------------------------------------------------------ claim 3
+
+/// Owned label pairs, as the replay oracle keys its series.
+type ReplayLabels = Vec<(String, String)>;
+
+/// Brute-force oracle for [`Tsdb::query`]: filters the recorded
+/// scrape-time snapshots and re-downsamples them with an independently
+/// written last-sample-per-bucket rule.
+fn replay(
+    history: &[(u64, Vec<MetricSnapshot>)],
+    query: &HistoryQuery,
+) -> Vec<(ReplayLabels, Vec<(u64, u64)>)> {
+    use std::collections::BTreeMap;
+    let mut raw: BTreeMap<ReplayLabels, Vec<(u64, u64)>> = BTreeMap::new();
+    for (t, snapshot) in history {
+        if *t < query.from || *t >= query.to {
+            continue;
+        }
+        for m in snapshot {
+            let (name, value) = match &m.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => (m.name.to_owned(), *v),
+                MetricValue::Histogram(_) => continue, // exercised in obs's own tests
+            };
+            if name != query.name {
+                continue;
+            }
+            let labels: ReplayLabels = m
+                .labels
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.clone()))
+                .collect();
+            raw.entry(labels).or_default().push((*t, value));
+        }
+    }
+    raw.into_iter()
+        .filter_map(|(labels, points)| {
+            let points = match query.step {
+                0 => points,
+                step => {
+                    // Independent restatement of the downsampling
+                    // contract: bucket b covers [from + b*step,
+                    // from + (b+1)*step), reports its last sample,
+                    // stamped at the bucket start.
+                    let mut buckets: BTreeMap<u64, u64> = BTreeMap::new();
+                    for (t, v) in points {
+                        let bucket = query.from + (t - query.from) / step * step;
+                        buckets.insert(bucket, v);
+                    }
+                    buckets.into_iter().collect()
+                }
+            };
+            (!points.is_empty()).then_some((labels, points))
+        })
+        .collect()
+}
+
+/// Feeds a deterministic snapshot sequence to a [`Tsdb`] while
+/// recording every scrape, then checks raw and stepped queries — plus
+/// partial time windows — against the brute-force replay.
+#[test]
+fn history_agrees_with_brute_force_replay_of_scrapes() {
+    let tsdb = Tsdb::new(64);
+    let mut history: Vec<(u64, Vec<MetricSnapshot>)> = Vec::new();
+    for i in 0..40u64 {
+        let t = 1_000 + i * 3; // 3 s cadence
+        let snapshot = vec![
+            MetricSnapshot {
+                name: "requests_total",
+                labels: vec![("endpoint", "/errors".to_owned())],
+                value: MetricValue::Counter(i * i),
+            },
+            MetricSnapshot {
+                name: "requests_total",
+                labels: vec![("endpoint", "/rollup".to_owned())],
+                value: MetricValue::Counter(i * 7 % 113),
+            },
+            MetricSnapshot {
+                name: "queue_depth",
+                labels: vec![],
+                value: MetricValue::Gauge((i * 13) % 29),
+            },
+        ];
+        assert!(tsdb.scrape(t, &snapshot), "scrape at t={t} must advance");
+        history.push((t, snapshot));
+    }
+
+    let queries = [
+        HistoryQuery {
+            name: "requests_total".to_owned(),
+            from: 0,
+            to: u64::MAX,
+            step: 0,
+        },
+        HistoryQuery {
+            name: "requests_total".to_owned(),
+            from: 1_000,
+            to: 1_060,
+            step: 10,
+        },
+        HistoryQuery {
+            name: "queue_depth".to_owned(),
+            from: 1_030,
+            to: 1_090,
+            step: 7,
+        },
+        HistoryQuery {
+            name: "queue_depth".to_owned(),
+            from: 1_117,
+            to: 1_118,
+            step: 0,
+        },
+        HistoryQuery {
+            name: "nosuchmetric".to_owned(),
+            from: 0,
+            to: u64::MAX,
+            step: 5,
+        },
+    ];
+    for query in queries {
+        let got = tsdb.query(&query);
+        let want = replay(&history, &query);
+        assert_eq!(
+            got.series.len(),
+            want.len(),
+            "{query:?}: series count diverged from replay"
+        );
+        for (series, (labels, points)) in got.series.iter().zip(&want) {
+            assert_eq!(&series.labels, labels, "{query:?}: label order diverged");
+            assert_eq!(
+                &series.points, points,
+                "{query:?} {labels:?}: points diverged from brute-force replay"
+            );
+        }
+    }
+
+    // Non-advancing scrapes store nothing — replay must keep agreeing
+    // after a rejected timestamp.
+    let stale = vec![MetricSnapshot {
+        name: "queue_depth",
+        labels: vec![],
+        value: MetricValue::Gauge(9_999),
+    }];
+    assert!(!tsdb.scrape(1_000, &stale), "stale scrape must be rejected");
+    let all = HistoryQuery {
+        name: "queue_depth".to_owned(),
+        from: 0,
+        to: u64::MAX,
+        step: 0,
+    };
+    assert_eq!(
+        tsdb.query(&all).series[0].points,
+        replay(&history, &all)[0].1,
+        "rejected scrape leaked into the history"
+    );
+}
