@@ -54,6 +54,12 @@
 //!   return instead of `Box<dyn Error>`.
 //! * [`findings`] — programmatic checks of the paper's headline findings
 //!   (i)–(vii) against a computed report.
+//! * [`scenario`] — counterfactual campaigns over the simulation
+//!   substrates (`faultsim` → `clustersim` → `slurmsim`): typed
+//!   what-if specs (MTTR scaling, per-XID hazard multipliers,
+//!   scheduler policy), canonical cache keys, and seeded paired
+//!   baseline-vs-scenario repetitions; the compute layer behind the
+//!   serving `/whatif` endpoint.
 //!
 //! # Example
 //!
@@ -95,6 +101,7 @@ pub mod parallel;
 pub mod pipeline;
 pub mod report;
 pub mod rollup;
+pub mod scenario;
 pub mod spatial;
 pub mod stats;
 pub mod survival;

@@ -1,0 +1,80 @@
+//! Shared admission control for servd's bounded queues.
+//!
+//! Two subsystems accept work the event loop cannot finish inline: the
+//! ingest write path and the `/whatif` compute path. Both follow one
+//! shed contract — a bounded queue, a `*_rejected_total{reason=overload}`
+//! counter, and a `429` with a `Retry-After` hint when full — and this
+//! module implements that contract once so the two paths cannot drift.
+
+use crate::http::Response;
+
+/// The shed policy for one bounded queue: how deep it may grow, what to
+/// tell clients when it is full, and which counter records the shed.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionPolicy {
+    /// The `*_rejected_total` counter bumped (with `reason=overload`)
+    /// on every shed.
+    pub rejected_metric: &'static str,
+    /// Maximum queued entries before new offers shed.
+    pub queue_capacity: usize,
+    /// The `Retry-After` hint handed to shed clients, in seconds.
+    pub retry_after_secs: u32,
+}
+
+impl AdmissionPolicy {
+    /// Admits or sheds an offer given the current queue depth.
+    ///
+    /// # Errors
+    ///
+    /// When the queue is full, bumps the policy's rejected counter and
+    /// returns the `Retry-After` hint the caller must surface.
+    pub fn admit(&self, depth: usize) -> Result<(), u32> {
+        if depth >= self.queue_capacity {
+            if obs::is_enabled() {
+                obs::counter(self.rejected_metric, &[("reason", "overload")]).inc();
+            }
+            return Err(self.retry_after_secs);
+        }
+        Ok(())
+    }
+}
+
+/// Renders the uniform overload response: `429` with a `Retry-After`
+/// header. `what` names the queue in the body (`ingest`, `whatif`).
+pub fn overloaded(what: &str, retry_after_secs: u32) -> Response {
+    Response::text(
+        429,
+        format!("{what} queue is full; retry after the indicated delay\n"),
+    )
+    .with_header("Retry-After", retry_after_secs.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POLICY: AdmissionPolicy = AdmissionPolicy {
+        rejected_metric: "servd_test_rejected_total",
+        queue_capacity: 2,
+        retry_after_secs: 3,
+    };
+
+    #[test]
+    fn admits_below_capacity_and_sheds_at_it() {
+        assert_eq!(POLICY.admit(0), Ok(()));
+        assert_eq!(POLICY.admit(1), Ok(()));
+        assert_eq!(POLICY.admit(2), Err(3));
+        assert_eq!(POLICY.admit(100), Err(3));
+    }
+
+    #[test]
+    fn overloaded_response_carries_retry_after() {
+        let resp = overloaded("whatif", 7);
+        assert_eq!(resp.status, 429);
+        assert!(resp
+            .extra
+            .iter()
+            .any(|(k, v)| *k == "Retry-After" && v == "7"));
+        assert!(resp.body.contains("whatif queue is full"), "{}", resp.body);
+    }
+}

@@ -53,6 +53,7 @@
 //! so slow materialization can cost an uploader a retry but can never
 //! grow server memory or stall the GET path.
 
+use crate::admission::AdmissionPolicy;
 use crate::store::{StoreHandle, StudyStore};
 use resilience::checkpoint::{write_atomic, Checkpoint, CheckpointError, Decoder, Encoder};
 use resilience::incremental::StreamingPipeline;
@@ -159,6 +160,15 @@ impl IngestConfig {
             publish_every_events: 5_000,
             publish_every: Duration::from_secs(2),
             retry_after_secs: 1,
+        }
+    }
+
+    /// The shared shed contract this queue enforces.
+    pub fn admission(&self) -> AdmissionPolicy {
+        AdmissionPolicy {
+            rejected_metric: "servd_ingest_rejected_total",
+            queue_capacity: self.queue_capacity,
+            retry_after_secs: self.retry_after_secs,
         }
     }
 }
@@ -361,14 +371,9 @@ impl IngestHandle {
             }
             _ => {}
         }
-        if state.queue.len() >= self.config.queue_capacity {
+        if let Err(retry_after_secs) = self.config.admission().admit(state.queue.len()) {
             drop(state);
-            if obs::is_enabled() {
-                obs::counter("servd_ingest_rejected_total", &[("reason", "overload")]).inc();
-            }
-            return Offer::Overloaded {
-                retry_after_secs: self.config.retry_after_secs,
-            };
+            return Offer::Overloaded { retry_after_secs };
         }
         // Durability before acknowledgement: the record must be in the
         // WAL before accepted[] moves (and before the caller writes 200).

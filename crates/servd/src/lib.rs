@@ -42,6 +42,13 @@
 //!   write-ahead log so an acknowledged chunk survives SIGKILL, a single
 //!   worker driving the streaming pipeline on a publish cadence, and
 //!   [`ingest::recover`] replaying WAL + checkpoint on restart.
+//! * [`admission`] — the shed contract both bounded queues (ingest,
+//!   whatif) share: capacity check, overload counter, `429` +
+//!   `Retry-After` rendering.
+//! * [`whatif`] — the compute path: `/whatif` counterfactual campaigns
+//!   (`resilience::scenario`) on a dedicated worker pool with
+//!   single-flight deduplication, deterministic job ids, snapshot-scoped
+//!   result caching and `202` polling for long campaigns.
 //! * [`http`] — bounded request parsing (one-shot and incremental — the
 //!   two implementations are held byte-equivalent by
 //!   `tests/parser_fuzz.rs`) and fixed-length responses.
@@ -67,6 +74,7 @@
 #![warn(missing_docs)]
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+pub mod admission;
 pub mod cache;
 pub mod epoll;
 pub mod http;
@@ -78,6 +86,7 @@ pub mod signal;
 pub mod store;
 #[cfg(any(test, feature = "testutil"))]
 pub mod testutil;
+pub mod whatif;
 pub mod wheel;
 
 pub use cache::ResponseCache;
@@ -85,3 +94,4 @@ pub use ingest::{IngestConfig, IngestError, IngestHandle, IngestStream, IngestWo
 pub use router::ObsState;
 pub use server::{start, start_with_ingest, RunningServer, ServeError, ServerConfig};
 pub use store::{ErrorFilter, RollupMetric, RollupQuery, StoreHandle, StudyStore};
+pub use whatif::{WhatifConfig, WhatifHandle};

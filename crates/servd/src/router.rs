@@ -8,6 +8,7 @@
 //! header, giving tests a deterministic view of cache behavior without
 //! reading global metrics.
 
+use crate::admission;
 use crate::cache::ResponseCache;
 use crate::http::{Request, Response};
 use crate::ingest::{IngestHandle, IngestStream, Offer};
@@ -15,8 +16,10 @@ use crate::store::{
     errors_csv_scattered, mtbe_csv_scattered, parse_time, parse_xid, ErrorFilter, RollupMetric,
     RollupQuery, StoreHandle,
 };
+use crate::whatif::{self, WhatifHandle};
 use obs::registry::DURATION_US_BUCKETS;
 use obs::{FlightRecorder, HistoryQuery, Trace, Tsdb};
+use resilience::scenario::ScenarioSpec;
 use simtime::civiltime::ParseCivilError;
 use std::sync::Arc;
 use std::time::Instant;
@@ -44,7 +47,7 @@ pub fn handle(
     cache: &ResponseCache,
     ingest: Option<&IngestHandle>,
 ) -> Response {
-    handle_traced(req, store, cache, ingest, &ObsState::default(), None)
+    handle_traced(req, store, cache, ingest, None, &ObsState::default(), None)
 }
 
 /// [`handle`] with the request's trace riding along: the dispatch runs
@@ -57,12 +60,13 @@ pub fn handle_traced(
     store: &StoreHandle,
     cache: &ResponseCache,
     ingest: Option<&IngestHandle>,
+    whatif: Option<&WhatifHandle>,
     state: &ObsState,
     trace: Option<&Arc<Trace>>,
 ) -> Response {
     let started = Instant::now();
     let route = trace.map(|t| t.stage("route"));
-    let response = dispatch(req, store, cache, ingest, state, trace);
+    let response = dispatch(req, store, cache, ingest, whatif, state, trace);
     drop(route);
     if obs::is_enabled() {
         obs::counter(
@@ -108,9 +112,17 @@ fn endpoint_label(path: &str) -> &'static str {
         "/ingest/outages" => "ingest_outages",
         "/ingest/status" => "ingest_status",
         "/ingest/flush" => "ingest_flush",
+        "/whatif" => "whatif",
+        p if p.starts_with("/whatif/jobs/") => "whatif_jobs",
         p if p.starts_with("/tables/") => "tables",
         _ => "other",
     }
+}
+
+/// Renders a `405` that names the methods the endpoint *does* accept —
+/// the `Allow` header RFC 9110 requires on every 405.
+fn method_not_allowed(allow: &'static str, body: &str) -> Response {
+    Response::text(405, body).with_header("Allow", allow)
 }
 
 fn dispatch(
@@ -118,14 +130,18 @@ fn dispatch(
     store: &StoreHandle,
     cache: &ResponseCache,
     ingest: Option<&IngestHandle>,
+    whatif: Option<&WhatifHandle>,
     state: &ObsState,
     trace: Option<&Arc<Trace>>,
 ) -> Response {
     if let Some(segment) = req.path.strip_prefix("/ingest/") {
         return dispatch_ingest(req, segment, ingest);
     }
+    if req.path == "/whatif" || req.path.starts_with("/whatif/") {
+        return dispatch_whatif(req, store, whatif, trace);
+    }
     if req.method != "GET" && req.method != "HEAD" {
-        return Response::text(405, "only GET and HEAD are supported here\n");
+        return method_not_allowed("GET, HEAD", "only GET and HEAD are supported here\n");
     }
 
     // Uncached, snapshot-independent endpoints first.
@@ -316,6 +332,76 @@ fn metrics_history(req: &Request, state: &ObsState) -> Response {
     )
 }
 
+/// The compute path: `GET/POST /whatif?...` and `GET /whatif/jobs/:id`.
+/// Results are cached by the what-if job registry itself, keyed by
+/// `(snapshot, canonical spec)`; `X-Cache` reports whether this request
+/// hit a finished campaign.
+fn dispatch_whatif(
+    req: &Request,
+    store: &StoreHandle,
+    whatif: Option<&WhatifHandle>,
+    trace: Option<&Arc<Trace>>,
+) -> Response {
+    let Some(handle) = whatif else {
+        return Response::text(404, "the what-if service is not enabled on this server\n");
+    };
+    if let Some(id) = req.path.strip_prefix("/whatif/jobs/") {
+        if req.method != "GET" && req.method != "HEAD" {
+            return method_not_allowed("GET, HEAD", "use GET to poll a whatif job\n");
+        }
+        return whatif::poll_response(handle, id);
+    }
+    if req.path != "/whatif" {
+        return Response::text(404, "no such endpoint\n");
+    }
+    if req.method != "GET" && req.method != "HEAD" && req.method != "POST" {
+        return method_not_allowed("GET, HEAD, POST", "use GET or POST for /whatif\n");
+    }
+    let parse = trace.map(|t| t.stage("whatif_parse"));
+    let pairs = match whatif::request_pairs(req) {
+        Ok(pairs) => pairs,
+        Err(msg) => return Response::text(400, msg),
+    };
+    let spec = match ScenarioSpec::parse(&pairs, handle.rep_cap()) {
+        Ok(spec) => spec,
+        Err(e) => return Response::text(400, format!("{e}\n")),
+    };
+    drop(parse);
+    // Snapshot-scoped like the read path: pin the current snapshot once
+    // and fold its id into the job key.
+    let published = store.current();
+    let lookup = trace.map(|t| t.stage("whatif_cache"));
+    let submitted = handle.submit(published.id, &spec);
+    drop(lookup);
+    match submitted {
+        whatif::Submit::Ready { body } => Response::json(200, body)
+            .with_header("X-Snapshot", published.id.to_string())
+            .with_header("X-Cache", "hit"),
+        whatif::Submit::Overloaded { retry_after_secs } => {
+            admission::overloaded("whatif", retry_after_secs)
+        }
+        whatif::Submit::ShuttingDown => {
+            Response::text(503, "the what-if service is shutting down\n")
+        }
+        whatif::Submit::Accepted { id } => {
+            drop(trace.map(|t| t.stage("whatif_enqueue")));
+            if spec.reps <= whatif::SYNC_REPS {
+                let wait = trace.map(|t| t.stage("whatif_wait"));
+                let resp = whatif::sync_response(handle, &id);
+                drop(wait);
+                if resp.status == 200 {
+                    return resp
+                        .with_header("X-Snapshot", published.id.to_string())
+                        .with_header("X-Cache", "miss");
+                }
+                resp
+            } else {
+                whatif::accepted_response(handle, &id)
+            }
+        }
+    }
+}
+
 /// The write path: `POST /ingest/{logs,jobs,cpu-jobs,outages}[?seq=N]`,
 /// `POST /ingest/flush`, `GET /ingest/status`. Responses are JSON and
 /// never cached (they are not snapshot-scoped).
@@ -326,13 +412,13 @@ fn dispatch_ingest(req: &Request, segment: &str, ingest: Option<&IngestHandle>) 
     match segment {
         "status" => {
             if req.method != "GET" && req.method != "HEAD" {
-                return Response::text(405, "use GET for /ingest/status\n");
+                return method_not_allowed("GET, HEAD", "use GET for /ingest/status\n");
             }
             return Response::json(200, ingest.status_json());
         }
         "flush" => {
             if req.method != "POST" {
-                return Response::text(405, "use POST for /ingest/flush\n");
+                return method_not_allowed("POST", "use POST for /ingest/flush\n");
             }
             return match ingest.flush() {
                 Ok(info) => Response::json(
@@ -348,7 +434,7 @@ fn dispatch_ingest(req: &Request, segment: &str, ingest: Option<&IngestHandle>) 
         return Response::text(404, "no such ingest stream\n");
     };
     if req.method != "POST" {
-        return Response::text(405, "use POST to ingest\n");
+        return method_not_allowed("POST", "use POST to ingest\n");
     }
     let seq = match req.query_value("seq") {
         None => None,
@@ -380,11 +466,7 @@ fn dispatch_ingest(req: &Request, segment: &str, ingest: Option<&IngestHandle>) 
                 stream.name()
             ),
         ),
-        Offer::Overloaded { retry_after_secs } => Response::text(
-            429,
-            "ingest queue is full; retry after the indicated delay\n",
-        )
-        .with_header("Retry-After", retry_after_secs.to_string()),
+        Offer::Overloaded { retry_after_secs } => admission::overloaded("ingest", retry_after_secs),
         Offer::Unavailable => Response::text(503, "ingest is shutting down\n"),
         Offer::WalFailed(why) => {
             Response::text(503, format!("ingest write-ahead log failed: {why}\n"))
@@ -701,15 +783,19 @@ mod tests {
         assert_eq!(shed.status, 429);
         assert_eq!(header(&shed, "Retry-After"), Some("1"));
 
-        // GET on an ingest stream, POST on status: 405 both ways.
-        assert_eq!(
-            handle(&get("/ingest/logs", &[]), &store, &cache, ingest).status,
-            405
-        );
-        assert_eq!(
-            handle(&post("/ingest/status", &[], b""), &store, &cache, ingest).status,
-            405
-        );
+        // GET on an ingest stream, POST on status: 405 both ways, each
+        // naming what the endpoint does accept.
+        let wrong_stream = handle(&get("/ingest/logs", &[]), &store, &cache, ingest);
+        assert_eq!(wrong_stream.status, 405);
+        assert_eq!(header(&wrong_stream, "Allow"), Some("POST"));
+        let wrong_status = handle(&post("/ingest/status", &[], b""), &store, &cache, ingest);
+        assert_eq!(wrong_status.status, 405);
+        assert_eq!(header(&wrong_status, "Allow"), Some("GET, HEAD"));
+        let mut flush_get = get("/ingest/flush", &[]);
+        flush_get.method = "GET".to_owned();
+        let wrong_flush = handle(&flush_get, &store, &cache, ingest);
+        assert_eq!(wrong_flush.status, 405);
+        assert_eq!(header(&wrong_flush, "Allow"), Some("POST"));
         // Unknown stream.
         assert_eq!(
             handle(&post("/ingest/nope", &[], b""), &store, &cache, ingest).status,
@@ -724,5 +810,165 @@ mod tests {
         let flush = handle(&post("/ingest/flush", &[], b""), &store, &cache, ingest);
         assert_eq!(flush.status, 503);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // ---- whatif routing ---------------------------------------------
+
+    use crate::whatif::{WhatifConfig, WhatifHandle};
+
+    fn traced_whatif(req: &Request, store: &StoreHandle, whatif: &WhatifHandle) -> Response {
+        let cache = ResponseCache::new();
+        handle_traced(
+            req,
+            store,
+            &cache,
+            None,
+            Some(whatif),
+            &ObsState::default(),
+            None,
+        )
+    }
+
+    #[test]
+    fn whatif_404_when_disabled_405_with_allow_otherwise() {
+        let store = empty_handle();
+        let cache = ResponseCache::new();
+        assert_eq!(
+            handle(&get("/whatif", &[]), &store, &cache, None).status,
+            404
+        );
+
+        let whatif = WhatifHandle::new(WhatifConfig {
+            workers: 0,
+            ..WhatifConfig::default()
+        });
+        let mut del = get("/whatif", &[]);
+        del.method = "DELETE".to_owned();
+        let resp = traced_whatif(&del, &store, &whatif);
+        assert_eq!(resp.status, 405);
+        assert_eq!(header(&resp, "Allow"), Some("GET, HEAD, POST"));
+        let poll = post("/whatif/jobs/abc", &[], b"");
+        let resp = traced_whatif(&poll, &store, &whatif);
+        assert_eq!(resp.status, 405);
+        assert_eq!(header(&resp, "Allow"), Some("GET, HEAD"));
+        // Misc 405s outside whatif carry Allow too (satellite fix).
+        let mut del_healthz = get("/healthz", &[]);
+        del_healthz.method = "DELETE".to_owned();
+        let resp = handle(&del_healthz, &store, &cache, None);
+        assert_eq!(resp.status, 405);
+        assert_eq!(header(&resp, "Allow"), Some("GET, HEAD"));
+    }
+
+    #[test]
+    fn whatif_bad_specs_are_400() {
+        let store = empty_handle();
+        let whatif = WhatifHandle::new(WhatifConfig {
+            workers: 0,
+            rep_cap: 8,
+            ..WhatifConfig::default()
+        });
+        for query in [
+            vec![("mttr_scale", "0")],
+            vec![("mttr_scale", "nan")],
+            vec![("xid_rate", "13:2")],
+            vec![("xid_rate", "79")],
+            vec![("sched", "lifo")],
+            vec![("reps", "9")],
+            vec![("bogus", "1")],
+            vec![("mttr_scale", "0.5"), ("mttr_scale", "2")],
+        ] {
+            let resp = traced_whatif(&get("/whatif", &query), &store, &whatif);
+            assert_eq!(resp.status, 400, "{query:?}: {}", resp.body);
+        }
+    }
+
+    #[test]
+    fn whatif_sync_roundtrip_caches_and_polls() {
+        let store = empty_handle();
+        let whatif = WhatifHandle::new(WhatifConfig {
+            workers: 1,
+            ..WhatifConfig::default()
+        });
+        let workers = whatif.spawn_workers();
+        let query = [("reps", "1"), ("seed", "5")];
+
+        let cold = traced_whatif(&get("/whatif", &query), &store, &whatif);
+        assert_eq!(cold.status, 200, "{}", cold.body);
+        assert_eq!(header(&cold, "X-Cache"), Some("miss"));
+
+        let warm = traced_whatif(&get("/whatif", &query), &store, &whatif);
+        assert_eq!(warm.status, 200);
+        assert_eq!(header(&warm, "X-Cache"), Some("hit"));
+        assert_eq!(cold.body, warm.body);
+
+        // POST with a form body is the same spec → same cached result.
+        let form = traced_whatif(&post("/whatif", &[], b"reps=1&seed=5"), &store, &whatif);
+        assert_eq!(form.status, 200);
+        assert_eq!(header(&form, "X-Cache"), Some("hit"));
+        assert_eq!(form.body, cold.body);
+
+        // The finished job is pollable under its deterministic id.
+        let spec = ScenarioSpec::parse(
+            &[
+                ("reps".to_owned(), "1".to_owned()),
+                ("seed".to_owned(), "5".to_owned()),
+            ],
+            32,
+        )
+        .unwrap();
+        let id = WhatifHandle::job_id(store.current().id, &spec.canonical());
+        let poll = traced_whatif(&get(&format!("/whatif/jobs/{id}"), &[]), &store, &whatif);
+        assert_eq!(poll.status, 200);
+        assert_eq!(poll.body, cold.body);
+        let missing = traced_whatif(&get("/whatif/jobs/ffffffffffffffff", &[]), &store, &whatif);
+        assert_eq!(missing.status, 404);
+
+        whatif.request_shutdown();
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn whatif_long_campaigns_answer_202_with_poll_url() {
+        let store = empty_handle();
+        // No workers: the job stays queued, so the 202 surface is
+        // deterministic.
+        let whatif = WhatifHandle::new(WhatifConfig {
+            workers: 0,
+            ..WhatifConfig::default()
+        });
+        let resp = traced_whatif(&get("/whatif", &[("reps", "8")]), &store, &whatif);
+        assert_eq!(resp.status, 202, "{}", resp.body);
+        assert!(resp.body.contains("\"status\":\"queued\""), "{}", resp.body);
+        assert!(resp.body.contains("/whatif/jobs/"), "{}", resp.body);
+        let spec = ScenarioSpec::parse(&[("reps".to_owned(), "8".to_owned())], 32).unwrap();
+        let id = WhatifHandle::job_id(store.current().id, &spec.canonical());
+        assert!(resp.body.contains(&id), "{}", resp.body);
+        let poll = traced_whatif(&get(&format!("/whatif/jobs/{id}"), &[]), &store, &whatif);
+        assert_eq!(poll.status, 202);
+    }
+
+    #[test]
+    fn whatif_sheds_with_retry_after_when_queue_full() {
+        let store = empty_handle();
+        let whatif = WhatifHandle::new(WhatifConfig {
+            workers: 0,
+            queue_capacity: 1,
+            retry_after_secs: 2,
+            ..WhatifConfig::default()
+        });
+        let first = traced_whatif(&get("/whatif", &[("reps", "8")]), &store, &whatif);
+        assert_eq!(first.status, 202);
+        let shed = traced_whatif(
+            &get("/whatif", &[("reps", "8"), ("seed", "9")]),
+            &store,
+            &whatif,
+        );
+        assert_eq!(shed.status, 429, "{}", shed.body);
+        assert_eq!(header(&shed, "Retry-After"), Some("2"));
+        // Re-submitting the queued spec joins it instead of shedding.
+        let joined = traced_whatif(&get("/whatif", &[("reps", "8")]), &store, &whatif);
+        assert_eq!(joined.status, 202);
     }
 }

@@ -36,6 +36,7 @@ use crate::http::{
 use crate::ingest::IngestHandle;
 use crate::router::{self, ObsState};
 use crate::store::StoreHandle;
+use crate::whatif::{WhatifConfig, WhatifHandle};
 use crate::wheel::TimerWheel;
 use obs::{FlightRecorder, Trace, Tsdb};
 use std::collections::HashMap;
@@ -84,6 +85,10 @@ pub struct ServerConfig {
     /// Emit one Common Log Format line per dispatched request to
     /// stderr.
     pub access_log: bool,
+    /// The `/whatif` counterfactual-campaign service: worker count,
+    /// queue depth, rep cap. `workers == 0` disables the service
+    /// (`/whatif` then answers `404`).
+    pub whatif: WhatifConfig,
 }
 
 impl Default for ServerConfig {
@@ -99,6 +104,7 @@ impl Default for ServerConfig {
             trace_capacity: 0,
             scrape_secs: 0,
             access_log: false,
+            whatif: WhatifConfig::default(),
         }
     }
 }
@@ -152,6 +158,8 @@ pub struct RunningServer {
     wakers: Vec<Arc<Waker>>,
     loops: Vec<JoinHandle<()>>,
     scraper: Option<JoinHandle<()>>,
+    whatif: Option<Arc<WhatifHandle>>,
+    whatif_workers: Vec<JoinHandle<()>>,
 }
 
 impl RunningServer {
@@ -176,6 +184,15 @@ impl RunningServer {
             let _ = handle.join();
         }
         if let Some(handle) = self.scraper.take() {
+            let _ = handle.join();
+        }
+        // After the loops: an in-flight synchronous /whatif request
+        // blocks its loop thread on the campaign, so the workers must
+        // outlive the loops.
+        if let Some(whatif) = self.whatif.take() {
+            whatif.request_shutdown();
+        }
+        for handle in self.whatif_workers.drain(..) {
             let _ = handle.join();
         }
     }
@@ -228,6 +245,12 @@ pub fn start_with_ingest(
     let cache = Arc::new(ResponseCache::new());
     let capacity = config.workers.max(1) + config.max_queue.max(1);
 
+    let whatif = (config.whatif.workers > 0).then(|| WhatifHandle::new(config.whatif.clone()));
+    let whatif_workers = whatif
+        .as_ref()
+        .map(WhatifHandle::spawn_workers)
+        .unwrap_or_default();
+
     let obs_state = Arc::new(ObsState {
         recorder: (config.trace_capacity > 0)
             .then(|| Arc::new(FlightRecorder::new(config.trace_capacity))),
@@ -262,6 +285,7 @@ pub fn start_with_ingest(
             Arc::clone(&store),
             Arc::clone(&cache),
             ingest.clone(),
+            whatif.clone(),
             Arc::clone(&stop),
             Arc::clone(&conns_open),
             capacity,
@@ -276,6 +300,8 @@ pub fn start_with_ingest(
         wakers,
         loops,
         scraper,
+        whatif,
+        whatif_workers,
     })
 }
 
@@ -390,6 +416,7 @@ struct Dispatch<'a> {
     store: &'a StoreHandle,
     cache: &'a ResponseCache,
     ingest: Option<&'a IngestHandle>,
+    whatif: Option<&'a WhatifHandle>,
     obs: &'a ObsState,
     access_log: bool,
     server_draining: bool,
@@ -559,6 +586,7 @@ impl Conn {
                         ctx.store,
                         ctx.cache,
                         ctx.ingest,
+                        ctx.whatif,
                         ctx.obs,
                         trace.as_ref(),
                     );
@@ -715,6 +743,7 @@ struct EventLoop {
     store: Arc<StoreHandle>,
     cache: Arc<ResponseCache>,
     ingest: Option<Arc<IngestHandle>>,
+    whatif: Option<Arc<WhatifHandle>>,
     stop: Arc<AtomicBool>,
     conns_open: Arc<AtomicUsize>,
     capacity: usize,
@@ -736,6 +765,7 @@ impl EventLoop {
         store: Arc<StoreHandle>,
         cache: Arc<ResponseCache>,
         ingest: Option<Arc<IngestHandle>>,
+        whatif: Option<Arc<WhatifHandle>>,
         stop: Arc<AtomicBool>,
         conns_open: Arc<AtomicUsize>,
         capacity: usize,
@@ -755,6 +785,7 @@ impl EventLoop {
             store,
             cache,
             ingest,
+            whatif,
             stop,
             conns_open,
             capacity,
@@ -906,6 +937,7 @@ impl EventLoop {
             store: &self.store,
             cache: &self.cache,
             ingest: self.ingest.as_deref(),
+            whatif: self.whatif.as_deref(),
             obs: &self.obs_state,
             access_log: self.config.access_log,
             server_draining: self.draining,

@@ -86,6 +86,37 @@ pub fn request(addr: impl ToSocketAddrs, method: &str, path: &str, body: &[u8]) 
     request_on(&mut conn, method, path, body)
 }
 
+/// Drives a `/whatif` request to completion: follows a `202` by polling
+/// its `/whatif/jobs/:id` URL until the campaign finishes (or `tries`
+/// polls elapse — then panics). A direct `200`/error returns untouched,
+/// so assertions about `X-Cache` etc. stay on the first response when
+/// it completed synchronously.
+pub fn whatif_to_completion(
+    addr: impl ToSocketAddrs + Copy,
+    path: &str,
+    tries: usize,
+) -> TestResponse {
+    let first = request(addr, "GET", path, b"");
+    if first.status != 202 {
+        return first;
+    }
+    let text = first.text();
+    let poll = text
+        .split("\"poll\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .expect("202 body carries a poll URL")
+        .to_owned();
+    for _ in 0..tries {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let resp = request(addr, "GET", &poll, b"");
+        if resp.status != 202 {
+            return resp;
+        }
+    }
+    panic!("whatif job did not finish within {tries} polls: {poll}");
+}
+
 /// Reads one `Content-Length`-framed response off the stream. Panics on
 /// EOF mid-response, a head past 64 KiB, or a missing `Content-Length`
 /// (the server always emits one).

@@ -48,5 +48,5 @@ pub mod workload;
 
 pub use job::{JobId, JobRecord, JobState};
 pub use kill::{KillModel, KillScope};
-pub use scheduler::{RequeuePolicy, Simulation, SimulationOutcome};
+pub use scheduler::{RequeuePolicy, SchedPolicy, Simulation, SimulationOutcome};
 pub use workload::{GpuBucket, WorkloadConfig};

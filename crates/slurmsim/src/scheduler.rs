@@ -23,6 +23,48 @@ use std::collections::{BinaryHeap, VecDeque};
 /// simulation time).
 const BACKFILL_DEPTH: usize = 64;
 
+/// Queue-drain policy: what the scheduler does when the head of the queue
+/// cannot start.
+///
+/// Delta runs Slurm with backfill, so [`SchedPolicy::Backfill`] is the
+/// default and reproduces the historical behavior exactly. The strict
+/// FIFO variant is a counterfactual axis (the `/whatif?sched=fifo` knob):
+/// a wide job stuck at the head blocks everything behind it, which is how
+/// head-of-line blocking turns node drains into queue-wide wait inflation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Strict first-in-first-out: each pass stops at the first queued job
+    /// that cannot be placed.
+    Fifo,
+    /// Bounded backfill: up to [`BACKFILL_DEPTH`] jobs behind a stuck head
+    /// may start if they fit (the measured-system default).
+    #[default]
+    Backfill,
+}
+
+impl SchedPolicy {
+    /// Parses the `/whatif` query token: `fifo` or `backfill`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the accepted tokens.
+    pub fn parse(raw: &str) -> Result<Self, String> {
+        match raw {
+            "fifo" => Ok(SchedPolicy::Fifo),
+            "backfill" => Ok(SchedPolicy::Backfill),
+            other => Err(format!("bad sched {other:?} (expected fifo|backfill)")),
+        }
+    }
+
+    /// The canonical query token (the inverse of [`SchedPolicy::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedPolicy::Fifo => "fifo",
+            SchedPolicy::Backfill => "backfill",
+        }
+    }
+}
+
 /// Requeue-on-failure policy: what happens to a job killed by a GPU error.
 ///
 /// Models the §V-B mitigation discussion: without checkpointing a restarted
@@ -183,18 +225,20 @@ pub struct Simulation<'c> {
     workload: WorkloadConfig,
     kill: KillModel,
     requeue: RequeuePolicy,
+    policy: SchedPolicy,
     seed: u64,
 }
 
 impl<'c> Simulation<'c> {
-    /// Creates a simulation with the default (paper-calibrated) kill model
-    /// and no requeueing.
+    /// Creates a simulation with the default (paper-calibrated) kill model,
+    /// no requeueing, and backfill scheduling.
     pub fn new(cluster: &'c Cluster, workload: WorkloadConfig, seed: u64) -> Self {
         Simulation {
             cluster,
             workload,
             kill: KillModel::delta(),
             requeue: RequeuePolicy::none(),
+            policy: SchedPolicy::Backfill,
             seed,
         }
     }
@@ -208,6 +252,12 @@ impl<'c> Simulation<'c> {
     /// Enables requeue-on-failure (checkpoint/restart what-if analysis).
     pub fn with_requeue(mut self, requeue: RequeuePolicy) -> Self {
         self.requeue = requeue;
+        self
+    }
+
+    /// Overrides the queue-drain policy (scheduler what-if analysis).
+    pub fn with_policy(mut self, policy: SchedPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -226,6 +276,7 @@ impl<'c> Simulation<'c> {
             specs.len(),
             self.kill,
             self.requeue,
+            self.policy,
             root.fork(3),
         );
         engine.run(&specs, errors, holds);
@@ -306,6 +357,7 @@ struct Engine<'c> {
     cluster: &'c Cluster,
     kill: KillModel,
     requeue: RequeuePolicy,
+    policy: SchedPolicy,
     rng: Rng,
     node_up: Vec<bool>,
     free: Vec<u8>,
@@ -327,12 +379,14 @@ impl<'c> Engine<'c> {
         job_count: usize,
         kill: KillModel,
         requeue: RequeuePolicy,
+        policy: SchedPolicy,
         rng: Rng,
     ) -> Self {
         Engine {
             cluster,
             kill,
             requeue,
+            policy,
             rng,
             node_up: vec![true; cluster.node_count()],
             free: cluster.nodes().iter().map(|n| n.gpu_count()).collect(),
@@ -482,8 +536,19 @@ impl<'c> Engine<'c> {
         None
     }
 
-    /// Starts whatever fits from the queue head region (bounded backfill).
+    /// Starts whatever the drain policy allows: strict FIFO stops at the
+    /// first queued job that cannot be placed; backfill inspects the head
+    /// region (bounded by [`BACKFILL_DEPTH`]) and starts anything that fits.
     fn drain_queue(&mut self, t: Timestamp, specs: &[JobSpec]) {
+        if self.policy == SchedPolicy::Fifo {
+            while let Some(&idx) = self.queue.front() {
+                if !self.try_start(idx, t, specs) {
+                    break;
+                }
+                self.queue.pop_front();
+            }
+            return;
+        }
         loop {
             let mut started_any = false;
             let depth = self.queue.len().min(BACKFILL_DEPTH);
@@ -715,6 +780,66 @@ mod tests {
             assert_eq!(job.id, JobId(i as u64));
             assert!(job.end >= job.start);
             assert!(job.start >= job.submit);
+        }
+    }
+
+    #[test]
+    fn fifo_blocks_behind_the_head_where_backfill_does_not() {
+        let cluster = tiny_cluster();
+        assert_eq!(
+            cluster.nodes()[3].gpu_count(),
+            8,
+            "tiny spec: node 3 is the eight-way"
+        );
+        let t0 = Timestamp::from_unix(1_000_000);
+        let spec = |submit_off: u64, gpus: u32, dur_secs: u64| JobSpec {
+            submit: t0 + Duration::from_secs(submit_off),
+            name: format!("j{submit_off}"),
+            gpus,
+            duration: Duration::from_secs(dur_secs),
+            baseline_state: JobState::Completed,
+        };
+        // Job 0 takes every four-way GPU; the eight-way node is held down,
+        // so job 1 (8 GPUs, single-node only) and job 2 (1 GPU) both queue.
+        // When job 0 finishes at t=500 the drain runs: backfill starts job
+        // 2 past the stuck head; strict FIFO leaves it queued until the
+        // hold lifts at t=2000.
+        let specs = vec![spec(0, 12, 500), spec(1, 8, 100), spec(2, 1, 100)];
+        let hold = Outage {
+            node: cluster.nodes()[3].id(),
+            start: t0,
+            duration: Duration::from_secs(2000),
+            action: xid::RecoveryAction::NodeReboot,
+        };
+        for (policy, expect_start) in [(SchedPolicy::Backfill, 500), (SchedPolicy::Fifo, 2000)] {
+            let mut engine = Engine::new(
+                &cluster,
+                specs.len(),
+                KillModel::delta(),
+                RequeuePolicy::none(),
+                policy,
+                Rng::seed_from(1),
+            );
+            engine.run(&specs, &[], &[hold]);
+            let records = engine.into_records(&specs);
+            assert_eq!(
+                records[2].start,
+                t0 + Duration::from_secs(expect_start),
+                "{policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sched_policy_parses_and_round_trips() {
+        assert_eq!(SchedPolicy::parse("fifo").unwrap(), SchedPolicy::Fifo);
+        assert_eq!(
+            SchedPolicy::parse("backfill").unwrap(),
+            SchedPolicy::Backfill
+        );
+        assert!(SchedPolicy::parse("lifo").is_err());
+        for p in [SchedPolicy::Fifo, SchedPolicy::Backfill] {
+            assert_eq!(SchedPolicy::parse(p.name()).unwrap(), p);
         }
     }
 
@@ -964,6 +1089,7 @@ mod tests {
             specs.len(),
             KillModel::delta(),
             RequeuePolicy::none(),
+            SchedPolicy::Backfill,
             Rng::seed_from(7),
         );
         engine.run(&specs, errors, &[]);

@@ -42,6 +42,8 @@
 //! GET /readyz                               snapshot age + ingest backlog (JSON)
 //! GET /debug/traces?id=&slowest=&since=     slow-trace flight recorder (JSON)
 //! GET /metrics/history?name=&from=&to=&step= self-scraped series history (JSON)
+//! GET/POST /whatif?mttr_scale=&xid_rate=&...  counterfactual campaigns (JSON)
+//! GET /whatif/jobs/ID                        poll a long campaign (202 -> 200)
 //! ```
 //!
 //! Metrics are always on for a server (the registry powers `/metrics`).
@@ -116,6 +118,12 @@ OBSERVABILITY
                       0 disables the history store (default 10)
   --access-log        one Common Log Format line per request to stderr
 
+WHAT-IF SERVICE (counterfactual simulation campaigns)
+  --whatif-workers N  campaign worker threads; 0 disables /whatif (default 2)
+  --whatif-queue N    campaigns queued ahead of the workers; beyond it new
+                      specs get 429 + Retry-After (default 8)
+  --whatif-rep-cap N  upper bound a request's reps= may ask for (default 32)
+
 ENDPOINTS
   /tables/1 /tables/2 /tables/3 /fig2 /errors /mtbe /jobs/impact
   /availability /snapshot /healthz /readyz /metrics
@@ -124,6 +132,9 @@ ENDPOINTS
          [&from=] [&to=] [&host=] [&xid=]   pre-aggregated civil-time rollups
   /debug/traces[?id=HEX|slowest=N|since=UNIX_MS]   slow/error request traces
   /metrics/history?name=METRIC[&from=][&to=][&step=]   scraped series history
+  /whatif?[mttr_scale=X][&xid_rate=XID:MULT]...[&sched=fifo|backfill]
+         [&seed=N][&reps=N]   counterfactual campaign (GET or POST form body)
+  /whatif/jobs/ID             poll a long-running campaign (202 -> 200)
   POST /ingest/{logs,jobs,cpu-jobs,outages}[?seq=N]  (with --ingest-dir)
   POST /ingest/flush    GET /ingest/status
 ";
@@ -147,6 +158,9 @@ fn run(args: &[String]) -> Result<(), CliError> {
             "publish-secs",
             "trace-capacity",
             "scrape-secs",
+            "whatif-workers",
+            "whatif-queue",
+            "whatif-rep-cap",
         ],
     )?;
 
@@ -389,6 +403,18 @@ fn server_config_from_flags(flags: &Flags) -> Result<servd::ServerConfig, CliErr
     config.trace_capacity = cli::parse_num_flag(flags, "trace-capacity", 256)?;
     config.scrape_secs = cli::parse_num_flag(flags, "scrape-secs", 10)?;
     config.access_log = flags.has("access-log");
+    config.whatif.workers = cli::parse_num_flag(flags, "whatif-workers", config.whatif.workers)?;
+    config.whatif.queue_capacity =
+        cli::parse_num_flag(flags, "whatif-queue", config.whatif.queue_capacity)?;
+    config.whatif.rep_cap = cli::parse_num_flag(flags, "whatif-rep-cap", config.whatif.rep_cap)?;
+    if config.whatif.workers > 0
+        && (config.whatif.queue_capacity == 0 || config.whatif.rep_cap == 0)
+    {
+        return Err(CliError::Usage(
+            "--whatif-queue and --whatif-rep-cap must be positive (use --whatif-workers 0 to disable the service)"
+                .to_owned(),
+        ));
+    }
     Ok(config)
 }
 
